@@ -1,0 +1,238 @@
+(* Benchmark and reproduction harness.
+
+   Running this executable regenerates every table and figure of the
+   paper (sections T1, T2, F1, F2, F3, F6, F7), runs the quantitative
+   companion experiments of DESIGN.md §5 (Q1–Q6), and finishes with
+   Bechamel micro-benchmarks of the protocol hot paths (section M).
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel section
+     dune exec bench/main.exe -- --only T1,Q2 # selected sections *)
+
+module Experiment = Dsm_runtime.Experiment
+module Table_fmt = Dsm_stats.Table_fmt
+
+let section name title body =
+  Printf.printf "\n================================================\n";
+  Printf.printf "%s — %s\n" name title;
+  Printf.printf "================================================\n";
+  body ();
+  flush stdout
+
+let print_table t = print_string (Table_fmt.render t)
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () = print_table (Experiment.table1 ())
+let t2 () = print_table (Experiment.table2 ())
+let f1 () = print_string (Experiment.figure1 ())
+let f2 () = print_string (Experiment.figure2 ())
+let f3 () = print_string (Experiment.figure3 ())
+let f6 () = print_string (Experiment.figure6 ())
+let f7 () = print_string (Experiment.figure7 ())
+
+(* ------------------------------------------------------------------ *)
+(* Quantitative experiments                                            *)
+(* ------------------------------------------------------------------ *)
+
+let q1 () = print_table (Experiment.q1_sweep_processes ())
+let q2 () = print_table (Experiment.q2_sweep_latency_variance ())
+let q3 () = print_table (Experiment.q3_sweep_write_ratio ())
+let q4 () = print_table (Experiment.q4_buffer_occupancy ())
+let q5 () =
+  print_table (Experiment.q5_apply_latency ());
+  print_newline ();
+  print_string (Experiment.q5_histogram ())
+let q6 () = print_table (Experiment.q6_ws_skips ())
+let q7 () = print_table (Experiment.q7_fifo_ablation ())
+let q8 () = print_table (Experiment.q8_lossy_links ())
+let q9 () = print_table (Experiment.q9_divergence ())
+let q10 () = print_table (Experiment.q10_metadata_size ())
+let q11 () = print_table (Experiment.q11_partial_replication ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Micro = struct
+  open Bechamel
+  open Toolkit
+  module V = Dsm_vclock.Vector_clock
+  module Protocol = Dsm_core.Protocol
+
+  let vclock_merge =
+    let a = V.of_array (Array.init 32 (fun i -> i + 1))
+    and b = V.of_array (Array.init 32 (fun i -> 32 - i)) in
+    Test.make ~name:"M1 vclock.merge n=32"
+      (Staged.stage (fun () -> ignore (V.merge a b)))
+
+  let vclock_compare =
+    let a = V.of_array (Array.init 32 (fun i -> i + 1))
+    and b = V.of_array (Array.init 32 (fun i -> if i = 7 then 99 else i + 1)) in
+    Test.make ~name:"M2 vclock.compare_partial n=32"
+      (Staged.stage (fun () -> ignore (V.compare_partial a b)))
+
+  (* one full write step (local apply + message build) of each protocol;
+     state is rebuilt per batch through make_with_resource *)
+  let protocol_write (module P : Protocol.S) label =
+    Test.make_with_resource ~name:label Test.multiple
+      ~allocate:(fun () -> P.create (Protocol.config ~n:8 ~m:16) ~me:0)
+      ~free:(fun _ -> ())
+      (Staged.stage (fun state -> ignore (P.write state ~var:3 ~value:1)))
+
+  let optp_write =
+    protocol_write (module Dsm_core.Opt_p) "M3a OptP write step n=8"
+
+  let anbkh_write =
+    protocol_write (module Dsm_core.Anbkh) "M3b ANBKH write step n=8"
+
+  (* in-order receive: a sender state generates messages consumed by a
+     fresh receiver *)
+  let receive_step =
+    Test.make_with_resource ~name:"M4 OptP receive step n=8" Test.multiple
+      ~allocate:(fun () ->
+        let cfg = Protocol.config ~n:8 ~m:16 in
+        let sender = Dsm_core.Opt_p.create cfg ~me:1 in
+        let receiver = Dsm_core.Opt_p.create cfg ~me:0 in
+        (sender, receiver))
+      ~free:(fun _ -> ())
+      (Staged.stage (fun (sender, receiver) ->
+           let _, eff = Dsm_core.Opt_p.write sender ~var:2 ~value:7 in
+           match eff.Protocol.to_send with
+           | [ Protocol.Broadcast m ] ->
+               ignore (Dsm_core.Opt_p.receive receiver ~src:1 m)
+           | _ -> assert false))
+
+  let engine_event =
+    Test.make ~name:"M5 engine schedule+run 1k events"
+      (Staged.stage (fun () ->
+           let e = Dsm_sim.Engine.create () in
+           for i = 1 to 1000 do
+             Dsm_sim.Engine.schedule_at e
+               (Dsm_sim.Sim_time.of_float (float_of_int i))
+               (fun () -> ())
+           done;
+           ignore (Dsm_sim.Engine.run e)))
+
+  let end_to_end =
+    let spec =
+      Dsm_workload.Spec.make ~n:4 ~m:4 ~ops_per_process:50 ~write_ratio:0.5
+        ~seed:7 ()
+    in
+    Test.make ~name:"M6 full OptP simulation (4 procs x 50 ops)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsm_runtime.Sim_run.run
+                (module Dsm_core.Opt_p)
+                ~spec
+                ~latency:(Dsm_sim.Latency.Exponential { mean = 10. })
+                ())))
+
+  let tests =
+    Test.make_grouped ~name:"micro"
+      [
+        vclock_merge;
+        vclock_compare;
+        optp_write;
+        anbkh_write;
+        receive_step;
+        engine_event;
+        end_to_end;
+      ]
+
+  let run () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |]
+    in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+    in
+    let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let table =
+      Table_fmt.create ~title:"Bechamel micro-benchmarks"
+        ~header:[ "benchmark"; "time/run (ns)"; "r²" ]
+        ()
+    in
+    Table_fmt.set_align table
+      [ Table_fmt.Left; Table_fmt.Right; Table_fmt.Right ];
+    let rows =
+      Hashtbl.fold
+        (fun name ols acc ->
+          let time =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) -> Printf.sprintf "%.1f" t
+            | Some [] | None -> "-"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          (name, time, r2) :: acc)
+        results []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+    in
+    List.iter (fun (n, t, r) -> Table_fmt.add_row table [ n; t; r ]) rows;
+    print_table table
+end
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("T1", "Table 1: X_co-safe over H1", t1);
+    ("T2", "Table 2: X_ANBKH over the Figure 3 run", t2);
+    ("F1", "Figure 1: two admissible runs at p3", f1);
+    ("F2", "Figure 2: a non-optimal safe protocol", f2);
+    ("F3", "Figure 3: ANBKH and false causality", f3);
+    ("F6", "Figure 6: the OptP run", f6);
+    ("F7", "Figure 7: write causality graph of H1", f7);
+    ("Q1", "delays vs number of processes", q1);
+    ("Q2", "false causality vs latency variance", q2);
+    ("Q3", "delays vs write ratio", q3);
+    ("Q4", "buffer occupancy", q4);
+    ("Q5", "apply latency", q5);
+    ("Q6", "writing-semantics skips", q6);
+    ("Q7", "ablation: FIFO channels", q7);
+    ("Q8", "lossy links + reliable channels", q8);
+    ("Q9", "replica divergence at quiescence", q9);
+    ("Q10", "metadata: vectors vs direct dependencies", q10);
+    ("Q11", "partial replication", q11);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_micro = List.mem "--no-micro" args in
+  let only =
+    let with_eq =
+      List.find_map
+        (fun a ->
+          if String.length a > 7 && String.sub a 0 7 = "--only=" then
+            Some
+              (String.split_on_char ','
+                 (String.sub a 7 (String.length a - 7)))
+          else None)
+        args
+    in
+    match with_eq with
+    | Some _ as o -> o
+    | None ->
+        let rec find = function
+          | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+          | _ :: rest -> find rest
+          | [] -> None
+        in
+        find args
+  in
+  let wanted name =
+    match only with None -> true | Some names -> List.mem name names
+  in
+  List.iter
+    (fun (name, title, body) -> if wanted name then section name title body)
+    sections;
+  if (not no_micro) && wanted "M" then
+    section "M" "Bechamel micro-benchmarks" Micro.run

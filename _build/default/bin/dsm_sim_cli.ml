@@ -1,0 +1,347 @@
+(* dsm-sim — command-line driver for the causal-DSM simulator.
+
+   Subcommands:
+     run     simulate a workload under one protocol and audit the run
+     tables  regenerate the paper's tables and figures
+     sweep   run a quantitative experiment (Q1..Q6)
+     graph   emit the write causality graph of a run (Graphviz)
+
+   Examples:
+     dsm-sim run --protocol optp -n 6 -m 8 --ops 200 --write-ratio 0.6
+     dsm-sim run --protocol anbkh --latency lognormal:2.3,1.0 --seed 3
+     dsm-sim tables --section T1
+     dsm-sim sweep --experiment q2   (q1..q11)
+     dsm-sim graph -n 4 --ops 20 *)
+
+open Cmdliner
+
+module Spec = Dsm_workload.Spec
+module Latency = Dsm_sim.Latency
+module Experiment = Dsm_runtime.Experiment
+module Checker = Dsm_runtime.Checker
+module Sim_run = Dsm_runtime.Sim_run
+
+(* ---------------------------------------------------------------- *)
+(* shared argument parsing                                           *)
+(* ---------------------------------------------------------------- *)
+
+let protocol_of_string = function
+  | "optp" -> Ok (module Dsm_core.Opt_p : Dsm_core.Protocol.S)
+  | "anbkh" -> Ok (module Dsm_core.Anbkh : Dsm_core.Protocol.S)
+  | "ws-recv" -> Ok (module Dsm_core.Ws_receiver : Dsm_core.Protocol.S)
+  | "optp-ws" -> Ok (module Dsm_core.Opt_p_ws : Dsm_core.Protocol.S)
+  | "ws-token" -> Ok (module Dsm_core.Ws_token : Dsm_core.Protocol.S)
+  | "optp-direct" -> Ok (module Dsm_core.Opt_p_direct : Dsm_core.Protocol.S)
+  | s ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown protocol %S (expected optp | anbkh | ws-recv | \
+              optp-ws | ws-token | optp-direct)"
+             s))
+
+let protocol_conv =
+  Arg.conv
+    ( protocol_of_string,
+      fun ppf (module P : Dsm_core.Protocol.S) ->
+        Format.pp_print_string ppf P.name )
+
+(* latency syntax: const:C | uniform:LO,HI | exp:MEAN | lognormal:MU,SIGMA
+   | pareto:SCALE,SHAPE *)
+let latency_of_string s =
+  let parse_floats part =
+    String.split_on_char ',' part |> List.map float_of_string
+  in
+  match String.split_on_char ':' s with
+  | [ "const"; p ] -> (
+      match parse_floats p with
+      | [ c ] -> Ok (Latency.Constant c)
+      | _ -> Error (`Msg "const takes one parameter"))
+  | [ "uniform"; p ] -> (
+      match parse_floats p with
+      | [ lo; hi ] -> Ok (Latency.Uniform { lo; hi })
+      | _ -> Error (`Msg "uniform takes lo,hi"))
+  | [ "exp"; p ] -> (
+      match parse_floats p with
+      | [ mean ] -> Ok (Latency.Exponential { mean })
+      | _ -> Error (`Msg "exp takes one parameter"))
+  | [ "lognormal"; p ] -> (
+      match parse_floats p with
+      | [ mu; sigma ] -> Ok (Latency.Lognormal { mu; sigma })
+      | _ -> Error (`Msg "lognormal takes mu,sigma"))
+  | [ "pareto"; p ] -> (
+      match parse_floats p with
+      | [ scale; shape ] -> Ok (Latency.Pareto { scale; shape })
+      | _ -> Error (`Msg "pareto takes scale,shape"))
+  | _ ->
+      Error
+        (`Msg
+          "latency syntax: const:C | uniform:LO,HI | exp:MEAN | \
+           lognormal:MU,SIGMA | pareto:SCALE,SHAPE")
+
+let latency_of_string s =
+  try latency_of_string s
+  with Failure _ -> Error (`Msg "latency parameters must be numbers")
+
+let latency_conv = Arg.conv (latency_of_string, Latency.pp)
+
+let protocol =
+  Arg.(
+    value
+    & opt protocol_conv (module Dsm_core.Opt_p : Dsm_core.Protocol.S)
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:"Protocol: optp, anbkh, ws-recv, optp-ws, ws-token or optp-direct.")
+
+let n_procs =
+  Arg.(value & opt int 4 & info [ "n"; "processes" ] ~docv:"N"
+         ~doc:"Number of processes.")
+
+let m_vars =
+  Arg.(value & opt int 8 & info [ "m"; "variables" ] ~docv:"M"
+         ~doc:"Number of shared memory locations.")
+
+let ops =
+  Arg.(value & opt int 200 & info [ "ops" ] ~docv:"OPS"
+         ~doc:"Operations per process.")
+
+let write_ratio =
+  Arg.(value & opt float 0.5 & info [ "write-ratio" ] ~docv:"R"
+         ~doc:"Fraction of operations that are writes, in [0,1].")
+
+let zipf =
+  Arg.(value & opt (some float) None & info [ "zipf" ] ~docv:"S"
+         ~doc:"Zipf exponent for variable choice (uniform if absent).")
+
+let latency =
+  Arg.(
+    value
+    & opt latency_conv
+        (Latency.Lognormal { mu = log 10. -. 0.5; sigma = 1.0 })
+    & info [ "latency" ] ~docv:"DIST" ~doc:"Channel latency distribution.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Seed for workload and network randomness.")
+
+let fifo =
+  Arg.(value & flag & info [ "fifo" ]
+         ~doc:"Per-channel FIFO delivery (default: reordering allowed).")
+
+let drop =
+  Arg.(value & opt float 0. & info [ "drop" ] ~docv:"P"
+         ~doc:"Frame drop probability; > 0 switches to the \
+               reliable-channel substrate.")
+
+let duplicate =
+  Arg.(value & opt float 0. & info [ "duplicate" ] ~docv:"P"
+         ~doc:"Frame duplication probability (with --drop, uses the \
+               reliable-channel substrate).")
+
+let repl_degree =
+  Arg.(value & opt (some int) None
+       & info [ "replication-degree" ] ~docv:"K"
+           ~doc:"Replicate each location at K processes (ring layout) \
+                 and run the partial-replication protocol instead.")
+
+let spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed =
+  let var_dist =
+    match zipf with None -> Spec.Uniform_vars | Some s -> Spec.Zipf_vars s
+  in
+  Spec.make ~n ~m ~ops_per_process:ops ~write_ratio ~var_dist ~seed ()
+
+(* ---------------------------------------------------------------- *)
+(* run                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
+      latency seed fifo drop duplicate repl_degree =
+    let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
+    Format.printf "workload: %a@.network:  %a@.@." Spec.pp spec Latency.pp
+      latency;
+    let finish report =
+      Format.printf "audit: %a@." Checker.pp_report report;
+      if Checker.is_clean report then `Ok ()
+      else `Error (false, "run is not clean")
+    in
+    match repl_degree with
+    | Some degree ->
+        if drop > 0. || duplicate > 0. then
+          `Error
+            (false, "--replication-degree does not combine with --drop")
+        else if degree < 1 || degree > n then
+          `Error (false, "--replication-degree must be in 1..n")
+        else begin
+          let replication = Dsm_core.Replication.ring ~n ~m ~degree in
+          Format.printf
+            "protocol: OptP over partial replication (degree %d)@.%a@.@."
+            degree Dsm_core.Replication.pp replication;
+          let outcome =
+            Dsm_runtime.Partial_run.run ~replication ~spec ~latency ~seed ()
+          in
+          Format.printf "messages: %d, t_end=%.1f@.@."
+            outcome.Dsm_runtime.Partial_run.messages_sent
+            outcome.Dsm_runtime.Partial_run.end_time;
+          finish (Dsm_runtime.Partial_run.check outcome)
+        end
+    | None ->
+        if drop > 0. || duplicate > 0. then begin
+          Format.printf
+            "protocol: %s over lossy links (drop=%g, dup=%g) healed by \
+             reliable channels@.@."
+            P.name drop duplicate;
+          let outcome =
+            Dsm_runtime.Reliable_run.run
+              (module P)
+              ~spec ~latency
+              ~faults:{ Dsm_sim.Network.drop; duplicate }
+              ~seed ()
+          in
+          Format.printf "%a@.@." Dsm_runtime.Reliable_run.pp_outcome
+            outcome;
+          finish (Checker.check outcome.Dsm_runtime.Reliable_run.execution)
+        end
+        else begin
+          Format.printf "protocol: %s@.@." P.name;
+          let outcome = Sim_run.run (module P) ~spec ~latency ~fifo ~seed () in
+          Format.printf "%a@.@." Sim_run.pp_outcome outcome;
+          finish (Checker.check outcome.execution)
+        end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
+       $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ repl_degree))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Simulate a random workload under one protocol, audit the run \
+          and print delay statistics. With --drop/--duplicate the links \
+          are faulty and the reliable-channel substrate heals them; with \
+          --replication-degree the partial-replication protocol runs on \
+          a ring layout.")
+    term
+
+(* ---------------------------------------------------------------- *)
+(* tables                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let tables_cmd =
+  let section =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "section" ] ~docv:"ID"
+          ~doc:"Only this section (T1, T2, F1, F2, F3, F6 or F7).")
+  in
+  let action section =
+    let all =
+      [
+        ("T1", fun () -> print_string (Dsm_stats.Table_fmt.render (Experiment.table1 ())));
+        ("T2", fun () -> print_string (Dsm_stats.Table_fmt.render (Experiment.table2 ())));
+        ("F1", fun () -> print_string (Experiment.figure1 ()));
+        ("F2", fun () -> print_string (Experiment.figure2 ()));
+        ("F3", fun () -> print_string (Experiment.figure3 ()));
+        ("F6", fun () -> print_string (Experiment.figure6 ()));
+        ("F7", fun () -> print_string (Experiment.figure7 ()));
+      ]
+    in
+    match section with
+    | None ->
+        List.iter
+          (fun (id, f) ->
+            Printf.printf "---- %s ----\n" id;
+            f ();
+            print_newline ())
+          all;
+        `Ok ()
+    | Some id -> (
+        match List.assoc_opt (String.uppercase_ascii id) all with
+        | Some f ->
+            f ();
+            `Ok ()
+        | None -> `Error (false, "unknown section " ^ id))
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Regenerate the paper's tables and figure runs.")
+    Term.(ret (const action $ section))
+
+(* ---------------------------------------------------------------- *)
+(* sweep                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let experiment =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "e"; "experiment" ] ~docv:"ID"
+          ~doc:"Experiment id: q1 .. q11.")
+  in
+  let action experiment =
+    let table =
+      match String.lowercase_ascii experiment with
+      | "q1" -> Some (Experiment.q1_sweep_processes ())
+      | "q2" -> Some (Experiment.q2_sweep_latency_variance ())
+      | "q3" -> Some (Experiment.q3_sweep_write_ratio ())
+      | "q4" -> Some (Experiment.q4_buffer_occupancy ())
+      | "q5" -> Some (Experiment.q5_apply_latency ())
+      | "q6" -> Some (Experiment.q6_ws_skips ())
+      | "q7" -> Some (Experiment.q7_fifo_ablation ())
+      | "q8" -> Some (Experiment.q8_lossy_links ())
+      | "q9" -> Some (Experiment.q9_divergence ())
+      | "q10" -> Some (Experiment.q10_metadata_size ())
+      | "q11" -> Some (Experiment.q11_partial_replication ())
+      | _ -> None
+    in
+    match table with
+    | Some t ->
+        print_string (Dsm_stats.Table_fmt.render t);
+        `Ok ()
+    | None -> `Error (false, "unknown experiment " ^ experiment)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run one of the quantitative experiments.")
+    Term.(ret (const action $ experiment))
+
+(* ---------------------------------------------------------------- *)
+(* graph                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let graph_cmd =
+  let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
+      latency seed =
+    let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
+    let outcome = Sim_run.run (module P) ~spec ~latency ~seed () in
+    let co = Dsm_memory.Causal_order.compute outcome.history in
+    let graph = Dsm_memory.Causality_graph.compute co in
+    print_string (Dsm_memory.Causality_graph.to_graphviz graph);
+    `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
+       $ zipf $ latency $ seed))
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Run a workload and emit the write causality graph of the \
+          resulting history in Graphviz format.")
+    term
+
+let () =
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  let info =
+    Cmd.info "dsm-sim" ~version:"1.0.0"
+      ~doc:
+        "Causally consistent distributed shared memory: OptP and its \
+         baselines on a deterministic discrete-event simulator."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; tables_cmd; sweep_cmd; graph_cmd ]))

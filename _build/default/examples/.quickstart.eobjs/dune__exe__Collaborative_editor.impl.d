@@ -1,0 +1,1 @@
+examples/collaborative_editor.ml: Dsm_core Dsm_runtime Dsm_sim Dsm_stats Dsm_workload Format List Printf

@@ -1,0 +1,1 @@
+examples/edge_cache.ml: Array Dsm_core Dsm_runtime Dsm_sim Dsm_stats Dsm_workload Format List Printf

@@ -1,0 +1,1 @@
+examples/false_causality.ml: Dsm_core Dsm_memory Dsm_runtime Dsm_sim Dsm_vclock Format Option Printf

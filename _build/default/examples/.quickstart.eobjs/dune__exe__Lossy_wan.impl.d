@@ -1,0 +1,1 @@
+examples/lossy_wan.ml: Dsm_core Dsm_runtime Dsm_sim Dsm_workload Format List

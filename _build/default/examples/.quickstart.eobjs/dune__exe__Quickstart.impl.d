@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsm_core Dsm_memory Dsm_runtime Dsm_vclock Format List

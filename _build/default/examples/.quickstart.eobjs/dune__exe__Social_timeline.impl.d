@@ -1,0 +1,1 @@
+examples/social_timeline.ml: Dsm_core Dsm_runtime Dsm_vclock Format Printf

@@ -1,0 +1,100 @@
+(* Collaborative editor: a workload study on the public API.
+
+   Six authors edit a shared document of eight sections over a wide-area
+   network with heavy-tailed latency. Each author alternates between
+   reading sections and rewriting them (60% writes), with attention
+   concentrated on a few hot sections (Zipf). We run the same workload
+   under every protocol in the library and compare:
+
+   - write delays (how often an edit sat in a buffer),
+   - apply latency (how stale a replica's view of an edit was),
+   - messages on the wire,
+   - writes never propagated (writing-semantics protocols only).
+
+   Every run is audited by the checker first — numbers from an unsound
+   run would be meaningless.
+
+   Run with:  dune exec examples/collaborative_editor.exe *)
+
+module Spec = Dsm_workload.Spec
+module Latency = Dsm_sim.Latency
+module Sim_run = Dsm_runtime.Sim_run
+module Checker = Dsm_runtime.Checker
+module Execution = Dsm_runtime.Execution
+module Summary = Dsm_stats.Summary
+module Table_fmt = Dsm_stats.Table_fmt
+
+let protocols : (module Dsm_core.Protocol.S) list =
+  [
+    (module Dsm_core.Opt_p);
+    (module Dsm_core.Anbkh);
+    (module Dsm_core.Ws_receiver);
+    (module Dsm_core.Opt_p_ws);
+    (module Dsm_core.Opt_p_direct);
+    (module Dsm_core.Ws_token);
+  ]
+
+let spec =
+  Spec.make ~n:6 ~m:8 ~ops_per_process:200 ~write_ratio:0.6
+    ~var_dist:(Spec.Zipf_vars 1.2)
+    ~think:(Latency.Exponential { mean = 8. })
+    ~seed:2026 ()
+
+(* a wide-area network: 20 time-unit base propagation plus a
+   heavy-tailed jitter — overtaking is routine *)
+let wan =
+  Latency.Shifted
+    { base = 20.; jitter = Latency.Pareto { scale = 2.; shape = 1.6 } }
+
+let () =
+  Format.printf "== Collaborative editor ==@.@.workload: %a@.network: %a@.@."
+    Spec.pp spec Latency.pp wan;
+  let table =
+    Table_fmt.create ~header:
+      [
+        "protocol";
+        "delays";
+        "unnecessary";
+        "apply latency (mean)";
+        "apply latency (p99)";
+        "messages";
+        "writes skipped";
+      ]
+      ()
+  in
+  Table_fmt.set_align table
+    [
+      Table_fmt.Left;
+      Table_fmt.Right;
+      Table_fmt.Right;
+      Table_fmt.Right;
+      Table_fmt.Right;
+      Table_fmt.Right;
+      Table_fmt.Right;
+    ];
+  List.iter
+    (fun ((module P : Dsm_core.Protocol.S) as p) ->
+      let outcome = Sim_run.run p ~spec ~latency:wan ~seed:7 () in
+      let report = Checker.check outcome.execution in
+      if not (Checker.is_clean report) then
+        Format.kasprintf failwith "%s failed the audit: %a" P.name
+          Checker.pp_report report;
+      let lat = Summary.of_list (Execution.apply_latencies outcome.execution) in
+      Table_fmt.add_row table
+        [
+          P.name;
+          string_of_int report.Checker.total_delays;
+          string_of_int report.Checker.unnecessary_delays;
+          Printf.sprintf "%.1f" (Summary.mean lat);
+          Printf.sprintf "%.1f" (Summary.percentile lat 99.);
+          string_of_int outcome.messages_sent;
+          string_of_int outcome.skipped_writes;
+        ])
+    protocols;
+  print_string (Table_fmt.render table);
+  print_endline
+    "\nReading the table: OptP never delays an edit unnecessarily \
+     (column 3 is 0 by Theorem 4), so its replicas see edits sooner \
+     than causal broadcast's. The writing-semantics variants trade \
+     completeness (skipped writes) for even less buffering; the token \
+     protocol trades receiver-side delays for sender-side batching."

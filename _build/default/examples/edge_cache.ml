@@ -1,0 +1,82 @@
+(* Edge caches: partial replication in a geo-distributed setting.
+
+   Six edge sites serve twelve content descriptors. Each descriptor is
+   cached at only three sites (a ring layout), so a write to it is
+   multicast to its replicas alone — no site pays for content it never
+   serves. Causality still matters across descriptors: a site that
+   reads descriptor A and then updates descriptor B creates a
+   dependency that B's replicas must respect even if they do not cache
+   A. The matrix-clock OptP variant (Opt_p_partial) handles exactly
+   that, and the replication-aware checker audits the run.
+
+   The same workload is also run under full replication for the cost
+   comparison.
+
+   Run with:  dune exec examples/edge_cache.exe *)
+
+module Replication = Dsm_core.Replication
+module Partial_run = Dsm_runtime.Partial_run
+module Checker = Dsm_runtime.Checker
+module Spec = Dsm_workload.Spec
+module Latency = Dsm_sim.Latency
+module Table_fmt = Dsm_stats.Table_fmt
+
+let n = 6
+let m = 12
+
+let spec =
+  Spec.make ~n ~m ~ops_per_process:150 ~write_ratio:0.4
+    ~var_dist:(Spec.Zipf_vars 0.9)
+    ~think:(Latency.Exponential { mean = 6. })
+    ~seed:808 ()
+
+let wan =
+  Latency.Shifted { base = 12.; jitter = Latency.Exponential { mean = 8. } }
+
+let run degree =
+  let replication = Replication.ring ~n ~m ~degree in
+  let outcome = Partial_run.run ~replication ~spec ~latency:wan ~seed:5 () in
+  let report = Partial_run.check outcome in
+  if not (Checker.is_clean report) then
+    Format.kasprintf failwith "degree %d failed the audit: %a" degree
+      Checker.pp_report report;
+  (outcome, report)
+
+let () =
+  Format.printf "== Edge caches: partial replication ==@.@.";
+  Format.printf "workload: %a@.network:  %a@.@." Spec.pp spec Latency.pp wan;
+  let table =
+    Table_fmt.create
+      ~header:
+        [
+          "copies per descriptor";
+          "messages";
+          "delays";
+          "unnecessary";
+          "peak buffer";
+        ]
+      ()
+  in
+  Table_fmt.set_align table
+    [ Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+      Table_fmt.Right ];
+  List.iter
+    (fun degree ->
+      let outcome, report = run degree in
+      Table_fmt.add_row table
+        [
+          (if degree = n then Printf.sprintf "%d (full)" degree
+           else string_of_int degree);
+          string_of_int outcome.Partial_run.messages_sent;
+          string_of_int report.Checker.total_delays;
+          string_of_int report.Checker.unnecessary_delays;
+          string_of_int
+            (Array.fold_left max 0 outcome.Partial_run.buffer_high_watermarks);
+        ])
+    [ 6; 4; 3; 2 ];
+  print_string (Table_fmt.render table);
+  print_endline
+    "\nEvery row passed the replication-aware audit: causal order holds \
+     on each site's observable operations, with zero unnecessary delays \
+     (the merge-on-read discipline survives partial replication), while \
+     the wire bill shrinks with the replica count."

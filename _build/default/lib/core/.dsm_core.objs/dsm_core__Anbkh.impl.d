@@ -1,0 +1,1 @@
+lib/core/anbkh.ml: Dsm_sim Dsm_vclock Format List Protocol Replica_store

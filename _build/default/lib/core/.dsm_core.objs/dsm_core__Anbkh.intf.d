@@ -1,0 +1,1 @@
+lib/core/anbkh.mli: Dsm_vclock Protocol

@@ -1,0 +1,1 @@
+lib/core/opt_p.ml: Array Dsm_sim Dsm_vclock Format List Protocol Replica_store

@@ -1,0 +1,1 @@
+lib/core/opt_p.mli: Dsm_vclock Protocol

@@ -1,0 +1,1 @@
+lib/core/opt_p_direct.ml: Array Dsm_sim Dsm_vclock Format Fun Hashtbl List Protocol Replica_store

@@ -1,0 +1,1 @@
+lib/core/opt_p_partial.ml: Array Dsm_sim Dsm_vclock List Printf Protocol Replica_store Replication

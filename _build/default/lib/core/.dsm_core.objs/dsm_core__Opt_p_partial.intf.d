@@ -1,0 +1,1 @@
+lib/core/opt_p_partial.mli: Dsm_memory Dsm_vclock Protocol Replication

@@ -1,0 +1,1 @@
+lib/core/opt_p_ws.ml: Array Dsm_sim Dsm_vclock Format Hashtbl List Printf Protocol Replica_store

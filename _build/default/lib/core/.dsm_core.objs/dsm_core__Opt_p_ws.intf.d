@@ -1,0 +1,1 @@
+lib/core/opt_p_ws.mli: Dsm_vclock Protocol

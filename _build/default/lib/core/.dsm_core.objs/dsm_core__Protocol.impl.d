@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Dsm_memory Dsm_vclock Format

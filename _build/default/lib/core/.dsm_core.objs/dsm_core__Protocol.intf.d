@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Dsm_memory Dsm_vclock Format

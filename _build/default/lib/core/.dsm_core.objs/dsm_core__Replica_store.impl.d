@@ -1,0 +1,1 @@
+lib/core/replica_store.ml: Array Dsm_memory Dsm_vclock Format Printf

@@ -1,0 +1,1 @@
+lib/core/replica_store.mli: Dsm_memory Dsm_vclock Format

@@ -1,0 +1,1 @@
+lib/core/replication.ml: Array Dsm_sim Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/core/ws_receiver.ml: Dsm_sim Dsm_vclock Format Hashtbl List Printf Protocol Replica_store

@@ -1,0 +1,1 @@
+lib/core/ws_receiver.mli: Dsm_vclock Protocol

@@ -1,0 +1,1 @@
+lib/core/ws_token.ml: Dsm_sim Dsm_vclock Format Int List Protocol Replica_store

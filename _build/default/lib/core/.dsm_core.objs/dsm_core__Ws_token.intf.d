@@ -1,0 +1,1 @@
+lib/core/ws_token.mli: Dsm_vclock Protocol

@@ -1,0 +1,31 @@
+(** ANBKH — the causal-broadcast baseline (Ahamad, Neiger, Burns, Kohli
+    & Hutto 1995; §3.6 of the paper).
+
+    Write messages are delivered in causal order of their {e send}
+    events using a Fidge–Mattern vector clock whose relevant events are
+    the write-sends. The deliverability predicate is syntactically the
+    same as OptP's; the semantic difference is where the vector grows:
+
+    - OptP merges a write's timestamp into the local vector only when
+      the process {e reads} the written value;
+    - ANBKH merges it at {e every delivery}.
+
+    Consequently ANBKH's vector tracks Lamport's happened-before [→] of
+    the sends, a strict superset of [↦co], and
+    [𝒳_ANBKH(e) ⊇ 𝒳_co-safe(e)] with strict inclusion whenever a
+    process writes after applying (without reading) a concurrent write —
+    the "false causality" of Figure 3. ANBKH is safe but not write-delay
+    optimal (the experiments quantify the gap). *)
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dsm_vclock.Dot.t;
+  vt : Dsm_vclock.Vector_clock.t;
+      (** Fidge–Mattern timestamp of the send event (write-sends are
+          the counted events). *)
+}
+
+include Protocol.S with type msg = message
+
+val deliverable : t -> src:int -> msg -> bool

@@ -1,0 +1,104 @@
+module V = Dsm_vclock.Vector_clock
+module Dot = Dsm_vclock.Dot
+module Mailbox = Dsm_sim.Mailbox
+open Protocol
+
+type message = { var : int; value : int; dot : Dot.t; wco : V.t }
+type msg = message
+
+type t = {
+  cfg : config;
+  me : int;
+  store : Replica_store.t;
+  apply_cnt : V.t;  (* the paper's Apply *)
+  write_co : V.t;  (* the paper's Write_co *)
+  last_write_on : V.t array;  (* the paper's LastWriteOn *)
+  buffer : (int * msg) Mailbox.t;  (* (src, message) *)
+}
+
+let name = "OptP"
+
+let create cfg ~me =
+  if me < 0 || me >= cfg.n then
+    invalid_arg "Opt_p.create: process id out of range";
+  {
+    cfg;
+    me;
+    store = Replica_store.create ~m:cfg.m;
+    apply_cnt = V.create cfg.n;
+    write_co = V.create cfg.n;
+    last_write_on = Array.init cfg.m (fun _ -> V.create cfg.n);
+    buffer = Mailbox.create ();
+  }
+
+let me t = t.me
+
+(* Figure 4: WRITE(x, v) *)
+let write t ~var ~value =
+  V.tick t.write_co t.me;
+  let wco = V.copy t.write_co in
+  let dot = Dot.of_clock wco t.me in
+  let m = { var; value; dot; wco } in
+  Replica_store.apply t.store ~var ~value ~dot;
+  V.tick t.apply_cnt t.me;
+  t.last_write_on.(var) <- wco;
+  let applied = [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ] in
+  (dot, effects ~applied ~to_send:[ Broadcast m ] ())
+
+(* Figure 5: READ(x) — merge LastWriteOn[x] into Write_co, then return *)
+let read t ~var =
+  V.merge_into t.write_co t.last_write_on.(var);
+  Replica_store.read t.store ~var
+
+(* Figure 5, line 2: the wait condition *)
+let deliverable t ~src m =
+  let ok = ref (V.get t.apply_cnt src = V.get m.wco src - 1) in
+  for k = 0 to t.cfg.n - 1 do
+    if k <> src && V.get m.wco k > V.get t.apply_cnt k then ok := false
+  done;
+  !ok
+
+(* Figure 5, lines 3-5 of the synchronization thread *)
+let apply_msg t ~src m ~from_buffer =
+  Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
+  V.tick t.apply_cnt src;
+  t.last_write_on.(m.var) <- m.wco;
+  { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
+
+let drain t =
+  (* apply inside the loop: each apply can enable further buffered
+     messages (chained unblocking), so deliverability must be re-tested
+     against the post-apply state *)
+  let rec go acc =
+    match
+      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
+    with
+    | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let receive t ~src m =
+  if deliverable t ~src m then begin
+    let first = apply_msg t ~src m ~from_buffer:false in
+    effects ~applied:(first :: drain t) ()
+  end
+  else begin
+    Mailbox.add t.buffer (src, m);
+    no_effects
+  end
+
+let buffered t = Mailbox.length t.buffer
+let buffer_high_watermark t = Mailbox.high_watermark t.buffer
+let total_buffered t = Mailbox.total_buffered t.buffer
+let applied_vector t = V.copy t.apply_cnt
+let local_clock t = V.copy t.write_co
+let last_write_on t ~var =
+  if var < 0 || var >= t.cfg.m then
+    invalid_arg "Opt_p.last_write_on: variable out of range";
+  V.copy t.last_write_on.(var)
+
+let pp_msg ppf m =
+  Format.fprintf ppf "m(x%d, %d, %a)" (m.var + 1) m.value V.pp m.wco
+
+let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]

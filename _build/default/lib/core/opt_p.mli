@@ -1,0 +1,38 @@
+(** OptP — the paper's write-delay-optimal protocol (§4, Figures 4–5).
+
+    Per-process state (paper names in brackets):
+    - [applied_vector] ([Apply]): component [j] counts the writes issued
+      by [p_j] and applied here;
+    - [local_clock] ([Write_co]): the vector attached to this process's
+      next write; component [j] = index of the last write of [p_j] that
+      causally precedes it w.r.t. [↦co];
+    - [last_write_on] ([LastWriteOn]): per location, the [Write_co] of
+      the last write applied to it.
+
+    The crucial line is in [read]: the local [Write_co] absorbs
+    [LastWriteOn[x]] {e only when the process actually reads [x]} —
+    establishing exactly the read-from edges of [↦co] and nothing else.
+    Causal-broadcast protocols (ANBKH) instead absorb every delivered
+    timestamp, which inflates the tracked relation to Lamport's [→] and
+    produces unnecessary delays ("false causality").
+
+    A write from [p_u] carrying vector [W] is applicable when
+    [∀t≠u, W[t] ≤ Apply[t]] and [Apply[u] = W[u] − 1] (Figure 5 line 2);
+    otherwise it is buffered — and by Theorem 4 every such buffering is
+    {e necessary} for safety. *)
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dsm_vclock.Dot.t;
+  wco : Dsm_vclock.Vector_clock.t;  (** [w.Write_co] *)
+}
+(** The wire message [m(x_h, v, Write_co)] of Figure 4, line 2. *)
+
+include Protocol.S with type msg = message
+
+val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
+(** Introspection for Figure 6: current [LastWriteOn[var]]. *)
+
+val deliverable : t -> src:int -> msg -> bool
+(** The wait condition of Figure 5, line 2 (true = no wait needed). *)

@@ -1,0 +1,152 @@
+module V = Dsm_vclock.Vector_clock
+module Dot = Dsm_vclock.Dot
+module Mailbox = Dsm_sim.Mailbox
+open Protocol
+
+type message = { var : int; value : int; dot : Dot.t; deps : Dot.t list }
+type msg = message
+
+type t = {
+  cfg : config;
+  me : int;
+  store : Replica_store.t;
+  apply_cnt : V.t;
+  write_co : V.t;
+  last_write_on : V.t array;
+  seen : (Dot.t, V.t) Hashtbl.t;
+      (* Write_co of every write applied here; the decoder for
+         dependency lists *)
+  buffer : (int * msg) Mailbox.t;
+  mutable dep_entries : int;
+}
+
+let name = "OptP-direct"
+
+let create cfg ~me =
+  if me < 0 || me >= cfg.n then
+    invalid_arg "Opt_p_direct.create: process id out of range";
+  {
+    cfg;
+    me;
+    store = Replica_store.create ~m:cfg.m;
+    apply_cnt = V.create cfg.n;
+    write_co = V.create cfg.n;
+    last_write_on = Array.init cfg.m (fun _ -> V.create cfg.n);
+    seen = Hashtbl.create 64;
+    buffer = Mailbox.create ();
+    dep_entries = 0;
+  }
+
+let me t = t.me
+
+(* the immediate ↦co predecessors of a write with vector [wco]: the
+   per-process latest writes in its past, minus those dominated by
+   another candidate *)
+let immediate_deps t ~wco ~dot =
+  let candidates =
+    List.filter_map
+      (fun p ->
+        let seq = if p = t.me then V.get wco p - 1 else V.get wco p in
+        if seq > 0 then Some (Dot.make ~replica:p ~seq) else None)
+      (List.init t.cfg.n Fun.id)
+  in
+  ignore dot;
+  let vector_of d =
+    match Hashtbl.find_opt t.seen d with
+    | Some v -> v
+    | None ->
+        (* every candidate is in our causal past, hence applied here *)
+        assert false
+  in
+  List.filter
+    (fun d ->
+      not
+        (List.exists
+           (fun d' ->
+             (not (Dot.equal d d'))
+             && Dot.seq d <= V.get (vector_of d') (Dot.replica d))
+           candidates))
+    candidates
+
+let write t ~var ~value =
+  V.tick t.write_co t.me;
+  let wco = V.copy t.write_co in
+  let dot = Dot.of_clock wco t.me in
+  let deps = immediate_deps t ~wco ~dot in
+  t.dep_entries <- t.dep_entries + List.length deps;
+  let m = { var; value; dot; deps } in
+  Replica_store.apply t.store ~var ~value ~dot;
+  V.tick t.apply_cnt t.me;
+  t.last_write_on.(var) <- wco;
+  Hashtbl.replace t.seen dot wco;
+  let applied =
+    [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ]
+  in
+  (dot, effects ~applied ~to_send:[ Broadcast m ] ())
+
+let read t ~var =
+  V.merge_into t.write_co t.last_write_on.(var);
+  Replica_store.read t.store ~var
+
+(* deliverable iff the sender chain is gap-free and every listed
+   dependency has been applied — equivalent to OptP's vector test *)
+let deliverable t ~src (m : msg) =
+  V.get t.apply_cnt src = Dot.seq m.dot - 1
+  && List.for_all
+       (fun d -> V.get t.apply_cnt (Dot.replica d) >= Dot.seq d)
+       m.deps
+
+(* rebuild the write's full Write_co from its dependencies' vectors *)
+let reconstruct_wco t ~src (m : msg) =
+  let v = V.create t.cfg.n in
+  List.iter
+    (fun d ->
+      match Hashtbl.find_opt t.seen d with
+      | Some dv -> V.merge_into v dv
+      | None -> assert false (* deliverability guaranteed it applied *))
+    m.deps;
+  V.set v src (Dot.seq m.dot);
+  v
+
+let apply_msg t ~src (m : msg) ~from_buffer =
+  let wco = reconstruct_wco t ~src m in
+  Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
+  V.tick t.apply_cnt src;
+  t.last_write_on.(m.var) <- wco;
+  Hashtbl.replace t.seen m.dot wco;
+  { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
+
+let drain t =
+  let rec go acc =
+    match
+      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
+    with
+    | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let receive t ~src m =
+  if deliverable t ~src m then begin
+    let first = apply_msg t ~src m ~from_buffer:false in
+    effects ~applied:(first :: drain t) ()
+  end
+  else begin
+    Mailbox.add t.buffer (src, m);
+    no_effects
+  end
+
+let buffered t = Mailbox.length t.buffer
+let buffer_high_watermark t = Mailbox.high_watermark t.buffer
+let total_buffered t = Mailbox.total_buffered t.buffer
+let applied_vector t = V.copy t.apply_cnt
+let local_clock t = V.copy t.write_co
+let total_dep_entries t = t.dep_entries
+let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+
+let pp_msg ppf (m : msg) =
+  Format.fprintf ppf "m(x%d, %d, deps={%a})" (m.var + 1) m.value
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Dot.pp)
+    m.deps

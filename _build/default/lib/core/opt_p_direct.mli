@@ -1,0 +1,38 @@
+(** OptP with direct-dependency tracking.
+
+    A metadata-compression variant of {!Opt_p} in the style of Prakash,
+    Raynal & Singhal (the paper's reference [13], where the causality
+    graph was introduced for causal deliveries "with reduced
+    information"). Instead of the full [n]-entry [Write_co] vector, a
+    write message carries only the write's {e immediate} [↦co]
+    predecessors — the covering set of the write causality graph, at
+    most one dot per process, and typically far fewer on workloads with
+    sparse causality.
+
+    The receiver reconstructs the full [Write_co] of an incoming write
+    from the (already applied, hence locally known) vectors of its
+    dependencies: [w.Write_co = max over deps of dep.Write_co], with the
+    issuer component set to [w]'s own sequence number. Deliverability —
+    "all listed dependencies applied, sender gap-free" — is equivalent
+    to OptP's vector condition, so the protocol inherits OptP's delay
+    optimality; the test-suite asserts run-for-run equality of the two
+    protocols' delay behaviour on shared seeds.
+
+    The memory cost is a per-process table of applied writes' vectors
+    ([seen]); the wire saving is what experiment Q10 measures. *)
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dsm_vclock.Dot.t;
+  deps : Dsm_vclock.Dot.t list;
+      (** immediate [↦co] predecessors of this write *)
+}
+
+include Protocol.S with type msg = message
+
+val deliverable : t -> src:int -> msg -> bool
+
+val total_dep_entries : t -> int
+(** Sum of [deps] lengths over all messages this process has sent —
+    the wire-metadata counter Q10 compares against [n × writes]. *)

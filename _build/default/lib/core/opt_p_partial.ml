@@ -1,0 +1,133 @@
+module V = Dsm_vclock.Vector_clock
+module Dot = Dsm_vclock.Dot
+module Mailbox = Dsm_sim.Mailbox
+open Protocol
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dot.t;
+  var_seq : int;
+  know : V.t array;
+}
+
+type t = {
+  repl : Replication.t;
+  me : int;
+  store : Replica_store.t;  (* indexed by global var id; foreign vars unused *)
+  applied : V.t array;  (* per var: applied write counts per issuer *)
+  know : V.t array;  (* per var: last known write index per issuer *)
+  last_write_know : V.t array array;
+      (* per replicated var: the matrix of the last write applied to it *)
+  buffer : (int * message) Mailbox.t;
+  mutable next_global_seq : int;
+}
+
+let matrix n m = Array.init m (fun _ -> V.create n)
+
+let copy_matrix mx = Array.map V.copy mx
+
+let merge_matrix_into dst src =
+  Array.iteri (fun i row -> V.merge_into row src.(i)) dst
+
+let create repl ~me =
+  let n = Replication.n repl and m = Replication.m repl in
+  if me < 0 || me >= n then
+    invalid_arg "Opt_p_partial.create: process id out of range";
+  {
+    repl;
+    me;
+    store = Replica_store.create ~m;
+    applied = matrix n m;
+    know = matrix n m;
+    last_write_know = Array.init m (fun _ -> matrix n m);
+    buffer = Mailbox.create ();
+    next_global_seq = 1;
+  }
+
+let me t = t.me
+let replication t = t.repl
+
+let check_replicated t ~var name =
+  if not (Replication.replicates t.repl ~proc:t.me ~var) then
+    invalid_arg
+      (Printf.sprintf "Opt_p_partial.%s: p%d does not replicate x%d" name
+         (t.me + 1) (var + 1))
+
+let write t ~var ~value =
+  check_replicated t ~var "write";
+  V.tick t.know.(var) t.me;
+  let var_seq = V.get t.know.(var) t.me in
+  let dot = Dot.make ~replica:t.me ~seq:t.next_global_seq in
+  t.next_global_seq <- t.next_global_seq + 1;
+  let know = copy_matrix t.know in
+  let m = { var; value; dot; var_seq; know } in
+  Replica_store.apply t.store ~var ~value ~dot;
+  V.tick t.applied.(var) t.me;
+  t.last_write_know.(var) <- know;
+  let dests =
+    List.filter (fun p -> p <> t.me) (Replication.replicas_of t.repl ~var)
+  in
+  let record =
+    { adot = dot; avar = var; avalue = value; afrom_buffer = false }
+  in
+  (dot, m, dests, record)
+
+let read t ~var =
+  check_replicated t ~var "read";
+  (* merge-on-read, one level up: absorb the last write's matrix *)
+  merge_matrix_into t.know t.last_write_know.(var);
+  Replica_store.read t.store ~var
+
+(* applicable iff the sender's chain on the written location is
+   gap-free here and every row of a location we replicate is covered *)
+let deliverable t ~src (msg : message) =
+  msg.var_seq = V.get t.applied.(msg.var) src + 1
+  && List.for_all
+       (fun y ->
+         let rec ok k =
+           k < 0
+           || ((k = src && y = msg.var)
+               (* the sender component of the written row is the
+                  gap condition above *)
+              || V.get msg.know.(y) k <= V.get t.applied.(y) k)
+              && ok (k - 1)
+         in
+         ok (Replication.n t.repl - 1))
+       (Replication.vars_of t.repl ~proc:t.me)
+
+let apply_msg t ~src (msg : message) ~from_buffer =
+  Replica_store.apply t.store ~var:msg.var ~value:msg.value ~dot:msg.dot;
+  V.tick t.applied.(msg.var) src;
+  t.last_write_know.(msg.var) <- copy_matrix msg.know;
+  {
+    adot = msg.dot;
+    avar = msg.var;
+    avalue = msg.value;
+    afrom_buffer = from_buffer;
+  }
+
+let drain t =
+  let rec go acc =
+    match
+      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
+    with
+    | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let receive t ~src msg =
+  if deliverable t ~src msg then begin
+    let first = apply_msg t ~src msg ~from_buffer:false in
+    first :: drain t
+  end
+  else begin
+    Mailbox.add t.buffer (src, msg);
+    []
+  end
+
+let buffered t = Mailbox.length t.buffer
+let buffer_high_watermark t = Mailbox.high_watermark t.buffer
+let total_buffered t = Mailbox.total_buffered t.buffer
+let applied_matrix t = copy_matrix t.applied

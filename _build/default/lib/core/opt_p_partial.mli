@@ -1,0 +1,73 @@
+(** OptP over partially replicated memory.
+
+    Raynal & Singhal's setting (the paper's reference [14]): each
+    process replicates a subset of the locations, a write is multicast
+    only to the replicas of the written location, and a process only
+    operates on its own locations. Causality may flow {e through}
+    locations a receiver does not replicate, so the per-process
+    [Write_co] vector is not enough; following [14], control data
+    becomes a {b per-location matrix}: [Know[y][t]] = index of the last
+    write to [y] by [p_t] in the causal past.
+
+    OptP's discipline carries over verbatim, one level up:
+
+    - a {e write} to [x] increments [Know[x][me]] and piggybacks the
+      whole matrix (restricted rows are all a receiver consults);
+    - a {e read} of [x] merges the matrix of the last write applied to
+      [x] — and nothing else — into [Know] (merge-on-read, the paper's
+      anti-false-causality move);
+    - an incoming write [w(x)] from [u] with matrix [D] is applicable
+      at [p] iff [D[x][u] = Applied[x][u] + 1] and, {e for every
+      location y that p replicates}, [D[y][t] ≤ Applied[y][t]] — rows
+      of foreign locations are ignored: their writes never arrive here
+      and never need to.
+
+    Safety of the {e observable} history (operations on replicated
+    locations) follows exactly as in the paper's Theorem 3; the
+    replication-aware checker mode audits it. The wire cost is the m×n
+    matrix, which is what [14] pays as well (their writing-semantics
+    work is precisely about reducing it).
+
+    This module does not implement {!Protocol.S} — creation needs the
+    replication map and sends are multicasts — so it ships with its own
+    driver, {!Dsm_runtime.Partial_run}. *)
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dsm_vclock.Dot.t;  (** global (proc, per-process seq) identity *)
+  var_seq : int;  (** sequence number among writes to [var] by the issuer *)
+  know : Dsm_vclock.Vector_clock.t array;
+      (** the dependency matrix [D]: one row per location *)
+}
+
+type t
+
+val create : Replication.t -> me:int -> t
+(** @raise Invalid_argument on a bad process id. *)
+
+val me : t -> int
+val replication : t -> Replication.t
+
+val write :
+  t -> var:int -> value:int ->
+  Dsm_vclock.Dot.t * message * int list * Protocol.apply_record
+(** [(dot, message, destinations, local apply)] — destinations are the
+    other replicas of [var].
+    @raise Invalid_argument if this process does not replicate [var]. *)
+
+val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
+(** @raise Invalid_argument if this process does not replicate [var]. *)
+
+val receive : t -> src:int -> message -> Protocol.apply_record list
+(** Deliver one message: applies it (and any unblocked buffered
+    writes), or buffers it. *)
+
+val deliverable : t -> src:int -> message -> bool
+val buffered : t -> int
+val buffer_high_watermark : t -> int
+val total_buffered : t -> int
+
+val applied_matrix : t -> Dsm_vclock.Vector_clock.t array
+(** Per-location applied-write counts (rows of foreign locations are
+    all zero). *)

@@ -1,0 +1,38 @@
+(** OptP extended with receiver-side writing semantics.
+
+    The paper notes (§3.6, footnote 8) that the writing-semantics
+    heuristic is orthogonal to write-delay optimality and "could be
+    applied also to the protocol presented in the next section". This
+    module is that combination — an extension the paper leaves on the
+    table:
+
+    - delivery conditions, read-time merging and [LastWriteOn] are
+      exactly OptP's ({!Opt_p}), so only genuine [↦co] predecessors can
+      delay a write;
+    - additionally, a buffered write [w(x)] whose missing immediate
+      predecessor [w'(x)] is on the {e same} variable (and no write on
+      another variable is causally interposed — here checked against
+      [Write_co], which characterizes [↦co] {e exactly} by Theorem 1,
+      so the sender-side flag is precise rather than conservative) can
+      be applied at once, skipping [w'].
+
+    With OptP as the base, a skippable situation arises only when the
+    delay was {e necessary} — so unlike [Ws_receiver]-over-ANBKH, every
+    skip here removes a delay the optimality criterion itself cannot
+    remove. Skipping still breaks the "every write applied everywhere"
+    clause of class [𝒫]. *)
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dsm_vclock.Dot.t;
+  wco : Dsm_vclock.Vector_clock.t;
+  prev : Dsm_vclock.Dot.t option;
+  can_skip : bool;
+}
+
+include Protocol.S with type msg = message
+
+val skipped_total : t -> int
+val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
+val deliverable : t -> src:int -> msg -> bool

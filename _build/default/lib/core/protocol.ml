@@ -1,0 +1,59 @@
+type config = { n : int; m : int }
+
+let config ~n ~m =
+  if n <= 0 then invalid_arg "Protocol.config: n must be positive";
+  if m <= 0 then invalid_arg "Protocol.config: m must be positive";
+  { n; m }
+
+type apply_record = {
+  adot : Dsm_vclock.Dot.t;
+  avar : int;
+  avalue : int;
+  afrom_buffer : bool;
+}
+
+type 'msg outbound = Broadcast of 'msg | Unicast of { dst : int; msg : 'msg }
+
+type 'msg effects = {
+  applied : apply_record list;
+  skipped : Dsm_vclock.Dot.t list;
+  to_send : 'msg outbound list;
+}
+
+let no_effects = { applied = []; skipped = []; to_send = [] }
+
+let effects ?(applied = []) ?(skipped = []) ?(to_send = []) () =
+  { applied; skipped; to_send }
+
+let merge_effects a b =
+  {
+    applied = a.applied @ b.applied;
+    skipped = a.skipped @ b.skipped;
+    to_send = a.to_send @ b.to_send;
+  }
+
+module type S = sig
+  type t
+  type msg
+
+  val name : string
+  val create : config -> me:int -> t
+  val me : t -> int
+  val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t * msg effects
+  val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
+  val receive : t -> src:int -> msg -> msg effects
+  val buffered : t -> int
+  val buffer_high_watermark : t -> int
+  val total_buffered : t -> int
+  val applied_vector : t -> Dsm_vclock.Vector_clock.t
+  val local_clock : t -> Dsm_vclock.Vector_clock.t
+  val msg_writes : msg -> (Dsm_vclock.Dot.t * int * int) list
+  val pp_msg : Format.formatter -> msg -> unit
+end
+
+type packed = Packed : (module S with type t = 't and type msg = 'm) -> packed
+
+let pp_apply_record ppf r =
+  Format.fprintf ppf "apply(%a x%d:=%d%s)" Dsm_vclock.Dot.pp r.adot
+    (r.avar + 1) r.avalue
+    (if r.afrom_buffer then " delayed" else "")

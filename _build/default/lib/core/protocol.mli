@@ -1,0 +1,114 @@
+(** Common interface of the protocol class [𝒫] (§3.2).
+
+    Every protocol in the repository — OptP, ANBKH, the
+    writing-semantics variants — implements {!S}: a per-process state
+    machine with three entry points matching the paper's event
+    vocabulary:
+
+    - [write] produces the local apply plus messages to transmit (the
+      [send] event);
+    - [read] is wait-free and local, returning the value and the
+      identity of the write that produced it (which the runtime uses to
+      record the read-from relation exactly);
+    - [receive] is the [receipt] event: it may apply the incoming write
+      immediately, buffer it (a {e write delay}, Definition 3), unblock
+      previously buffered writes, skip writes (writing semantics), and
+      emit further messages (token protocols).
+
+    Implementations are purely deterministic state machines: all
+    communication is returned as {!effects} and performed by the caller
+    (the simulation runtime), which keeps protocols directly
+    unit-testable without a network. *)
+
+type config = { n : int; m : int }
+(** [n] processes, [m] memory locations. *)
+
+val config : n:int -> m:int -> config
+(** @raise Invalid_argument unless [n > 0] and [m > 0]. *)
+
+type apply_record = {
+  adot : Dsm_vclock.Dot.t;  (** which write was applied *)
+  avar : int;
+  avalue : int;
+  afrom_buffer : bool;
+      (** [true] when the write had been buffered before applying —
+          i.e. it {e suffered a write delay} at this process. *)
+}
+
+type 'msg outbound =
+  | Broadcast of 'msg  (** to all other processes *)
+  | Unicast of { dst : int; msg : 'msg }
+
+type 'msg effects = {
+  applied : apply_record list;  (** applies performed, in order *)
+  skipped : Dsm_vclock.Dot.t list;
+      (** writes never applied here (overwritten) — only writing-
+          semantics protocols produce these; non-empty values certify
+          the protocol is outside the class [𝒫] *)
+  to_send : 'msg outbound list;
+}
+
+val no_effects : 'msg effects
+val effects :
+  ?applied:apply_record list ->
+  ?skipped:Dsm_vclock.Dot.t list ->
+  ?to_send:'msg outbound list ->
+  unit ->
+  'msg effects
+
+val merge_effects : 'msg effects -> 'msg effects -> 'msg effects
+(** Concatenates in order (first argument's effects first). *)
+
+module type S = sig
+  type t
+  type msg
+
+  val name : string
+
+  val create : config -> me:int -> t
+  (** Fresh replica state for process [me] (0-based).
+      @raise Invalid_argument if [me] is outside [0..n-1]. *)
+
+  val me : t -> int
+
+  val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t * msg effects
+  (** Perform a local write; returns the new write's identity. The
+      effects always contain the local apply and normally one
+      [Broadcast]. *)
+
+  val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
+  (** Wait-free local read: the current value of [var] and the dot of
+      the write that produced it ([None] for the initial ⊥). *)
+
+  val receive : t -> src:int -> msg -> msg effects
+  (** Handle one delivered message. *)
+
+  val buffered : t -> int
+  (** Messages currently delayed at this process. *)
+
+  val buffer_high_watermark : t -> int
+  val total_buffered : t -> int
+  (** Total messages that ever suffered a delay here. *)
+
+  val applied_vector : t -> Dsm_vclock.Vector_clock.t
+  (** The paper's [Apply] array: per-issuer applied-write counts. *)
+
+  val local_clock : t -> Dsm_vclock.Vector_clock.t
+  (** The protocol's working vector ([Write_co] for OptP, the
+      Fidge–Mattern vector for ANBKH). For introspection/figures. *)
+
+  val msg_writes : msg -> (Dsm_vclock.Dot.t * int * int) list
+  (** The writes a wire message carries, as [(dot, var, value)] — one
+      entry for ordinary write messages, several for token batches,
+      none for control messages. The runtime uses this to record
+      [send]/[receipt] events per write without knowing the concrete
+      message type. *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+end
+
+(** Existential wrapper so heterogeneous protocols can be listed in
+    experiment tables. *)
+type packed = Packed : (module S with type t = 't and type msg = 'm) -> packed
+
+val pp_apply_record : Format.formatter -> apply_record -> unit

@@ -1,0 +1,46 @@
+module Operation = Dsm_memory.Operation
+module Dot = Dsm_vclock.Dot
+
+type slot = { mutable value : Operation.value; mutable writer : Dot.t option }
+type t = { slots : slot array; mutable applies : int }
+
+let create ~m =
+  if m <= 0 then invalid_arg "Replica_store.create: m must be positive";
+  {
+    slots = Array.init m (fun _ -> { value = Operation.Bot; writer = None });
+    applies = 0;
+  }
+
+let m t = Array.length t.slots
+
+let slot t var name =
+  if var < 0 || var >= Array.length t.slots then
+    invalid_arg (Printf.sprintf "Replica_store.%s: variable out of range" name);
+  t.slots.(var)
+
+let apply t ~var ~value ~dot =
+  let s = slot t var "apply" in
+  s.value <- Operation.Val value;
+  s.writer <- Some dot;
+  t.applies <- t.applies + 1
+
+let read t ~var =
+  let s = slot t var "read" in
+  (s.value, s.writer)
+
+let last_writer t ~var = (slot t var "last_writer").writer
+let apply_count t = t.applies
+let snapshot t = Array.map (fun s -> (s.value, s.writer)) t.slots
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "x%d = %a%a" (i + 1) Operation.pp_value s.value
+        (fun ppf -> function
+          | None -> ()
+          | Some d -> Format.fprintf ppf " (by %a)" Dot.pp d)
+        s.writer)
+    t.slots;
+  Format.fprintf ppf "@]"

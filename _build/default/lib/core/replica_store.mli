@@ -1,0 +1,31 @@
+(** Local replicated memory (the copies [x₁ⁱ … x_mⁱ] of §3.1).
+
+    Each process holds a full copy of the [m] shared locations. A store
+    remembers, for every location, the current value and the identity
+    of the write that produced it, so reads can report the read-from
+    relation exactly. All locations start at ⊥. *)
+
+type t
+
+val create : m:int -> t
+(** @raise Invalid_argument unless [m > 0]. *)
+
+val m : t -> int
+
+val apply : t -> var:int -> value:int -> dot:Dsm_vclock.Dot.t -> unit
+(** Overwrites the location; the apply event of §3.2.
+    @raise Invalid_argument on bad variable index. *)
+
+val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
+(** Current value and producing write ([None] — value ⊥ — if never
+    written). *)
+
+val last_writer : t -> var:int -> Dsm_vclock.Dot.t option
+
+val apply_count : t -> int
+(** Total applies ever performed on this store. *)
+
+val snapshot : t -> (Dsm_memory.Operation.value * Dsm_vclock.Dot.t option) array
+(** Per-location view, for debugging and invariant checks. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+type t = {
+  n : int;
+  m : int;
+  table : bool array array;  (* table.(proc).(var) *)
+}
+
+let of_table ~n ~m table =
+  Array.iteri
+    (fun p row ->
+      if not (Array.exists Fun.id row) then
+        invalid_arg
+          (Printf.sprintf
+             "Replication: process %d replicates no variable" p))
+    table;
+  for var = 0 to m - 1 do
+    if not (Array.exists (fun row -> row.(var)) table) then
+      invalid_arg
+        (Printf.sprintf "Replication: variable %d has no replica" var)
+  done;
+  { n; m; table }
+
+let full ~n ~m =
+  if n <= 0 || m <= 0 then invalid_arg "Replication.full: need n, m > 0";
+  { n; m; table = Array.init n (fun _ -> Array.make m true) }
+
+let of_sets ~n ~m vars_of_proc =
+  if n <= 0 || m <= 0 then invalid_arg "Replication.of_sets: need n, m > 0";
+  if Array.length vars_of_proc <> n then
+    invalid_arg "Replication.of_sets: one variable list per process";
+  let table = Array.init n (fun _ -> Array.make m false) in
+  Array.iteri
+    (fun p vars ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= m then
+            invalid_arg "Replication.of_sets: variable index out of range";
+          table.(p).(v) <- true)
+        vars)
+    vars_of_proc;
+  of_table ~n ~m table
+
+let ring ~n ~m ~degree =
+  if n <= 0 || m <= 0 then invalid_arg "Replication.ring: need n, m > 0";
+  if degree < 1 || degree > n then
+    invalid_arg "Replication.ring: degree must be in 1..n";
+  let table = Array.init n (fun _ -> Array.make m false) in
+  for var = 0 to m - 1 do
+    for k = 0 to degree - 1 do
+      table.((var + k) mod n).(var) <- true
+    done
+  done;
+  of_table ~n ~m table
+
+let random ~n ~m ~degree ~rng =
+  if n <= 0 || m <= 0 then invalid_arg "Replication.random: need n, m > 0";
+  if degree < 1 || degree > n then
+    invalid_arg "Replication.random: degree must be in 1..n";
+  let table = Array.init n (fun _ -> Array.make m false) in
+  for var = 0 to m - 1 do
+    let procs = Array.init n Fun.id in
+    Dsm_sim.Rng.shuffle rng procs;
+    for k = 0 to degree - 1 do
+      table.(procs.(k)).(var) <- true
+    done
+  done;
+  (* a process may end up with no variable; give it one at random *)
+  Array.iter
+    (fun row ->
+      if not (Array.exists Fun.id row) then
+        row.(Dsm_sim.Rng.int rng m) <- true)
+    table;
+  of_table ~n ~m table
+
+let n t = t.n
+let m t = t.m
+
+let replicates t ~proc ~var =
+  if proc < 0 || proc >= t.n then
+    invalid_arg "Replication.replicates: process out of range";
+  if var < 0 || var >= t.m then
+    invalid_arg "Replication.replicates: variable out of range";
+  t.table.(proc).(var)
+
+let vars_of t ~proc =
+  if proc < 0 || proc >= t.n then
+    invalid_arg "Replication.vars_of: process out of range";
+  List.filter (fun v -> t.table.(proc).(v)) (List.init t.m Fun.id)
+
+let replicas_of t ~var =
+  if var < 0 || var >= t.m then
+    invalid_arg "Replication.replicas_of: variable out of range";
+  List.filter (fun p -> t.table.(p).(var)) (List.init t.n Fun.id)
+
+let degree t ~var = List.length (replicas_of t ~var)
+
+let is_full t =
+  Array.for_all (fun row -> Array.for_all Fun.id row) t.table
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun p row ->
+      if p > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "p%d: {%s}" (p + 1)
+        (String.concat ", "
+           (List.filter_map
+              (fun v -> if row.(v) then Some (Printf.sprintf "x%d" (v + 1)) else None)
+              (List.init t.m Fun.id))))
+    t.table;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** Replication maps for partially replicated memory.
+
+    The paper's model replicates every location at every process
+    (§3.1). Raynal & Singhal's partially replicated causal objects
+    (the paper's reference [14]) relax this: each process holds copies
+    of a subset of the locations, writes are multicast only to the
+    processes replicating the written location, and a process may only
+    operate on locations it replicates. This module is the shared
+    vocabulary: who replicates what, with validation and standard
+    constructions. *)
+
+type t
+
+val full : n:int -> m:int -> t
+(** Every process replicates every variable (the paper's model). *)
+
+val of_sets : n:int -> m:int -> int list array -> t
+(** [of_sets ~n ~m vars_of_proc] — element [p] lists the variables
+    process [p] replicates.
+    @raise Invalid_argument unless the array has length [n], every
+    variable index is in range, every process replicates at least one
+    variable, and every variable is replicated by at least one process
+    (an unreplicated variable could never be written or read). *)
+
+val ring : n:int -> m:int -> degree:int -> t
+(** Variable [x] is replicated by processes
+    [x mod n, (x+1) mod n, …, (x+degree-1) mod n] — a standard
+    k-replication layout.
+    @raise Invalid_argument unless [1 <= degree <= n]. *)
+
+val random : n:int -> m:int -> degree:int -> rng:Dsm_sim.Rng.t -> t
+(** Each variable gets [degree] distinct replicas chosen uniformly. *)
+
+val n : t -> int
+val m : t -> int
+
+val replicates : t -> proc:int -> var:int -> bool
+val vars_of : t -> proc:int -> int list
+(** Ascending. *)
+
+val replicas_of : t -> var:int -> int list
+(** Ascending. *)
+
+val degree : t -> var:int -> int
+
+val is_full : t -> bool
+
+val pp : Format.formatter -> t -> unit

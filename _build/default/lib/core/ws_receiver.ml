@@ -1,0 +1,222 @@
+module V = Dsm_vclock.Vector_clock
+module Dot = Dsm_vclock.Dot
+module Mailbox = Dsm_sim.Mailbox
+open Protocol
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dot.t;
+  vt : V.t;
+  prev : Dot.t option;
+  can_skip : bool;
+}
+
+type msg = message
+
+type t = {
+  cfg : config;
+  me : int;
+  store : Replica_store.t;
+  delivered : V.t;
+  vclock : V.t;
+  buffer : (int * msg) Mailbox.t;
+  mutable overwritten : Dot.Set.t;
+      (* writes logically applied by a skip; their messages are dropped *)
+  seen : (Dot.t, int * V.t) Hashtbl.t;
+      (* var and send-timestamp of every write applied or issued here;
+         feeds the sender-side [can_skip] computation *)
+  mutable skipped_total : int;
+}
+
+let name = "WS-recv"
+
+let create cfg ~me =
+  if me < 0 || me >= cfg.n then
+    invalid_arg "Ws_receiver.create: process id out of range";
+  {
+    cfg;
+    me;
+    store = Replica_store.create ~m:cfg.m;
+    delivered = V.create cfg.n;
+    vclock = V.create cfg.n;
+    buffer = Mailbox.create ();
+    overwritten = Dot.Set.empty;
+    seen = Hashtbl.create 64;
+    skipped_total = 0;
+  }
+
+let me t = t.me
+
+(* no write w'' on another variable with prev.vt < w''.vt < w.vt;
+   checked over every write this process has seen — by safety that
+   includes the whole causal past of the write being sent *)
+let compute_can_skip t ~var ~prev ~vt =
+  match prev with
+  | None -> false
+  | Some prev_dot -> (
+      match Hashtbl.find_opt t.seen prev_dot with
+      | None -> false
+      | Some (_, prev_vt) ->
+          not
+            (Hashtbl.fold
+               (fun _ (var'', vt'') found ->
+                 found
+                 || var'' <> var
+                    && V.lt prev_vt vt''
+                    && V.lt vt'' vt)
+               t.seen false))
+
+let write t ~var ~value =
+  V.tick t.vclock t.me;
+  let vt = V.copy t.vclock in
+  let dot = Dot.of_clock vt t.me in
+  let prev = Replica_store.last_writer t.store ~var in
+  let can_skip = compute_can_skip t ~var ~prev ~vt in
+  let m = { var; value; dot; vt; prev; can_skip } in
+  Replica_store.apply t.store ~var ~value ~dot;
+  V.tick t.delivered t.me;
+  Hashtbl.replace t.seen dot (var, vt);
+  let applied =
+    [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ]
+  in
+  (dot, effects ~applied ~to_send:[ Broadcast m ] ())
+
+let read t ~var = Replica_store.read t.store ~var
+
+let deliverable t ~src (m : msg) =
+  let ok = ref (V.get t.delivered src = V.get m.vt src - 1) in
+  for k = 0 to t.cfg.n - 1 do
+    if k <> src && V.get m.vt k > V.get t.delivered k then ok := false
+  done;
+  !ok
+
+let apply_msg t ~src (m : msg) ~from_buffer =
+  Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
+  V.tick t.delivered src;
+  V.merge_into t.vclock m.vt;
+  Hashtbl.replace t.seen m.dot (m.var, m.vt);
+  { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
+
+(* Is [m] from [src] deliverable once [d] is counted as applied?
+   The skip and the apply of the overwriting message must be one atomic
+   step: skipping [d] without immediately applying its overwriter would
+   open a window in which a write depending on [d] gets applied while
+   the store still holds a value older than [d] — an illegal read. *)
+let deliverable_after_skip t ~src (m : msg) d =
+  let bump k = V.get t.delivered k + if k = Dot.replica d then 1 else 0 in
+  let ok = ref (bump src = V.get m.vt src - 1) in
+  for k = 0 to t.cfg.n - 1 do
+    if k <> src && V.get m.vt k > bump k then ok := false
+  done;
+  !ok
+
+(* Find a buffered write [m] that names an undelivered immediate
+   predecessor [d] on the same variable, certifies no interposition,
+   and becomes deliverable once [d] is skipped. Returns the applies
+   performed. *)
+let try_skip t =
+  let candidate =
+    List.find_map
+      (fun (src, (m : msg)) ->
+        match m.prev with
+        | Some d
+          when m.can_skip
+               && (not (Dot.Set.mem d t.overwritten))
+               && V.get t.delivered (Dot.replica d) = Dot.seq d - 1
+               && deliverable_after_skip t ~src m d ->
+            Some (src, m, d)
+        | Some _ | None -> None)
+      (Mailbox.to_list t.buffer)
+  in
+  match candidate with
+  | None -> None
+  | Some (src, m, d) ->
+      (* atomically: count d as logically applied, drop its message if
+         present, and apply the overwriter *)
+      V.tick t.delivered (Dot.replica d);
+      t.overwritten <- Dot.Set.add d t.overwritten;
+      t.skipped_total <- t.skipped_total + 1;
+      ignore
+        (Mailbox.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
+             Dot.equal b.dot d));
+      ignore
+        (Mailbox.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
+             Dot.equal b.dot m.dot));
+      Some (apply_msg t ~src m ~from_buffer:true, d)
+
+
+(* The incoming message itself may trigger a skip at receipt time: its
+   named predecessor is the issuer's next undelivered write and skipping
+   it makes the message deliverable at once. In that case the write
+   never waits, so its apply is NOT a write delay (Definition 3). *)
+let skip_for_incoming t ~src (m : msg) =
+  match m.prev with
+  | Some d
+    when m.can_skip
+         && (not (Dot.Set.mem d t.overwritten))
+         && V.get t.delivered (Dot.replica d) = Dot.seq d - 1
+         && deliverable_after_skip t ~src m d ->
+      V.tick t.delivered (Dot.replica d);
+      t.overwritten <- Dot.Set.add d t.overwritten;
+      t.skipped_total <- t.skipped_total + 1;
+      ignore
+        (Mailbox.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
+             Dot.equal b.dot d));
+      Some (apply_msg t ~src m ~from_buffer:false, d)
+  | Some _ | None -> None
+
+let drain t =
+  let applied = ref [] and skipped = ref [] in
+  let rec loop () =
+    match
+      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
+    with
+    | Some (src, m) ->
+        applied := apply_msg t ~src m ~from_buffer:true :: !applied;
+        loop ()
+    | None -> (
+        match try_skip t with
+        | Some (record, d) ->
+            applied := record :: !applied;
+            skipped := d :: !skipped;
+            loop ()
+        | None -> ())
+  in
+  loop ();
+  (List.rev !applied, List.rev !skipped)
+
+let receive t ~src m =
+  if Dot.Set.mem m.dot t.overwritten then
+    (* already logically applied by a skip: discard the late message *)
+    no_effects
+  else if deliverable t ~src m then begin
+    let first = apply_msg t ~src m ~from_buffer:false in
+    let applied, skipped = drain t in
+    effects ~applied:(first :: applied) ~skipped ()
+  end
+  else
+    match skip_for_incoming t ~src m with
+    | Some (first, d) ->
+        let applied, skipped = drain t in
+        effects ~applied:(first :: applied) ~skipped:(d :: skipped) ()
+    | None ->
+        (* a buffered message changes no delivery state, so no other
+           buffered message can have become ready: no drain needed *)
+        Mailbox.add t.buffer (src, m);
+        no_effects
+
+let buffered t = Mailbox.length t.buffer
+let buffer_high_watermark t = Mailbox.high_watermark t.buffer
+let total_buffered t = Mailbox.total_buffered t.buffer
+let applied_vector t = V.copy t.delivered
+let local_clock t = V.copy t.vclock
+let skipped_total t = t.skipped_total
+
+let pp_msg ppf (m : msg) =
+  Format.fprintf ppf "m(x%d, %d, %a%s)" (m.var + 1) m.value V.pp m.vt
+    (match m.prev with
+    | Some d when m.can_skip -> Printf.sprintf ", overwrites %s" (Dot.to_string d)
+    | _ -> "")
+
+let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]

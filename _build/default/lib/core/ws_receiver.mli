@@ -1,0 +1,53 @@
+(** Receiver-side writing semantics (Raynal–Singhal '98 / Baldoni,
+    Spaziani, Tucci-Piergiovanni & Tulone '02; §3.6 of the paper).
+
+    ANBKH extended with the {e writing-semantics} heuristic: a process
+    may apply a write [w(x)] even though an earlier write [w'(x)] with
+    [w' ↦co w] has not been applied, provided no write [w''(y)], [y ≠ x],
+    is causally interposed ([w' ↦co w'' ↦co w]). The overwritten [w'] is
+    then {e skipped}: its apply is considered logically performed
+    immediately before [w]'s, and its message is discarded on arrival.
+
+    Reconstruction notes (the 2002/1998 papers differ in wire format;
+    the paper under reproduction only fixes the heuristic's semantics):
+
+    - each write message carries [prev] — the identity of the last write
+      on the same variable applied at the writer when it wrote — and a
+      sender-computed flag [can_skip] stating that no write on another
+      variable lies causally between [prev] and this write. The sender
+      can compute the flag exactly because, by safety, it has applied
+      every write in its causal past; we use its happened-before vector,
+      which over-approximates [↦co] and therefore only makes the flag
+      {e more} conservative (skips we forgo, never unsafe skips);
+    - a skip is performed only when the overwritten write is the very
+      next undelivered write of its issuer (keeping the per-issuer
+      gap-free counting of the delivery condition sound), and only
+      atomically with the apply of the overwriting write — skipping
+      without applying the overwriter would let a read observe a value
+      older than the skipped write while its causal successors are
+      already visible.
+
+    Because skipped writes are never applied at the skipping process,
+    runs of this protocol can violate the class-[𝒫] requirement that
+    every write is applied everywhere — exactly the paper's argument for
+    why writing-semantics protocols fall outside [𝒫]. The [skipped]
+    field of the returned effects certifies each such event. *)
+
+type message = {
+  var : int;
+  value : int;
+  dot : Dsm_vclock.Dot.t;
+  vt : Dsm_vclock.Vector_clock.t;
+  prev : Dsm_vclock.Dot.t option;
+      (** last write on [var] applied at the writer at send time *)
+  can_skip : bool;
+      (** sender-verified: no write on another variable causally
+          between [prev] and this write *)
+}
+
+include Protocol.S with type msg = message
+
+val skipped_total : t -> int
+(** Number of writes this process skipped (never applied locally). *)
+
+val deliverable : t -> src:int -> msg -> bool

@@ -1,0 +1,53 @@
+(** Token-based sender-side writing semantics (Jimenez, Fernández &
+    Cholvi '01; §3.6 of the paper).
+
+    A token circulates on a logical ring. A process applies its own
+    writes locally at once, but {e propagates} them only while holding
+    the token — and then sends only the {e last} write per variable
+    accumulated since its previous turn, so intermediate writes on the
+    same variable are never seen remotely (sender-side overwriting).
+    Flushed batches are totally ordered by a round number (one round per
+    flush, in token order), so receivers apply batches in round order
+    and need no vector clocks at all.
+
+    Consequences, as the paper notes: some writes are never applied at
+    all processes (outside class [𝒫]); write {e delays} at receivers are
+    traded for {e propagation} delays at senders (a write waits for the
+    token before becoming visible).
+
+    Engineering addition for simulation quiescence (documented in
+    DESIGN.md): after [n] consecutive idle hops the token {e parks} at
+    its holder, which broadcasts [Parked]; a process that later has
+    pending updates sends [Nudge] to the parked holder to restart
+    circulation. This changes no ordering property — it only stops the
+    token from spinning through an idle system forever. *)
+
+type item = {
+  var : int;
+  value : int;
+  dot : Dsm_vclock.Dot.t;
+  covered : Dsm_vclock.Dot.t list;
+      (** writes this item overwrote at the sender (never propagated);
+          receivers account them as skips, logically applied
+          immediately before this item *)
+}
+
+type message =
+  | Batch of { round : int; items : item list }
+      (** One flush: the holder's last write per dirty variable. *)
+  | Token of { next_round : int; idle_hops : int }
+  | Parked of { holder : int }
+  | Nudge
+
+include Protocol.S with type msg = message
+
+val has_token : t -> bool
+val is_parked : t -> bool
+val pending_count : t -> int
+(** Dirty variables waiting for the token at this process. *)
+
+val skipped_total : t -> int
+(** Own writes overwritten before ever being propagated. *)
+
+val rounds_flushed : t -> int
+(** Batches this process has flushed. *)

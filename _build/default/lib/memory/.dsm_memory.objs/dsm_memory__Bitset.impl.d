@@ -1,0 +1,1 @@
+lib/memory/bitset.ml: Array Bytes List Printf

@@ -1,0 +1,1 @@
+lib/memory/causal_order.ml: Array Bitset Dsm_vclock Format History List Map Operation Seq

@@ -1,0 +1,1 @@
+lib/memory/causal_order.mli: Dsm_vclock History Operation

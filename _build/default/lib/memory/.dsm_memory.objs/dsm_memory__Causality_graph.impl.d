@@ -1,0 +1,1 @@
+lib/memory/causality_graph.ml: Buffer Causal_order Dsm_vclock Format History Int List Operation Option Printf

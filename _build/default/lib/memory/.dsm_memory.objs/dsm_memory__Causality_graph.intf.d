@@ -1,0 +1,1 @@
+lib/memory/causality_graph.mli: Causal_order Dsm_vclock Format Operation

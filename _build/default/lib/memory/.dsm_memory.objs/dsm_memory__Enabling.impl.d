@@ -1,0 +1,1 @@
+lib/memory/enabling.ml: Causal_order Dsm_vclock Format History List Operation

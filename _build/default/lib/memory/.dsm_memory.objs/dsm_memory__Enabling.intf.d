@@ -1,0 +1,1 @@
+lib/memory/enabling.mli: Causal_order Dsm_vclock Format History

@@ -1,0 +1,1 @@
+lib/memory/history.ml: Array Dsm_vclock Format List Local_history Operation Printf

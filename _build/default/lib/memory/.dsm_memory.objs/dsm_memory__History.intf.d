@@ -1,0 +1,1 @@
+lib/memory/history.mli: Dsm_vclock Format Local_history Operation

@@ -1,0 +1,1 @@
+lib/memory/legality.mli: Causal_order Format Operation

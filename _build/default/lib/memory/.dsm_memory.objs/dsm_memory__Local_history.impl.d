@@ -1,0 +1,1 @@
+lib/memory/local_history.ml: Format List Operation

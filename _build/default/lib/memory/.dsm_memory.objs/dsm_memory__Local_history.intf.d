@@ -1,0 +1,1 @@
+lib/memory/local_history.mli: Dsm_vclock Format Operation

@@ -1,0 +1,1 @@
+lib/memory/operation.ml: Char Dsm_vclock Format Int

@@ -1,0 +1,1 @@
+lib/memory/operation.mli: Dsm_vclock Format

@@ -1,0 +1,1 @@
+lib/memory/serialization.ml: Array Causal_order Dsm_vclock Fun Hashtbl History List Operation Result

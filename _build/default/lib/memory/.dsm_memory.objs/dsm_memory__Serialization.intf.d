@@ -1,0 +1,1 @@
+lib/memory/serialization.mli: Causal_order Operation

@@ -1,0 +1,1 @@
+lib/memory/session_guarantees.ml: Array Causal_order Dsm_vclock Format History List Operation

@@ -1,0 +1,1 @@
+lib/memory/session_guarantees.mli: Causal_order Format

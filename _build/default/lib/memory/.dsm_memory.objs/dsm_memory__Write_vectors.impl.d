@@ -1,0 +1,1 @@
+lib/memory/write_vectors.ml: Array Dsm_vclock Hashtbl History Operation

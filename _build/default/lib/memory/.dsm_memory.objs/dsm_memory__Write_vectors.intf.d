@@ -1,0 +1,1 @@
+lib/memory/write_vectors.mli: Dsm_vclock History

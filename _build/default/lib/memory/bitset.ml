@@ -1,0 +1,97 @@
+type t = { words : Bytes.t; capacity : int }
+
+(* 8 bits per byte; Bytes gives compact storage without boxing *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((n + 7) / 8) '\000'; capacity = n }
+
+let capacity t = t.capacity
+let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+
+let check t i name =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: index out of bounds" name)
+
+let set t i =
+  check t i "set";
+  let b = Bytes.get_uint8 t.words (i lsr 3) in
+  Bytes.set_uint8 t.words (i lsr 3) (b lor (1 lsl (i land 7)))
+
+let clear_bit t i =
+  check t i "clear_bit";
+  let b = Bytes.get_uint8 t.words (i lsr 3) in
+  Bytes.set_uint8 t.words (i lsr 3) (b land lnot (1 lsl (i land 7)))
+
+let mem t i =
+  check t i "mem";
+  Bytes.get_uint8 t.words (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let popcount8 =
+  (* 256-entry popcount table *)
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun b -> tbl.(b)
+
+let cardinal t =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length t.words - 1 do
+    acc := !acc + popcount8 (Bytes.get_uint8 t.words i)
+  done;
+  !acc
+
+let check_cap a b name =
+  if a.capacity <> b.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch" name)
+
+let union_into dst src =
+  check_cap dst src "union_into";
+  for i = 0 to Bytes.length dst.words - 1 do
+    Bytes.set_uint8 dst.words i
+      (Bytes.get_uint8 dst.words i lor Bytes.get_uint8 src.words i)
+  done
+
+let inter_into dst src =
+  check_cap dst src "inter_into";
+  for i = 0 to Bytes.length dst.words - 1 do
+    Bytes.set_uint8 dst.words i
+      (Bytes.get_uint8 dst.words i land Bytes.get_uint8 src.words i)
+  done
+
+let is_subset a b =
+  check_cap a b "is_subset";
+  let rec go i =
+    i = Bytes.length a.words
+    || Bytes.get_uint8 a.words i land lnot (Bytes.get_uint8 b.words i) = 0
+       && go (i + 1)
+  in
+  go 0
+
+let equal a b =
+  check_cap a b "equal";
+  Bytes.equal a.words b.words
+
+let is_empty t =
+  let rec go i =
+    i = Bytes.length t.words
+    || (Bytes.get_uint8 t.words i = 0 && go (i + 1))
+  in
+  go 0
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if Bytes.get_uint8 t.words (i lsr 3) land (1 lsl (i land 7)) <> 0 then
+      f i
+  done
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let of_list n l =
+  let t = create n in
+  List.iter (fun i -> set t i) l;
+  t

@@ -1,0 +1,38 @@
+(** Fixed-capacity bit sets.
+
+    Dense bitsets back the transitive-closure computation of [↦co]
+    (module {!Causal_order}): one row per operation, one bit per
+    operation, with closure rows combined by word-wide unions. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [{0..n-1}].
+    @raise Invalid_argument if [n < 0]. *)
+
+val capacity : t -> int
+val copy : t -> t
+
+val set : t -> int -> unit
+val clear_bit : t -> int -> unit
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every element of [src] to [dst].
+    @raise Invalid_argument if capacities differ. *)
+
+val inter_into : t -> t -> unit
+
+val is_subset : t -> t -> bool
+(** [is_subset a b] iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val elements : t -> int list
+val of_list : int -> int list -> t

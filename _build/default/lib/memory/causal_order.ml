@@ -1,0 +1,145 @@
+module Dot = Dsm_vclock.Dot
+module Vector_clock = Dsm_vclock.Vector_clock
+
+module Op_map = Map.Make (struct
+  type t = Operation.t
+
+  let compare = Operation.compare
+end)
+
+type t = {
+  history : History.t;
+  ops : Operation.t array;  (* index -> operation, History.ops order *)
+  index : int Op_map.t;  (* operation -> index *)
+  reach : Bitset.t array;  (* reach.(i) = indices strictly reachable from i *)
+}
+
+let compute history =
+  (match History.validate history with
+  | Ok () -> ()
+  | Error vs ->
+      let msg =
+        Format.asprintf "Causal_order.compute: ill-formed history: %a"
+          (Format.pp_print_list ~pp_sep:Format.pp_print_space
+             History.pp_violation)
+          vs
+      in
+      invalid_arg msg);
+  let ops = Array.of_list (History.ops history) in
+  let nops = Array.length ops in
+  let index =
+    Array.to_seqi ops
+    |> Seq.fold_left (fun m (i, op) -> Op_map.add op i m) Op_map.empty
+  in
+  (* direct edges: immediate process-order successor + read-from *)
+  let succs = Array.make nops [] in
+  let add_edge i j = succs.(i) <- j :: succs.(i) in
+  for p = 0 to History.n_processes history - 1 do
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          add_edge (Op_map.find a index) (Op_map.find b index);
+          chain rest
+      | [ _ ] | [] -> ()
+    in
+    chain (History.local history p)
+  done;
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Operation.Read { read_from = Some dot; _ } -> (
+          match History.find_write history dot with
+          | Some w -> add_edge (Op_map.find (Operation.Write w) index) i
+          | None -> assert false (* validate ruled this out *))
+      | Operation.Read _ | Operation.Write _ -> ())
+    ops;
+  (* transitive closure by memoized DFS over the DAG:
+     reach(i) = ∪_{j ∈ succs(i)} ({j} ∪ reach(j)) *)
+  let reach = Array.make nops (Bitset.create 0) in
+  let state = Array.make nops `White in
+  let rec visit i =
+    match state.(i) with
+    | `Done -> ()
+    | `Grey ->
+        (* process order + read-from cannot form a cycle in a
+           well-formed history of sequential processes; a cycle would
+           mean a read returning a value written after it *)
+        invalid_arg "Causal_order.compute: cyclic causality (corrupt history)"
+    | `White ->
+        state.(i) <- `Grey;
+        let row = Bitset.create nops in
+        List.iter
+          (fun j ->
+            visit j;
+            Bitset.set row j;
+            Bitset.union_into row reach.(j))
+          succs.(i);
+        reach.(i) <- row;
+        state.(i) <- `Done
+  in
+  for i = 0 to nops - 1 do
+    visit i
+  done;
+  { history; ops; index; reach }
+
+let history t = t.history
+
+let idx t op =
+  match Op_map.find_opt op t.index with
+  | Some i -> i
+  | None -> raise Not_found
+
+let precedes t o1 o2 =
+  let i = idx t o1 and j = idx t o2 in
+  i <> j && Bitset.mem t.reach.(i) j
+
+let concurrent t o1 o2 =
+  (not (Operation.equal o1 o2)) && (not (precedes t o1 o2))
+  && not (precedes t o2 o1)
+
+let causal_past t op =
+  let j = idx t op in
+  let acc = ref [] in
+  Array.iteri
+    (fun i o -> if i <> j && Bitset.mem t.reach.(i) j then acc := o :: !acc)
+    t.ops;
+  List.rev !acc
+
+let writes_in_past t op =
+  List.filter_map Operation.as_write (causal_past t op)
+
+let write_op t dot =
+  match History.find_write t.history dot with
+  | Some w -> Operation.Write w
+  | None -> raise Not_found
+
+let write_precedes t d1 d2 = precedes t (write_op t d1) (write_op t d2)
+let write_concurrent t d1 d2 = concurrent t (write_op t d1) (write_op t d2)
+
+let true_write_co t (w : Operation.write) =
+  let n = History.n_processes t.history in
+  let v = Vector_clock.create n in
+  List.iter
+    (fun (w' : Operation.write) ->
+      let p = Dot.replica w'.wdot in
+      if Dot.seq w'.wdot > Vector_clock.get v p then
+        Vector_clock.set v p (Dot.seq w'.wdot))
+    (writes_in_past t (Operation.Write w));
+  (* the issuer component counts w itself (Observation 2) *)
+  let p = Dot.replica w.wdot in
+  if Dot.seq w.wdot > Vector_clock.get v p then
+    Vector_clock.set v p (Dot.seq w.wdot);
+  v
+
+let related_write_pairs t =
+  let ws = History.writes t.history in
+  List.concat_map
+    (fun (w : Operation.write) ->
+      List.filter_map
+        (fun (w' : Operation.write) ->
+          if
+            (not (Dot.equal w.wdot w'.wdot))
+            && precedes t (Operation.Write w) (Operation.Write w')
+          then Some (w, w')
+          else None)
+        ws)
+    ws

@@ -1,0 +1,54 @@
+(** The causal order [↦co] of a history (§2).
+
+    [↦co] is the transitive closure of process order ([↦poᵢ]) and the
+    read-from relation ([↦ro]). This module computes it exactly, as a
+    dense reachability matrix over the history's operations, independent
+    of any protocol — it is the ground truth against which protocol runs
+    are checked (safety, optimality) and against which the [Write_co]
+    vector system is validated (Theorems 1–2).
+
+    Complexity: O(ops² / word) time and O(ops²) bits of space; intended
+    for histories up to a few thousand operations. Larger experiment
+    runs are checked through the vector characterization instead (see
+    {!true_write_co} and the runtime checker). *)
+
+type t
+
+val compute : History.t -> t
+(** @raise Invalid_argument if the history fails
+    {!History.validate} (a dangling read-from would make [↦co]
+    meaningless). *)
+
+val history : t -> History.t
+
+val precedes : t -> Operation.t -> Operation.t -> bool
+(** [precedes co o1 o2] iff [o1 ↦co o2] (irreflexive).
+    @raise Not_found if an operation is not part of the history. *)
+
+val concurrent : t -> Operation.t -> Operation.t -> bool
+(** [o1 ∥co o2]: distinct and unrelated. *)
+
+val causal_past : t -> Operation.t -> Operation.t list
+(** [↓(o, ↦co)], deterministically ordered as {!History.ops}. *)
+
+val writes_in_past : t -> Operation.t -> Operation.write list
+(** The write operations of the causal past — the set whose applies
+    form [𝒳_co-safe] (Definition 4). *)
+
+val write_precedes : t -> Dsm_vclock.Dot.t -> Dsm_vclock.Dot.t -> bool
+(** [↦co] restricted to writes, by identity.
+    @raise Not_found if either dot is absent from the history. *)
+
+val write_concurrent : t -> Dsm_vclock.Dot.t -> Dsm_vclock.Dot.t -> bool
+
+val true_write_co : t -> Operation.write -> Dsm_vclock.Vector_clock.t
+(** The ground-truth [Write_co] timestamp of a write [w]: component [j]
+    counts the writes of [p_j] in [↓(w, ↦co)], plus [w] itself for the
+    issuer component. By Theorems 1–2 this must coincide with the vector
+    the OptP protocol assigns to [w]; the test-suite checks exactly
+    that. *)
+
+val related_write_pairs :
+  t -> (Operation.write * Operation.write) list
+(** All ordered pairs [(w, w')] with [w ↦co w'] — used by the checker's
+    safety condition. *)

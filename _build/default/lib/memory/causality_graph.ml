@@ -1,0 +1,157 @@
+module Dot = Dsm_vclock.Dot
+
+type t = {
+  co : Causal_order.t;
+  writes : Operation.write list;
+  preds : Dot.t list Dot.Map.t;  (* immediate predecessors *)
+  succs : Dot.t list Dot.Map.t;
+}
+
+let compute co =
+  let history = Causal_order.history co in
+  let writes = History.writes history in
+  let precedes (a : Operation.write) (b : Operation.write) =
+    Causal_order.precedes co (Operation.Write a) (Operation.Write b)
+  in
+  let immediate a b =
+    precedes a b
+    && not
+         (List.exists
+            (fun (c : Operation.write) ->
+              (not (Dot.equal c.wdot a.wdot))
+              && (not (Dot.equal c.wdot b.wdot))
+              && precedes a c && precedes c b)
+            writes)
+  in
+  let preds, succs =
+    List.fold_left
+      (fun (preds, succs) (b : Operation.write) ->
+        let ps =
+          List.filter_map
+            (fun (a : Operation.write) ->
+              if immediate a b then Some a.wdot else None)
+            writes
+        in
+        (* at most one immediate predecessor per process (§4.3) *)
+        let by_proc = List.map Dot.replica ps in
+        assert (List.length (List.sort_uniq Int.compare by_proc)
+                = List.length by_proc);
+        let preds = Dot.Map.add b.wdot ps preds in
+        let succs =
+          List.fold_left
+            (fun m p ->
+              Dot.Map.update p
+                (fun l -> Some (b.wdot :: Option.value l ~default:[]))
+                m)
+            succs ps
+        in
+        (preds, succs))
+      (Dot.Map.empty, Dot.Map.empty)
+      writes
+  in
+  (* normalize successor lists to deterministic order *)
+  let succs = Dot.Map.map (List.sort Dot.compare) succs in
+  { co; writes; preds; succs }
+
+let vertices t = t.writes
+
+let edges t =
+  List.concat_map
+    (fun (w : Operation.write) ->
+      List.map (fun p -> (p, w.wdot)) (Dot.Map.find w.wdot t.preds))
+    t.writes
+
+let immediate_predecessors t dot =
+  match Dot.Map.find_opt dot t.preds with
+  | Some l -> l
+  | None -> raise Not_found
+
+let immediate_successors t dot =
+  if not (Dot.Map.mem dot t.preds) then raise Not_found;
+  Option.value (Dot.Map.find_opt dot t.succs) ~default:[]
+
+let roots t =
+  List.filter_map
+    (fun (w : Operation.write) ->
+      if Dot.Map.find w.wdot t.preds = [] then Some w.wdot else None)
+    t.writes
+
+let sinks t =
+  List.filter_map
+    (fun (w : Operation.write) ->
+      if immediate_successors t w.wdot = [] then Some w.wdot else None)
+    t.writes
+
+let topological t =
+  (* writes sorted by causal past size is a linear extension; refine by
+     Kahn for exactness, using dot order as deterministic tie-break *)
+  let remaining = ref t.writes and out = ref [] in
+  let placed = ref Dot.Set.empty in
+  while !remaining <> [] do
+    let ready, blocked =
+      List.partition
+        (fun (w : Operation.write) ->
+          List.for_all
+            (fun p -> Dot.Set.mem p !placed)
+            (Dot.Map.find w.wdot t.preds))
+        !remaining
+    in
+    assert (ready <> []);
+    let ready =
+      List.sort
+        (fun (a : Operation.write) (b : Operation.write) ->
+          Dot.compare a.wdot b.wdot)
+        ready
+    in
+    List.iter
+      (fun (w : Operation.write) -> placed := Dot.Set.add w.wdot !placed)
+      ready;
+    out := List.rev_append ready !out;
+    remaining := blocked
+  done;
+  List.rev !out
+
+let longest_path_length t =
+  let depth = ref Dot.Map.empty in
+  List.iter
+    (fun (w : Operation.write) ->
+      let d =
+        List.fold_left
+          (fun acc p -> max acc (1 + Dot.Map.find p !depth))
+          0
+          (Dot.Map.find w.wdot t.preds)
+      in
+      depth := Dot.Map.add w.wdot d !depth)
+    (topological t);
+  Dot.Map.fold (fun _ d acc -> max acc d) !depth 0
+
+let write_label t dot =
+  match History.find_write (Causal_order.history t.co) dot with
+  | Some w -> Operation.to_string (Operation.Write w)
+  | None -> Dot.to_string dot
+
+let to_graphviz t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph write_causality {\n";
+  List.iter
+    (fun (w : Operation.write) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\";\n" (write_label t w.wdot)))
+    t.writes;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (write_label t a)
+           (write_label t b)))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (a, b) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s -> %s" (write_label t a) (write_label t b))
+    (edges t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** The write causality graph (§4.3).
+
+    A DAG whose vertices are the writes of a history, with an edge
+    [w → w'] exactly when [w ↦co⁰ w'] — i.e. [w ↦co w'] with no write
+    causally interposed (the covering relation of [↦co] restricted to
+    writes). The paper uses this graph in the correctness proof of OptP;
+    here it also powers Figure 7's reproduction and is exposed for
+    analysis (each write has at most [n] immediate predecessors, one per
+    process — we assert this invariant). *)
+
+type t
+
+val compute : Causal_order.t -> t
+
+val vertices : t -> Operation.write list
+(** Deterministic order ({!History.writes}). *)
+
+val edges : t -> (Dsm_vclock.Dot.t * Dsm_vclock.Dot.t) list
+(** [(w, w')] with [w] an immediate predecessor of [w']. *)
+
+val immediate_predecessors : t -> Dsm_vclock.Dot.t -> Dsm_vclock.Dot.t list
+(** @raise Not_found if the dot is not a write of the history. *)
+
+val immediate_successors : t -> Dsm_vclock.Dot.t -> Dsm_vclock.Dot.t list
+
+val roots : t -> Dsm_vclock.Dot.t list
+(** Writes with no predecessor. *)
+
+val sinks : t -> Dsm_vclock.Dot.t list
+
+val longest_path_length : t -> int
+(** Number of edges on a longest path — the "causal depth" of the
+    history; 0 for an antichain of writes. *)
+
+val topological : t -> Operation.write list
+(** A deterministic linear extension of the graph. *)
+
+val to_graphviz : t -> string
+(** DOT-format rendering (for documentation and debugging). *)
+
+val pp : Format.formatter -> t -> unit
+(** Edge list in paper notation, e.g. [w1(x1)a -> w2(x2)b]. *)

@@ -1,0 +1,51 @@
+module Dot = Dsm_vclock.Dot
+module Vector_clock = Dsm_vclock.Vector_clock
+
+type apply_event = { at_proc : int; write : Dot.t }
+
+let co_safe co { at_proc = _; write } =
+  let history = Causal_order.history co in
+  match History.find_write history write with
+  | None -> raise Not_found
+  | Some w ->
+      Causal_order.writes_in_past co (Operation.Write w)
+      |> List.map (fun (w' : Operation.write) -> w'.wdot)
+
+let anbkh ~send_vt ~writes { at_proc = _; write } =
+  let vt_w = send_vt write in
+  List.filter
+    (fun w' ->
+      (not (Dot.equal w' write))
+      &&
+      (* send(w') → send(w) iff w's send timestamp already counts w''s
+         send: component test at w''s issuer *)
+      Dot.seq w' <= Vector_clock.get vt_w (Dot.replica w'))
+    writes
+
+let all_apply_events co =
+  let history = Causal_order.history co in
+  let n = History.n_processes history in
+  List.concat_map
+    (fun (w : Operation.write) ->
+      List.init n (fun k -> { at_proc = k; write = w.wdot }))
+    (History.writes history)
+
+let pp_write_of ~history ppf dot =
+  match History.find_write history dot with
+  | Some w -> Operation.pp ppf (Operation.Write w)
+  | None -> Dot.pp ppf dot
+
+let pp_apply_event ~history ppf { at_proc; write } =
+  Format.fprintf ppf "apply_%d(%a)" (at_proc + 1) (pp_write_of ~history)
+    write
+
+let pp_set ~history ~at_proc ppf dots =
+  match dots with
+  | [] -> Format.pp_print_string ppf "∅"
+  | _ ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf d ->
+             pp_apply_event ~history ppf { at_proc; write = d }))
+        dots

@@ -1,0 +1,52 @@
+(** Enabling-event sets (§3.3–3.5).
+
+    For an apply event [apply_k(w)], the paper defines:
+
+    - [𝒳_co-safe(apply_k(w))] — the applies, at [p_k], of every write in
+      [↓(w, ↦co)] (Definition 4): the {e minimal} enabling set any safe
+      protocol must respect;
+    - [𝒳_ANBKH(apply_k(w))] — the applies, at [p_k], of every write
+      whose send happened-before [w]'s send (§3.6): what causal message
+      delivery enforces.
+
+    A safe protocol is write-delay optimal iff the two coincide for
+    every event (Definition 5). This module computes both sets
+    symbolically (as lists of write dots — the [apply_k] wrapper is
+    implied by the process argument) so the bench harness can print the
+    paper's Tables 1 and 2 and the checker can audit real runs. *)
+
+type apply_event = { at_proc : int; write : Dsm_vclock.Dot.t }
+(** The event [apply_{at_proc}(write)]. *)
+
+val co_safe : Causal_order.t -> apply_event -> Dsm_vclock.Dot.t list
+(** Writes whose apply (at the same process) belongs to
+    [𝒳_co-safe]; deterministic order.
+    @raise Not_found if the write is not in the history. *)
+
+val anbkh :
+  send_vt:(Dsm_vclock.Dot.t -> Dsm_vclock.Vector_clock.t) ->
+  writes:Dsm_vclock.Dot.t list ->
+  apply_event ->
+  Dsm_vclock.Dot.t list
+(** [anbkh ~send_vt ~writes e] — [send_vt w] must be the Fidge–Mattern
+    vector timestamp of [send(w)] in the run under analysis (counting
+    write-sends as the relevant events, as ANBKH does). [w'] is in the
+    set iff [send(w') → send(w)], i.e. [send_vt w' ≤ send_vt w]
+    component-wise with [w' ≠ w] — equivalently
+    [send_vt w' [j] ≤ send_vt w [j]] at the issuer [j] of [w']. *)
+
+val all_apply_events : Causal_order.t -> apply_event list
+(** Every [apply_k(w)] of the history: all writes × all processes, in
+    table order (write-major, as in the paper's Tables 1–2). *)
+
+val pp_apply_event :
+  history:History.t -> Format.formatter -> apply_event -> unit
+(** [apply_1(w1(x1)a)] — paper notation. *)
+
+val pp_set :
+  history:History.t ->
+  at_proc:int ->
+  Format.formatter ->
+  Dsm_vclock.Dot.t list ->
+  unit
+(** Renders [{apply_1(w1(x1)a), apply_1(w2(x2)b)}] (or [∅]). *)

@@ -1,0 +1,109 @@
+module Dot = Dsm_vclock.Dot
+
+type t = {
+  locals : Operation.t list array;  (* indexed by process id *)
+  all : Operation.t list;
+  writes : Operation.write list;
+  by_dot : Operation.write Dot.Map.t;
+  n_vars : int;
+}
+
+let of_locals locals_list =
+  let n = List.length locals_list in
+  let seen = Array.make (max n 1) false in
+  List.iter
+    (fun lh ->
+      let p = Local_history.proc lh in
+      if p < 0 || p >= n then
+        invalid_arg
+          (Printf.sprintf
+             "History.of_locals: process id %d outside 0..%d" p (n - 1));
+      if seen.(p) then
+        invalid_arg
+          (Printf.sprintf "History.of_locals: duplicate process id %d" p);
+      seen.(p) <- true)
+    locals_list;
+  let locals = Array.make (max n 1) [] in
+  List.iter
+    (fun lh -> locals.(Local_history.proc lh) <- Local_history.ops lh)
+    locals_list;
+  let locals = if n = 0 then [||] else Array.sub locals 0 n in
+  let all = List.concat (Array.to_list locals) in
+  let writes = List.filter_map Operation.as_write all in
+  let by_dot =
+    List.fold_left
+      (fun m (w : Operation.write) -> Dot.Map.add w.wdot w m)
+      Dot.Map.empty writes
+  in
+  let n_vars =
+    List.fold_left (fun acc op -> max acc (Operation.var op + 1)) 0 all
+  in
+  { locals; all; writes; by_dot; n_vars }
+
+let n_processes t = Array.length t.locals
+let n_variables t = t.n_vars
+
+let local t i =
+  if i < 0 || i >= Array.length t.locals then
+    invalid_arg "History.local: process id out of range";
+  t.locals.(i)
+
+let ops t = t.all
+let op_count t = List.length t.all
+let writes t = t.writes
+let write_count t = List.length t.writes
+let find_write t dot = Dot.Map.find_opt dot t.by_dot
+let reads t = List.filter_map Operation.as_read t.all
+
+type violation =
+  | Dangling_read_from of Operation.read
+  | Read_from_wrong_variable of Operation.read * Operation.write
+  | Read_from_wrong_value of Operation.read * Operation.write
+  | Bot_read_with_value of Operation.read
+
+let validate t =
+  let check_read acc (r : Operation.read) =
+    match r.read_from with
+    | None -> (
+        match r.rvalue with
+        | Operation.Bot -> acc
+        | Operation.Val _ -> Bot_read_with_value r :: acc)
+    | Some dot -> (
+        match find_write t dot with
+        | None -> Dangling_read_from r :: acc
+        | Some w ->
+            if w.wvar <> r.rvar then Read_from_wrong_variable (r, w) :: acc
+            else if r.rvalue <> Operation.Val w.wvalue then
+              Read_from_wrong_value (r, w) :: acc
+            else acc)
+  in
+  match List.fold_left check_read [] (reads t) with
+  | [] -> Ok ()
+  | vs -> Error (List.rev vs)
+
+let pp_violation ppf = function
+  | Dangling_read_from r ->
+      Format.fprintf ppf "read %a: read_from names an absent write"
+        Operation.pp (Operation.Read r)
+  | Read_from_wrong_variable (r, w) ->
+      Format.fprintf ppf "read %a reads-from %a: different variables"
+        Operation.pp (Operation.Read r) Operation.pp (Operation.Write w)
+  | Read_from_wrong_value (r, w) ->
+      Format.fprintf ppf "read %a reads-from %a: value mismatch"
+        Operation.pp (Operation.Read r) Operation.pp (Operation.Write w)
+  | Bot_read_with_value r ->
+      Format.fprintf ppf "read %a has no read_from but a non-⊥ value"
+        Operation.pp (Operation.Read r)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i ops ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "h%d : %a" (i + 1)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           Operation.pp)
+        ops)
+    t.locals;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** Global histories (the paper's [Ĥ = (H, ↦co)], data part).
+
+    A history is the collection of the [n] local histories, one per
+    process. This module stores the collection and provides lookup and
+    well-formedness validation; the order-theoretic part ([↦co]) is
+    computed by {!Causal_order}. *)
+
+type t
+
+val of_locals : Local_history.t list -> t
+(** The local histories must carry distinct process ids exactly
+    [0..n-1] (any list order).
+    @raise Invalid_argument otherwise. *)
+
+val n_processes : t -> int
+
+val n_variables : t -> int
+(** One more than the largest variable index mentioned; 0 for an empty
+    history. *)
+
+val local : t -> int -> Operation.t list
+(** Operations of process [i] in process order.
+    @raise Invalid_argument on bad process id. *)
+
+val ops : t -> Operation.t list
+(** All operations, deterministically ordered: by process id, then
+    process order. *)
+
+val op_count : t -> int
+val writes : t -> Operation.write list
+(** All writes, same deterministic order. *)
+
+val write_count : t -> int
+
+val find_write : t -> Dsm_vclock.Dot.t -> Operation.write option
+
+val reads : t -> Operation.read list
+
+type violation =
+  | Dangling_read_from of Operation.read
+      (** [read_from] names a write that is not in the history. *)
+  | Read_from_wrong_variable of Operation.read * Operation.write
+  | Read_from_wrong_value of Operation.read * Operation.write
+  | Bot_read_with_value of Operation.read
+      (** A read with no [read_from] must return ⊥ (the third clause of
+          the paper's [↦ro] definition). *)
+
+val validate : t -> (unit, violation list) result
+(** Checks the structural conditions on [↦ro] from §2. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit
+(** All local histories, one per line, paper notation. *)

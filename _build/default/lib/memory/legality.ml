@@ -1,0 +1,68 @@
+type illegal_read = { read : Operation.read; reason : reason }
+
+and reason =
+  | No_write_in_past
+  | Stale_value of Operation.write
+  | Bot_after_write of Operation.write
+
+let writes_on_var_in_past co (r : Operation.read) =
+  List.filter
+    (fun (w : Operation.write) -> w.wvar = r.rvar)
+    (Causal_order.writes_in_past co (Operation.Read r))
+
+let check_read co (r : Operation.read) =
+  let past_on_var = writes_on_var_in_past co r in
+  match r.read_from with
+  | None -> (
+      (* read of ⊥: legal iff no write on the variable causally
+         precedes the read *)
+      match past_on_var with
+      | [] -> Ok ()
+      | w :: _ -> Error { read = r; reason = Bot_after_write w })
+  | Some dot -> (
+      match
+        List.find_opt
+          (fun (w : Operation.write) -> Dsm_vclock.Dot.equal w.wdot dot)
+          past_on_var
+      with
+      | None -> Error { read = r; reason = No_write_in_past }
+      | Some w -> (
+          (* interposition: w ↦co w' ↦co r with w' on the same variable *)
+          let interposed =
+            List.find_opt
+              (fun (w' : Operation.write) ->
+                (not (Dsm_vclock.Dot.equal w'.wdot w.wdot))
+                && Causal_order.precedes co (Operation.Write w)
+                     (Operation.Write w'))
+              past_on_var
+          in
+          match interposed with
+          | None -> Ok ()
+          | Some w' -> Error { read = r; reason = Stale_value w' }))
+
+let check co =
+  let history = Causal_order.history co in
+  let errs =
+    List.filter_map
+      (fun r ->
+        match check_read co r with Ok () -> None | Error e -> Some e)
+      (History.reads history)
+  in
+  match errs with [] -> Ok () | _ -> Error errs
+
+let is_causally_consistent co = Result.is_ok (check co)
+
+let pp_illegal_read ppf { read; reason } =
+  match reason with
+  | No_write_in_past ->
+      Format.fprintf ppf
+        "%a is illegal: no causally preceding write produced its value"
+        Operation.pp (Operation.Read read)
+  | Stale_value w' ->
+      Format.fprintf ppf
+        "%a is illegal: it is stale, %a is causally interposed"
+        Operation.pp (Operation.Read read) Operation.pp (Operation.Write w')
+  | Bot_after_write w ->
+      Format.fprintf ppf
+        "%a is illegal: returned ⊥ although %a causally precedes it"
+        Operation.pp (Operation.Read read) Operation.pp (Operation.Write w)

@@ -1,0 +1,34 @@
+(** Legal reads and causally consistent histories (Definitions 1–2).
+
+    A read [r(x)v] is {e legal} when some write [w(x)v] satisfies
+    [w ↦co r] and no other write [w'(x)] is interposed:
+    [w ↦co w'(x) ↦co r]. A history is causally consistent iff every
+    read is legal. This checker consumes the exact [↦co] computed by
+    {!Causal_order}, so it is protocol-independent: it validates runs of
+    OptP, ANBKH and any other implementation on equal terms. *)
+
+type illegal_read = {
+  read : Operation.read;
+  reason : reason;
+}
+
+and reason =
+  | No_write_in_past
+      (** The read returned a non-⊥ value but no write [w(x)v] with
+          [w ↦co r] exists. *)
+  | Stale_value of Operation.write
+      (** A fresher write on the same variable is causally interposed
+          between the read-from write and the read — the carried write
+          is the interposed one. *)
+  | Bot_after_write of Operation.write
+      (** The read returned ⊥ although the carried write on the same
+          variable causally precedes it. *)
+
+val check_read : Causal_order.t -> Operation.read -> (unit, illegal_read) result
+
+val check : Causal_order.t -> (unit, illegal_read list) result
+(** Definition 2: all reads legal. *)
+
+val is_causally_consistent : Causal_order.t -> bool
+
+val pp_illegal_read : Format.formatter -> illegal_read -> unit

@@ -1,0 +1,45 @@
+type t = {
+  proc : int;
+  mutable rev_ops : Operation.t list;
+  mutable next_write_seq : int;
+  mutable next_read_slot : int;
+}
+
+let create ~proc =
+  if proc < 0 then invalid_arg "Local_history.create: negative process id";
+  { proc; rev_ops = []; next_write_seq = 1; next_read_slot = 0 }
+
+let proc t = t.proc
+
+let add_write t ~var ~value =
+  let op = Operation.write ~proc:t.proc ~seq:t.next_write_seq ~var ~value in
+  t.next_write_seq <- t.next_write_seq + 1;
+  t.rev_ops <- op :: t.rev_ops;
+  match Operation.as_write op with Some w -> w | None -> assert false
+
+let add_read t ~var ~value ~read_from =
+  let op =
+    Operation.read ~proc:t.proc ~slot:t.next_read_slot ~var ~value ~read_from
+  in
+  t.next_read_slot <- t.next_read_slot + 1;
+  t.rev_ops <- op :: t.rev_ops;
+  match Operation.as_read op with Some r -> r | None -> assert false
+
+let ops t = List.rev t.rev_ops
+let length t = List.length t.rev_ops
+let write_count t = t.next_write_seq - 1
+
+let nth t i =
+  let l = ops t in
+  match List.nth_opt l i with
+  | Some op -> op
+  | None -> invalid_arg "Local_history.nth: index out of bounds"
+
+let writes t = List.filter_map Operation.as_write (ops t)
+
+let pp ppf t =
+  Format.fprintf ppf "h%d : %a" (t.proc + 1)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Operation.pp)
+    (ops t)

@@ -1,0 +1,43 @@
+(** Local history builder (the paper's [h_i]).
+
+    A mutable builder that records the operations of one sequential
+    process in process order ([↦poᵢ]), assigning write sequence numbers
+    and read slots automatically. Builders are assembled into a global
+    {!History.t}. *)
+
+type t
+
+val create : proc:int -> t
+(** @raise Invalid_argument on negative process id. *)
+
+val proc : t -> int
+
+val add_write : t -> var:int -> value:int -> Operation.write
+(** Appends the next write of this process; its dot sequence number is
+    one more than the previous write's (1-based, per Observation 2). *)
+
+val add_read :
+  t ->
+  var:int ->
+  value:Operation.value ->
+  read_from:Dsm_vclock.Dot.t option ->
+  Operation.read
+(** Appends a read. [read_from] identifies the write whose value is
+    returned ([None] for the initial value ⊥); consistency between
+    [value] and the target write is checked by {!History.validate}, not
+    here. *)
+
+val ops : t -> Operation.t list
+(** Process order. *)
+
+val length : t -> int
+val write_count : t -> int
+
+val nth : t -> int -> Operation.t
+(** @raise Invalid_argument if out of bounds. *)
+
+val writes : t -> Operation.write list
+(** Process order. *)
+
+val pp : Format.formatter -> t -> unit
+(** [h1 : w1(x1)a; r1(x2)b] — the paper's history notation. *)

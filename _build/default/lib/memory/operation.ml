@@ -1,0 +1,65 @@
+module Dot = Dsm_vclock.Dot
+
+type value = Bot | Val of int
+
+type write = { wdot : Dot.t; wvar : int; wvalue : int }
+
+type read = {
+  rproc : int;
+  rslot : int;
+  rvar : int;
+  rvalue : value;
+  read_from : Dot.t option;
+}
+
+type t = Write of write | Read of read
+
+let write ~proc ~seq ~var ~value =
+  if var < 0 then invalid_arg "Operation.write: negative variable index";
+  Write { wdot = Dot.make ~replica:proc ~seq; wvar = var; wvalue = value }
+
+let read ~proc ~slot ~var ~value ~read_from =
+  if proc < 0 then invalid_arg "Operation.read: negative process id";
+  if slot < 0 then invalid_arg "Operation.read: negative slot";
+  if var < 0 then invalid_arg "Operation.read: negative variable index";
+  Read { rproc = proc; rslot = slot; rvar = var; rvalue = value; read_from }
+
+let proc = function Write w -> Dot.replica w.wdot | Read r -> r.rproc
+let var = function Write w -> w.wvar | Read r -> r.rvar
+let is_write = function Write _ -> true | Read _ -> false
+let is_read = function Read _ -> true | Write _ -> false
+let as_write = function Write w -> Some w | Read _ -> None
+let as_read = function Read r -> Some r | Write _ -> None
+
+let compare a b =
+  match (a, b) with
+  | Write wa, Write wb -> Dot.compare wa.wdot wb.wdot
+  | Read ra, Read rb ->
+      let c = Int.compare ra.rproc rb.rproc in
+      if c <> 0 then c else Int.compare ra.rslot rb.rslot
+  | Write _, Read _ -> -1
+  | Read _, Write _ -> 1
+
+let equal a b = compare a b = 0
+
+(* Paper examples use single-letter values a, b, c, ...; print integers
+   0..25 as letters so our output matches the paper's notation. *)
+let pp_int_value ppf v =
+  if v >= 0 && v < 26 then
+    Format.pp_print_char ppf (Char.chr (Char.code 'a' + v))
+  else Format.pp_print_int ppf v
+
+let pp_value ppf = function
+  | Bot -> Format.pp_print_string ppf "⊥"
+  | Val v -> pp_int_value ppf v
+
+let pp ppf = function
+  | Write w ->
+      Format.fprintf ppf "w%d(x%d)%a"
+        (Dot.replica w.wdot + 1)
+        (w.wvar + 1) pp_int_value w.wvalue
+  | Read r ->
+      Format.fprintf ppf "r%d(x%d)%a" (r.rproc + 1) (r.rvar + 1) pp_value
+        r.rvalue
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,59 @@
+(** Read and write operations of the shared-memory model (§2).
+
+    A write [w_i(x_h)v] is identified by its {!Dsm_vclock.Dot.t} — the pair
+    (issuing process, per-process write sequence number) — matching the
+    paper's Observation 2. A read [r_i(x_h)v] is identified by its
+    position in the issuing process's local history, and records which
+    write it returned ([read_from]): in an implementation we always know
+    the producing write, so the read-from relation [↦ro] is represented
+    exactly rather than reconstructed from values (the paper assumes
+    this is unambiguous; see the conditions on [↦ro] in §2). *)
+
+type value = Bot | Val of int
+(** [Bot] is the initial value ⊥ of every memory location. *)
+
+type write = {
+  wdot : Dsm_vclock.Dot.t;  (** identity: (issuing process, 1-based write seq) *)
+  wvar : int;  (** memory location index, 0-based *)
+  wvalue : int;
+}
+
+type read = {
+  rproc : int;
+  rslot : int;  (** 0-based position among the reads of [rproc] *)
+  rvar : int;
+  rvalue : value;
+  read_from : Dsm_vclock.Dot.t option;
+      (** The write this read returned, [None] when it read ⊥. *)
+}
+
+type t = Write of write | Read of read
+
+val write : proc:int -> seq:int -> var:int -> value:int -> t
+val read :
+  proc:int -> slot:int -> var:int -> value:value ->
+  read_from:Dsm_vclock.Dot.t option -> t
+
+val proc : t -> int
+(** Issuing process. *)
+
+val var : t -> int
+
+val is_write : t -> bool
+val is_read : t -> bool
+
+val as_write : t -> write option
+val as_read : t -> read option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order on operation identities (writes by dot, reads by
+    (proc, slot); writes before reads arbitrarily). *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation: [w1(x1)a] / [r2(x1)a], with 1-based process ids and
+    variable names [x1..xm]. Integer values are printed as letters
+    [a..z] when in range, to mirror the paper's examples. *)
+
+val to_string : t -> string
+val pp_value : Format.formatter -> value -> unit

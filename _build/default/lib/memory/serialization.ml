@@ -1,0 +1,151 @@
+module Dot = Dsm_vclock.Dot
+
+type witness = Operation.t list
+
+let is_legal_sequence seq =
+  let store = Hashtbl.create 8 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Operation.Write w ->
+          Hashtbl.replace store w.wvar w.wdot;
+          true
+      | Operation.Read r -> (
+          match (Hashtbl.find_opt store r.rvar, r.read_from) with
+          | None, None -> true
+          | Some d, Some d' -> Dot.equal d d'
+          | None, Some _ | Some _, None -> false))
+    seq
+
+let serialize_for ?(max_steps = 200_000) co ~proc =
+  let history = Causal_order.history co in
+  if proc < 0 || proc >= History.n_processes history then
+    invalid_arg "Serialization.serialize_for: process id out of range";
+  (* H_{i+w}: p_i's operations plus every write of other processes *)
+  let ops =
+    Array.of_list
+      (History.local history proc
+      @ List.filter_map
+          (fun (w : Operation.write) ->
+            if Dot.replica w.wdot = proc then None
+            else Some (Operation.Write w))
+          (History.writes history))
+  in
+  let k = Array.length ops in
+  (* predecessor lists within the subset *)
+  let preds =
+    Array.init k (fun i ->
+        List.filter
+          (fun j -> j <> i && Causal_order.precedes co ops.(j) ops.(i))
+          (List.init k Fun.id))
+  in
+  let placed = Array.make k false in
+  let order = ref [] in  (* placed indices, newest first *)
+  let placed_count = ref 0 in
+  let store = Hashtbl.create 8 in  (* var -> dot of last placed write *)
+  let steps = ref 0 in
+  let ready i =
+    (not placed.(i)) && List.for_all (fun j -> placed.(j)) preds.(i)
+  in
+  let read_legal (r : Operation.read) =
+    match (Hashtbl.find_opt store r.rvar, r.read_from) with
+    | None, None -> true
+    | Some d, Some d' -> Dot.equal d d'
+    | None, Some _ | Some _, None -> false
+  in
+  let place i =
+    placed.(i) <- true;
+    order := i :: !order;
+    incr placed_count
+  in
+  let unplace () =
+    match !order with
+    | i :: rest ->
+        placed.(i) <- false;
+        order := rest;
+        decr placed_count
+    | [] -> assert false
+  in
+  (* Greedily place every ready, currently-legal read. Safe: a read
+     constrains nothing downstream and deferring it only risks the
+     store moving past its value. Returns how many were placed. *)
+  let place_ready_reads () =
+    let total = ref 0 in
+    let rec pass () =
+      let changed = ref false in
+      for i = 0 to k - 1 do
+        match ops.(i) with
+        | Operation.Read r when ready i && read_legal r ->
+            place i;
+            incr total;
+            changed := true
+        | Operation.Read _ | Operation.Write _ -> ()
+      done;
+      if !changed then pass ()
+    in
+    pass ();
+    !total
+  in
+  (* invariant: [search] returns false only with placed/order/store
+     restored exactly to its entry state *)
+  let rec search () =
+    if !steps > max_steps then
+      failwith "Serialization: search budget exhausted";
+    incr steps;
+    let reads_placed = place_ready_reads () in
+    if !placed_count = k then true
+    else begin
+      let candidates =
+        List.filter
+          (fun i ->
+            match ops.(i) with
+            | Operation.Write _ -> ready i
+            | Operation.Read _ -> false)
+          (List.init k Fun.id)
+      in
+      let rec try_candidates = function
+        | [] -> false
+        | i :: rest ->
+            let w =
+              match ops.(i) with
+              | Operation.Write w -> w
+              | Operation.Read _ -> assert false
+            in
+            let previous = Hashtbl.find_opt store w.wvar in
+            place i;
+            Hashtbl.replace store w.wvar w.wdot;
+            if search () then true
+            else begin
+              unplace ();
+              (match previous with
+              | Some d -> Hashtbl.replace store w.wvar d
+              | None -> Hashtbl.remove store w.wvar);
+              try_candidates rest
+            end
+      in
+      if try_candidates candidates then true
+      else begin
+        (* undo the reads this call placed (reads touch no store state) *)
+        for _ = 1 to reads_placed do
+          unplace ()
+        done;
+        false
+      end
+    end
+  in
+  if search () then Some (List.rev_map (fun i -> ops.(i)) !order) else None
+
+let check ?max_steps co =
+  let history = Causal_order.history co in
+  let n = History.n_processes history in
+  let rec go proc acc =
+    if proc = n then Ok (List.rev acc)
+    else
+      match serialize_for ?max_steps co ~proc with
+      | Some w -> go (proc + 1) (w :: acc)
+      | None -> Error proc
+  in
+  go 0 []
+
+let is_causally_consistent ?max_steps co =
+  Result.is_ok (check ?max_steps co)

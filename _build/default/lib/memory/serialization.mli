@@ -1,0 +1,44 @@
+(** Causal consistency via serializations — the original definition.
+
+    Ahamad, Neiger, Burns, Kohli & Hutto (1995) define causal memory
+    through {e serializations}: a history [Ĥ] is causally consistent
+    iff for every process [p_i] there is a sequence [S_i] of the
+    operations in [H_{i+w}] (all of [p_i]'s operations plus {e every}
+    write) such that
+
+    - [S_i] is a linear extension of [↦co] restricted to [H_{i+w}], and
+    - [S_i] is {e legal as a sequence}: each read returns the value of
+      the latest preceding write on its variable in [S_i] (⊥ if none).
+
+    The paper under reproduction uses the equivalent per-read legality
+    of Definitions 1–2. This module implements the serialization form
+    directly — a backtracking search for a witness sequence — so the
+    two formulations can be cross-checked against each other (they must
+    agree on every history; the property suite verifies this).
+
+    Complexity: worst-case exponential (the problem is a constrained
+    topological sort), with strong pruning; intended for the moderate
+    histories used in tests and examples. *)
+
+type witness = Operation.t list
+(** A serialization [S_i] in order. *)
+
+val serialize_for :
+  ?max_steps:int -> Causal_order.t -> proc:int -> witness option
+(** [serialize_for co ~proc] searches for a legal serialization of
+    process [proc]'s operations plus all writes. [max_steps]
+    (default [200_000]) bounds the backtracking search; exceeding it
+    raises [Failure] rather than returning a wrong verdict.
+    @raise Invalid_argument on a bad process id. *)
+
+val is_causally_consistent : ?max_steps:int -> Causal_order.t -> bool
+(** True iff every process admits a witness. *)
+
+val check :
+  ?max_steps:int -> Causal_order.t -> (witness list, int) result
+(** [Ok witnesses] (one per process) or [Error proc] naming the first
+    process with no legal serialization. *)
+
+val is_legal_sequence : witness -> bool
+(** Does a sequence satisfy the sequence-legality condition? (exposed
+    for tests: every returned witness must pass it). *)

@@ -1,0 +1,107 @@
+module Dot = Dsm_vclock.Dot
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Writes_follow_reads
+  | Monotonic_writes
+
+type violation = { guarantee : guarantee; proc : int; detail : string }
+
+let pp_guarantee ppf = function
+  | Read_your_writes -> Format.pp_print_string ppf "read-your-writes"
+  | Monotonic_reads -> Format.pp_print_string ppf "monotonic-reads"
+  | Writes_follow_reads -> Format.pp_print_string ppf "writes-follow-reads"
+  | Monotonic_writes -> Format.pp_print_string ppf "monotonic-writes"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a at p%d: %s" pp_guarantee v.guarantee (v.proc + 1)
+    v.detail
+
+(* strict ↦co between two writes identified by dots *)
+let writes_precede co d1 d2 =
+  (not (Dot.equal d1 d2)) && Causal_order.write_precedes co d1 d2
+
+let check co =
+  let history = Causal_order.history co in
+  let n = History.n_processes history in
+  let m = History.n_variables history in
+  let violations = ref [] in
+  let add guarantee proc detail =
+    violations := { guarantee; proc; detail } :: !violations
+  in
+  for proc = 0 to n - 1 do
+    (* per-variable session state while scanning p's operations *)
+    let own_last_write = Array.make (max m 1) None in
+    let last_read_from = Array.make (max m 1) None in
+    let reads_so_far = ref [] in  (* sources of all previous reads *)
+    List.iter
+      (fun op ->
+        match op with
+        | Operation.Write (w : Operation.write) ->
+            (* MW: every earlier own write must causally precede this
+               one (structural in this model, checked as an invariant) *)
+            Array.iter
+              (function
+                | Some earlier
+                  when not
+                         (Dot.equal earlier w.wdot
+                         || writes_precede co earlier w.wdot) ->
+                    add Monotonic_writes proc
+                      (Format.asprintf "%a does not follow own %a" Dot.pp
+                         w.wdot Dot.pp earlier)
+                | Some _ | None -> ())
+              own_last_write;
+            (* WFR: every read source so far must causally precede it *)
+            List.iter
+              (fun src ->
+                if not (writes_precede co src w.wdot) then
+                  add Writes_follow_reads proc
+                    (Format.asprintf "%a not after read source %a" Dot.pp
+                       w.wdot Dot.pp src))
+              !reads_so_far;
+            own_last_write.(w.wvar) <- Some w.wdot
+        | Operation.Read (r : Operation.read) ->
+            (* RYW: the read must not return something strictly older
+               than this process's own last write on the variable *)
+            (match (own_last_write.(r.rvar), r.read_from) with
+            | Some own, None ->
+                add Read_your_writes proc
+                  (Format.asprintf
+                     "read of x%d returned ⊥ after own write %a"
+                     (r.rvar + 1) Dot.pp own)
+            | Some own, Some src
+              when (not (Dot.equal src own)) && writes_precede co src own ->
+                add Read_your_writes proc
+                  (Format.asprintf
+                     "read of x%d returned %a, older than own %a"
+                     (r.rvar + 1) Dot.pp src Dot.pp own)
+            | (Some _ | None), _ -> ());
+            (* MR: successive reads of a variable never go backwards *)
+            (match (last_read_from.(r.rvar), r.read_from) with
+            | Some prev, None ->
+                add Monotonic_reads proc
+                  (Format.asprintf
+                     "read of x%d returned ⊥ after reading %a" (r.rvar + 1)
+                     Dot.pp prev)
+            | Some prev, Some src
+              when (not (Dot.equal src prev)) && writes_precede co src prev
+              ->
+                add Monotonic_reads proc
+                  (Format.asprintf
+                     "read of x%d went backwards: %a after %a" (r.rvar + 1)
+                     Dot.pp src Dot.pp prev)
+            | (Some _ | None), _ -> ());
+            (match r.read_from with
+            | Some src ->
+                last_read_from.(r.rvar) <- Some src;
+                reads_so_far := src :: !reads_so_far
+            | None -> ()))
+      (History.local history proc)
+  done;
+  List.rev !violations
+
+let holds co guarantee =
+  List.for_all (fun v -> v.guarantee <> guarantee) (check co)
+
+let all_hold co = check co = []

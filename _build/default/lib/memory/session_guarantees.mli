@@ -1,0 +1,45 @@
+(** Session guarantees (Terry et al. 1994) over a history.
+
+    The four per-process session guarantees decompose causal
+    consistency from the client's point of view:
+
+    - {b Read Your Writes} (RYW): a read never returns a value older
+      than a write the same process issued earlier on that variable;
+    - {b Monotonic Reads} (MR): successive reads of a variable by one
+      process never go backwards in [↦co];
+    - {b Writes Follow Reads} (WFR): a write issued after a read is
+      ordered after the read's source write in [↦co] (and every process
+      applies them in that order);
+    - {b Monotonic Writes} (MW): a process's writes are ordered in
+      [↦co] in issue order.
+
+    A causally consistent history satisfies all four — they are
+    implied by Definitions 1–2 — so this module is a third,
+    independently-coded validator for protocol runs (alongside
+    per-read legality and serializations). Its real diagnostic value is
+    on {e broken} runs: the violated guarantee names the anomaly
+    (e.g. the eager protocol of [examples/social_timeline.ml] breaks
+    RYW-across-processes style guarantees in a way this module pins
+    down as an MR or RYW failure). *)
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Writes_follow_reads
+  | Monotonic_writes
+
+type violation = {
+  guarantee : guarantee;
+  proc : int;
+  detail : string;
+}
+
+val check : Causal_order.t -> violation list
+(** All violations across all processes (empty = all four hold). *)
+
+val holds : Causal_order.t -> guarantee -> bool
+
+val all_hold : Causal_order.t -> bool
+
+val pp_guarantee : Format.formatter -> guarantee -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,99 @@
+module Dot = Dsm_vclock.Dot
+module V = Dsm_vclock.Vector_clock
+
+type t = {
+  history : History.t;
+  of_write : V.t Dot.Map.t;
+  of_read : (int * int, V.t) Hashtbl.t;  (* (proc, slot) -> vector *)
+}
+
+let compute history =
+  (match History.validate history with
+  | Ok () -> ()
+  | Error _ -> invalid_arg "Write_vectors.compute: ill-formed history");
+  let n = History.n_processes history in
+  let pending = Array.init n (fun p -> ref (History.local history p)) in
+  let running = Array.init n (fun _ -> V.create (max n 1)) in
+  let of_write = ref Dot.Map.empty in
+  let of_read = Hashtbl.create 64 in
+  (* one step of process p: returns true on progress, false when p is
+     exhausted or blocked on a not-yet-timestamped read-from write *)
+  let step p =
+    match !(pending.(p)) with
+    | [] -> false
+    | op :: rest -> (
+        match op with
+        | Operation.Write w ->
+            V.tick running.(p) p;
+            assert (V.get running.(p) p = Dot.seq w.wdot);
+            of_write := Dot.Map.add w.wdot (V.copy running.(p)) !of_write;
+            pending.(p) := rest;
+            true
+        | Operation.Read r -> (
+            let ready =
+              match r.read_from with
+              | None -> Some ()
+              | Some d ->
+                  if Dot.Map.mem d !of_write then begin
+                    V.merge_into running.(p) (Dot.Map.find d !of_write);
+                    Some ()
+                  end
+                  else None
+            in
+            match ready with
+            | Some () ->
+                Hashtbl.replace of_read (p, r.rslot) (V.copy running.(p));
+                pending.(p) := rest;
+                true
+            | None -> false))
+  in
+  let rec round () =
+    let progress = ref false in
+    for p = 0 to n - 1 do
+      while step p do
+        progress := true
+      done
+    done;
+    if Array.exists (fun l -> !l <> []) pending then
+      if !progress then round ()
+      else
+        invalid_arg
+          "Write_vectors.compute: cyclic read-from dependencies \
+           (corrupt history)"
+  in
+  if n > 0 then round ();
+  { history; of_write = !of_write; of_read }
+
+let history t = t.history
+
+let of_write t d =
+  match Dot.Map.find_opt d t.of_write with
+  | Some v -> V.copy v
+  | None -> raise Not_found
+
+let of_read t ~proc ~slot =
+  match Hashtbl.find_opt t.of_read (proc, slot) with
+  | Some v -> V.copy v
+  | None -> raise Not_found
+
+let raw_write t d =
+  match Dot.Map.find_opt d t.of_write with
+  | Some v -> v
+  | None -> raise Not_found
+
+(* Corollary 1: w' ↦co w  ⟺  seq w' <= w.Write_co[replica w'] *)
+let write_precedes t d1 d2 =
+  (not (Dot.equal d1 d2))
+  && ignore (raw_write t d1) = ()
+  && Dot.seq d1 <= V.get (raw_write t d2) (Dot.replica d1)
+
+let write_concurrent t d1 d2 =
+  (not (Dot.equal d1 d2))
+  && (not (write_precedes t d1 d2))
+  && not (write_precedes t d2 d1)
+
+let write_precedes_read t d ~proc ~slot =
+  ignore (raw_write t d);
+  match Hashtbl.find_opt t.of_read (proc, slot) with
+  | Some rv -> Dot.seq d <= V.get rv (Dot.replica d)
+  | None -> raise Not_found

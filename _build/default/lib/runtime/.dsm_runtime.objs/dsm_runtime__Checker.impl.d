@@ -1,0 +1,1 @@
+lib/runtime/checker.ml: Array Dsm_memory Dsm_vclock Execution Format Fun Hashtbl List Option

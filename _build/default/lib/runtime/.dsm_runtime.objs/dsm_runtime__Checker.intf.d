@@ -1,0 +1,1 @@
+lib/runtime/checker.mli: Dsm_vclock Execution Format

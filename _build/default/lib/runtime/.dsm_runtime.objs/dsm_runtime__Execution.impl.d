@@ -1,0 +1,1 @@
+lib/runtime/execution.ml: Array Dsm_memory Dsm_sim Dsm_vclock Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/runtime/execution.mli: Dsm_memory Dsm_sim Dsm_vclock Format

@@ -1,0 +1,1 @@
+lib/runtime/experiment.mli: Dsm_core Dsm_sim Dsm_stats Dsm_vclock Dsm_workload Execution

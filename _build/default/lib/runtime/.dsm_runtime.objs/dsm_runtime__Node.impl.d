@@ -1,0 +1,1 @@
+lib/runtime/node.ml: Dsm_core Dsm_sim Execution List

@@ -1,0 +1,1 @@
+lib/runtime/node.mli: Dsm_core Dsm_memory Dsm_sim Dsm_vclock Execution

@@ -1,0 +1,1 @@
+lib/runtime/paper_scenarios.ml: Dsm_memory Dsm_vclock List Scripted_run

@@ -1,0 +1,1 @@
+lib/runtime/paper_scenarios.mli: Dsm_core Dsm_memory Dsm_vclock Scripted_run

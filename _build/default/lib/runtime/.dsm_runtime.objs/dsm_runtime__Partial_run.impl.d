@@ -1,0 +1,1 @@
+lib/runtime/partial_run.ml: Array Checker Dsm_core Dsm_memory Dsm_sim Dsm_workload Execution List Sim_run

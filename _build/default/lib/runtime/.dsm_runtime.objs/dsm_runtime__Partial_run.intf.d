@@ -1,0 +1,1 @@
+lib/runtime/partial_run.mli: Checker Dsm_core Dsm_memory Dsm_sim Dsm_workload Execution

@@ -1,0 +1,1 @@
+lib/runtime/reliable_run.ml: Array Dsm_core Dsm_memory Dsm_sim Dsm_workload Execution Format List Printf Sim_run

@@ -1,0 +1,1 @@
+lib/runtime/reliable_run.mli: Dsm_core Dsm_memory Dsm_sim Dsm_workload Execution Format

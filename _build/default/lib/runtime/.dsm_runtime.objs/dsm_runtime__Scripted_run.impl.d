@@ -1,0 +1,1 @@
+lib/runtime/scripted_run.ml: Array Dsm_core Dsm_memory Dsm_sim Execution Fun List Printf

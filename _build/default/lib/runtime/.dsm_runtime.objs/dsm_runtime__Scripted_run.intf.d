@@ -1,0 +1,1 @@
+lib/runtime/scripted_run.mli: Dsm_core Dsm_memory Dsm_vclock Execution

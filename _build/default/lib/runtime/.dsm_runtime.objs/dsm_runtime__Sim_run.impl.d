@@ -1,0 +1,1 @@
+lib/runtime/sim_run.ml: Array Dsm_core Dsm_memory Dsm_sim Dsm_workload Execution Format List Node Printf

@@ -1,0 +1,1 @@
+lib/runtime/timeline.ml: Array Buffer Bytes Dsm_sim Dsm_vclock Execution Float List Printf String

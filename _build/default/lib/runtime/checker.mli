@@ -1,0 +1,82 @@
+(** Protocol-independent run auditor.
+
+    Takes a recorded {!Execution.t}, reconstructs the abstract history,
+    re-derives the ground-truth causal order ([↦co]) with
+    {!Dsm_memory.Write_vectors} — never trusting the protocol's own
+    clocks — and checks each of the paper's properties:
+
+    - {b safety} (§3.4): at every process, a write is applied only
+      after every write of its causal past has been applied (or
+      logically applied by a writing-semantics skip);
+    - {b legality / causal consistency} (Definitions 1–2): every read
+      returns the most recent causally preceding write on its variable;
+    - {b delay accounting} (Definition 3): which applies were delayed,
+      and — the optimality question — whether each delay was
+      {e necessary} (some causal predecessor genuinely missing at
+      receipt time) or {e unnecessary} ("false causality": everything
+      needed was already applied, the protocol was just
+      over-conservative). Theorem 4 says OptP's unnecessary count is
+      identically 0; the tests enforce exactly that;
+    - {b completeness} (class 𝒫 membership, §3.2): every write is
+      applied at every process — writing-semantics protocols fail this
+      by design, with each miss accounted as a skip or a lost write. *)
+
+type violation =
+  | Safety of {
+      proc : int;
+      applied : Dsm_vclock.Dot.t;
+      missing : Dsm_vclock.Dot.t;
+          (** in the causal past of [applied], not yet applied *)
+    }
+  | Illegal_read of { proc : int; detail : string }
+  | Immediate_apply_marked_delayed of {
+      proc : int;
+      dot : Dsm_vclock.Dot.t;
+    }
+      (** bookkeeping bug: flagged delayed but applied at its receipt *)
+
+type delay_class = Necessary | Unnecessary
+
+type delay = {
+  dproc : int;
+  ddot : Dsm_vclock.Dot.t;
+  dclass : delay_class;
+  dblocking : Dsm_vclock.Dot.t list;
+      (** causal predecessors missing at receipt time (empty iff
+          [Unnecessary]) *)
+}
+
+type report = {
+  total_applies : int;
+  total_delays : int;
+  necessary_delays : int;
+  unnecessary_delays : int;
+  delays : delay list;
+  delays_per_proc : int array;
+  violations : violation list;
+  complete : bool;  (** class-𝒫 completeness *)
+  missing : (int * Dsm_vclock.Dot.t) list;
+      (** (proc, write) never applied there: skips and losses *)
+  lost : (int * Dsm_vclock.Dot.t) list;
+      (** the subset of [missing] with no skip event either — writes
+          that simply never arrived at their destination state, i.e. a
+          liveness failure of the protocol or driver *)
+  skipped : int;
+}
+
+val check :
+  ?replication:(proc:int -> var:int -> bool) -> Execution.t -> report
+(** [?replication] switches on partial-replication auditing: a process
+    is only expected to apply writes on locations it replicates, safety
+    requires only the {e replicated} part of a write's causal past to
+    be applied first, and delay classification counts only replicated
+    predecessors as blocking. Omitted = full replication (the paper's
+    model). *)
+
+val is_clean : report -> bool
+(** No violations and no lost writes (incompleteness by documented
+    writing-semantics skips is reported, not judged — it is a protocol
+    property, not a bug). *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,91 @@
+(** Recorded protocol runs.
+
+    An execution is the sequence [E_i] of events at each process,
+    §3.2's vocabulary: [send], [receipt], [apply], [return] — plus
+    [skip] for writing-semantics protocols. Drivers record events as
+    the simulation progresses; the {!Checker} and the experiment
+    reports read them afterwards.
+
+    Event order within a process is the paper's [<_i]; it is the
+    recording order, which the engine guarantees is timestamp-ordered. *)
+
+type kind =
+  | Send of { dot : Dsm_vclock.Dot.t; var : int; value : int }
+      (** start of propagation of a write (once per write; a token
+          batch yields one [Send] per item at flush time) *)
+  | Receipt of { dot : Dsm_vclock.Dot.t; src : int }
+  | Apply of {
+      dot : Dsm_vclock.Dot.t;
+      var : int;
+      value : int;
+      delayed : bool;  (** applied from the buffer — suffered a delay *)
+    }
+  | Skip of { dot : Dsm_vclock.Dot.t }
+      (** the write was logically overwritten here, never applied *)
+  | Return of {
+      var : int;
+      value : Dsm_memory.Operation.value;
+      read_from : Dsm_vclock.Dot.t option;
+    }
+
+type event = { proc : int; time : Dsm_sim.Sim_time.t; kind : kind }
+
+type t
+
+val create : n:int -> m:int -> t
+val n_processes : t -> int
+val n_variables : t -> int
+
+val record : t -> proc:int -> time:Dsm_sim.Sim_time.t -> kind -> unit
+(** @raise Invalid_argument on bad process id. *)
+
+val events : t -> event list
+(** Global recording order (timestamp order). *)
+
+val events_of : t -> int -> event list
+(** The sequence [E_i] of one process. *)
+
+val event_count : t -> int
+
+(** {1 Queries used by the checker and reports} *)
+
+val apply_order : t -> int -> Dsm_vclock.Dot.t list
+(** Dots applied at a process, in apply order. *)
+
+val position :
+  t -> proc:int -> (kind -> bool) -> int option
+(** Index (within [events_of proc]) of the first matching event. *)
+
+val apply_position : t -> proc:int -> dot:Dsm_vclock.Dot.t -> int option
+val receipt_position : t -> proc:int -> dot:Dsm_vclock.Dot.t -> int option
+val skip_position : t -> proc:int -> dot:Dsm_vclock.Dot.t -> int option
+
+val apply_time : t -> proc:int -> dot:Dsm_vclock.Dot.t -> Dsm_sim.Sim_time.t option
+val receipt_time : t -> proc:int -> dot:Dsm_vclock.Dot.t -> Dsm_sim.Sim_time.t option
+
+val delayed_applies : t -> (int * Dsm_vclock.Dot.t) list
+(** All [(proc, dot)] whose apply was delayed. *)
+
+val delay_count : t -> int
+val delay_count_at : t -> int -> int
+val skip_count : t -> int
+val apply_count : t -> int
+
+val writes : t -> (Dsm_vclock.Dot.t * int * int) list
+(** All writes issued in the run, as [(dot, var, value)], from the local
+    applies at their issuers; deterministic order (issuer, then seq). *)
+
+val to_history : t -> Dsm_memory.History.t
+(** Reconstructs the abstract history [Ĥ]: per process, its writes (the
+    applies at the issuer) and reads (the returns) in process order.
+    @raise Invalid_argument if a process's own-write applies are not in
+    dot-sequence order (would indicate a broken driver). *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_process : t -> int -> Format.formatter -> unit -> unit
+(** One process's event sequence in the style of the paper's Figures
+    1–2: [receipt_3(w2(x2)b) <3 apply_3(...) <3 ...]. *)
+
+val apply_latencies : t -> float list
+(** Receipt→apply latency of every remote apply that has a matching
+    receipt, in time units; immediate applies contribute 0. Single pass. *)

@@ -1,0 +1,77 @@
+module Protocol = Dsm_core.Protocol
+module Network = Dsm_sim.Network
+module Engine = Dsm_sim.Engine
+
+module Make (P : Protocol.S) = struct
+  type t = {
+    me : int;
+    proto : P.t;
+    engine : Engine.t;
+    network : P.msg Network.t;
+    execution : Execution.t;
+  }
+
+  let now t = Engine.now t.engine
+
+  let record t kind = Execution.record t.execution ~proc:t.me ~time:(now t) kind
+
+  let process_effects t (eff : P.msg Protocol.effects) =
+    (* a writing-semantics skip is the logical apply of the overwritten
+       write "immediately before" its overwriter's apply: record skips
+       first so event order reflects that *)
+    List.iter (fun dot -> record t (Execution.Skip { dot })) eff.skipped;
+    List.iter
+      (fun (a : Protocol.apply_record) ->
+        record t
+          (Execution.Apply
+             {
+               dot = a.adot;
+               var = a.avar;
+               value = a.avalue;
+               delayed = a.afrom_buffer;
+             }))
+      eff.applied;
+    List.iter
+      (fun outbound ->
+        let msg =
+          match outbound with
+          | Protocol.Broadcast m -> m
+          | Protocol.Unicast { msg; _ } -> msg
+        in
+        List.iter
+          (fun (dot, var, value) ->
+            record t (Execution.Send { dot; var; value }))
+          (P.msg_writes msg);
+        match outbound with
+        | Protocol.Broadcast m -> Network.broadcast t.network ~src:t.me m
+        | Protocol.Unicast { dst; msg } ->
+            Network.send t.network ~src:t.me ~dst msg)
+      eff.to_send
+
+  let on_delivery t ~src ~at:_ msg =
+    List.iter
+      (fun (dot, _, _) -> record t (Execution.Receipt { dot; src }))
+      (P.msg_writes msg);
+    process_effects t (P.receive t.proto ~src msg)
+
+  let create ~cfg ~me ~engine ~network ~execution =
+    let t =
+      { me; proto = P.create cfg ~me; engine; network; execution }
+    in
+    Network.set_handler network me (fun ~src ~at msg ->
+        on_delivery t ~src ~at msg);
+    t
+
+  let me t = t.me
+  let protocol t = t.proto
+
+  let write t ~var ~value =
+    let dot, eff = P.write t.proto ~var ~value in
+    process_effects t eff;
+    dot
+
+  let read t ~var =
+    let value, read_from = P.read t.proto ~var in
+    record t (Execution.Return { var; value; read_from });
+    (value, read_from)
+end

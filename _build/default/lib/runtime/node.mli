@@ -1,0 +1,30 @@
+(** A protocol instance bound to the simulator.
+
+    [Node.Make (P)] wraps one per-process state machine of protocol [P]
+    with everything a run needs: transmitting the protocol's outbound
+    messages through the simulated {!Dsm_sim.Network}, and recording
+    every [send]/[receipt]/[apply]/[skip]/[return] event into the shared
+    {!Execution.t} with the engine's current timestamp. *)
+
+module Make (P : Dsm_core.Protocol.S) : sig
+  type t
+
+  val create :
+    cfg:Dsm_core.Protocol.config ->
+    me:int ->
+    engine:Dsm_sim.Engine.t ->
+    network:P.msg Dsm_sim.Network.t ->
+    execution:Execution.t ->
+    t
+  (** Builds the node and installs its delivery handler on the
+      network. *)
+
+  val me : t -> int
+  val protocol : t -> P.t
+
+  val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t
+  (** Issue a write now: runs [P.write], transmits, records. *)
+
+  val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
+  (** Issue a read now: runs [P.read], records the [return] event. *)
+end

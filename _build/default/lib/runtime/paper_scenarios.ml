@@ -1,0 +1,131 @@
+module Dot = Dsm_vclock.Dot
+module Operation = Dsm_memory.Operation
+module Local_history = Dsm_memory.Local_history
+module History = Dsm_memory.History
+
+let n = 3
+let m = 2
+
+(* variables: x1 = 0, x2 = 1; values: a=0, b=1, c=2, d=3 *)
+let x1 = 0
+let x2 = 1
+let va = 0
+let vb = 1
+let vc = 2
+let vd = 3
+
+let w1a = Dot.make ~replica:0 ~seq:1
+let w1c = Dot.make ~replica:0 ~seq:2
+let w2b = Dot.make ~replica:1 ~seq:1
+let w3d = Dot.make ~replica:2 ~seq:1
+
+type t = {
+  label : string;
+  ops : (float * Scripted_run.action) list;
+  send_time : Dot.t -> float;
+  arrival : dot:Dot.t -> dst:int -> float;
+}
+
+(* Issue times shared by all scenarios except where noted:
+   p1 writes a at 0 and c at 2; p2 reads x1 at 5 (sees a only: c reaches
+   p2 at 5.5) and writes b at 6. *)
+let base_ops ~read3_at ~write_d_at =
+  [
+    (0., Scripted_run.Write { proc = 0; var = x1; value = va });
+    (2., Scripted_run.Write { proc = 0; var = x1; value = vc });
+    (5., Scripted_run.Read { proc = 1; var = x1 });
+    (6., Scripted_run.Write { proc = 1; var = x2; value = vb });
+    (read3_at, Scripted_run.Read { proc = 2; var = x2 });
+    (write_d_at, Scripted_run.Write { proc = 2; var = x2; value = vd });
+  ]
+
+let base_send_time ~d_at dot =
+  if Dot.equal dot w1a then 0.
+  else if Dot.equal dot w1c then 2.
+  else if Dot.equal dot w2b then 6.
+  else if Dot.equal dot w3d then d_at
+  else invalid_arg "Paper_scenarios: unknown write"
+
+(* arrival table: (dot, dst) -> absolute time; p1 and p2 columns are the
+   same everywhere, only p3's pattern differs between figures *)
+let arrival_fn ~a3 ~b3 ~c3 ~d12 ~dot ~dst =
+  let fail () =
+    invalid_arg "Paper_scenarios: arrival for an unexpected (write, dst)"
+  in
+  if Dot.equal dot w1a then
+    if dst = 1 then 1. else if dst = 2 then a3 else fail ()
+  else if Dot.equal dot w1c then
+    if dst = 1 then 5.5 else if dst = 2 then c3 else fail ()
+  else if Dot.equal dot w2b then
+    if dst = 0 then 9. else if dst = 2 then b3 else fail ()
+  else if Dot.equal dot w3d then
+    if dst = 0 || dst = 1 then d12 else fail ()
+  else fail ()
+
+let scenario ~label ~read3_at ~write_d_at ~a3 ~b3 ~c3 ~d12 =
+  {
+    label;
+    ops = base_ops ~read3_at ~write_d_at;
+    send_time = base_send_time ~d_at:write_d_at;
+    arrival = (fun ~dot ~dst -> arrival_fn ~a3 ~b3 ~c3 ~d12 ~dot ~dst);
+  }
+
+let figure1_run1 =
+  scenario ~label:"Figure 1, run (1): causal arrival order, no delay"
+    ~read3_at:12. ~write_d_at:14. ~a3:4. ~b3:8. ~c3:13. ~d12:30.
+
+let figure1_run2 =
+  scenario
+    ~label:"Figure 1, run (2): b overtakes a at p3, one necessary delay"
+    ~read3_at:12. ~write_d_at:14. ~a3:10. ~b3:8. ~c3:25. ~d12:30.
+
+let figure2 =
+  scenario
+    ~label:
+      "Figure 2: a applied, c missing when b arrives at p3 (unnecessary \
+       delay for a causal-delivery protocol)"
+    ~read3_at:12. ~write_d_at:14. ~a3:4. ~b3:8. ~c3:11. ~d12:30.
+
+let figure3 =
+  scenario
+    ~label:
+      "Figure 3: ANBKH run; send(w1c) -> send(w2b) although b depends \
+       only on a (false causality)"
+    ~read3_at:26. ~write_d_at:27. ~a3:10. ~b3:8. ~c3:25. ~d12:35.
+
+let figure6 =
+  scenario
+    ~label:"Figure 6: OptP run; b waits only for a and overtakes c at p3"
+    ~read3_at:12. ~write_d_at:14. ~a3:10. ~b3:8. ~c3:25. ~d12:30.
+
+let all = [ figure1_run1; figure1_run2; figure2; figure3; figure6 ]
+
+let run p scenario =
+  let delay ~src:_ ~dst ~dot =
+    scenario.arrival ~dot ~dst -. scenario.send_time dot
+  in
+  Scripted_run.run p ~n ~m ~ops:scenario.ops ~delay ()
+
+let h1_reference =
+  let p1 = Local_history.create ~proc:0 in
+  let wa = Local_history.add_write p1 ~var:x1 ~value:va in
+  let _wc = Local_history.add_write p1 ~var:x1 ~value:vc in
+  let p2 = Local_history.create ~proc:1 in
+  let _ =
+    Local_history.add_read p2 ~var:x1 ~value:(Operation.Val va)
+      ~read_from:(Some wa.Operation.wdot)
+  in
+  let wb = Local_history.add_write p2 ~var:x2 ~value:vb in
+  let p3 = Local_history.create ~proc:2 in
+  let _ =
+    Local_history.add_read p3 ~var:x2 ~value:(Operation.Val vb)
+      ~read_from:(Some wb.Operation.wdot)
+  in
+  let _ = Local_history.add_write p3 ~var:x2 ~value:vd in
+  History.of_locals [ p1; p2; p3 ]
+
+let h1_matches h =
+  History.n_processes h = n
+  && List.for_all
+       (fun p -> History.local h p = History.local h1_reference p)
+       [ 0; 1; 2 ]

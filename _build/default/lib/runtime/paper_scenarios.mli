@@ -1,0 +1,77 @@
+(** The paper's worked example and figure schedules.
+
+    Everything here revolves around Example 1's history [Ĥ₁]:
+
+    {v
+    h1 : w1(x1)a; w1(x1)c
+    h2 : r2(x1)a; w2(x2)b
+    h3 : r3(x2)b; w3(x2)d
+    v}
+
+    with [w1(x1)a ↦co w2(x2)b ↦co w3(x2)d], [w1(x1)a ↦co w1(x1)c], and
+    [w1(x1)c] concurrent with both [b] and [d].
+
+    Each scenario fixes the issue times of all operations and the exact
+    arrival time of every write message at every destination, matching
+    the event orders of the paper's Figures 1, 2, 3 and 6. Running a
+    protocol under a scenario with {!run} reproduces the corresponding
+    figure; the resulting executions drive Tables 1–2 and the delay
+    comparisons in the benchmark harness.
+
+    Values are encoded as [a = 0], [b = 1], [c = 2], [d = 3] (the
+    printer renders small integers as letters, so output matches the
+    paper's notation). *)
+
+val n : int
+(** 3 processes. *)
+
+val m : int
+(** 2 variables. *)
+
+(** Write identities of [Ĥ₁]. *)
+
+val w1a : Dsm_vclock.Dot.t
+val w1c : Dsm_vclock.Dot.t
+val w2b : Dsm_vclock.Dot.t
+val w3d : Dsm_vclock.Dot.t
+
+type t = {
+  label : string;
+  ops : (float * Scripted_run.action) list;
+  send_time : Dsm_vclock.Dot.t -> float;
+  arrival : dot:Dsm_vclock.Dot.t -> dst:int -> float;
+}
+
+val figure1_run1 : t
+(** No write delay at [p₃]: messages reach it in causal order. *)
+
+val figure1_run2 : t
+(** [w2(x2)b] reaches [p₃] before [w1(x1)a]: one {e necessary} delay. *)
+
+val figure2 : t
+(** [p₃] has applied [a] when [b] arrives, but [c] is still missing: a
+    non-optimal safe protocol (causal delivery) delays [b] until [c] —
+    one {e unnecessary} delay; an optimal protocol delays nothing. *)
+
+val figure3 : t
+(** The ANBKH run: [p₂] applies both [a] and [c] before writing [b]
+    (but read only [a]), so [send(w1c) → send(w2b)] — false causality.
+    Reads are issued late enough to return the [Ĥ₁] values under causal
+    delivery. *)
+
+val figure6 : t
+(** The OptP run, with the same message pattern as {!figure1_run2}:
+    [b] waits only for [a] at [p₃] and is applied before [c]. *)
+
+val all : t list
+
+val run : (module Dsm_core.Protocol.S) -> t -> Scripted_run.outcome
+(** Execute a protocol under the scenario's exact schedule. *)
+
+val h1_reference : Dsm_memory.History.t
+(** [Ĥ₁] built directly from {!Dsm_memory.Local_history} (no protocol
+    run) — the ground truth the scenario runs are compared against. *)
+
+val h1_matches : Dsm_memory.History.t -> bool
+(** Does a reconstructed history equal [Ĥ₁] (same operations, same
+    read-from edges)? *)

@@ -1,0 +1,35 @@
+(** Driver for partially replicated runs ({!Dsm_core.Opt_p_partial}).
+
+    Differences from {!Sim_run}: operations are confined to each
+    process's replicated locations (the workload's variable choices are
+    folded onto them), writes are {e multicast} to the written
+    location's replicas only, and the audit must be run with the
+    checker's replication mode (the returned {!outcome} carries the
+    predicate to pass). *)
+
+type outcome = {
+  execution : Execution.t;
+  history : Dsm_memory.History.t;
+  replication : Dsm_core.Replication.t;
+  messages_sent : int;
+  engine_steps : int;
+  end_time : float;
+  buffer_high_watermarks : int array;
+}
+
+val run :
+  replication:Dsm_core.Replication.t ->
+  spec:Dsm_workload.Spec.t ->
+  latency:Dsm_sim.Latency.t ->
+  ?seed:int ->
+  ?max_steps:int ->
+  unit ->
+  outcome
+(** [spec.n] and [spec.m] must match the replication map's dimensions.
+    Each operation's variable is remapped into the issuing process's
+    replicated set (preserving the workload's distribution shape).
+    @raise Invalid_argument on dimension mismatch.
+    @raise Failure on step-limit exhaustion. *)
+
+val check : outcome -> Checker.report
+(** The replication-aware audit of the run. *)

@@ -1,0 +1,126 @@
+module Protocol = Dsm_core.Protocol
+module Engine = Dsm_sim.Engine
+module Network = Dsm_sim.Network
+module Reliable_channel = Dsm_sim.Reliable_channel
+module Rng = Dsm_sim.Rng
+module Spec = Dsm_workload.Spec
+
+type outcome = {
+  execution : Execution.t;
+  history : Dsm_memory.History.t;
+  protocol_name : string;
+  payloads_sent : int;
+  frames_sent : int;
+  frames_dropped : int;
+  frames_duplicated : int;
+  retransmissions : int;
+  duplicates_discarded : int;
+  engine_steps : int;
+  end_time : float;
+}
+
+let run (module P : Protocol.S) ~spec ~latency ~faults
+    ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000) () =
+  let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
+  let schedule = Dsm_workload.Generator.generate spec in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let network =
+    Network.create ~engine ~rng ~n:spec.Spec.n
+      ~latency:(fun ~src:_ ~dst:_ -> latency)
+      ~faults ()
+  in
+  let channel = Reliable_channel.create ~engine ~network ~retransmit_after () in
+  let execution = Execution.create ~n:spec.Spec.n ~m:spec.Spec.m in
+  let protos = Array.init spec.Spec.n (fun me -> P.create cfg ~me) in
+  let record proc kind =
+    Execution.record execution ~proc ~time:(Engine.now engine) kind
+  in
+  let rec process proc (eff : P.msg Protocol.effects) =
+    List.iter (fun dot -> record proc (Execution.Skip { dot })) eff.skipped;
+    List.iter
+      (fun (a : Protocol.apply_record) ->
+        record proc
+          (Execution.Apply
+             {
+               dot = a.adot;
+               var = a.avar;
+               value = a.avalue;
+               delayed = a.afrom_buffer;
+             }))
+      eff.applied;
+    List.iter
+      (fun outbound ->
+        let msg =
+          match outbound with
+          | Protocol.Broadcast m -> m
+          | Protocol.Unicast { msg; _ } -> msg
+        in
+        List.iter
+          (fun (dot, var, value) ->
+            record proc (Execution.Send { dot; var; value }))
+          (P.msg_writes msg);
+        match outbound with
+        | Protocol.Broadcast m ->
+            Reliable_channel.broadcast channel ~src:proc m
+        | Protocol.Unicast { dst; msg } ->
+            Reliable_channel.send channel ~src:proc ~dst msg)
+      eff.to_send
+  and deliver dst ~src msg =
+    List.iter
+      (fun (dot, _, _) -> record dst (Execution.Receipt { dot; src }))
+      (P.msg_writes msg);
+    process dst (P.receive protos.(dst) ~src msg)
+  in
+  for dst = 0 to spec.Spec.n - 1 do
+    Reliable_channel.set_handler channel dst (fun ~src ~at:_ msg ->
+        deliver dst ~src msg)
+  done;
+  Array.iteri
+    (fun proc ops ->
+      let write_seq = ref 0 in
+      List.iter
+        (fun { Spec.at; op } ->
+          Engine.schedule_at engine (Dsm_sim.Sim_time.of_float at)
+            (fun () ->
+              match op with
+              | Spec.Do_write { var } ->
+                  incr write_seq;
+                  let value =
+                    Sim_run.write_value ~proc ~seq:!write_seq
+                  in
+                  let _, eff = P.write protos.(proc) ~var ~value in
+                  process proc eff
+              | Spec.Do_read { var } ->
+                  let value, read_from = P.read protos.(proc) ~var in
+                  record proc (Execution.Return { var; value; read_from })))
+        ops)
+    schedule;
+  (match Engine.run ~max_steps engine with
+  | Engine.Drained -> ()
+  | Engine.Hit_step_limit ->
+      failwith
+        (Printf.sprintf "Reliable_run: %s did not quiesce within %d events"
+           P.name max_steps)
+  | Engine.Hit_time_limit -> assert false);
+  {
+    execution;
+    history = Execution.to_history execution;
+    protocol_name = P.name;
+    payloads_sent = Reliable_channel.payloads_sent channel;
+    frames_sent = Network.messages_sent network;
+    frames_dropped = Network.messages_dropped network;
+    frames_duplicated = Network.messages_duplicated network;
+    retransmissions = Reliable_channel.retransmissions channel;
+    duplicates_discarded = Reliable_channel.duplicates_discarded channel;
+    engine_steps = Engine.steps_executed engine;
+    end_time = Dsm_sim.Sim_time.to_float (Engine.now engine);
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%s over lossy links: %d payloads, %d frames (%d dropped, %d \
+     duplicated), %d retransmissions, %d duplicates discarded, \
+     t_end=%.1f@]"
+    o.protocol_name o.payloads_sent o.frames_sent o.frames_dropped
+    o.frames_duplicated o.retransmissions o.duplicates_discarded o.end_time

@@ -1,0 +1,98 @@
+module Protocol = Dsm_core.Protocol
+module Engine = Dsm_sim.Engine
+module Network = Dsm_sim.Network
+module Rng = Dsm_sim.Rng
+module Spec = Dsm_workload.Spec
+
+type outcome = {
+  execution : Execution.t;
+  history : Dsm_memory.History.t;
+  protocol_name : string;
+  messages_sent : int;
+  messages_delivered : int;
+  engine_steps : int;
+  end_time : float;
+  buffer_high_watermarks : int array;
+  total_buffered : int array;
+  skipped_writes : int;
+}
+
+let write_value ~proc ~seq = (proc * 1_000_000) + seq
+
+let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
+    ?(faults = Network.no_faults) ?(seed = 1) ?(max_steps = 10_000_000) () =
+  let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
+  let schedule = Dsm_workload.Generator.generate spec in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let latency_of =
+    match latency_fn with
+    | Some f -> f
+    | None -> fun ~src:_ ~dst:_ -> latency
+  in
+  let network =
+    Network.create ~engine ~rng ~n:spec.Spec.n ~latency:latency_of ~fifo
+      ~faults ()
+  in
+  let execution = Execution.create ~n:spec.Spec.n ~m:spec.Spec.m in
+  let module N = Node.Make (P) in
+  let nodes =
+    Array.init spec.Spec.n (fun me ->
+        N.create ~cfg ~me ~engine ~network ~execution)
+  in
+  (* schedule every operation at its issue time *)
+  Array.iteri
+    (fun proc ops ->
+      let write_seq = ref 0 in
+      List.iter
+        (fun { Spec.at; op } ->
+          match op with
+          | Spec.Do_write { var } ->
+              incr write_seq;
+              let seq = !write_seq in
+              Engine.schedule_at engine (Dsm_sim.Sim_time.of_float at)
+                (fun () ->
+                  ignore
+                    (N.write nodes.(proc) ~var
+                       ~value:(write_value ~proc ~seq)))
+          | Spec.Do_read { var } ->
+              Engine.schedule_at engine (Dsm_sim.Sim_time.of_float at)
+                (fun () -> ignore (N.read nodes.(proc) ~var)))
+        ops)
+    schedule;
+  (match Engine.run ~max_steps engine with
+  | Engine.Drained -> ()
+  | Engine.Hit_step_limit ->
+      failwith
+        (Printf.sprintf
+           "Sim_run: %s did not quiesce within %d events (liveness bug?)"
+           P.name max_steps)
+  | Engine.Hit_time_limit -> assert false (* no [until] given *));
+  {
+    execution;
+    history = Execution.to_history execution;
+    protocol_name = P.name;
+    messages_sent = Network.messages_sent network;
+    messages_delivered = Network.messages_delivered network;
+    engine_steps = Engine.steps_executed engine;
+    end_time = Dsm_sim.Sim_time.to_float (Engine.now engine);
+    buffer_high_watermarks =
+      Array.map (fun n -> P.buffer_high_watermark (N.protocol n)) nodes;
+    total_buffered =
+      Array.map (fun n -> P.total_buffered (N.protocol n)) nodes;
+    skipped_writes = Execution.skip_count execution;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%s: %d events, %d msgs sent / %d delivered, t_end=%.1f@,\
+     applies=%d delays=%d skips=%d buffer-high=%a@]"
+    o.protocol_name (Execution.event_count o.execution) o.messages_sent
+    o.messages_delivered o.end_time
+    (Execution.apply_count o.execution)
+    (Execution.delay_count o.execution)
+    o.skipped_writes
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list o.buffer_high_watermarks)

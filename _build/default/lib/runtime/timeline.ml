@@ -1,0 +1,63 @@
+module Sim_time = Dsm_sim.Sim_time
+module Dot = Dsm_vclock.Dot
+
+(* marker significance, highest first *)
+let rank = function
+  | 'W' -> 5
+  | '*' -> 4
+  | 'A' -> 3
+  | 'x' -> 2
+  | 'R' -> 1
+  | 'v' -> 0
+  | _ -> -1
+
+let marker_of (e : Execution.event) =
+  match e.kind with
+  | Execution.Apply { dot; delayed; _ } ->
+      if Dot.replica dot = e.proc then Some 'W'
+      else if delayed then Some '*'
+      else Some 'A'
+  | Execution.Receipt _ -> Some 'v'
+  | Execution.Return _ -> Some 'R'
+  | Execution.Skip _ -> Some 'x'
+  | Execution.Send _ -> None (* coincides with the issuer's W *)
+
+let render ?(width = 72) ?(legend = true) exec =
+  if width < 8 then invalid_arg "Timeline.render: width must be >= 8";
+  let events = Execution.events exec in
+  let n = Execution.n_processes exec in
+  let t_end =
+    List.fold_left
+      (fun acc (e : Execution.event) ->
+        Float.max acc (Sim_time.to_float e.time))
+      0. events
+  in
+  let scale = if t_end > 0. then float_of_int (width - 1) /. t_end else 0. in
+  let lanes = Array.init n (fun _ -> Bytes.make width '-') in
+  List.iter
+    (fun (e : Execution.event) ->
+      match marker_of e with
+      | None -> ()
+      | Some m ->
+          let col =
+            min (width - 1)
+              (int_of_float (Sim_time.to_float e.time *. scale))
+          in
+          let cur = Bytes.get lanes.(e.proc) col in
+          if rank m > rank cur then Bytes.set lanes.(e.proc) col m)
+    events;
+  let buf = Buffer.create (n * (width + 8)) in
+  Buffer.add_string buf
+    (Printf.sprintf "t = 0 %s %.1f\n"
+       (String.make (max 0 (width - 12)) ' ')
+       t_end);
+  Array.iteri
+    (fun p lane ->
+      Buffer.add_string buf (Printf.sprintf "p%-2d |%s|\n" (p + 1)
+        (Bytes.to_string lane)))
+    lanes;
+  if legend then
+    Buffer.add_string buf
+      "     W own write   v receipt   A apply   * delayed apply   R \
+       read   x skip\n";
+  Buffer.contents buf

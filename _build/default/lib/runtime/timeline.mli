@@ -1,0 +1,21 @@
+(** ASCII space–time diagrams of executions.
+
+    Renders a recorded run in the style of the paper's Figures 3 and 6:
+    one horizontal lane per process, virtual time on the x-axis, one
+    marker per event. Markers (also emitted as a legend):
+
+    - [W] local write (apply at the issuer; the send happens here too)
+    - [v] receipt of a write message
+    - [A] apply of a remote write, performed at its receipt
+    - [*] apply of a remote write after buffering ({e a write delay})
+    - [R] read ([return] event)
+    - [x] writing-semantics skip
+
+    When several events fall into the same column, the most significant
+    marker (in the order above) wins; increase [width] to separate
+    them. Purely a visual aid — the exact sequences are available via
+    {!Execution.pp_process}. *)
+
+val render : ?width:int -> ?legend:bool -> Execution.t -> string
+(** [width] is the number of time columns (default 72).
+    [legend] appends the marker key (default true). *)

@@ -1,0 +1,1 @@
+lib/sim/event_queue.ml: Hashtbl Int Option Pairing_heap Sim_time

@@ -1,0 +1,1 @@
+lib/sim/reliable_channel.ml: Array Engine Hashtbl Network Printf

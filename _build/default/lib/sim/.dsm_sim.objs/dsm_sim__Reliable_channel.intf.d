@@ -1,0 +1,1 @@
+lib/sim/reliable_channel.mli: Engine Network

@@ -1,0 +1,54 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Sim_time.t;
+  mutable executed : int;
+}
+
+let create () =
+  { queue = Event_queue.create (); clock = Sim_time.zero; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t at f =
+  if Sim_time.(at < t.clock) then
+    invalid_arg "Engine.schedule_at: cannot schedule in the virtual past";
+  Event_queue.schedule t.queue ~at f
+
+let schedule_after t d f = schedule_at t (Sim_time.add t.clock d) f
+let schedule_now t f = schedule_at t t.clock f
+
+type stop_reason = Drained | Hit_step_limit | Hit_time_limit
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.clock <- at;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run ?max_steps ?until t =
+  let over_steps () =
+    match max_steps with Some m -> t.executed >= m | None -> false
+  in
+  let over_time () =
+    match (until, Event_queue.peek_time t.queue) with
+    | Some horizon, Some next -> Sim_time.(horizon < next)
+    | _ -> false
+  in
+  let rec loop () =
+    if over_steps () then Hit_step_limit
+    else if over_time () then Hit_time_limit
+    else if step t then loop ()
+    else Drained
+  in
+  loop ()
+
+let steps_executed t = t.executed
+let pending t = Event_queue.size t.queue
+
+let pp_stop_reason ppf = function
+  | Drained -> Format.pp_print_string ppf "drained"
+  | Hit_step_limit -> Format.pp_print_string ppf "step-limit"
+  | Hit_time_limit -> Format.pp_print_string ppf "time-limit"

@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock and an event queue of thunks. The
+    model is the classic sequential discrete-event loop: pop the
+    earliest event, advance the clock to its timestamp, execute its
+    action (which may schedule further events), repeat. Simulated
+    processes are therefore interleaved at event granularity — each
+    protocol handler runs atomically, exactly matching the paper's
+    "executed atomically" procedure annotations (Figures 4–5). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current virtual time (the timestamp of the event being executed, or
+    of the last executed event between steps). *)
+
+val schedule_at : t -> Sim_time.t -> (unit -> unit) -> unit
+(** @raise Invalid_argument if the target time is in the virtual past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** [schedule_after t d f] runs [f] at [now t + d].
+    @raise Invalid_argument if [d] is negative or not finite. *)
+
+val schedule_now : t -> (unit -> unit) -> unit
+(** Runs [f] at the current time, after all other work already queued
+    for this instant. *)
+
+type stop_reason =
+  | Drained  (** The event queue became empty. *)
+  | Hit_step_limit
+  | Hit_time_limit
+
+val run : ?max_steps:int -> ?until:Sim_time.t -> t -> stop_reason
+(** Executes events until the queue drains or a limit is hit. When
+    stopping on [?until], events strictly after the horizon stay in the
+    queue and the clock is left at the last executed event. *)
+
+val step : t -> bool
+(** Executes one event; [false] if the queue was empty. *)
+
+val steps_executed : t -> int
+val pending : t -> int
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,45 @@
+module Key = struct
+  type t = { time : Sim_time.t; seq : int }
+
+  let compare a b =
+    let c = Sim_time.compare a.time b.time in
+    if c <> 0 then c else Int.compare a.seq b.seq
+end
+
+(* The heap stores keys only; payloads live in a side table so the heap
+   element type stays comparison-friendly. *)
+module Heap = Pairing_heap.Make (Key)
+
+type 'a t = {
+  mutable heap : Heap.t;
+  payloads : (int, 'a) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let create () =
+  { heap = Heap.empty; payloads = Hashtbl.create 256; next_seq = 0 }
+
+let schedule t ~at payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Hashtbl.replace t.payloads seq payload;
+  t.heap <- Heap.insert { Key.time = at; seq } t.heap
+
+let pop t =
+  match Heap.delete_min t.heap with
+  | None -> None
+  | Some (key, rest) ->
+      t.heap <- rest;
+      let payload = Hashtbl.find t.payloads key.Key.seq in
+      Hashtbl.remove t.payloads key.Key.seq;
+      Some (key.Key.time, payload)
+
+let peek_time t = Option.map (fun k -> k.Key.time) (Heap.find_min t.heap)
+let size t = Heap.size t.heap
+let is_empty t = Heap.is_empty t.heap
+
+let clear t =
+  t.heap <- Heap.empty;
+  Hashtbl.reset t.payloads
+
+let scheduled_total t = t.next_seq

@@ -1,0 +1,25 @@
+(** Timed event queue.
+
+    A mutable priority queue of [(time, payload)] pairs. Events with
+    equal timestamps fire in scheduling order (a monotonically
+    increasing sequence number breaks ties), so a run of the simulator
+    is fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> at:Sim_time.t -> 'a -> unit
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Earliest event, removed; [None] on empty queue. *)
+
+val peek_time : 'a t -> Sim_time.t option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val scheduled_total : 'a t -> int
+(** Total number of events ever scheduled (monotone counter, survives
+    [clear]); useful for engine statistics. *)

@@ -1,0 +1,74 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Pareto of { scale : float; shape : float }
+  | Shifted of { base : float; jitter : t }
+  | Bimodal of { fast : t; slow : t; p_slow : float }
+
+let rec validate = function
+  | Constant c ->
+      if c >= 0. && Float.is_finite c then Ok ()
+      else Error "Constant: must be finite and non-negative"
+  | Uniform { lo; hi } ->
+      if lo >= 0. && hi >= lo && Float.is_finite hi then Ok ()
+      else Error "Uniform: need 0 <= lo <= hi < infinity"
+  | Exponential { mean } ->
+      if mean > 0. && Float.is_finite mean then Ok ()
+      else Error "Exponential: mean must be positive"
+  | Lognormal { mu; sigma } ->
+      if Float.is_finite mu && sigma >= 0. && Float.is_finite sigma then
+        Ok ()
+      else Error "Lognormal: parameters must be finite, sigma >= 0"
+  | Pareto { scale; shape } ->
+      if scale > 0. && shape > 0. then Ok ()
+      else Error "Pareto: scale and shape must be positive"
+  | Shifted { base; jitter } ->
+      if base >= 0. && Float.is_finite base then validate jitter
+      else Error "Shifted: base must be finite and non-negative"
+  | Bimodal { fast; slow; p_slow } -> (
+      if p_slow < 0. || p_slow > 1. then
+        Error "Bimodal: p_slow must be in [0,1]"
+      else
+        match validate fast with Error _ as e -> e | Ok () -> validate slow)
+
+let rec sample t rng =
+  (match validate t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Latency.sample: " ^ msg));
+  match t with
+  | Constant c -> c
+  | Uniform { lo; hi } -> Rng.uniform rng lo hi
+  | Exponential { mean } -> Rng.exponential rng mean
+  | Lognormal { mu; sigma } -> Rng.lognormal rng ~mu ~sigma
+  | Pareto { scale; shape } -> Rng.pareto rng ~scale ~shape
+  | Shifted { base; jitter } -> base +. sample jitter rng
+  | Bimodal { fast; slow; p_slow } ->
+      if Rng.bernoulli rng p_slow then sample slow rng else sample fast rng
+
+let rec mean = function
+  | Constant c -> c
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | Exponential { mean = m } -> m
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.))
+  | Pareto { scale; shape } ->
+      if shape <= 1. then infinity else shape *. scale /. (shape -. 1.)
+  | Shifted { base; jitter } -> base +. mean jitter
+  | Bimodal { fast; slow; p_slow } ->
+      ((1. -. p_slow) *. mean fast) +. (p_slow *. mean slow)
+
+let rec pp ppf = function
+  | Constant c -> Format.fprintf ppf "const(%g)" c
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%g,%g)" lo hi
+  | Exponential { mean } -> Format.fprintf ppf "exp(mean=%g)" mean
+  | Lognormal { mu; sigma } ->
+      Format.fprintf ppf "lognormal(mu=%g,sigma=%g)" mu sigma
+  | Pareto { scale; shape } ->
+      Format.fprintf ppf "pareto(scale=%g,shape=%g)" scale shape
+  | Shifted { base; jitter } ->
+      Format.fprintf ppf "%g+%a" base pp jitter
+  | Bimodal { fast; slow; p_slow } ->
+      Format.fprintf ppf "bimodal(%a|%a@@%g)" pp fast pp slow p_slow
+
+let to_string t = Format.asprintf "%a" pp t

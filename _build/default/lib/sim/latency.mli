@@ -1,0 +1,39 @@
+(** Message-latency models.
+
+    The paper's system model (§3.1) only assumes reliable channels with
+    finite but unbounded delays. The *distribution* of delays is what
+    makes the difference between the protocols visible: with near-equal
+    latencies messages rarely arrive "too early" and no protocol delays
+    anything; with high variance, causal broadcast (ANBKH) starts
+    buffering concurrent writes that OptP applies immediately. The
+    quantitative experiments (Q1–Q6) sweep over these models. *)
+
+type t =
+  | Constant of float
+      (** Every message takes exactly this long. *)
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Lognormal of { mu : float; sigma : float }
+      (** Heavy-ish tail; [sigma] is the knob for experiment Q2. *)
+  | Pareto of { scale : float; shape : float }
+      (** Heavy tail; infinite variance for [shape <= 2]. *)
+  | Shifted of { base : float; jitter : t }
+      (** [base] propagation delay plus sampled jitter. *)
+  | Bimodal of { fast : t; slow : t; p_slow : float }
+      (** With probability [p_slow] sample [slow], else [fast]; models
+          occasional routing detours / retransmissions. *)
+
+val validate : t -> (unit, string) result
+(** Checks parameter sanity (positivity, [lo <= hi], probability in
+    [0,1]) recursively. *)
+
+val sample : t -> Rng.t -> float
+(** Draws a latency; always non-negative and finite.
+    @raise Invalid_argument if [validate] fails. *)
+
+val mean : t -> float
+(** Analytical mean of the distribution (for Pareto with
+    [shape <= 1] the mean is infinite and [infinity] is returned). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,53 @@
+type 'a t = {
+  mutable items : (int * 'a) list;  (* newest first; ids ascending *)
+  mutable next_id : int;
+  mutable high : int;
+  mutable total : int;
+}
+
+let create () = { items = []; next_id = 0; high = 0; total = 0 }
+
+let add t x =
+  t.items <- (t.next_id, x) :: t.items;
+  t.next_id <- t.next_id + 1;
+  t.total <- t.total + 1;
+  let len = List.length t.items in
+  if len > t.high then t.high <- len
+
+let length t = List.length t.items
+let is_empty t = t.items = []
+let to_list t = List.rev_map snd t.items
+
+let take_first t ~f =
+  (* oldest = last of the newest-first list *)
+  let oldest_first = List.rev t.items in
+  let rec split acc = function
+    | [] -> None
+    | ((_, x) as item) :: rest ->
+        if f x then begin
+          t.items <- List.rev_append acc rest |> List.rev;
+          (* [t.items] must stay newest-first: [acc] holds the skipped
+             older items newest-last, [rest] the younger ones oldest-
+             first; rebuild as newest-first. *)
+          Some x
+        end
+        else split (item :: acc) rest
+  in
+  split [] oldest_first
+
+let remove_all t ~f =
+  let kept, removed = List.partition (fun (_, x) -> not (f x)) t.items in
+  t.items <- kept;
+  List.rev_map snd removed
+
+let drain_fixpoint t ~f =
+  let rec go acc =
+    match take_first t ~f with
+    | None -> List.rev acc
+    | Some x -> go (x :: acc)
+  in
+  go []
+
+let high_watermark t = t.high
+let total_buffered t = t.total
+let clear t = t.items <- []

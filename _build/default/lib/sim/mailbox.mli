@@ -1,0 +1,44 @@
+(** Deterministic pending-message buffer.
+
+    Every protocol in the class [𝒫] buffers write messages that arrive
+    "too early" (their enabling events have not occurred yet) and
+    re-examines the buffer after each apply. This module centralizes
+    that buffering so all protocol implementations share the same,
+    deterministic retry discipline: messages are examined oldest-first,
+    and a successful apply triggers a rescan from the start (because an
+    apply can enable any buffered message, not just later ones).
+
+    The buffer also exposes occupancy statistics, which experiment Q4
+    reports. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> 'a -> unit
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val take_first : 'a t -> f:('a -> bool) -> 'a option
+(** Removes and returns the oldest buffered element satisfying [f]. *)
+
+val remove_all : 'a t -> f:('a -> bool) -> 'a list
+(** Removes every element satisfying [f]; returns them oldest-first
+    (used by writing-semantics protocols to discard overwritten
+    messages). *)
+
+val drain_fixpoint : 'a t -> f:('a -> bool) -> 'a list
+(** Repeatedly applies {!take_first} until no buffered element
+    satisfies [f], returning the taken elements in removal order. Note
+    [f] is typically effectful (it applies the write when it fires), so
+    each success may enable further elements; hence the fixpoint. *)
+
+val high_watermark : 'a t -> int
+(** Largest occupancy ever observed. *)
+
+val total_buffered : 'a t -> int
+(** Total number of elements ever added (monotone counter). *)
+
+val clear : 'a t -> unit

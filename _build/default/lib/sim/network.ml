@@ -1,0 +1,113 @@
+type 'a handler = src:int -> at:Sim_time.t -> 'a -> unit
+
+type faults = { drop : float; duplicate : float }
+
+let no_faults = { drop = 0.; duplicate = 0. }
+
+type 'a t = {
+  engine : Engine.t;
+  n : int;
+  latency : src:int -> dst:int -> Latency.t;
+  fifo : bool;
+  faults : faults;
+  channel_rng : Rng.t array array;  (* [src].(dst) *)
+  last_delivery : Sim_time.t array array;  (* FIFO floor per channel *)
+  handlers : 'a handler option array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+}
+
+let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
+    () =
+  if n <= 0 then invalid_arg "Network.create: n must be positive";
+  let check_prob name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Network.create: %s must be in [0,1]" name)
+  in
+  check_prob "drop probability" faults.drop;
+  check_prob "duplicate probability" faults.duplicate;
+  let channel_rng =
+    Array.init n (fun _ -> Array.init n (fun _ -> Rng.split rng))
+  in
+  {
+    engine;
+    n;
+    latency;
+    fifo;
+    faults;
+    channel_rng;
+    last_delivery = Array.init n (fun _ -> Array.make n Sim_time.zero);
+    handlers = Array.make n None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+  }
+
+let n t = t.n
+
+let check_proc t i name =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Network.%s: process id out of range" name)
+
+let set_handler t i h =
+  check_proc t i "set_handler";
+  t.handlers.(i) <- Some h
+
+let schedule_delivery t ~src ~dst ~at payload =
+  Engine.schedule_at t.engine at (fun () ->
+      t.delivered <- t.delivered + 1;
+      match t.handlers.(dst) with
+      | Some h -> h ~src ~at payload
+      | None ->
+          failwith
+            (Printf.sprintf "Network: delivery to process %d without handler"
+               dst))
+
+let send t ~src ~dst payload =
+  check_proc t src "send";
+  check_proc t dst "send";
+  if src = dst then
+    invalid_arg "Network.send: self-sends are not modelled (apply locally)";
+  let rng = t.channel_rng.(src).(dst) in
+  t.sent <- t.sent + 1;
+  if t.faults.drop > 0. && Rng.bernoulli rng t.faults.drop then
+    t.dropped <- t.dropped + 1
+  else begin
+    let delay = Latency.sample (t.latency ~src ~dst) rng in
+    let at = Sim_time.add (Engine.now t.engine) delay in
+    let at =
+      if t.fifo then begin
+        (* never deliver before an earlier message on the same channel;
+           a strictly positive epsilon keeps deliveries distinct *)
+        let floor = Sim_time.add t.last_delivery.(src).(dst) 1e-9 in
+        Sim_time.max at floor
+      end
+      else at
+    in
+    if t.fifo then t.last_delivery.(src).(dst) <- at;
+    schedule_delivery t ~src ~dst ~at payload;
+    if t.faults.duplicate > 0. && Rng.bernoulli rng t.faults.duplicate
+    then begin
+      t.duplicated <- t.duplicated + 1;
+      let extra = Latency.sample (t.latency ~src ~dst) rng in
+      let at' = Sim_time.add (Engine.now t.engine) extra in
+      schedule_delivery t ~src ~dst ~at:at' payload
+    end
+  end
+
+let broadcast t ~src payload =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst payload
+  done
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated
+
+let in_flight t =
+  (* duplicate copies add deliveries beyond sends; clamp at zero *)
+  max 0 (t.sent - t.dropped - (t.delivered - t.duplicated))

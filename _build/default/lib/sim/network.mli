@@ -1,0 +1,71 @@
+(** Simulated message-passing network.
+
+    Models the paper's §3.1 system: [n] processes connected by reliable
+    point-to-point channels — every message sent is delivered exactly
+    once, no spurious messages, delays finite but arbitrary. Channels
+    are {e not} FIFO by default (nothing in the paper requires it, and
+    reordering is precisely what makes write delays appear); FIFO
+    per-channel delivery can be switched on to study its effect.
+
+    The network is generic in the message payload. Delivery invokes the
+    destination's handler inside the engine, so a handler runs
+    atomically at its delivery timestamp. *)
+
+type 'a t
+
+type 'a handler = src:int -> at:Sim_time.t -> 'a -> unit
+
+type faults = {
+  drop : float;  (** probability a transmission is lost *)
+  duplicate : float;  (** probability a delivered message is delivered
+                          twice (the copy takes an independent delay) *)
+}
+
+val no_faults : faults
+
+val create :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  n:int ->
+  latency:(src:int -> dst:int -> Latency.t) ->
+  ?fifo:bool ->
+  ?faults:faults ->
+  unit ->
+  'a t
+(** [create ~engine ~rng ~n ~latency ()] builds an [n]-process network.
+    Each ordered channel gets its own split RNG stream, so adding
+    traffic on one channel does not perturb another channel's delays.
+
+    With [?faults], the network no longer implements the paper's §3.1
+    reliable-channel assumption: transmissions may be dropped or
+    duplicated. The {!Reliable_channel} layer rebuilds exactly-once
+    delivery on top (retransmission + acknowledgment + deduplication);
+    running a protocol directly over a faulty network is how the
+    failure-injection tests provoke checker violations.
+    @raise Invalid_argument if [n <= 0] or a fault probability is
+    outside [0,1]. *)
+
+val n : 'a t -> int
+
+val set_handler : 'a t -> int -> 'a handler -> unit
+(** Installs the delivery handler of a process. Messages delivered to a
+    process without a handler raise [Failure] at delivery time. *)
+
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+(** Schedules delivery of one message at [now + latency(src,dst)].
+    Self-sends are rejected ([Invalid_argument]) — protocols apply their
+    own writes locally, as in Figure 4 of the paper. *)
+
+val broadcast : 'a t -> src:int -> 'a -> unit
+(** [send] to every process but [src] (the paper's
+    [send m to Π − p_i]). Per-destination latencies are independent. *)
+
+val messages_sent : 'a t -> int
+val messages_delivered : 'a t -> int
+
+val messages_dropped : 'a t -> int
+val messages_duplicated : 'a t -> int
+
+val in_flight : 'a t -> int
+(** Messages sent and neither delivered nor dropped (duplicate copies
+    still in transit are not counted). *)

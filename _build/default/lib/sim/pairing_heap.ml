@@ -1,0 +1,62 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) = struct
+  type tree = Node of Elt.t * tree list
+  type t = { root : tree option; count : int }
+
+  let empty = { root = None; count = 0 }
+  let is_empty t = t.root = None
+  let size t = t.count
+
+  let merge_tree (Node (x, xs) as a) (Node (y, ys) as b) =
+    if Elt.compare x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+  let merge a b =
+    match (a.root, b.root) with
+    | None, _ -> b
+    | _, None -> a
+    | Some ta, Some tb ->
+        { root = Some (merge_tree ta tb); count = a.count + b.count }
+
+  let insert x t = merge { root = Some (Node (x, [])); count = 1 } t
+  let find_min t = Option.map (fun (Node (x, _)) -> x) t.root
+
+  (* two-pass pairing merge of the children list *)
+  let rec merge_pairs = function
+    | [] -> None
+    | [ t ] -> Some t
+    | a :: b :: rest -> (
+        let ab = merge_tree a b in
+        match merge_pairs rest with
+        | None -> Some ab
+        | Some r -> Some (merge_tree ab r))
+
+  let delete_min t =
+    match t.root with
+    | None -> None
+    | Some (Node (x, children)) ->
+        Some (x, { root = merge_pairs children; count = t.count - 1 })
+
+  let of_list l = List.fold_left (fun h x -> insert x h) empty l
+
+  let to_sorted_list t =
+    let rec go acc t =
+      match delete_min t with
+      | None -> List.rev acc
+      | Some (x, t') -> go (x :: acc) t'
+    in
+    go [] t
+
+  let fold_unordered f init t =
+    match t.root with
+    | None -> init
+    | Some root ->
+        let rec go acc (Node (x, children)) =
+          List.fold_left go (f acc x) children
+        in
+        go init root
+end

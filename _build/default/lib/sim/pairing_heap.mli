@@ -1,0 +1,40 @@
+(** Functional pairing heap.
+
+    A persistent min-heap with O(1) [insert]/[merge] and amortized
+    O(log n) [delete_min]. It backs the simulator's event queue, where
+    millions of timed events are inserted and drained per experiment.
+
+    The functor takes a totally ordered element type; ties must be broken
+    by the caller (the event queue pairs each time with a monotonically
+    increasing sequence number so that simultaneous events fire in
+    schedule order — determinism is a hard requirement for reproducible
+    experiments). *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val size : t -> int
+  (** O(1); the size is cached. *)
+
+  val insert : Elt.t -> t -> t
+  val merge : t -> t -> t
+
+  val find_min : t -> Elt.t option
+  val delete_min : t -> (Elt.t * t) option
+
+  val of_list : Elt.t list -> t
+
+  val to_sorted_list : t -> Elt.t list
+  (** Drains the heap; ascending order. *)
+
+  val fold_unordered : ('a -> Elt.t -> 'a) -> 'a -> t -> 'a
+  (** Folds over all elements in unspecified order without draining. *)
+end

@@ -1,0 +1,125 @@
+type 'a frame =
+  | Data of { cseq : int; payload : 'a }
+  | Ack of { cseq : int }
+
+type 'a pending = { payload : 'a; mutable acked : bool }
+
+type 'a t = {
+  engine : Engine.t;
+  network : 'a frame Network.t;
+  retransmit_after : float;
+  n : int;
+  next_seq : int array array;  (* [src].(dst): next data sequence number *)
+  outstanding : (int * int * int, 'a pending) Hashtbl.t;
+      (* (src, dst, cseq) -> unacked payload *)
+  delivered_seqs : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* (src, dst) -> cseqs already delivered at dst *)
+  handlers : 'a Network.handler option array;
+  mutable payloads_sent : int;
+  mutable payloads_delivered : int;
+  mutable retransmissions : int;
+  mutable duplicates_discarded : int;
+}
+
+let seen_set t ~src ~dst =
+  match Hashtbl.find_opt t.delivered_seqs (src, dst) with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 64 in
+      Hashtbl.add t.delivered_seqs (src, dst) s;
+      s
+
+(* receive a wire frame at [dst] *)
+let on_frame t dst ~src ~at frame =
+  match frame with
+  | Ack { cseq } -> (
+      (* the ack travels dst->src, so here [dst] is the original
+         sender and [src] the original receiver *)
+      match Hashtbl.find_opt t.outstanding (dst, src, cseq) with
+      | Some p -> p.acked <- true
+      | None -> () (* duplicate ack for an already-settled payload *))
+  | Data { cseq; payload } ->
+      (* always (re-)acknowledge: the previous ack may have been lost *)
+      Network.send t.network ~src:dst ~dst:src (Ack { cseq });
+      let seen = seen_set t ~src ~dst in
+      if Hashtbl.mem seen cseq then
+        t.duplicates_discarded <- t.duplicates_discarded + 1
+      else begin
+        Hashtbl.add seen cseq ();
+        t.payloads_delivered <- t.payloads_delivered + 1;
+        match t.handlers.(dst) with
+        | Some h -> h ~src ~at payload
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "Reliable_channel: delivery to process %d without handler"
+                 dst)
+      end
+
+let create ~engine ~network ?(retransmit_after = 50.) () =
+  if retransmit_after <= 0. then
+    invalid_arg "Reliable_channel.create: retransmit_after must be positive";
+  let n = Network.n network in
+  let t =
+    {
+      engine;
+      network;
+      retransmit_after;
+      n;
+      next_seq = Array.init n (fun _ -> Array.make n 0);
+      outstanding = Hashtbl.create 256;
+      delivered_seqs = Hashtbl.create 64;
+      handlers = Array.make n None;
+      payloads_sent = 0;
+      payloads_delivered = 0;
+      retransmissions = 0;
+      duplicates_discarded = 0;
+    }
+  in
+  for dst = 0 to n - 1 do
+    Network.set_handler network dst (fun ~src ~at frame ->
+        on_frame t dst ~src ~at frame)
+  done;
+  t
+
+let set_handler t i h =
+  if i < 0 || i >= t.n then
+    invalid_arg "Reliable_channel.set_handler: process id out of range";
+  t.handlers.(i) <- Some h
+
+let send t ~src ~dst payload =
+  if src = dst then
+    invalid_arg "Reliable_channel.send: self-sends are not modelled";
+  let cseq = t.next_seq.(src).(dst) in
+  t.next_seq.(src).(dst) <- cseq + 1;
+  t.payloads_sent <- t.payloads_sent + 1;
+  let p = { payload; acked = false } in
+  Hashtbl.replace t.outstanding (src, dst, cseq) p;
+  let transmit () =
+    Network.send t.network ~src ~dst (Data { cseq; payload = p.payload })
+  in
+  let rec arm_timer () =
+    Engine.schedule_after t.engine t.retransmit_after (fun () ->
+        if not p.acked then begin
+          t.retransmissions <- t.retransmissions + 1;
+          transmit ();
+          arm_timer ()
+        end
+        else Hashtbl.remove t.outstanding (src, dst, cseq))
+  in
+  transmit ();
+  arm_timer ()
+
+let broadcast t ~src payload =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst payload
+  done
+
+let payloads_sent t = t.payloads_sent
+let payloads_delivered t = t.payloads_delivered
+let retransmissions t = t.retransmissions
+let duplicates_discarded t = t.duplicates_discarded
+
+let unacked t =
+  Hashtbl.fold (fun _ p acc -> if p.acked then acc else acc + 1)
+    t.outstanding 0

@@ -1,0 +1,54 @@
+(** Reliable exactly-once channels over a faulty network.
+
+    The paper's system model (§3.1) assumes channels on which "each
+    message sent by a process is eventually received exactly once and
+    no spurious message can ever be delivered". This module {e builds}
+    that abstraction instead of assuming it: over a {!Network} that may
+    drop and duplicate (but not corrupt or forge) messages, it layers
+
+    - per-ordered-pair sequence numbers,
+    - positive acknowledgments with timeout-based retransmission, and
+    - receiver-side deduplication,
+
+    delivering each payload to the destination handler exactly once
+    (not necessarily in send order — the protocols above tolerate
+    reordering by design). Retransmission stops once the ack arrives;
+    with any drop probability below 1 every message is eventually
+    acknowledged, so simulations still quiesce.
+
+    The wire type is {!('a) frame}; create the underlying network with
+    that payload type. *)
+
+type 'a frame
+(** Data or acknowledgment, as placed on the wire. *)
+
+type 'a t
+
+val create :
+  engine:Engine.t ->
+  network:'a frame Network.t ->
+  ?retransmit_after:float ->
+  unit ->
+  'a t
+(** [retransmit_after] (default [50.] time units) is the ack timeout;
+    pick it a few times the mean channel latency.
+    @raise Invalid_argument if it is not positive. *)
+
+val set_handler : 'a t -> int -> ('a Network.handler) -> unit
+(** Exactly-once delivery handler for a process. *)
+
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+val broadcast : 'a t -> src:int -> 'a -> unit
+
+(** {1 Statistics} *)
+
+val payloads_sent : 'a t -> int
+(** Distinct payloads submitted (not counting retransmissions). *)
+
+val payloads_delivered : 'a t -> int
+(** Exactly-once deliveries performed. *)
+
+val retransmissions : 'a t -> int
+val duplicates_discarded : 'a t -> int
+val unacked : 'a t -> int
+(** Payloads still awaiting acknowledgment. *)

@@ -1,0 +1,61 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    SplitMix64 (Steele, Lea & Flood 2014). Every stochastic component of
+    the simulator draws from an explicit [Rng.t] so that a run is a pure
+    function of its seed: experiments are reproducible bit-for-bit, and
+    independent components (e.g. each channel's latency stream) can be
+    given {!split} streams that do not interfere. *)
+
+type t
+
+val create : int -> t
+(** [create seed] initializes a generator from an integer seed. *)
+
+val of_int64 : int64 -> t
+
+val split : t -> t
+(** [split t] returns a statistically independent generator and
+    advances [t]. Used to give each process/channel its own stream. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2^64 values. *)
+
+val bits : t -> int
+(** 30 uniform non-negative bits, as [Random.bits]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples Exp with the given mean.
+    @raise Invalid_argument if [mean <= 0]. *)
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller; one sample per call, no caching so the
+    stream stays splittable). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** exp of a Normal(mu, sigma²) draw. *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Pareto type I: support [\[scale, ∞)].
+    @raise Invalid_argument unless [scale > 0] and [shape > 0]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element. @raise Invalid_argument on empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

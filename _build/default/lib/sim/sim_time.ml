@@ -1,0 +1,24 @@
+type t = float
+
+let zero = 0.
+
+let of_float f =
+  if not (Float.is_finite f) || f < 0. then
+    invalid_arg "Sim_time.of_float: time must be finite and non-negative";
+  f
+
+let to_float t = t
+
+let add t d =
+  if not (Float.is_finite d) || d < 0. then
+    invalid_arg "Sim_time.add: duration must be finite and non-negative";
+  t +. d
+
+let diff later earlier = later -. earlier
+let compare = Float.compare
+let equal = Float.equal
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+let max = Float.max
+let pp ppf t = Format.fprintf ppf "%.3f" t
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+(** Simulated time.
+
+    Time in the simulator is a non-negative float of abstract "time
+    units" (the experiments interpret one unit as a millisecond, but
+    nothing depends on that). The type is kept abstract so that wall
+    clock and simulated clock can never be confused. *)
+
+type t
+
+val zero : t
+val of_float : float -> t
+(** @raise Invalid_argument on negative or non-finite input. *)
+
+val to_float : t -> float
+val add : t -> float -> t
+(** [add t d] advances [t] by the (non-negative) duration [d].
+    @raise Invalid_argument if [d] is negative or not finite. *)
+
+val diff : t -> t -> float
+(** [diff later earlier] in time units; may be negative. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val max : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

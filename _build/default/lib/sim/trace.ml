@@ -1,0 +1,71 @@
+type 'a t = { mutable data : 'a option array; mutable len : int }
+
+let create ?(initial_capacity = 64) () =
+  { data = Array.make (max 1 initial_capacity) None; len = 0 }
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) None in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let record t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- Some x;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let unsafe_get t i =
+  match t.data.(i) with
+  | Some x -> x
+  | None -> assert false (* slots below [len] are always filled *)
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
+  unsafe_get t i
+
+let to_list t = List.init t.len (fun i -> unsafe_get t i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (unsafe_get t i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (unsafe_get t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (unsafe_get t i)
+  done;
+  !acc
+
+let filter p t =
+  fold (fun acc x -> if p x then x :: acc else acc) [] t |> List.rev
+
+let find_opt p t =
+  let rec go i =
+    if i = t.len then None
+    else
+      let x = unsafe_get t i in
+      if p x then Some x else go (i + 1)
+  in
+  go 0
+
+let find_index p t =
+  let rec go i =
+    if i = t.len then None
+    else if p (unsafe_get t i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let count p t = fold (fun acc x -> if p x then acc + 1 else acc) 0 t
+
+let clear t =
+  Array.fill t.data 0 t.len None;
+  t.len <- 0

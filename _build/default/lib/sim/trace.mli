@@ -1,0 +1,30 @@
+(** Append-only event log.
+
+    Simulation runs record their observable events (send, receipt,
+    apply, return — the event vocabulary of the paper's §3.2) into a
+    trace; the checker and the experiment reports consume the trace
+    after the run. The log is generic: the runtime layer instantiates it
+    with its own event record. Amortized O(1) append, O(1) random
+    access. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> unit -> 'a t
+val record : 'a t -> 'a -> unit
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th recorded event (0-based, recording order).
+    @raise Invalid_argument if out of bounds. *)
+
+val to_list : 'a t -> 'a list
+(** Recording order. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val filter : ('a -> bool) -> 'a t -> 'a list
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+val find_index : ('a -> bool) -> 'a t -> int option
+val count : ('a -> bool) -> 'a t -> int
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/stats/series.ml: Float Hashtbl List Option Printf Summary Table_fmt

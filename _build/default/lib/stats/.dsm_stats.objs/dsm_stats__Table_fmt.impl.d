@@ -1,0 +1,1 @@
+lib/stats/table_fmt.ml: Array Buffer Char Format List Printf String

@@ -1,0 +1,74 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let bins = Array.length t.counts in
+    let w = (t.hi -. t.lo) /. float_of_int bins in
+    let i = Stdlib.min (bins - 1) (int_of_float ((x -. t.lo) /. w)) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_all t l = List.iter (add t) l
+
+let of_samples ?(bins = 20) samples =
+  match samples with
+  | [] -> invalid_arg "Histogram.of_samples: empty sample"
+  | x :: rest ->
+      let lo = List.fold_left Float.min x rest in
+      let hi = List.fold_left Float.max x rest in
+      let hi = if hi > lo then hi +. ((hi -. lo) *. 1e-9) else lo +. 1. in
+      let t = create ~lo ~hi ~bins in
+      add_all t samples;
+      t
+
+let total t = t.total
+let bin_count t = Array.length t.counts
+
+let bin_range t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bin_range: bin out of range";
+  let w = (t.hi -. t.lo) /. float_of_int (Array.length t.counts) in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let bin_value t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bin_value: bin out of range";
+  t.counts.(i)
+
+let underflow t = t.under
+let overflow t = t.over
+
+let render ?(width = 40) t =
+  let buf = Buffer.create 256 in
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_range t i in
+      let bar = c * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10.3g..%10.3g) %-*s %d\n" lo hi width
+           (String.concat "" (List.init bar (fun _ -> "#")))
+           c))
+    t.counts;
+  if t.under > 0 then
+    Buffer.add_string buf (Printf.sprintf "underflow: %d\n" t.under);
+  if t.over > 0 then
+    Buffer.add_string buf (Printf.sprintf "overflow: %d\n" t.over);
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

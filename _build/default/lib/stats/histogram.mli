@@ -1,0 +1,33 @@
+(** Fixed-bin histograms with ASCII rendering.
+
+    The experiment harness prints apply-latency and buffer-occupancy
+    distributions as terminal histograms; this module owns the binning
+    and the rendering. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Uniform bins over [\[lo, hi)]; samples outside the range land in
+    two dedicated underflow/overflow counters.
+    @raise Invalid_argument unless [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+val add_all : t -> float list -> unit
+
+val of_samples : ?bins:int -> float list -> t
+(** Range taken from the samples ([bins] defaults to 20; a tiny epsilon
+    is added on the right so the maximum lands in the last bin).
+    @raise Invalid_argument on an empty list. *)
+
+val total : t -> int
+val bin_count : t -> int
+val bin_range : t -> int -> float * float
+val bin_value : t -> int -> int
+val underflow : t -> int
+val overflow : t -> int
+
+val render : ?width:int -> t -> string
+(** Multi-line ASCII rendering, one row per bin:
+    [\[ lo.. hi) ████████ count]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type t = {
+  x_label : string;
+  mutable order : string list;  (* series, first-use order, reversed *)
+  points : (string * float, float list ref) Hashtbl.t;
+}
+
+let create ~x_label () = { x_label; order = []; points = Hashtbl.create 16 }
+
+let add_point t ~series ~x ~y =
+  if not (List.mem series t.order) then t.order <- series :: t.order;
+  match Hashtbl.find_opt t.points (series, x) with
+  | Some l -> l := y :: !l
+  | None -> Hashtbl.add t.points (series, x) (ref [ y ])
+
+let series_names t = List.rev t.order
+
+let xs t =
+  Hashtbl.fold (fun (_, x) _ acc -> x :: acc) t.points []
+  |> List.sort_uniq Float.compare
+
+let get t ~series ~x =
+  Option.map (fun l -> Summary.of_list !l) (Hashtbl.find_opt t.points (series, x))
+
+let cell ?(digits = 2) t ~series ~x =
+  match get t ~series ~x with
+  | None -> "-"
+  | Some s ->
+      if Summary.count s = 1 then Printf.sprintf "%.*f" digits (Summary.mean s)
+      else
+        Printf.sprintf "%.*f ± %.*f" digits (Summary.mean s) digits
+          (Summary.stddev s)
+
+let to_table ?title ?digits t =
+  let names = series_names t in
+  let table = Table_fmt.create ?title ~header:(t.x_label :: names) () in
+  Table_fmt.set_align table
+    (Table_fmt.Right :: List.map (fun _ -> Table_fmt.Right) names);
+  List.iter
+    (fun x ->
+      Table_fmt.add_row table
+        (Printf.sprintf "%g" x
+        :: List.map (fun series -> cell ?digits t ~series ~x) names))
+    (xs t);
+  table
+
+let crossover t ~series_a ~series_b =
+  List.find_opt
+    (fun x ->
+      match (get t ~series:series_a ~x, get t ~series:series_b ~x) with
+      | Some a, Some b -> Summary.mean a < Summary.mean b
+      | _ -> false)
+    (xs t)

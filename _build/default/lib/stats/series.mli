@@ -1,0 +1,32 @@
+(** Labelled (x, y) series for parameter sweeps.
+
+    A sweep experiment produces, per protocol, a series of points
+    [(parameter value, measured summary)]. This module collects them
+    and renders the combined table the paper-style "figure" sections of
+    the bench output print (one x-column, one column per series). *)
+
+type t
+
+val create : x_label:string -> unit -> t
+
+val add_point : t -> series:string -> x:float -> y:float -> unit
+(** Series are created on first use; multiple [y] values for the same
+    [(series, x)] are aggregated into a summary. *)
+
+val series_names : t -> string list
+(** In first-use order. *)
+
+val xs : t -> float list
+(** Sorted, deduplicated. *)
+
+val get : t -> series:string -> x:float -> Summary.t option
+
+val to_table : ?title:string -> ?digits:int -> t -> Table_fmt.t
+(** One row per x, columns [x, series₁, series₂, …]; cells are
+    [mean ± stddev] when a point has several samples. Missing points
+    render as [-]. *)
+
+val crossover : t -> series_a:string -> series_b:string -> float option
+(** Smallest x at which the mean of [series_a] becomes strictly smaller
+    than the mean of [series_b] (both defined) — used to report "who
+    wins from where" in sweep summaries. *)

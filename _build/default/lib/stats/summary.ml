@@ -1,0 +1,64 @@
+type t = {
+  sorted : float array;
+  mean : float;
+  m2 : float;  (* sum of squared deviations *)
+}
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Summary.of_array: empty sample";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg "Summary.of_array: non-finite sample")
+    a;
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  (* Welford's algorithm for numerically stable mean/variance *)
+  let mean = ref 0. and m2 = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let d = x -. !mean in
+      mean := !mean +. (d /. float_of_int (i + 1));
+      m2 := !m2 +. (d *. (x -. !mean)))
+    a;
+  { sorted; mean = !mean; m2 = !m2 }
+
+let of_list l = of_array (Array.of_list l)
+
+let count t = Array.length t.sorted
+let mean t = t.mean
+
+let variance t =
+  let n = count t in
+  if n < 2 then 0. else t.m2 /. float_of_int (n - 1)
+
+let stddev t = sqrt (variance t)
+let std_error t = stddev t /. sqrt (float_of_int (count t))
+let min t = t.sorted.(0)
+let max t = t.sorted.(count t - 1)
+let sum t = Array.fold_left ( +. ) 0. t.sorted
+
+let percentile t p =
+  if p < 0. || p > 100. then
+    invalid_arg "Summary.percentile: p must be in [0,100]";
+  let n = count t in
+  if n = 1 then t.sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ((1. -. frac) *. t.sorted.(lo)) +. (frac *. t.sorted.(hi))
+  end
+
+let median t = percentile t 50.
+
+let ci95 t =
+  let half = 1.96 *. std_error t in
+  (t.mean -. half, t.mean +. half)
+
+let pp ppf t =
+  Format.fprintf ppf "%.3g ± %.2g [%.3g..%.3g] (n=%d)" (mean t) (stddev t)
+    (min t) (max t) (count t)
+
+let pp_brief ppf t = Format.fprintf ppf "%.3g ± %.2g" (mean t) (stddev t)

@@ -1,0 +1,40 @@
+(** Summary statistics over float samples.
+
+    Used by the experiment harness to aggregate per-run measurements
+    (delay counts, apply latencies, buffer occupancies) across seeds
+    into the rows the benchmark tables print. *)
+
+type t
+
+val of_list : float list -> t
+(** @raise Invalid_argument on an empty list or non-finite samples. *)
+
+val of_array : float array -> t
+
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance (0 for a single sample). *)
+
+val stddev : t -> float
+val std_error : t -> float
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,100]; linear interpolation between
+    order statistics.
+    @raise Invalid_argument if [p] is out of range. *)
+
+val median : t -> float
+
+val ci95 : t -> float * float
+(** Normal-approximation 95% confidence interval for the mean
+    ([mean ± 1.96 · stderr]). *)
+
+val pp : Format.formatter -> t -> unit
+(** [mean ± stddev [min..max] (n=k)]. *)
+
+val pp_brief : Format.formatter -> t -> unit
+(** [mean ± stddev]. *)

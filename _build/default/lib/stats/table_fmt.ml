@@ -1,0 +1,107 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  header : string list;
+  arity : int;
+  mutable aligns : align list;
+  mutable rows : row list;  (* newest first *)
+}
+
+let create ?title ~header () =
+  if header = [] then invalid_arg "Table_fmt.create: empty header";
+  {
+    title;
+    header;
+    arity = List.length header;
+    aligns = List.map (fun _ -> Left) header;
+    rows = [];
+  }
+
+let set_align t aligns =
+  if List.length aligns <> t.arity then
+    invalid_arg "Table_fmt.set_align: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg "Table_fmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+let add_separator t = t.rows <- Separator :: t.rows
+
+let row_count t =
+  List.length
+    (List.filter (function Cells _ -> true | Separator -> false) t.rows)
+
+(* display width in characters: count UTF-8 scalar values, not bytes,
+   so tables with ∅/↦ glyphs still line up *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let pad align width s =
+  let len = display_width s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let l = fill / 2 in
+        String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map display_width t.header) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+          List.iteri
+            (fun i c -> widths.(i) <- max widths.(i) (display_width c))
+            cells)
+    rows;
+  let buf = Buffer.create 512 in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (if i = 0 then "+" else "+");
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit aligns cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  emit (List.map (fun _ -> Center) t.header) t.header;
+  rule ();
+  List.iter
+    (function
+      | Separator -> rule ()
+      | Cells cells -> emit t.aligns cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+
+let cell_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+let cell_int = string_of_int

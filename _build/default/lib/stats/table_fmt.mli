@@ -1,0 +1,33 @@
+(** Plain-text table rendering.
+
+    Every table the benchmark harness prints — the reproductions of the
+    paper's Tables 1–2 and the quantitative experiment tables — goes
+    through this module, so all output shares one look. Columns are
+    sized to their widest cell; alignment is per column. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> header:string list -> unit -> t
+(** @raise Invalid_argument on an empty header. *)
+
+val set_align : t -> align list -> unit
+(** One entry per column (defaults to all [Left]).
+    @raise Invalid_argument on length mismatch. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_rows : t -> string list list -> unit
+
+val add_separator : t -> unit
+(** A horizontal rule between the rows added before and after. *)
+
+val row_count : t -> int
+
+val render : t -> string
+val pp : Format.formatter -> t -> unit
+
+val cell_float : ?digits:int -> float -> string
+val cell_int : int -> string

@@ -1,0 +1,1 @@
+lib/vclock/clock_order.ml: Array Int List Vector_clock

@@ -1,0 +1,1 @@
+lib/vclock/clock_order.mli: Vector_clock

@@ -1,0 +1,1 @@
+lib/vclock/dot.ml: Format Int Map Set Vector_clock

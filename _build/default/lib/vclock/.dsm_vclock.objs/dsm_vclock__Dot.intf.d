@@ -1,0 +1,1 @@
+lib/vclock/dot.mli: Format Map Set Vector_clock

@@ -1,0 +1,1 @@
+lib/vclock/matrix_clock.ml: Array Dot Format Printf Vector_clock

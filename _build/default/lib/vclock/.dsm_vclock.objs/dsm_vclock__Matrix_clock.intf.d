@@ -1,0 +1,1 @@
+lib/vclock/matrix_clock.mli: Dot Format Vector_clock

@@ -1,0 +1,100 @@
+module V = Vector_clock
+
+let minimal l =
+  List.filter (fun v -> not (List.exists (fun u -> V.lt u v) l)) l
+
+let maximal l =
+  List.filter (fun v -> not (List.exists (fun u -> V.lt v u) l)) l
+
+let is_antichain l =
+  let rec go = function
+    | [] -> true
+    | v :: rest ->
+        List.for_all (fun u -> V.concurrent v u) rest && go rest
+  in
+  go l
+
+let topo_sort l =
+  (* Kahn's algorithm over the strict order, with compare_total as a
+     deterministic tie-break. A plain sort by compare_total would NOT be
+     a linear extension in general (lexicographic order does not extend
+     the product order), hence the explicit topological pass. *)
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  let indeg = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && V.lt arr.(j) arr.(i) then indeg.(i) <- indeg.(i) + 1
+    done
+  done;
+  let module Q = struct
+    (* ready vertices kept sorted for determinism *)
+    let compare i j =
+      let c = V.compare_total arr.(i) arr.(j) in
+      if c <> 0 then c else Int.compare i j
+  end in
+  let ready = ref [] in
+  let insert i = ready := List.sort Q.compare (i :: !ready) in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then insert i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match !ready with
+    | [] -> ()
+    | i :: rest ->
+        ready := rest;
+        out := arr.(i) :: !out;
+        for j = 0 to n - 1 do
+          if i <> j && V.lt arr.(i) arr.(j) then begin
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then insert j
+          end
+        done;
+        drain ()
+  in
+  drain ();
+  List.rev !out
+
+let is_linear_extension l =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun u -> not (V.lt u v)) rest && go rest
+  in
+  go l
+
+let covers l =
+  let pairs = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if
+            V.lt a b
+            && not
+                 (List.exists (fun c -> V.lt a c && V.lt c b) l)
+          then pairs := (a, b) :: !pairs)
+        l)
+    l;
+  List.rev !pairs
+
+let down_set l v = List.filter (fun u -> V.lt u v) l
+
+let width_lower_bound l =
+  (* Greedy: repeatedly pick an element concurrent with everything
+     chosen so far, scanning a topologically sorted list. Exact on the
+     small posets exercised by the test-suite; documented as a lower
+     bound elsewhere. *)
+  let sorted = topo_sort l in
+  let best = ref 0 in
+  List.iteri
+    (fun i start ->
+      let chosen = ref [ start ] in
+      List.iteri
+        (fun j v ->
+          if j > i && List.for_all (fun u -> V.concurrent u v) !chosen
+          then chosen := v :: !chosen)
+        sorted;
+      if List.length !chosen > !best then best := List.length !chosen)
+    sorted;
+  !best

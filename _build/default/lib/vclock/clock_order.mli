@@ -1,0 +1,44 @@
+(** Partial-order combinators over collections of vector clocks.
+
+    The paper's correctness argument rests on [(Write_co, <)] being a
+    system of vector clocks characterizing [↦co]. This module provides
+    the order-theoretic toolkit used by the checker and the tests to
+    manipulate sets of timestamps as a partial order: minimal/maximal
+    elements, antichains, topological sorting, linear-extension checks
+    and covering (immediate-predecessor) relations — the latter is the
+    edge relation of the paper's write causality graph (§4.3). *)
+
+val minimal : Vector_clock.t list -> Vector_clock.t list
+(** Elements with no strict predecessor in the list (duplicates of a
+    minimal value are all kept). *)
+
+val maximal : Vector_clock.t list -> Vector_clock.t list
+
+val is_antichain : Vector_clock.t list -> bool
+(** True iff the clocks are pairwise concurrent (and pairwise distinct).
+    The empty and singleton lists are antichains. *)
+
+val topo_sort : Vector_clock.t list -> Vector_clock.t list
+(** A deterministic linear extension of the partial order: sorted so
+    that [lt a b] implies [a] appears before [b]. Ties (concurrent or
+    equal clocks) are broken by {!Vector_clock.compare_total}. *)
+
+val is_linear_extension : Vector_clock.t list -> bool
+(** [is_linear_extension l] checks that no element is strictly greater
+    than a later element — i.e. the list order is compatible with the
+    clock order. *)
+
+val covers :
+  Vector_clock.t list -> (Vector_clock.t * Vector_clock.t) list
+(** [covers l] is the covering relation of the partial order restricted
+    to [l]: pairs [(a, b)] with [lt a b] and no [c] in [l] strictly
+    between them. Over the [Write_co] timestamps of a history's writes
+    this is exactly the edge set of the write causality graph. *)
+
+val down_set : Vector_clock.t list -> Vector_clock.t -> Vector_clock.t list
+(** [down_set l v] is every element of [l] strictly below [v] — the
+    causal past of [v] within [l]. *)
+
+val width_lower_bound : Vector_clock.t list -> int
+(** Size of a maximal antichain found greedily (a lower bound on the
+    order width; exact for the small histories used in tests). *)

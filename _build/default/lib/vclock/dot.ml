@@ -1,0 +1,28 @@
+type t = { replica : int; seq : int }
+
+let make ~replica ~seq =
+  if replica < 0 then invalid_arg "Dot.make: negative replica";
+  if seq < 1 then invalid_arg "Dot.make: sequence numbers start at 1";
+  { replica; seq }
+
+let replica d = d.replica
+let seq d = d.seq
+let equal a b = a.replica = b.replica && a.seq = b.seq
+
+let compare a b =
+  let c = Int.compare a.replica b.replica in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let hash d = (d.replica * 1000003) lxor d.seq
+let of_clock w_co i = make ~replica:i ~seq:(Vector_clock.get w_co i)
+let pp ppf d = Format.fprintf ppf "w%d#%d" (d.replica + 1) d.seq
+let to_string d = Format.asprintf "%a" pp d
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

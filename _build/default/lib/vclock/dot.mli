@@ -1,0 +1,34 @@
+(** Write identities.
+
+    A {e dot} is the pair [(replica, sequence_number)] identifying the
+    [seq]-th write issued by process [replica] (1-based, matching the
+    paper's Observation 2: [w] is the [k]-th write of [p_i] iff
+    [w.Write_co[i] = k]). Dots name writes independently of their
+    payload, which is what the delay-accounting machinery, the causality
+    graph and the writing-semantics metadata all need. *)
+
+type t = { replica : int; seq : int }
+
+val make : replica:int -> seq:int -> t
+(** @raise Invalid_argument if [replica < 0] or [seq < 1]. *)
+
+val replica : t -> int
+val seq : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val of_clock : Vector_clock.t -> int -> t
+(** [of_clock w_co i] is the dot of the write whose [Write_co] vector is
+    [w_co] and whose issuer is [p_i] — i.e. [(i, w_co[i])]
+    (Observation 2). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [w{replica+1}#{seq}], e.g. [w1#2] for the second write of
+    process [p₁] (1-based process names, as in the paper). *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,70 @@
+type t = int array array
+
+let create n =
+  if n <= 0 then invalid_arg "Matrix_clock.create: size must be positive";
+  Array.init n (fun _ -> Array.make n 0)
+
+let copy m = Array.map Array.copy m
+let size = Array.length
+
+let check m i name =
+  if i < 0 || i >= Array.length m then
+    invalid_arg (Printf.sprintf "Matrix_clock.%s: index out of bounds" name)
+
+let row m j =
+  check m j "row";
+  Vector_clock.of_array m.(j)
+
+let own = row
+
+let get m i j =
+  check m i "get";
+  check m j "get";
+  m.(i).(j)
+
+let tick m i =
+  check m i "tick";
+  m.(i).(i) <- m.(i).(i) + 1
+
+let observe m i v =
+  check m i "observe";
+  if Vector_clock.size v <> Array.length m then
+    invalid_arg "Matrix_clock.observe: size mismatch";
+  for j = 0 to Array.length m - 1 do
+    let x = Vector_clock.get v j in
+    if x > m.(i).(j) then m.(i).(j) <- x
+  done
+
+let merge_from m ~sender remote =
+  check m sender "merge_from";
+  if size remote <> size m then
+    invalid_arg "Matrix_clock.merge_from: size mismatch";
+  let n = Array.length m in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let x = remote.(i).(j) in
+      if x > m.(i).(j) then m.(i).(j) <- x
+    done
+  done;
+  (* the sender's row of the remote matrix is the sender's current
+     knowledge; absorbing it separately is redundant after the full
+     merge above but kept explicit for clarity of the receipt rule *)
+  for j = 0 to n - 1 do
+    let x = remote.(sender).(j) in
+    if x > m.(sender).(j) then m.(sender).(j) <- x
+  done
+
+let stable_seq m j =
+  check m j "stable_seq";
+  Array.fold_left (fun acc r -> min acc r.(j)) max_int m
+
+let is_stable m d = Dot.seq d <= stable_seq m (Dot.replica d)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Vector_clock.pp ppf (Vector_clock.of_array r))
+    m;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,51 @@
+(** Matrix clocks ("knowledge about knowledge").
+
+    A matrix clock at process [p_i] stores, for every process [p_j], an
+    estimate of [p_j]'s vector clock. Row [i] is [p_i]'s own vector.
+    Matrix clocks are not needed by OptP itself, but they are the
+    standard substrate for two facilities this repository offers on top
+    of the paper:
+
+    - {b garbage collection} of write buffers: a write [w] issued by
+      [p_j] with sequence number [s] is stable once
+      [min_k M[k][j] ≥ s] — every process is known to have applied it;
+    - the token-based writing-semantics protocol ([Ws_token]) uses the
+      stability test to bound its pending-update sets. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero n×n matrix. *)
+
+val copy : t -> t
+val size : t -> int
+
+val row : t -> int -> Vector_clock.t
+(** [row m j] is a fresh copy of row [j]. *)
+
+val own : t -> int -> Vector_clock.t
+(** [own m i] is [row m i] — process [i]'s own vector. *)
+
+val get : t -> int -> int -> int
+
+val tick : t -> int -> unit
+(** [tick m i] increments [M[i][i]] — process [i] produced an event. *)
+
+val observe : t -> int -> Vector_clock.t -> unit
+(** [observe m i v] merges [v] into row [i] — process [i] learned of the
+    events in [v]. *)
+
+val merge_from : t -> sender:int -> t -> unit
+(** [merge_from m ~sender remote] is the receipt rule at some process
+    [p_i] (the owner of [m]): every row is merged component-wise with
+    the corresponding remote row, and the sender's row additionally
+    absorbs the sender's own row of [remote]. *)
+
+val stable_seq : t -> int -> int
+(** [stable_seq m j] is [min_k M[k][j]]: every write of [p_j] with
+    sequence number [≤ stable_seq m j] is known-applied everywhere. *)
+
+val is_stable : t -> Dot.t -> bool
+(** [is_stable m d] is [Dot.seq d <= stable_seq m (Dot.replica d)]. *)
+
+val pp : Format.formatter -> t -> unit

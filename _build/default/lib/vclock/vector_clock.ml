@@ -1,0 +1,101 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vector_clock.create: size must be positive";
+  Array.make n 0
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Vector_clock.of_array: empty";
+  Array.iter
+    (fun x ->
+      if x < 0 then invalid_arg "Vector_clock.of_array: negative component")
+    a;
+  Array.copy a
+
+let of_list l = of_array (Array.of_list l)
+let copy = Array.copy
+let size = Array.length
+
+let get v i =
+  if i < 0 || i >= Array.length v then
+    invalid_arg "Vector_clock.get: index out of bounds";
+  v.(i)
+
+let to_array = Array.copy
+let to_list = Array.to_list
+let sum v = Array.fold_left ( + ) 0 v
+
+let set v i k =
+  if i < 0 || i >= Array.length v then
+    invalid_arg "Vector_clock.set: index out of bounds";
+  if k < 0 then invalid_arg "Vector_clock.set: negative value";
+  v.(i) <- k
+
+let tick v i =
+  if i < 0 || i >= Array.length v then
+    invalid_arg "Vector_clock.tick: index out of bounds";
+  v.(i) <- v.(i) + 1
+
+let check_sizes name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vector_clock.%s: size mismatch" name)
+
+let merge_into dst src =
+  check_sizes "merge_into" dst src;
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let merge a b =
+  let r = copy a in
+  merge_into r b;
+  r
+
+let equal a b =
+  check_sizes "equal" a b;
+  let rec go i = i = Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let leq a b =
+  check_sizes "leq" a b;
+  let rec go i = i = Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let lt a b = leq a b && not (equal a b)
+let concurrent a b = (not (lt a b)) && not (lt b a) && not (equal a b)
+
+type order = Equal | Before | After | Concurrent
+
+(* Single pass: track whether some component of [a] is below [b] and
+   vice versa. *)
+let compare_partial a b =
+  check_sizes "compare_partial" a b;
+  let a_below = ref false and b_below = ref false in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) < b.(i) then a_below := true
+    else if a.(i) > b.(i) then b_below := true
+  done;
+  match (!a_below, !b_below) with
+  | false, false -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | true, true -> Concurrent
+
+let compare_total a b =
+  check_sizes "compare_total" a b;
+  let rec go i =
+    if i = Array.length a then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let pp ppf v =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list v)
+
+let to_string v = Format.asprintf "%a" pp v

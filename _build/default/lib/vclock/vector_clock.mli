@@ -1,0 +1,99 @@
+(** Fidge–Mattern style vector clocks.
+
+    A vector clock over [n] processes is an array of [n] non-negative
+    counters. This module is the shared substrate for every logical-clock
+    system in the repository: the classical happened-before clocks used
+    by causal broadcast (ANBKH) and the paper's [Write_co] system, which
+    is a vector clock characterizing the causal-memory order [↦co]
+    (Theorems 1–2 of the paper).
+
+    Values of type {!t} are mutable arrays; the functions below document
+    whether they mutate their argument or return a fresh vector. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : int -> t
+(** [create n] is a fresh all-zero vector over [n] processes.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val of_array : int array -> t
+(** [of_array a] copies [a] into a fresh clock.
+    @raise Invalid_argument if [a] is empty or has a negative entry. *)
+
+val of_list : int list -> t
+(** [of_list l] is [of_array (Array.of_list l)]. *)
+
+val copy : t -> t
+(** [copy v] is a fresh clock equal to [v]. *)
+
+(** {1 Accessors} *)
+
+val size : t -> int
+(** Number of process components. *)
+
+val get : t -> int -> int
+(** [get v i] is component [i].
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val to_array : t -> int array
+(** Fresh array snapshot of the components. *)
+
+val to_list : t -> int list
+
+val sum : t -> int
+(** Sum of all components — the number of events in the vector's causal
+    past (counting multiplicity per process). *)
+
+(** {1 Mutation} *)
+
+val set : t -> int -> int -> unit
+(** [set v i k] assigns component [i].
+    @raise Invalid_argument on out-of-bounds index or negative value. *)
+
+val tick : t -> int -> unit
+(** [tick v i] increments component [i] in place; this is what a process
+    [p_i] does when it produces a new locally-counted event (a write, for
+    [Write_co]). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] sets [dst] to the component-wise maximum of
+    [dst] and [src] (in place). This is the read-time merge of OptP
+    (line 1 of the read procedure) and the delivery-time merge of causal
+    broadcast.
+    @raise Invalid_argument if sizes differ. *)
+
+(** {1 Pure operations} *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh component-wise maximum. *)
+
+val equal : t -> t -> bool
+
+val leq : t -> t -> bool
+(** [leq a b] is [∀k, a[k] ≤ b[k]] — the paper's [V ≤ V']. *)
+
+val lt : t -> t -> bool
+(** [lt a b] is [leq a b && not (equal a b)] — the paper's [V < V'],
+    i.e. the clock order corresponding to [↦co] on writes (Theorem 1). *)
+
+val concurrent : t -> t -> bool
+(** [concurrent a b] is [not (lt a b) && not (lt b a)] for distinct
+    vectors; equal vectors are not concurrent. The paper's [V ∥ V']. *)
+
+type order = Equal | Before | After | Concurrent
+
+val compare_partial : t -> t -> order
+(** Full classification of the pair under the vector partial order. *)
+
+val compare_total : t -> t -> int
+(** An arbitrary total order extending [lt] (lexicographic); useful for
+    deterministic sorting and for use as a [Map]/[Set] key. *)
+
+(** {1 Pretty printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[a; b; c]] — matching the paper's figures. *)
+
+val to_string : t -> string

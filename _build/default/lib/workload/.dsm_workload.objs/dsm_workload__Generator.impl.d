@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Dsm_sim Float List Spec Zipf

@@ -1,0 +1,1 @@
+lib/workload/scripted.ml: Array List Spec

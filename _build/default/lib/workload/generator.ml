@@ -1,0 +1,50 @@
+module Rng = Dsm_sim.Rng
+module Latency = Dsm_sim.Latency
+open Spec
+
+let generate spec =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Generator.generate: " ^ e));
+  let root = Rng.create spec.seed in
+  let zipf =
+    match spec.var_dist with
+    | Zipf_vars s -> Some (Zipf.create ~n:spec.m ~s)
+    | Uniform_vars | Single_var -> None
+  in
+  Array.init spec.n (fun _proc ->
+      let rng = Rng.split root in
+      let now = ref 0. in
+      List.init spec.ops_per_process (fun _ ->
+          now := !now +. Latency.sample spec.think rng;
+          let var =
+            match spec.var_dist with
+            | Uniform_vars -> Rng.int rng spec.m
+            | Single_var -> 0
+            | Zipf_vars _ -> (
+                match zipf with
+                | Some z -> Zipf.sample z rng
+                | None -> assert false)
+          in
+          let op =
+            if Rng.bernoulli rng spec.write_ratio then Do_write { var }
+            else Do_read { var }
+          in
+          { at = !now; op }))
+
+let op_counts schedule =
+  Array.fold_left
+    (fun (w, r) ops ->
+      List.fold_left
+        (fun (w, r) { op; _ } ->
+          match op with
+          | Do_write _ -> (w + 1, r)
+          | Do_read _ -> (w, r + 1))
+        (w, r) ops)
+    (0, 0) schedule
+
+let end_time schedule =
+  Array.fold_left
+    (fun acc ops ->
+      List.fold_left (fun acc { at; _ } -> Float.max acc at) acc ops)
+    0. schedule

@@ -1,0 +1,16 @@
+(** Random workload generation.
+
+    Expands a {!Spec.t} into a concrete per-process schedule of timed
+    operations. Generation is deterministic in the spec's seed: each
+    process draws from its own split RNG stream, so changing one
+    process's parameters never perturbs another's schedule. *)
+
+val generate : Spec.t -> Spec.scheduled_op list array
+(** One timed op list per process, ascending in time.
+    @raise Invalid_argument if the spec fails {!Spec.validate}. *)
+
+val op_counts : Spec.scheduled_op list array -> int * int
+(** [(writes, reads)] totals of a generated schedule. *)
+
+val end_time : Spec.scheduled_op list array -> float
+(** Largest scheduled issue time (0 if empty). *)

@@ -1,0 +1,24 @@
+open Spec
+
+type program = scheduled_op list
+
+let program ?(start = 0.) ?(gap = 1.) ops =
+  if start < 0. then invalid_arg "Scripted.program: negative start";
+  if gap <= 0. then invalid_arg "Scripted.program: gap must be positive";
+  List.mapi (fun i op -> { at = start +. (float_of_int i *. gap); op }) ops
+
+let timed pairs =
+  let rec check prev = function
+    | [] -> ()
+    | (at, _) :: rest ->
+        if at < prev then
+          invalid_arg "Scripted.timed: issue times must be non-decreasing";
+        check at rest
+  in
+  check 0. pairs;
+  List.map (fun (at, op) -> { at; op }) pairs
+
+let schedule programs = Array.of_list programs
+
+let w var = Do_write { var }
+let r var = Do_read { var }

@@ -1,0 +1,26 @@
+(** Hand-written workloads.
+
+    Combinators for building explicit per-process schedules — used by
+    the example applications and by the paper-figure reproductions,
+    where the exact issue order of each operation matters. *)
+
+type program
+(** A sequential program for one process: ops with explicit gaps. *)
+
+val program : ?start:float -> ?gap:float -> Spec.op list -> program
+(** Ops issued at [start], [start+gap], [start+2·gap], …
+    Defaults: [start = 0.], [gap = 1.].
+    @raise Invalid_argument on negative [start] or non-positive [gap]. *)
+
+val timed : (float * Spec.op) list -> program
+(** Explicit absolute issue times; must be non-decreasing.
+    @raise Invalid_argument otherwise. *)
+
+val schedule : program list -> Spec.scheduled_op list array
+(** Program [i] runs on process [i]. *)
+
+val w : int -> Spec.op
+(** [w var] — write intent (0-based variable). *)
+
+val r : int -> Spec.op
+(** [r var] — read intent. *)

@@ -1,0 +1,53 @@
+module Latency = Dsm_sim.Latency
+
+type op = Do_write of { var : int } | Do_read of { var : int }
+type scheduled_op = { at : float; op : op }
+
+type var_dist = Uniform_vars | Zipf_vars of float | Single_var
+
+type t = {
+  n : int;
+  m : int;
+  ops_per_process : int;
+  write_ratio : float;
+  think : Latency.t;
+  var_dist : var_dist;
+  seed : int;
+}
+
+let make ?(n = 3) ?(m = 4) ?(ops_per_process = 100) ?(write_ratio = 0.5)
+    ?(think = Latency.Exponential { mean = 10. }) ?(var_dist = Uniform_vars)
+    ?(seed = 42) () =
+  { n; m; ops_per_process; write_ratio; think; var_dist; seed }
+
+let validate t =
+  if t.n <= 0 then Error "n must be positive"
+  else if t.m <= 0 then Error "m must be positive"
+  else if t.ops_per_process < 0 then Error "ops_per_process must be >= 0"
+  else if t.write_ratio < 0. || t.write_ratio > 1. then
+    Error "write_ratio must be in [0,1]"
+  else
+    match t.var_dist with
+    | Zipf_vars s when s < 0. -> Error "Zipf exponent must be >= 0"
+    | Zipf_vars _ | Uniform_vars | Single_var -> (
+        match Latency.validate t.think with
+        | Ok () -> Ok ()
+        | Error e -> Error ("think: " ^ e))
+
+let total_ops t = t.n * t.ops_per_process
+
+let pp_var_dist ppf = function
+  | Uniform_vars -> Format.pp_print_string ppf "uniform"
+  | Zipf_vars s -> Format.fprintf ppf "zipf(s=%g)" s
+  | Single_var -> Format.pp_print_string ppf "single-var"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "workload(n=%d, m=%d, ops/proc=%d, writes=%.0f%%, think=%a, vars=%a, \
+     seed=%d)"
+    t.n t.m t.ops_per_process (100. *. t.write_ratio) Latency.pp t.think
+    pp_var_dist t.var_dist t.seed
+
+let pp_op ppf = function
+  | Do_write { var } -> Format.fprintf ppf "w(x%d)" (var + 1)
+  | Do_read { var } -> Format.fprintf ppf "r(x%d)" (var + 1)

@@ -1,0 +1,56 @@
+(** Workload specifications.
+
+    A workload describes {e what} each process does and {e when},
+    independently of any protocol: a timed sequence of read/write
+    intents per process. Write values are assigned by the driver (every
+    write gets a globally unique value, so the read-from relation is
+    unambiguous as required by §2).
+
+    The quantitative experiments (Q1–Q6) are sweeps over these fields:
+    more processes, more writes, hotter variables and burstier issue
+    times all increase the chance that concurrent writes race through
+    the network — which is where delay counts separate the protocols. *)
+
+type op = Do_write of { var : int } | Do_read of { var : int }
+
+type scheduled_op = { at : float; op : op }
+(** [at] is an absolute simulated time. *)
+
+type var_dist =
+  | Uniform_vars
+  | Zipf_vars of float
+      (** rank-frequency exponent [s]; [s = 0] is uniform, larger [s]
+          concentrates traffic on few variables *)
+  | Single_var
+      (** all operations on variable 0 — maximal write–write conflicts *)
+
+type t = {
+  n : int;  (** processes *)
+  m : int;  (** memory locations *)
+  ops_per_process : int;
+  write_ratio : float;  (** probability an op is a write, in [0,1] *)
+  think : Dsm_sim.Latency.t;  (** gap between consecutive ops of a process *)
+  var_dist : var_dist;
+  seed : int;
+}
+
+val make :
+  ?n:int ->
+  ?m:int ->
+  ?ops_per_process:int ->
+  ?write_ratio:float ->
+  ?think:Dsm_sim.Latency.t ->
+  ?var_dist:var_dist ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: [n = 3], [m = 4], [ops_per_process = 100],
+    [write_ratio = 0.5], [think = Exponential 10.], [Uniform_vars],
+    [seed = 42]. *)
+
+val validate : t -> (unit, string) result
+
+val total_ops : t -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,33 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: exponent must be non-negative";
+  let weights = Array.init n (fun k -> (float_of_int (k + 1)) ** -.s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { n; s; cdf }
+
+let n t = t.n
+let exponent t = t.s
+
+let sample t rng =
+  let u = Dsm_sim.Rng.float rng in
+  (* binary search for the first cdf entry >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let probability t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

@@ -1,0 +1,22 @@
+(** Zipf-distributed sampling over ranks [0..n-1].
+
+    Rank [k] (0-based) is drawn with probability proportional to
+    [1 / (k+1)^s]. Used by workload generation to model hot variables:
+    the higher the exponent, the more write–write conflicts concentrate
+    on a few locations. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** @raise Invalid_argument unless [n > 0] and [s >= 0]. [s = 0] is the
+    uniform distribution. *)
+
+val n : t -> int
+val exponent : t -> float
+
+val sample : t -> Dsm_sim.Rng.t -> int
+(** A rank in [0..n-1]. *)
+
+val probability : t -> int -> float
+(** Exact probability of a rank.
+    @raise Invalid_argument if out of range. *)

@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Array Dsm_core Dsm_memory Dsm_vclock List

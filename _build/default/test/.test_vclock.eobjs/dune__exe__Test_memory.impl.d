@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Dsm_memory Dsm_sim Dsm_vclock Hashtbl Int List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Dsm_core Dsm_memory Dsm_vclock List

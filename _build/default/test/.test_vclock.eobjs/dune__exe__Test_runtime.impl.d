@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Dsm_core Dsm_memory Dsm_runtime Dsm_sim Dsm_stats Dsm_vclock Dsm_workload List String

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Dsm_core Dsm_memory Dsm_runtime Dsm_vclock List

@@ -1,0 +1,1 @@
+test/test_serialization.ml: Alcotest Array Dsm_memory Dsm_sim Dsm_vclock List Printf QCheck2 QCheck_alcotest

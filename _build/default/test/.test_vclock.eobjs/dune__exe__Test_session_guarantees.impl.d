@@ -1,0 +1,1 @@
+test/test_session_guarantees.ml: Alcotest Dsm_core Dsm_memory Dsm_runtime Dsm_sim Dsm_vclock Dsm_workload List QCheck2 QCheck_alcotest

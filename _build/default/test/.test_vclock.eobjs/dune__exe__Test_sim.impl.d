@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dsm_sim Float Fun Int List Option QCheck2 QCheck_alcotest Result

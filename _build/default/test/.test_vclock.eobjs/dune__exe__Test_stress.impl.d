@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Dsm_core Dsm_runtime Dsm_sim Dsm_workload Format List

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Array Dsm_vclock Fun List Map QCheck2 QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dsm_sim Dsm_workload List QCheck2 QCheck_alcotest Result

@@ -1,0 +1,4 @@
+  $ dsm-sim run -n 3 -m 2 --ops 20 --seed 4 --latency const:5
+  $ dsm-sim run -n 3 -m 2 --ops 20 --seed 4 --latency exp:10 --drop 0.2 > /dev/null 2>&1; echo "exit: $?"
+  $ dsm-sim run -n 4 -m 8 --ops 20 --seed 4 --replication-degree 2 > /dev/null 2>&1; echo "exit: $?"
+  $ dsm-sim run --protocol nope 2> /dev/null; echo "exit: $?"

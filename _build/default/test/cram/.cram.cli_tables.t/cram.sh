@@ -1,0 +1,2 @@
+  $ dsm-sim tables --section F7
+  $ dsm-sim graph -n 2 -m 2 --ops 4 --write-ratio 1.0 --seed 1 | head -3

@@ -1,0 +1,25 @@
+A small deterministic run: OptP audits clean and exits 0.
+
+  $ dsm-sim run -n 3 -m 2 --ops 20 --seed 4 --latency const:5
+  workload: workload(n=3, m=2, ops/proc=20, writes=50%, think=exp(mean=10), vars=uniform, seed=4)
+  network:  const(5)
+  
+  protocol: OptP
+  
+  OptP: 205 events, 58 msgs sent / 58 delivered, t_end=189.0
+  applies=87 delays=0 skips=0 buffer-high=0,0,0
+  
+  audit: applies=87 delays=0 (necessary=0, unnecessary=0) skips=0 complete=true lost=0
+         violations=0
+A lossy run over reliable channels also audits clean.
+
+  $ dsm-sim run -n 3 -m 2 --ops 20 --seed 4 --latency exp:10 --drop 0.2 > /dev/null 2>&1; echo "exit: $?"
+  exit: 0
+Partial replication over a ring layout.
+
+  $ dsm-sim run -n 4 -m 8 --ops 20 --seed 4 --replication-degree 2 > /dev/null 2>&1; echo "exit: $?"
+  exit: 0
+An unknown protocol is rejected.
+
+  $ dsm-sim run --protocol nope 2> /dev/null; echo "exit: $?"
+  exit: 124

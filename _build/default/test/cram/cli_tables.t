@@ -1,0 +1,21 @@
+The paper's tables are fully deterministic and must never change.
+
+  $ dsm-sim tables --section F7
+  Figure 7: write causality graph of H1
+  w1(x1)a -> w1(x1)c
+  w1(x1)a -> w2(x2)b
+  w2(x2)b -> w3(x2)d
+  
+  digraph write_causality {
+    "w1(x1)a";
+    "w1(x1)c";
+    "w2(x2)b";
+    "w3(x2)d";
+    "w1(x1)a" -> "w1(x1)c";
+    "w1(x1)a" -> "w2(x2)b";
+    "w2(x2)b" -> "w3(x2)d";
+  }
+  $ dsm-sim graph -n 2 -m 2 --ops 4 --write-ratio 1.0 --seed 1 | head -3
+  digraph write_causality {
+    "w1(x1)b";
+    "w1(x1)c";

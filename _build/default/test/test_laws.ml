@@ -1,0 +1,185 @@
+(* Protocol conformance laws: one battery of behavioural invariants run
+   uniformly against every Protocol.S implementation. Complements the
+   per-protocol unit tests by guaranteeing no implementation quietly
+   diverges from the shared contract. *)
+
+module Protocol = Dsm_core.Protocol
+module Operation = Dsm_memory.Operation
+module Dot = Dsm_vclock.Dot
+module V = Dsm_vclock.Vector_clock
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let protocols : (string * (module Protocol.S)) list =
+  [
+    ("optp", (module Dsm_core.Opt_p));
+    ("anbkh", (module Dsm_core.Anbkh));
+    ("ws-recv", (module Dsm_core.Ws_receiver));
+    ("optp-ws", (module Dsm_core.Opt_p_ws));
+    ("optp-direct", (module Dsm_core.Opt_p_direct));
+    ("ws-token", (module Dsm_core.Ws_token));
+  ]
+
+let cfg = Protocol.config ~n:3 ~m:2
+
+(* law: a fresh replica reads ⊥ everywhere *)
+let law_fresh_reads_bot (module P : Protocol.S) () =
+  let p = P.create cfg ~me:0 in
+  for var = 0 to 1 do
+    check_bool "⊥" true (P.read p ~var = (Operation.Bot, None))
+  done;
+  Alcotest.(check (list int)) "zero applied vector" [ 0; 0; 0 ]
+    (V.to_list (P.applied_vector p))
+
+(* law: read your own write, immediately *)
+let law_read_own_write (module P : Protocol.S) () =
+  let p = P.create cfg ~me:1 in
+  let dot, _ = P.write p ~var:0 ~value:42 in
+  check_bool "own value" true (P.read p ~var:0 = (Operation.Val 42, Some dot));
+  check_bool "other var untouched" true (P.read p ~var:1 = (Operation.Bot, None))
+
+(* law: dots are (me, 1), (me, 2), ... in issue order *)
+let law_dot_sequencing (module P : Protocol.S) () =
+  let p = P.create cfg ~me:2 in
+  let d1, _ = P.write p ~var:0 ~value:1 in
+  let d2, _ = P.write p ~var:1 ~value:2 in
+  let d3, _ = P.write p ~var:0 ~value:3 in
+  Alcotest.(check (list string)) "sequenced"
+    [ "w3#1"; "w3#2"; "w3#3" ]
+    (List.map Dot.to_string [ d1; d2; d3 ])
+
+(* law: the write's apply record is the local apply, not buffered *)
+let law_local_apply_record (module P : Protocol.S) () =
+  let p = P.create cfg ~me:0 in
+  let dot, eff = P.write p ~var:1 ~value:5 in
+  match eff.Protocol.applied with
+  | [ a ] ->
+      check_bool "same dot" true (Dot.equal a.Protocol.adot dot);
+      check_int "var" 1 a.Protocol.avar;
+      check_int "value" 5 a.Protocol.avalue;
+      check_bool "not from buffer" false a.Protocol.afrom_buffer
+  | _ -> Alcotest.fail "expected exactly the local apply"
+
+(* law: applied_vector counts own writes in its own component *)
+let law_applied_vector_counts_own (module P : Protocol.S) () =
+  let p = P.create cfg ~me:1 in
+  for v = 1 to 4 do
+    ignore (P.write p ~var:0 ~value:v)
+  done;
+  check_int "own component" 4 (V.get (P.applied_vector p) 1)
+
+(* law: msg_writes of an outbound write message names the write *)
+let law_msg_writes (module P : Protocol.S) () =
+  let p = P.create cfg ~me:0 in
+  let dot, eff = P.write p ~var:0 ~value:9 in
+  let carried =
+    List.concat_map
+      (fun ob ->
+        let m =
+          match ob with
+          | Protocol.Broadcast m -> m
+          | Protocol.Unicast { msg; _ } -> msg
+        in
+        P.msg_writes m)
+      eff.Protocol.to_send
+  in
+  (* token protocols may defer propagation; when a message does carry
+     writes, the new write must be among them *)
+  match carried with
+  | [] -> ()
+  | l ->
+      check_bool "carries the write" true
+        (List.exists (fun (d, _, _) -> Dot.equal d dot) l)
+
+(* law: in-order pairwise exchange applies everything, buffers stay
+   empty at quiescence *)
+let law_in_order_exchange (module P : Protocol.S) () =
+  let a = P.create cfg ~me:0 in
+  let b = P.create cfg ~me:1 in
+  let c = P.create cfg ~me:2 in
+  let all = [| a; b; c |] in
+  let deliver_all src (eff : P.msg Protocol.effects) =
+    List.iter
+      (fun ob ->
+        match ob with
+        | Protocol.Broadcast m ->
+            Array.iteri
+              (fun i p -> if i <> src then ignore (P.receive p ~src m))
+              all
+        | Protocol.Unicast { dst; msg } ->
+            ignore (P.receive all.(dst) ~src:dst msg) |> ignore;
+            ignore (P.receive all.(dst) ~src msg) |> ignore)
+      eff.Protocol.to_send
+  in
+  ignore deliver_all;
+  (* use broadcast-only protocols for this law; token's unicast routing
+     is driven by its own tests *)
+  let broadcast_only =
+    match P.name with "WS-token" -> false | _ -> true
+  in
+  if broadcast_only then begin
+    let _, e1 = P.write a ~var:0 ~value:1 in
+    (match e1.Protocol.to_send with
+    | [ Protocol.Broadcast m ] ->
+        ignore (P.receive b ~src:0 m);
+        ignore (P.receive c ~src:0 m)
+    | _ -> Alcotest.fail "expected a broadcast");
+    let _, e2 = P.write b ~var:1 ~value:2 in
+    (match e2.Protocol.to_send with
+    | [ Protocol.Broadcast m ] ->
+        ignore (P.receive a ~src:1 m);
+        ignore (P.receive c ~src:1 m)
+    | _ -> Alcotest.fail "expected a broadcast");
+    Array.iter
+      (fun p ->
+        check_int "buffer empty" 0 (P.buffered p);
+        check_bool "x1 converged" true
+          (fst (P.read p ~var:0) = Operation.Val 1);
+        check_bool "x2 converged" true
+          (fst (P.read p ~var:1) = Operation.Val 2))
+      all
+  end
+
+(* law: buffer statistics are consistent *)
+let law_buffer_stats (module P : Protocol.S) () =
+  let p = P.create cfg ~me:0 in
+  check_int "fresh buffer empty" 0 (P.buffered p);
+  check_int "fresh high watermark" 0 (P.buffer_high_watermark p);
+  check_int "fresh total" 0 (P.total_buffered p)
+
+(* law: create rejects out-of-range process ids *)
+let law_create_validation (module P : Protocol.S) () =
+  check_bool "negative me" true
+    (try
+       ignore (P.create cfg ~me:(-1));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "me = n" true
+    (try
+       ignore (P.create cfg ~me:3);
+       false
+     with Invalid_argument _ -> true)
+
+let laws =
+  [
+    ("fresh reads ⊥", law_fresh_reads_bot);
+    ("read your own write", law_read_own_write);
+    ("dot sequencing", law_dot_sequencing);
+    ("local apply record", law_local_apply_record);
+    ("applied vector counts own", law_applied_vector_counts_own);
+    ("msg_writes names the write", law_msg_writes);
+    ("in-order exchange converges", law_in_order_exchange);
+    ("buffer stats", law_buffer_stats);
+    ("create validation", law_create_validation);
+  ]
+
+let () =
+  Alcotest.run "protocol_laws"
+    (List.map
+       (fun (pname, p) ->
+         ( pname,
+           List.map
+             (fun (lname, law) -> Alcotest.test_case lname `Quick (law p))
+             laws ))
+       protocols)

@@ -1,0 +1,773 @@
+(* Unit and property tests for the shared-memory formal model:
+   Bitset, Operation, Local_history, History, Causal_order, Legality,
+   Causality_graph, Enabling, Write_vectors. *)
+
+module Bitset = Dsm_memory.Bitset
+module Operation = Dsm_memory.Operation
+module Local_history = Dsm_memory.Local_history
+module History = Dsm_memory.History
+module Causal_order = Dsm_memory.Causal_order
+module Legality = Dsm_memory.Legality
+module Causality_graph = Dsm_memory.Causality_graph
+module Enabling = Dsm_memory.Enabling
+module Write_vectors = Dsm_memory.Write_vectors
+module Dot = Dsm_vclock.Dot
+module V = Dsm_vclock.Vector_clock
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* the paper's Ĥ₁ plus handles to every operation *)
+let h1 () =
+  let p1 = Local_history.create ~proc:0 in
+  let wa = Local_history.add_write p1 ~var:0 ~value:0 in
+  let wc = Local_history.add_write p1 ~var:0 ~value:2 in
+  let p2 = Local_history.create ~proc:1 in
+  let r2 =
+    Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
+      ~read_from:(Some wa.Operation.wdot)
+  in
+  let wb = Local_history.add_write p2 ~var:1 ~value:1 in
+  let p3 = Local_history.create ~proc:2 in
+  let r3 =
+    Local_history.add_read p3 ~var:1 ~value:(Operation.Val 1)
+      ~read_from:(Some wb.Operation.wdot)
+  in
+  let wd = Local_history.add_write p3 ~var:1 ~value:3 in
+  (History.of_locals [ p1; p2; p3 ], wa, wc, wb, wd, r2, r3)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 20 in
+  check_bool "empty" true (Bitset.is_empty b);
+  Bitset.set b 0;
+  Bitset.set b 7;
+  Bitset.set b 19;
+  check_bool "mem" true (Bitset.mem b 7);
+  check_bool "not mem" false (Bitset.mem b 8);
+  check_int "cardinal" 3 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "elements" [ 0; 7; 19 ] (Bitset.elements b);
+  Bitset.clear_bit b 7;
+  check_bool "cleared" false (Bitset.mem b 7)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "set oob"
+    (Invalid_argument "Bitset.set: index out of bounds") (fun () ->
+      Bitset.set b 8);
+  Alcotest.check_raises "mem oob"
+    (Invalid_argument "Bitset.mem: index out of bounds") (fun () ->
+      ignore (Bitset.mem b (-1)))
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 2; 3; 4 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into i b;
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.elements i);
+  check_bool "subset" true (Bitset.is_subset i a);
+  check_bool "not subset" false (Bitset.is_subset u a);
+  check_bool "equal" true (Bitset.equal a (Bitset.of_list 10 [ 1; 2; 3 ]))
+
+let prop_bitset_roundtrip =
+  qcheck_case "of_list/elements roundtrip"
+    QCheck2.Gen.(list_size (int_range 0 30) (int_bound 63))
+    (fun l ->
+      let sorted = List.sort_uniq Int.compare l in
+      Bitset.elements (Bitset.of_list 64 l) = sorted)
+
+let prop_bitset_union_cardinal =
+  qcheck_case "union is an upper bound"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 20) (int_bound 31))
+        (list_size (int_range 0 20) (int_bound 31)))
+    (fun (la, lb) ->
+      let a = Bitset.of_list 32 la and b = Bitset.of_list 32 lb in
+      let u = Bitset.copy a in
+      Bitset.union_into u b;
+      Bitset.is_subset a u && Bitset.is_subset b u)
+
+(* ------------------------------------------------------------------ *)
+(* Operation & Local_history                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_operation_pp () =
+  let w = Operation.write ~proc:0 ~seq:1 ~var:0 ~value:0 in
+  Alcotest.(check string) "write" "w1(x1)a" (Operation.to_string w);
+  let r =
+    Operation.read ~proc:2 ~slot:0 ~var:1 ~value:(Operation.Val 3)
+      ~read_from:None
+  in
+  Alcotest.(check string) "read" "r3(x2)d" (Operation.to_string r);
+  let rb =
+    Operation.read ~proc:0 ~slot:0 ~var:0 ~value:Operation.Bot
+      ~read_from:None
+  in
+  Alcotest.(check string) "bot read" "r1(x1)⊥" (Operation.to_string rb);
+  let big = Operation.write ~proc:0 ~seq:1 ~var:0 ~value:1000 in
+  Alcotest.(check string) "large values numeric" "w1(x1)1000"
+    (Operation.to_string big)
+
+let test_operation_accessors () =
+  let w = Operation.write ~proc:1 ~seq:2 ~var:3 ~value:7 in
+  check_int "proc" 1 (Operation.proc w);
+  check_int "var" 3 (Operation.var w);
+  check_bool "is_write" true (Operation.is_write w);
+  check_bool "as_read none" true (Operation.as_read w = None)
+
+let test_local_history_sequencing () =
+  let lh = Local_history.create ~proc:1 in
+  let w1 = Local_history.add_write lh ~var:0 ~value:1 in
+  let _ =
+    Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some w1.Operation.wdot)
+  in
+  let w2 = Local_history.add_write lh ~var:1 ~value:2 in
+  check_int "first write seq" 1 (Dot.seq w1.Operation.wdot);
+  check_int "second write seq" 2 (Dot.seq w2.Operation.wdot);
+  check_int "length" 3 (Local_history.length lh);
+  check_int "write count" 2 (Local_history.write_count lh);
+  check_int "writes list" 2 (List.length (Local_history.writes lh));
+  check_bool "nth" true (Local_history.nth lh 0 = Operation.Write w1);
+  Alcotest.check_raises "nth oob"
+    (Invalid_argument "Local_history.nth: index out of bounds") (fun () ->
+      ignore (Local_history.nth lh 5))
+
+(* ------------------------------------------------------------------ *)
+(* History                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_history_shape () =
+  let h, wa, _, wb, _, _, _ = h1 () in
+  check_int "processes" 3 (History.n_processes h);
+  check_int "variables" 2 (History.n_variables h);
+  check_int "ops" 6 (History.op_count h);
+  check_int "writes" 4 (History.write_count h);
+  check_int "reads" 2 (List.length (History.reads h));
+  check_bool "find wa" true
+    (History.find_write h wa.Operation.wdot = Some wa);
+  check_bool "find wb" true
+    (History.find_write h wb.Operation.wdot = Some wb);
+  check_bool "find absent" true
+    (History.find_write h (Dot.make ~replica:0 ~seq:9) = None)
+
+let test_history_validate_ok () =
+  let h, _, _, _, _, _, _ = h1 () in
+  check_bool "valid" true (History.validate h = Ok ())
+
+let test_history_rejects_bad_proc_ids () =
+  Alcotest.check_raises "gap in ids"
+    (Invalid_argument "History.of_locals: process id 2 outside 0..1")
+    (fun () ->
+      ignore
+        (History.of_locals
+           [ Local_history.create ~proc:0; Local_history.create ~proc:2 ]));
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "History.of_locals: duplicate process id 0")
+    (fun () ->
+      ignore
+        (History.of_locals
+           [ Local_history.create ~proc:0; Local_history.create ~proc:0 ]))
+
+let test_history_validation_catches_dangling () =
+  let lh = Local_history.create ~proc:0 in
+  let _ =
+    Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some (Dot.make ~replica:0 ~seq:9))
+  in
+  let h = History.of_locals [ lh ] in
+  match History.validate h with
+  | Error [ History.Dangling_read_from _ ] -> ()
+  | _ -> Alcotest.fail "expected a dangling read_from violation"
+
+let test_history_validation_catches_wrong_value () =
+  let lh = Local_history.create ~proc:0 in
+  let w = Local_history.add_write lh ~var:0 ~value:5 in
+  let _ =
+    Local_history.add_read lh ~var:0 ~value:(Operation.Val 6)
+      ~read_from:(Some w.Operation.wdot)
+  in
+  let h = History.of_locals [ lh ] in
+  match History.validate h with
+  | Error [ History.Read_from_wrong_value _ ] -> ()
+  | _ -> Alcotest.fail "expected a wrong-value violation"
+
+let test_history_validation_catches_wrong_variable () =
+  let lh = Local_history.create ~proc:0 in
+  let w = Local_history.add_write lh ~var:0 ~value:5 in
+  let _ =
+    Local_history.add_read lh ~var:1 ~value:(Operation.Val 5)
+      ~read_from:(Some w.Operation.wdot)
+  in
+  let h = History.of_locals [ lh ] in
+  match History.validate h with
+  | Error [ History.Read_from_wrong_variable _ ] -> ()
+  | _ -> Alcotest.fail "expected a wrong-variable violation"
+
+let test_history_validation_catches_bot_with_value () =
+  let lh = Local_history.create ~proc:0 in
+  let _ =
+    Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
+      ~read_from:None
+  in
+  let h = History.of_locals [ lh ] in
+  match History.validate h with
+  | Error [ History.Bot_read_with_value _ ] -> ()
+  | _ -> Alcotest.fail "expected a bot-with-value violation"
+
+(* ------------------------------------------------------------------ *)
+(* Causal_order on Ĥ₁ (the paper's Example 1, §2.1)                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_co_h1_relations () =
+  let h, wa, wc, wb, wd, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let p d1 d2 =
+    Causal_order.write_precedes co d1.Operation.wdot d2.Operation.wdot
+  in
+  let conc d1 d2 =
+    Causal_order.write_concurrent co d1.Operation.wdot d2.Operation.wdot
+  in
+  (* exactly the relations stated in Example 1 *)
+  check_bool "a ↦co b" true (p wa wb);
+  check_bool "a ↦co c" true (p wa wc);
+  check_bool "b ↦co d" true (p wb wd);
+  check_bool "a ↦co d (transitivity)" true (p wa wd);
+  check_bool "c ∥co b" true (conc wc wb);
+  check_bool "c ∥co d" true (conc wc wd);
+  check_bool "no reverse" false (p wb wa);
+  check_bool "irreflexive" false (p wa wa)
+
+let test_co_reads_in_order () =
+  let h, wa, _, wb, wd, r2, r3 = h1 () in
+  let co = Causal_order.compute h in
+  check_bool "wa ↦co r2" true
+    (Causal_order.precedes co (Operation.Write wa) (Operation.Read r2));
+  check_bool "r2 ↦co wb (process order)" true
+    (Causal_order.precedes co (Operation.Read r2) (Operation.Write wb));
+  check_bool "wa ↦co r3 (transitively)" true
+    (Causal_order.precedes co (Operation.Write wa) (Operation.Read r3));
+  check_bool "r3 ↦co wd" true
+    (Causal_order.precedes co (Operation.Read r3) (Operation.Write wd))
+
+let test_co_causal_past () =
+  let h, wa, _, wb, wd, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let past = Causal_order.writes_in_past co (Operation.Write wd) in
+  let dots =
+    List.map (fun (w : Operation.write) -> Dot.to_string w.wdot) past
+  in
+  Alcotest.(check (list string))
+    "past of d = {a, b}"
+    [ Dot.to_string wa.Operation.wdot; Dot.to_string wb.Operation.wdot ]
+    dots;
+  check_int "full causal past of d (incl. reads)" 4
+    (List.length (Causal_order.causal_past co (Operation.Write wd)))
+
+let test_co_true_write_co_vectors () =
+  (* Figure 6's vectors, from the formal side *)
+  let h, wa, wc, wb, wd, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let v w = V.to_list (Causal_order.true_write_co co w) in
+  Alcotest.(check (list int)) "a" [ 1; 0; 0 ] (v wa);
+  Alcotest.(check (list int)) "c" [ 2; 0; 0 ] (v wc);
+  Alcotest.(check (list int)) "b" [ 1; 1; 0 ] (v wb);
+  Alcotest.(check (list int)) "d" [ 1; 1; 1 ] (v wd)
+
+let test_co_related_pairs () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  (* a↦b, a↦c, a↦d, b↦d *)
+  check_int "four related write pairs" 4
+    (List.length (Causal_order.related_write_pairs co))
+
+let test_co_rejects_invalid_history () =
+  let lh = Local_history.create ~proc:0 in
+  let _ =
+    Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some (Dot.make ~replica:0 ~seq:9))
+  in
+  let h = History.of_locals [ lh ] in
+  check_bool "raises" true
+    (try
+       ignore (Causal_order.compute h);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Legality                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_legality_h1_consistent () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  check_bool "consistent" true (Legality.is_causally_consistent co)
+
+(* a stale read: p2 reads a from x1 although it already read c (which
+   causally follows a on the same variable) *)
+let test_legality_detects_stale_read () =
+  let p1 = Local_history.create ~proc:0 in
+  let wa = Local_history.add_write p1 ~var:0 ~value:0 in
+  let wc = Local_history.add_write p1 ~var:0 ~value:2 in
+  let p2 = Local_history.create ~proc:1 in
+  let _ =
+    Local_history.add_read p2 ~var:0 ~value:(Operation.Val 2)
+      ~read_from:(Some wc.Operation.wdot)
+  in
+  let _ =
+    Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
+      ~read_from:(Some wa.Operation.wdot)
+  in
+  let h = History.of_locals [ p1; p2 ] in
+  let co = Causal_order.compute h in
+  match Legality.check co with
+  | Error [ { Legality.reason = Legality.Stale_value w'; _ } ] ->
+      check_bool "interposed write is c" true
+        (Dot.equal w'.Operation.wdot wc.Operation.wdot)
+  | Error _ -> Alcotest.fail "expected exactly one stale-value violation"
+  | Ok () -> Alcotest.fail "stale read not detected"
+
+(* a ⊥ read after a causally preceding write on the same variable *)
+let test_legality_detects_bot_after_write () =
+  let p1 = Local_history.create ~proc:0 in
+  let wa = Local_history.add_write p1 ~var:0 ~value:0 in
+  let p2 = Local_history.create ~proc:1 in
+  let _ =
+    Local_history.add_read p2 ~var:1 ~value:Operation.Bot ~read_from:None
+  in
+  (* p2 reads x1=a, then reads x2=⊥: fine. Then writes x2, reads x1=⊥:
+     illegal because wa ↦co that read via its own earlier read *)
+  let _ =
+    Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
+      ~read_from:(Some wa.Operation.wdot)
+  in
+  let _ =
+    Local_history.add_read p2 ~var:0 ~value:Operation.Bot ~read_from:None
+  in
+  let h = History.of_locals [ p1; p2 ] in
+  let co = Causal_order.compute h in
+  match Legality.check co with
+  | Error [ { Legality.reason = Legality.Bot_after_write w; _ } ] ->
+      check_bool "the write is a" true
+        (Dot.equal w.Operation.wdot wa.Operation.wdot)
+  | Error _ -> Alcotest.fail "expected exactly one bot-after-write"
+  | Ok () -> Alcotest.fail "⊥ read not detected"
+
+(* reading your own overwritten write is also stale *)
+let test_legality_own_overwrite () =
+  let p1 = Local_history.create ~proc:0 in
+  let w1 = Local_history.add_write p1 ~var:0 ~value:1 in
+  let _w2 = Local_history.add_write p1 ~var:0 ~value:2 in
+  let _ =
+    Local_history.add_read p1 ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some w1.Operation.wdot)
+  in
+  let h = History.of_locals [ p1 ] in
+  let co = Causal_order.compute h in
+  check_bool "illegal" false (Legality.is_causally_consistent co)
+
+(* concurrent writes may be read in either order by different readers *)
+let test_legality_concurrent_reads_diverge () =
+  let p1 = Local_history.create ~proc:0 in
+  let w1 = Local_history.add_write p1 ~var:0 ~value:1 in
+  let p2 = Local_history.create ~proc:1 in
+  let w2 = Local_history.add_write p2 ~var:0 ~value:2 in
+  let p3 = Local_history.create ~proc:2 in
+  let _ =
+    Local_history.add_read p3 ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some w1.Operation.wdot)
+  in
+  let _ =
+    Local_history.add_read p3 ~var:0 ~value:(Operation.Val 2)
+      ~read_from:(Some w2.Operation.wdot)
+  in
+  let p4 = Local_history.create ~proc:3 in
+  let _ =
+    Local_history.add_read p4 ~var:0 ~value:(Operation.Val 2)
+      ~read_from:(Some w2.Operation.wdot)
+  in
+  let _ =
+    Local_history.add_read p4 ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some w1.Operation.wdot)
+  in
+  let h = History.of_locals [ p1; p2; p3; p4 ] in
+  let co = Causal_order.compute h in
+  check_bool "both orders legal (causal, not sequential!)" true
+    (Legality.is_causally_consistent co)
+
+(* ------------------------------------------------------------------ *)
+(* Causality_graph (Figure 7)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_h1 () =
+  let h, wa, wc, wb, wd, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let g = Causality_graph.compute co in
+  let d (w : Operation.write) = w.Operation.wdot in
+  check_int "three edges" 3 (List.length (Causality_graph.edges g));
+  Alcotest.(check (list string))
+    "preds of d" [ "w2#1" ]
+    (List.map Dot.to_string (Causality_graph.immediate_predecessors g (d wd)));
+  Alcotest.(check (list string))
+    "preds of b" [ "w1#1" ]
+    (List.map Dot.to_string (Causality_graph.immediate_predecessors g (d wb)));
+  Alcotest.(check (list string))
+    "succs of a" [ "w1#2"; "w2#1" ]
+    (List.map Dot.to_string (Causality_graph.immediate_successors g (d wa)));
+  Alcotest.(check (list string))
+    "roots" [ "w1#1" ]
+    (List.map Dot.to_string (Causality_graph.roots g));
+  Alcotest.(check (list string))
+    "sinks" [ "w1#2"; "w3#1" ]
+    (List.map Dot.to_string (Causality_graph.sinks g));
+  check_int "longest path a->b->d" 2 (Causality_graph.longest_path_length g);
+  check_bool "wc is a sink" true
+    (List.exists (Dot.equal (d wc)) (Causality_graph.sinks g))
+
+let test_graph_topological () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let g = Causality_graph.compute co in
+  let order = Causality_graph.topological g in
+  check_int "all writes" 4 (List.length order);
+  (* every write appears after its immediate predecessors *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (w : Operation.write) ->
+      List.iter
+        (fun p ->
+          check_bool "pred before" true (Hashtbl.mem seen (Dot.to_string p)))
+        (Causality_graph.immediate_predecessors g w.wdot);
+      Hashtbl.replace seen (Dot.to_string w.wdot) ())
+    order
+
+let test_graph_graphviz () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let g = Causality_graph.compute co in
+  let dot = Causality_graph.to_graphviz g in
+  check_bool "digraph" true
+    (String.length dot > 0
+    && String.sub dot 0 7 = "digraph");
+  check_bool "has the a->b edge" true
+    (let needle = "\"w1(x1)a\" -> \"w2(x2)b\";" in
+     let rec find i =
+       i + String.length needle <= String.length dot
+       && (String.sub dot i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+(* a chain of writes: the graph must be exactly the chain *)
+let test_graph_chain () =
+  let lh = Local_history.create ~proc:0 in
+  for v = 1 to 5 do
+    ignore (Local_history.add_write lh ~var:0 ~value:v)
+  done;
+  let h = History.of_locals [ lh ] in
+  let co = Causal_order.compute h in
+  let g = Causality_graph.compute co in
+  check_int "chain edges" 4 (List.length (Causality_graph.edges g));
+  check_int "depth" 4 (Causality_graph.longest_path_length g);
+  check_int "one root" 1 (List.length (Causality_graph.roots g));
+  check_int "one sink" 1 (List.length (Causality_graph.sinks g))
+
+(* fully concurrent writes: empty graph *)
+let test_graph_antichain () =
+  let locals =
+    List.init 4 (fun proc ->
+        let lh = Local_history.create ~proc in
+        ignore (Local_history.add_write lh ~var:0 ~value:proc);
+        lh)
+  in
+  let h = History.of_locals locals in
+  let co = Causal_order.compute h in
+  let g = Causality_graph.compute co in
+  check_int "no edges" 0 (List.length (Causality_graph.edges g));
+  check_int "all roots" 4 (List.length (Causality_graph.roots g));
+  check_int "depth 0" 0 (Causality_graph.longest_path_length g)
+
+(* ------------------------------------------------------------------ *)
+(* Enabling (Tables 1 and 2)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_enabling_table1 () =
+  let h, wa, wc, wb, wd, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let set w k =
+    Enabling.co_safe co
+      { Enabling.at_proc = k; write = w.Operation.wdot }
+    |> List.map Dot.to_string
+  in
+  (* paper Table 1, row by row (sets are process-independent here) *)
+  for k = 0 to 2 do
+    Alcotest.(check (list string)) "X(a) empty" [] (set wa k);
+    Alcotest.(check (list string)) "X(c) = {a}" [ "w1#1" ] (set wc k);
+    Alcotest.(check (list string)) "X(b) = {a}" [ "w1#1" ] (set wb k);
+    Alcotest.(check (list string))
+      "X(d) = {a, b}" [ "w1#1"; "w2#1" ] (set wd k)
+  done
+
+let test_enabling_anbkh_superset () =
+  (* with send vectors claiming send(a) → send(c) → send(b),
+     X_ANBKH(b) ⊃ X_co-safe(b) — the Table 2 situation *)
+  let _h, wa, wc, wb, _, _, _ = h1 () in
+  let dots =
+    [ wa.Operation.wdot; wc.Operation.wdot; wb.Operation.wdot ]
+  in
+  let vt d =
+    if Dot.equal d wa.Operation.wdot then V.of_list [ 1; 0; 0 ]
+    else if Dot.equal d wc.Operation.wdot then V.of_list [ 2; 0; 0 ]
+    else V.of_list [ 2; 1; 0 ] (* b's send knows both of p1's sends *)
+  in
+  let x_b =
+    Enabling.anbkh ~send_vt:vt ~writes:dots
+      { Enabling.at_proc = 2; write = wb.Operation.wdot }
+    |> List.map Dot.to_string
+  in
+  Alcotest.(check (list string)) "X_ANBKH(b) = {a, c}" [ "w1#1"; "w1#2" ] x_b
+
+let test_enabling_event_count () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  check_int "4 writes x 3 procs" 12
+    (List.length (Enabling.all_apply_events co))
+
+(* ------------------------------------------------------------------ *)
+(* Write_vectors: fast path vs dense closure                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_vectors_match_closure_on_h1 () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  let wv = Write_vectors.compute h in
+  List.iter
+    (fun (w : Operation.write) ->
+      check_bool
+        ("vectors agree for " ^ Dot.to_string w.wdot)
+        true
+        (V.equal
+           (Causal_order.true_write_co co w)
+           (Write_vectors.of_write wv w.wdot)))
+    (History.writes h)
+
+let test_write_vectors_read_past () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let wv = Write_vectors.compute h in
+  (* r3 read b, whose past is {a, b} *)
+  Alcotest.(check (list int))
+    "r3's causal-past vector" [ 1; 1; 0 ]
+    (V.to_list (Write_vectors.of_read wv ~proc:2 ~slot:0))
+
+let test_write_vectors_precedence () =
+  let h, wa, wc, wb, wd, _, _ = h1 () in
+  let wv = Write_vectors.compute h in
+  let d (w : Operation.write) = w.Operation.wdot in
+  check_bool "a ↦co d" true (Write_vectors.write_precedes wv (d wa) (d wd));
+  check_bool "c ∥ b" true (Write_vectors.write_concurrent wv (d wc) (d wb));
+  check_bool "a ↦co r3" true
+    (Write_vectors.write_precedes_read wv (d wa) ~proc:2 ~slot:0);
+  check_bool "c not ↦co r3" false
+    (Write_vectors.write_precedes_read wv (d wc) ~proc:2 ~slot:0)
+
+let test_write_vectors_not_found () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let wv = Write_vectors.compute h in
+  check_bool "missing write raises" true
+    (try
+       ignore (Write_vectors.of_write wv (Dot.make ~replica:0 ~seq:9));
+       false
+     with Not_found -> true)
+
+(* random histories: the O(ops·n) vectors must agree with the O(ops²)
+   closure everywhere. Histories are generated by simulating a
+   sequentially consistent shared memory (reads return the globally
+   last write), which always yields a valid causal history. *)
+let random_history rand_int n_procs n_vars steps =
+  let locals = Array.init n_procs (fun proc -> Local_history.create ~proc) in
+  let last_write = Array.make n_vars None in
+  for _ = 1 to steps do
+    let proc = rand_int n_procs in
+    let var = rand_int n_vars in
+    if rand_int 2 = 0 then begin
+      let value = rand_int 100 in
+      let w = Local_history.add_write locals.(proc) ~var ~value in
+      last_write.(var) <- Some w
+    end
+    else
+      match last_write.(var) with
+      | None ->
+          ignore
+            (Local_history.add_read locals.(proc) ~var ~value:Operation.Bot
+               ~read_from:None)
+      | Some (w : Operation.write) ->
+          ignore
+            (Local_history.add_read locals.(proc) ~var
+               ~value:(Operation.Val w.wvalue)
+               ~read_from:(Some w.wdot))
+  done;
+  History.of_locals (Array.to_list locals)
+
+let prop_write_vectors_agree_with_closure =
+  qcheck_case ~count:50 "fast vectors = dense closure on random histories"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Dsm_sim.Rng.create seed in
+      let rand_int n = Dsm_sim.Rng.int rng n in
+      let h = random_history rand_int 3 3 30 in
+      let co = Causal_order.compute h in
+      let wv = Write_vectors.compute h in
+      List.for_all
+        (fun (w : Operation.write) ->
+          V.equal
+            (Causal_order.true_write_co co w)
+            (Write_vectors.of_write wv w.wdot))
+        (History.writes h))
+
+let prop_random_sc_history_is_causal =
+  qcheck_case ~count:50 "sequentially consistent histories are causal"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Dsm_sim.Rng.create seed in
+      let rand_int n = Dsm_sim.Rng.int rng n in
+      let h = random_history rand_int 3 3 30 in
+      Legality.is_causally_consistent (Causal_order.compute h))
+
+
+(* cross-module consistency: the causality graph's edge set equals the
+   covering relation of the writes' ground-truth vectors as computed by
+   the independent Clock_order machinery *)
+let prop_graph_equals_vector_covers =
+  qcheck_case ~count:30 "causality graph = clock-order covers"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Dsm_sim.Rng.create seed in
+      let rand_int n = Dsm_sim.Rng.int rng n in
+      let h = random_history rand_int 3 3 20 in
+      let co = Causal_order.compute h in
+      let wv = Write_vectors.compute h in
+      let graph = Causality_graph.compute co in
+      let vec_of (w : Operation.write) = Write_vectors.of_write wv w.wdot in
+      let writes = History.writes h in
+      (* distinct writes always have distinct vectors (the issuer
+         component differs), so covers over vectors maps 1:1 to dots *)
+      let vecs = List.map vec_of writes in
+      let covers = Dsm_vclock.Clock_order.covers vecs in
+      let edges = Causality_graph.edges graph in
+      let dot_of_vec v =
+        (List.find
+           (fun (w : Operation.write) -> V.equal (vec_of w) v)
+           writes)
+          .wdot
+      in
+      let cover_pairs =
+        List.map (fun (a, b) -> (dot_of_vec a, dot_of_vec b)) covers
+        |> List.sort compare
+      in
+      List.sort compare edges = cover_pairs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "set operations" `Quick test_bitset_set_ops;
+          prop_bitset_roundtrip;
+          prop_bitset_union_cardinal;
+        ] );
+      ( "operation",
+        [
+          Alcotest.test_case "paper notation pp" `Quick test_operation_pp;
+          Alcotest.test_case "accessors" `Quick test_operation_accessors;
+          Alcotest.test_case "local history sequencing" `Quick
+            test_local_history_sequencing;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "shape of H1" `Quick test_history_shape;
+          Alcotest.test_case "H1 validates" `Quick test_history_validate_ok;
+          Alcotest.test_case "bad process ids" `Quick
+            test_history_rejects_bad_proc_ids;
+          Alcotest.test_case "dangling read_from" `Quick
+            test_history_validation_catches_dangling;
+          Alcotest.test_case "wrong value" `Quick
+            test_history_validation_catches_wrong_value;
+          Alcotest.test_case "wrong variable" `Quick
+            test_history_validation_catches_wrong_variable;
+          Alcotest.test_case "bot with value" `Quick
+            test_history_validation_catches_bot_with_value;
+        ] );
+      ( "causal_order",
+        [
+          Alcotest.test_case "Example 1 relations" `Quick
+            test_co_h1_relations;
+          Alcotest.test_case "reads in the order" `Quick
+            test_co_reads_in_order;
+          Alcotest.test_case "causal past" `Quick test_co_causal_past;
+          Alcotest.test_case "ground-truth Write_co" `Quick
+            test_co_true_write_co_vectors;
+          Alcotest.test_case "related pairs" `Quick test_co_related_pairs;
+          Alcotest.test_case "rejects invalid history" `Quick
+            test_co_rejects_invalid_history;
+        ] );
+      ( "legality",
+        [
+          Alcotest.test_case "H1 consistent" `Quick
+            test_legality_h1_consistent;
+          Alcotest.test_case "stale read detected" `Quick
+            test_legality_detects_stale_read;
+          Alcotest.test_case "⊥ after write detected" `Quick
+            test_legality_detects_bot_after_write;
+          Alcotest.test_case "own overwrite stale" `Quick
+            test_legality_own_overwrite;
+          Alcotest.test_case "concurrent writes read in both orders"
+            `Quick test_legality_concurrent_reads_diverge;
+        ] );
+      ( "causality_graph",
+        [
+          Alcotest.test_case "Figure 7" `Quick test_graph_h1;
+          Alcotest.test_case "topological order" `Quick
+            test_graph_topological;
+          Alcotest.test_case "graphviz output" `Quick test_graph_graphviz;
+          Alcotest.test_case "chain" `Quick test_graph_chain;
+          Alcotest.test_case "antichain" `Quick test_graph_antichain;
+        ] );
+      ( "enabling",
+        [
+          Alcotest.test_case "Table 1 sets" `Quick test_enabling_table1;
+          Alcotest.test_case "ANBKH superset (Table 2)" `Quick
+            test_enabling_anbkh_superset;
+          Alcotest.test_case "event enumeration" `Quick
+            test_enabling_event_count;
+        ] );
+      ( "write_vectors",
+        [
+          Alcotest.test_case "matches closure on H1" `Quick
+            test_write_vectors_match_closure_on_h1;
+          Alcotest.test_case "read past vector" `Quick
+            test_write_vectors_read_past;
+          Alcotest.test_case "precedence queries" `Quick
+            test_write_vectors_precedence;
+          Alcotest.test_case "not found" `Quick test_write_vectors_not_found;
+          prop_write_vectors_agree_with_closure;
+          prop_random_sc_history_is_causal;
+          prop_graph_equals_vector_covers;
+        ] );
+    ]

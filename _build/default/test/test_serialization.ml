@@ -1,0 +1,182 @@
+(* Tests for the serialization-based causal-consistency validator
+   (the original Ahamad et al. definition), cross-checked against the
+   per-read legality checker. *)
+
+module Operation = Dsm_memory.Operation
+module Local_history = Dsm_memory.Local_history
+module History = Dsm_memory.History
+module Causal_order = Dsm_memory.Causal_order
+module Legality = Dsm_memory.Legality
+module Dot = Dsm_vclock.Dot
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* shared fixture: the paper's H1 (same construction as test_memory) *)
+let h1 () =
+  let p1 = Local_history.create ~proc:0 in
+  let wa = Local_history.add_write p1 ~var:0 ~value:0 in
+  let wc = Local_history.add_write p1 ~var:0 ~value:2 in
+  let p2 = Local_history.create ~proc:1 in
+  let r2 =
+    Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
+      ~read_from:(Some wa.Operation.wdot)
+  in
+  let wb = Local_history.add_write p2 ~var:1 ~value:1 in
+  let p3 = Local_history.create ~proc:2 in
+  let r3 =
+    Local_history.add_read p3 ~var:1 ~value:(Operation.Val 1)
+      ~read_from:(Some wb.Operation.wdot)
+  in
+  let wd = Local_history.add_write p3 ~var:1 ~value:3 in
+  (History.of_locals [ p1; p2; p3 ], wa, wc, wb, wd, r2, r3)
+
+(* random sequentially consistent histories (same scheme as
+   test_memory) *)
+let random_history rand_int n_procs n_vars steps =
+  let locals = Array.init n_procs (fun proc -> Local_history.create ~proc) in
+  let last_write = Array.make n_vars None in
+  for _ = 1 to steps do
+    let proc = rand_int n_procs in
+    let var = rand_int n_vars in
+    if rand_int 2 = 0 then begin
+      let value = rand_int 100 in
+      let w = Local_history.add_write locals.(proc) ~var ~value in
+      last_write.(var) <- Some w
+    end
+    else
+      match last_write.(var) with
+      | None ->
+          ignore
+            (Local_history.add_read locals.(proc) ~var ~value:Operation.Bot
+               ~read_from:None)
+      | Some (w : Operation.write) ->
+          ignore
+            (Local_history.add_read locals.(proc) ~var
+               ~value:(Operation.Val w.wvalue)
+               ~read_from:(Some w.wdot))
+  done;
+  History.of_locals (Array.to_list locals)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization (the original AHNBK definition)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Serialization = Dsm_memory.Serialization
+
+let test_serialization_h1 () =
+  let h, _, _, _, _, _, _ = h1 () in
+  let co = Causal_order.compute h in
+  (match Serialization.check co with
+  | Ok witnesses ->
+      check_int "one witness per process" 3 (List.length witnesses);
+      List.iter
+        (fun w ->
+          check_bool "witness is sequence-legal" true
+            (Serialization.is_legal_sequence w);
+          (* 6 ops for p1/p2/p3: their own 2 ops + the other writes *)
+          check_bool "witness covers H_{i+w}" true (List.length w >= 4))
+        witnesses
+  | Error p -> Alcotest.fail (Printf.sprintf "no witness for p%d" (p + 1)));
+  check_bool "consistent both ways" true
+    (Serialization.is_causally_consistent co
+    = Legality.is_causally_consistent co)
+
+let test_serialization_rejects_inconsistent () =
+  (* the stale-read history from the legality tests *)
+  let p1 = Local_history.create ~proc:0 in
+  let wa = Local_history.add_write p1 ~var:0 ~value:0 in
+  let wc = Local_history.add_write p1 ~var:0 ~value:2 in
+  let p2 = Local_history.create ~proc:1 in
+  let _ =
+    Local_history.add_read p2 ~var:0 ~value:(Operation.Val 2)
+      ~read_from:(Some wc.Operation.wdot)
+  in
+  let _ =
+    Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
+      ~read_from:(Some wa.Operation.wdot)
+  in
+  let h = History.of_locals [ p1; p2 ] in
+  let co = Causal_order.compute h in
+  check_bool "no serialization for p2" true
+    (Serialization.serialize_for co ~proc:1 = None);
+  check_bool "history rejected" false
+    (Serialization.is_causally_consistent co)
+
+let test_serialization_concurrent_orders () =
+  (* two processes reading two concurrent writes in opposite orders:
+     causally consistent (each process gets its own serialization) *)
+  let p1 = Local_history.create ~proc:0 in
+  let w1 = Local_history.add_write p1 ~var:0 ~value:1 in
+  let p2 = Local_history.create ~proc:1 in
+  let w2 = Local_history.add_write p2 ~var:0 ~value:2 in
+  let p3 = Local_history.create ~proc:2 in
+  let _ =
+    Local_history.add_read p3 ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some w1.Operation.wdot)
+  in
+  let _ =
+    Local_history.add_read p3 ~var:0 ~value:(Operation.Val 2)
+      ~read_from:(Some w2.Operation.wdot)
+  in
+  let p4 = Local_history.create ~proc:3 in
+  let _ =
+    Local_history.add_read p4 ~var:0 ~value:(Operation.Val 2)
+      ~read_from:(Some w2.Operation.wdot)
+  in
+  let _ =
+    Local_history.add_read p4 ~var:0 ~value:(Operation.Val 1)
+      ~read_from:(Some w1.Operation.wdot)
+  in
+  let h = History.of_locals [ p1; p2; p3; p4 ] in
+  let co = Causal_order.compute h in
+  check_bool "causal but not sequential: witnesses exist" true
+    (Serialization.is_causally_consistent co)
+
+let test_is_legal_sequence () =
+  let w1 = Operation.write ~proc:0 ~seq:1 ~var:0 ~value:1 in
+  let d1 =
+    match w1 with Operation.Write w -> w.Operation.wdot | _ -> assert false
+  in
+  let good =
+    [
+      w1;
+      Operation.read ~proc:1 ~slot:0 ~var:0 ~value:(Operation.Val 1)
+        ~read_from:(Some d1);
+    ]
+  in
+  check_bool "good" true (Serialization.is_legal_sequence good);
+  let bad = List.rev good in
+  check_bool "read before its write" false
+    (Serialization.is_legal_sequence bad)
+
+(* both formulations agree on random histories, consistent or not *)
+let prop_serialization_agrees_with_legality =
+  qcheck_case ~count:30 "serialization = per-read legality"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Dsm_sim.Rng.create seed in
+      let rand_int n = Dsm_sim.Rng.int rng n in
+      let h = random_history rand_int 3 2 14 in
+      let co = Causal_order.compute h in
+      Serialization.is_causally_consistent co
+      = Legality.is_causally_consistent co)
+
+let () =
+  Alcotest.run "memory_serialization"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "H1 witnesses" `Quick test_serialization_h1;
+          Alcotest.test_case "rejects inconsistent history" `Quick
+            test_serialization_rejects_inconsistent;
+          Alcotest.test_case "concurrent orders diverge" `Quick
+            test_serialization_concurrent_orders;
+          Alcotest.test_case "is_legal_sequence" `Quick
+            test_is_legal_sequence;
+          prop_serialization_agrees_with_legality;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for the statistics library: Summary, Histogram, Table_fmt,
+   Series. *)
+
+module Summary = Dsm_stats.Summary
+module Histogram = Dsm_stats.Histogram
+module Table_fmt = Dsm_stats.Table_fmt
+module Series = Dsm_stats.Series
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basics () =
+  let s = Summary.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  check_int "count" 5 (Summary.count s);
+  check_float "mean" 3. (Summary.mean s);
+  check_float "min" 1. (Summary.min s);
+  check_float "max" 5. (Summary.max s);
+  check_float "sum" 15. (Summary.sum s);
+  check_float "variance" 2.5 (Summary.variance s);
+  check_float "median" 3. (Summary.median s)
+
+let test_summary_single () =
+  let s = Summary.of_list [ 7. ] in
+  check_float "mean" 7. (Summary.mean s);
+  check_float "variance 0" 0. (Summary.variance s);
+  check_float "stderr 0" 0. (Summary.std_error s);
+  check_float "p99 = the sample" 7. (Summary.percentile s 99.)
+
+let test_summary_percentiles () =
+  let s = Summary.of_list [ 10.; 20.; 30.; 40. ] in
+  check_float "p0" 10. (Summary.percentile s 0.);
+  check_float "p100" 40. (Summary.percentile s 100.);
+  check_float "p50 interpolates" 25. (Summary.percentile s 50.);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Summary.percentile: p must be in [0,100]")
+    (fun () -> ignore (Summary.percentile s 101.))
+
+let test_summary_rejects_bad_input () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Summary.of_array: empty sample") (fun () ->
+      ignore (Summary.of_list []));
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Summary.of_array: non-finite sample") (fun () ->
+      ignore (Summary.of_list [ Float.nan ]))
+
+let test_summary_ci () =
+  let s = Summary.of_list (List.init 100 (fun i -> float_of_int (i mod 10))) in
+  let lo, hi = Summary.ci95 s in
+  check_bool "ci brackets the mean" true (lo <= Summary.mean s && Summary.mean s <= hi)
+
+let prop_summary_mean_bounded =
+  qcheck_case "min <= mean <= max"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.))
+    (fun l ->
+      let s = Summary.of_list l in
+      Summary.min s <= Summary.mean s && Summary.mean s <= Summary.max s)
+
+let prop_summary_percentile_monotone =
+  qcheck_case "percentiles are monotone"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.))
+    (fun l ->
+      let s = Summary.of_list l in
+      let ps = [ 0.; 25.; 50.; 75.; 100. ] in
+      let vals = List.map (Summary.percentile s) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+(* Welford vs naive two-pass on well-conditioned data *)
+let prop_summary_variance_matches_naive =
+  qcheck_case "variance matches two-pass formula"
+    QCheck2.Gen.(list_size (int_range 2 50) (float_bound_inclusive 100.))
+    (fun l ->
+      let s = Summary.of_list l in
+      let n = float_of_int (List.length l) in
+      let mean = List.fold_left ( +. ) 0. l /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. l
+        /. (n -. 1.)
+      in
+      abs_float (Summary.variance s -. var) < 1e-6 *. (1. +. var))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  Histogram.add_all h [ 0.; 1.9; 2.; 9.99 ];
+  check_int "bin 0" 2 (Histogram.bin_value h 0);
+  check_int "bin 1" 1 (Histogram.bin_value h 1);
+  check_int "bin 4" 1 (Histogram.bin_value h 4);
+  check_int "total" 4 (Histogram.total h);
+  check_bool "bin range" true (Histogram.bin_range h 1 = (2., 4.))
+
+let test_histogram_overflow () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  Histogram.add h (-5.);
+  Histogram.add h 5.;
+  Histogram.add h 1.0 (* hi is exclusive *);
+  check_int "underflow" 1 (Histogram.underflow h);
+  check_int "overflow" 2 (Histogram.overflow h);
+  check_int "total counts everything" 3 (Histogram.total h)
+
+let test_histogram_of_samples () =
+  let h = Histogram.of_samples ~bins:4 [ 1.; 2.; 3.; 4. ] in
+  check_int "total" 4 (Histogram.total h);
+  check_int "no overflow (max lands in last bin)" 0 (Histogram.overflow h);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Histogram.of_samples: empty sample") (fun () ->
+      ignore (Histogram.of_samples []))
+
+let test_histogram_render () =
+  let h = Histogram.of_samples ~bins:3 [ 1.; 1.; 2.; 3. ] in
+  let s = Histogram.render ~width:10 h in
+  check_bool "mentions counts" true (String.length s > 0)
+
+let prop_histogram_conserves_mass =
+  qcheck_case "bins + under + over = total"
+    QCheck2.Gen.(list_size (int_range 1 100) (float_range (-10.) 20.))
+    (fun l ->
+      let h = Histogram.create ~lo:0. ~hi:10. ~bins:7 in
+      Histogram.add_all h l;
+      let binned = ref 0 in
+      for i = 0 to Histogram.bin_count h - 1 do
+        binned := !binned + Histogram.bin_value h i
+      done;
+      !binned + Histogram.underflow h + Histogram.overflow h
+      = List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Table_fmt                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Table_fmt.create ~title:"T" ~header:[ "a"; "bb" ] () in
+  Table_fmt.add_row t [ "1"; "2" ];
+  Table_fmt.add_row t [ "333"; "4" ];
+  let s = Table_fmt.render t in
+  check_bool "has title" true (String.sub s 0 1 = "T");
+  check_int "rows" 2 (Table_fmt.row_count t);
+  (* all lines after the title have the same display width *)
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> 'T')
+  in
+  let widths = List.map String.length lines in
+  check_bool "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_arity_checks () =
+  let t = Table_fmt.create ~header:[ "a"; "b" ] () in
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Table_fmt.add_row: arity mismatch") (fun () ->
+      Table_fmt.add_row t [ "only one" ]);
+  Alcotest.check_raises "align arity"
+    (Invalid_argument "Table_fmt.set_align: arity mismatch") (fun () ->
+      Table_fmt.set_align t [ Table_fmt.Left ]);
+  Alcotest.check_raises "empty header"
+    (Invalid_argument "Table_fmt.create: empty header") (fun () ->
+      ignore (Table_fmt.create ~header:[] ()))
+
+let test_table_utf8_width () =
+  (* the ∅ glyph must count as one column *)
+  let t = Table_fmt.create ~header:[ "x" ] () in
+  Table_fmt.add_row t [ "∅" ];
+  Table_fmt.add_row t [ "ab" ];
+  let s = Table_fmt.render t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  (* compare display widths via byte-independent check: the rule lines
+     (pure ASCII) and the ∅ line must align on the trailing '|' *)
+  let ends_with_bar l = l.[String.length l - 1] = '|' || l.[String.length l - 1] = '+' in
+  check_bool "all lines closed" true (List.for_all ends_with_bar lines)
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Table_fmt.cell_float ~digits:2 3.14159);
+  Alcotest.(check string) "int" "42" (Table_fmt.cell_int 42)
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_accumulation () =
+  let s = Series.create ~x_label:"n" () in
+  Series.add_point s ~series:"A" ~x:1. ~y:10.;
+  Series.add_point s ~series:"A" ~x:1. ~y:20.;
+  Series.add_point s ~series:"B" ~x:1. ~y:5.;
+  Series.add_point s ~series:"A" ~x:2. ~y:30.;
+  Alcotest.(check (list string)) "names in first-use order" [ "A"; "B" ]
+    (Series.series_names s);
+  Alcotest.(check (list (float 1e-9))) "xs" [ 1.; 2. ] (Series.xs s);
+  (match Series.get s ~series:"A" ~x:1. with
+  | Some sum ->
+      check_int "two samples" 2 (Summary.count sum);
+      check_float "mean" 15. (Summary.mean sum)
+  | None -> Alcotest.fail "missing point");
+  check_bool "absent point" true (Series.get s ~series:"B" ~x:2. = None)
+
+let test_series_table () =
+  let s = Series.create ~x_label:"x" () in
+  Series.add_point s ~series:"A" ~x:1. ~y:1.;
+  Series.add_point s ~series:"B" ~x:1. ~y:2.;
+  let t = Series.to_table ~title:"demo" s in
+  check_int "one row" 1 (Table_fmt.row_count t)
+
+let test_series_crossover () =
+  let s = Series.create ~x_label:"x" () in
+  List.iter
+    (fun (x, a, b) ->
+      Series.add_point s ~series:"A" ~x ~y:a;
+      Series.add_point s ~series:"B" ~x ~y:b)
+    [ (1., 10., 5.); (2., 8., 7.); (3., 4., 9.) ];
+  check_bool "A beats B from x=3" true
+    (Series.crossover s ~series_a:"A" ~series_b:"B" = Some 3.);
+  check_bool "B beats A from x=1" true
+    (Series.crossover s ~series_a:"B" ~series_b:"A" = Some 1.)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basics" `Quick test_summary_basics;
+          Alcotest.test_case "single sample" `Quick test_summary_single;
+          Alcotest.test_case "percentiles" `Quick test_summary_percentiles;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_summary_rejects_bad_input;
+          Alcotest.test_case "confidence interval" `Quick test_summary_ci;
+          prop_summary_mean_bounded;
+          prop_summary_percentile_monotone;
+          prop_summary_variance_matches_naive;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "under/overflow" `Quick test_histogram_overflow;
+          Alcotest.test_case "of_samples" `Quick test_histogram_of_samples;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+          prop_histogram_conserves_mass;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity checks" `Quick test_table_arity_checks;
+          Alcotest.test_case "utf8 width" `Quick test_table_utf8_width;
+          Alcotest.test_case "cell helpers" `Quick test_table_cells;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "accumulation" `Quick test_series_accumulation;
+          Alcotest.test_case "to_table" `Quick test_series_table;
+          Alcotest.test_case "crossover" `Quick test_series_crossover;
+        ] );
+    ]

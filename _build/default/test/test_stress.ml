@@ -1,0 +1,112 @@
+(* Stress tests: larger configurations than the unit suites, every run
+   fully audited. These catch scaling bugs (quadratic blowups, buffer
+   leaks, liveness stalls) that small fixtures cannot. *)
+
+module Spec = Dsm_workload.Spec
+module Latency = Dsm_sim.Latency
+module Sim_run = Dsm_runtime.Sim_run
+module Checker = Dsm_runtime.Checker
+module Execution = Dsm_runtime.Execution
+
+let check_bool = Alcotest.(check bool)
+
+let protocols : (string * (module Dsm_core.Protocol.S)) list =
+  [
+    ("optp", (module Dsm_core.Opt_p));
+    ("anbkh", (module Dsm_core.Anbkh));
+    ("ws-recv", (module Dsm_core.Ws_receiver));
+    ("optp-ws", (module Dsm_core.Opt_p_ws));
+    ("optp-direct", (module Dsm_core.Opt_p_direct));
+    ("ws-token", (module Dsm_core.Ws_token));
+  ]
+
+let audit name outcome =
+  let report = Checker.check outcome.Sim_run.execution in
+  if not (Checker.is_clean report) then
+    Alcotest.failf "%s stress run not clean: %s" name
+      (Format.asprintf "%a" Checker.pp_report report);
+  report
+
+(* 12 processes, 300 ops each, heavy reordering *)
+let test_large_fanout name p () =
+  let spec =
+    Spec.make ~n:12 ~m:16 ~ops_per_process:300 ~write_ratio:0.5
+      ~think:(Latency.Exponential { mean = 4. })
+      ~seed:99 ()
+  in
+  let outcome =
+    Sim_run.run p ~spec
+      ~latency:(Latency.Lognormal { mu = log 10. -. 0.5; sigma = 1.0 })
+      ~seed:7 ()
+  in
+  let report = audit name outcome in
+  check_bool "applies happened" true (report.Checker.total_applies > 10_000)
+
+(* single hot variable, write-only: maximal write-write concurrency *)
+let test_hot_variable name p () =
+  let spec =
+    Spec.make ~n:8 ~m:1 ~ops_per_process:250 ~write_ratio:1.0
+      ~var_dist:Spec.Single_var
+      ~think:(Latency.Exponential { mean = 2. })
+      ~seed:41 ()
+  in
+  let outcome =
+    Sim_run.run p ~spec
+      ~latency:(Latency.Uniform { lo = 1.; hi = 200. })
+      ~seed:5 ()
+  in
+  ignore (audit name outcome)
+
+(* heavy-tailed latency: deep buffering chains *)
+let test_heavy_tail name p () =
+  let spec =
+    Spec.make ~n:6 ~m:6 ~ops_per_process:300 ~write_ratio:0.6 ~seed:17 ()
+  in
+  let outcome =
+    Sim_run.run p ~spec
+      ~latency:(Latency.Pareto { scale = 2.; shape = 1.2 })
+      ~seed:3 ()
+  in
+  ignore (audit name outcome)
+
+(* long lossy run over reliable channels *)
+let test_long_lossy () =
+  let spec =
+    Spec.make ~n:6 ~m:8 ~ops_per_process:250 ~write_ratio:0.5 ~seed:23 ()
+  in
+  let outcome =
+    Dsm_runtime.Reliable_run.run
+      (module Dsm_core.Opt_p)
+      ~spec
+      ~latency:(Latency.Exponential { mean = 10. })
+      ~faults:{ Dsm_sim.Network.drop = 0.35; duplicate = 0.2 }
+      ~retransmit_after:60. ~seed:9 ()
+  in
+  let report = Checker.check outcome.Dsm_runtime.Reliable_run.execution in
+  check_bool "clean" true (Checker.is_clean report);
+  check_bool "complete" true report.Checker.complete;
+  check_bool "recovery exercised" true
+    (outcome.Dsm_runtime.Reliable_run.retransmissions > 100)
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "large_fanout",
+        List.map
+          (fun (name, p) ->
+            Alcotest.test_case name `Slow (test_large_fanout name p))
+          protocols );
+      ( "hot_variable",
+        List.map
+          (fun (name, p) ->
+            Alcotest.test_case name `Slow (test_hot_variable name p))
+          protocols );
+      ( "heavy_tail",
+        List.map
+          (fun (name, p) ->
+            Alcotest.test_case name `Slow (test_heavy_tail name p))
+          protocols );
+      ( "lossy",
+        [ Alcotest.test_case "long lossy OptP run" `Slow test_long_lossy ]
+      );
+    ]

@@ -1,0 +1,234 @@
+(* Tests for workload specification, Zipf sampling, random generation
+   and scripted schedules. *)
+
+module Spec = Dsm_workload.Spec
+module Zipf = Dsm_workload.Zipf
+module Generator = Dsm_workload.Generator
+module Scripted = Dsm_workload.Scripted
+module Rng = Dsm_sim.Rng
+module Latency = Dsm_sim.Latency
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_defaults () =
+  let s = Spec.make () in
+  check_int "n" 3 s.Spec.n;
+  check_int "m" 4 s.Spec.m;
+  check_bool "valid" true (Spec.validate s = Ok ());
+  check_int "total ops" 300 (Spec.total_ops s)
+
+let test_spec_validation () =
+  let bad f = Result.is_error (Spec.validate f) in
+  check_bool "n=0" true (bad (Spec.make ~n:0 ()));
+  check_bool "m=0" true (bad (Spec.make ~m:0 ()));
+  check_bool "ratio" true (bad (Spec.make ~write_ratio:1.5 ()));
+  check_bool "zipf" true (bad (Spec.make ~var_dist:(Spec.Zipf_vars (-1.)) ()));
+  check_bool "think" true
+    (bad (Spec.make ~think:(Latency.Constant (-1.)) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_uniform_at_zero () =
+  let z = Zipf.create ~n:4 ~s:0. in
+  for k = 0 to 3 do
+    check_bool "equal mass" true (abs_float (Zipf.probability z k -. 0.25) < 1e-9)
+  done
+
+let test_zipf_probabilities_sum_to_one () =
+  let z = Zipf.create ~n:7 ~s:1.3 in
+  let total = ref 0. in
+  for k = 0 to 6 do
+    total := !total +. Zipf.probability z k
+  done;
+  check_bool "sums to 1" true (abs_float (!total -. 1.) < 1e-9)
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:5 ~s:1.0 in
+  for k = 0 to 3 do
+    check_bool "decreasing mass" true
+      (Zipf.probability z k >= Zipf.probability z (k + 1))
+  done
+
+let test_zipf_sampling_matches_probability () =
+  let z = Zipf.create ~n:4 ~s:1.2 in
+  let rng = Rng.create 99 in
+  let counts = Array.make 4 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 3 do
+    let empirical = float_of_int counts.(k) /. float_of_int n in
+    check_bool "within 2% absolute" true
+      (abs_float (empirical -. Zipf.probability z k) < 0.02)
+  done
+
+let test_zipf_validation () =
+  Alcotest.check_raises "n" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~s:1.));
+  Alcotest.check_raises "s"
+    (Invalid_argument "Zipf.create: exponent must be non-negative")
+    (fun () -> ignore (Zipf.create ~n:3 ~s:(-0.5)))
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_shape () =
+  let spec = Spec.make ~n:4 ~m:3 ~ops_per_process:25 () in
+  let sched = Generator.generate spec in
+  check_int "one list per process" 4 (Array.length sched);
+  Array.iter (fun ops -> check_int "ops per proc" 25 (List.length ops)) sched;
+  let w, r = Generator.op_counts sched in
+  check_int "total" 100 (w + r)
+
+let test_generator_deterministic () =
+  let spec = Spec.make ~seed:123 () in
+  check_bool "same seed, same schedule" true
+    (Generator.generate spec = Generator.generate spec);
+  let spec2 = Spec.make ~seed:124 () in
+  check_bool "different seed, different schedule" true
+    (Generator.generate spec <> Generator.generate spec2)
+
+let test_generator_times_ascending () =
+  let sched = Generator.generate (Spec.make ~n:3 ~ops_per_process:50 ()) in
+  Array.iter
+    (fun ops ->
+      let rec ascending = function
+        | { Spec.at = t1; _ } :: ({ Spec.at = t2; _ } :: _ as rest) ->
+            check_bool "ascending" true (t1 <= t2);
+            ascending rest
+        | [ _ ] | [] -> ()
+      in
+      ascending ops)
+    sched
+
+let test_generator_vars_in_range () =
+  let spec = Spec.make ~m:3 ~var_dist:(Spec.Zipf_vars 1.1) () in
+  let sched = Generator.generate spec in
+  Array.iter
+    (List.iter (fun { Spec.op; _ } ->
+         let var =
+           match op with
+           | Spec.Do_write { var } | Spec.Do_read { var } -> var
+         in
+         check_bool "var in range" true (var >= 0 && var < 3)))
+    sched
+
+let test_generator_single_var () =
+  let sched = Generator.generate (Spec.make ~var_dist:Spec.Single_var ()) in
+  Array.iter
+    (List.iter (fun { Spec.op; _ } ->
+         let var =
+           match op with
+           | Spec.Do_write { var } | Spec.Do_read { var } -> var
+         in
+         check_int "always variable 0" 0 var))
+    sched
+
+let test_generator_write_ratio_extremes () =
+  let w_all, r_all =
+    Generator.op_counts (Generator.generate (Spec.make ~write_ratio:1.0 ()))
+  in
+  check_int "all writes" 0 r_all;
+  check_bool "writes present" true (w_all > 0);
+  let w_none, _ =
+    Generator.op_counts (Generator.generate (Spec.make ~write_ratio:0.0 ()))
+  in
+  check_int "no writes" 0 w_none
+
+let test_generator_rejects_invalid () =
+  Alcotest.check_raises "invalid spec"
+    (Invalid_argument "Generator.generate: n must be positive") (fun () ->
+      ignore (Generator.generate (Spec.make ~n:0 ())))
+
+let prop_generator_write_ratio_respected =
+  qcheck_case ~count:20 "empirical write ratio tracks the spec"
+    QCheck2.Gen.(float_bound_inclusive 1.)
+    (fun ratio ->
+      let spec = Spec.make ~n:4 ~ops_per_process:500 ~write_ratio:ratio () in
+      let w, r = Generator.op_counts (Generator.generate spec) in
+      let empirical = float_of_int w /. float_of_int (w + r) in
+      abs_float (empirical -. ratio) < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Scripted                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_scripted_program () =
+  let prog = Scripted.program ~start:2. ~gap:3. [ Scripted.w 0; Scripted.r 1 ] in
+  let sched = Scripted.schedule [ prog ] in
+  match sched.(0) with
+  | [ { Spec.at = 2.; op = Spec.Do_write { var = 0 } };
+      { Spec.at = 5.; op = Spec.Do_read { var = 1 } } ] -> ()
+  | _ -> Alcotest.fail "unexpected schedule"
+
+let test_scripted_timed_monotone () =
+  Alcotest.check_raises "decreasing times"
+    (Invalid_argument "Scripted.timed: issue times must be non-decreasing")
+    (fun () -> ignore (Scripted.timed [ (5., Scripted.w 0); (1., Scripted.r 0) ]))
+
+let test_scripted_validation () =
+  Alcotest.check_raises "negative start"
+    (Invalid_argument "Scripted.program: negative start") (fun () ->
+      ignore (Scripted.program ~start:(-1.) [ Scripted.w 0 ]));
+  Alcotest.check_raises "zero gap"
+    (Invalid_argument "Scripted.program: gap must be positive") (fun () ->
+      ignore (Scripted.program ~gap:0. [ Scripted.w 0 ]))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "defaults" `Quick test_spec_defaults;
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform at s=0" `Quick test_zipf_uniform_at_zero;
+          Alcotest.test_case "probabilities sum to 1" `Quick
+            test_zipf_probabilities_sum_to_one;
+          Alcotest.test_case "monotone mass" `Quick test_zipf_monotone;
+          Alcotest.test_case "sampling matches probabilities" `Slow
+            test_zipf_sampling_matches_probability;
+          Alcotest.test_case "validation" `Quick test_zipf_validation;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "shape" `Quick test_generator_shape;
+          Alcotest.test_case "deterministic in seed" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "ascending times" `Quick
+            test_generator_times_ascending;
+          Alcotest.test_case "variables in range" `Quick
+            test_generator_vars_in_range;
+          Alcotest.test_case "single-var distribution" `Quick
+            test_generator_single_var;
+          Alcotest.test_case "write-ratio extremes" `Quick
+            test_generator_write_ratio_extremes;
+          Alcotest.test_case "rejects invalid spec" `Quick
+            test_generator_rejects_invalid;
+          prop_generator_write_ratio_respected;
+        ] );
+      ( "scripted",
+        [
+          Alcotest.test_case "program" `Quick test_scripted_program;
+          Alcotest.test_case "timed monotonicity" `Quick
+            test_scripted_timed_monotone;
+          Alcotest.test_case "validation" `Quick test_scripted_validation;
+        ] );
+    ]
