@@ -8,7 +8,9 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --no-micro   # skip Bechamel section
-     dune exec bench/main.exe -- --only T1,Q2 # selected sections *)
+     dune exec bench/main.exe -- --only T1,Q2 # selected sections
+     dune exec bench/main.exe -- --json F     # also write results to F
+     dune exec bench/main.exe -- --stress-quick # tiny S section (smoke) *)
 
 module Experiment = Dsm_runtime.Experiment
 module Table_fmt = Dsm_stats.Table_fmt
@@ -143,6 +145,7 @@ module Micro = struct
         end_to_end;
       ]
 
+  (* returns the measured rows so --json can serialize them *)
   let run () =
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |]
@@ -164,23 +167,126 @@ module Micro = struct
         (fun name ols acc ->
           let time =
             match Analyze.OLS.estimates ols with
-            | Some (t :: _) -> Printf.sprintf "%.1f" t
-            | Some [] | None -> "-"
+            | Some (t :: _) -> Some t
+            | Some [] | None -> None
           in
-          let r2 =
-            match Analyze.OLS.r_square ols with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "-"
-          in
-          (name, time, r2) :: acc)
+          (name, time, Analyze.OLS.r_square ols) :: acc)
         results []
       |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
     in
-    List.iter (fun (n, t, r) -> Table_fmt.add_row table [ n; t; r ]) rows;
-    print_table table
+    List.iter
+      (fun (n, t, r) ->
+        let fmt_opt f = function Some v -> f v | None -> "-" in
+        Table_fmt.add_row table
+          [
+            n;
+            fmt_opt (Printf.sprintf "%.1f") t;
+            fmt_opt (Printf.sprintf "%.4f") r;
+          ])
+      rows;
+    print_table table;
+    rows
 end
 
 (* ------------------------------------------------------------------ *)
+(* Buffer stress: indexed wakeups vs scanning drain                    *)
+(* ------------------------------------------------------------------ *)
+
+module Stress = struct
+  module P = Dsm_core.Opt_p
+  module Protocol = Dsm_core.Protocol
+
+  type result = {
+    sn : int;  (** processes *)
+    senders : int;
+    writes_per_sender : int;
+    messages : int;
+    scan_ms : float;
+    indexed_ms : float;
+    speedup : float;
+  }
+
+  (* Causally chained script: sender [i] first receives everything
+     senders [1..i-1] sent (so its Write_co vector carries cross-process
+     constraints), then issues [writes] writes of its own. Delivering
+     the whole script to a fresh receiver in reverse send order is the
+     protocol's worst case: every message buffers until the very last
+     one — (sender 1, seq 1) — arrives and triggers a single cascade
+     that drains the entire buffer. The seed Mailbox re-scans the whole
+     buffer after every apply (O(B²·n) total); the delivery index wakes
+     exactly one message per apply (O(B·n)). *)
+  let build ~senders ~writes =
+    let cfg = Protocol.config ~n:(senders + 1) ~m:4 in
+    let sent = ref [] in
+    for i = 1 to senders do
+      let s = P.create cfg ~me:i in
+      List.iter (fun (src, m) -> ignore (P.receive s ~src m)) (List.rev !sent);
+      for k = 1 to writes do
+        let _, eff = P.write s ~var:(k mod 4) ~value:k in
+        match eff.Protocol.to_send with
+        | [ Protocol.Broadcast m ] -> sent := (i, m) :: !sent
+        | _ -> assert false
+      done
+    done;
+    (* head of [sent] is the newest write: the list as-is IS the
+       deep-reorder delivery order (senders then seqs descending) *)
+    (cfg, !sent)
+
+  let drain (module I : P.IMPL) cfg script =
+    let r = I.create cfg ~me:0 in
+    let applied =
+      List.fold_left
+        (fun acc (src, m) ->
+          acc + List.length (I.receive r ~src m).Protocol.applied)
+        0 script
+    in
+    (applied, I.applied_vector r)
+
+  (* Sys.time has coarse resolution: repeat until enough CPU time
+     accumulates, report per-drain milliseconds *)
+  let time_drain impl cfg script =
+    let reps = ref 0 and elapsed = ref 0. and out = ref None in
+    while !elapsed < 0.2 && !reps < 100 do
+      let t0 = Sys.time () in
+      out := Some (drain impl cfg script);
+      elapsed := !elapsed +. (Sys.time () -. t0);
+      incr reps
+    done;
+    (Option.get !out, !elapsed /. float_of_int !reps *. 1000.)
+
+  let run ~quick () =
+    let senders, writes = if quick then (8, 6) else (31, 600) in
+    let cfg, script = build ~senders ~writes in
+    let messages = List.length script in
+    Printf.printf "n=%d senders=%d writes/sender=%d messages=%d\n"
+      (senders + 1) senders writes messages;
+    let (applied_s, vec_s), scan_ms = time_drain (module P.Scan) cfg script in
+    let (applied_i, vec_i), indexed_ms = time_drain (module P) cfg script in
+    if applied_s <> messages || applied_i <> messages || vec_s <> vec_i then
+      failwith "Stress: indexed and scanning drains disagree";
+    Printf.printf "all %d writes applied by both; final vectors identical\n"
+      messages;
+    Printf.printf "scan (seed Mailbox) drain : %10.3f ms\n" scan_ms;
+    Printf.printf "indexed wakeups drain     : %10.3f ms\n" indexed_ms;
+    let speedup = scan_ms /. indexed_ms in
+    Printf.printf "speedup                   : %10.1fx\n" speedup;
+    {
+      sn = senders + 1;
+      senders;
+      writes_per_sender = writes;
+      messages;
+      scan_ms;
+      indexed_ms;
+      speedup;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* results captured for --json; filled by the section bodies *)
+let stress_quick = ref false
+let stress_result : Stress.result option ref = ref None
+let micro_rows : (string * float option * float option) list ref = ref []
 
 let sections =
   [
@@ -202,31 +308,99 @@ let sections =
     ("Q9", "replica divergence at quiescence", q9);
     ("Q10", "metadata: vectors vs direct dependencies", q10);
     ("Q11", "partial replication", q11);
+    ( "S",
+      "buffer stress: indexed wakeups vs scanning drain",
+      fun () -> stress_result := Some (Stress.run ~quick:!stress_quick ()) );
   ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file =
+  let buf = Buffer.create 1024 in
+  let fopt = function
+    | Some v -> Printf.sprintf "%.4f" v
+    | None -> "null"
+  in
+  Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+  Buffer.add_string buf "  \"micro\": [";
+  List.iteri
+    (fun i (name, t, r2) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s }"
+           (json_escape name) (fopt t) (fopt r2)))
+    !micro_rows;
+  Buffer.add_string buf (if !micro_rows = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"stress\": ";
+  (match !stress_result with
+  | None -> Buffer.add_string buf "null"
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\n\
+           \    \"n\": %d,\n\
+           \    \"senders\": %d,\n\
+           \    \"writes_per_sender\": %d,\n\
+           \    \"messages\": %d,\n\
+           \    \"scan_ms\": %.4f,\n\
+           \    \"indexed_ms\": %.4f,\n\
+           \    \"speedup\": %.2f\n\
+           \  }"
+           s.Stress.sn s.Stress.senders s.Stress.writes_per_sender
+           s.Stress.messages s.Stress.scan_ms s.Stress.indexed_ms
+           s.Stress.speedup));
+  Buffer.add_string buf "\n}\n";
+  match open_out file with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+  | exception Sys_error e ->
+      Printf.eprintf "--json: cannot write %s (%s)\n" file e;
+      exit 1
+
+(* [--opt=v] or [--opt v] *)
+let keyed_arg key args =
+  let eq = key ^ "=" in
+  let len = String.length eq in
+  let with_eq =
+    List.find_map
+      (fun a ->
+        if String.length a > len && String.sub a 0 len = eq then
+          Some (String.sub a len (String.length a - len))
+        else None)
+      args
+  in
+  match with_eq with
+  | Some _ as o -> o
+  | None ->
+      let rec find = function
+        | k :: v :: _ when k = key -> Some v
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_micro = List.mem "--no-micro" args in
+  stress_quick := List.mem "--stress-quick" args;
+  let json_path = keyed_arg "--json" args in
   let only =
-    let with_eq =
-      List.find_map
-        (fun a ->
-          if String.length a > 7 && String.sub a 0 7 = "--only=" then
-            Some
-              (String.split_on_char ','
-                 (String.sub a 7 (String.length a - 7)))
-          else None)
-        args
-    in
-    match with_eq with
-    | Some _ as o -> o
-    | None ->
-        let rec find = function
-          | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
-          | _ :: rest -> find rest
-          | [] -> None
-        in
-        find args
+    Option.map (String.split_on_char ',') (keyed_arg "--only" args)
   in
   let wanted name =
     match only with None -> true | Some names -> List.mem name names
@@ -235,4 +409,6 @@ let () =
     (fun (name, title, body) -> if wanted name then section name title body)
     sections;
   if (not no_micro) && wanted "M" then
-    section "M" "Bechamel micro-benchmarks" Micro.run
+    section "M" "Bechamel micro-benchmarks" (fun () ->
+        micro_rows := Micro.run ());
+  Option.iter write_json json_path

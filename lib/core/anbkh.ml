@@ -1,97 +1,126 @@
 module V = Dsm_vclock.Vector_clock
 module Dot = Dsm_vclock.Dot
-module Mailbox = Dsm_sim.Mailbox
+module Buffer = Dsm_sim.Delivery_buffer
 open Protocol
 
 type message = { var : int; value : int; dot : Dot.t; vt : V.t }
-type msg = message
 
-type t = {
-  cfg : config;
-  me : int;
-  store : Replica_store.t;
-  delivered : V.t;  (* per-issuer count of writes applied here *)
-  vt : V.t;  (* Fidge-Mattern clock over write-send events *)
-  buffer : (int * msg) Mailbox.t;
-}
+module type IMPL = sig
+  include Protocol.S with type msg = message
 
-let name = "ANBKH"
+  val deliverable : t -> src:int -> msg -> bool
+end
 
-let create cfg ~me =
-  if me < 0 || me >= cfg.n then
-    invalid_arg "Anbkh.create: process id out of range";
-  {
-    cfg;
-    me;
-    store = Replica_store.create ~m:cfg.m;
-    delivered = V.create cfg.n;
-    vt = V.create cfg.n;
-    buffer = Mailbox.create ();
+module Make (B : Buffer.S) = struct
+  type msg = message
+
+  type t = {
+    cfg : config;
+    me : int;
+    store : Replica_store.t;
+    delivered : V.t;  (* per-issuer count of writes applied here *)
+    vt : V.t;  (* Fidge-Mattern clock over write-send events *)
+    buffer : (int * msg) B.t;
   }
 
-let me t = t.me
+  let name = "ANBKH"
 
-let write t ~var ~value =
-  V.tick t.vt t.me;
-  let vt = V.copy t.vt in
-  let dot = Dot.of_clock vt t.me in
-  let m = { var; value; dot; vt } in
-  Replica_store.apply t.store ~var ~value ~dot;
-  V.tick t.delivered t.me;
-  let applied =
-    [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ]
-  in
-  (dot, effects ~applied ~to_send:[ Broadcast m ] ())
+  let create cfg ~me =
+    if me < 0 || me >= cfg.n then
+      invalid_arg "Anbkh.create: process id out of range";
+    {
+      cfg;
+      me;
+      store = Replica_store.create ~m:cfg.m;
+      delivered = V.create cfg.n;
+      vt = V.create cfg.n;
+      buffer = B.create ();
+    }
 
-(* reads are purely local: the vector is a message-ordering device and
-   does not change on reads *)
-let read t ~var = Replica_store.read t.store ~var
+  let me t = t.me
 
-let deliverable t ~src (m : msg) =
-  let ok = ref (V.get t.delivered src = V.get m.vt src - 1) in
-  for k = 0 to t.cfg.n - 1 do
-    if k <> src && V.get m.vt k > V.get t.delivered k then ok := false
-  done;
-  !ok
+  (* causal-broadcast wait condition as a wakeup constraint; [src] is a
+     validated process id, so the unchecked accessors are safe *)
+  let status t ((src, m) : int * msg) : Buffer.status =
+    let d_src = V.unsafe_get t.delivered src in
+    let v_src = V.unsafe_get m.vt src in
+    if d_src < v_src - 1 then Wait_for { counter = src; count = v_src - 1 }
+    else if d_src > v_src - 1 then Stuck  (* duplicate: already applied *)
+    else
+      let n = t.cfg.n in
+      let rec scan k =
+        if k >= n then Buffer.Ready
+        else if k <> src && V.unsafe_get m.vt k > V.unsafe_get t.delivered k
+        then Wait_for { counter = k; count = V.unsafe_get m.vt k }
+        else scan (k + 1)
+      in
+      scan 0
 
-let apply_msg t ~src m ~from_buffer =
-  Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
-  V.tick t.delivered src;
-  (* causal broadcast: absorb the sender's knowledge unconditionally —
-     the source of false causality w.r.t. ↦co *)
-  V.merge_into t.vt m.vt;
-  { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
+  let deliverable t ~src (m : msg) =
+    match status t (src, m) with
+    | Buffer.Ready -> true
+    | Wait_for _ | Stuck -> false
 
-let drain t =
-  (* apply inside the loop: each apply can enable further buffered
-     messages (chained unblocking), so deliverability must be re-tested
-     against the post-apply state *)
-  let rec go acc =
-    match
-      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
-    with
-    | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
-    | None -> List.rev acc
-  in
-  go []
+  let write t ~var ~value =
+    V.tick t.vt t.me;
+    let vt = V.copy t.vt in
+    let dot = Dot.of_clock vt t.me in
+    let m = { var; value; dot; vt } in
+    Replica_store.apply t.store ~var ~value ~dot;
+    V.tick t.delivered t.me;
+    B.note_advance t.buffer ~status:(status t) ~counter:t.me
+      ~count:(V.unsafe_get t.delivered t.me);
+    let applied =
+      [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ]
+    in
+    (dot, effects ~applied ~to_send:[ Broadcast m ] ())
 
-let receive t ~src m =
-  if deliverable t ~src m then begin
-    let first = apply_msg t ~src m ~from_buffer:false in
-    effects ~applied:(first :: drain t) ()
-  end
-  else begin
-    Mailbox.add t.buffer (src, m);
-    no_effects
-  end
+  (* reads are purely local: the vector is a message-ordering device and
+     does not change on reads *)
+  let read t ~var = Replica_store.read t.store ~var
 
-let buffered t = Mailbox.length t.buffer
-let buffer_high_watermark t = Mailbox.high_watermark t.buffer
-let total_buffered t = Mailbox.total_buffered t.buffer
-let applied_vector t = V.copy t.delivered
-let local_clock t = V.copy t.vt
+  let apply_msg t ~src m ~from_buffer =
+    Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
+    V.tick t.delivered src;
+    B.note_advance t.buffer ~status:(status t) ~counter:src
+      ~count:(V.unsafe_get t.delivered src);
+    (* causal broadcast: absorb the sender's knowledge unconditionally —
+       the source of false causality w.r.t. ↦co *)
+    V.merge_into t.vt m.vt;
+    { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
-let pp_msg ppf m =
-  Format.fprintf ppf "m(x%d, %d, %a)" (m.var + 1) m.value V.pp m.vt
+  let drain t =
+    (* apply inside the loop: each apply can enable further buffered
+       messages (chained unblocking); the buffer re-checks only the
+       messages subscribed to the advanced counter *)
+    let rec go acc =
+      match B.take_ready t.buffer ~status:(status t) with
+      | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
+      | None -> List.rev acc
+    in
+    go []
 
-let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+  let receive t ~src m =
+    if deliverable t ~src m then begin
+      let first = apply_msg t ~src m ~from_buffer:false in
+      effects ~applied:(first :: drain t) ()
+    end
+    else begin
+      B.add t.buffer ~status:(status t) (src, m);
+      no_effects
+    end
+
+  let buffered t = B.length t.buffer
+  let buffer_high_watermark t = B.high_watermark t.buffer
+  let total_buffered t = B.total_buffered t.buffer
+  let applied_vector t = V.copy t.delivered
+  let local_clock t = V.copy t.vt
+
+  let pp_msg ppf m =
+    Format.fprintf ppf "m(x%d, %d, %a)" (m.var + 1) m.value V.pp m.vt
+
+  let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+end
+
+include Make (Buffer.Indexed)
+module Scan = Make (Buffer.Scan)

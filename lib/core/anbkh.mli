@@ -26,6 +26,19 @@ type message = {
           the counted events). *)
 }
 
-include Protocol.S with type msg = message
+module type IMPL = sig
+  include Protocol.S with type msg = message
 
-val deliverable : t -> src:int -> msg -> bool
+  val deliverable : t -> src:int -> msg -> bool
+end
+
+include IMPL
+(** Default instantiation over the counter-indexed
+    {!Dsm_sim.Delivery_index} (O(1) amortized wakeups). *)
+
+module Scan : IMPL
+(** Reference instantiation over the seed scanning {!Dsm_sim.Mailbox};
+    behaviourally identical, kept for differential testing. *)
+
+module Make (_ : Dsm_sim.Delivery_buffer.S) : IMPL
+(** ANBKH over an arbitrary delivery-buffer strategy. *)

@@ -1,104 +1,136 @@
 module V = Dsm_vclock.Vector_clock
 module Dot = Dsm_vclock.Dot
-module Mailbox = Dsm_sim.Mailbox
+module Buffer = Dsm_sim.Delivery_buffer
 open Protocol
 
 type message = { var : int; value : int; dot : Dot.t; wco : V.t }
-type msg = message
 
-type t = {
-  cfg : config;
-  me : int;
-  store : Replica_store.t;
-  apply_cnt : V.t;  (* the paper's Apply *)
-  write_co : V.t;  (* the paper's Write_co *)
-  last_write_on : V.t array;  (* the paper's LastWriteOn *)
-  buffer : (int * msg) Mailbox.t;  (* (src, message) *)
-}
+module type IMPL = sig
+  include Protocol.S with type msg = message
 
-let name = "OptP"
+  val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
+  val deliverable : t -> src:int -> msg -> bool
+end
 
-let create cfg ~me =
-  if me < 0 || me >= cfg.n then
-    invalid_arg "Opt_p.create: process id out of range";
-  {
-    cfg;
-    me;
-    store = Replica_store.create ~m:cfg.m;
-    apply_cnt = V.create cfg.n;
-    write_co = V.create cfg.n;
-    last_write_on = Array.init cfg.m (fun _ -> V.create cfg.n);
-    buffer = Mailbox.create ();
+module Make (B : Buffer.S) = struct
+  type msg = message
+
+  type t = {
+    cfg : config;
+    me : int;
+    store : Replica_store.t;
+    apply_cnt : V.t;  (* the paper's Apply *)
+    write_co : V.t;  (* the paper's Write_co *)
+    last_write_on : V.t array;  (* the paper's LastWriteOn *)
+    buffer : (int * msg) B.t;  (* (src, message) *)
   }
 
-let me t = t.me
+  let name = "OptP"
 
-(* Figure 4: WRITE(x, v) *)
-let write t ~var ~value =
-  V.tick t.write_co t.me;
-  let wco = V.copy t.write_co in
-  let dot = Dot.of_clock wco t.me in
-  let m = { var; value; dot; wco } in
-  Replica_store.apply t.store ~var ~value ~dot;
-  V.tick t.apply_cnt t.me;
-  t.last_write_on.(var) <- wco;
-  let applied = [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ] in
-  (dot, effects ~applied ~to_send:[ Broadcast m ] ())
+  let create cfg ~me =
+    if me < 0 || me >= cfg.n then
+      invalid_arg "Opt_p.create: process id out of range";
+    {
+      cfg;
+      me;
+      store = Replica_store.create ~m:cfg.m;
+      apply_cnt = V.create cfg.n;
+      write_co = V.create cfg.n;
+      last_write_on = Array.init cfg.m (fun _ -> V.create cfg.n);
+      buffer = B.create ();
+    }
 
-(* Figure 5: READ(x) — merge LastWriteOn[x] into Write_co, then return *)
-let read t ~var =
-  V.merge_into t.write_co t.last_write_on.(var);
-  Replica_store.read t.store ~var
+  let me t = t.me
 
-(* Figure 5, line 2: the wait condition *)
-let deliverable t ~src m =
-  let ok = ref (V.get t.apply_cnt src = V.get m.wco src - 1) in
-  for k = 0 to t.cfg.n - 1 do
-    if k <> src && V.get m.wco k > V.get t.apply_cnt k then ok := false
-  done;
-  !ok
+  (* Figure 5, line 2, as a wakeup constraint: the first enabling event
+     still missing. [src] is a validated process id, so the unchecked
+     accessors are safe. *)
+  let status t ((src, m) : int * msg) : Buffer.status =
+    let a_src = V.unsafe_get t.apply_cnt src in
+    let w_src = V.unsafe_get m.wco src in
+    if a_src < w_src - 1 then Wait_for { counter = src; count = w_src - 1 }
+    else if a_src > w_src - 1 then Stuck  (* duplicate: already applied *)
+    else
+      let n = t.cfg.n in
+      let rec scan k =
+        if k >= n then Buffer.Ready
+        else if k <> src && V.unsafe_get m.wco k > V.unsafe_get t.apply_cnt k
+        then Wait_for { counter = k; count = V.unsafe_get m.wco k }
+        else scan (k + 1)
+      in
+      scan 0
 
-(* Figure 5, lines 3-5 of the synchronization thread *)
-let apply_msg t ~src m ~from_buffer =
-  Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
-  V.tick t.apply_cnt src;
-  t.last_write_on.(m.var) <- m.wco;
-  { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
+  (* Figure 5, line 2: the wait condition *)
+  let deliverable t ~src m =
+    match status t (src, m) with
+    | Buffer.Ready -> true
+    | Wait_for _ | Stuck -> false
 
-let drain t =
-  (* apply inside the loop: each apply can enable further buffered
-     messages (chained unblocking), so deliverability must be re-tested
-     against the post-apply state *)
-  let rec go acc =
-    match
-      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
-    with
-    | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
-    | None -> List.rev acc
-  in
-  go []
+  (* Figure 4: WRITE(x, v) *)
+  let write t ~var ~value =
+    V.tick t.write_co t.me;
+    let wco = V.copy t.write_co in
+    let dot = Dot.of_clock wco t.me in
+    let m = { var; value; dot; wco } in
+    Replica_store.apply t.store ~var ~value ~dot;
+    V.tick t.apply_cnt t.me;
+    B.note_advance t.buffer ~status:(status t) ~counter:t.me
+      ~count:(V.unsafe_get t.apply_cnt t.me);
+    t.last_write_on.(var) <- wco;
+    let applied = [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ] in
+    (dot, effects ~applied ~to_send:[ Broadcast m ] ())
 
-let receive t ~src m =
-  if deliverable t ~src m then begin
-    let first = apply_msg t ~src m ~from_buffer:false in
-    effects ~applied:(first :: drain t) ()
-  end
-  else begin
-    Mailbox.add t.buffer (src, m);
-    no_effects
-  end
+  (* Figure 5: READ(x) — merge LastWriteOn[x] into Write_co, then return *)
+  let read t ~var =
+    V.merge_into t.write_co t.last_write_on.(var);
+    Replica_store.read t.store ~var
 
-let buffered t = Mailbox.length t.buffer
-let buffer_high_watermark t = Mailbox.high_watermark t.buffer
-let total_buffered t = Mailbox.total_buffered t.buffer
-let applied_vector t = V.copy t.apply_cnt
-let local_clock t = V.copy t.write_co
-let last_write_on t ~var =
-  if var < 0 || var >= t.cfg.m then
-    invalid_arg "Opt_p.last_write_on: variable out of range";
-  V.copy t.last_write_on.(var)
+  (* Figure 5, lines 3-5 of the synchronization thread *)
+  let apply_msg t ~src m ~from_buffer =
+    Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
+    V.tick t.apply_cnt src;
+    B.note_advance t.buffer ~status:(status t) ~counter:src
+      ~count:(V.unsafe_get t.apply_cnt src);
+    t.last_write_on.(m.var) <- m.wco;
+    { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
-let pp_msg ppf m =
-  Format.fprintf ppf "m(x%d, %d, %a)" (m.var + 1) m.value V.pp m.wco
+  let drain t =
+    (* apply inside the loop: each apply can enable further buffered
+       messages (chained unblocking); [note_advance] in [apply_msg]
+       re-checks exactly the messages subscribed to the advanced
+       counter, so only genuinely enabled messages are re-examined *)
+    let rec go acc =
+      match B.take_ready t.buffer ~status:(status t) with
+      | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
+      | None -> List.rev acc
+    in
+    go []
 
-let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+  let receive t ~src m =
+    if deliverable t ~src m then begin
+      let first = apply_msg t ~src m ~from_buffer:false in
+      effects ~applied:(first :: drain t) ()
+    end
+    else begin
+      B.add t.buffer ~status:(status t) (src, m);
+      no_effects
+    end
+
+  let buffered t = B.length t.buffer
+  let buffer_high_watermark t = B.high_watermark t.buffer
+  let total_buffered t = B.total_buffered t.buffer
+  let applied_vector t = V.copy t.apply_cnt
+  let local_clock t = V.copy t.write_co
+  let last_write_on t ~var =
+    if var < 0 || var >= t.cfg.m then
+      invalid_arg "Opt_p.last_write_on: variable out of range";
+    V.copy t.last_write_on.(var)
+
+  let pp_msg ppf m =
+    Format.fprintf ppf "m(x%d, %d, %a)" (m.var + 1) m.value V.pp m.wco
+
+  let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+end
+
+include Make (Buffer.Indexed)
+module Scan = Make (Buffer.Scan)

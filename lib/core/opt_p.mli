@@ -29,10 +29,27 @@ type message = {
 }
 (** The wire message [m(x_h, v, Write_co)] of Figure 4, line 2. *)
 
-include Protocol.S with type msg = message
+module type IMPL = sig
+  include Protocol.S with type msg = message
 
-val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
-(** Introspection for Figure 6: current [LastWriteOn[var]]. *)
+  val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
+  (** Introspection for Figure 6: current [LastWriteOn[var]]. *)
 
-val deliverable : t -> src:int -> msg -> bool
-(** The wait condition of Figure 5, line 2 (true = no wait needed). *)
+  val deliverable : t -> src:int -> msg -> bool
+  (** The wait condition of Figure 5, line 2 (true = no wait needed). *)
+end
+
+include IMPL
+(** The default instantiation buffers early writes in a
+    {!Dsm_sim.Delivery_index}: an apply wakes only the messages
+    subscribed to the counter it advanced (O(1) amortized), instead of
+    rescanning the whole buffer. *)
+
+module Scan : IMPL
+(** Reference instantiation over the seed scanning {!Dsm_sim.Mailbox}
+    (O(b) per apply). Behaviourally identical — the differential suite
+    holds the two to byte-identical runs — and kept for exactly that
+    purpose. *)
+
+module Make (_ : Dsm_sim.Delivery_buffer.S) : IMPL
+(** OptP over an arbitrary delivery-buffer strategy. *)

@@ -1,7 +1,6 @@
 module V = Dsm_vclock.Vector_clock
 module Dot = Dsm_vclock.Dot
-module Mailbox = Dsm_sim.Mailbox
-open Protocol
+module Buffer = Dsm_sim.Delivery_buffer
 
 type message = {
   var : int;
@@ -11,123 +10,184 @@ type message = {
   know : V.t array;
 }
 
-type t = {
-  repl : Replication.t;
-  me : int;
-  store : Replica_store.t;  (* indexed by global var id; foreign vars unused *)
-  applied : V.t array;  (* per var: applied write counts per issuer *)
-  know : V.t array;  (* per var: last known write index per issuer *)
-  last_write_know : V.t array array;
-      (* per replicated var: the matrix of the last write applied to it *)
-  buffer : (int * message) Mailbox.t;
-  mutable next_global_seq : int;
-}
+module type IMPL = sig
+  type t
 
-let matrix n m = Array.init m (fun _ -> V.create n)
+  val create : Replication.t -> me:int -> t
+  val me : t -> int
+  val replication : t -> Replication.t
 
-let copy_matrix mx = Array.map V.copy mx
+  val write :
+    t -> var:int -> value:int ->
+    Dot.t * message * int list * Protocol.apply_record
 
-let merge_matrix_into dst src =
-  Array.iteri (fun i row -> V.merge_into row src.(i)) dst
+  val read : t -> var:int -> Dsm_memory.Operation.value * Dot.t option
+  val receive : t -> src:int -> message -> Protocol.apply_record list
+  val deliverable : t -> src:int -> message -> bool
+  val buffered : t -> int
+  val buffer_high_watermark : t -> int
+  val total_buffered : t -> int
+  val applied_matrix : t -> V.t array
+end
 
-let create repl ~me =
-  let n = Replication.n repl and m = Replication.m repl in
-  if me < 0 || me >= n then
-    invalid_arg "Opt_p_partial.create: process id out of range";
-  {
-    repl;
-    me;
-    store = Replica_store.create ~m;
-    applied = matrix n m;
-    know = matrix n m;
-    last_write_know = Array.init m (fun _ -> matrix n m);
-    buffer = Mailbox.create ();
-    next_global_seq = 1;
+module Make (B : Buffer.S) = struct
+  type t = {
+    repl : Replication.t;
+    me : int;
+    store : Replica_store.t;  (* indexed by global var id; foreign vars unused *)
+    applied : V.t array;  (* per var: applied write counts per issuer *)
+    know : V.t array;  (* per var: last known write index per issuer *)
+    last_write_know : V.t array array;
+        (* per replicated var: the matrix of the last write applied to it *)
+    buffer : (int * message) B.t;
+    my_vars : int list;  (* vars_of me, cached for the hot path *)
+    mutable next_global_seq : int;
   }
 
-let me t = t.me
-let replication t = t.repl
+  let matrix n m = Array.init m (fun _ -> V.create n)
 
-let check_replicated t ~var name =
-  if not (Replication.replicates t.repl ~proc:t.me ~var) then
-    invalid_arg
-      (Printf.sprintf "Opt_p_partial.%s: p%d does not replicate x%d" name
-         (t.me + 1) (var + 1))
+  let copy_matrix mx = Array.map V.copy mx
 
-let write t ~var ~value =
-  check_replicated t ~var "write";
-  V.tick t.know.(var) t.me;
-  let var_seq = V.get t.know.(var) t.me in
-  let dot = Dot.make ~replica:t.me ~seq:t.next_global_seq in
-  t.next_global_seq <- t.next_global_seq + 1;
-  let know = copy_matrix t.know in
-  let m = { var; value; dot; var_seq; know } in
-  Replica_store.apply t.store ~var ~value ~dot;
-  V.tick t.applied.(var) t.me;
-  t.last_write_know.(var) <- know;
-  let dests =
-    List.filter (fun p -> p <> t.me) (Replication.replicas_of t.repl ~var)
-  in
-  let record =
-    { adot = dot; avar = var; avalue = value; afrom_buffer = false }
-  in
-  (dot, m, dests, record)
+  let merge_matrix_into dst src =
+    Array.iteri (fun i row -> V.merge_into row src.(i)) dst
 
-let read t ~var =
-  check_replicated t ~var "read";
-  (* merge-on-read, one level up: absorb the last write's matrix *)
-  merge_matrix_into t.know t.last_write_know.(var);
-  Replica_store.read t.store ~var
+  let create repl ~me =
+    let n = Replication.n repl and m = Replication.m repl in
+    if me < 0 || me >= n then
+      invalid_arg "Opt_p_partial.create: process id out of range";
+    {
+      repl;
+      me;
+      store = Replica_store.create ~m;
+      applied = matrix n m;
+      know = matrix n m;
+      last_write_know = Array.init m (fun _ -> matrix n m);
+      buffer = B.create ();
+      my_vars = Replication.vars_of repl ~proc:me;
+      next_global_seq = 1;
+    }
 
-(* applicable iff the sender's chain on the written location is
-   gap-free here and every row of a location we replicate is covered *)
-let deliverable t ~src (msg : message) =
-  msg.var_seq = V.get t.applied.(msg.var) src + 1
-  && List.for_all
-       (fun y ->
-         let rec ok k =
-           k < 0
-           || ((k = src && y = msg.var)
-               (* the sender component of the written row is the
-                  gap condition above *)
-              || V.get msg.know.(y) k <= V.get t.applied.(y) k)
-              && ok (k - 1)
-         in
-         ok (Replication.n t.repl - 1))
-       (Replication.vars_of t.repl ~proc:t.me)
+  let me t = t.me
+  let replication t = t.repl
 
-let apply_msg t ~src (msg : message) ~from_buffer =
-  Replica_store.apply t.store ~var:msg.var ~value:msg.value ~dot:msg.dot;
-  V.tick t.applied.(msg.var) src;
-  t.last_write_know.(msg.var) <- copy_matrix msg.know;
-  {
-    adot = msg.dot;
-    avar = msg.var;
-    avalue = msg.value;
-    afrom_buffer = from_buffer;
-  }
+  (* the wakeup-counter space is the applied matrix, flattened: cell
+     [Applied[y][k]] is abstract counter [y*n + k] *)
+  let counter_of t ~var ~proc = (var * Replication.n t.repl) + proc
 
-let drain t =
-  let rec go acc =
-    match
-      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
-    with
-    | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
-    | None -> List.rev acc
-  in
-  go []
+  let check_replicated t ~var name =
+    if not (Replication.replicates t.repl ~proc:t.me ~var) then
+      invalid_arg
+        (Printf.sprintf "Opt_p_partial.%s: p%d does not replicate x%d" name
+           (t.me + 1) (var + 1))
 
-let receive t ~src msg =
-  if deliverable t ~src msg then begin
-    let first = apply_msg t ~src msg ~from_buffer:false in
-    first :: drain t
-  end
-  else begin
-    Mailbox.add t.buffer (src, msg);
-    []
-  end
+  let status t ((src, msg) : int * message) : Buffer.status =
+    let a = V.unsafe_get t.applied.(msg.var) src in
+    if msg.var_seq > a + 1 then
+      Wait_for
+        { counter = counter_of t ~var:msg.var ~proc:src;
+          count = msg.var_seq - 1 }
+    else if msg.var_seq < a + 1 then Stuck  (* duplicate: already applied *)
+    else
+      (* every row of a location we replicate must be covered; the
+         sender component of the written row is the gap condition
+         above *)
+      let n = Replication.n t.repl in
+      let rec scan_row y k =
+        if k >= n then Buffer.Ready
+        else if
+          (not (k = src && y = msg.var))
+          && V.unsafe_get msg.know.(y) k > V.unsafe_get t.applied.(y) k
+        then
+          Wait_for
+            { counter = counter_of t ~var:y ~proc:k;
+              count = V.unsafe_get msg.know.(y) k }
+        else scan_row y (k + 1)
+      in
+      let rec scan_vars = function
+        | [] -> Buffer.Ready
+        | y :: rest -> (
+            match scan_row y 0 with
+            | Buffer.Ready -> scan_vars rest
+            | blocked -> blocked)
+      in
+      scan_vars t.my_vars
 
-let buffered t = Mailbox.length t.buffer
-let buffer_high_watermark t = Mailbox.high_watermark t.buffer
-let total_buffered t = Mailbox.total_buffered t.buffer
-let applied_matrix t = copy_matrix t.applied
+  (* every advance of the applied matrix flows through here so the
+     buffer can wake exactly the subscribed messages *)
+  let tick_applied t ~var ~proc =
+    V.tick t.applied.(var) proc;
+    B.note_advance t.buffer ~status:(status t)
+      ~counter:(counter_of t ~var ~proc)
+      ~count:(V.unsafe_get t.applied.(var) proc)
+
+  let write t ~var ~value =
+    check_replicated t ~var "write";
+    V.tick t.know.(var) t.me;
+    let var_seq = V.get t.know.(var) t.me in
+    let dot = Dot.make ~replica:t.me ~seq:t.next_global_seq in
+    t.next_global_seq <- t.next_global_seq + 1;
+    let know = copy_matrix t.know in
+    let m = { var; value; dot; var_seq; know } in
+    Replica_store.apply t.store ~var ~value ~dot;
+    tick_applied t ~var ~proc:t.me;
+    t.last_write_know.(var) <- know;
+    let dests =
+      List.filter (fun p -> p <> t.me) (Replication.replicas_of t.repl ~var)
+    in
+    let record =
+      { Protocol.adot = dot; avar = var; avalue = value; afrom_buffer = false }
+    in
+    (dot, m, dests, record)
+
+  let read t ~var =
+    check_replicated t ~var "read";
+    (* merge-on-read, one level up: absorb the last write's matrix *)
+    merge_matrix_into t.know t.last_write_know.(var);
+    Replica_store.read t.store ~var
+
+  (* applicable iff the sender's chain on the written location is
+     gap-free here and every row of a location we replicate is covered *)
+  let deliverable t ~src (msg : message) =
+    match status t (src, msg) with
+    | Buffer.Ready -> true
+    | Wait_for _ | Stuck -> false
+
+  let apply_msg t ~src (msg : message) ~from_buffer =
+    Replica_store.apply t.store ~var:msg.var ~value:msg.value ~dot:msg.dot;
+    tick_applied t ~var:msg.var ~proc:src;
+    (* the message matrix is immutable once on the wire: alias it
+       instead of copying m vectors per apply *)
+    t.last_write_know.(msg.var) <- msg.know;
+    {
+      Protocol.adot = msg.dot;
+      avar = msg.var;
+      avalue = msg.value;
+      afrom_buffer = from_buffer;
+    }
+
+  let drain t =
+    let rec go acc =
+      match B.take_ready t.buffer ~status:(status t) with
+      | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
+      | None -> List.rev acc
+    in
+    go []
+
+  let receive t ~src msg =
+    if deliverable t ~src msg then begin
+      let first = apply_msg t ~src msg ~from_buffer:false in
+      first :: drain t
+    end
+    else begin
+      B.add t.buffer ~status:(status t) (src, msg);
+      []
+    end
+
+  let buffered t = B.length t.buffer
+  let buffer_high_watermark t = B.high_watermark t.buffer
+  let total_buffered t = B.total_buffered t.buffer
+  let applied_matrix t = copy_matrix t.applied
+end
+
+include Make (Buffer.Indexed)
+module Scan = Make (Buffer.Scan)

@@ -41,33 +41,48 @@ type message = {
       (** the dependency matrix [D]: one row per location *)
 }
 
-type t
+module type IMPL = sig
+  type t
 
-val create : Replication.t -> me:int -> t
-(** @raise Invalid_argument on a bad process id. *)
+  val create : Replication.t -> me:int -> t
+  (** @raise Invalid_argument on a bad process id. *)
 
-val me : t -> int
-val replication : t -> Replication.t
+  val me : t -> int
+  val replication : t -> Replication.t
 
-val write :
-  t -> var:int -> value:int ->
-  Dsm_vclock.Dot.t * message * int list * Protocol.apply_record
-(** [(dot, message, destinations, local apply)] — destinations are the
-    other replicas of [var].
-    @raise Invalid_argument if this process does not replicate [var]. *)
+  val write :
+    t -> var:int -> value:int ->
+    Dsm_vclock.Dot.t * message * int list * Protocol.apply_record
+  (** [(dot, message, destinations, local apply)] — destinations are the
+      other replicas of [var].
+      @raise Invalid_argument if this process does not replicate [var]. *)
 
-val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
-(** @raise Invalid_argument if this process does not replicate [var]. *)
+  val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
+  (** @raise Invalid_argument if this process does not replicate [var]. *)
 
-val receive : t -> src:int -> message -> Protocol.apply_record list
-(** Deliver one message: applies it (and any unblocked buffered
-    writes), or buffers it. *)
+  val receive : t -> src:int -> message -> Protocol.apply_record list
+  (** Deliver one message: applies it (and any unblocked buffered
+      writes), or buffers it. *)
 
-val deliverable : t -> src:int -> message -> bool
-val buffered : t -> int
-val buffer_high_watermark : t -> int
-val total_buffered : t -> int
+  val deliverable : t -> src:int -> message -> bool
+  val buffered : t -> int
+  val buffer_high_watermark : t -> int
+  val total_buffered : t -> int
 
-val applied_matrix : t -> Dsm_vclock.Vector_clock.t array
-(** Per-location applied-write counts (rows of foreign locations are
-    all zero). *)
+  val applied_matrix : t -> Dsm_vclock.Vector_clock.t array
+  (** Per-location applied-write counts (rows of foreign locations are
+      all zero). *)
+end
+
+include IMPL
+(** Default instantiation over the counter-indexed
+    {!Dsm_sim.Delivery_index}; the wakeup-counter space is the
+    applied {e matrix}, flattened cell-by-cell as [y·n + t]. *)
+
+module Scan : IMPL
+(** Reference instantiation over the seed scanning {!Dsm_sim.Mailbox};
+    behaviourally identical, kept for differential testing. *)
+
+module Make (_ : Dsm_sim.Delivery_buffer.S) : IMPL
+(** Partial-replication OptP over an arbitrary delivery-buffer
+    strategy. *)

@@ -1,6 +1,6 @@
 module V = Dsm_vclock.Vector_clock
 module Dot = Dsm_vclock.Dot
-module Mailbox = Dsm_sim.Mailbox
+module Buffer = Dsm_sim.Delivery_buffer
 open Protocol
 
 type message = {
@@ -12,206 +12,239 @@ type message = {
   can_skip : bool;
 }
 
-type msg = message
+module type IMPL = sig
+  include Protocol.S with type msg = message
 
-type t = {
-  cfg : config;
-  me : int;
-  store : Replica_store.t;
-  apply_cnt : V.t;
-  write_co : V.t;
-  last_write_on : V.t array;
-  buffer : (int * msg) Mailbox.t;
-  mutable overwritten : Dot.Set.t;
-  seen : (Dot.t, int * V.t) Hashtbl.t;  (* var and Write_co of writes seen *)
-  mutable skipped_total : int;
-}
+  val skipped_total : t -> int
+  val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
+  val deliverable : t -> src:int -> msg -> bool
+end
 
-let name = "OptP-WS"
+module Make (B : Buffer.S) = struct
+  type msg = message
 
-let create cfg ~me =
-  if me < 0 || me >= cfg.n then
-    invalid_arg "Opt_p_ws.create: process id out of range";
-  {
-    cfg;
-    me;
-    store = Replica_store.create ~m:cfg.m;
-    apply_cnt = V.create cfg.n;
-    write_co = V.create cfg.n;
-    last_write_on = Array.init cfg.m (fun _ -> V.create cfg.n);
-    buffer = Mailbox.create ();
-    overwritten = Dot.Set.empty;
-    seen = Hashtbl.create 64;
-    skipped_total = 0;
+  type t = {
+    cfg : config;
+    me : int;
+    store : Replica_store.t;
+    apply_cnt : V.t;
+    write_co : V.t;
+    last_write_on : V.t array;
+    buffer : (int * msg) B.t;
+    mutable overwritten : Dot.Set.t;
+    seen : (Dot.t, int * V.t) Hashtbl.t;  (* var and Write_co of writes seen *)
+    mutable skipped_total : int;
   }
 
-let me t = t.me
+  let name = "OptP-WS"
 
-(* exact interposition test: Write_co characterizes ↦co (Theorem 1) *)
-let compute_can_skip t ~var ~prev ~wco =
-  match prev with
-  | None -> false
-  | Some prev_dot -> (
-      match Hashtbl.find_opt t.seen prev_dot with
-      | None -> false
-      | Some (_, prev_wco) ->
-          not
-            (Hashtbl.fold
-               (fun _ (var'', wco'') found ->
-                 found
-                 || var'' <> var
-                    && V.lt prev_wco wco''
-                    && V.lt wco'' wco)
-               t.seen false))
+  let create cfg ~me =
+    if me < 0 || me >= cfg.n then
+      invalid_arg "Opt_p_ws.create: process id out of range";
+    {
+      cfg;
+      me;
+      store = Replica_store.create ~m:cfg.m;
+      apply_cnt = V.create cfg.n;
+      write_co = V.create cfg.n;
+      last_write_on = Array.init cfg.m (fun _ -> V.create cfg.n);
+      buffer = B.create ();
+      overwritten = Dot.Set.empty;
+      seen = Hashtbl.create 64;
+      skipped_total = 0;
+    }
 
-let write t ~var ~value =
-  V.tick t.write_co t.me;
-  let wco = V.copy t.write_co in
-  let dot = Dot.of_clock wco t.me in
-  let prev = Replica_store.last_writer t.store ~var in
-  let can_skip = compute_can_skip t ~var ~prev ~wco in
-  let m = { var; value; dot; wco; prev; can_skip } in
-  Replica_store.apply t.store ~var ~value ~dot;
-  V.tick t.apply_cnt t.me;
-  t.last_write_on.(var) <- wco;
-  Hashtbl.replace t.seen dot (var, wco);
-  let applied =
-    [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ]
-  in
-  (dot, effects ~applied ~to_send:[ Broadcast m ] ())
+  let me t = t.me
 
-let read t ~var =
-  V.merge_into t.write_co t.last_write_on.(var);
-  Replica_store.read t.store ~var
+  (* exact interposition test: Write_co characterizes ↦co (Theorem 1) *)
+  let compute_can_skip t ~var ~prev ~wco =
+    match prev with
+    | None -> false
+    | Some prev_dot -> (
+        match Hashtbl.find_opt t.seen prev_dot with
+        | None -> false
+        | Some (_, prev_wco) ->
+            not
+              (Hashtbl.fold
+                 (fun _ (var'', wco'') found ->
+                   found
+                   || var'' <> var
+                      && V.lt prev_wco wco''
+                      && V.lt wco'' wco)
+                 t.seen false))
 
-let deliverable t ~src (m : msg) =
-  let ok = ref (V.get t.apply_cnt src = V.get m.wco src - 1) in
-  for k = 0 to t.cfg.n - 1 do
-    if k <> src && V.get m.wco k > V.get t.apply_cnt k then ok := false
-  done;
-  !ok
+  let write t ~var ~value =
+    V.tick t.write_co t.me;
+    let wco = V.copy t.write_co in
+    let dot = Dot.of_clock wco t.me in
+    let prev = Replica_store.last_writer t.store ~var in
+    let can_skip = compute_can_skip t ~var ~prev ~wco in
+    let m = { var; value; dot; wco; prev; can_skip } in
+    Replica_store.apply t.store ~var ~value ~dot;
+    V.tick t.apply_cnt t.me;
+    t.last_write_on.(var) <- wco;
+    Hashtbl.replace t.seen dot (var, wco);
+    let applied =
+      [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ]
+    in
+    (dot, effects ~applied ~to_send:[ Broadcast m ] ())
 
-let apply_msg t ~src (m : msg) ~from_buffer =
-  Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
-  V.tick t.apply_cnt src;
-  t.last_write_on.(m.var) <- m.wco;
-  Hashtbl.replace t.seen m.dot (m.var, m.wco);
-  { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
+  let read t ~var =
+    V.merge_into t.write_co t.last_write_on.(var);
+    Replica_store.read t.store ~var
 
-let deliverable_after_skip t ~src (m : msg) d =
-  let bump k = V.get t.apply_cnt k + if k = Dot.replica d then 1 else 0 in
-  let ok = ref (bump src = V.get m.wco src - 1) in
-  for k = 0 to t.cfg.n - 1 do
-    if k <> src && V.get m.wco k > bump k then ok := false
-  done;
-  !ok
+  (* OptP's wait condition as a wakeup constraint; [src] is a validated
+     process id, so the unchecked accessors are safe *)
+  let status t ((src, m) : int * msg) : Buffer.status =
+    let a_src = V.unsafe_get t.apply_cnt src in
+    let w_src = V.unsafe_get m.wco src in
+    if a_src < w_src - 1 then Wait_for { counter = src; count = w_src - 1 }
+    else if a_src > w_src - 1 then Stuck  (* duplicate or skipped-over *)
+    else
+      let n = t.cfg.n in
+      let rec scan k =
+        if k >= n then Buffer.Ready
+        else if k <> src && V.unsafe_get m.wco k > V.unsafe_get t.apply_cnt k
+        then Wait_for { counter = k; count = V.unsafe_get m.wco k }
+        else scan (k + 1)
+      in
+      scan 0
 
-let try_skip t =
-  let candidate =
-    List.find_map
-      (fun (src, (m : msg)) ->
-        match m.prev with
-        | Some d
-          when m.can_skip
-               && (not (Dot.Set.mem d t.overwritten))
-               && V.get t.apply_cnt (Dot.replica d) = Dot.seq d - 1
-               && deliverable_after_skip t ~src m d ->
-            Some (src, m, d)
-        | Some _ | None -> None)
-      (Mailbox.to_list t.buffer)
-  in
-  match candidate with
-  | None -> None
-  | Some (src, m, d) ->
-      V.tick t.apply_cnt (Dot.replica d);
-      t.overwritten <- Dot.Set.add d t.overwritten;
-      t.skipped_total <- t.skipped_total + 1;
-      ignore
-        (Mailbox.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
-             Dot.equal b.dot d));
-      ignore
-        (Mailbox.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
-             Dot.equal b.dot m.dot));
-      Some (apply_msg t ~src m ~from_buffer:true, d)
+  let deliverable t ~src (m : msg) =
+    match status t (src, m) with
+    | Buffer.Ready -> true
+    | Wait_for _ | Stuck -> false
+
+  (* every advance of Apply — by an apply or by a skip — flows through
+     here so the buffer can wake exactly the subscribed messages *)
+  let tick_apply t k =
+    V.tick t.apply_cnt k;
+    B.note_advance t.buffer ~status:(status t) ~counter:k
+      ~count:(V.unsafe_get t.apply_cnt k)
+
+  let apply_msg t ~src (m : msg) ~from_buffer =
+    Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
+    tick_apply t src;
+    t.last_write_on.(m.var) <- m.wco;
+    Hashtbl.replace t.seen m.dot (m.var, m.wco);
+    { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
+
+  let deliverable_after_skip t ~src (m : msg) d =
+    let bump k = V.get t.apply_cnt k + if k = Dot.replica d then 1 else 0 in
+    let ok = ref (bump src = V.get m.wco src - 1) in
+    for k = 0 to t.cfg.n - 1 do
+      if k <> src && V.get m.wco k > bump k then ok := false
+    done;
+    !ok
+
+  let try_skip t =
+    let candidate =
+      List.find_map
+        (fun (src, (m : msg)) ->
+          match m.prev with
+          | Some d
+            when m.can_skip
+                 && (not (Dot.Set.mem d t.overwritten))
+                 && V.get t.apply_cnt (Dot.replica d) = Dot.seq d - 1
+                 && deliverable_after_skip t ~src m d ->
+              Some (src, m, d)
+          | Some _ | None -> None)
+        (B.to_list t.buffer)
+    in
+    match candidate with
+    | None -> None
+    | Some (src, m, d) ->
+        t.overwritten <- Dot.Set.add d t.overwritten;
+        t.skipped_total <- t.skipped_total + 1;
+        ignore
+          (B.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
+               Dot.equal b.dot d));
+        ignore
+          (B.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
+               Dot.equal b.dot m.dot));
+        tick_apply t (Dot.replica d);
+        Some (apply_msg t ~src m ~from_buffer:true, d)
 
 
-(* The incoming message itself may trigger a skip at receipt time: its
-   named predecessor is the issuer's next undelivered write and skipping
-   it makes the message deliverable at once. In that case the write
-   never waits, so its apply is NOT a write delay (Definition 3). *)
-let skip_for_incoming t ~src (m : msg) =
-  match m.prev with
-  | Some d
-    when m.can_skip
-         && (not (Dot.Set.mem d t.overwritten))
-         && V.get t.apply_cnt (Dot.replica d) = Dot.seq d - 1
-         && deliverable_after_skip t ~src m d ->
-      V.tick t.apply_cnt (Dot.replica d);
-      t.overwritten <- Dot.Set.add d t.overwritten;
-      t.skipped_total <- t.skipped_total + 1;
-      ignore
-        (Mailbox.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
-             Dot.equal b.dot d));
-      Some (apply_msg t ~src m ~from_buffer:false, d)
-  | Some _ | None -> None
+  (* The incoming message itself may trigger a skip at receipt time: its
+     named predecessor is the issuer's next undelivered write and skipping
+     it makes the message deliverable at once. In that case the write
+     never waits, so its apply is NOT a write delay (Definition 3). *)
+  let skip_for_incoming t ~src (m : msg) =
+    match m.prev with
+    | Some d
+      when m.can_skip
+           && (not (Dot.Set.mem d t.overwritten))
+           && V.get t.apply_cnt (Dot.replica d) = Dot.seq d - 1
+           && deliverable_after_skip t ~src m d ->
+        t.overwritten <- Dot.Set.add d t.overwritten;
+        t.skipped_total <- t.skipped_total + 1;
+        ignore
+          (B.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
+               Dot.equal b.dot d));
+        tick_apply t (Dot.replica d);
+        Some (apply_msg t ~src m ~from_buffer:false, d)
+    | Some _ | None -> None
 
-let drain t =
-  let applied = ref [] and skipped = ref [] in
-  let rec loop () =
-    match
-      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
-    with
-    | Some (src, m) ->
-        applied := apply_msg t ~src m ~from_buffer:true :: !applied;
-        loop ()
-    | None -> (
-        match try_skip t with
-        | Some (record, d) ->
-            applied := record :: !applied;
-            skipped := d :: !skipped;
-            loop ()
-        | None -> ())
-  in
-  loop ();
-  (List.rev !applied, List.rev !skipped)
+  let drain t =
+    let applied = ref [] and skipped = ref [] in
+    let rec loop () =
+      match B.take_ready t.buffer ~status:(status t) with
+      | Some (src, m) ->
+          applied := apply_msg t ~src m ~from_buffer:true :: !applied;
+          loop ()
+      | None -> (
+          match try_skip t with
+          | Some (record, d) ->
+              applied := record :: !applied;
+              skipped := d :: !skipped;
+              loop ()
+          | None -> ())
+    in
+    loop ();
+    (List.rev !applied, List.rev !skipped)
 
-let receive t ~src m =
-  if Dot.Set.mem m.dot t.overwritten then
-    (* already logically applied by a skip: discard the late message *)
-    no_effects
-  else if deliverable t ~src m then begin
-    let first = apply_msg t ~src m ~from_buffer:false in
-    let applied, skipped = drain t in
-    effects ~applied:(first :: applied) ~skipped ()
-  end
-  else
-    match skip_for_incoming t ~src m with
-    | Some (first, d) ->
-        let applied, skipped = drain t in
-        effects ~applied:(first :: applied) ~skipped:(d :: skipped) ()
-    | None ->
-        (* a buffered message changes no delivery state, so no other
-           buffered message can have become ready: no drain needed *)
-        Mailbox.add t.buffer (src, m);
-        no_effects
+  let receive t ~src m =
+    if Dot.Set.mem m.dot t.overwritten then
+      (* already logically applied by a skip: discard the late message *)
+      no_effects
+    else if deliverable t ~src m then begin
+      let first = apply_msg t ~src m ~from_buffer:false in
+      let applied, skipped = drain t in
+      effects ~applied:(first :: applied) ~skipped ()
+    end
+    else
+      match skip_for_incoming t ~src m with
+      | Some (first, d) ->
+          let applied, skipped = drain t in
+          effects ~applied:(first :: applied) ~skipped:(d :: skipped) ()
+      | None ->
+          (* a buffered message changes no delivery state, so no other
+             buffered message can have become ready: no drain needed *)
+          B.add t.buffer ~status:(status t) (src, m);
+          no_effects
 
-let buffered t = Mailbox.length t.buffer
-let buffer_high_watermark t = Mailbox.high_watermark t.buffer
-let total_buffered t = Mailbox.total_buffered t.buffer
-let applied_vector t = V.copy t.apply_cnt
-let local_clock t = V.copy t.write_co
-let skipped_total t = t.skipped_total
+  let buffered t = B.length t.buffer
+  let buffer_high_watermark t = B.high_watermark t.buffer
+  let total_buffered t = B.total_buffered t.buffer
+  let applied_vector t = V.copy t.apply_cnt
+  let local_clock t = V.copy t.write_co
+  let skipped_total t = t.skipped_total
 
-let last_write_on t ~var =
-  if var < 0 || var >= t.cfg.m then
-    invalid_arg "Opt_p_ws.last_write_on: variable out of range";
-  V.copy t.last_write_on.(var)
+  let last_write_on t ~var =
+    if var < 0 || var >= t.cfg.m then
+      invalid_arg "Opt_p_ws.last_write_on: variable out of range";
+    V.copy t.last_write_on.(var)
 
-let pp_msg ppf (m : msg) =
-  Format.fprintf ppf "m(x%d, %d, %a%s)" (m.var + 1) m.value V.pp m.wco
-    (match m.prev with
-    | Some d when m.can_skip ->
-        Printf.sprintf ", overwrites %s" (Dot.to_string d)
-    | _ -> "")
+  let pp_msg ppf (m : msg) =
+    Format.fprintf ppf "m(x%d, %d, %a%s)" (m.var + 1) m.value V.pp m.wco
+      (match m.prev with
+      | Some d when m.can_skip ->
+          Printf.sprintf ", overwrites %s" (Dot.to_string d)
+      | _ -> "")
 
-let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+  let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+end
+
+include Make (Buffer.Indexed)
+module Scan = Make (Buffer.Scan)

@@ -31,8 +31,22 @@ type message = {
   can_skip : bool;
 }
 
-include Protocol.S with type msg = message
+module type IMPL = sig
+  include Protocol.S with type msg = message
 
-val skipped_total : t -> int
-val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
-val deliverable : t -> src:int -> msg -> bool
+  val skipped_total : t -> int
+  val last_write_on : t -> var:int -> Dsm_vclock.Vector_clock.t
+  val deliverable : t -> src:int -> msg -> bool
+end
+
+include IMPL
+(** Default instantiation over the counter-indexed
+    {!Dsm_sim.Delivery_index}; skip-path advances of [Apply] notify the
+    index exactly like ordinary applies. *)
+
+module Scan : IMPL
+(** Reference instantiation over the seed scanning {!Dsm_sim.Mailbox};
+    behaviourally identical, kept for differential testing. *)
+
+module Make (_ : Dsm_sim.Delivery_buffer.S) : IMPL
+(** OptP-WS over an arbitrary delivery-buffer strategy. *)

@@ -1,5 +1,5 @@
 module Protocol = Dsm_core.Protocol
-module P = Dsm_core.Opt_p_partial
+module Pp = Dsm_core.Opt_p_partial
 module Replication = Dsm_core.Replication
 module Engine = Dsm_sim.Engine
 module Network = Dsm_sim.Network
@@ -16,8 +16,10 @@ type outcome = {
   buffer_high_watermarks : int array;
 }
 
-let run ~replication ~spec ~latency ?(seed = 1) ?(max_steps = 10_000_000) ()
-    =
+(* generic over the buffer instantiation so the differential suite can
+   drive the indexed and the reference scanning variants identically *)
+let run_with (module P : Pp.IMPL) ~replication ~spec ~latency ?(seed = 1)
+    ?(max_steps = 10_000_000) () =
   let n = spec.Spec.n and m = spec.Spec.m in
   if Replication.n replication <> n || Replication.m replication <> m then
     invalid_arg "Partial_run.run: replication map dimensions mismatch";
@@ -49,8 +51,8 @@ let run ~replication ~spec ~latency ?(seed = 1) ?(max_steps = 10_000_000) ()
   in
   Array.iteri
     (fun me _ ->
-      Network.set_handler network me (fun ~src ~at:_ (msg : P.message) ->
-          record me (Execution.Receipt { dot = msg.P.dot; src });
+      Network.set_handler network me (fun ~src ~at:_ (msg : Pp.message) ->
+          record me (Execution.Receipt { dot = msg.Pp.dot; src });
           record_applies me (P.receive protos.(me) ~src msg)))
     protos;
   (* fold each op's variable onto the issuing process's replicated set,
@@ -76,7 +78,7 @@ let run ~replication ~spec ~latency ?(seed = 1) ?(max_steps = 10_000_000) ()
                   in
                   record proc
                     (Execution.Send
-                       { dot = msg.P.dot; var; value = msg.P.value });
+                       { dot = msg.Pp.dot; var; value = msg.Pp.value });
                   record_applies proc [ local ];
                   List.iter
                     (fun dst -> Network.send network ~src:proc ~dst msg)
@@ -102,6 +104,9 @@ let run ~replication ~spec ~latency ?(seed = 1) ?(max_steps = 10_000_000) ()
     buffer_high_watermarks =
       Array.map (fun p -> P.buffer_high_watermark p) protos;
   }
+
+let run = run_with (module Pp)
+let run_scan = run_with (module Pp.Scan)
 
 let check outcome =
   Checker.check

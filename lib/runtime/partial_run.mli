@@ -31,5 +31,17 @@ val run :
     @raise Invalid_argument on dimension mismatch.
     @raise Failure on step-limit exhaustion. *)
 
+val run_scan :
+  replication:Dsm_core.Replication.t ->
+  spec:Dsm_workload.Spec.t ->
+  latency:Dsm_sim.Latency.t ->
+  ?seed:int ->
+  ?max_steps:int ->
+  unit ->
+  outcome
+(** Same run over {!Dsm_core.Opt_p_partial.Scan}, the reference
+    scanning-buffer instantiation — the differential suite holds it and
+    {!run} to identical outcomes. *)
+
 val check : outcome -> Checker.report
 (** The replication-aware audit of the run. *)

@@ -1,0 +1,126 @@
+type status =
+  | Ready
+  | Wait_for of { counter : int; count : int }
+  | Stuck
+
+type 'a entry = { id : int; payload : 'a; mutable alive : bool }
+
+type 'a t = {
+  mutable next_id : int;
+  live : (int, 'a entry) Hashtbl.t;  (* id -> entry, every buffered message *)
+  waiters : (int * int, 'a entry list ref) Hashtbl.t;
+      (* (counter, count) -> subscribers; buckets may retain dead
+         entries, which are skipped when the cell fires *)
+  mutable ready : int list;  (* ids, ascending: oldest ready first *)
+  mutable high : int;
+  mutable total : int;
+}
+
+let create () =
+  {
+    next_id = 0;
+    live = Hashtbl.create 64;
+    waiters = Hashtbl.create 64;
+    ready = [];
+    high = 0;
+    total = 0;
+  }
+
+let length t = Hashtbl.length t.live
+let is_empty t = Hashtbl.length t.live = 0
+
+let subscribe t e ~counter ~count =
+  let key = (counter, count) in
+  match Hashtbl.find_opt t.waiters key with
+  | Some bucket -> bucket := e :: !bucket
+  | None -> Hashtbl.add t.waiters key (ref [ e ])
+
+let rec insert_ready id = function
+  | [] -> [ id ]
+  | id' :: _ as l when id < id' -> id :: l
+  | id' :: rest -> id' :: insert_ready id rest
+
+(* route a live entry by its current status; ready ids go through
+   [enqueue] so batch wakeups can sort once instead of inserting one by
+   one *)
+let route t ~status ~enqueue e =
+  match status e.payload with
+  | Ready -> enqueue e.id
+  | Wait_for { counter; count } -> subscribe t e ~counter ~count
+  | Stuck -> ()  (* parked: stays in [live], never re-examined *)
+
+let add t ~status x =
+  let e = { id = t.next_id; payload = x; alive = true } in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.add t.live e.id e;
+  t.total <- t.total + 1;
+  let len = Hashtbl.length t.live in
+  if len > t.high then t.high <- len;
+  route t ~status ~enqueue:(fun id -> t.ready <- insert_ready id t.ready) e
+
+let rec merge_sorted a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, (y :: _ as l) when x < y -> x :: merge_sorted xs l
+  | l, y :: ys -> y :: merge_sorted l ys
+
+let note_advance t ~status ~counter ~count =
+  let key = (counter, count) in
+  match Hashtbl.find_opt t.waiters key with
+  | None -> ()
+  | Some bucket ->
+      Hashtbl.remove t.waiters key;
+      let woken = ref [] in
+      List.iter
+        (fun e ->
+          if e.alive then
+            route t ~status ~enqueue:(fun id -> woken := id :: !woken) e)
+        !bucket;
+      if !woken <> [] then
+        t.ready <- merge_sorted (List.sort Int.compare !woken) t.ready
+
+let rec take_ready t ~status =
+  match t.ready with
+  | [] -> None
+  | id :: rest -> (
+      t.ready <- rest;
+      match Hashtbl.find_opt t.live id with
+      | None -> take_ready t ~status  (* removed while queued *)
+      | Some e when not e.alive -> take_ready t ~status
+      | Some e -> (
+          (* re-validate: a duplicate can lose deliverability (go
+             stuck) between wakeup and take *)
+          match status e.payload with
+          | Ready ->
+              e.alive <- false;
+              Hashtbl.remove t.live id;
+              Some e.payload
+          | Wait_for { counter; count } ->
+              subscribe t e ~counter ~count;
+              take_ready t ~status
+          | Stuck -> take_ready t ~status))
+
+let live_entries_oldest_first t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.live []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let to_list t = List.map (fun e -> e.payload) (live_entries_oldest_first t)
+
+let remove_all t ~f =
+  let removed =
+    List.filter (fun e -> f e.payload) (live_entries_oldest_first t)
+  in
+  List.iter
+    (fun e ->
+      e.alive <- false;
+      Hashtbl.remove t.live e.id)
+    removed;
+  List.map (fun e -> e.payload) removed
+
+let high_watermark t = t.high
+let total_buffered t = t.total
+
+let clear t =
+  Hashtbl.reset t.live;
+  Hashtbl.reset t.waiters;
+  t.ready <- []

@@ -1,20 +1,21 @@
 type 'a t = {
   mutable items : (int * 'a) list;  (* newest first; ids ascending *)
+  mutable len : int;  (* List.length items, tracked explicitly *)
   mutable next_id : int;
   mutable high : int;
   mutable total : int;
 }
 
-let create () = { items = []; next_id = 0; high = 0; total = 0 }
+let create () = { items = []; len = 0; next_id = 0; high = 0; total = 0 }
 
 let add t x =
   t.items <- (t.next_id, x) :: t.items;
   t.next_id <- t.next_id + 1;
   t.total <- t.total + 1;
-  let len = List.length t.items in
-  if len > t.high then t.high <- len
+  t.len <- t.len + 1;
+  if t.len > t.high then t.high <- t.len
 
-let length t = List.length t.items
+let length t = t.len
 let is_empty t = t.items = []
 let to_list t = List.rev_map snd t.items
 
@@ -26,6 +27,7 @@ let take_first t ~f =
     | ((_, x) as item) :: rest ->
         if f x then begin
           t.items <- List.rev_append acc rest |> List.rev;
+          t.len <- t.len - 1;
           (* [t.items] must stay newest-first: [acc] holds the skipped
              older items newest-last, [rest] the younger ones oldest-
              first; rebuild as newest-first. *)
@@ -38,6 +40,7 @@ let take_first t ~f =
 let remove_all t ~f =
   let kept, removed = List.partition (fun (_, x) -> not (f x)) t.items in
   t.items <- kept;
+  t.len <- t.len - List.length removed;
   List.rev_map snd removed
 
 let drain_fixpoint t ~f =
@@ -50,4 +53,7 @@ let drain_fixpoint t ~f =
 
 let high_watermark t = t.high
 let total_buffered t = t.total
-let clear t = t.items <- []
+
+let clear t =
+  t.items <- [];
+  t.len <- 0

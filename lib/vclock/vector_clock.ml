@@ -21,6 +21,10 @@ let get v i =
     invalid_arg "Vector_clock.get: index out of bounds";
   v.(i)
 
+let unsafe_get = Array.unsafe_get
+
+let unsafe_tick v i = Array.unsafe_set v i (Array.unsafe_get v i + 1)
+
 let to_array = Array.copy
 let to_list = Array.to_list
 let sum v = Array.fold_left ( + ) 0 v

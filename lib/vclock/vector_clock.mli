@@ -37,6 +37,16 @@ val get : t -> int -> int
 (** [get v i] is component [i].
     @raise Invalid_argument if [i] is out of bounds. *)
 
+val unsafe_get : t -> int -> int
+(** [get] without the bounds check. For protocol hot loops (the
+    deliverability scan runs once per buffered-message examination)
+    where the index is a process id already validated at creation or
+    network-delivery time. Out-of-bounds access is undefined
+    behaviour — never feed it unvalidated indices. *)
+
+val unsafe_tick : t -> int -> unit
+(** [tick] without the bounds check; same contract as {!unsafe_get}. *)
+
 val to_array : t -> int array
 (** Fresh array snapshot of the components. *)
 

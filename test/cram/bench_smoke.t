@@ -1,0 +1,41 @@
+The bench harness renders the paper's Table 1 deterministically:
+
+  $ causal-dsm-bench --only T1 --no-micro
+  
+  ================================================
+  T1 — Table 1: X_co-safe over H1
+  ================================================
+  Table 1: X_co-safe(e) of each apply event of H1 (paper Table 1)
+  +------------------+--------------------------------------+
+  |     event e      |          enabling set X(e)           |
+  +------------------+--------------------------------------+
+  | apply_1(w1(x1)a) | ∅                                    |
+  | apply_2(w1(x1)a) | ∅                                    |
+  | apply_3(w1(x1)a) | ∅                                    |
+  | apply_1(w1(x1)c) | {apply_1(w1(x1)a)}                   |
+  | apply_2(w1(x1)c) | {apply_2(w1(x1)a)}                   |
+  | apply_3(w1(x1)c) | {apply_3(w1(x1)a)}                   |
+  | apply_1(w2(x2)b) | {apply_1(w1(x1)a)}                   |
+  | apply_2(w2(x2)b) | {apply_2(w1(x1)a)}                   |
+  | apply_3(w2(x2)b) | {apply_3(w1(x1)a)}                   |
+  | apply_1(w3(x2)d) | {apply_1(w1(x1)a), apply_1(w2(x2)b)} |
+  | apply_2(w3(x2)d) | {apply_2(w1(x1)a), apply_2(w2(x2)b)} |
+  | apply_3(w3(x2)d) | {apply_3(w1(x1)a), apply_3(w2(x2)b)} |
+  +------------------+--------------------------------------+
+
+
+--json writes a machine-readable result file. The stress section's
+timings are nondeterministic, so only the document's shape is checked
+(--stress-quick keeps the script tiny):
+
+  $ causal-dsm-bench --only S --stress-quick --json out.json > /dev/null
+  $ grep -c '"schema": "causal-dsm-bench/v1"' out.json
+  1
+  $ grep -o '"\(senders\|writes_per_sender\|messages\)": [0-9]*' out.json
+  "senders": 8
+  "writes_per_sender": 6
+  "messages": 48
+  $ grep -c '"\(scan_ms\|indexed_ms\|speedup\)":' out.json
+  3
+  $ grep -c '"micro": \[\]' out.json
+  1

@@ -1,0 +1,271 @@
+(* Unit tests for the counter-indexed delivery buffer, driven the way
+   the protocols drive it: a little harness keeps an apply vector and a
+   status oracle shaped exactly like OptP's wait condition (sender gap
+   + cross-process coverage), applies ready messages, and reports every
+   counter advance through [note_advance]. *)
+
+module Di = Dsm_sim.Delivery_index
+module Mailbox = Dsm_sim.Mailbox
+
+(* a toy message: issued by [src] with sequence [seq], additionally
+   requiring counter [dep_proc] >= [dep_count] *)
+type msg = { src : int; seq : int; dep : (int * int) option; tag : string }
+
+type harness = { apply : int array; buf : msg Di.t }
+
+let make_harness n = { apply = Array.make n 0; buf = Di.create () }
+
+let status h (m : msg) : Di.status =
+  if h.apply.(m.src) < m.seq - 1 then
+    Di.Wait_for { counter = m.src; count = m.seq - 1 }
+  else if h.apply.(m.src) > m.seq - 1 then Di.Stuck
+  else
+    match m.dep with
+    | Some (k, c) when h.apply.(k) < c -> Di.Wait_for { counter = k; count = c }
+    | _ -> Di.Ready
+
+(* deliver one message directly (the "receive was deliverable" path),
+   then drain the buffer to fixpoint, returning tags in apply order *)
+let apply_and_drain h (m : msg) =
+  let tick src =
+    h.apply.(src) <- h.apply.(src) + 1;
+    Di.note_advance h.buf ~status:(status h) ~counter:src
+      ~count:h.apply.(src)
+  in
+  let applied = ref [ m.tag ] in
+  tick m.src;
+  let rec go () =
+    match Di.take_ready h.buf ~status:(status h) with
+    | Some m' ->
+        applied := m'.tag :: !applied;
+        tick m'.src;
+        go ()
+    | None -> ()
+  in
+  go ();
+  List.rev !applied
+
+let msg ?dep ~src ~seq tag = { src; seq; dep; tag }
+
+let check_tags = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  let h = make_harness 2 in
+  Alcotest.(check (option string))
+    "take on empty" None
+    (Option.map (fun m -> m.tag) (Di.take_ready h.buf ~status:(status h)));
+  Alcotest.(check int) "length" 0 (Di.length h.buf);
+  Alcotest.(check bool) "is_empty" true (Di.is_empty h.buf);
+  Di.note_advance h.buf ~status:(status h) ~counter:0 ~count:1;
+  Alcotest.(check int) "note_advance on empty is harmless" 0
+    (Di.length h.buf)
+
+let test_single_source_chain () =
+  (* the cascade case: seqs 2..6 buffered out of order, then seq 1
+     arrives and everything unblocks, one wakeup per apply, in
+     per-source FIFO order *)
+  let h = make_harness 1 in
+  List.iter
+    (fun s -> Di.add h.buf ~status:(status h) (msg ~src:0 ~seq:s (string_of_int s)))
+    [ 4; 2; 6; 3; 5 ];
+  Alcotest.(check int) "all buffered" 5 (Di.length h.buf);
+  Alcotest.(check (option string))
+    "nothing ready before the gap fills" None
+    (Option.map (fun m -> m.tag) (Di.take_ready h.buf ~status:(status h)));
+  let order = apply_and_drain h (msg ~src:0 ~seq:1 "1") in
+  check_tags "chained unblocking" [ "1"; "2"; "3"; "4"; "5"; "6" ] order;
+  Alcotest.(check int) "buffer drained" 0 (Di.length h.buf)
+
+let test_oldest_ready_first () =
+  (* two sources ready simultaneously: insertion order (oldest first)
+     must win, matching Mailbox.take_first *)
+  let h = make_harness 3 in
+  (* both blocked on source 2 reaching 1 *)
+  Di.add h.buf ~status:(status h) (msg ~src:0 ~seq:1 ~dep:(2, 1) "b");
+  Di.add h.buf ~status:(status h) (msg ~src:1 ~seq:1 ~dep:(2, 1) "c");
+  let order = apply_and_drain h (msg ~src:2 ~seq:1 "a") in
+  check_tags "oldest ready first" [ "a"; "b"; "c" ] order
+
+let test_cross_source_cascade () =
+  (* delivery of one message enables a chain that hops across sources:
+     src1#1 -> src0#2 (dep on src1) -> src2#1 (dep on src0=2) *)
+  let h = make_harness 3 in
+  h.apply.(0) <- 1 (* src0#1 already applied *);
+  Di.add h.buf ~status:(status h) (msg ~src:2 ~seq:1 ~dep:(0, 2) "third");
+  Di.add h.buf ~status:(status h) (msg ~src:0 ~seq:2 ~dep:(1, 1) "second");
+  let order = apply_and_drain h (msg ~src:1 ~seq:1 "first") in
+  check_tags "cross-source cascade" [ "first"; "second"; "third" ] order
+
+let test_re_registration () =
+  (* a message blocked on two constraints re-subscribes after the first
+     fires, and only completes when the second does *)
+  let h = make_harness 3 in
+  Di.add h.buf ~status:(status h) (msg ~src:0 ~seq:2 ~dep:(1, 1) "w");
+  (* fill the sender gap: constraint moves from (0,1) to (1,1) *)
+  let order1 = apply_and_drain h (msg ~src:0 ~seq:1 "gap") in
+  check_tags "still blocked on the dep" [ "gap" ] order1;
+  Alcotest.(check int) "still buffered" 1 (Di.length h.buf);
+  let order2 = apply_and_drain h (msg ~src:1 ~seq:1 "dep") in
+  check_tags "released by the dep" [ "dep"; "w" ] order2
+
+let test_stuck_is_parked () =
+  (* a duplicate whose sequence the counter has passed is never
+     returned but still occupies the buffer, like the seed Mailbox *)
+  let h = make_harness 2 in
+  h.apply.(0) <- 3;
+  Di.add h.buf ~status:(status h) (msg ~src:0 ~seq:2 "dup");
+  Alcotest.(check int) "parked, still counted" 1 (Di.length h.buf);
+  let order = apply_and_drain h (msg ~src:0 ~seq:4 "live") in
+  check_tags "dup never applied" [ "live" ] order;
+  Alcotest.(check int) "dup still parked" 1 (Di.length h.buf)
+
+let test_remove_all () =
+  let h = make_harness 2 in
+  List.iter
+    (fun s ->
+      Di.add h.buf ~status:(status h) (msg ~src:0 ~seq:s (string_of_int s)))
+    [ 2; 3; 4; 5 ];
+  let removed = Di.remove_all h.buf ~f:(fun m -> m.seq mod 2 = 0) in
+  check_tags "removed oldest-first" [ "2"; "4" ]
+    (List.map (fun m -> m.tag) removed);
+  Alcotest.(check int) "two left" 2 (Di.length h.buf);
+  (* a removed message's subscription must not resurrect it *)
+  let order = apply_and_drain h (msg ~src:0 ~seq:1 "1") in
+  check_tags "removed seq 2 stays gone; 3 unreachable" [ "1" ] order;
+  Alcotest.(check (list string))
+    "survivors intact" [ "3"; "5" ]
+    (List.map (fun m -> m.tag) (Di.to_list h.buf))
+
+let test_occupancy_stats () =
+  let h = make_harness 2 in
+  List.iter
+    (fun s ->
+      Di.add h.buf ~status:(status h) (msg ~src:0 ~seq:s (string_of_int s)))
+    [ 2; 3; 4 ];
+  Alcotest.(check int) "high watermark" 3 (Di.high_watermark h.buf);
+  Alcotest.(check int) "total" 3 (Di.total_buffered h.buf);
+  ignore (apply_and_drain h (msg ~src:0 ~seq:1 "1"));
+  Alcotest.(check int) "high watermark sticks" 3 (Di.high_watermark h.buf);
+  Alcotest.(check int) "total is monotone" 3 (Di.total_buffered h.buf);
+  Di.add h.buf ~status:(status h) (msg ~src:1 ~seq:2 "x");
+  Alcotest.(check int) "total counts re-adds" 4 (Di.total_buffered h.buf);
+  Di.clear h.buf;
+  Alcotest.(check int) "clear empties" 0 (Di.length h.buf);
+  Alcotest.(check int) "clear keeps stats" 3 (Di.high_watermark h.buf)
+
+(* ------------------------------------------------------------------ *)
+(* structure-level differential: random add/advance scripts against a
+   Mailbox driven by the same status oracle                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_vs_mailbox () =
+  let n = 4 in
+  List.iter
+    (fun seed ->
+      let rng = Dsm_sim.Rng.create seed in
+      let apply_i = Array.make n 0 and apply_m = Array.make n 0 in
+      let idx = Di.create () and mb = Mailbox.create () in
+      let status_of apply (m : msg) : Di.status =
+        if apply.(m.src) < m.seq - 1 then
+          Di.Wait_for { counter = m.src; count = m.seq - 1 }
+        else if apply.(m.src) > m.seq - 1 then Di.Stuck
+        else
+          match m.dep with
+          | Some (k, c) when apply.(k) < c ->
+              Di.Wait_for { counter = k; count = c }
+          | _ -> Di.Ready
+      in
+      (* per-source next sequence number to issue *)
+      let next_seq = Array.make n 1 in
+      (* a random script: mostly adds (sequences issued in order per
+         source but buffered immediately, i.e. "arrived early"), with
+         interleaved applies of whatever is ready *)
+      for _ = 1 to 200 do
+        if Dsm_sim.Rng.bool rng then begin
+          let src = Dsm_sim.Rng.int rng n in
+          let seq = next_seq.(src) in
+          next_seq.(src) <- seq + 1;
+          let dep =
+            if Dsm_sim.Rng.bool rng then
+              Some (Dsm_sim.Rng.int rng n, Dsm_sim.Rng.int rng 5)
+            else None
+          in
+          let m = { src; seq; dep; tag = Printf.sprintf "%d#%d" src seq } in
+          Di.add idx ~status:(status_of apply_i) m;
+          Mailbox.add mb m
+        end
+        else begin
+          (* drain both to fixpoint and require identical apply order *)
+          let drain_idx () =
+            let rec go acc =
+              match Di.take_ready idx ~status:(status_of apply_i) with
+              | Some m ->
+                  apply_i.(m.src) <- apply_i.(m.src) + 1;
+                  Di.note_advance idx ~status:(status_of apply_i)
+                    ~counter:m.src ~count:apply_i.(m.src);
+                  go (m.tag :: acc)
+              | None -> List.rev acc
+            in
+            go []
+          in
+          let drain_mb () =
+            let rec go acc =
+              match
+                Mailbox.take_first mb ~f:(fun m ->
+                    status_of apply_m m = Di.Ready)
+              with
+              | Some m ->
+                  apply_m.(m.src) <- apply_m.(m.src) + 1;
+                  go (m.tag :: acc)
+              | None -> List.rev acc
+            in
+            go []
+          in
+          check_tags
+            (Printf.sprintf "seed %d: identical drain order" seed)
+            (drain_mb ()) (drain_idx ());
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: identical occupancy" seed)
+            (Mailbox.length mb) (Di.length idx)
+        end
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: identical high watermark" seed)
+        (Mailbox.high_watermark mb)
+        (Di.high_watermark idx);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: identical total" seed)
+        (Mailbox.total_buffered mb)
+        (Di.total_buffered idx);
+      check_tags
+        (Printf.sprintf "seed %d: identical leftovers" seed)
+        (List.map (fun m -> m.tag) (Mailbox.to_list mb))
+        (List.map (fun m -> m.tag) (Di.to_list idx)))
+    (List.init 25 (fun i -> i + 1))
+
+let () =
+  Alcotest.run "delivery_index"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "empty buffer" `Quick test_empty;
+          Alcotest.test_case "single-source chained unblocking" `Quick
+            test_single_source_chain;
+          Alcotest.test_case "oldest ready first" `Quick
+            test_oldest_ready_first;
+          Alcotest.test_case "cross-source cascade" `Quick
+            test_cross_source_cascade;
+          Alcotest.test_case "re-registration across constraints" `Quick
+            test_re_registration;
+          Alcotest.test_case "stuck messages are parked" `Quick
+            test_stuck_is_parked;
+          Alcotest.test_case "remove_all cancels subscriptions" `Quick
+            test_remove_all;
+          Alcotest.test_case "occupancy statistics" `Quick
+            test_occupancy_stats;
+          Alcotest.test_case "differential vs Mailbox (25 scripts)" `Quick
+            test_differential_vs_mailbox;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+(* Differential testing: the indexed delivery buffer against the seed
+   scanning Mailbox.
+
+   Every protocol is compiled twice — [P] over [Delivery_buffer.Indexed]
+   and [P.Scan] over the seed [Mailbox] — and both are driven through
+   the full simulator on the same workload, network and seed. The two
+   instantiations must be indistinguishable: identical histories (every
+   read returns the same write), identical per-process apply sequences,
+   identical delayed-apply sets, and identical buffer statistics.
+
+   Seeds sweep three network regimes: heavy reordering (high-variance
+   lognormal latency), lossy links (drops leave messages buffered
+   forever on some replicas), and duplicating links (duplicates
+   exercise the index's stuck-message parking). *)
+
+module Spec = Dsm_workload.Spec
+module Latency = Dsm_sim.Latency
+module Network = Dsm_sim.Network
+module Sim_run = Dsm_runtime.Sim_run
+module Execution = Dsm_runtime.Execution
+module History = Dsm_memory.History
+module Replication = Dsm_core.Replication
+module Partial_run = Dsm_runtime.Partial_run
+
+let params_of_seed seed =
+  let rng = Dsm_sim.Rng.create (seed * 7919) in
+  let n = 2 + Dsm_sim.Rng.int rng 5 in
+  let ratio = 0.2 +. (0.1 *. float_of_int (Dsm_sim.Rng.int rng 8)) in
+  let sigma = 0.2 *. float_of_int (Dsm_sim.Rng.int rng 11) in
+  let faults =
+    (* sweep the three regimes deterministically *)
+    match seed mod 3 with
+    | 0 -> Network.no_faults
+    | 1 -> { Network.drop = 0.15; duplicate = 0. }
+    | _ -> { Network.drop = 0.; duplicate = 0.25 }
+  in
+  (n, ratio, sigma, faults)
+
+let run_one (module P : Dsm_core.Protocol.S) ~seed =
+  let n, ratio, sigma, faults = params_of_seed seed in
+  let spec =
+    Spec.make ~n ~m:4 ~ops_per_process:40 ~write_ratio:ratio
+      ~think:(Latency.Exponential { mean = 5. })
+      ~seed ()
+  in
+  let latency =
+    Latency.Lognormal { mu = log 10. -. (sigma *. sigma /. 2.); sigma }
+  in
+  Sim_run.run (module P) ~spec ~latency ~faults ~seed:(seed + 1) ()
+
+let same_outcome name seed (o1 : Sim_run.outcome) (o2 : Sim_run.outcome) =
+  let ctx fmt = Printf.sprintf ("%s seed %d: " ^^ fmt) name seed in
+  Alcotest.(check bool)
+    (ctx "identical histories (reads and writes)")
+    true
+    (History.ops o1.Sim_run.history = History.ops o2.Sim_run.history);
+  let n = Execution.n_processes o1.Sim_run.execution in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (ctx "identical apply sequence at p%d" (p + 1))
+        true
+        (Execution.apply_order o1.Sim_run.execution p
+        = Execution.apply_order o2.Sim_run.execution p))
+    (List.init n Fun.id);
+  Alcotest.(check bool)
+    (ctx "identical delayed-apply sets")
+    true
+    (Execution.delayed_applies o1.Sim_run.execution
+    = Execution.delayed_applies o2.Sim_run.execution);
+  Alcotest.(check (array int))
+    (ctx "identical buffer high watermarks")
+    o1.Sim_run.buffer_high_watermarks o2.Sim_run.buffer_high_watermarks;
+  Alcotest.(check (array int))
+    (ctx "identical total-buffered counts")
+    o1.Sim_run.total_buffered o2.Sim_run.total_buffered;
+  Alcotest.(check int)
+    (ctx "identical skip counts")
+    o1.Sim_run.skipped_writes o2.Sim_run.skipped_writes
+
+let seeds count = List.init count (fun i -> i + 1)
+
+(* the acceptance sweep: >= 100 seeds each for OptP and ANBKH *)
+let test_optp () =
+  List.iter
+    (fun seed ->
+      same_outcome "OptP" seed
+        (run_one (module Dsm_core.Opt_p) ~seed)
+        (run_one (module Dsm_core.Opt_p.Scan) ~seed))
+    (seeds 100)
+
+let test_anbkh () =
+  List.iter
+    (fun seed ->
+      same_outcome "ANBKH" seed
+        (run_one (module Dsm_core.Anbkh) ~seed)
+        (run_one (module Dsm_core.Anbkh.Scan) ~seed))
+    (seeds 100)
+
+(* the writing-semantics variant exercises remove_all / to_list and the
+   skip-path counter advances *)
+let test_optp_ws () =
+  List.iter
+    (fun seed ->
+      same_outcome "OptP-WS" seed
+        (run_one (module Dsm_core.Opt_p_ws) ~seed)
+        (run_one (module Dsm_core.Opt_p_ws.Scan) ~seed))
+    (seeds 40)
+
+(* partial replication exercises the flattened matrix counter space *)
+let test_partial () =
+  List.iter
+    (fun seed ->
+      let n = 4 + (seed mod 3) and m = 6 in
+      let replication = Replication.ring ~n ~m ~degree:2 in
+      let spec =
+        Spec.make ~n ~m ~ops_per_process:30 ~write_ratio:0.5
+          ~think:(Latency.Exponential { mean = 5. })
+          ~seed ()
+      in
+      let latency = Latency.Uniform { lo = 1.; hi = 120. } in
+      let o1 =
+        Partial_run.run ~replication ~spec ~latency ~seed:(seed + 1) ()
+      in
+      let o2 =
+        Partial_run.run_scan ~replication ~spec ~latency ~seed:(seed + 1) ()
+      in
+      let ctx fmt =
+        Printf.sprintf ("OptP-partial seed %d: " ^^ fmt) seed
+      in
+      Alcotest.(check bool)
+        (ctx "identical histories") true
+        (History.ops o1.Partial_run.history = History.ops o2.Partial_run.history);
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (ctx "identical apply sequence at p%d" (p + 1))
+            true
+            (Execution.apply_order o1.Partial_run.execution p
+            = Execution.apply_order o2.Partial_run.execution p))
+        (List.init n Fun.id);
+      Alcotest.(check (array int))
+        (ctx "identical buffer high watermarks")
+        o1.Partial_run.buffer_high_watermarks
+        o2.Partial_run.buffer_high_watermarks)
+    (seeds 30)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "indexed buffer == seed mailbox",
+        [
+          Alcotest.test_case "OptP, 100 seeds" `Quick test_optp;
+          Alcotest.test_case "ANBKH, 100 seeds" `Quick test_anbkh;
+          Alcotest.test_case "OptP-WS, 40 seeds" `Quick test_optp_ws;
+          Alcotest.test_case "OptP-partial, 30 seeds" `Quick test_partial;
+        ] );
+    ]
