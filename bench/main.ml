@@ -54,6 +54,73 @@ let q8 () = print_table (Experiment.q8_lossy_links ())
 let q9 () = print_table (Experiment.q9_divergence ())
 let q10 () = print_table (Experiment.q10_metadata_size ())
 let q11 () = print_table (Experiment.q11_partial_replication ())
+let q12 () = print_table (Experiment.q12_crash_recovery ())
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery acceptance campaign                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Recovery = struct
+  module FC = Dsm_runtime.Fault_campaign
+
+  (* (protocol, outcome, wall seconds) for the JSON writer *)
+  let results : (string * FC.outcome * float) list ref = ref []
+
+  let run () =
+    let table =
+      Table_fmt.create
+        ~title:
+          "R: acceptance campaign - 8 replicas, 500-unit partition, \
+           p3+p6 crash and recover"
+        ~header:
+          [
+            "protocol";
+            "recovery latency";
+            "replayed";
+            "rolled back";
+            "commits";
+            "retransmits";
+            "audit";
+          ]
+        ()
+    in
+    Table_fmt.set_align table
+      [
+        Table_fmt.Left; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Left;
+      ];
+    results := [];
+    List.iter
+      (fun (name, packed) ->
+        let t0 = Sys.time () in
+        let o = Experiment.acceptance_campaign ~protocol:packed () in
+        let wall = Sys.time () -. t0 in
+        results := !results @ [ (name, o, wall) ];
+        let lats = List.filter_map FC.recovery_latency o.FC.recoveries in
+        let lat_str =
+          match lats with
+          | [] -> "-"
+          | l ->
+              Printf.sprintf "%.0f"
+                (List.fold_left ( +. ) 0. l /. float_of_int (List.length l))
+        in
+        Table_fmt.add_row table
+          [
+            name;
+            lat_str;
+            string_of_int o.FC.replayed_writes;
+            string_of_int o.FC.rolled_back_events;
+            string_of_int o.FC.commits;
+            string_of_int o.FC.retransmissions;
+            (if o.FC.clean && o.FC.live_equal then "clean+converged"
+             else "VIOLATIONS");
+          ])
+      [
+        ("OptP", Dsm_core.Protocol.Packed (module Dsm_core.Opt_p));
+        ("ANBKH", Dsm_core.Protocol.Packed (module Dsm_core.Anbkh));
+      ];
+    print_table table
+end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -308,6 +375,8 @@ let sections =
     ("Q9", "replica divergence at quiescence", q9);
     ("Q10", "metadata: vectors vs direct dependencies", q10);
     ("Q11", "partial replication", q11);
+    ("Q12", "crash-recovery campaigns", q12);
+    ("R", "crash-recovery acceptance campaign", Recovery.run);
     ( "S",
       "buffer stress: indexed wakeups vs scanning drain",
       fun () -> stress_result := Some (Stress.run ~quick:!stress_quick ()) );
@@ -372,6 +441,99 @@ let write_json file =
       Printf.eprintf "--json: cannot write %s (%s)\n" file e;
       exit 1
 
+let write_recovery_json file =
+  let module FC = Dsm_runtime.Fault_campaign in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+  Buffer.add_string buf "  \"section\": \"crash_recovery\",\n";
+  Buffer.add_string buf
+    "  \"plan\": { \"n\": 8, \"ops_per_process\": 60, \"crashes\": 2,\n\
+    \            \"partition\": { \"cut_at\": 300.0, \"heal_at\": 800.0, \
+     \"span\": 500.0 } },\n";
+  Buffer.add_string buf "  \"campaigns\": [";
+  List.iteri
+    (fun i (name, (o : FC.outcome), wall) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let lats = List.filter_map FC.recovery_latency o.FC.recoveries in
+      let mean l =
+        match l with
+        | [] -> 0.
+        | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+      in
+      let fmax = List.fold_left Float.max 0. in
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"protocol\": \"%s\",\n" (json_escape name));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"clean\": %b, \"live_equal\": %b,\n"
+           o.FC.clean o.FC.live_equal);
+      Buffer.add_string buf "      \"recoveries\": [";
+      List.iteri
+        (fun j (r : FC.recovery) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n        { \"proc\": %d, \"crashed_at\": %.1f, \
+                \"recovered_at\": %.1f,\n\
+               \          \"caught_up_at\": %s, \"latency\": %s,\n\
+               \          \"rolled_back_events\": %d, \"replayed\": %d }"
+               r.FC.rproc r.FC.crashed_at r.FC.recovered_at
+               (match r.FC.caught_up_at with
+               | Some t -> Printf.sprintf "%.1f" t
+               | None -> "null")
+               (match FC.recovery_latency r with
+               | Some l -> Printf.sprintf "%.1f" l
+               | None -> "null")
+               r.FC.rolled_back_events r.FC.replayed))
+        o.FC.recoveries;
+      Buffer.add_string buf "\n      ],\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"recovery_latency_mean\": %.1f, \
+            \"recovery_latency_max\": %.1f,\n"
+           (mean lats) (fmax lats));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"catch_up\": { \"replayed_writes\": %d, \
+            \"sync_requests\": %d, \"sync_replies\": %d,\n\
+           \                    \"stale_deliveries_dropped\": %d, \
+            \"aborted_payloads\": %d },\n"
+           o.FC.replayed_writes o.FC.sync_requests o.FC.sync_replies
+           o.FC.stale_deliveries_dropped o.FC.aborted_payloads);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"durability\": { \"commits\": %d, \"snapshot_bytes\": \
+            %d, \"rolled_back_events\": %d },\n"
+           o.FC.commits o.FC.snapshot_bytes o.FC.rolled_back_events);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"wire\": { \"payloads_sent\": %d, \"frames_sent\": %d, \
+            \"retransmissions\": %d,\n\
+           \                \"frames_partition_dropped\": %d, \
+            \"frames_crash_dropped\": %d,\n\
+           \                \"frames_per_payload\": %.3f },\n"
+           o.FC.payloads_sent o.FC.frames_sent o.FC.retransmissions
+           o.FC.frames_partition_dropped o.FC.frames_crash_dropped
+           (if o.FC.payloads_sent = 0 then 0.
+            else
+              float_of_int o.FC.frames_sent /. float_of_int o.FC.payloads_sent));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"engine_steps\": %d, \"sim_end_time\": %.1f, \
+            \"wall_seconds\": %.3f }"
+           o.FC.engine_steps o.FC.end_time wall))
+    !Recovery.results;
+  Buffer.add_string buf
+    (if !Recovery.results = [] then "]\n}\n" else "\n  ]\n}\n");
+  match open_out file with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+  | exception Sys_error e ->
+      Printf.eprintf "--recovery-json: cannot write %s (%s)\n" file e;
+      exit 1
+
 (* [--opt=v] or [--opt v] *)
 let keyed_arg key args =
   let eq = key ^ "=" in
@@ -411,4 +573,8 @@ let () =
   if (not no_micro) && wanted "M" then
     section "M" "Bechamel micro-benchmarks" (fun () ->
         micro_rows := Micro.run ());
+  if !Recovery.results <> [] then
+    write_recovery_json
+      (Option.value ~default:"BENCH_crash_recovery.json"
+         (keyed_arg "--recovery-json" args));
   Option.iter write_json json_path

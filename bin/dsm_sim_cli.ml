@@ -143,6 +143,103 @@ let repl_degree =
            ~doc:"Replicate each location at K processes (ring layout) \
                  and run the partial-replication protocol instead.")
 
+(* --crash P@T1:T2 (recover at T2) or P@T1 (stays down) *)
+let crash_of_string s =
+  let err =
+    Error (`Msg "crash syntax: PROC@T_CRASH[:T_RECOVER] (0-based process)")
+  in
+  match String.split_on_char '@' s with
+  | [ p; times ] -> (
+      match
+        ( int_of_string_opt p,
+          List.map float_of_string_opt (String.split_on_char ':' times) )
+      with
+      | Some p, [ Some t1 ] -> Ok (p, t1, None)
+      | Some p, [ Some t1; Some t2 ] -> Ok (p, t1, Some t2)
+      | _ -> err)
+  | _ -> err
+
+let crash_conv =
+  Arg.conv
+    ( crash_of_string,
+      fun ppf (p, t1, t2) ->
+        match t2 with
+        | Some t2 -> Format.fprintf ppf "%d@%g:%g" p t1 t2
+        | None -> Format.fprintf ppf "%d@%g" p t1 )
+
+let crashes =
+  Arg.(
+    value
+    & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"P@T1:T2"
+        ~doc:
+          "Crash process $(b,P) (0-based) at time $(b,T1) and recover it \
+           from its last durable snapshot at $(b,T2) (omit $(b,:T2) to \
+           leave it down). Repeatable. Switches to the fault-campaign \
+           driver (protocols: optp, anbkh, optp-direct).")
+
+(* --partition 0,1/2,3@T1:T2 *)
+let partition_of_string s =
+  let err =
+    Error
+      (`Msg
+        "partition syntax: G1/G2[/G3...]@T_CUT:T_HEAL with groups like \
+         0,1,2 (0-based processes)")
+  in
+  match String.split_on_char '@' s with
+  | [ groups; times ] -> (
+      let parse_group g =
+        String.split_on_char ',' g |> List.map int_of_string_opt
+      in
+      let groups = List.map parse_group (String.split_on_char '/' groups) in
+      match
+        ( List.for_all (List.for_all Option.is_some) groups,
+          List.map float_of_string_opt (String.split_on_char ':' times) )
+      with
+      | true, [ Some t1; Some t2 ] when t2 > t1 ->
+          Ok (List.map (List.map Option.get) groups, t1, t2)
+      | _ -> err)
+  | _ -> err
+
+let partition_conv =
+  Arg.conv
+    ( partition_of_string,
+      fun ppf (groups, t1, t2) ->
+        Format.fprintf ppf "%s@%g:%g"
+          (String.concat "/"
+             (List.map
+                (fun g -> String.concat "," (List.map string_of_int g))
+                groups))
+          t1 t2 )
+
+let partitions =
+  Arg.(
+    value
+    & opt_all partition_conv []
+    & info [ "partition" ] ~docv:"GROUPS@T1:T2"
+        ~doc:
+          "Cut the network into $(b,GROUPS) (e.g. 0,1/2,3) at $(b,T1) and \
+           heal every cut at $(b,T2). Repeatable (episodes should not \
+           overlap: a heal heals all cuts). Switches to the \
+           fault-campaign driver.")
+
+let checkpoint_every =
+  Arg.(
+    value
+    & opt float 50.
+    & info [ "checkpoint-every" ] ~docv:"T"
+        ~doc:
+          "Interval between durable checkpoints of received writes \
+           (local writes are always committed immediately).")
+
+let json_out =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the campaign outcome as JSON on stdout instead of the \
+           human-readable report (fault-campaign runs only).")
+
 let spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed =
   let var_dist =
     match zipf with None -> Spec.Uniform_vars | Some s -> Spec.Zipf_vars s
@@ -150,20 +247,147 @@ let spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed =
   Spec.make ~n ~m ~ops_per_process:ops ~write_ratio ~var_dist ~seed ()
 
 (* ---------------------------------------------------------------- *)
+(* fault campaigns (run --crash / --partition)                       *)
+(* ---------------------------------------------------------------- *)
+
+module Fault_plan = Dsm_sim.Fault_plan
+module Fault_campaign = Dsm_runtime.Fault_campaign
+
+let plan_of ~crashes ~partitions =
+  let t = Dsm_sim.Sim_time.of_float in
+  let crash_events =
+    List.concat_map
+      (fun (proc, t1, t2) ->
+        Fault_plan.Crash { proc; at = t t1 }
+        ::
+        (match t2 with
+        | Some t2 -> [ Fault_plan.Recover { proc; at = t t2 } ]
+        | None -> []))
+      crashes
+  in
+  let cut_events =
+    List.concat_map
+      (fun (groups, t1, t2) ->
+        [
+          Fault_plan.Cut { groups; at = t t1 };
+          Fault_plan.Heal { at = t t2 };
+        ])
+      partitions
+  in
+  Fault_plan.make (crash_events @ cut_events)
+
+let campaign_json ppf (o : Fault_campaign.outcome) =
+  let open Format in
+  fprintf ppf "{@,  \"schema\": \"causal-dsm-campaign/v1\",@,";
+  fprintf ppf "  \"protocol\": \"%s\",@," o.protocol_name;
+  fprintf ppf "  \"clean\": %b,@,  \"live_equal\": %b,@," o.clean
+    o.live_equal;
+  fprintf ppf "  \"down_at_end\": [%s],@,"
+    (String.concat ", " (List.map string_of_int o.down_at_end));
+  fprintf ppf "  \"recoveries\": [";
+  List.iteri
+    (fun i (r : Fault_campaign.recovery) ->
+      if i > 0 then fprintf ppf ",";
+      fprintf ppf
+        "@,    { \"proc\": %d, \"crashed_at\": %.1f, \"recovered_at\": \
+         %.1f, \"caught_up_at\": %s,@,      \"latency\": %s, \
+         \"rolled_back_events\": %d, \"replayed\": %d }"
+        r.rproc r.crashed_at r.recovered_at
+        (match r.caught_up_at with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null")
+        (match Fault_campaign.recovery_latency r with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null")
+        r.rolled_back_events r.replayed)
+    o.recoveries;
+  if o.recoveries = [] then fprintf ppf "],@," else fprintf ppf "@,  ],@,";
+  fprintf ppf
+    "  \"durability\": { \"commits\": %d, \"snapshot_bytes\": %d, \
+     \"rolled_back_events\": %d },@,"
+    o.commits o.snapshot_bytes o.rolled_back_events;
+  fprintf ppf
+    "  \"catch_up\": { \"sync_requests\": %d, \"sync_replies\": %d, \
+     \"replayed_writes\": %d, \"stale_deliveries_dropped\": %d },@,"
+    o.sync_requests o.sync_replies o.replayed_writes
+    o.stale_deliveries_dropped;
+  fprintf ppf
+    "  \"wire\": { \"payloads_sent\": %d, \"frames_sent\": %d, \
+     \"retransmissions\": %d, \"aborted_payloads\": %d,@,\
+    \            \"frames_partition_dropped\": %d, \
+     \"frames_crash_dropped\": %d, \"duplicates_discarded\": %d },@,"
+    o.payloads_sent o.frames_sent o.retransmissions o.aborted_payloads
+    o.frames_partition_dropped o.frames_crash_dropped
+    o.duplicates_discarded;
+  fprintf ppf
+    "  \"audit\": { \"violations\": %d, \"necessary_delays\": %d, \
+     \"unnecessary_delays\": %d, \"lost\": %d },@,"
+    (List.length o.report.Checker.violations)
+    o.report.Checker.necessary_delays o.report.Checker.unnecessary_delays
+    (List.length o.report.Checker.lost);
+  fprintf ppf "  \"engine_steps\": %d,@,  \"sim_end_time\": %.1f@,}"
+    o.engine_steps o.end_time
+
+let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
+    ~crashes ~partitions ~checkpoint_every ~seed ~json =
+  if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
+    `Error
+      ( false,
+        Printf.sprintf
+          "--crash/--partition need a complete-broadcast protocol (optp, \
+           anbkh or optp-direct); %s cannot serve anti-entropy catch-up"
+          P.name )
+  else
+    match
+      Fault_campaign.run
+        (module P)
+        ~spec ~latency ~faults
+        ~plan:(plan_of ~crashes ~partitions)
+        ~checkpoint_every ~seed ()
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | o ->
+        if json then Format.printf "@[<v>%a@]@." campaign_json o
+        else begin
+          Format.printf "%a@.@." Fault_campaign.pp_outcome o;
+          Format.printf "audit: %a@." Checker.pp_report o.report
+        end;
+        if o.clean && o.live_equal then `Ok ()
+        else `Error (false, "campaign is not clean")
+
+(* ---------------------------------------------------------------- *)
 (* run                                                               *)
 (* ---------------------------------------------------------------- *)
 
 let run_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
-      latency seed fifo drop duplicate repl_degree =
+      latency seed fifo drop duplicate repl_degree crashes partitions
+      checkpoint_every json =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
-    Format.printf "workload: %a@.network:  %a@.@." Spec.pp spec Latency.pp
-      latency;
+    if not json then
+      Format.printf "workload: %a@.network:  %a@.@." Spec.pp spec Latency.pp
+        latency;
     let finish report =
       Format.printf "audit: %a@." Checker.pp_report report;
       if Checker.is_clean report then `Ok ()
       else `Error (false, "run is not clean")
     in
+    if crashes <> [] || partitions <> [] then begin
+      if repl_degree <> None then
+        `Error (false, "--crash/--partition do not combine with \
+                        --replication-degree")
+      else if fifo then
+        `Error (false, "--crash/--partition do not combine with --fifo")
+      else
+        campaign
+          (module P)
+          ~spec ~latency
+          ~faults:{ Dsm_sim.Network.drop; duplicate }
+          ~crashes ~partitions ~checkpoint_every ~seed ~json
+    end
+    else if json then
+      `Error (false, "--json requires --crash or --partition")
+    else
     match repl_degree with
     | Some degree ->
         if drop > 0. || duplicate > 0. then
@@ -212,7 +436,8 @@ let run_cmd =
     Term.(
       ret
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
-       $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ repl_degree))
+       $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ repl_degree
+       $ crashes $ partitions $ checkpoint_every $ json_out))
   in
   Cmd.v
     (Cmd.info "run"
@@ -221,7 +446,10 @@ let run_cmd =
           and print delay statistics. With --drop/--duplicate the links \
           are faulty and the reliable-channel substrate heals them; with \
           --replication-degree the partial-replication protocol runs on \
-          a ring layout.")
+          a ring layout; with --crash/--partition the fault-campaign \
+          driver crashes and restarts processes from durable snapshots, \
+          partitions the network and audits recovery (--json for \
+          machine-readable output).")
     term
 
 (* ---------------------------------------------------------------- *)
@@ -279,7 +507,7 @@ let sweep_cmd =
       required
       & opt (some string) None
       & info [ "e"; "experiment" ] ~docv:"ID"
-          ~doc:"Experiment id: q1 .. q11.")
+          ~doc:"Experiment id: q1 .. q12.")
   in
   let action experiment =
     let table =
@@ -295,6 +523,7 @@ let sweep_cmd =
       | "q9" -> Some (Experiment.q9_divergence ())
       | "q10" -> Some (Experiment.q10_metadata_size ())
       | "q11" -> Some (Experiment.q11_partial_replication ())
+      | "q12" -> Some (Experiment.q12_crash_recovery ())
       | _ -> None
     in
     match table with

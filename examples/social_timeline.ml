@@ -100,6 +100,14 @@ module Eager : Protocol.S = struct
 
   let pp_msg ppf (m : msg) =
     Format.fprintf ppf "m(x%d := %d)" (m.var + 1) m.value
+
+  let snapshot t = Protocol.Snapshot.encode t
+
+  let restore cfg ~me s =
+    let t : t = Protocol.Snapshot.decode s in
+    Protocol.Snapshot.check_identity ~proto:"Eager" ~cfg ~me ~cfg':t.cfg
+      ~me':t.me;
+    t
 end
 
 (* the scenario: Alice = p1, a friend = p2, the boss = p3 *)

@@ -130,6 +130,13 @@ module Make (B : Buffer.S) = struct
     Format.fprintf ppf "m(x%d, %d, %a)" (m.var + 1) m.value V.pp m.wco
 
   let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+
+  let snapshot t = Snapshot.encode t
+
+  let restore cfg ~me s =
+    let t : t = Snapshot.decode s in
+    Snapshot.check_identity ~proto:"Opt_p" ~cfg ~me ~cfg':t.cfg ~me':t.me;
+    t
 end
 
 include Make (Buffer.Indexed)

@@ -150,3 +150,11 @@ let pp_msg ppf (m : msg) =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        Dot.pp)
     m.deps
+
+let snapshot t = Snapshot.encode t
+
+let restore cfg ~me s =
+  let t : t = Snapshot.decode s in
+  Snapshot.check_identity ~proto:"Opt_p_direct" ~cfg ~me ~cfg':t.cfg
+    ~me':t.me;
+  t

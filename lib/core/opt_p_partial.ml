@@ -28,6 +28,8 @@ module type IMPL = sig
   val buffer_high_watermark : t -> int
   val total_buffered : t -> int
   val applied_matrix : t -> V.t array
+  val snapshot : t -> string
+  val restore : Replication.t -> me:int -> string -> t
 end
 
 module Make (B : Buffer.S) = struct
@@ -187,6 +189,16 @@ module Make (B : Buffer.S) = struct
   let buffer_high_watermark t = B.high_watermark t.buffer
   let total_buffered t = B.total_buffered t.buffer
   let applied_matrix t = copy_matrix t.applied
+
+  let snapshot t = Protocol.Snapshot.encode t
+
+  let restore repl ~me s =
+    let t : t = Protocol.Snapshot.decode s in
+    if t.repl <> repl then
+      invalid_arg "Opt_p_partial.restore: snapshot from a different map";
+    if t.me <> me then
+      invalid_arg "Opt_p_partial.restore: snapshot from a different process";
+    t
 end
 
 include Make (Buffer.Indexed)

@@ -72,6 +72,14 @@ module type IMPL = sig
   val applied_matrix : t -> Dsm_vclock.Vector_clock.t array
   (** Per-location applied-write counts (rows of foreign locations are
       all zero). *)
+
+  val snapshot : t -> string
+  (** Durable image: the [Applied]/[Know] matrices, the store replica
+      and the pending buffer — same contract as {!Protocol.S.snapshot}. *)
+
+  val restore : Replication.t -> me:int -> string -> t
+  (** @raise Invalid_argument if the snapshot was taken by a different
+      process or under a different replication map. *)
 end
 
 include IMPL

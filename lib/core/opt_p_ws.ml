@@ -244,6 +244,14 @@ module Make (B : Buffer.S) = struct
       | _ -> "")
 
   let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+
+  let snapshot t = Snapshot.encode t
+
+  let restore cfg ~me s =
+    let t : t = Snapshot.decode s in
+    Snapshot.check_identity ~proto:"Opt_p_ws" ~cfg ~me ~cfg':t.cfg
+      ~me':t.me;
+    t
 end
 
 include Make (Buffer.Indexed)

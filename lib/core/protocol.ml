@@ -49,6 +49,19 @@ module type S = sig
   val local_clock : t -> Dsm_vclock.Vector_clock.t
   val msg_writes : msg -> (Dsm_vclock.Dot.t * int * int) list
   val pp_msg : Format.formatter -> msg -> unit
+  val snapshot : t -> string
+  val restore : config -> me:int -> string -> t
+end
+
+module Snapshot = struct
+  let encode v = Marshal.to_string v []
+  let decode s = (Marshal.from_string s 0 : 'a)
+
+  let check_identity ~proto ~cfg ~me ~cfg' ~me' =
+    if cfg' <> cfg then
+      invalid_arg (proto ^ ".restore: snapshot from a different config");
+    if me' <> me then
+      invalid_arg (proto ^ ".restore: snapshot from a different process")
 end
 
 type packed = Packed : (module S with type t = 't and type msg = 'm) -> packed

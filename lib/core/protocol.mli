@@ -105,10 +105,51 @@ module type S = sig
       message type. *)
 
   val pp_msg : Format.formatter -> msg -> unit
+
+  (** {2 Durability}
+
+      The crash–recovery model: a {!snapshot} is the process's entire
+      durable image — for OptP that is [Apply], [Write_co],
+      [LastWriteOn], the local store replica and the pending (buffered)
+      messages; everything else a run holds for the process (network
+      handlers, channel timers, unrecorded events) is volatile and dies
+      with a crash. {!restore} rebuilds a working state from the last
+      snapshot; the recovered process then catches up on writes it
+      missed through the {e normal} receive path (anti-entropy replay),
+      so delivery-buffer behaviour and optimality accounting are
+      unchanged by recovery. *)
+
+  val snapshot : t -> string
+  (** Serialized durable state. The encoding is private to the
+      implementation (only {!restore} of the same protocol reads it)
+      and self-contained: no sharing with the live state survives, so
+      mutating the process after [snapshot] does not alter the image. *)
+
+  val restore : config -> me:int -> string -> t
+  (** [restore cfg ~me s] rebuilds the state serialized by [snapshot].
+      @raise Invalid_argument if the snapshot was taken by a different
+      process or under a different configuration. *)
 end
 
 (** Existential wrapper so heterogeneous protocols can be listed in
     experiment tables. *)
 type packed = Packed : (module S with type t = 't and type msg = 'm) -> packed
+
+(** Shared snapshot plumbing for implementations of {!S}.
+
+    Every protocol state in the repository is closure-free plain data
+    (vectors are int arrays, buffers are hashtables and lists; the
+    delivery-buffer [status] closures are passed per-call, never
+    stored), so the durable image is a [Marshal] round-trip — which is
+    also a deep copy, giving {!S.snapshot} its no-sharing guarantee.
+    [decode] must only be applied to a string produced by [encode] at
+    the same state type; the protocols guard the public entry point by
+    checking the embedded config and process id via [check_identity]. *)
+module Snapshot : sig
+  val encode : 'a -> string
+  val decode : string -> 'a
+  val check_identity :
+    proto:string -> cfg:config -> me:int -> cfg':config -> me':int -> unit
+end
 
 val pp_apply_record : Format.formatter -> apply_record -> unit

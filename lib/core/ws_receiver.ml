@@ -220,3 +220,11 @@ let pp_msg ppf (m : msg) =
     | _ -> "")
 
 let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
+
+let snapshot t = Snapshot.encode t
+
+let restore cfg ~me s =
+  let t : t = Snapshot.decode s in
+  Snapshot.check_identity ~proto:"Ws_receiver" ~cfg ~me ~cfg':t.cfg
+    ~me':t.me;
+  t

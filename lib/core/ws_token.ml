@@ -303,3 +303,10 @@ let pp_msg ppf = function
 let msg_writes = function
   | Batch { items; _ } -> List.map (fun it -> (it.dot, it.var, it.value)) items
   | Token _ | Parked _ | Nudge -> []
+
+let snapshot t = Snapshot.encode t
+
+let restore cfg ~me s =
+  let t : t = Snapshot.decode s in
+  Snapshot.check_identity ~proto:"Ws_token" ~cfg ~me ~cfg':t.cfg ~me':t.me;
+  t

@@ -766,3 +766,138 @@ let q11_partial_replication ?(degrees = [ 6; 4; 3; 2 ]) ?(seeds = [ 1; 2; 3 ])
         ])
     degrees;
   table
+
+(* ------------------------------------------------------------------ *)
+(* Q12: crash-recovery fault campaigns                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Fault_plan = Dsm_sim.Fault_plan
+
+let plan_time f = Dsm_sim.Sim_time.of_float f
+
+(* the acceptance schedule: 8 replicas, a 500-time-unit partition, two
+   crashes in its shadow, heal, recover, quiesce *)
+let acceptance_plan =
+  Fault_plan.make
+    [
+      Fault_plan.Cut
+        { groups = [ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ] ]; at = plan_time 300. };
+      Fault_plan.Crash { proc = 2; at = plan_time 400. };
+      Fault_plan.Crash { proc = 5; at = plan_time 500. };
+      Fault_plan.Heal { at = plan_time 800. };
+      Fault_plan.Recover { proc = 2; at = plan_time 1000. };
+      Fault_plan.Recover { proc = 5; at = plan_time 1100. };
+    ]
+
+let acceptance_spec ops =
+  Spec.make ~n:8 ~m:4 ~ops_per_process:ops ~write_ratio:0.4
+    ~think:(Latency.Exponential { mean = 20. })
+    ~seed:2026 ()
+
+let run_campaign (Dsm_core.Protocol.Packed (module P)) ~spec ~plan ~seed =
+  Fault_campaign.run
+    (module P)
+    ~spec
+    ~latency:(Latency.Exponential { mean = 10. })
+    ~plan ~seed ()
+
+let acceptance_campaign ?(protocol = Dsm_core.Protocol.Packed (module Dsm_core.Opt_p))
+    ?(seed = 5) ?(ops = 60) () =
+  run_campaign protocol ~spec:(acceptance_spec ops) ~plan:acceptance_plan
+    ~seed
+
+let q12_crash_recovery ?(seeds = [ 1; 2; 3 ]) ?(ops = 40) () =
+  let single_crash =
+    Fault_plan.make
+      [
+        Fault_plan.Crash { proc = 1; at = plan_time 120. };
+        Fault_plan.Recover { proc = 1; at = plan_time 320. };
+      ]
+  in
+  let crash_and_cut =
+    Fault_plan.make
+      [
+        Fault_plan.Crash { proc = 1; at = plan_time 120. };
+        Fault_plan.Cut { groups = [ [ 0; 1 ]; [ 2; 3 ] ]; at = plan_time 150. };
+        Fault_plan.Heal { at = plan_time 260. };
+        Fault_plan.Recover { proc = 1; at = plan_time 320. };
+      ]
+  in
+  let plans =
+    [ ("1 crash", single_crash); ("crash + partition", crash_and_cut) ]
+  in
+  let packed =
+    [
+      ("OptP", Dsm_core.Protocol.Packed (module Dsm_core.Opt_p));
+      ("ANBKH", Dsm_core.Protocol.Packed (module Dsm_core.Anbkh));
+    ]
+  in
+  let table =
+    Table_fmt.create
+      ~title:
+        "Q12: crash-recovery campaigns (n=4) - checkpoint rollback, \
+         anti-entropy catch-up and recovery latency"
+      ~header:
+        [
+          "protocol";
+          "fault plan";
+          "rolled back";
+          "replayed";
+          "recovery latency";
+          "sync frames";
+          "audit";
+        ]
+      ()
+  in
+  Table_fmt.set_align table
+    [
+      Table_fmt.Left; Table_fmt.Left; Table_fmt.Right; Table_fmt.Right;
+      Table_fmt.Right; Table_fmt.Right; Table_fmt.Left;
+    ];
+  List.iter
+    (fun (pname, p) ->
+      List.iter
+        (fun (plan_name, plan) ->
+          let rolled = ref [] and replayed = ref [] and lat = ref [] in
+          let sync = ref [] in
+          let all_ok = ref true in
+          List.iter
+            (fun seed ->
+              let spec =
+                Spec.make ~n:4 ~m:3 ~ops_per_process:ops ~write_ratio:0.5
+                  ~think:(Latency.Exponential { mean = 10. })
+                  ~seed ()
+              in
+              let o = run_campaign p ~spec ~plan ~seed in
+              if not (o.Fault_campaign.clean && o.Fault_campaign.live_equal)
+              then all_ok := false;
+              rolled :=
+                float_of_int o.Fault_campaign.rolled_back_events :: !rolled;
+              replayed :=
+                float_of_int o.Fault_campaign.replayed_writes :: !replayed;
+              sync :=
+                float_of_int
+                  (o.Fault_campaign.sync_requests
+                  + o.Fault_campaign.sync_replies)
+                :: !sync;
+              List.iter
+                (fun r ->
+                  match Fault_campaign.recovery_latency r with
+                  | Some l -> lat := l :: !lat
+                  | None -> all_ok := false)
+                o.Fault_campaign.recoveries)
+            seeds;
+          let mean l = Summary.mean (Summary.of_list l) in
+          Table_fmt.add_row table
+            [
+              pname;
+              plan_name;
+              Printf.sprintf "%.1f" (mean !rolled);
+              Printf.sprintf "%.1f" (mean !replayed);
+              Printf.sprintf "%.0f" (mean !lat);
+              Printf.sprintf "%.0f" (mean !sync);
+              (if !all_ok then "clean+converged" else "VIOLATIONS");
+            ])
+        plans)
+    packed;
+  table

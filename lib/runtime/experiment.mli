@@ -156,3 +156,27 @@ val q11_partial_replication :
     shrinks from full (paper model) to 2 copies per location, under the
     matrix-clock OptP variant. Every run passes the replication-aware
     audit. *)
+
+val q12_crash_recovery :
+  ?seeds:int list -> ?ops:int -> unit -> Dsm_stats.Table_fmt.t
+(** Crash–recovery campaigns ({!Fault_campaign}): OptP and ANBKH under
+    a single crash and a crash-plus-partition plan, measuring
+    checkpoint rollback, anti-entropy replay volume, recovery latency
+    and sync traffic. Every run must end checker-clean with all live
+    replicas converged. *)
+
+val acceptance_plan : Dsm_sim.Fault_plan.t
+(** The headline schedule: 8 replicas, a 500-time-unit partition
+    ([t=300–800]) splitting them 4/4, processes 2 and 5 crashing in its
+    shadow ([t=400], [t=500]) and recovering after heal ([t=1000],
+    [t=1100]). *)
+
+val acceptance_campaign :
+  ?protocol:Dsm_core.Protocol.packed ->
+  ?seed:int ->
+  ?ops:int ->
+  unit ->
+  Fault_campaign.outcome
+(** One full run of {!acceptance_plan} over an 8-process workload
+    (default protocol OptP, [ops = 60] per process). The bench harness
+    serializes the outcome to [BENCH_crash_recovery.json]. *)

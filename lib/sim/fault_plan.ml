@@ -1,0 +1,147 @@
+type event =
+  | Crash of { proc : int; at : Sim_time.t }
+  | Recover of { proc : int; at : Sim_time.t }
+  | Cut of { groups : int list list; at : Sim_time.t }
+  | Heal of { at : Sim_time.t }
+
+type t = event list
+
+let time = function
+  | Crash { at; _ } | Recover { at; _ } | Cut { at; _ } | Heal { at } -> at
+
+let compare_events a b = Sim_time.compare (time a) (time b)
+
+let make events = List.stable_sort compare_events events
+
+let validate ~n t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Fault_plan: " ^^ fmt) in
+  let check_proc p =
+    if p < 0 || p >= n then fail "process %d out of range [0,%d)" p n
+  in
+  let down = Array.make n false in
+  let last = ref Sim_time.zero in
+  List.iter
+    (fun ev ->
+      let at = time ev in
+      if Sim_time.(at < !last) then
+        fail "events not sorted (use Fault_plan.make)";
+      last := at;
+      match ev with
+      | Crash { proc; _ } ->
+          check_proc proc;
+          if down.(proc) then fail "process %d crashed while down" proc;
+          down.(proc) <- true
+      | Recover { proc; _ } ->
+          check_proc proc;
+          if not down.(proc) then fail "process %d recovered while up" proc;
+          down.(proc) <- false
+      | Cut { groups; _ } ->
+          List.iter (List.iter check_proc) groups;
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (List.iter (fun p ->
+                 if Hashtbl.mem seen p then
+                   fail "process %d in two partition groups" p;
+                 Hashtbl.add seen p ()))
+            groups
+      | Heal _ -> ())
+    t
+
+let down_at_end t =
+  let down = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Crash { proc; _ } -> Hashtbl.replace down proc ()
+      | Recover { proc; _ } -> Hashtbl.remove down proc
+      | Cut _ | Heal _ -> ())
+    t;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) down [])
+
+let install t ~engine ~on_crash ~on_recover ~on_cut ~on_heal =
+  List.iter
+    (fun ev ->
+      Engine.schedule_at engine (time ev) (fun () ->
+          match ev with
+          | Crash { proc; _ } -> on_crash proc
+          | Recover { proc; _ } -> on_recover proc
+          | Cut { groups; _ } -> on_cut groups
+          | Heal _ -> on_heal ()))
+    t
+
+let random rng ~n ~horizon ?(crashes = 1) ?(partitions = 1) () =
+  if n < 2 then invalid_arg "Fault_plan.random: need at least 2 processes";
+  if horizon <= 0. then invalid_arg "Fault_plan.random: horizon <= 0";
+  if crashes < 0 || crashes >= n then
+    invalid_arg "Fault_plan.random: crashes must be in [0,n)";
+  if partitions < 0 then
+    invalid_arg "Fault_plan.random: partitions must be >= 0";
+  let rng = Rng.split rng in
+  (* distinct victims: shuffle identities, take a prefix *)
+  let procs = Array.init n Fun.id in
+  Rng.shuffle rng procs;
+  let crash_events =
+    List.concat
+      (List.init crashes (fun i ->
+           let proc = procs.(i) in
+           let at = Rng.uniform rng (0.1 *. horizon) (0.5 *. horizon) in
+           let down = Rng.uniform rng (0.1 *. horizon) (0.4 *. horizon) in
+           [
+             Crash { proc; at = Sim_time.of_float at };
+             Recover { proc; at = Sim_time.of_float (at +. down) };
+           ]))
+  in
+  (* sequential (non-overlapping) partition episodes, so a Heal never
+     tears down a concurrent episode's cuts *)
+  let partition_events =
+    let cursor = ref (Rng.uniform rng 0. (0.2 *. horizon)) in
+    List.concat
+      (List.init partitions (fun _ ->
+           let start = !cursor in
+           let dur =
+             Rng.uniform rng (0.05 *. horizon) (0.35 *. horizon)
+           in
+           cursor := start +. dur +. Rng.uniform rng 1. (0.1 *. horizon);
+           (* random two-sided split with both sides non-empty *)
+           let side = Array.init n (fun _ -> Rng.bool rng) in
+           let some_true = Array.exists Fun.id side
+           and some_false = Array.exists not side in
+           if not some_true then side.(Rng.int rng n) <- true
+           else if not some_false then side.(Rng.int rng n) <- false;
+           let left = ref [] and right = ref [] in
+           for p = n - 1 downto 0 do
+             if side.(p) then left := p :: !left else right := p :: !right
+           done;
+           [
+             Cut
+               {
+                 groups = [ !left; !right ];
+                 at = Sim_time.of_float start;
+               };
+             Heal { at = Sim_time.of_float (start +. dur) };
+           ]))
+  in
+  let plan = make (crash_events @ partition_events) in
+  validate ~n plan;
+  plan
+
+let pp_event ppf = function
+  | Crash { proc; at } ->
+      Format.fprintf ppf "crash p%d @ %a" (proc + 1) Sim_time.pp at
+  | Recover { proc; at } ->
+      Format.fprintf ppf "recover p%d @ %a" (proc + 1) Sim_time.pp at
+  | Cut { groups; at } ->
+      Format.fprintf ppf "cut {%a} @ %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+           (fun ppf g ->
+             Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+               (fun ppf p -> Format.fprintf ppf "p%d" (p + 1))
+               ppf g))
+        groups Sim_time.pp at
+  | Heal { at } -> Format.fprintf ppf "heal @ %a" Sim_time.pp at
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+    pp_event ppf t

@@ -1,0 +1,69 @@
+(** Scriptable and randomized fault injection schedules.
+
+    A plan is a time-sorted list of {!event}s: crash-stop a process,
+    restart it, cut the network into groups, heal every cut. The plan
+    itself is pure data — {!install} schedules it on an {!Engine} and
+    dispatches to caller-supplied hooks, so the same plan can drive any
+    harness (the fault-campaign driver wires the hooks to
+    {!Network.mark_crashed}, {!Reliable_channel.abort_peer}, snapshot
+    restore and anti-entropy).
+
+    The paper's §3.1 model has no failures at all; plans are how the
+    repo steps outside that model while the checker keeps auditing the
+    resulting histories for causal consistency. *)
+
+type event =
+  | Crash of { proc : int; at : Sim_time.t }
+      (** crash-stop: volatile state is lost at [at] *)
+  | Recover of { proc : int; at : Sim_time.t }
+      (** restart from the last durable snapshot *)
+  | Cut of { groups : int list list; at : Sim_time.t }
+      (** partition: links between distinct groups drop silently *)
+  | Heal of { at : Sim_time.t }  (** heal every cut link *)
+
+type t = event list
+(** Sorted by time; build with {!make}. *)
+
+val time : event -> Sim_time.t
+
+val make : event list -> t
+(** Sorts by time (stable, so same-time events keep list order). *)
+
+val validate : n:int -> t -> unit
+(** Checks the plan is well-formed for [n] processes: ids in range,
+    non-negative sorted times, no crash of a crashed process, no
+    recovery of a live one, no process in two groups of one cut.
+    @raise Invalid_argument otherwise. *)
+
+val down_at_end : t -> int list
+(** Processes left crashed when the plan runs out, sorted. *)
+
+val install :
+  t ->
+  engine:Engine.t ->
+  on_crash:(int -> unit) ->
+  on_recover:(int -> unit) ->
+  on_cut:(int list list -> unit) ->
+  on_heal:(unit -> unit) ->
+  unit
+(** Schedules every event on the engine at its time. Call before
+    [Engine.run] (events must not be in the engine's past). *)
+
+val random :
+  Rng.t ->
+  n:int ->
+  horizon:float ->
+  ?crashes:int ->
+  ?partitions:int ->
+  unit ->
+  t
+(** A randomized, valid plan drawn from a split of [rng]: [crashes]
+    (default 1) distinct processes each crash once in
+    [0.1–0.5]·horizon and recover after a [0.1–0.4]·horizon downtime;
+    [partitions] (default 1) two-sided cuts run sequentially (episodes
+    never overlap, so each heal tears down exactly its own cut).
+    @raise Invalid_argument if [n < 2], [horizon <= 0],
+    [crashes ∉ [0,n)] or [partitions < 0]. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -4,6 +4,18 @@ type faults = { drop : float; duplicate : float }
 
 let no_faults = { drop = 0.; duplicate = 0. }
 
+exception No_handler of { dst : int; src : int; at : Sim_time.t }
+
+let () =
+  Printexc.register_printer (function
+    | No_handler { dst; src; at } ->
+        Some
+          (Printf.sprintf
+             "Network.No_handler: delivery to process %d (from %d, at \
+              t=%g) but no handler is installed"
+             dst src (Sim_time.to_float at))
+    | _ -> None)
+
 type 'a t = {
   engine : Engine.t;
   n : int;
@@ -13,10 +25,14 @@ type 'a t = {
   channel_rng : Rng.t array array;  (* [src].(dst) *)
   last_delivery : Sim_time.t array array;  (* FIFO floor per channel *)
   handlers : 'a handler option array;
+  cut_link : bool array array;  (* [src].(dst): true = partitioned *)
+  crashed : bool array;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable partition_dropped : int;
+  mutable crash_dropped : int;
 }
 
 let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
@@ -40,10 +56,14 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
     channel_rng;
     last_delivery = Array.init n (fun _ -> Array.make n Sim_time.zero);
     handlers = Array.make n None;
+    cut_link = Array.init n (fun _ -> Array.make n false);
+    crashed = Array.make n false;
     sent = 0;
     delivered = 0;
     dropped = 0;
     duplicated = 0;
+    partition_dropped = 0;
+    crash_dropped = 0;
   }
 
 let n t = t.n
@@ -56,15 +76,84 @@ let set_handler t i h =
   check_proc t i "set_handler";
   t.handlers.(i) <- Some h
 
+(* ---- partitions ---------------------------------------------------- *)
+
+let cut t ~a ~b =
+  check_proc t a "cut";
+  check_proc t b "cut";
+  t.cut_link.(a).(b) <- true;
+  t.cut_link.(b).(a) <- true
+
+let heal t ~a ~b =
+  check_proc t a "heal";
+  check_proc t b "heal";
+  t.cut_link.(a).(b) <- false;
+  t.cut_link.(b).(a) <- false
+
+let is_cut t ~a ~b =
+  check_proc t a "is_cut";
+  check_proc t b "is_cut";
+  t.cut_link.(a).(b)
+
+let partition t groups =
+  (* cut every link between distinct groups; links inside a group are
+     left as they are *)
+  let group_of = Array.make t.n (-1) in
+  List.iteri
+    (fun g procs ->
+      List.iter
+        (fun p ->
+          check_proc t p "partition";
+          if group_of.(p) >= 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Network.partition: process %d appears in two groups" p);
+          group_of.(p) <- g)
+        procs)
+    groups;
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      if a <> b && group_of.(a) >= 0 && group_of.(b) >= 0
+         && group_of.(a) <> group_of.(b)
+      then t.cut_link.(a).(b) <- true
+    done
+  done
+
+let heal_all t =
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      t.cut_link.(a).(b) <- false
+    done
+  done
+
+(* ---- crash-stop marks --------------------------------------------- *)
+
+let mark_crashed t p =
+  check_proc t p "mark_crashed";
+  t.crashed.(p) <- true
+
+let mark_recovered t p =
+  check_proc t p "mark_recovered";
+  t.crashed.(p) <- false
+
+let is_crashed t p =
+  check_proc t p "is_crashed";
+  t.crashed.(p)
+
+(* ---- transmission -------------------------------------------------- *)
+
 let schedule_delivery t ~src ~dst ~at payload =
   Engine.schedule_at t.engine at (fun () ->
-      t.delivered <- t.delivered + 1;
-      match t.handlers.(dst) with
-      | Some h -> h ~src ~at payload
-      | None ->
-          failwith
-            (Printf.sprintf "Network: delivery to process %d without handler"
-               dst))
+      (* a crashed destination silently loses the message: the frame
+         reached a machine that is not running.  Counted, not raised —
+         crash-stop is a modelled fault, not a harness bug. *)
+      if t.crashed.(dst) then t.crash_dropped <- t.crash_dropped + 1
+      else begin
+        t.delivered <- t.delivered + 1;
+        match t.handlers.(dst) with
+        | Some h -> h ~src ~at payload
+        | None -> raise (No_handler { dst; src; at })
+      end)
 
 let send t ~src ~dst payload =
   check_proc t src "send";
@@ -73,7 +162,10 @@ let send t ~src ~dst payload =
     invalid_arg "Network.send: self-sends are not modelled (apply locally)";
   let rng = t.channel_rng.(src).(dst) in
   t.sent <- t.sent + 1;
-  if t.faults.drop > 0. && Rng.bernoulli rng t.faults.drop then
+  if t.cut_link.(src).(dst) then
+    (* partitioned link: the transmission silently disappears *)
+    t.partition_dropped <- t.partition_dropped + 1
+  else if t.faults.drop > 0. && Rng.bernoulli rng t.faults.drop then
     t.dropped <- t.dropped + 1
   else begin
     let delay = Latency.sample (t.latency ~src ~dst) rng in
@@ -107,7 +199,11 @@ let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
 let messages_duplicated t = t.duplicated
+let messages_partition_dropped t = t.partition_dropped
+let messages_crash_dropped t = t.crash_dropped
 
 let in_flight t =
   (* duplicate copies add deliveries beyond sends; clamp at zero *)
-  max 0 (t.sent - t.dropped - (t.delivered - t.duplicated))
+  max 0
+    (t.sent - t.dropped - t.partition_dropped
+    - (t.delivered + t.crash_dropped - t.duplicated))

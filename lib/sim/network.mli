@@ -7,6 +7,16 @@
     reordering is precisely what makes write delays appear); FIFO
     per-channel delivery can be switched on to study its effect.
 
+    Beyond the probabilistic {!faults}, the network carries two pieces
+    of {e injected-failure} state used by the crash–recovery harness:
+
+    - {b partitions}: a cut link silently drops every transmission at
+      send time (counted in {!messages_partition_dropped});
+    - {b crash marks}: a message arriving at a process marked crashed is
+      a counted silent drop ({!messages_crash_dropped}) — the frame
+      reached a machine that is not running, which is a modelled fault,
+      not an error.
+
     The network is generic in the message payload. Delivery invokes the
     destination's handler inside the engine, so a handler runs
     atomically at its delivery timestamp. *)
@@ -22,6 +32,11 @@ type faults = {
 }
 
 val no_faults : faults
+
+exception No_handler of { dst : int; src : int; at : Sim_time.t }
+(** Raised at delivery time when the destination has no handler
+    installed; carries the destination, the sender and the simulated
+    delivery timestamp. *)
 
 val create :
   engine:Engine.t ->
@@ -49,10 +64,13 @@ val n : 'a t -> int
 
 val set_handler : 'a t -> int -> 'a handler -> unit
 (** Installs the delivery handler of a process. Messages delivered to a
-    process without a handler raise [Failure] at delivery time. *)
+    process without a handler raise {!No_handler} at delivery time
+    (unless the destination is marked crashed, in which case the
+    delivery is a counted silent drop). *)
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 (** Schedules delivery of one message at [now + latency(src,dst)].
+    Sends over a cut link are silently dropped (and counted).
     Self-sends are rejected ([Invalid_argument]) — protocols apply their
     own writes locally, as in Figure 4 of the paper. *)
 
@@ -60,11 +78,57 @@ val broadcast : 'a t -> src:int -> 'a -> unit
 (** [send] to every process but [src] (the paper's
     [send m to Π − p_i]). Per-destination latencies are independent. *)
 
+(** {1 Partitions}
+
+    Partition state is checked at {e send} time: a message in flight
+    when the link is cut still arrives, a message sent while the link
+    is cut is lost even if the link heals before its would-be delivery.
+    This is the standard fail-cut model — the cable is unplugged, what
+    was on the wire gets through. *)
+
+val cut : 'a t -> a:int -> b:int -> unit
+(** Cuts the link between [a] and [b], both directions. *)
+
+val heal : 'a t -> a:int -> b:int -> unit
+(** Heals the link between [a] and [b], both directions. *)
+
+val is_cut : 'a t -> a:int -> b:int -> bool
+
+val partition : 'a t -> int list list -> unit
+(** [partition t groups] cuts every link between processes of distinct
+    groups. Links inside a group — and links touching a process in no
+    group — are left as they are.
+    @raise Invalid_argument if a process appears in two groups. *)
+
+val heal_all : 'a t -> unit
+(** Heals every cut link. *)
+
+(** {1 Crash-stop marks}
+
+    The network does not crash processes — the fault-campaign driver
+    does, by discarding their volatile state. Marking tells the network
+    to turn deliveries to the process into counted silent drops until
+    {!mark_recovered}. The check happens at {e delivery} time: a
+    message in flight across the whole downtime is delivered to the
+    recovered process. *)
+
+val mark_crashed : 'a t -> int -> unit
+val mark_recovered : 'a t -> int -> unit
+val is_crashed : 'a t -> int -> bool
+
+(** {1 Counters} *)
+
 val messages_sent : 'a t -> int
 val messages_delivered : 'a t -> int
 
 val messages_dropped : 'a t -> int
 val messages_duplicated : 'a t -> int
+
+val messages_partition_dropped : 'a t -> int
+(** Transmissions lost to a cut link. *)
+
+val messages_crash_dropped : 'a t -> int
+(** Deliveries lost to a crashed destination. *)
 
 val in_flight : 'a t -> int
 (** Messages sent and neither delivered nor dropped (duplicate copies

@@ -2,12 +2,21 @@ type 'a frame =
   | Data of { cseq : int; payload : 'a }
   | Ack of { cseq : int }
 
-type 'a pending = { payload : 'a; mutable acked : bool }
+type 'a pending = {
+  payload : 'a;
+  mutable acked : bool;
+  mutable aborted : bool;
+  mutable attempts : int;  (* retransmissions so far, for backoff *)
+}
 
 type 'a t = {
   engine : Engine.t;
   network : 'a frame Network.t;
   retransmit_after : float;
+  backoff : float;  (* interval multiplier per retransmission *)
+  backoff_cap : float;  (* upper bound on the interval *)
+  jitter : float;  (* max fractional perturbation, needs [rng] *)
+  rng : Rng.t option;  (* split stream for jitter draws *)
   n : int;
   next_seq : int array array;  (* [src].(dst): next data sequence number *)
   outstanding : (int * int * int, 'a pending) Hashtbl.t;
@@ -19,6 +28,7 @@ type 'a t = {
   mutable payloads_delivered : int;
   mutable retransmissions : int;
   mutable duplicates_discarded : int;
+  mutable aborted_payloads : int;
 }
 
 let seen_set t ~src ~dst =
@@ -56,15 +66,35 @@ let on_frame t dst ~src ~at frame =
                  dst)
       end
 
-let create ~engine ~network ?(retransmit_after = 50.) () =
+let create ~engine ~network ?(retransmit_after = 50.) ?(backoff = 2.)
+    ?backoff_cap ?(jitter = 0.1) ?rng () =
   if retransmit_after <= 0. then
     invalid_arg "Reliable_channel.create: retransmit_after must be positive";
+  if backoff < 1. then
+    invalid_arg "Reliable_channel.create: backoff must be >= 1";
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Reliable_channel.create: jitter must be in [0,1)";
+  let backoff_cap =
+    match backoff_cap with
+    | Some c ->
+        if c < retransmit_after then
+          invalid_arg
+            "Reliable_channel.create: backoff_cap below retransmit_after";
+        c
+    | None -> 32. *. retransmit_after
+  in
   let n = Network.n network in
   let t =
     {
       engine;
       network;
       retransmit_after;
+      backoff;
+      backoff_cap;
+      jitter;
+      (* a dedicated split stream: jitter draws must not perturb the
+         network's per-channel latency streams *)
+      rng = Option.map (fun r -> Rng.split r) rng;
       n;
       next_seq = Array.init n (fun _ -> Array.make n 0);
       outstanding = Hashtbl.create 256;
@@ -74,6 +104,7 @@ let create ~engine ~network ?(retransmit_after = 50.) () =
       payloads_delivered = 0;
       retransmissions = 0;
       duplicates_discarded = 0;
+      aborted_payloads = 0;
     }
   in
   for dst = 0 to n - 1 do
@@ -87,21 +118,43 @@ let set_handler t i h =
     invalid_arg "Reliable_channel.set_handler: process id out of range";
   t.handlers.(i) <- Some h
 
+(* The interval before retransmission number [k+1] (k = retransmissions
+   already performed): capped exponential, jittered from the second
+   retransmission on.  The very first timeout is exactly
+   [retransmit_after], unjittered, so runs that never retransmit — or
+   retransmit once — keep the seed timing. *)
+let interval t ~attempts =
+  if attempts = 0 then t.retransmit_after
+  else begin
+    let base =
+      Float.min t.backoff_cap
+        (t.retransmit_after *. (t.backoff ** float_of_int attempts))
+    in
+    match t.rng with
+    | None -> base
+    | Some rng ->
+        (* symmetric jitter in [-jitter/2, +jitter/2) of the interval *)
+        base *. (1. +. (t.jitter *. (Rng.float rng -. 0.5)))
+  end
+
 let send t ~src ~dst payload =
   if src = dst then
     invalid_arg "Reliable_channel.send: self-sends are not modelled";
   let cseq = t.next_seq.(src).(dst) in
   t.next_seq.(src).(dst) <- cseq + 1;
   t.payloads_sent <- t.payloads_sent + 1;
-  let p = { payload; acked = false } in
+  let p = { payload; acked = false; aborted = false; attempts = 0 } in
   Hashtbl.replace t.outstanding (src, dst, cseq) p;
   let transmit () =
     Network.send t.network ~src ~dst (Data { cseq; payload = p.payload })
   in
   let rec arm_timer () =
-    Engine.schedule_after t.engine t.retransmit_after (fun () ->
-        if not p.acked then begin
+    Engine.schedule_after t.engine (interval t ~attempts:p.attempts)
+      (fun () ->
+        if p.aborted then ()
+        else if not p.acked then begin
           t.retransmissions <- t.retransmissions + 1;
+          p.attempts <- p.attempts + 1;
           transmit ();
           arm_timer ()
         end
@@ -115,10 +168,63 @@ let broadcast t ~src payload =
     if dst <> src then send t ~src ~dst payload
   done
 
+let abort_peer t ~peer =
+  if peer < 0 || peer >= t.n then
+    invalid_arg "Reliable_channel.abort_peer: process id out of range";
+  (* stop retransmitting to the crashed peer: every undelivered copy of
+     these payloads is lost, recovery must fetch the content some other
+     way (anti-entropy) *)
+  let doomed =
+    Hashtbl.fold
+      (fun ((_, dst, _) as key) p acc ->
+        if dst = peer && (not p.acked) && not p.aborted then (key, p) :: acc
+        else acc)
+      t.outstanding []
+  in
+  List.iter
+    (fun (key, p) ->
+      p.aborted <- true;
+      Hashtbl.remove t.outstanding key)
+    doomed;
+  let count = List.length doomed in
+  t.aborted_payloads <- t.aborted_payloads + count;
+  (* the peer restarts with empty volatile state: its dedup tables are
+     gone, so sequence numbers delivered to the dead incarnation must
+     not suppress deliveries to the new one *)
+  Hashtbl.filter_map_inplace
+    (fun (_, dst) seen -> if dst = peer then None else Some seen)
+    t.delivered_seqs;
+  count
+
+let abort_sender t ~peer =
+  if peer < 0 || peer >= t.n then
+    invalid_arg "Reliable_channel.abort_sender: process id out of range";
+  (* stop retransmitting the payloads [peer] itself originated: every
+     ack addressed to a crash-stopped process is dropped by the network,
+     so without this its pre-crash send queue would retransmit forever.
+     Only call this for a peer that never restarts — for a recovering
+     peer the armed timers are its durable send queue. *)
+  let doomed =
+    Hashtbl.fold
+      (fun ((src, _, _) as key) p acc ->
+        if src = peer && (not p.acked) && not p.aborted then (key, p) :: acc
+        else acc)
+      t.outstanding []
+  in
+  List.iter
+    (fun (key, p) ->
+      p.aborted <- true;
+      Hashtbl.remove t.outstanding key)
+    doomed;
+  let count = List.length doomed in
+  t.aborted_payloads <- t.aborted_payloads + count;
+  count
+
 let payloads_sent t = t.payloads_sent
 let payloads_delivered t = t.payloads_delivered
 let retransmissions t = t.retransmissions
 let duplicates_discarded t = t.duplicates_discarded
+let aborted t = t.aborted_payloads
 
 let unacked t =
   Hashtbl.fold (fun _ p acc -> if p.acked then acc else acc + 1)

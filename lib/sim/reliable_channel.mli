@@ -12,9 +12,21 @@
 
     delivering each payload to the destination handler exactly once
     (not necessarily in send order — the protocols above tolerate
-    reordering by design). Retransmission stops once the ack arrives;
-    with any drop probability below 1 every message is eventually
-    acknowledged, so simulations still quiesce.
+    reordering by design).
+
+    Retransmission intervals follow {b capped exponential backoff}: the
+    first timeout is exactly [retransmit_after] (so runs that never
+    retransmit keep the seed timing), each subsequent interval is
+    multiplied by [backoff] up to [backoff_cap], and — when an [rng] is
+    supplied — intervals after the first retransmission are perturbed
+    by symmetric [jitter] drawn from a dedicated split stream. During a
+    long partition this keeps a sender from flooding the healed link
+    with synchronized retransmission storms.
+
+    Retransmission stops once the ack arrives, or when the destination
+    is known to have crashed ({!abort_peer}); with any drop probability
+    below 1 every message to a live peer is eventually acknowledged, so
+    simulations still quiesce.
 
     The wire type is {!('a) frame}; create the underlying network with
     that payload type. *)
@@ -28,17 +40,49 @@ val create :
   engine:Engine.t ->
   network:'a frame Network.t ->
   ?retransmit_after:float ->
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  ?jitter:float ->
+  ?rng:Rng.t ->
   unit ->
   'a t
-(** [retransmit_after] (default [50.] time units) is the ack timeout;
-    pick it a few times the mean channel latency.
-    @raise Invalid_argument if it is not positive. *)
+(** [retransmit_after] (default [50.] time units) is the first ack
+    timeout; pick it a few times the mean channel latency. [backoff]
+    (default [2.]) multiplies the interval on every retransmission;
+    [backoff_cap] (default [32 * retransmit_after]) bounds it. [jitter]
+    (default [0.1]) is the maximal fractional perturbation of intervals
+    after the first retransmission; it only applies when [rng] is given
+    (a split of it is taken, so the caller's stream advances once).
+    @raise Invalid_argument if [retransmit_after <= 0], [backoff < 1],
+    [backoff_cap < retransmit_after] or [jitter] outside [0,1). *)
 
 val set_handler : 'a t -> int -> ('a Network.handler) -> unit
 (** Exactly-once delivery handler for a process. *)
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 val broadcast : 'a t -> src:int -> 'a -> unit
+
+val abort_peer : 'a t -> peer:int -> int
+(** [abort_peer t ~peer] is the crash hook: stops retransmitting every
+    unacknowledged payload destined to [peer] (returning how many were
+    abandoned — their content must reach the peer some other way, e.g.
+    anti-entropy catch-up after recovery) and forgets the receiver-side
+    deduplication state of [peer], whose volatile tables died with it —
+    sequence numbers delivered to the dead incarnation must not
+    suppress deliveries to the recovered one.
+    @raise Invalid_argument on an out-of-range process id. *)
+
+val abort_sender : 'a t -> peer:int -> int
+(** [abort_sender t ~peer] is the complementary crash hook for a peer
+    that is down {e for good}: it stops retransmitting every
+    unacknowledged payload that [peer] itself originated before
+    crashing, returning how many were abandoned. Acknowledgments
+    addressed to a crashed process are silently dropped by the network,
+    so without this the dead sender's armed timers would fire forever
+    and the simulation could never quiesce. Do {e not} call it for a
+    peer that later restarts — its in-flight timers are precisely the
+    durable send queue that finishes the job after recovery.
+    @raise Invalid_argument on an out-of-range process id. *)
 
 (** {1 Statistics} *)
 
@@ -50,5 +94,10 @@ val payloads_delivered : 'a t -> int
 
 val retransmissions : 'a t -> int
 val duplicates_discarded : 'a t -> int
+
+val aborted : 'a t -> int
+(** Payloads abandoned by {!abort_peer} or {!abort_sender},
+    cumulative. *)
+
 val unacked : 'a t -> int
-(** Payloads still awaiting acknowledgment. *)
+(** Payloads still awaiting acknowledgment (aborted ones excluded). *)

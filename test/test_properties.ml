@@ -526,6 +526,14 @@ module Fifo_only : Dsm_core.Protocol.S = struct
 
   let pp_msg ppf (m : msg) =
     Format.fprintf ppf "m(x%d := %d)" (m.var + 1) m.value
+
+  let snapshot t = Snapshot.encode t
+
+  let restore cfg ~me s =
+    let t : t = Snapshot.decode s in
+    Snapshot.check_identity ~proto:"Fifo_only" ~cfg ~me ~cfg':t.cfg
+      ~me':t.me;
+    t
 end
 
 let test_checker_catches_fifo_only () =

@@ -501,9 +501,11 @@ let test_network_fifo_orders_channel () =
 let test_network_no_handler_fails () =
   let engine, net = make_net 2 in
   Network.send net ~src:0 ~dst:1 ();
-  Alcotest.check_raises "missing handler"
-    (Failure "Network: delivery to process 1 without handler") (fun () ->
-      ignore (Engine.run engine))
+  match Engine.run engine with
+  | exception Network.No_handler { dst = 1; src = 0; at = _ } -> ()
+  | exception e ->
+      Alcotest.failf "expected No_handler, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "missing handler must fail loudly"
 
 
 (* ------------------------------------------------------------------ *)
