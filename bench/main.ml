@@ -349,6 +349,124 @@ module Stress = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Observability: probe overhead, null sink vs full tracing            *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = struct
+  module Metrics = Dsm_obs.Metrics
+  module Sim_run = Dsm_runtime.Sim_run
+  module Provenance = Dsm_runtime.Provenance
+  module Execution = Dsm_runtime.Execution
+
+  type result = {
+    on : int;  (** processes *)
+    omessages : int;
+    null_ms : float;  (** per run, null registry, no trace assembly *)
+    live_ms : float;  (** per run, live registry + chrome rendering *)
+    overhead_pct : float;
+    instruments : int;
+  }
+
+  let results : result list ref = ref []
+
+  let latency = Dsm_sim.Latency.Exponential { mean = 10. }
+
+  let spec ~n ~quick =
+    Dsm_workload.Spec.make ~n ~m:8
+      ~ops_per_process:(if quick then 15 else 60)
+      ~write_ratio:0.5 ~seed:11 ()
+
+  let once ~n ~quick ~metrics ~trace () =
+    let o =
+      Sim_run.run
+        (module Dsm_core.Opt_p)
+        ~spec:(spec ~n ~quick) ~latency ~seed:2 ~metrics ()
+    in
+    if trace then begin
+      let buf = Buffer.create 8192 in
+      Dsm_obs.Export.chrome buf ~n ~end_time:o.Sim_run.end_time
+        (Dsm_obs.Span.spans (Provenance.spans o.Sim_run.execution));
+      ignore (Buffer.length buf)
+    end;
+    o
+
+  (* Sys.time is coarse: repeat until enough CPU time accumulates *)
+  let time f =
+    let reps = ref 0 and elapsed = ref 0. in
+    while !elapsed < 0.3 && !reps < 50 do
+      let t0 = Sys.time () in
+      ignore (f ());
+      elapsed := !elapsed +. (Sys.time () -. t0);
+      incr reps
+    done;
+    !elapsed /. float_of_int !reps *. 1000.
+
+  let run ~quick () =
+    results := [];
+    let table =
+      Table_fmt.create
+        ~title:"O: probe overhead - null registry vs metrics + chrome trace"
+        ~header:
+          [ "n"; "messages"; "null ms/run"; "full ms/run"; "overhead" ]
+        ()
+    in
+    Table_fmt.set_align table
+      [
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Right;
+      ];
+    let last_live = ref None in
+    List.iter
+      (fun n ->
+        (* differential guard: a live registry must not change the run *)
+        let o0 = once ~n ~quick ~metrics:(Metrics.null ()) ~trace:false () in
+        let live = Metrics.create () in
+        let o1 = once ~n ~quick ~metrics:live ~trace:false () in
+        if
+          o0.Sim_run.end_time <> o1.Sim_run.end_time
+          || o0.Sim_run.messages_sent <> o1.Sim_run.messages_sent
+          || Execution.event_count o0.Sim_run.execution
+             <> Execution.event_count o1.Sim_run.execution
+        then failwith "Obs: observation changed the simulated outcome";
+        last_live := Some live;
+        let null_ms =
+          time (once ~n ~quick ~metrics:(Metrics.null ()) ~trace:false)
+        in
+        let live_ms =
+          time (fun () ->
+              once ~n ~quick ~metrics:(Metrics.create ()) ~trace:true ())
+        in
+        let overhead_pct = (live_ms -. null_ms) /. null_ms *. 100. in
+        Table_fmt.add_row table
+          [
+            string_of_int n;
+            string_of_int o0.Sim_run.messages_sent;
+            Printf.sprintf "%.3f" null_ms;
+            Printf.sprintf "%.3f" live_ms;
+            Printf.sprintf "%+.1f%%" overhead_pct;
+          ];
+        results :=
+          !results
+          @ [
+              {
+                on = n;
+                omessages = o0.Sim_run.messages_sent;
+                null_ms;
+                live_ms;
+                overhead_pct;
+                instruments = List.length (Metrics.rows live);
+              };
+            ])
+      [ 8; 32 ];
+    print_table table;
+    (* the registry of the differential run, as users will see it *)
+    match !last_live with
+    | Some live ->
+        print_newline ();
+        print_table
+          (Metrics.summary_table ~title:"metrics registry (n=32 run)" live)
+    | None -> ()
+end
 
 (* results captured for --json; filled by the section bodies *)
 let stress_quick = ref false
@@ -380,6 +498,9 @@ let sections =
     ( "S",
       "buffer stress: indexed wakeups vs scanning drain",
       fun () -> stress_result := Some (Stress.run ~quick:!stress_quick ()) );
+    ( "O",
+      "observability: probe overhead, null sink vs full tracing",
+      fun () -> Obs.run ~quick:!stress_quick () );
   ]
 
 let json_escape s =
@@ -534,6 +655,35 @@ let write_recovery_json file =
       Printf.eprintf "--recovery-json: cannot write %s (%s)\n" file e;
       exit 1
 
+let write_obs_json file =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+  Buffer.add_string buf "  \"section\": \"observability\",\n";
+  Buffer.add_string buf
+    "  \"workload\": { \"protocol\": \"OptP\", \"m\": 8, \
+     \"write_ratio\": 0.5, \"latency\": \"exp(mean=10)\" },\n";
+  Buffer.add_string buf "  \"overhead\": [";
+  List.iteri
+    (fun i (r : Obs.result) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"n\": %d, \"messages\": %d, \"instruments\": %d,\n\
+           \      \"null_ms_per_run\": %.4f, \"full_ms_per_run\": %.4f, \
+            \"overhead_pct\": %.2f }"
+           r.Obs.on r.Obs.omessages r.Obs.instruments r.Obs.null_ms
+           r.Obs.live_ms r.Obs.overhead_pct))
+    !Obs.results;
+  Buffer.add_string buf (if !Obs.results = [] then "]\n}\n" else "\n  ]\n}\n");
+  match open_out file with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+  | exception Sys_error e ->
+      Printf.eprintf "--obs-json: cannot write %s (%s)\n" file e;
+      exit 1
+
 (* [--opt=v] or [--opt v] *)
 let keyed_arg key args =
   let eq = key ^ "=" in
@@ -577,4 +727,8 @@ let () =
     write_recovery_json
       (Option.value ~default:"BENCH_crash_recovery.json"
          (keyed_arg "--recovery-json" args));
+  if !Obs.results <> [] then
+    write_obs_json
+      (Option.value ~default:"BENCH_observability.json"
+         (keyed_arg "--obs-json" args));
   Option.iter write_json json_path

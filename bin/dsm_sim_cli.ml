@@ -1,14 +1,17 @@
 (* dsm-sim — command-line driver for the causal-DSM simulator.
 
    Subcommands:
-     run     simulate a workload under one protocol and audit the run
-     tables  regenerate the paper's tables and figures
-     sweep   run a quantitative experiment (Q1..Q6)
-     graph   emit the write causality graph of a run (Graphviz)
+     run      simulate a workload under one protocol and audit the run
+     explain  run, then print the provenance of every write delay
+     tables   regenerate the paper's tables and figures
+     sweep    run a quantitative experiment (Q1..Q6)
+     graph    emit the write causality graph of a run (Graphviz)
 
    Examples:
      dsm-sim run --protocol optp -n 6 -m 8 --ops 200 --write-ratio 0.6
      dsm-sim run --protocol anbkh --latency lognormal:2.3,1.0 --seed 3
+     dsm-sim run --trace-out run.json --trace-format chrome --metrics-out m.json
+     dsm-sim explain --protocol anbkh --seed 3
      dsm-sim tables --section T1
      dsm-sim sweep --experiment q2   (q1..q11)
      dsm-sim graph -n 4 --ops 20 *)
@@ -20,6 +23,8 @@ module Latency = Dsm_sim.Latency
 module Experiment = Dsm_runtime.Experiment
 module Checker = Dsm_runtime.Checker
 module Sim_run = Dsm_runtime.Sim_run
+module Provenance = Dsm_runtime.Provenance
+module Metrics = Dsm_obs.Metrics
 
 (* ---------------------------------------------------------------- *)
 (* shared argument parsing                                           *)
@@ -240,6 +245,73 @@ let json_out =
           "Emit the campaign outcome as JSON on stdout instead of the \
            human-readable report (fault-campaign runs only).")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the causal trace of the run (one span per write, with \
+           per-destination receipt / blocked / apply phases) to $(docv).")
+
+let trace_format_conv =
+  Arg.conv
+    ( (fun s ->
+        match Provenance.format_of_string s with
+        | Some f -> Ok f
+        | None -> Error (`Msg "trace format: jsonl | chrome")),
+      fun ppf f ->
+        Format.pp_print_string ppf (Provenance.format_to_string f) )
+
+let trace_format =
+  Arg.(
+    value
+    & opt trace_format_conv Provenance.Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Trace rendering: $(b,jsonl) (one JSON object per span per \
+           line) or $(b,chrome) (trace-event array, loadable in \
+           Perfetto; write delays appear as blocked slices).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the metrics registry and write every instrument \
+           (network, channel, buffers, protocol, campaign) to $(docv) \
+           as JSON. Probes are pure observation: the simulated outcome \
+           is byte-identical with and without this flag.")
+
+(* the run itself is untouched by observers; emit files afterwards *)
+let emit_observers ~trace_out ~trace_format ~metrics_out ~metrics execution =
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      Provenance.write_trace trace_format ~path execution;
+      let c = Provenance.spans execution in
+      Format.printf "trace: %d spans (%d blocked records) -> %s (%s)@."
+        (Dsm_obs.Span.span_count c)
+        (Dsm_obs.Span.blocked_count c)
+        path
+        (Provenance.format_to_string trace_format));
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Metrics.to_json metrics);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "metrics: %d instruments -> %s@."
+        (List.length (Metrics.rows metrics))
+        path
+
+(* Theorem 4 protocols: a single unnecessary delay is a bug, not a
+   statistic — fail the run *)
+let claims_optimality name =
+  List.mem name [ "OptP"; "OptP/scan"; "OptP-direct" ]
+
 let spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed =
   let var_dist =
     match zipf with None -> Spec.Uniform_vars | Some s -> Spec.Zipf_vars s
@@ -329,7 +401,7 @@ let campaign_json ppf (o : Fault_campaign.outcome) =
     o.engine_steps o.end_time
 
 let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
-    ~crashes ~partitions ~checkpoint_every ~seed ~json =
+    ~crashes ~partitions ~checkpoint_every ~seed ~json ~metrics ~emit =
   if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
     `Error
       ( false,
@@ -343,7 +415,7 @@ let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
         (module P)
         ~spec ~latency ~faults
         ~plan:(plan_of ~crashes ~partitions)
-        ~checkpoint_every ~seed ()
+        ~checkpoint_every ~seed ~metrics ()
     with
     | exception Invalid_argument msg -> `Error (false, msg)
     | o ->
@@ -352,8 +424,19 @@ let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
           Format.printf "%a@.@." Fault_campaign.pp_outcome o;
           Format.printf "audit: %a@." Checker.pp_report o.report
         end;
-        if o.clean && o.live_equal then `Ok ()
-        else `Error (false, "campaign is not clean")
+        emit o.Fault_campaign.execution;
+        if not (o.clean && o.live_equal) then
+          `Error (false, "campaign is not clean")
+        else if
+          claims_optimality P.name
+          && o.report.Checker.unnecessary_delays > 0
+        then
+          `Error
+            ( false,
+              Printf.sprintf
+                "%d unnecessary delays — %s claims Theorem 4 optimality"
+                o.report.Checker.unnecessary_delays P.name )
+        else `Ok ()
 
 (* ---------------------------------------------------------------- *)
 (* run                                                               *)
@@ -362,15 +445,34 @@ let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
 let run_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
       latency seed fifo drop duplicate repl_degree crashes partitions
-      checkpoint_every json =
+      checkpoint_every json trace_out trace_format metrics_out =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
+    let metrics =
+      match metrics_out with
+      | None -> Metrics.null ()
+      | Some _ -> Metrics.create ()
+    in
+    let emit execution =
+      emit_observers ~trace_out ~trace_format ~metrics_out ~metrics
+        execution
+    in
     if not json then
       Format.printf "workload: %a@.network:  %a@.@." Spec.pp spec Latency.pp
         latency;
-    let finish report =
+    let finish ~execution report =
       Format.printf "audit: %a@." Checker.pp_report report;
-      if Checker.is_clean report then `Ok ()
-      else `Error (false, "run is not clean")
+      emit execution;
+      if not (Checker.is_clean report) then
+        `Error (false, "run is not clean")
+      else if
+        claims_optimality P.name && report.Checker.unnecessary_delays > 0
+      then
+        `Error
+          ( false,
+            Printf.sprintf
+              "%d unnecessary delays — %s claims Theorem 4 optimality"
+              report.Checker.unnecessary_delays P.name )
+      else `Ok ()
     in
     if crashes <> [] || partitions <> [] then begin
       if repl_degree <> None then
@@ -383,7 +485,8 @@ let run_cmd =
           (module P)
           ~spec ~latency
           ~faults:{ Dsm_sim.Network.drop; duplicate }
-          ~crashes ~partitions ~checkpoint_every ~seed ~json
+          ~crashes ~partitions ~checkpoint_every ~seed ~json ~metrics
+          ~emit
     end
     else if json then
       `Error (false, "--json requires --crash or --partition")
@@ -406,7 +509,8 @@ let run_cmd =
           Format.printf "messages: %d, t_end=%.1f@.@."
             outcome.Dsm_runtime.Partial_run.messages_sent
             outcome.Dsm_runtime.Partial_run.end_time;
-          finish (Dsm_runtime.Partial_run.check outcome)
+          finish ~execution:outcome.Dsm_runtime.Partial_run.execution
+            (Dsm_runtime.Partial_run.check outcome)
         end
     | None ->
         if drop > 0. || duplicate > 0. then begin
@@ -419,17 +523,21 @@ let run_cmd =
               (module P)
               ~spec ~latency
               ~faults:{ Dsm_sim.Network.drop; duplicate }
-              ~seed ()
+              ~seed ~metrics ()
           in
           Format.printf "%a@.@." Dsm_runtime.Reliable_run.pp_outcome
             outcome;
-          finish (Checker.check outcome.Dsm_runtime.Reliable_run.execution)
+          finish ~execution:outcome.Dsm_runtime.Reliable_run.execution
+            (Checker.check outcome.Dsm_runtime.Reliable_run.execution)
         end
         else begin
           Format.printf "protocol: %s@.@." P.name;
-          let outcome = Sim_run.run (module P) ~spec ~latency ~fifo ~seed () in
+          let outcome =
+            Sim_run.run (module P) ~spec ~latency ~fifo ~seed ~metrics ()
+          in
           Format.printf "%a@.@." Sim_run.pp_outcome outcome;
-          finish (Checker.check outcome.execution)
+          finish ~execution:outcome.execution
+            (Checker.check outcome.execution)
         end
   in
   let term =
@@ -437,7 +545,8 @@ let run_cmd =
       ret
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
        $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ repl_degree
-       $ crashes $ partitions $ checkpoint_every $ json_out))
+       $ crashes $ partitions $ checkpoint_every $ json_out $ trace_out
+       $ trace_format $ metrics_out))
   in
   Cmd.v
     (Cmd.info "run"
@@ -449,7 +558,80 @@ let run_cmd =
           a ring layout; with --crash/--partition the fault-campaign \
           driver crashes and restarts processes from durable snapshots, \
           partitions the network and audits recovery (--json for \
-          machine-readable output).")
+          machine-readable output). --trace-out/--metrics-out export the \
+          causal trace and the metrics registry without perturbing the \
+          run. Exits non-zero on any checker violation, and on any \
+          unnecessary delay for protocols claiming Theorem 4 optimality.")
+    term
+
+(* ---------------------------------------------------------------- *)
+(* explain                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let explain_cmd =
+  let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
+      latency seed fifo crashes partitions checkpoint_every =
+    let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
+    let outcome =
+      if crashes <> [] || partitions <> [] then begin
+        if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
+          Error
+            (Printf.sprintf
+               "--crash/--partition need a complete-broadcast protocol \
+                (optp, anbkh or optp-direct); %s cannot serve \
+                anti-entropy catch-up"
+               P.name)
+        else if fifo then
+          Error "--crash/--partition do not combine with --fifo"
+        else
+          match
+            Fault_campaign.run
+              (module P)
+              ~spec ~latency
+              ~plan:(plan_of ~crashes ~partitions)
+              ~checkpoint_every ~seed ()
+          with
+          | exception Invalid_argument msg -> Error msg
+          | o -> Ok (o.Fault_campaign.execution, o.Fault_campaign.report)
+      end
+      else
+        let o = Sim_run.run (module P) ~spec ~latency ~fifo ~seed () in
+        Ok (o.Sim_run.execution, Checker.check o.Sim_run.execution)
+    in
+    match outcome with
+    | Error msg -> `Error (false, msg)
+    | Ok (execution, report) ->
+        Format.printf "workload: %a@.protocol: %s@.@." Spec.pp spec P.name;
+        let e = Provenance.explain execution report in
+        Format.printf "%a@." Provenance.pp_explanation e;
+        if report.Checker.violations <> [] then
+          `Error (false, "run is not clean")
+        else if
+          claims_optimality P.name && report.Checker.unnecessary_delays > 0
+        then
+          `Error
+            ( false,
+              Printf.sprintf
+                "%d unnecessary delays — %s claims Theorem 4 optimality"
+                report.Checker.unnecessary_delays P.name )
+        else `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
+       $ zipf $ latency $ seed $ fifo $ crashes $ partitions
+       $ checkpoint_every))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a workload, audit it, and print the provenance of every \
+          write delay: when the write was buffered, which predecessor \
+          dot the protocol declared it was waiting on, and whether the \
+          checker's ground-truth causal order confirms that claim \
+          (necessary delay) or refutes it (false causality). Supports \
+          the fault-campaign path via --crash/--partition.")
     term
 
 (* ---------------------------------------------------------------- *)
@@ -573,4 +755,7 @@ let () =
         "Causally consistent distributed shared memory: OptP and its \
          baselines on a deterministic discrete-event simulator."
   in
-  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; tables_cmd; sweep_cmd; graph_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ run_cmd; explain_cmd; tables_cmd; sweep_cmd; graph_cmd ]))

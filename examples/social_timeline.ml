@@ -91,7 +91,9 @@ module Eager : Protocol.S = struct
         ]
       ()
 
+  let waiting_for _ ~src:_ _ = None (* never buffers *)
   let buffered _ = 0
+  let buffer_wakeup_scans _ = 0
   let buffer_high_watermark _ = 0
   let total_buffered _ = 0
   let applied_vector t = V.copy t.applied

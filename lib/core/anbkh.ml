@@ -61,6 +61,12 @@ module Make (B : Buffer.S) = struct
     | Buffer.Ready -> true
     | Wait_for _ | Stuck -> false
 
+  let waiting_for t ~src m =
+    match status t (src, m) with
+    | Buffer.Wait_for { counter; count } ->
+        Some (Dot.make ~replica:counter ~seq:count)
+    | Ready | Stuck -> None
+
   let write t ~var ~value =
     V.tick t.vt t.me;
     let vt = V.copy t.vt in
@@ -113,6 +119,7 @@ module Make (B : Buffer.S) = struct
   let buffered t = B.length t.buffer
   let buffer_high_watermark t = B.high_watermark t.buffer
   let total_buffered t = B.total_buffered t.buffer
+  let buffer_wakeup_scans t = B.oracle_calls t.buffer
   let applied_vector t = V.copy t.delivered
   let local_clock t = V.copy t.vt
 

@@ -66,6 +66,16 @@ module Make (B : Buffer.S) = struct
     | Buffer.Ready -> true
     | Wait_for _ | Stuck -> false
 
+  (* The wakeup constraint as a write identity: waiting on counter [k]
+     to reach [c] is waiting for the apply of p_k's write number [c] —
+     the dot (k, c). Always among the checker's missing writes for the
+     resulting delay. *)
+  let waiting_for t ~src m =
+    match status t (src, m) with
+    | Buffer.Wait_for { counter; count } ->
+        Some (Dot.make ~replica:counter ~seq:count)
+    | Ready | Stuck -> None
+
   (* Figure 4: WRITE(x, v) *)
   let write t ~var ~value =
     V.tick t.write_co t.me;
@@ -119,6 +129,7 @@ module Make (B : Buffer.S) = struct
   let buffered t = B.length t.buffer
   let buffer_high_watermark t = B.high_watermark t.buffer
   let total_buffered t = B.total_buffered t.buffer
+  let buffer_wakeup_scans t = B.oracle_calls t.buffer
   let applied_vector t = V.copy t.apply_cnt
   let local_clock t = V.copy t.write_co
   let last_write_on t ~var =

@@ -96,6 +96,19 @@ let deliverable t ~src (m : msg) =
        (fun d -> V.get t.apply_cnt (Dot.replica d) >= Dot.seq d)
        m.deps
 
+(* first missing predecessor: a sender-chain gap names the issuer's
+   previous write, otherwise the first unapplied listed dependency *)
+let waiting_for t ~src (m : msg) =
+  let a_src = V.get t.apply_cnt src in
+  let seq = Dot.seq m.dot in
+  if a_src >= seq then None (* duplicate: already applied *)
+  else if a_src < seq - 1 then
+    Some (Dot.make ~replica:src ~seq:(seq - 1))
+  else
+    List.find_opt
+      (fun d -> V.get t.apply_cnt (Dot.replica d) < Dot.seq d)
+      m.deps
+
 (* rebuild the write's full Write_co from its dependencies' vectors *)
 let reconstruct_wco t ~src (m : msg) =
   let v = V.create t.cfg.n in
@@ -139,6 +152,7 @@ let receive t ~src m =
 let buffered t = Mailbox.length t.buffer
 let buffer_high_watermark t = Mailbox.high_watermark t.buffer
 let total_buffered t = Mailbox.total_buffered t.buffer
+let buffer_wakeup_scans t = Mailbox.scans t.buffer
 let applied_vector t = V.copy t.apply_cnt
 let local_clock t = V.copy t.write_co
 let total_dep_entries t = t.dep_entries

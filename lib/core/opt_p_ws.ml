@@ -115,6 +115,14 @@ module Make (B : Buffer.S) = struct
     | Buffer.Ready -> true
     | Wait_for _ | Stuck -> false
 
+  let waiting_for t ~src (m : msg) =
+    if Dot.Set.mem m.dot t.overwritten then None
+    else
+      match status t (src, m) with
+      | Buffer.Wait_for { counter; count } ->
+          Some (Dot.make ~replica:counter ~seq:count)
+      | Ready | Stuck -> None
+
   (* every advance of Apply — by an apply or by a skip — flows through
      here so the buffer can wake exactly the subscribed messages *)
   let tick_apply t k =
@@ -227,6 +235,7 @@ module Make (B : Buffer.S) = struct
   let buffered t = B.length t.buffer
   let buffer_high_watermark t = B.high_watermark t.buffer
   let total_buffered t = B.total_buffered t.buffer
+  let buffer_wakeup_scans t = B.oracle_calls t.buffer
   let applied_vector t = V.copy t.apply_cnt
   let local_clock t = V.copy t.write_co
   let skipped_total t = t.skipped_total

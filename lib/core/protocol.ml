@@ -42,9 +42,11 @@ module type S = sig
   val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t * msg effects
   val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
   val receive : t -> src:int -> msg -> msg effects
+  val waiting_for : t -> src:int -> msg -> Dsm_vclock.Dot.t option
   val buffered : t -> int
   val buffer_high_watermark : t -> int
   val total_buffered : t -> int
+  val buffer_wakeup_scans : t -> int
   val applied_vector : t -> Dsm_vclock.Vector_clock.t
   val local_clock : t -> Dsm_vclock.Vector_clock.t
   val msg_writes : msg -> (Dsm_vclock.Dot.t * int * int) list

@@ -83,12 +83,27 @@ module type S = sig
   val receive : t -> src:int -> msg -> msg effects
   (** Handle one delivered message. *)
 
+  val waiting_for : t -> src:int -> msg -> Dsm_vclock.Dot.t option
+  (** Delay provenance: when [receive t ~src msg] would buffer [msg]
+      (and for as long as it stays buffered), the {e wakeup
+      constraint} as a dot — the causal predecessor whose apply the
+      buffer is waiting on; by construction it is one of the missing
+      writes the checker lists for the resulting delay (Definition 3).
+      [None] when the message is deliverable, a duplicate, or when the
+      protocol cannot name a single write (round-based batching).
+      Read-only: never mutates [t]. *)
+
   val buffered : t -> int
   (** Messages currently delayed at this process. *)
 
   val buffer_high_watermark : t -> int
   val total_buffered : t -> int
   (** Total messages that ever suffered a delay here. *)
+
+  val buffer_wakeup_scans : t -> int
+  (** Deliverability re-evaluations performed by the delivery buffer
+      (oracle calls / rescan predicate evaluations) — the work metric
+      behind the Scan-vs-Indexed comparison. *)
 
   val applied_vector : t -> Dsm_vclock.Vector_clock.t
   (** The paper's [Apply] array: per-issuer applied-write counts. *)

@@ -91,6 +91,26 @@ let deliverable t ~src (m : msg) =
   done;
   !ok
 
+(* first missing predecessor of the causal-broadcast wait condition;
+   [None] for duplicates, skip-discarded writes, and deliverable
+   messages *)
+let waiting_for t ~src (m : msg) =
+  if Dot.Set.mem m.dot t.overwritten then None
+  else
+    let d_src = V.get t.delivered src in
+    let v_src = V.get m.vt src in
+    if d_src > v_src - 1 then None (* duplicate *)
+    else if d_src < v_src - 1 then
+      Some (Dot.make ~replica:src ~seq:(v_src - 1))
+    else
+      let rec scan k =
+        if k >= t.cfg.n then None
+        else if k <> src && V.get m.vt k > V.get t.delivered k then
+          Some (Dot.make ~replica:k ~seq:(V.get m.vt k))
+        else scan (k + 1)
+      in
+      scan 0
+
 let apply_msg t ~src (m : msg) ~from_buffer =
   Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
   V.tick t.delivered src;
@@ -209,6 +229,7 @@ let receive t ~src m =
 let buffered t = Mailbox.length t.buffer
 let buffer_high_watermark t = Mailbox.high_watermark t.buffer
 let total_buffered t = Mailbox.total_buffered t.buffer
+let buffer_wakeup_scans t = Mailbox.scans t.buffer
 let applied_vector t = V.copy t.delivered
 let local_clock t = V.copy t.vclock
 let skipped_total t = t.skipped_total

@@ -1,0 +1,102 @@
+module Dot = Dsm_vclock.Dot
+
+let fopt b = function
+  | None -> Buffer.add_string b "null"
+  | Some f -> Buffer.add_string b (Printf.sprintf "%.6g" f)
+
+let jsonl b spans =
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"dot\":%S,\"issuer\":%d,\"var\":%d,\"value\":%d,\"issued_at\":%.6g,\"issue_seen\":%b,\"dests\":["
+           (Dot.to_string (Span.dot s))
+           (Span.issuer s) (Span.var s) (Span.value s) (Span.issued_at s)
+           (Span.issue_seen s));
+      List.iteri
+        (fun i (d : Span.dest) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "{\"dst\":%d,\"receipt_at\":" d.dst);
+          fopt b d.receipt_at;
+          (match d.blocked_on with
+          | None -> Buffer.add_string b ",\"blocked_on\":null,\"blocked_at\":null"
+          | Some (w, at) ->
+              Buffer.add_string b
+                (Printf.sprintf ",\"blocked_on\":%S,\"blocked_at\":%.6g"
+                   (Dot.to_string w) at));
+          Buffer.add_string b ",\"applied_at\":";
+          fopt b d.applied_at;
+          Buffer.add_string b ",\"skipped_at\":";
+          fopt b d.skipped_at;
+          Buffer.add_string b (Printf.sprintf ",\"delayed\":%b}" d.delayed))
+        (Span.dests s);
+      Buffer.add_string b "]}\n")
+    spans
+
+(* Chrome trace-event format: a JSON array of event objects.
+   ph="M" metadata names the tracks, ph="i" marks instants, ph="X"
+   is a complete slice (ts + dur). *)
+let chrome b ~n ~end_time spans =
+  let first = ref true in
+  let ev fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string b ",\n";
+        Buffer.add_string b s)
+      fmt
+  in
+  Buffer.add_string b "[\n";
+  ev
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"causal-dsm\"}}";
+  for p = 0 to n - 1 do
+    ev
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"p%d\"}}"
+      p (p + 1)
+  done;
+  List.iter
+    (fun s ->
+      let dot = Dot.to_string (Span.dot s) in
+      if Span.issue_seen s then
+        ev
+          "{\"name\":\"issue %s x%d:=%d\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+          dot (Span.var s) (Span.value s) (Span.issued_at s) (Span.issuer s);
+      List.iter
+        (fun (d : Span.dest) ->
+          (match d.blocked_on with
+          | None -> ()
+          | Some (w, since) ->
+              let till, resolved =
+                match d.applied_at with
+                | Some at -> (at, true)
+                | None -> (end_time, false)
+              in
+              ev
+                "{\"name\":\"blocked %s <- %s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"dot\":%S,\"waiting_for\":%S,\"resolved\":%b}}"
+                dot (Dot.to_string w) since
+                (Float.max 0. (till -. since))
+                d.dst dot (Dot.to_string w) resolved);
+          (match d.applied_at with
+          | Some at ->
+              ev
+                "{\"name\":\"apply %s%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+                dot
+                (if d.delayed then " (delayed)" else "")
+                at d.dst
+          | None -> ());
+          match d.skipped_at with
+          | Some at ->
+              ev
+                "{\"name\":\"skip %s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+                dot at d.dst
+          | None -> ())
+        (Span.dests s))
+    spans;
+  Buffer.add_string b "\n]\n"
+
+let write_file path render =
+  let b = Buffer.create 4096 in
+  render b;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b)

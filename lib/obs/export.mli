@@ -1,0 +1,22 @@
+(** Trace exporters over assembled {!Span.span}s.
+
+    Two formats:
+
+    - {!jsonl}: one JSON object per line per span — greppable, jq-able,
+      stable field order.
+    - {!chrome}: the Chrome trace-event array format, loadable in
+      Perfetto / [chrome://tracing]. One track (tid) per process; every
+      write delay appears as an explicit ["blocked <dot> <- <missing>"]
+      duration slice on the delayed destination's track, ending at the
+      apply — or at [end_time] (left visibly open) if the destination
+      died first. Simulated time units are mapped 1:1 to microseconds. *)
+
+val jsonl : Buffer.t -> Span.span list -> unit
+
+val chrome : Buffer.t -> n:int -> end_time:float -> Span.span list -> unit
+(** [n] is the process count (one metadata track per process is always
+    emitted, even if idle). *)
+
+val write_file : string -> (Buffer.t -> unit) -> unit
+(** Render into a fresh buffer and write it to [path] atomically enough
+    for our purposes (single [open_out]/[close_out]). *)

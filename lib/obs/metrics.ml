@@ -1,0 +1,223 @@
+type counter = { mutable c : int; c_live : bool }
+type gauge = { mutable g : int; mutable g_max : int; g_live : bool }
+
+type histogram = {
+  h : Dsm_stats.Histogram.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+  h_live : bool;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type key = string * (string * string) list
+
+type t = {
+  live : bool;
+  table : (key, instrument) Hashtbl.t;
+  mutable order : key list;  (* registration order, reversed *)
+}
+
+let create () = { live = true; table = Hashtbl.create 64; order = [] }
+let null () = { live = false; table = Hashtbl.create 1; order = [] }
+let enabled t = t.live
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+(* Register-or-merge: the same (name, labels) identity always resolves
+   to the same instrument; a kind clash on the same name is a bug at the
+   instrumentation site, not a runtime condition. *)
+let register t name labels make match_kind =
+  let key = (name, norm_labels labels) in
+  match Hashtbl.find_opt t.table key with
+  | Some ins -> (
+      match match_kind ins with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S re-registered as a different kind (is a %s)"
+               name (kind_name ins)))
+  | None ->
+      let x, ins = make () in
+      Hashtbl.add t.table key ins;
+      t.order <- key :: t.order;
+      x
+
+let counter t ?(labels = []) name =
+  if not t.live then { c = 0; c_live = false }
+  else
+    register t name labels
+      (fun () ->
+        let c = { c = 0; c_live = true } in
+        (c, C c))
+      (function C c -> Some c | _ -> None)
+
+let incr c = if c.c_live then c.c <- c.c + 1
+let add c k = if c.c_live then c.c <- c.c + k
+let counter_value c = c.c
+
+let gauge t ?(labels = []) name =
+  if not t.live then { g = 0; g_max = 0; g_live = false }
+  else
+    register t name labels
+      (fun () ->
+        let g = { g = 0; g_max = 0; g_live = true } in
+        (g, G g))
+      (function G g -> Some g | _ -> None)
+
+let set g v =
+  if g.g_live then begin
+    g.g <- v;
+    if v > g.g_max then g.g_max <- v
+  end
+
+let gauge_value g = g.g
+let gauge_max g = g.g_max
+
+let dead_histogram () =
+  {
+    h = Dsm_stats.Histogram.create ~lo:0. ~hi:1. ~bins:1;
+    h_count = 0;
+    h_sum = 0.;
+    h_max = neg_infinity;
+    h_live = false;
+  }
+
+let histogram t ?(labels = []) ~lo ~hi ~bins name =
+  if not t.live then dead_histogram ()
+  else
+    register t name labels
+      (fun () ->
+        let h =
+          {
+            h = Dsm_stats.Histogram.create ~lo ~hi ~bins;
+            h_count = 0;
+            h_sum = 0.;
+            h_max = neg_infinity;
+            h_live = true;
+          }
+        in
+        (h, H h))
+      (function H h -> Some h | _ -> None)
+
+let observe h v =
+  if h.h_live then begin
+    Dsm_stats.Histogram.add h.h v;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+let histogram_max h = if h.h_count = 0 then 0. else h.h_max
+let histogram_mean h =
+  if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
+
+type value =
+  | Counter_v of int
+  | Gauge_v of { current : int; max : int }
+  | Histogram_v of { count : int; sum : float; max : float; mean : float }
+
+let value_of = function
+  | C c -> Counter_v c.c
+  | G g -> Gauge_v { current = g.g; max = g.g_max }
+  | H h ->
+      Histogram_v
+        {
+          count = h.h_count;
+          sum = h.h_sum;
+          max = histogram_max h;
+          mean = histogram_mean h;
+        }
+
+let rows t =
+  List.rev_map
+    (fun ((name, labels) as key) ->
+      (name, labels, value_of (Hashtbl.find t.table key)))
+    t.order
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let labels_json labels =
+  labels
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "%S:%S" (json_escape k) (json_escape v))
+  |> String.concat ","
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"metrics\":[";
+  List.iteri
+    (fun i (name, labels, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":%S,\"labels\":{%s}," (json_escape name)
+           (labels_json labels));
+      (match v with
+      | Counter_v c ->
+          Buffer.add_string b
+            (Printf.sprintf "\"kind\":\"counter\",\"value\":%d" c)
+      | Gauge_v { current; max } ->
+          Buffer.add_string b
+            (Printf.sprintf "\"kind\":\"gauge\",\"value\":%d,\"max\":%d"
+               current max)
+      | Histogram_v { count; sum; max; mean } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "\"kind\":\"histogram\",\"count\":%d,\"sum\":%.6g,\"max\":%.6g,\"mean\":%.6g"
+               count sum max mean));
+      Buffer.add_char b '}')
+    (rows t);
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      ^ "}"
+
+let summary_table ?(title = "metrics") t =
+  let open Dsm_stats in
+  let tbl =
+    Table_fmt.create ~title ~header:[ "metric"; "kind"; "value"; "detail" ] ()
+  in
+  Table_fmt.set_align tbl [ Left; Left; Right; Left ];
+  List.iter
+    (fun (name, labels, v) ->
+      let name = name ^ label_string labels in
+      match v with
+      | Counter_v c ->
+          Table_fmt.add_row tbl [ name; "counter"; Table_fmt.cell_int c; "" ]
+      | Gauge_v { current; max } ->
+          Table_fmt.add_row tbl
+            [ name; "gauge"; Table_fmt.cell_int current;
+              Printf.sprintf "max=%d" max ]
+      | Histogram_v { count; mean; max; _ } ->
+          Table_fmt.add_row tbl
+            [ name; "histogram"; Table_fmt.cell_int count;
+              Printf.sprintf "mean=%.2f max=%.2f" mean max ])
+    (rows t);
+  tbl
+
+let pp_summary ppf t =
+  Dsm_stats.Table_fmt.pp ppf (summary_table t)

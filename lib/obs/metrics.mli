@@ -1,0 +1,87 @@
+(** Labelled metrics registry: counters, gauges, histograms.
+
+    Every instrumented layer (network, reliable channel, delivery
+    buffers, protocols, fault campaign) takes a registry and registers
+    its instruments once at construction time; the hot path then updates
+    a pre-resolved handle — a single branch plus a store, no hashing and
+    no allocation. A {e null} registry ({!null}) hands out inert handles
+    whose updates are a dead branch, so un-instrumented runs pay
+    effectively nothing and stay on the exact same event schedule.
+
+    Instruments are identified by [(name, labels)] (labels are sorted at
+    registration). Registering the same identity twice returns the {e
+    same} instrument — two call sites with equal name+labels merge their
+    observations — while re-using a name across instrument kinds is a
+    programming error. *)
+
+type t
+
+val create : unit -> t
+(** A live registry: instruments register and record. *)
+
+val null : unit -> t
+(** An inert registry: handles are created but never register nor
+    record. [enabled (null ())] is [false] — use it to gate any
+    measurement whose mere computation is costly (e.g. [Marshal]
+    payload sizing). *)
+
+val enabled : t -> bool
+
+(** {1 Counters} — monotone event counts. *)
+
+type counter
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** @raise Invalid_argument if [name] is already a gauge or histogram. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} — instantaneous levels; the high watermark is kept. *)
+
+type gauge
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+val gauge_max : gauge -> int
+
+(** {1 Histograms} — distributions, binned via {!Dsm_stats.Histogram}.
+    Count, sum and max are tracked exactly alongside the bins. *)
+
+type histogram
+
+val histogram :
+  t ->
+  ?labels:(string * string) list ->
+  lo:float ->
+  hi:float ->
+  bins:int ->
+  string ->
+  histogram
+(** On re-registration the existing instrument is returned and the
+    [lo]/[hi]/[bins] of the first registration win. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_max : histogram -> float
+val histogram_mean : histogram -> float
+(** 0. when empty. *)
+
+(** {1 Export} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of { current : int; max : int }
+  | Histogram_v of { count : int; sum : float; max : float; mean : float }
+
+val rows : t -> (string * (string * string) list * value) list
+(** Registration order; labels sorted by key. Empty for {!null}. *)
+
+val to_json : t -> string
+(** One self-contained JSON document [{"metrics": [...]}]. *)
+
+val summary_table : ?title:string -> t -> Dsm_stats.Table_fmt.t
+val pp_summary : Format.formatter -> t -> unit

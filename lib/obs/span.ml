@@ -1,0 +1,128 @@
+module Dot = Dsm_vclock.Dot
+
+type event =
+  | Issue of { dot : Dot.t; proc : int; var : int; value : int; at : float }
+  | Receipt of { dot : Dot.t; dst : int; at : float }
+  | Blocked of { dot : Dot.t; dst : int; waiting_for : Dot.t; at : float }
+  | Apply of { dot : Dot.t; dst : int; at : float; delayed : bool }
+  | Skip of { dot : Dot.t; dst : int; at : float }
+
+type sink = event -> unit
+
+let null_sink (_ : event) = ()
+
+type dest = {
+  dst : int;
+  mutable receipt_at : float option;
+  mutable blocked_on : (Dot.t * float) option;
+  mutable applied_at : float option;
+  mutable skipped_at : float option;
+  mutable delayed : bool;
+}
+
+type span = {
+  s_dot : Dot.t;
+  mutable issuer : int;
+  mutable var : int;
+  mutable value : int;
+  mutable issued_at : float;
+  mutable issue_seen : bool;
+  dests_tbl : (int, dest) Hashtbl.t;
+}
+
+let dot s = s.s_dot
+let issuer s = s.issuer
+let var s = s.var
+let value s = s.value
+let issued_at s = s.issued_at
+let issue_seen s = s.issue_seen
+
+let dests s =
+  Hashtbl.fold (fun _ d acc -> d :: acc) s.dests_tbl []
+  |> List.sort (fun a b -> compare a.dst b.dst)
+
+let dest_open d =
+  (d.receipt_at <> None || d.blocked_on <> None)
+  && d.applied_at = None && d.skipped_at = None
+
+let open_dests s = List.filter dest_open (dests s)
+let is_open s = open_dests s <> []
+
+type collector = {
+  spans : (Dot.t, span) Hashtbl.t;
+  mutable order : Dot.t list;  (* first-observation order, reversed *)
+  mutable blocked : int;
+}
+
+let collector () = { spans = Hashtbl.create 256; order = []; blocked = 0 }
+
+(* A receipt can precede the issue in observation order only when the
+   issue event was evicted from a bounded trace; the span is then
+   reconstructed with placeholder payload fields. *)
+let span_for c dot ~at =
+  match Hashtbl.find_opt c.spans dot with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_dot = dot;
+          issuer = Dot.replica dot;
+          var = -1;
+          value = 0;
+          issued_at = at;
+          issue_seen = false;
+          dests_tbl = Hashtbl.create 8;
+        }
+      in
+      Hashtbl.add c.spans dot s;
+      c.order <- dot :: c.order;
+      s
+
+let dest_for s dst =
+  match Hashtbl.find_opt s.dests_tbl dst with
+  | Some d -> d
+  | None ->
+      let d =
+        {
+          dst;
+          receipt_at = None;
+          blocked_on = None;
+          applied_at = None;
+          skipped_at = None;
+          delayed = false;
+        }
+      in
+      Hashtbl.add s.dests_tbl dst d;
+      d
+
+let sink c event =
+  match event with
+  | Issue { dot; proc; var; value; at } ->
+      let s = span_for c dot ~at in
+      s.issuer <- proc;
+      s.var <- var;
+      s.value <- value;
+      s.issued_at <- at;
+      s.issue_seen <- true
+  | Receipt { dot; dst; at } ->
+      let d = dest_for (span_for c dot ~at) dst in
+      (* keep the first receipt: retransmissions re-deliver the frame *)
+      if d.receipt_at = None then d.receipt_at <- Some at
+  | Blocked { dot; dst; waiting_for; at } ->
+      let d = dest_for (span_for c dot ~at) dst in
+      if d.blocked_on = None then begin
+        d.blocked_on <- Some (waiting_for, at);
+        c.blocked <- c.blocked + 1
+      end
+  | Apply { dot; dst; at; delayed } ->
+      let d = dest_for (span_for c dot ~at) dst in
+      d.applied_at <- Some at;
+      d.delayed <- d.delayed || delayed
+  | Skip { dot; dst; at } ->
+      let d = dest_for (span_for c dot ~at) dst in
+      d.skipped_at <- Some at
+
+let spans c = List.rev_map (fun dot -> Hashtbl.find c.spans dot) c.order
+let find c dot = Hashtbl.find_opt c.spans dot
+let span_count c = Hashtbl.length c.spans
+let blocked_count c = c.blocked

@@ -1,0 +1,82 @@
+(** Causal trace spans: one span per write lifecycle.
+
+    A write is born at its issuer ([Issue]), travels to every other
+    process ([Receipt]), possibly waits in a delivery buffer ([Blocked]
+    — the paper's {e write delay}, annotated with the predecessor dot
+    the buffer is waiting on), and ends with a per-destination [Apply]
+    (or [Skip] under writing semantics). All phases are linked by the
+    write's dot.
+
+    Producers emit {!event}s through a {!sink}; the {!collector} is the
+    standard sink, assembling events into {!span}s for the exporters
+    ({!Export}). A destination that crashed mid-flight simply never
+    closes: its span stays open, which is itself the observation. *)
+
+type event =
+  | Issue of { dot : Dsm_vclock.Dot.t; proc : int; var : int; value : int; at : float }
+  | Receipt of { dot : Dsm_vclock.Dot.t; dst : int; at : float }
+  | Blocked of {
+      dot : Dsm_vclock.Dot.t;
+      dst : int;
+      waiting_for : Dsm_vclock.Dot.t;
+      at : float;
+    }
+  | Apply of { dot : Dsm_vclock.Dot.t; dst : int; at : float; delayed : bool }
+  | Skip of { dot : Dsm_vclock.Dot.t; dst : int; at : float }
+
+type sink = event -> unit
+
+val null_sink : sink
+
+(** {1 Assembled spans} *)
+
+type dest = {
+  dst : int;
+  mutable receipt_at : float option;
+  mutable blocked_on : (Dsm_vclock.Dot.t * float) option;
+      (** which predecessor the buffer waited on, and since when *)
+  mutable applied_at : float option;
+  mutable skipped_at : float option;
+  mutable delayed : bool;
+}
+
+type span
+
+val dot : span -> Dsm_vclock.Dot.t
+val issuer : span -> int
+
+val var : span -> int
+(** -1 when the issue event was never observed (truncated trace). *)
+
+val value : span -> int
+val issued_at : span -> float
+
+val issue_seen : span -> bool
+(** [false] for spans reconstructed from a receipt whose issue event was
+    evicted (ring-buffer traces) — timings then start at first sight. *)
+
+val dests : span -> dest list
+(** Sorted by destination id. *)
+
+val open_dests : span -> dest list
+(** Destinations with a receipt (or blocked record) but neither apply
+    nor skip — e.g. the destination crashed while the write sat in its
+    buffer. *)
+
+val is_open : span -> bool
+
+(** {1 Collector} *)
+
+type collector
+
+val collector : unit -> collector
+
+val sink : collector -> sink
+
+val spans : collector -> span list
+(** In order of first observation of each dot. *)
+
+val find : collector -> Dsm_vclock.Dot.t -> span option
+val span_count : collector -> int
+val blocked_count : collector -> int
+(** Total blocked records across all spans and destinations. *)

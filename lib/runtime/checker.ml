@@ -226,7 +226,7 @@ let check ?replication exec =
         | Execution.Return { var; read_from; _ } ->
             check_read ~var ~read_from;
             incr read_slot
-        | Execution.Send _ -> ())
+        | Execution.Send _ | Execution.Blocked _ -> ())
       events
   in
   for proc = 0 to n - 1 do

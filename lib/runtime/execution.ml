@@ -6,6 +6,7 @@ module Operation = Dsm_memory.Operation
 type kind =
   | Send of { dot : Dot.t; var : int; value : int }
   | Receipt of { dot : Dot.t; src : int }
+  | Blocked of { dot : Dot.t; waiting_for : Dot.t }
   | Apply of { dot : Dot.t; var : int; value : int; delayed : bool }
   | Skip of { dot : Dot.t }
   | Return of {
@@ -23,15 +24,17 @@ type t = {
   per_proc : event Trace.t array;
 }
 
-let create ~n ~m =
+let create ?capacity_limit ~n ~m () =
   if n <= 0 then invalid_arg "Execution.create: n must be positive";
   if m <= 0 then invalid_arg "Execution.create: m must be positive";
   {
     n;
     m;
-    trace = Trace.create ();
-    per_proc = Array.init n (fun _ -> Trace.create ());
+    trace = Trace.create ?capacity_limit ();
+    per_proc = Array.init n (fun _ -> Trace.create ?capacity_limit ());
   }
+
+let dropped_events t = Trace.dropped t.trace
 
 let n_processes t = t.n
 let n_variables t = t.m
@@ -151,7 +154,7 @@ let to_history t =
                 ignore
                   (Dsm_memory.Local_history.add_read lh ~var ~value
                      ~read_from)
-            | Apply _ | Send _ | Receipt _ | Skip _ -> ())
+            | Apply _ | Send _ | Receipt _ | Blocked _ | Skip _ -> ())
           t.per_proc.(proc);
         lh)
   in
@@ -163,6 +166,8 @@ let pp_kind_at proc ppf kind =
   | Send { dot; var; value } ->
       Format.fprintf ppf "send_%d(%a:x%d:=%d)" p Dot.pp dot (var + 1) value
   | Receipt { dot; _ } -> Format.fprintf ppf "receipt_%d(%a)" p Dot.pp dot
+  | Blocked { dot; waiting_for } ->
+      Format.fprintf ppf "blocked_%d(%a<-%a)" p Dot.pp dot Dot.pp waiting_for
   | Apply { dot; delayed; _ } ->
       Format.fprintf ppf "apply_%d(%a)%s" p Dot.pp dot
         (if delayed then "*" else "")
@@ -197,7 +202,22 @@ let apply_latencies t =
             match Hashtbl.find_opt receipt_at dot with
             | Some r -> out := Sim_time.diff e.time r :: !out
             | None -> () (* own write: no receipt *))
-        | Send _ | Skip _ | Return _ -> ())
+        | Send _ | Blocked _ | Skip _ | Return _ -> ())
       t.per_proc.(proc)
   done;
   List.rev !out
+
+let blocked_events t =
+  Trace.fold
+    (fun acc e ->
+      match e.kind with
+      | Blocked { dot; waiting_for } ->
+          (e.proc, dot, waiting_for, e.time) :: acc
+      | _ -> acc)
+    [] t.trace
+  |> List.rev
+
+let blocked_count t =
+  Trace.count
+    (fun e -> match e.kind with Blocked _ -> true | _ -> false)
+    t.trace

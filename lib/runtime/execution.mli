@@ -14,6 +14,10 @@ type kind =
       (** start of propagation of a write (once per write; a token
           batch yields one [Send] per item at flush time) *)
   | Receipt of { dot : Dsm_vclock.Dot.t; src : int }
+  | Blocked of { dot : Dsm_vclock.Dot.t; waiting_for : Dsm_vclock.Dot.t }
+      (** the write entered the delivery buffer; [waiting_for] is the
+          wakeup constraint — the causal predecessor whose apply the
+          protocol is waiting on (delay provenance, Definition 3) *)
   | Apply of {
       dot : Dsm_vclock.Dot.t;
       var : int;
@@ -32,9 +36,16 @@ type event = { proc : int; time : Dsm_sim.Sim_time.t; kind : kind }
 
 type t
 
-val create : n:int -> m:int -> t
+val create : ?capacity_limit:int -> n:int -> m:int -> unit -> t
+(** [capacity_limit] bounds the underlying {!Dsm_sim.Trace}s as rings
+    (live monitoring of long campaigns); leave it unset for checkable
+    runs — the checker and span reconstruction need the full log. *)
+
 val n_processes : t -> int
 val n_variables : t -> int
+
+val dropped_events : t -> int
+(** Events evicted from the global trace by the ring (0 unbounded). *)
 
 val record : t -> proc:int -> time:Dsm_sim.Sim_time.t -> kind -> unit
 (** @raise Invalid_argument on bad process id. *)
@@ -68,6 +79,13 @@ val delayed_applies : t -> (int * Dsm_vclock.Dot.t) list
 
 val delay_count : t -> int
 val delay_count_at : t -> int -> int
+
+val blocked_events :
+  t -> (int * Dsm_vclock.Dot.t * Dsm_vclock.Dot.t * Dsm_sim.Sim_time.t) list
+(** All [(proc, dot, waiting_for, time)] buffering records, in global
+    recording order — the raw material of delay provenance. *)
+
+val blocked_count : t -> int
 val skip_count : t -> int
 val apply_count : t -> int
 

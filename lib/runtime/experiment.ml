@@ -39,7 +39,8 @@ let send_vectors exec =
           match Dot.Map.find_opt dot !stamped with
           | Some v -> V.merge_into clocks.(e.proc) v
           | None -> () (* receipt without recorded send: driver bug *))
-      | Execution.Apply _ | Execution.Skip _ | Execution.Return _ -> ())
+      | Execution.Apply _ | Execution.Blocked _ | Execution.Skip _
+      | Execution.Return _ -> ())
     (Execution.events exec);
   !stamped
 

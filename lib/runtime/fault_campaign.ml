@@ -8,6 +8,7 @@ module Rng = Dsm_sim.Rng
 module Spec = Dsm_workload.Spec
 module V = Dsm_vclock.Vector_clock
 module Dot = Dsm_vclock.Dot
+module Metrics = Dsm_obs.Metrics
 
 type 'msg wire =
   | Proto of 'msg
@@ -86,7 +87,8 @@ let run (type pt pm)
     (module P : Protocol.S with type t = pt and type msg = pm) ~spec
     ~latency ?(faults = Network.no_faults) ~plan ?(checkpoint_every = 50.)
     ?(sync_rounds = 2) ?(sync_interval = 100.) ?(settle = true)
-    ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000) () =
+    ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
+    ?(metrics = Metrics.null ()) () =
   let n = spec.Spec.n and m = spec.Spec.m in
   let cfg = Protocol.config ~n ~m in
   Fault_plan.validate ~n plan;
@@ -98,12 +100,27 @@ let run (type pt pm)
   let network =
     Network.create ~engine ~rng ~n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~faults ()
+      ~faults ~metrics ()
   in
   let channel =
-    Reliable_channel.create ~engine ~network ~retransmit_after ~rng ()
+    Reliable_channel.create ~engine ~network ~retransmit_after ~rng
+      ~metrics ()
   in
-  let execution = Execution.create ~n ~m in
+  let probe_checkpoints = Metrics.counter metrics "campaign_checkpoints" in
+  let probe_checkpoint_bytes =
+    Metrics.counter metrics "campaign_checkpoint_bytes"
+  in
+  let probe_rollback_depth =
+    (* events lost per recovery: durable-state restore distance *)
+    Metrics.histogram metrics "campaign_rollback_depth" ~lo:0. ~hi:64.
+      ~bins:16
+  in
+  let probe_replayed = Metrics.counter metrics "campaign_replayed_writes" in
+  let probe_sync_requests =
+    Metrics.counter metrics "campaign_sync_requests"
+  in
+  let probe_sync_replies = Metrics.counter metrics "campaign_sync_replies" in
+  let execution = Execution.create ~n ~m () in
   let nodes =
     Array.init n (fun id ->
         {
@@ -173,6 +190,9 @@ let run (type pt pm)
     let log_image = Protocol.Snapshot.encode node.log in
     node.durable <- Some (image, log_image);
     incr commits;
+    Metrics.incr probe_checkpoints;
+    Metrics.add probe_checkpoint_bytes
+      (String.length image + String.length log_image);
     snapshot_bytes := !snapshot_bytes + String.length image
                       + String.length log_image
   in
@@ -249,7 +269,21 @@ let run (type pt pm)
       List.iter
         (fun (dot, _, _) -> record node (Execution.Receipt { dot; src }))
         writes;
-      process node (P.receive node.proto ~src msg);
+      let eff = P.receive node.proto ~src msg in
+      (* same rule as {!Node.Make}: a carried write that neither applied
+         nor skipped was buffered — name the predecessor it waits on *)
+      (match writes with
+      | [] -> ()
+      | _ when eff.Protocol.applied = [] && eff.Protocol.skipped = [] -> (
+          match P.waiting_for node.proto ~src msg with
+          | Some waiting_for ->
+              List.iter
+                (fun (dot, _, _) ->
+                  record node (Execution.Blocked { dot; waiting_for }))
+                writes
+          | None -> ())
+      | _ -> ());
+      process node eff;
       check_caught_up node
     end
   in
@@ -260,6 +294,7 @@ let run (type pt pm)
          sync rounds, so skipping it loses nothing *)
       if dst <> node.id && not nodes.(dst).down then begin
         incr sync_requests;
+        Metrics.incr probe_sync_requests;
         Reliable_channel.send channel ~src:node.id ~dst
           (Sync_request { vec })
       end
@@ -290,6 +325,7 @@ let run (type pt pm)
       done
     done;
     incr sync_replies;
+    Metrics.incr probe_sync_replies;
     ch_send ~src:node.id ~dst:peer
       (Sync_reply { vec = mine; writes = !out })
   in
@@ -310,6 +346,7 @@ let run (type pt pm)
         in
         if fresh then begin
           incr replayed_writes;
+          Metrics.incr probe_replayed;
           (match node.cur with
           | Some r -> r.replayed <- r.replayed + 1
           | None -> ());
@@ -376,6 +413,7 @@ let run (type pt pm)
           node.log <- Hashtbl.create 256;
           before
     in
+    Metrics.observe probe_rollback_depth (float_of_int rolled);
     let r =
       {
         rproc = p;
@@ -528,6 +566,22 @@ let run (type pt pm)
     drain "settle reads"
   end;
   Array.iter (fun node -> if not node.down then commit node) nodes;
+
+  (* end-of-run scrape of the counters the protocols keep internally *)
+  if Metrics.enabled metrics then begin
+    let sum f =
+      Array.fold_left (fun acc node -> acc + f node.proto) 0 nodes
+    in
+    let max_of f =
+      Array.fold_left (fun acc node -> max acc (f node.proto)) 0 nodes
+    in
+    Metrics.add (Metrics.counter metrics "buffer_wakeup_scans")
+      (sum P.buffer_wakeup_scans);
+    Metrics.add (Metrics.counter metrics "buffer_total_buffered")
+      (sum P.total_buffered);
+    Metrics.set (Metrics.gauge metrics "buffer_high_watermark")
+      (max_of P.buffer_high_watermark)
+  end;
 
   (* ---- verification ------------------------------------------------ *)
   let final_states =

@@ -117,6 +117,7 @@ val run :
   ?retransmit_after:float ->
   ?seed:int ->
   ?max_steps:int ->
+  ?metrics:Dsm_obs.Metrics.t ->
   unit ->
   outcome
 (** Requires a complete broadcast protocol (every write reaches every
@@ -127,6 +128,14 @@ val run :
     Defaults: [checkpoint_every = 50.], [sync_rounds = 2] spaced
     [sync_interval = 100.] apart, [settle = true],
     [retransmit_after = 50.], [seed = 1].
+
+    [?metrics] (default: the null registry) is threaded to the network
+    and reliable channel and additionally receives
+    [campaign_checkpoints], [campaign_checkpoint_bytes],
+    [campaign_rollback_depth] (events lost per recovery),
+    [campaign_replayed_writes], [campaign_sync_requests] and
+    [campaign_sync_replies]; probes are pure observation, the campaign
+    is byte-identical with and without them.
     @raise Invalid_argument on an invalid plan or non-positive
     [checkpoint_every]. *)
 

@@ -3,8 +3,14 @@
     [Node.Make (P)] wraps one per-process state machine of protocol [P]
     with everything a run needs: transmitting the protocol's outbound
     messages through the simulated {!Dsm_sim.Network}, and recording
-    every [send]/[receipt]/[apply]/[skip]/[return] event into the shared
-    {!Execution.t} with the engine's current timestamp. *)
+    every [send]/[receipt]/[blocked]/[apply]/[skip]/[return] event into
+    the shared {!Execution.t} with the engine's current timestamp.
+
+    With a live [?metrics] registry the node also maintains the
+    protocol-level instruments (applies, delayed applies, skips,
+    reads/writes, [Write_co]-merges-on-read, buffer occupancy); all
+    probes are pure observation — the event schedule is identical with
+    and without them. *)
 
 module Make (P : Dsm_core.Protocol.S) : sig
   type t
@@ -15,6 +21,8 @@ module Make (P : Dsm_core.Protocol.S) : sig
     engine:Dsm_sim.Engine.t ->
     network:P.msg Dsm_sim.Network.t ->
     execution:Execution.t ->
+    ?metrics:Dsm_obs.Metrics.t ->
+    unit ->
     t
   (** Builds the node and installs its delivery handler on the
       network. *)

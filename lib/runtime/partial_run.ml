@@ -31,7 +31,7 @@ let run_with (module P : Pp.IMPL) ~replication ~spec ~latency ?(seed = 1)
       ~latency:(fun ~src:_ ~dst:_ -> latency)
       ()
   in
-  let execution = Execution.create ~n ~m in
+  let execution = Execution.create ~n ~m () in
   let protos = Array.init n (fun me -> P.create replication ~me) in
   let record proc kind =
     Execution.record execution ~proc ~time:(Engine.now engine) kind

@@ -20,7 +20,8 @@ type outcome = {
 }
 
 let run (module P : Protocol.S) ~spec ~latency ~faults
-    ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000) () =
+    ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
+    ?(metrics = Dsm_obs.Metrics.null ()) () =
   let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
   let schedule = Dsm_workload.Generator.generate spec in
   let engine = Engine.create () in
@@ -28,10 +29,12 @@ let run (module P : Protocol.S) ~spec ~latency ~faults
   let network =
     Network.create ~engine ~rng ~n:spec.Spec.n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~faults ()
+      ~faults ~metrics ()
   in
-  let channel = Reliable_channel.create ~engine ~network ~retransmit_after () in
-  let execution = Execution.create ~n:spec.Spec.n ~m:spec.Spec.m in
+  let channel =
+    Reliable_channel.create ~engine ~network ~retransmit_after ~metrics ()
+  in
+  let execution = Execution.create ~n:spec.Spec.n ~m:spec.Spec.m () in
   let protos = Array.init spec.Spec.n (fun me -> P.create cfg ~me) in
   let record proc kind =
     Execution.record execution ~proc ~time:(Engine.now engine) kind
@@ -67,10 +70,25 @@ let run (module P : Protocol.S) ~spec ~latency ~faults
             Reliable_channel.send channel ~src:proc ~dst msg)
       eff.to_send
   and deliver dst ~src msg =
+    let writes = P.msg_writes msg in
     List.iter
       (fun (dot, _, _) -> record dst (Execution.Receipt { dot; src }))
-      (P.msg_writes msg);
-    process dst (P.receive protos.(dst) ~src msg)
+      writes;
+    let eff = P.receive protos.(dst) ~src msg in
+    (* same rule as {!Node.Make}: a carried write that neither applied
+       nor skipped was buffered — name the predecessor it waits on *)
+    (match writes with
+    | [] -> ()
+    | _ when eff.Protocol.applied = [] && eff.Protocol.skipped = [] -> (
+        match P.waiting_for protos.(dst) ~src msg with
+        | Some waiting_for ->
+            List.iter
+              (fun (dot, _, _) ->
+                record dst (Execution.Blocked { dot; waiting_for }))
+              writes
+        | None -> ())
+    | _ -> ());
+    process dst eff
   in
   for dst = 0 to spec.Spec.n - 1 do
     Reliable_channel.set_handler channel dst (fun ~src ~at:_ msg ->

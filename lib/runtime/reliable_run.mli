@@ -32,9 +32,12 @@ val run :
   ?retransmit_after:float ->
   ?seed:int ->
   ?max_steps:int ->
+  ?metrics:Dsm_obs.Metrics.t ->
   unit ->
   outcome
-(** @raise Failure on step-limit exhaustion (default [20_000_000];
+(** [?metrics] (default: the null registry) is threaded to the network
+    and the reliable channel; probes are pure observation.
+    @raise Failure on step-limit exhaustion (default [20_000_000];
     lossy runs retransmit, so budgets are larger than {!Sim_run}'s). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -16,7 +16,7 @@ let run (module P : Protocol.S) ~n ~m ~ops ~delay ?(control_delay = 1.0)
     ?(max_steps = 1_000_000) () =
   let cfg = Protocol.config ~n ~m in
   let engine = Engine.create () in
-  let execution = Execution.create ~n ~m in
+  let execution = Execution.create ~n ~m () in
   let protos = Array.init n (fun me -> P.create cfg ~me) in
   let record proc kind =
     Execution.record execution ~proc ~time:(Engine.now engine) kind
@@ -60,10 +60,25 @@ let run (module P : Protocol.S) ~n ~m ~ops ~delay ?(control_delay = 1.0)
           dsts)
       eff.to_send
   and deliver ~dst ~src msg =
+    let writes = P.msg_writes msg in
     List.iter
       (fun (dot, _, _) -> record dst (Execution.Receipt { dot; src }))
-      (P.msg_writes msg);
-    process dst (P.receive protos.(dst) ~src msg)
+      writes;
+    let eff = P.receive protos.(dst) ~src msg in
+    (* same rule as {!Node.Make}: a carried write that neither applied
+       nor skipped was buffered — name the predecessor it waits on *)
+    (match writes with
+    | [] -> ()
+    | _ when eff.Protocol.applied = [] && eff.Protocol.skipped = [] -> (
+        match P.waiting_for protos.(dst) ~src msg with
+        | Some waiting_for ->
+            List.iter
+              (fun (dot, _, _) ->
+                record dst (Execution.Blocked { dot; waiting_for }))
+              writes
+        | None -> ())
+    | _ -> ());
+    process dst eff
   in
   List.iter
     (fun (at, action) ->

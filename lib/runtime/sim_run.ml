@@ -20,7 +20,8 @@ type outcome = {
 let write_value ~proc ~seq = (proc * 1_000_000) + seq
 
 let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
-    ?(faults = Network.no_faults) ?(seed = 1) ?(max_steps = 10_000_000) () =
+    ?(faults = Network.no_faults) ?(seed = 1) ?(max_steps = 10_000_000)
+    ?(metrics = Dsm_obs.Metrics.null ()) ?trace_capacity () =
   let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
   let schedule = Dsm_workload.Generator.generate spec in
   let engine = Engine.create () in
@@ -32,13 +33,16 @@ let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
   in
   let network =
     Network.create ~engine ~rng ~n:spec.Spec.n ~latency:latency_of ~fifo
-      ~faults ()
+      ~faults ~metrics ()
   in
-  let execution = Execution.create ~n:spec.Spec.n ~m:spec.Spec.m in
+  let execution =
+    Execution.create ?capacity_limit:trace_capacity ~n:spec.Spec.n
+      ~m:spec.Spec.m ()
+  in
   let module N = Node.Make (P) in
   let nodes =
     Array.init spec.Spec.n (fun me ->
-        N.create ~cfg ~me ~engine ~network ~execution)
+        N.create ~cfg ~me ~engine ~network ~execution ~metrics ())
   in
   (* schedule every operation at its issue time *)
   Array.iteri
@@ -68,6 +72,19 @@ let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
            "Sim_run: %s did not quiesce within %d events (liveness bug?)"
            P.name max_steps)
   | Engine.Hit_time_limit -> assert false (* no [until] given *));
+  (* end-of-run scrape of the counters protocols keep internally *)
+  if Dsm_obs.Metrics.enabled metrics then begin
+    let module M = Dsm_obs.Metrics in
+    let sum f = Array.fold_left (fun acc n -> acc + f (N.protocol n)) 0 nodes in
+    let max_of f =
+      Array.fold_left (fun acc n -> max acc (f (N.protocol n))) 0 nodes
+    in
+    M.add (M.counter metrics "buffer_wakeup_scans")
+      (sum P.buffer_wakeup_scans);
+    M.add (M.counter metrics "buffer_total_buffered") (sum P.total_buffered);
+    M.set (M.gauge metrics "buffer_high_watermark")
+      (max_of P.buffer_high_watermark)
+  end;
   {
     execution;
     history = Execution.to_history execution;

@@ -28,12 +28,20 @@ val run :
   ?faults:Dsm_sim.Network.faults ->
   ?seed:int ->
   ?max_steps:int ->
+  ?metrics:Dsm_obs.Metrics.t ->
+  ?trace_capacity:int ->
   unit ->
   outcome
 (** [latency] applies to every ordered pair unless [latency_fn]
     overrides it. [seed] (default 1) feeds the network's latency
     streams — the workload has its own seed in [spec]. [max_steps]
     (default [10_000_000]) bounds runaway protocols.
+
+    [metrics] (default: the null registry) receives the network and
+    protocol instruments; probes are pure observation, so the run is
+    byte-identical with and without a live registry. [trace_capacity]
+    bounds the execution trace as a ring — only for live monitoring;
+    the checker needs the full trace.
 
     [faults] injects raw link failures with NO recovery layer — the
     run will normally lose writes and fail the checker; that is its

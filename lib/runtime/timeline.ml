@@ -20,7 +20,7 @@ let marker_of (e : Execution.event) =
   | Execution.Receipt _ -> Some 'v'
   | Execution.Return _ -> Some 'R'
   | Execution.Skip _ -> Some 'x'
-  | Execution.Send _ -> None (* coincides with the issuer's W *)
+  | Execution.Send _ | Execution.Blocked _ -> None (* coincides with the issuer's W *)
 
 let render ?(width = 72) ?(legend = true) exec =
   if width < 8 then invalid_arg "Timeline.render: width must be >= 8";

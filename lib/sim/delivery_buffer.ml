@@ -18,6 +18,7 @@ module type S = sig
   val remove_all : 'a t -> f:('a -> bool) -> 'a list
   val high_watermark : 'a t -> int
   val total_buffered : 'a t -> int
+  val oracle_calls : 'a t -> int
   val clear : 'a t -> unit
 end
 
@@ -38,6 +39,7 @@ module Scan : S = struct
   let remove_all = Mailbox.remove_all
   let high_watermark = Mailbox.high_watermark
   let total_buffered = Mailbox.total_buffered
+  let oracle_calls = Mailbox.scans
   let clear = Mailbox.clear
 end
 

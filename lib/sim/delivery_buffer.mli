@@ -37,6 +37,13 @@ module type S = sig
   val remove_all : 'a t -> f:('a -> bool) -> 'a list
   val high_watermark : 'a t -> int
   val total_buffered : 'a t -> int
+
+  val oracle_calls : 'a t -> int
+  (** Status-oracle evaluations so far — "wakeup scans". For {!Scan}
+      this counts the rescan predicate evaluations; for {!Indexed} the
+      routing and take-time re-validations. The ratio of the two on the
+      same run is the measured win of counter-indexed wakeups. *)
+
   val clear : 'a t -> unit
 end
 

@@ -14,6 +14,7 @@ type 'a t = {
   mutable ready : int list;  (* ids, ascending: oldest ready first *)
   mutable high : int;
   mutable total : int;
+  mutable oracle : int;  (* status-oracle evaluations (wakeup scans) *)
 }
 
 let create () =
@@ -24,6 +25,7 @@ let create () =
     ready = [];
     high = 0;
     total = 0;
+    oracle = 0;
   }
 
 let length t = Hashtbl.length t.live
@@ -44,6 +46,7 @@ let rec insert_ready id = function
    [enqueue] so batch wakeups can sort once instead of inserting one by
    one *)
 let route t ~status ~enqueue e =
+  t.oracle <- t.oracle + 1;
   match status e.payload with
   | Ready -> enqueue e.id
   | Wait_for { counter; count } -> subscribe t e ~counter ~count
@@ -90,6 +93,7 @@ let rec take_ready t ~status =
       | Some e -> (
           (* re-validate: a duplicate can lose deliverability (go
              stuck) between wakeup and take *)
+          t.oracle <- t.oracle + 1;
           match status e.payload with
           | Ready ->
               e.alive <- false;
@@ -119,6 +123,7 @@ let remove_all t ~f =
 
 let high_watermark t = t.high
 let total_buffered t = t.total
+let oracle_calls t = t.oracle
 
 let clear t =
   Hashtbl.reset t.live;

@@ -89,6 +89,11 @@ val high_watermark : 'a t -> int
 val total_buffered : 'a t -> int
 (** Total number of messages ever added (monotone counter). *)
 
+val oracle_calls : 'a t -> int
+(** Status-oracle evaluations performed so far (routing + take-time
+    re-validation) — the index's "wakeup scans" metric, directly
+    comparable to {!Mailbox.scans} for the rescan discipline. *)
+
 val clear : 'a t -> unit
 (** Drop all buffered messages; statistics counters are kept, matching
     [Mailbox.clear]. *)

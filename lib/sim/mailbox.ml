@@ -4,9 +4,11 @@ type 'a t = {
   mutable next_id : int;
   mutable high : int;
   mutable total : int;
+  mutable scans : int;  (* predicate evaluations in take_first *)
 }
 
-let create () = { items = []; len = 0; next_id = 0; high = 0; total = 0 }
+let create () =
+  { items = []; len = 0; next_id = 0; high = 0; total = 0; scans = 0 }
 
 let add t x =
   t.items <- (t.next_id, x) :: t.items;
@@ -25,6 +27,7 @@ let take_first t ~f =
   let rec split acc = function
     | [] -> None
     | ((_, x) as item) :: rest ->
+        t.scans <- t.scans + 1;
         if f x then begin
           t.items <- List.rev_append acc rest |> List.rev;
           t.len <- t.len - 1;
@@ -53,6 +56,7 @@ let drain_fixpoint t ~f =
 
 let high_watermark t = t.high
 let total_buffered t = t.total
+let scans t = t.scans
 
 let clear t =
   t.items <- [];

@@ -41,4 +41,8 @@ val high_watermark : 'a t -> int
 val total_buffered : 'a t -> int
 (** Total number of elements ever added (monotone counter). *)
 
+val scans : 'a t -> int
+(** Predicate evaluations performed by {!take_first} so far — the cost
+    of the rescan discipline, surfaced as the "wakeup scans" metric. *)
+
 val clear : 'a t -> unit

@@ -16,6 +16,36 @@ let () =
              dst src (Sim_time.to_float at))
     | _ -> None)
 
+module Metrics = Dsm_obs.Metrics
+
+(* pre-resolved instrument handles; [p_live] gates the one measurement
+   whose computation itself costs something (Marshal payload sizing) *)
+type probes = {
+  p_live : bool;
+  p_sends : Metrics.counter;
+  p_delivered : Metrics.counter;
+  p_drop_random : Metrics.counter;
+  p_drop_partition : Metrics.counter;
+  p_drop_crash : Metrics.counter;
+  p_duplicated : Metrics.counter;
+  p_partition_cuts : Metrics.counter;
+  p_payload_bytes : Metrics.counter;
+}
+
+let probes metrics =
+  let c ?labels name = Metrics.counter metrics ?labels name in
+  {
+    p_live = Metrics.enabled metrics;
+    p_sends = c "net_sends";
+    p_delivered = c "net_delivered";
+    p_drop_random = c "net_dropped" ~labels:[ ("cause", "random") ];
+    p_drop_partition = c "net_dropped" ~labels:[ ("cause", "partition") ];
+    p_drop_crash = c "net_dropped" ~labels:[ ("cause", "crash") ];
+    p_duplicated = c "net_duplicated";
+    p_partition_cuts = c "net_partition_cuts";
+    p_payload_bytes = c "net_payload_bytes";
+  }
+
 type 'a t = {
   engine : Engine.t;
   n : int;
@@ -27,6 +57,7 @@ type 'a t = {
   handlers : 'a handler option array;
   cut_link : bool array array;  (* [src].(dst): true = partitioned *)
   crashed : bool array;
+  probes : probes;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -36,7 +67,7 @@ type 'a t = {
 }
 
 let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
-    () =
+    ?(metrics = Metrics.null ()) () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   let check_prob name p =
     if p < 0. || p > 1. then
@@ -58,6 +89,7 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
     handlers = Array.make n None;
     cut_link = Array.init n (fun _ -> Array.make n false);
     crashed = Array.make n false;
+    probes = probes metrics;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -81,6 +113,7 @@ let set_handler t i h =
 let cut t ~a ~b =
   check_proc t a "cut";
   check_proc t b "cut";
+  if not t.cut_link.(a).(b) then Metrics.incr t.probes.p_partition_cuts;
   t.cut_link.(a).(b) <- true;
   t.cut_link.(b).(a) <- true
 
@@ -115,7 +148,11 @@ let partition t groups =
     for b = 0 to t.n - 1 do
       if a <> b && group_of.(a) >= 0 && group_of.(b) >= 0
          && group_of.(a) <> group_of.(b)
-      then t.cut_link.(a).(b) <- true
+      then begin
+        if a < b && not t.cut_link.(a).(b) then
+          Metrics.incr t.probes.p_partition_cuts;
+        t.cut_link.(a).(b) <- true
+      end
     done
   done
 
@@ -147,9 +184,13 @@ let schedule_delivery t ~src ~dst ~at payload =
       (* a crashed destination silently loses the message: the frame
          reached a machine that is not running.  Counted, not raised —
          crash-stop is a modelled fault, not a harness bug. *)
-      if t.crashed.(dst) then t.crash_dropped <- t.crash_dropped + 1
+      if t.crashed.(dst) then begin
+        t.crash_dropped <- t.crash_dropped + 1;
+        Metrics.incr t.probes.p_drop_crash
+      end
       else begin
         t.delivered <- t.delivered + 1;
+        Metrics.incr t.probes.p_delivered;
         match t.handlers.(dst) with
         | Some h -> h ~src ~at payload
         | None -> raise (No_handler { dst; src; at })
@@ -162,11 +203,21 @@ let send t ~src ~dst payload =
     invalid_arg "Network.send: self-sends are not modelled (apply locally)";
   let rng = t.channel_rng.(src).(dst) in
   t.sent <- t.sent + 1;
-  if t.cut_link.(src).(dst) then
+  Metrics.incr t.probes.p_sends;
+  if t.probes.p_live then
+    (* Marshal sizing is the one probe whose computation is not free;
+       the null registry never reaches it *)
+    Metrics.add t.probes.p_payload_bytes
+      (String.length (Marshal.to_string payload []));
+  if t.cut_link.(src).(dst) then begin
     (* partitioned link: the transmission silently disappears *)
-    t.partition_dropped <- t.partition_dropped + 1
-  else if t.faults.drop > 0. && Rng.bernoulli rng t.faults.drop then
-    t.dropped <- t.dropped + 1
+    t.partition_dropped <- t.partition_dropped + 1;
+    Metrics.incr t.probes.p_drop_partition
+  end
+  else if t.faults.drop > 0. && Rng.bernoulli rng t.faults.drop then begin
+    t.dropped <- t.dropped + 1;
+    Metrics.incr t.probes.p_drop_random
+  end
   else begin
     let delay = Latency.sample (t.latency ~src ~dst) rng in
     let at = Sim_time.add (Engine.now t.engine) delay in
@@ -184,6 +235,7 @@ let send t ~src ~dst payload =
     if t.faults.duplicate > 0. && Rng.bernoulli rng t.faults.duplicate
     then begin
       t.duplicated <- t.duplicated + 1;
+      Metrics.incr t.probes.p_duplicated;
       let extra = Latency.sample (t.latency ~src ~dst) rng in
       let at' = Sim_time.add (Engine.now t.engine) extra in
       schedule_delivery t ~src ~dst ~at:at' payload

@@ -45,11 +45,18 @@ val create :
   latency:(src:int -> dst:int -> Latency.t) ->
   ?fifo:bool ->
   ?faults:faults ->
+  ?metrics:Dsm_obs.Metrics.t ->
   unit ->
   'a t
 (** [create ~engine ~rng ~n ~latency ()] builds an [n]-process network.
     Each ordered channel gets its own split RNG stream, so adding
     traffic on one channel does not perturb another channel's delays.
+
+    [?metrics] (default: the null registry) receives [net_sends],
+    [net_delivered], [net_dropped{cause=random|partition|crash}],
+    [net_duplicated], [net_partition_cuts] and [net_payload_bytes]
+    (Marshal-encoded size, only measured when the registry is live).
+    Probes never touch RNG streams or the event schedule.
 
     With [?faults], the network no longer implements the paper's §3.1
     reliable-channel assumption: transmissions may be dropped or

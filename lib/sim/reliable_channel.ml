@@ -1,6 +1,28 @@
+module Metrics = Dsm_obs.Metrics
+
 type 'a frame =
   | Data of { cseq : int; payload : 'a }
   | Ack of { cseq : int }
+
+type probes = {
+  p_payloads : Metrics.counter;
+  p_retransmissions : Metrics.counter;
+  p_dedup_hits : Metrics.counter;
+  p_aborted : Metrics.counter;
+  p_backoff_level : Metrics.histogram;
+      (* attempts counter at each retransmission: level 1 = first
+         retransmit, deeper levels mean the exponential backoff engaged *)
+}
+
+let probes metrics =
+  {
+    p_payloads = Metrics.counter metrics "chan_payloads";
+    p_retransmissions = Metrics.counter metrics "chan_retransmissions";
+    p_dedup_hits = Metrics.counter metrics "chan_dedup_hits";
+    p_aborted = Metrics.counter metrics "chan_aborted";
+    p_backoff_level =
+      Metrics.histogram metrics "chan_backoff_level" ~lo:0. ~hi:16. ~bins:16;
+  }
 
 type 'a pending = {
   payload : 'a;
@@ -24,6 +46,7 @@ type 'a t = {
   delivered_seqs : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
       (* (src, dst) -> cseqs already delivered at dst *)
   handlers : 'a Network.handler option array;
+  probes : probes;
   mutable payloads_sent : int;
   mutable payloads_delivered : int;
   mutable retransmissions : int;
@@ -52,8 +75,10 @@ let on_frame t dst ~src ~at frame =
       (* always (re-)acknowledge: the previous ack may have been lost *)
       Network.send t.network ~src:dst ~dst:src (Ack { cseq });
       let seen = seen_set t ~src ~dst in
-      if Hashtbl.mem seen cseq then
-        t.duplicates_discarded <- t.duplicates_discarded + 1
+      if Hashtbl.mem seen cseq then begin
+        t.duplicates_discarded <- t.duplicates_discarded + 1;
+        Metrics.incr t.probes.p_dedup_hits
+      end
       else begin
         Hashtbl.add seen cseq ();
         t.payloads_delivered <- t.payloads_delivered + 1;
@@ -67,7 +92,7 @@ let on_frame t dst ~src ~at frame =
       end
 
 let create ~engine ~network ?(retransmit_after = 50.) ?(backoff = 2.)
-    ?backoff_cap ?(jitter = 0.1) ?rng () =
+    ?backoff_cap ?(jitter = 0.1) ?rng ?(metrics = Metrics.null ()) () =
   if retransmit_after <= 0. then
     invalid_arg "Reliable_channel.create: retransmit_after must be positive";
   if backoff < 1. then
@@ -100,6 +125,7 @@ let create ~engine ~network ?(retransmit_after = 50.) ?(backoff = 2.)
       outstanding = Hashtbl.create 256;
       delivered_seqs = Hashtbl.create 64;
       handlers = Array.make n None;
+      probes = probes metrics;
       payloads_sent = 0;
       payloads_delivered = 0;
       retransmissions = 0;
@@ -143,6 +169,7 @@ let send t ~src ~dst payload =
   let cseq = t.next_seq.(src).(dst) in
   t.next_seq.(src).(dst) <- cseq + 1;
   t.payloads_sent <- t.payloads_sent + 1;
+  Metrics.incr t.probes.p_payloads;
   let p = { payload; acked = false; aborted = false; attempts = 0 } in
   Hashtbl.replace t.outstanding (src, dst, cseq) p;
   let transmit () =
@@ -154,7 +181,9 @@ let send t ~src ~dst payload =
         if p.aborted then ()
         else if not p.acked then begin
           t.retransmissions <- t.retransmissions + 1;
+          Metrics.incr t.probes.p_retransmissions;
           p.attempts <- p.attempts + 1;
+          Metrics.observe t.probes.p_backoff_level (float_of_int p.attempts);
           transmit ();
           arm_timer ()
         end
@@ -188,6 +217,7 @@ let abort_peer t ~peer =
     doomed;
   let count = List.length doomed in
   t.aborted_payloads <- t.aborted_payloads + count;
+  Metrics.add t.probes.p_aborted count;
   (* the peer restarts with empty volatile state: its dedup tables are
      gone, so sequence numbers delivered to the dead incarnation must
      not suppress deliveries to the new one *)
@@ -218,6 +248,7 @@ let abort_sender t ~peer =
     doomed;
   let count = List.length doomed in
   t.aborted_payloads <- t.aborted_payloads + count;
+  Metrics.add t.probes.p_aborted count;
   count
 
 let payloads_sent t = t.payloads_sent

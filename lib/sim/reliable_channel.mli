@@ -44,9 +44,16 @@ val create :
   ?backoff_cap:float ->
   ?jitter:float ->
   ?rng:Rng.t ->
+  ?metrics:Dsm_obs.Metrics.t ->
   unit ->
   'a t
-(** [retransmit_after] (default [50.] time units) is the first ack
+(** [?metrics] (default: the null registry) receives [chan_payloads],
+    [chan_retransmissions], [chan_dedup_hits], [chan_aborted] and the
+    [chan_backoff_level] histogram (the attempt number of every
+    retransmission — mass above level 1 means exponential backoff
+    engaged). Probes are pure observation.
+
+    [retransmit_after] (default [50.] time units) is the first ack
     timeout; pick it a few times the mean channel latency. [backoff]
     (default [2.]) multiplies the interval on every retransmission;
     [backoff_cap] (default [32 * retransmit_after]) bounds it. [jitter]

@@ -1,22 +1,58 @@
-type 'a t = { mutable data : 'a option array; mutable len : int }
+type 'a t = {
+  mutable data : 'a option array;
+  mutable len : int;
+  mutable start : int;  (* ring head; always 0 while unbounded *)
+  limit : int option;  (* ring capacity; None = grow without bound *)
+  mutable dropped : int;  (* events evicted by the ring *)
+}
 
-let create ?(initial_capacity = 64) () =
-  { data = Array.make (max 1 initial_capacity) None; len = 0 }
+let create ?(initial_capacity = 64) ?capacity_limit () =
+  (match capacity_limit with
+  | Some c when c <= 0 ->
+      invalid_arg "Trace.create: capacity_limit must be positive"
+  | _ -> ());
+  let cap =
+    match capacity_limit with
+    | Some c -> min (max 1 initial_capacity) c
+    | None -> max 1 initial_capacity
+  in
+  { data = Array.make cap None; len = 0; start = 0; limit = capacity_limit; dropped = 0 }
 
 let grow t =
   let cap = Array.length t.data in
-  let data = Array.make (2 * cap) None in
+  let target =
+    match t.limit with Some c -> min (2 * cap) c | None -> 2 * cap
+  in
+  let data = Array.make target None in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
 
 let record t x =
-  if t.len = Array.length t.data then grow t;
-  t.data.(t.len) <- Some x;
-  t.len <- t.len + 1
+  let cap = Array.length t.data in
+  if t.len = cap then
+    match t.limit with
+    | Some c when cap = c ->
+        (* full ring: overwrite the oldest slot and advance the head *)
+        t.data.(t.start) <- Some x;
+        t.start <- (t.start + 1) mod c;
+        t.dropped <- t.dropped + 1
+    | _ ->
+        grow t;
+        t.data.(t.len) <- Some x;
+        t.len <- t.len + 1
+  else begin
+    t.data.(t.len) <- Some x;
+    t.len <- t.len + 1
+  end
 
 let length t = t.len
+let dropped t = t.dropped
+let capacity_limit t = t.limit
 
 let unsafe_get t i =
+  let i =
+    if t.start = 0 then i else (t.start + i) mod Array.length t.data
+  in
   match t.data.(i) with
   | Some x -> x
   | None -> assert false (* slots below [len] are always filled *)
@@ -67,5 +103,6 @@ let find_index p t =
 let count p t = fold (fun acc x -> if p x then acc + 1 else acc) 0 t
 
 let clear t =
-  Array.fill t.data 0 t.len None;
-  t.len <- 0
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.len <- 0;
+  t.start <- 0

@@ -5,13 +5,28 @@
     trace; the checker and the experiment reports consume the trace
     after the run. The log is generic: the runtime layer instantiates it
     with its own event record. Amortized O(1) append, O(1) random
-    access. *)
+    access.
+
+    With [?capacity_limit] the log becomes a bounded ring: once full,
+    each append evicts the oldest retained event (counted by
+    {!dropped}). Indices always address the {e retained} window, oldest
+    retained first — long fault campaigns can keep a live tail for
+    monitoring without growing memory without bound. Post-hoc analyses
+    (checker, span reconstruction) want the default unbounded mode. *)
 
 type 'a t
 
-val create : ?initial_capacity:int -> unit -> 'a t
+val create : ?initial_capacity:int -> ?capacity_limit:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity_limit <= 0]. *)
+
 val record : 'a t -> 'a -> unit
 val length : 'a t -> int
+(** Retained events — never exceeds the capacity limit. *)
+
+val dropped : 'a t -> int
+(** Events evicted by the ring so far (0 in unbounded mode). *)
+
+val capacity_limit : 'a t -> int option
 
 val get : 'a t -> int -> 'a
 (** [get t i] is the [i]-th recorded event (0-based, recording order).

@@ -8,7 +8,7 @@ converge.
   workload: workload(n=4, m=3, ops/proc=30, writes=50%, think=exp(mean=10), vars=uniform, seed=3)
   network:  exp(mean=8)
   
-  OptP fault campaign: 1 recoveries, 82 commits (82495 bytes), 5 rolled-back events, sync 9 req / 9 replies, 26 replayed writes, 3 aborted payloads, 59 partition-dropped, 35 crash-dropped frames; live_equal=true clean=true t_end=1312.3
+  OptP fault campaign: 1 recoveries, 82 commits (82577 bytes), 5 rolled-back events, sync 9 req / 9 replies, 26 replayed writes, 3 aborted payloads, 59 partition-dropped, 35 crash-dropped frames; live_equal=true clean=true t_end=1312.3
   p2 crash@120.0 recover@320.0 rolled_back=2 replayed=22 caught_up=+7.5
   
   audit: applies=232 delays=55 (necessary=55, unnecessary=0) skips=0 complete=true lost=0
@@ -29,7 +29,7 @@ The same campaign as machine-readable JSON.
       { "proc": 1, "crashed_at": 120.0, "recovered_at": 320.0, "caught_up_at": 329.0,
         "latency": 9.0, "rolled_back_events": 2, "replayed": 24 }
     ],
-    "durability": { "commits": 82, "snapshot_bytes": 83568, "rolled_back_events": 5 },
+    "durability": { "commits": 82, "snapshot_bytes": 83650, "rolled_back_events": 5 },
     "catch_up": { "sync_requests": 9, "sync_replies": 9, "replayed_writes": 24, "stale_deliveries_dropped": 20 },
     "wire": { "payloads_sent": 192, "frames_sent": 443, "retransmissions": 53, "aborted_payloads": 3,
               "frames_partition_dropped": 0, "frames_crash_dropped": 53, "duplicates_discarded": 8 },

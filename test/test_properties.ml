@@ -517,9 +517,15 @@ module Fifo_only : Dsm_core.Protocol.S = struct
       no_effects
     end
 
+  let waiting_for t ~src (m : msg) =
+    let seq = Dot.seq m.dot and a = V.get t.applied src in
+    if seq <= a + 1 then None (* deliverable or duplicate *)
+    else Some (Dot.make ~replica:src ~seq:(seq - 1))
+
   let buffered t = Mailbox.length t.buffer
   let buffer_high_watermark t = Mailbox.high_watermark t.buffer
   let total_buffered t = Mailbox.total_buffered t.buffer
+  let buffer_wakeup_scans t = Mailbox.scans t.buffer
   let applied_vector t = V.copy t.applied
   let local_clock t = V.copy t.applied
   let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]

@@ -27,7 +27,7 @@ let t f = Sim_time.of_float f
 (* a tiny hand-written execution: p0 writes, p1 receives and applies,
    then reads *)
 let mini_execution () =
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 7; delayed = false });
   Execution.record e ~proc:0 ~time:(t 0.)
@@ -73,14 +73,14 @@ let test_execution_apply_latencies () =
     (Execution.apply_latencies e)
 
 let test_execution_rejects_bad_proc () =
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   Alcotest.check_raises "record"
     (Invalid_argument "Execution.record: process id out of range")
     (fun () ->
       Execution.record e ~proc:2 ~time:(t 0.) (Execution.Skip { dot = dot 0 1 }))
 
 let test_execution_out_of_order_own_writes_rejected () =
-  let e = Execution.create ~n:1 ~m:1 in
+  let e = Execution.create ~n:1 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 2; var = 0; value = 1; delayed = false });
   Execution.record e ~proc:0 ~time:(t 1.)
@@ -155,7 +155,7 @@ let test_sim_run_write_value_unique () =
 
 (* two writes of p0 applied in the wrong order at p1 *)
 let test_checker_detects_misorder () =
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 1; delayed = false });
   Execution.record e ~proc:0 ~time:(t 1.)
@@ -173,7 +173,7 @@ let test_checker_detects_misorder () =
 
 (* a run where a write never reaches p1 *)
 let test_checker_detects_lost_write () =
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 1; delayed = false });
   let r = Checker.check e in
@@ -183,7 +183,7 @@ let test_checker_detects_lost_write () =
 
 (* skip events legitimize missing applies *)
 let test_checker_skip_is_not_lost () =
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 1; delayed = false });
   Execution.record e ~proc:0 ~time:(t 1.)
@@ -200,7 +200,7 @@ let test_checker_skip_is_not_lost () =
 
 (* a false 'delayed' flag without receipt is flagged *)
 let test_checker_detects_bogus_delay_flag () =
-  let e = Execution.create ~n:1 ~m:1 in
+  let e = Execution.create ~n:1 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 1; delayed = true });
   let r = Checker.check e in
@@ -213,7 +213,7 @@ let test_checker_detects_bogus_delay_flag () =
 
 (* delay classification: direct construction of both classes *)
 let test_checker_delay_classes () =
-  let e = Execution.create ~n:2 ~m:2 in
+  let e = Execution.create ~n:2 ~m:2 () in
   (* p0 writes w1 then w2 (independent vars, no reads) *)
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 1; delayed = false });
@@ -240,7 +240,7 @@ let test_checker_delay_classes () =
   | _ -> Alcotest.fail "expected one delay record");
   (* now an unnecessary delay: same receipt order but w1 was already
      applied when w2 arrived *)
-  let e2 = Execution.create ~n:2 ~m:2 in
+  let e2 = Execution.create ~n:2 ~m:2 () in
   Execution.record e2 ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 1; delayed = false });
   Execution.record e2 ~proc:0 ~time:(t 1.)
@@ -262,7 +262,7 @@ let test_checker_delay_classes () =
 
 (* stale read detection through a full (hand-made) execution *)
 let test_checker_detects_stale_read () =
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Apply { dot = dot 0 1; var = 0; value = 1; delayed = false });
   Execution.record e ~proc:0 ~time:(t 1.)
@@ -291,7 +291,7 @@ let test_checker_detects_stale_read () =
 let test_send_vectors_fidge_mattern () =
   (* hand-built execution: p0 sends w1; p1 receives it then sends w2;
      FM timestamps must be [1;0] and [1;1] *)
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   Execution.record e ~proc:0 ~time:(t 0.)
     (Execution.Send { dot = dot 0 1; var = 0; value = 1 });
   Execution.record e ~proc:1 ~time:(t 1.)
@@ -457,12 +457,12 @@ let test_timeline_render () =
     | [] -> false)
 
 let test_timeline_empty_execution () =
-  let e = Execution.create ~n:2 ~m:1 in
+  let e = Execution.create ~n:2 ~m:1 () in
   let s = Dsm_runtime.Timeline.render ~width:20 ~legend:false e in
   check_bool "renders" true (String.length s > 0)
 
 let test_timeline_validation () =
-  let e = Execution.create ~n:1 ~m:1 in
+  let e = Execution.create ~n:1 ~m:1 () in
   Alcotest.check_raises "narrow"
     (Invalid_argument "Timeline.render: width must be >= 8") (fun () ->
       ignore (Dsm_runtime.Timeline.render ~width:4 e))
