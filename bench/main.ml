@@ -2,8 +2,9 @@
 
    Running this executable regenerates every table and figure of the
    paper (sections T1, T2, F1, F2, F3, F6, F7), runs the quantitative
-   companion experiments of DESIGN.md §5 (Q1–Q6), and finishes with
-   Bechamel micro-benchmarks of the protocol hot paths (section M).
+   companion experiments of DESIGN.md §5 (Q1–Q6), the crash-recovery
+   (R) and churn-storm (C) campaigns, and finishes with Bechamel
+   micro-benchmarks of the protocol hot paths (section M).
 
    Usage:
      dune exec bench/main.exe                 # everything
@@ -468,6 +469,147 @@ module Obs = struct
     | None -> ()
 end
 
+(* ------------------------------------------------------------------ *)
+(* Churn storm: 8 -> 16 -> 8 replicas under a Zipf workload            *)
+(* ------------------------------------------------------------------ *)
+
+module Churn = struct
+  module CC = Dsm_runtime.Churn_campaign
+  module FC = Dsm_runtime.Fault_campaign
+  module Fault_plan = Dsm_sim.Fault_plan
+
+  type result = {
+    cprotocol : string;
+    outcome : CC.outcome;
+    static_payloads : int;
+    static_frames : int;
+    wall : float;
+  }
+
+  let results : result list ref = ref []
+  let universe = 16
+  let initial = 8
+  let latency = Dsm_sim.Latency.Exponential { mean = 10. }
+
+  let spec ~quick =
+    Dsm_workload.Spec.make ~n:universe ~m:8
+      ~ops_per_process:(if quick then 12 else 40)
+      ~write_ratio:0.5 ~var_dist:(Dsm_workload.Spec.Zipf_vars 1.2) ~seed:7 ()
+
+  (* slots 8..15 join staggered, then all eight leave again: the view
+     grows 8 -> 16 and shrinks back to 8 while traffic is in flight *)
+  let plan ~quick =
+    let t f = Dsm_sim.Sim_time.of_float (if quick then f /. 3. else f) in
+    Fault_plan.make
+      (List.concat_map
+         (fun i ->
+           [
+             Fault_plan.Join { proc = initial + i; at = t (60. +. (25. *. float_of_int i)) };
+             Fault_plan.Leave { proc = initial + i; at = t (460. +. (25. *. float_of_int i)) };
+           ])
+         (List.init (universe - initial) Fun.id))
+
+  let campaign (type pt pm)
+      (module P : Dsm_core.Protocol.S with type t = pt and type msg = pm)
+      ~quick () =
+    let t0 = Sys.time () in
+    let o =
+      CC.run (module P) ~spec:(spec ~quick) ~latency ~plan:(plan ~quick)
+        ~initial ~seed:5 ()
+    in
+    let wall = Sys.time () -. t0 in
+    (* static baseline: the same workload with all 16 slots members from
+       time 0 and no view changes — amplification is the extra wire
+       traffic churn costs per delivered payload *)
+    let s =
+      FC.run (module P) ~spec:(spec ~quick) ~latency
+        ~faults:Dsm_sim.Network.no_faults ~plan:(Fault_plan.make []) ~seed:5
+        ()
+    in
+    {
+      cprotocol = P.name;
+      outcome = o;
+      static_payloads = s.FC.payloads_sent;
+      static_frames = s.FC.frames_sent;
+      wall;
+    }
+
+  let frames_per_payload ~frames ~payloads =
+    if payloads = 0 then 0.
+    else float_of_int frames /. float_of_int payloads
+
+  let amplification r =
+    let churn =
+      frames_per_payload ~frames:r.outcome.CC.frames_sent
+        ~payloads:r.outcome.CC.payloads_sent
+    and static_ =
+      frames_per_payload ~frames:r.static_frames ~payloads:r.static_payloads
+    in
+    if static_ = 0. then 0. else churn /. static_
+
+  let run ~quick () =
+    results := [];
+    let table =
+      Table_fmt.create
+        ~title:
+          "C: churn storm - 8 -> 16 -> 8 replicas, Zipf(1.2) over 8 vars"
+        ~header:
+          [
+            "protocol";
+            "join latency";
+            "transfer B";
+            "replayed";
+            "frames/payload";
+            "static f/p";
+            "amplification";
+            "audit";
+          ]
+        ()
+    in
+    Table_fmt.set_align table
+      [
+        Table_fmt.Left; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Left;
+      ];
+    let rs =
+      [
+        campaign (module Dsm_core.Opt_p) ~quick ();
+        campaign (module Dsm_core.Anbkh) ~quick ();
+      ]
+    in
+    results := rs;
+    List.iter
+      (fun r ->
+        let o = r.outcome in
+        let lats = List.filter_map CC.catch_up_latency o.CC.catch_ups in
+        let lat_str =
+          match lats with
+          | [] -> "-"
+          | l ->
+              Printf.sprintf "%.1f"
+                (List.fold_left ( +. ) 0. l /. float_of_int (List.length l))
+        in
+        Table_fmt.add_row table
+          [
+            r.cprotocol;
+            lat_str;
+            string_of_int o.CC.transfer_bytes;
+            string_of_int o.CC.replayed_writes;
+            Printf.sprintf "%.3f"
+              (frames_per_payload ~frames:o.CC.frames_sent
+                 ~payloads:o.CC.payloads_sent);
+            Printf.sprintf "%.3f"
+              (frames_per_payload ~frames:r.static_frames
+                 ~payloads:r.static_payloads);
+            Printf.sprintf "%.2fx" (amplification r);
+            (if o.CC.clean && o.CC.live_equal && o.CC.quarantine_leaks = 0
+             then "clean+converged"
+             else "VIOLATIONS");
+          ])
+      rs;
+    print_table table
+end
+
 (* results captured for --json; filled by the section bodies *)
 let stress_quick = ref false
 let stress_result : Stress.result option ref = ref None
@@ -501,6 +643,9 @@ let sections =
     ( "O",
       "observability: probe overhead, null sink vs full tracing",
       fun () -> Obs.run ~quick:!stress_quick () );
+    ( "C",
+      "churn storm: 8 -> 16 -> 8 replicas under a Zipf workload",
+      fun () -> Churn.run ~quick:!stress_quick () );
   ]
 
 let json_escape s =
@@ -684,6 +829,103 @@ let write_obs_json file =
       Printf.eprintf "--obs-json: cannot write %s (%s)\n" file e;
       exit 1
 
+let write_churn_json file =
+  let module CC = Dsm_runtime.Churn_campaign in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+  Buffer.add_string buf "  \"section\": \"churn_storm\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"plan\": { \"universe\": %d, \"initial\": %d, \"joins\": %d, \
+        \"leaves\": %d,\n\
+       \            \"workload\": \"zipf(1.2) over 8 vars\" },\n"
+       Churn.universe Churn.initial
+       (Churn.universe - Churn.initial)
+       (Churn.universe - Churn.initial));
+  Buffer.add_string buf "  \"campaigns\": [";
+  List.iteri
+    (fun i (r : Churn.result) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let o = r.Churn.outcome in
+      let lats = List.filter_map CC.catch_up_latency o.CC.catch_ups in
+      let mean = function
+        | [] -> 0.
+        | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"protocol\": \"%s\",\n"
+           (json_escape r.Churn.cprotocol));
+      Buffer.add_string buf
+        (Printf.sprintf "      \"clean\": %b, \"live_equal\": %b,\n"
+           o.CC.clean o.CC.live_equal);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"membership\": { \"final_epoch\": %d, \"joins\": %d, \
+            \"rejoins\": %d, \"leaves\": %d },\n"
+           o.CC.final_epoch o.CC.joins o.CC.rejoins o.CC.leaves);
+      Buffer.add_string buf "      \"catch_ups\": [";
+      List.iteri
+        (fun j (c : CC.catch_up) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n        { \"proc\": %d, \"started_at\": %.1f, \
+                \"latency\": %s,\n\
+               \          \"transfer_bytes\": %d, \"replayed\": %d }"
+               c.CC.cproc c.CC.started_at
+               (match CC.catch_up_latency c with
+               | Some l -> Printf.sprintf "%.1f" l
+               | None -> "null")
+               c.CC.transfer_bytes c.CC.replayed))
+        o.CC.catch_ups;
+      Buffer.add_string buf "\n      ],\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"join_to_converged\": { \"mean\": %.1f, \"max\": %.1f },\n"
+           (mean lats)
+           (List.fold_left Float.max 0. lats));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"quarantine\": { \"chan_stale_quarantined\": %d, \
+            \"net_stale_dropped\": %d,\n\
+           \                      \"net_nonmember_dropped\": %d, \
+            \"quarantine_leaks\": %d },\n"
+           o.CC.chan_stale_quarantined o.CC.net_stale_dropped
+           o.CC.net_nonmember_dropped o.CC.quarantine_leaks);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"wire\": { \"payloads_sent\": %d, \"frames_sent\": %d, \
+            \"retransmissions\": %d,\n\
+           \                \"transfer_bytes\": %d,\n\
+           \                \"static_payloads\": %d, \"static_frames\": %d,\n\
+           \                \"message_amplification\": %.3f },\n"
+           o.CC.payloads_sent o.CC.frames_sent o.CC.retransmissions
+           o.CC.transfer_bytes r.Churn.static_payloads r.Churn.static_frames
+           (Churn.amplification r));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"audit\": { \"violations\": %d, \"necessary_delays\": \
+            %d, \"unnecessary_delays\": %d },\n"
+           (List.length o.CC.report.Dsm_runtime.Checker.violations)
+           o.CC.report.Dsm_runtime.Checker.necessary_delays
+           o.CC.report.Dsm_runtime.Checker.unnecessary_delays);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"engine_steps\": %d, \"sim_end_time\": %.1f, \
+            \"wall_seconds\": %.3f }"
+           o.CC.engine_steps o.CC.end_time r.Churn.wall))
+    !Churn.results;
+  Buffer.add_string buf
+    (if !Churn.results = [] then "]\n}\n" else "\n  ]\n}\n");
+  match open_out file with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+  | exception Sys_error e ->
+      Printf.eprintf "--churn-json: cannot write %s (%s)\n" file e;
+      exit 1
+
 (* [--opt=v] or [--opt v] *)
 let keyed_arg key args =
   let eq = key ^ "=" in
@@ -731,4 +973,8 @@ let () =
     write_obs_json
       (Option.value ~default:"BENCH_observability.json"
          (keyed_arg "--obs-json" args));
+  if !Churn.results <> [] then
+    write_churn_json
+      (Option.value ~default:"BENCH_churn.json"
+         (keyed_arg "--churn-json" args));
   Option.iter write_json json_path

@@ -142,6 +142,12 @@ let duplicate =
          ~doc:"Frame duplication probability (with --drop, uses the \
                reliable-channel substrate).")
 
+let corrupt =
+  Arg.(value & opt float 0. & info [ "corrupt" ] ~docv:"P"
+         ~doc:"Frame corruption probability; checksums detect and drop \
+               mangled frames, retransmission heals them (uses the \
+               reliable-channel substrate).")
+
 let repl_degree =
   Arg.(value & opt (some int) None
        & info [ "replication-degree" ] ~docv:"K"
@@ -227,6 +233,90 @@ let partitions =
            heal every cut at $(b,T2). Repeatable (episodes should not \
            overlap: a heal heals all cuts). Switches to the \
            fault-campaign driver.")
+
+(* --join P@T / --leave P@T: membership events over a fixed universe *)
+let proc_at_of_string what s =
+  let err =
+    Error (`Msg (Printf.sprintf "%s syntax: PROC@TIME (0-based process)" what))
+  in
+  match String.split_on_char '@' s with
+  | [ p; time ] -> (
+      match (int_of_string_opt p, float_of_string_opt time) with
+      | Some p, Some t when t >= 0. -> Ok (p, t)
+      | _ -> err)
+  | _ -> err
+
+let proc_at_conv what =
+  Arg.conv
+    ( proc_at_of_string what,
+      fun ppf (p, t) -> Format.fprintf ppf "%d@%g" p t )
+
+let joins =
+  Arg.(
+    value
+    & opt_all (proc_at_conv "join") []
+    & info [ "join" ] ~docv:"P@T"
+        ~doc:
+          "Slot $(b,P) (0-based, within -n) joins the membership view at \
+           time $(b,T): a fresh process bootstraps by state transfer from \
+           a sponsor, a crashed member rejoins under a new incarnation. \
+           Repeatable. Switches to the churn-campaign driver; combine \
+           with --initial to start with fewer than n members.")
+
+let leaves =
+  Arg.(
+    value
+    & opt_all (proc_at_conv "leave") []
+    & info [ "leave" ] ~docv:"P@T"
+        ~doc:
+          "Member $(b,P) departs gracefully at time $(b,T): it stops \
+           issuing, flushes its unacknowledged writes, then leaves the \
+           view for good. Repeatable. Switches to the churn-campaign \
+           driver.")
+
+let initial_members =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "initial" ] ~docv:"K"
+        ~doc:
+          "Only slots 0..K-1 are members at time 0; the remaining slots \
+           of the n-slot universe are free to --join later. Default: all \
+           n. Switches to the churn-campaign driver.")
+
+(* --churn J,L,R@H: a randomized churn storm *)
+let churn_of_string s =
+  let err =
+    Error
+      (`Msg
+        "churn syntax: JOINS,LEAVES,REJOINS@HORIZON (e.g. 3,2,1@400)")
+  in
+  match String.split_on_char '@' s with
+  | [ counts; horizon ] -> (
+      match
+        ( List.map int_of_string_opt (String.split_on_char ',' counts),
+          float_of_string_opt horizon )
+      with
+      | [ Some j; Some l; Some r ], Some h when h > 0. -> Ok (j, l, r, h)
+      | _ -> err)
+  | _ -> err
+
+let churn_conv =
+  Arg.conv
+    ( churn_of_string,
+      fun ppf (j, l, r, h) -> Format.fprintf ppf "%d,%d,%d@%g" j l r h )
+
+let churn =
+  Arg.(
+    value
+    & opt (some churn_conv) None
+    & info [ "churn" ] ~docv:"J,L,R@H"
+        ~doc:
+          "Randomized churn schedule over horizon $(b,H): $(b,J) fresh \
+           joins, $(b,L) graceful leaves, $(b,R) crash-rejoins, drawn \
+           from --seed. Needs --initial (default n-J) members at time 0 \
+           within the -n slot universe. Does not combine with \
+           --crash/--partition/--join/--leave.")
 
 let checkpoint_every =
   Arg.(
@@ -325,7 +415,7 @@ let spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed =
 module Fault_plan = Dsm_sim.Fault_plan
 module Fault_campaign = Dsm_runtime.Fault_campaign
 
-let plan_of ~crashes ~partitions =
+let plan_of ?(joins = []) ?(leaves = []) ~crashes ~partitions () =
   let t = Dsm_sim.Sim_time.of_float in
   let crash_events =
     List.concat_map
@@ -346,7 +436,13 @@ let plan_of ~crashes ~partitions =
         ])
       partitions
   in
-  Fault_plan.make (crash_events @ cut_events)
+  let join_events =
+    List.map (fun (proc, t1) -> Fault_plan.Join { proc; at = t t1 }) joins
+  in
+  let leave_events =
+    List.map (fun (proc, t1) -> Fault_plan.Leave { proc; at = t t1 }) leaves
+  in
+  Fault_plan.make (crash_events @ cut_events @ join_events @ leave_events)
 
 let campaign_json ppf (o : Fault_campaign.outcome) =
   let open Format in
@@ -414,7 +510,7 @@ let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
       Fault_campaign.run
         (module P)
         ~spec ~latency ~faults
-        ~plan:(plan_of ~crashes ~partitions)
+        ~plan:(plan_of ~crashes ~partitions ())
         ~checkpoint_every ~seed ~metrics ()
     with
     | exception Invalid_argument msg -> `Error (false, msg)
@@ -439,13 +535,148 @@ let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
         else `Ok ()
 
 (* ---------------------------------------------------------------- *)
+(* churn campaigns (run --join / --leave / --churn / --initial)      *)
+(* ---------------------------------------------------------------- *)
+
+module Churn_campaign = Dsm_runtime.Churn_campaign
+
+let churn_json ppf (o : Churn_campaign.outcome) =
+  let open Format in
+  fprintf ppf "{@,  \"schema\": \"causal-dsm-churn/v1\",@,";
+  fprintf ppf "  \"protocol\": \"%s\",@," o.protocol_name;
+  fprintf ppf "  \"clean\": %b,@,  \"live_equal\": %b,@," o.clean
+    o.live_equal;
+  fprintf ppf
+    "  \"membership\": { \"final_epoch\": %d, \"joins\": %d, \
+     \"rejoins\": %d, \"leaves\": %d, \"active_at_end\": [%s] },@,"
+    o.final_epoch o.joins o.rejoins o.leaves
+    (String.concat ", " (List.map string_of_int o.active_at_end));
+  fprintf ppf "  \"catch_ups\": [";
+  List.iteri
+    (fun i (c : Churn_campaign.catch_up) ->
+      if i > 0 then fprintf ppf ",";
+      fprintf ppf
+        "@,    { \"proc\": %d, \"kind\": \"%s\", \"started_at\": %.1f, \
+         \"converged_at\": %s, \"latency\": %s,@,      \
+         \"transfer_writes\": %d, \"transfer_bytes\": %d, \"replayed\": \
+         %d }"
+        c.cproc
+        (match c.ckind with
+        | Churn_campaign.Fresh_join -> "join"
+        | Churn_campaign.Rejoin -> "rejoin"
+        | Churn_campaign.Recover -> "recover")
+        c.started_at
+        (match c.converged_at with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null")
+        (match Churn_campaign.catch_up_latency c with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null")
+        c.transfer_writes c.transfer_bytes c.replayed)
+    o.catch_ups;
+  if o.catch_ups = [] then fprintf ppf "],@," else fprintf ppf "@,  ],@,";
+  fprintf ppf
+    "  \"quarantine\": { \"chan_stale_quarantined\": %d, \
+     \"net_stale_dropped\": %d, \"net_nonmember_dropped\": %d, \
+     \"corrupt_dropped\": %d, \"quarantine_leaks\": %d },@,"
+    o.chan_stale_quarantined o.net_stale_dropped o.net_nonmember_dropped
+    o.corrupt_dropped o.quarantine_leaks;
+  fprintf ppf
+    "  \"durability\": { \"commits\": %d, \"snapshot_bytes\": %d, \
+     \"transfer_bytes\": %d, \"rolled_back_events\": %d },@,"
+    o.commits o.snapshot_bytes o.transfer_bytes o.rolled_back_events;
+  fprintf ppf
+    "  \"catch_up\": { \"sync_requests\": %d, \"sync_replies\": %d, \
+     \"replayed_writes\": %d, \"stale_deliveries_dropped\": %d },@,"
+    o.sync_requests o.sync_replies o.replayed_writes
+    o.stale_deliveries_dropped;
+  fprintf ppf
+    "  \"wire\": { \"payloads_sent\": %d, \"frames_sent\": %d, \
+     \"retransmissions\": %d, \"aborted_payloads\": %d, \
+     \"duplicates_discarded\": %d },@,"
+    o.payloads_sent o.frames_sent o.retransmissions o.aborted_payloads
+    o.duplicates_discarded;
+  fprintf ppf
+    "  \"audit\": { \"violations\": %d, \"necessary_delays\": %d, \
+     \"unnecessary_delays\": %d, \"lost\": %d },@,"
+    (List.length o.report.Checker.violations)
+    o.report.Checker.necessary_delays o.report.Checker.unnecessary_delays
+    (List.length o.report.Checker.lost);
+  fprintf ppf "  \"engine_steps\": %d,@,  \"sim_end_time\": %.1f@,}"
+    o.engine_steps o.end_time
+
+let churn_campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
+    ~plan ~initial ~checkpoint_every ~seed ~json ~metrics ~emit =
+  if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
+    `Error
+      ( false,
+        Printf.sprintf
+          "--join/--leave/--churn need a complete-broadcast protocol \
+           (optp, anbkh or optp-direct); %s cannot serve state transfer"
+          P.name )
+  else
+    match
+      Churn_campaign.run
+        (module P)
+        ~spec ~latency ~faults ~plan ~initial ~checkpoint_every ~seed
+        ~metrics ()
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | o ->
+        if json then Format.printf "@[<v>%a@]@." churn_json o
+        else begin
+          Format.printf "%a@.@." Churn_campaign.pp_outcome o;
+          Format.printf "audit: %a@." Checker.pp_report o.report
+        end;
+        emit o.Churn_campaign.execution;
+        if not (o.clean && o.live_equal) then
+          `Error (false, "campaign is not clean")
+        else if
+          claims_optimality P.name
+          && o.report.Checker.unnecessary_delays > 0
+        then
+          `Error
+            ( false,
+              Printf.sprintf
+                "%d unnecessary delays — %s claims Theorem 4 optimality"
+                o.report.Checker.unnecessary_delays P.name )
+        else `Ok ()
+
+(* Build the churn plan + initial membership from the CLI flags.
+   [Error]s surface as parse-level failures. *)
+let churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves ~initial ~churn
+    =
+  match churn with
+  | Some (j, l, r, h) ->
+      if crashes <> [] || partitions <> [] || joins <> [] || leaves <> []
+      then
+        Error
+          "--churn does not combine with --crash/--partition/--join/--leave"
+      else begin
+        let ini = match initial with Some k -> k | None -> n - j in
+        match
+          Fault_plan.random_churn
+            (Dsm_sim.Rng.create seed)
+            ~initial:ini ~n ~horizon:h ~joins:j ~leaves:l ~rejoins:r ()
+        with
+        | exception Invalid_argument msg -> Error msg
+        | plan -> Ok (plan, ini)
+      end
+  | None ->
+      let ini = Option.value initial ~default:n in
+      if ini < 2 || ini > n then
+        Error "--initial must be in 2..n"
+      else Ok (plan_of ~joins ~leaves ~crashes ~partitions (), ini)
+
+(* ---------------------------------------------------------------- *)
 (* run                                                               *)
 (* ---------------------------------------------------------------- *)
 
 let run_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
-      latency seed fifo drop duplicate repl_degree crashes partitions
-      checkpoint_every json trace_out trace_format metrics_out =
+      latency seed fifo drop duplicate corrupt repl_degree crashes
+      partitions joins leaves initial churn checkpoint_every json trace_out
+      trace_format metrics_out =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let metrics =
       match metrics_out with
@@ -474,7 +705,29 @@ let run_cmd =
               report.Checker.unnecessary_delays P.name )
       else `Ok ()
     in
-    if crashes <> [] || partitions <> [] then begin
+    let churny =
+      joins <> [] || leaves <> [] || churn <> None || initial <> None
+    in
+    if churny then begin
+      if repl_degree <> None then
+        `Error (false, "churn flags do not combine with \
+                        --replication-degree")
+      else if fifo then `Error (false, "churn flags do not combine with --fifo")
+      else
+        match
+          churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves ~initial
+            ~churn
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok (plan, ini) ->
+            churn_campaign
+              (module P)
+              ~spec ~latency
+              ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
+              ~plan ~initial:ini ~checkpoint_every ~seed ~json ~metrics
+              ~emit
+    end
+    else if crashes <> [] || partitions <> [] then begin
       if repl_degree <> None then
         `Error (false, "--crash/--partition do not combine with \
                         --replication-degree")
@@ -484,16 +737,16 @@ let run_cmd =
         campaign
           (module P)
           ~spec ~latency
-          ~faults:{ Dsm_sim.Network.drop; duplicate }
+          ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
           ~crashes ~partitions ~checkpoint_every ~seed ~json ~metrics
           ~emit
     end
     else if json then
-      `Error (false, "--json requires --crash or --partition")
+      `Error (false, "--json requires --crash, --partition or churn flags")
     else
     match repl_degree with
     | Some degree ->
-        if drop > 0. || duplicate > 0. then
+        if drop > 0. || duplicate > 0. || corrupt > 0. then
           `Error
             (false, "--replication-degree does not combine with --drop")
         else if degree < 1 || degree > n then
@@ -513,16 +766,16 @@ let run_cmd =
             (Dsm_runtime.Partial_run.check outcome)
         end
     | None ->
-        if drop > 0. || duplicate > 0. then begin
+        if drop > 0. || duplicate > 0. || corrupt > 0. then begin
           Format.printf
-            "protocol: %s over lossy links (drop=%g, dup=%g) healed by \
-             reliable channels@.@."
-            P.name drop duplicate;
+            "protocol: %s over faulty links (drop=%g, dup=%g, corrupt=%g) \
+             healed by reliable channels@.@."
+            P.name drop duplicate corrupt;
           let outcome =
             Dsm_runtime.Reliable_run.run
               (module P)
               ~spec ~latency
-              ~faults:{ Dsm_sim.Network.drop; duplicate }
+              ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
               ~seed ~metrics ()
           in
           Format.printf "%a@.@." Dsm_runtime.Reliable_run.pp_outcome
@@ -544,8 +797,9 @@ let run_cmd =
     Term.(
       ret
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
-       $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ repl_degree
-       $ crashes $ partitions $ checkpoint_every $ json_out $ trace_out
+       $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ corrupt
+       $ repl_degree $ crashes $ partitions $ joins $ leaves
+       $ initial_members $ churn $ checkpoint_every $ json_out $ trace_out
        $ trace_format $ metrics_out))
   in
   Cmd.v
@@ -558,9 +812,12 @@ let run_cmd =
           a ring layout; with --crash/--partition the fault-campaign \
           driver crashes and restarts processes from durable snapshots, \
           partitions the network and audits recovery (--json for \
-          machine-readable output). --trace-out/--metrics-out export the \
-          causal trace and the metrics registry without perturbing the \
-          run. Exits non-zero on any checker violation, and on any \
+          machine-readable output); with --join/--leave/--initial/--churn \
+          the membership view itself changes mid-run (state-transfer \
+          joins, flushed leaves, fresh-incarnation rejoins) and the audit \
+          spans every epoch. --trace-out/--metrics-out export the causal \
+          trace and the metrics registry without perturbing the run. \
+          Exits non-zero on any checker violation, and on any \
           unnecessary delay for protocols claiming Theorem 4 optimality.")
     term
 
@@ -570,10 +827,15 @@ let run_cmd =
 
 let explain_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
-      latency seed fifo crashes partitions checkpoint_every =
+      latency seed fifo crashes partitions joins leaves initial churn
+      checkpoint_every =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
+    let churny =
+      joins <> [] || leaves <> [] || churn <> None || initial <> None
+    in
+    let needs_campaign = churny || crashes <> [] || partitions <> [] in
     let outcome =
-      if crashes <> [] || partitions <> [] then begin
+      if needs_campaign then begin
         if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
           Error
             (Printf.sprintf
@@ -583,12 +845,27 @@ let explain_cmd =
                P.name)
         else if fifo then
           Error "--crash/--partition do not combine with --fifo"
+        else if churny then
+          match
+            churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves
+              ~initial ~churn
+          with
+          | Error msg -> Error msg
+          | Ok (plan, ini) -> (
+              match
+                Churn_campaign.run
+                  (module P)
+                  ~spec ~latency ~plan ~initial:ini ~checkpoint_every ~seed
+                  ()
+              with
+              | exception Invalid_argument msg -> Error msg
+              | o -> Ok (o.Churn_campaign.execution, o.Churn_campaign.report))
         else
           match
             Fault_campaign.run
               (module P)
               ~spec ~latency
-              ~plan:(plan_of ~crashes ~partitions)
+              ~plan:(plan_of ~crashes ~partitions ())
               ~checkpoint_every ~seed ()
           with
           | exception Invalid_argument msg -> Error msg
@@ -620,8 +897,8 @@ let explain_cmd =
     Term.(
       ret
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
-       $ zipf $ latency $ seed $ fifo $ crashes $ partitions
-       $ checkpoint_every))
+       $ zipf $ latency $ seed $ fifo $ crashes $ partitions $ joins
+       $ leaves $ initial_members $ churn $ checkpoint_every))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -631,7 +908,8 @@ let explain_cmd =
           dot the protocol declared it was waiting on, and whether the \
           checker's ground-truth causal order confirms that claim \
           (necessary delay) or refutes it (false causality). Supports \
-          the fault-campaign path via --crash/--partition.")
+          the fault-campaign path via --crash/--partition and the \
+          churn-campaign path via --join/--leave/--initial/--churn.")
     term
 
 (* ---------------------------------------------------------------- *)

@@ -31,7 +31,7 @@ let wan =
   Latency.Shifted
     { base = 15.; jitter = Latency.Exponential { mean = 10. } }
 
-let faults = { Network.drop = 0.25; duplicate = 0.10 }
+let faults = { Network.drop = 0.25; duplicate = 0.10; corrupt = 0. }
 
 let () =
   Format.printf "== Causal memory over a lossy WAN ==@.@.";

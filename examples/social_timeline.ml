@@ -57,6 +57,8 @@ module Eager : Protocol.S = struct
 
   let me t = t.me
 
+  let grow _t ~n:_ = invalid_arg "Eager.grow: static test protocol"
+
   let write t ~var ~value =
     let dot = Dot.make ~replica:t.me ~seq:t.next_seq in
     t.next_seq <- t.next_seq + 1;

@@ -15,7 +15,7 @@ module Make (B : Buffer.S) = struct
   type msg = message
 
   type t = {
-    cfg : config;
+    mutable cfg : config;
     me : int;
     store : Replica_store.t;
     delivered : V.t;  (* per-issuer count of writes applied here *)
@@ -39,15 +39,25 @@ module Make (B : Buffer.S) = struct
 
   let me t = t.me
 
-  (* causal-broadcast wait condition as a wakeup constraint; [src] is a
-     validated process id, so the unchecked accessors are safe *)
+  let grow t ~n =
+    if n < t.cfg.n then invalid_arg "Anbkh.grow: cannot shrink";
+    if n > t.cfg.n then begin
+      t.cfg <- { t.cfg with n };
+      V.grow t.delivered n;
+      V.grow t.vt n
+    end
+
+  (* causal-broadcast wait condition as a wakeup constraint; the scan
+     bound is the narrower of the local view and the message's send-time
+     view — components beyond a vector's size are implicit zeros and can
+     never block *)
   let status t ((src, m) : int * msg) : Buffer.status =
-    let d_src = V.unsafe_get t.delivered src in
-    let v_src = V.unsafe_get m.vt src in
+    let d_src = V.get0 t.delivered src in
+    let v_src = V.get0 m.vt src in
     if d_src < v_src - 1 then Wait_for { counter = src; count = v_src - 1 }
     else if d_src > v_src - 1 then Stuck  (* duplicate: already applied *)
     else
-      let n = t.cfg.n in
+      let n = min t.cfg.n (V.size m.vt) in
       let rec scan k =
         if k >= n then Buffer.Ready
         else if k <> src && V.unsafe_get m.vt k > V.unsafe_get t.delivered k

@@ -16,7 +16,7 @@ module Make (B : Buffer.S) = struct
   type msg = message
 
   type t = {
-    cfg : config;
+    mutable cfg : config;
     me : int;
     store : Replica_store.t;
     apply_cnt : V.t;  (* the paper's Apply *)
@@ -42,16 +42,30 @@ module Make (B : Buffer.S) = struct
 
   let me t = t.me
 
+  let grow t ~n =
+    if n < t.cfg.n then invalid_arg "Opt_p.grow: cannot shrink";
+    if n > t.cfg.n then begin
+      t.cfg <- { t.cfg with n };
+      V.grow t.apply_cnt n;
+      V.grow t.write_co n
+      (* last_write_on entries alias message vectors from their send-time
+         epoch; they only feed merge_into, which pads implicit zeros, so
+         they need no widening. Buffered messages re-evaluate against the
+         new [status] closure automatically. *)
+    end
+
   (* Figure 5, line 2, as a wakeup constraint: the first enabling event
-     still missing. [src] is a validated process id, so the unchecked
-     accessors are safe. *)
+     still missing. The scan bound is the narrower of the local view and
+     the message's send-time view: components beyond a vector's size are
+     implicit zeros and can never block (a process not yet joined had
+     written nothing). *)
   let status t ((src, m) : int * msg) : Buffer.status =
-    let a_src = V.unsafe_get t.apply_cnt src in
-    let w_src = V.unsafe_get m.wco src in
+    let a_src = V.get0 t.apply_cnt src in
+    let w_src = V.get0 m.wco src in
     if a_src < w_src - 1 then Wait_for { counter = src; count = w_src - 1 }
     else if a_src > w_src - 1 then Stuck  (* duplicate: already applied *)
     else
-      let n = t.cfg.n in
+      let n = min t.cfg.n (V.size m.wco) in
       let rec scan k =
         if k >= n then Buffer.Ready
         else if k <> src && V.unsafe_get m.wco k > V.unsafe_get t.apply_cnt k

@@ -7,7 +7,7 @@ type message = { var : int; value : int; dot : Dot.t; deps : Dot.t list }
 type msg = message
 
 type t = {
-  cfg : config;
+  mutable cfg : config;
   me : int;
   store : Replica_store.t;
   apply_cnt : V.t;
@@ -38,6 +38,14 @@ let create cfg ~me =
   }
 
 let me t = t.me
+
+let grow t ~n =
+  if n < t.cfg.n then invalid_arg "Opt_p_direct.grow: cannot shrink";
+  if n > t.cfg.n then begin
+    t.cfg <- { t.cfg with n };
+    V.grow t.apply_cnt n;
+    V.grow t.write_co n
+  end
 
 (* the immediate ↦co predecessors of a write with vector [wco]: the
    per-process latest writes in its past, minus those dominated by

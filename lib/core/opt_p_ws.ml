@@ -24,7 +24,7 @@ module Make (B : Buffer.S) = struct
   type msg = message
 
   type t = {
-    cfg : config;
+    mutable cfg : config;
     me : int;
     store : Replica_store.t;
     apply_cnt : V.t;
@@ -55,6 +55,16 @@ module Make (B : Buffer.S) = struct
     }
 
   let me t = t.me
+
+  let grow t ~n =
+    if n < t.cfg.n then invalid_arg "Opt_p_ws.grow: cannot shrink";
+    if n > t.cfg.n then begin
+      t.cfg <- { t.cfg with n };
+      V.grow t.apply_cnt n;
+      V.grow t.write_co n
+      (* last_write_on / seen entries alias send-time vectors; they feed
+         merge_into and V.lt, both implicit-zero tolerant. *)
+    end
 
   (* exact interposition test: Write_co characterizes ↦co (Theorem 1) *)
   let compute_can_skip t ~var ~prev ~wco =
@@ -93,15 +103,16 @@ module Make (B : Buffer.S) = struct
     V.merge_into t.write_co t.last_write_on.(var);
     Replica_store.read t.store ~var
 
-  (* OptP's wait condition as a wakeup constraint; [src] is a validated
-     process id, so the unchecked accessors are safe *)
+  (* OptP's wait condition as a wakeup constraint; the scan bound is the
+     narrower of the local view and the message's send-time view —
+     components beyond a vector's size are implicit zeros *)
   let status t ((src, m) : int * msg) : Buffer.status =
-    let a_src = V.unsafe_get t.apply_cnt src in
-    let w_src = V.unsafe_get m.wco src in
+    let a_src = V.get0 t.apply_cnt src in
+    let w_src = V.get0 m.wco src in
     if a_src < w_src - 1 then Wait_for { counter = src; count = w_src - 1 }
     else if a_src > w_src - 1 then Stuck  (* duplicate or skipped-over *)
     else
-      let n = t.cfg.n in
+      let n = min t.cfg.n (V.size m.wco) in
       let rec scan k =
         if k >= n then Buffer.Ready
         else if k <> src && V.unsafe_get m.wco k > V.unsafe_get t.apply_cnt k
@@ -138,9 +149,9 @@ module Make (B : Buffer.S) = struct
     { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
   let deliverable_after_skip t ~src (m : msg) d =
-    let bump k = V.get t.apply_cnt k + if k = Dot.replica d then 1 else 0 in
-    let ok = ref (bump src = V.get m.wco src - 1) in
-    for k = 0 to t.cfg.n - 1 do
+    let bump k = V.get0 t.apply_cnt k + if k = Dot.replica d then 1 else 0 in
+    let ok = ref (bump src = V.get0 m.wco src - 1) in
+    for k = 0 to min t.cfg.n (V.size m.wco) - 1 do
       if k <> src && V.get m.wco k > bump k then ok := false
     done;
     !ok

@@ -39,6 +39,7 @@ module type S = sig
   val name : string
   val create : config -> me:int -> t
   val me : t -> int
+  val grow : t -> n:int -> unit
   val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t * msg effects
   val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
   val receive : t -> src:int -> msg -> msg effects

@@ -71,6 +71,17 @@ module type S = sig
 
   val me : t -> int
 
+  val grow : t -> n:int -> unit
+  (** [grow t ~n] widens the replica state to [n] processes in place —
+      the membership view gained members. Vector components for the new
+      slots start at zero (a process that had not joined had produced no
+      events), so clocks captured before the growth remain comparable
+      under the implicit-zero convention; messages already buffered stay
+      buffered and are re-evaluated unchanged. No-op when [n] equals the
+      current size.
+      @raise Invalid_argument if [n] is smaller than the current size,
+      or for protocols whose topology is static (token ring). *)
+
   val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t * msg effects
   (** Perform a local write; returns the new write's identity. The
       effects always contain the local apply and normally one

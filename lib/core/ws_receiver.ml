@@ -15,7 +15,7 @@ type message = {
 type msg = message
 
 type t = {
-  cfg : config;
+  mutable cfg : config;
   me : int;
   store : Replica_store.t;
   delivered : V.t;
@@ -47,6 +47,14 @@ let create cfg ~me =
   }
 
 let me t = t.me
+
+let grow t ~n =
+  if n < t.cfg.n then invalid_arg "Ws_receiver.grow: cannot shrink";
+  if n > t.cfg.n then begin
+    t.cfg <- { t.cfg with n };
+    V.grow t.delivered n;
+    V.grow t.vclock n
+  end
 
 (* no write w'' on another variable with prev.vt < w''.vt < w.vt;
    checked over every write this process has seen — by safety that
@@ -85,8 +93,8 @@ let write t ~var ~value =
 let read t ~var = Replica_store.read t.store ~var
 
 let deliverable t ~src (m : msg) =
-  let ok = ref (V.get t.delivered src = V.get m.vt src - 1) in
-  for k = 0 to t.cfg.n - 1 do
+  let ok = ref (V.get0 t.delivered src = V.get0 m.vt src - 1) in
+  for k = 0 to min t.cfg.n (V.size m.vt) - 1 do
     if k <> src && V.get m.vt k > V.get t.delivered k then ok := false
   done;
   !ok
@@ -97,14 +105,15 @@ let deliverable t ~src (m : msg) =
 let waiting_for t ~src (m : msg) =
   if Dot.Set.mem m.dot t.overwritten then None
   else
-    let d_src = V.get t.delivered src in
-    let v_src = V.get m.vt src in
+    let d_src = V.get0 t.delivered src in
+    let v_src = V.get0 m.vt src in
     if d_src > v_src - 1 then None (* duplicate *)
     else if d_src < v_src - 1 then
       Some (Dot.make ~replica:src ~seq:(v_src - 1))
     else
+      let bound = min t.cfg.n (V.size m.vt) in
       let rec scan k =
-        if k >= t.cfg.n then None
+        if k >= bound then None
         else if k <> src && V.get m.vt k > V.get t.delivered k then
           Some (Dot.make ~replica:k ~seq:(V.get m.vt k))
         else scan (k + 1)
@@ -124,9 +133,9 @@ let apply_msg t ~src (m : msg) ~from_buffer =
    open a window in which a write depending on [d] gets applied while
    the store still holds a value older than [d] — an illegal read. *)
 let deliverable_after_skip t ~src (m : msg) d =
-  let bump k = V.get t.delivered k + if k = Dot.replica d then 1 else 0 in
-  let ok = ref (bump src = V.get m.vt src - 1) in
-  for k = 0 to t.cfg.n - 1 do
+  let bump k = V.get0 t.delivered k + if k = Dot.replica d then 1 else 0 in
+  let ok = ref (bump src = V.get0 m.vt src - 1) in
+  for k = 0 to min t.cfg.n (V.size m.vt) - 1 do
     if k <> src && V.get m.vt k > bump k then ok := false
   done;
   !ok

@@ -65,6 +65,13 @@ let create cfg ~me =
   }
 
 let me t = t.me
+
+(* The token ring is a static topology: round numbering and token
+   routing both assume the ring order never changes, so membership
+   growth is not meaningful here. *)
+let grow _t ~n:_ =
+  invalid_arg "Ws_token.grow: token ring topology is static"
+
 let next_on_ring t = (t.me + 1) mod t.cfg.n
 
 (* Flush: broadcast the pending batch and pass the token on. Only the

@@ -32,7 +32,7 @@ type report = {
   skipped : int;
 }
 
-let check ?replication exec =
+let check ?replication ?expected exec =
   let history = Execution.to_history exec in
   let wv = Write_vectors.compute history in
   let n = Execution.n_processes exec in
@@ -49,6 +49,12 @@ let check ?replication exec =
   let applied_at = Array.init n (fun _ -> Hashtbl.create 64) in
   let replicated ~proc ~var =
     match replication with None -> true | Some f -> f ~proc ~var
+  in
+  (* membership filter for completeness: under dynamic membership, only
+     processes expected to hold a write (live members at the end of the
+     run, for writes issued while they were in the view) owe an apply *)
+  let expected_at ~proc ~dot =
+    match expected with None -> true | Some f -> f ~proc ~dot
   in
   (* var of every write, for replication filtering *)
   let var_of_dot = Hashtbl.create 64 in
@@ -239,7 +245,8 @@ let check ?replication exec =
           (fun proc ->
             if
               Hashtbl.mem applied_at.(proc) w.wdot
-              || not (replicated ~proc ~var:w.wvar)
+              || (not (replicated ~proc ~var:w.wvar))
+              || not (expected_at ~proc ~dot:w.wdot)
             then None
             else Some (proc, w.wdot))
           (List.init n Fun.id))

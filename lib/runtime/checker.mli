@@ -65,13 +65,25 @@ type report = {
 }
 
 val check :
-  ?replication:(proc:int -> var:int -> bool) -> Execution.t -> report
+  ?replication:(proc:int -> var:int -> bool) ->
+  ?expected:(proc:int -> dot:Dsm_vclock.Dot.t -> bool) ->
+  Execution.t ->
+  report
 (** [?replication] switches on partial-replication auditing: a process
     is only expected to apply writes on locations it replicates, safety
     requires only the {e replicated} part of a write's causal past to
     be applied first, and delay classification counts only replicated
     predecessors as blocking. Omitted = full replication (the paper's
-    model). *)
+    model).
+
+    [?expected] switches on membership-aware completeness: process
+    [proc] owes an apply of write [dot] only when the predicate holds.
+    Churn drivers pass the final membership view — a process that left
+    the view (or a write issued after a process departed) is excused
+    from the completeness audit, while {e safety} and read-legality
+    remain unconditional per process across every epoch: no filter ever
+    excuses applying a write before its causal predecessors. Omitted =
+    every process owes every write (the static-membership model). *)
 
 val is_clean : report -> bool
 (** No violations and no lost writes (incompleteness by documented

@@ -1,0 +1,859 @@
+module Protocol = Dsm_core.Protocol
+module Engine = Dsm_sim.Engine
+module Network = Dsm_sim.Network
+module Reliable_channel = Dsm_sim.Reliable_channel
+module Fault_plan = Dsm_sim.Fault_plan
+module Sim_time = Dsm_sim.Sim_time
+module Rng = Dsm_sim.Rng
+module Spec = Dsm_workload.Spec
+module V = Dsm_vclock.Vector_clock
+module Dot = Dsm_vclock.Dot
+module Metrics = Dsm_obs.Metrics
+
+type 'msg wire =
+  | Proto of 'msg
+  | Sync_request of { vec : int array }
+  | Sync_reply of { vec : int array; writes : 'msg list }
+  | Transfer of { vec : int array; writes : 'msg list }
+      (* the sponsor's bootstrap state transfer: its whole durable write
+         log, replayed at the joiner through the normal receive path *)
+
+type catch_up_kind = Fresh_join | Rejoin | Recover
+
+type catch_up = {
+  cproc : int;
+  ckind : catch_up_kind;
+  started_at : float;
+  mutable transfer_writes : int;
+  mutable transfer_bytes : int;
+  mutable replayed : int;
+  mutable target : int array option;
+      (* componentwise max of peer vectors seen in replies; caught up
+         once the local applied vector dominates it *)
+  mutable converged_at : float option;
+}
+
+type outcome = {
+  execution : Execution.t;
+  history : Dsm_memory.History.t;
+  report : Checker.report;
+  protocol_name : string;
+  plan : Fault_plan.t;
+  membership : Membership.t;
+  final_epoch : int;
+  joins : int;
+  rejoins : int;
+  leaves : int;
+  catch_ups : catch_up list;
+  transfer_bytes : int;
+  quarantine_leaks : int;
+  active_at_end : int list;
+  final_states : Fault_campaign.replica_state list;
+  live_equal : bool;
+  clean : bool;
+  commits : int;
+  snapshot_bytes : int;
+  rolled_back_events : int;
+  ops_skipped_inactive : int;
+  sync_requests : int;
+  sync_replies : int;
+  replayed_writes : int;
+  stale_deliveries_dropped : int;
+  chan_stale_quarantined : int;
+  net_stale_dropped : int;
+  net_nonmember_dropped : int;
+  corrupt_dropped : int;
+  aborted_payloads : int;
+  payloads_sent : int;
+  frames_sent : int;
+  retransmissions : int;
+  duplicates_discarded : int;
+  engine_steps : int;
+  end_time : float;
+}
+
+(* per-slot runtime wrapper; [proto = None] until the slot joins *)
+type ('proto, 'msg) node = {
+  id : int;
+  mutable proto : 'proto option;
+  mutable down : bool;
+  mutable ever_crashed : bool;
+  mutable leaving : bool;  (* flushing; still in the view *)
+  mutable durable : (Protocol.config * string * string) option;
+      (* (config at checkpoint, protocol snapshot, serialized write
+         log) — restore needs the exact config the image was taken
+         under, then re-grows to the current view width *)
+  mutable log : (Dot.t, 'msg) Hashtbl.t;
+  mutable staged : (Sim_time.t * Execution.kind) list;  (* newest first *)
+  mutable staged_count : int;
+  mutable write_seq : int;
+  mutable last_crash : float;
+  mutable cur : catch_up option;  (* open catch-up, until converged *)
+}
+
+(* ghost-dot audit: the quarantine must keep stale incarnation traffic
+   out of [Apply].  Two independently checkable symptoms of a leak:
+   the same dot applied twice at one process (a stale retransmission
+   slipping past the post-crash dedup reset), or one dot observed with
+   two different (var, value) bindings anywhere (a forged or corrupted
+   write surviving the checksum layer). *)
+let count_quarantine_leaks execution =
+  let seen_value : (Dot.t, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let applied : (int * Dot.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let leaks = ref 0 in
+  List.iter
+    (fun (ev : Execution.event) ->
+      let check_value dot var value =
+        match Hashtbl.find_opt seen_value dot with
+        | None -> Hashtbl.add seen_value dot (var, value)
+        | Some (var', value') ->
+            if var <> var' || value <> value' then incr leaks
+      in
+      match ev.Execution.kind with
+      | Execution.Send { dot; var; value } -> check_value dot var value
+      | Execution.Apply { dot; var; value; _ } ->
+          check_value dot var value;
+          if Hashtbl.mem applied (ev.Execution.proc, dot) then incr leaks
+          else Hashtbl.add applied (ev.Execution.proc, dot) ()
+      | Execution.Receipt _ | Execution.Blocked _ | Execution.Skip _
+      | Execution.Return _ ->
+          ())
+    (Execution.events execution);
+  !leaks
+
+let run (type pt pm)
+    (module P : Protocol.S with type t = pt and type msg = pm) ~spec
+    ~latency ?(faults = Network.no_faults) ~plan ~initial
+    ?(checkpoint_every = 50.) ?(sync_rounds = 2) ?(sync_interval = 100.)
+    ?(flush_poll = 10.) ?(settle = true) ?(retransmit_after = 50.)
+    ?(seed = 1) ?(max_steps = 20_000_000) ?(metrics = Metrics.null ()) () =
+  let universe = spec.Spec.n and m = spec.Spec.m in
+  if initial < 2 || initial > universe then
+    invalid_arg "Churn_campaign.run: need 2 <= initial <= spec.n slots";
+  let initial_slots = List.init initial Fun.id in
+  Fault_plan.validate ~n:universe ~initial:initial_slots plan;
+  if checkpoint_every <= 0. then
+    invalid_arg "Churn_campaign.run: checkpoint_every must be positive";
+  let schedule = Dsm_workload.Generator.generate spec in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let network =
+    Network.create ~engine ~rng ~n:universe
+      ~latency:(fun ~src:_ ~dst:_ -> latency)
+      ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics ()
+  in
+  let channel =
+    Reliable_channel.create ~engine ~network ~retransmit_after ~rng
+      ~metrics ()
+  in
+  let membership = Membership.create ~universe ~initial:initial_slots in
+  Network.set_membership network (Membership.is_member membership);
+  let probe_epoch = Metrics.gauge metrics "membership_epoch" in
+  let probe_active = Metrics.gauge metrics "membership_active" in
+  let probe_joins = Metrics.counter metrics "membership_joins_total" in
+  let probe_rejoins = Metrics.counter metrics "membership_rejoins_total" in
+  let probe_leaves = Metrics.counter metrics "membership_leaves_total" in
+  let probe_transfer_bytes =
+    Metrics.counter metrics "membership_transfer_bytes"
+  in
+  let probe_join_latency =
+    Metrics.histogram metrics "membership_join_latency" ~lo:0. ~hi:512.
+      ~bins:16
+  in
+  let probe_checkpoints = Metrics.counter metrics "campaign_checkpoints" in
+  let probe_checkpoint_bytes =
+    Metrics.counter metrics "campaign_checkpoint_bytes"
+  in
+  let probe_replayed = Metrics.counter metrics "campaign_replayed_writes" in
+  let probe_sync_requests =
+    Metrics.counter metrics "campaign_sync_requests"
+  in
+  let probe_sync_replies = Metrics.counter metrics "campaign_sync_replies" in
+  Metrics.set probe_active initial;
+  let execution = Execution.create ~n:universe ~m () in
+  let nodes =
+    Array.init universe (fun id ->
+        {
+          id;
+          proto =
+            (if id < initial then
+               Some (P.create (Protocol.config ~n:initial ~m) ~me:id)
+             else None);
+          down = false;
+          ever_crashed = false;
+          leaving = false;
+          durable = None;
+          log = Hashtbl.create 256;
+          staged = [];
+          staged_count = 0;
+          write_seq = 0;
+          last_crash = 0.;
+          cur = None;
+        })
+  in
+  let proto_of node =
+    match node.proto with
+    | Some t -> t
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Churn_campaign: slot %d has no protocol state"
+             node.id)
+  in
+  (* the view width: every live protocol state is kept grown to it, so
+     a message vector is never wider than its receiver's clock by the
+     time the issuer may broadcast (the growth-before-traffic
+     invariant the protocols' [grow] contract requires) *)
+  let width = ref initial in
+  let grow_all () =
+    Array.iter
+      (fun node ->
+        match node.proto with
+        | Some t -> P.grow t ~n:!width
+        | None -> ())
+      nodes
+  in
+  let sync_view () =
+    Network.set_epoch network (Membership.epoch membership);
+    Metrics.set probe_epoch (Membership.epoch membership);
+    Metrics.set probe_active (List.length (Membership.active membership))
+  in
+  (* the membership view is the addressing oracle: senders talk only to
+     currently active members; everyone else catches up by transfer or
+     anti-entropy when (re)entering the view *)
+  let ch_send ~src ~dst msg =
+    if Membership.is_active membership dst then
+      Reliable_channel.send channel ~src ~dst msg
+  in
+  let ch_broadcast ~src msg =
+    List.iter
+      (fun dst -> if dst <> src then ch_send ~src ~dst msg)
+      (Membership.active membership)
+  in
+  let catch_ups = ref [] in
+  let joins = ref 0 in
+  let rejoins = ref 0 in
+  let leaves = ref 0 in
+  let transfer_bytes = ref 0 in
+  let commits = ref 0 in
+  let snapshot_bytes = ref 0 in
+  let rolled_back = ref 0 in
+  let ops_skipped = ref 0 in
+  let sync_requests = ref 0 in
+  let sync_replies = ref 0 in
+  let replayed_writes = ref 0 in
+  let stale_dropped = ref 0 in
+  let aborted = ref 0 in
+  let nowf () = Sim_time.to_float (Engine.now engine) in
+
+  let record node kind =
+    node.staged <- (Engine.now engine, kind) :: node.staged;
+    node.staged_count <- node.staged_count + 1
+  in
+  (* same durability discipline as {!Fault_campaign}: a write commits
+     before its broadcast leaves, so no dot is ever reissued *)
+  let commit node =
+    List.iter
+      (fun (time, kind) ->
+        Execution.record execution ~proc:node.id ~time kind)
+      (List.rev node.staged);
+    node.staged <- [];
+    node.staged_count <- 0;
+    let image = P.snapshot (proto_of node) in
+    let log_image = Protocol.Snapshot.encode node.log in
+    node.durable <- Some (Protocol.config ~n:!width ~m, image, log_image);
+    incr commits;
+    Metrics.incr probe_checkpoints;
+    Metrics.add probe_checkpoint_bytes
+      (String.length image + String.length log_image);
+    snapshot_bytes := !snapshot_bytes + String.length image
+                      + String.length log_image
+  in
+  let log_outbound node msg =
+    List.iter
+      (fun (dot, _, _) -> Hashtbl.replace node.log dot msg)
+      (P.msg_writes msg)
+  in
+  let covered node dot =
+    let v = P.applied_vector (proto_of node) in
+    V.get0 v (Dot.replica dot) >= Dot.seq dot
+  in
+  let check_converged node =
+    match node.cur with
+    | Some c when c.converged_at = None -> (
+        match c.target with
+        | None -> ()
+        | Some target ->
+            let v = P.applied_vector (proto_of node) in
+            let ok = ref true in
+            Array.iteri
+              (fun i want -> if V.get0 v i < want then ok := false)
+              target;
+            if !ok then begin
+              c.converged_at <- Some (nowf ());
+              Metrics.observe probe_join_latency (nowf () -. c.started_at);
+              node.cur <- None
+            end)
+    | _ -> ()
+  in
+  let rec process node (eff : pm Protocol.effects) =
+    List.iter (fun dot -> record node (Execution.Skip { dot })) eff.skipped;
+    List.iter
+      (fun (a : Protocol.apply_record) ->
+        record node
+          (Execution.Apply
+             {
+               dot = a.adot;
+               var = a.avar;
+               value = a.avalue;
+               delayed = a.afrom_buffer;
+             }))
+      eff.applied;
+    List.iter
+      (fun outbound ->
+        let msg =
+          match outbound with
+          | Protocol.Broadcast msg -> msg
+          | Protocol.Unicast { msg; _ } -> msg
+        in
+        log_outbound node msg;
+        List.iter
+          (fun (dot, var, value) ->
+            record node (Execution.Send { dot; var; value }))
+          (P.msg_writes msg);
+        match outbound with
+        | Protocol.Broadcast msg -> ch_broadcast ~src:node.id (Proto msg)
+        | Protocol.Unicast { dst; msg } ->
+            ch_send ~src:node.id ~dst (Proto msg))
+      eff.to_send
+  and deliver_proto node ~src msg =
+    log_outbound node msg;
+    let writes = P.msg_writes msg in
+    if writes <> [] && List.for_all (fun (dot, _, _) -> covered node dot)
+                         writes
+    then incr stale_dropped
+    else begin
+      List.iter
+        (fun (dot, _, _) -> record node (Execution.Receipt { dot; src }))
+        writes;
+      let eff = P.receive (proto_of node) ~src msg in
+      (match writes with
+      | [] -> ()
+      | _ when eff.Protocol.applied = [] && eff.Protocol.skipped = [] -> (
+          match P.waiting_for (proto_of node) ~src msg with
+          | Some waiting_for ->
+              List.iter
+                (fun (dot, _, _) ->
+                  record node (Execution.Blocked { dot; waiting_for }))
+                writes
+          | None -> ())
+      | _ -> ());
+      process node eff;
+      check_converged node
+    end
+  in
+  let send_sync_request node =
+    let vec = V.to_array (P.applied_vector (proto_of node)) in
+    List.iter
+      (fun dst ->
+        if dst <> node.id then begin
+          incr sync_requests;
+          Metrics.incr probe_sync_requests;
+          Reliable_channel.send channel ~src:node.id ~dst
+            (Sync_request { vec })
+        end)
+      (Membership.active membership)
+  in
+  let issuer_of msg =
+    match P.msg_writes msg with
+    | (dot, _, _) :: _ -> Dot.replica dot
+    | [] ->
+        invalid_arg
+          "Churn_campaign: control message in the anti-entropy log"
+  in
+  (* the writes this node holds beyond [vec]; [vec] may be narrower or
+     wider than this node's own clock — out-of-range components are
+     implicit zeros on both sides *)
+  let collect_since node ~vec =
+    let mine = V.to_array (P.applied_vector (proto_of node)) in
+    let out = ref [] in
+    for u = Array.length mine - 1 downto 0 do
+      let have = if u < Array.length vec then vec.(u) else 0 in
+      for s = mine.(u) downto have + 1 do
+        let dot = Dot.make ~replica:u ~seq:s in
+        match Hashtbl.find_opt node.log dot with
+        | Some msg -> out := msg :: !out
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Churn_campaign: %s applied %s but its durable log \
+                  cannot re-supply it (protocol outside the \
+                  complete-broadcast class?)"
+                 P.name (Dot.to_string dot))
+      done
+    done;
+    (V.to_array (P.applied_vector (proto_of node)), !out)
+  in
+  let serve_sync node ~peer ~vec =
+    let mine, out = collect_since node ~vec in
+    incr sync_replies;
+    Metrics.incr probe_sync_replies;
+    ch_send ~src:node.id ~dst:peer (Sync_reply { vec = mine; writes = out })
+  in
+  let merge_target c vec =
+    c.target <-
+      Some
+        (match c.target with
+        | None -> Array.copy vec
+        | Some t ->
+            let len = max (Array.length t) (Array.length vec) in
+            Array.init len (fun i ->
+                let a = if i < Array.length t then t.(i) else 0 in
+                let b = if i < Array.length vec then vec.(i) else 0 in
+                max a b))
+  in
+  let absorb_sync node writes ~vec =
+    (match node.cur with
+    | Some c -> merge_target c vec
+    | None -> ());
+    List.iter
+      (fun msg ->
+        let fresh =
+          List.exists (fun (dot, _, _) -> not (covered node dot))
+            (P.msg_writes msg)
+        in
+        if fresh then begin
+          incr replayed_writes;
+          Metrics.incr probe_replayed;
+          (match node.cur with
+          | Some c -> c.replayed <- c.replayed + 1
+          | None -> ());
+          deliver_proto node ~src:(issuer_of msg) msg
+        end)
+      writes;
+    check_converged node
+  in
+  for dst = 0 to universe - 1 do
+    Reliable_channel.set_handler channel dst (fun ~src ~at:_ w ->
+        let node = nodes.(dst) in
+        if (not node.down) && node.proto <> None then
+          match w with
+          | Proto msg -> deliver_proto node ~src msg
+          | Sync_request { vec } -> serve_sync node ~peer:src ~vec
+          | Sync_reply { vec; writes } | Transfer { vec; writes } ->
+              absorb_sync node writes ~vec)
+  done;
+
+  (* anti-entropy rounds for a node that just (re)entered the view *)
+  let schedule_catch_up node =
+    send_sync_request node;
+    for k = 1 to sync_rounds - 1 do
+      Engine.schedule_after engine (float_of_int k *. sync_interval)
+        (fun () ->
+          if (not node.down) && Membership.is_active membership node.id then
+            send_sync_request node)
+    done
+  in
+  (* group-wide rounds: every active member asks around — needed after
+     a crash-rejoin, when the rejoiner's own pre-crash broadcasts may
+     have died quarantined on the wire and only it can re-supply them *)
+  let schedule_group_sync () =
+    for k = 1 to sync_rounds do
+      Engine.schedule_after engine
+        (float_of_int k *. sync_interval)
+        (fun () ->
+          List.iter
+            (fun p ->
+              let node = nodes.(p) in
+              if not node.down then send_sync_request node)
+            (Membership.active membership))
+    done
+  in
+
+  (* ---- churn and fault plan wiring --------------------------------- *)
+  (* The one plan peek: whether a crashed slot ever re-enters the view
+     is a fact about the future.  It only gates the corpse's send-queue
+     abandonment — a slot that will rejoin keeps its armed timers, and
+     those zombie retransmissions are exactly the stale-incarnation
+     traffic the channel quarantine must eat. *)
+  let permanently_down = Fault_plan.down_at_end plan in
+  let on_crash p =
+    let node = nodes.(p) in
+    Membership.crash membership ~at:(Engine.now engine) p;
+    sync_view ();
+    node.down <- true;
+    node.ever_crashed <- true;
+    node.last_crash <- nowf ();
+    rolled_back := !rolled_back + node.staged_count;
+    node.staged <- [];
+    node.staged_count <- 0;
+    node.cur <- None;
+    Network.mark_crashed network p;
+    aborted := !aborted + Reliable_channel.abort_peer channel ~peer:p;
+    if List.mem p permanently_down then begin
+      aborted := !aborted + Reliable_channel.abort_sender channel ~peer:p;
+      schedule_group_sync ()
+    end
+  in
+  let start_catch_up node ckind =
+    let c =
+      {
+        cproc = node.id;
+        ckind;
+        started_at = nowf ();
+        transfer_writes = 0;
+        transfer_bytes = 0;
+        replayed = 0;
+        target = None;
+        converged_at = None;
+      }
+    in
+    node.cur <- Some c;
+    catch_ups := c :: !catch_ups;
+    c
+  in
+  let restore_node node =
+    match node.durable with
+    | Some (cfg0, image, log_image) ->
+        let t = P.restore cfg0 ~me:node.id image in
+        P.grow t ~n:!width;
+        node.proto <- Some t;
+        node.log <- Protocol.Snapshot.decode log_image
+    | None ->
+        node.proto <- Some (P.create (Protocol.config ~n:!width ~m) ~me:node.id);
+        node.log <- Hashtbl.create 256
+  in
+  let on_recover p =
+    let node = nodes.(p) in
+    Membership.recover membership ~at:(Engine.now engine) p;
+    sync_view ();
+    node.down <- false;
+    Network.mark_recovered network p;
+    restore_node node;
+    ignore (start_catch_up node Recover);
+    schedule_catch_up node
+  in
+  let on_join p =
+    let node = nodes.(p) in
+    let fresh = not (Membership.is_member membership p) in
+    Membership.join membership ~at:(Engine.now engine) p;
+    width := max !width (p + 1);
+    grow_all ();
+    sync_view ();
+    if fresh then begin
+      (* bootstrap: empty state, then the sponsor's snapshot transfer
+         arrives through the normal receive path *)
+      node.proto <-
+        Some (P.create (Protocol.config ~n:!width ~m) ~me:p);
+      node.log <- Hashtbl.create 256;
+      incr joins;
+      Metrics.incr probe_joins;
+      let c = start_catch_up node Fresh_join in
+      (match
+         List.find_opt (fun q -> q <> p) (Membership.active membership)
+       with
+      | Some sponsor ->
+          let snode = nodes.(sponsor) in
+          let vec, out = collect_since snode ~vec:[||] in
+          c.transfer_writes <- List.length out;
+          c.transfer_bytes <- String.length (Marshal.to_string out []);
+          transfer_bytes := !transfer_bytes + c.transfer_bytes;
+          Metrics.add probe_transfer_bytes c.transfer_bytes;
+          ch_send ~src:sponsor ~dst:p (Transfer { vec; writes = out })
+      | None -> ());
+      schedule_catch_up node
+    end
+    else begin
+      (* crash-rejoin: same slot, fresh incarnation — everything this
+         slot's previous life still has on the wire is now stale *)
+      Network.bump_incarnation network p;
+      Reliable_channel.bump_incarnation channel p;
+      Network.mark_recovered network p;
+      node.down <- false;
+      restore_node node;
+      incr rejoins;
+      Metrics.incr probe_rejoins;
+      ignore (start_catch_up node Rejoin);
+      schedule_catch_up node;
+      schedule_group_sync ()
+    end
+  in
+  let on_leave p =
+    let node = nodes.(p) in
+    node.leaving <- true;
+    (* graceful departure: stop issuing, flush — wait until every
+       payload this slot originated has been acknowledged, so its
+       writes are all delivered somewhere durable — then leave *)
+    let depart () =
+      commit node;
+      Membership.leave membership ~at:(Engine.now engine) p;
+      sync_view ();
+      (* frames still in flight toward the retired slot would
+         retransmit forever against nonmember drops *)
+      aborted := !aborted + Reliable_channel.abort_peer channel ~peer:p;
+      incr leaves;
+      Metrics.incr probe_leaves
+    in
+    let rec poll tries =
+      if tries > 10_000 then
+        failwith
+          (Printf.sprintf
+             "Churn_campaign: p%d leave flush did not drain" (p + 1))
+      else if Reliable_channel.unacked_from channel ~peer:p = 0 then
+        depart ()
+      else
+        Engine.schedule_after engine flush_poll (fun () -> poll (tries + 1))
+    in
+    poll 0
+  in
+  Fault_plan.install plan ~engine ~on_join ~on_leave ~on_crash ~on_recover
+    ~on_cut:(fun groups -> Network.partition network groups)
+    ~on_heal:(fun () -> Network.heal_all network)
+    ();
+
+  (* ---- workload ---------------------------------------------------- *)
+  (* every slot has an op stream; ops land only while the slot is an
+     active, non-flushing member — the rest are counted skips *)
+  Array.iteri
+    (fun proc ops ->
+      let node = nodes.(proc) in
+      List.iter
+        (fun { Spec.at; op } ->
+          Engine.schedule_at engine (Sim_time.of_float at) (fun () ->
+              if
+                node.down || node.leaving
+                || not (Membership.is_active membership proc)
+              then incr ops_skipped
+              else
+                match op with
+                | Spec.Do_write { var } ->
+                    node.write_seq <- node.write_seq + 1;
+                    let value =
+                      Sim_run.write_value ~proc ~seq:node.write_seq
+                    in
+                    let _, eff = P.write (proto_of node) ~var ~value in
+                    process node eff;
+                    commit node
+                | Spec.Do_read { var } ->
+                    let value, read_from = P.read (proto_of node) ~var in
+                    record node
+                      (Execution.Return { var; value; read_from })))
+        ops)
+    schedule;
+
+  let horizon =
+    let plan_end =
+      List.fold_left
+        (fun acc ev ->
+          Float.max acc (Sim_time.to_float (Fault_plan.time ev)))
+        0. plan
+    in
+    Float.max (Dsm_workload.Generator.end_time schedule) plan_end
+  in
+  let rec schedule_checkpoints at =
+    if at <= horizon +. checkpoint_every then begin
+      Engine.schedule_at engine (Sim_time.of_float at) (fun () ->
+          List.iter
+            (fun p ->
+              let node = nodes.(p) in
+              if not node.down then commit node)
+            (Membership.active membership));
+      schedule_checkpoints (at +. checkpoint_every)
+    end
+  in
+  schedule_checkpoints checkpoint_every;
+
+  let drain phase =
+    match Engine.run ~max_steps engine with
+    | Engine.Drained -> ()
+    | Engine.Hit_step_limit ->
+        failwith
+          (Printf.sprintf
+             "Churn_campaign: %s did not quiesce within %d events (%s)"
+             P.name max_steps phase)
+    | Engine.Hit_time_limit -> assert false
+  in
+  drain "main phase";
+
+  (* ---- final anti-entropy fixpoint --------------------------------- *)
+  (* sync until nothing new moves.  Under churn every active member
+     asks around — joiners pick up writes that raced their view change,
+     survivors pick up a rejoiner's re-supplied pre-crash writes.
+     Without churn only recovered crashers ask, exactly as
+     {!Fault_campaign} does (keeping churn-free runs byte-identical). *)
+  let churny = Fault_plan.has_churn plan in
+  let rec final_sync iter =
+    let before = !replayed_writes in
+    let asked = ref false in
+    List.iter
+      (fun p ->
+        let node = nodes.(p) in
+        if (not node.down) && (churny || node.ever_crashed) then begin
+          asked := true;
+          Engine.schedule_after engine 1. (fun () ->
+              if not node.down then send_sync_request node)
+        end)
+      (Membership.active membership);
+    if !asked then begin
+      drain "final sync";
+      if !replayed_writes > before && iter < 32 then final_sync (iter + 1)
+    end
+  in
+  final_sync 0;
+
+  (* ---- settle phase ------------------------------------------------ *)
+  let live () =
+    List.filter_map
+      (fun p ->
+        let node = nodes.(p) in
+        if node.down then None else Some node)
+      (Membership.active membership)
+  in
+  if settle then begin
+    List.iter
+      (fun node ->
+        Engine.schedule_after engine 1. (fun () ->
+            if not node.down then begin
+              for var = 0 to m - 1 do
+                let value, read_from = P.read (proto_of node) ~var in
+                record node (Execution.Return { var; value; read_from })
+              done;
+              for var = 0 to m - 1 do
+                node.write_seq <- node.write_seq + 1;
+                let value =
+                  Sim_run.write_value ~proc:node.id ~seq:node.write_seq
+                in
+                let _, eff = P.write (proto_of node) ~var ~value in
+                process node eff
+              done;
+              commit node
+            end);
+        drain "settle")
+      (live ());
+    List.iter
+      (fun node ->
+        Engine.schedule_after engine 1. (fun () ->
+            if not node.down then begin
+              for var = 0 to m - 1 do
+                let value, read_from = P.read (proto_of node) ~var in
+                record node (Execution.Return { var; value; read_from })
+              done;
+              commit node
+            end))
+      (live ());
+    drain "settle reads"
+  end;
+  List.iter (fun node -> commit node) (live ());
+
+  if Metrics.enabled metrics then begin
+    let live_protos = List.map proto_of (live ()) in
+    let sum f = List.fold_left (fun acc t -> acc + f t) 0 live_protos in
+    let max_of f = List.fold_left (fun acc t -> max acc (f t)) 0 live_protos in
+    Metrics.add (Metrics.counter metrics "buffer_wakeup_scans")
+      (sum P.buffer_wakeup_scans);
+    Metrics.add (Metrics.counter metrics "buffer_total_buffered")
+      (sum P.total_buffered);
+    Metrics.set (Metrics.gauge metrics "buffer_high_watermark")
+      (max_of P.buffer_high_watermark)
+  end;
+
+  (* ---- verification ------------------------------------------------ *)
+  let final_states =
+    List.map
+      (fun node ->
+        {
+          Fault_campaign.sproc = node.id;
+          sapplied = V.to_array (P.applied_vector (proto_of node));
+          sclock = V.to_array (P.local_clock (proto_of node));
+          sstore = List.init m (fun var -> P.read (proto_of node) ~var);
+        })
+      (live ())
+  in
+  let live_equal =
+    match final_states with
+    | [] | [ _ ] -> true
+    | first :: rest ->
+        List.for_all
+          (fun (s : Fault_campaign.replica_state) ->
+            s.sapplied = first.Fault_campaign.sapplied
+            && s.sstore = first.Fault_campaign.sstore
+            && ((not settle) || s.sclock = first.Fault_campaign.sclock))
+          rest
+  in
+  let active_at_end = Membership.active membership in
+  (* completeness is owed by the final view's active members; safety
+     and read legality stay unconditional for every slot that ever ran *)
+  let report =
+    Checker.check
+      ~expected:(fun ~proc ~dot:_ ->
+        Membership.is_active membership proc
+        && not nodes.(proc).down)
+      execution
+  in
+  let quarantine_leaks = count_quarantine_leaks execution in
+  {
+    execution;
+    history = Execution.to_history execution;
+    report;
+    protocol_name = P.name;
+    plan;
+    membership;
+    final_epoch = Membership.epoch membership;
+    joins = !joins;
+    rejoins = !rejoins;
+    leaves = !leaves;
+    catch_ups = List.rev !catch_ups;
+    transfer_bytes = !transfer_bytes;
+    quarantine_leaks;
+    active_at_end;
+    final_states;
+    live_equal;
+    clean = Checker.is_clean report && quarantine_leaks = 0;
+    commits = !commits;
+    snapshot_bytes = !snapshot_bytes;
+    rolled_back_events = !rolled_back;
+    ops_skipped_inactive = !ops_skipped;
+    sync_requests = !sync_requests;
+    sync_replies = !sync_replies;
+    replayed_writes = !replayed_writes;
+    stale_deliveries_dropped = !stale_dropped;
+    chan_stale_quarantined = Reliable_channel.stale_quarantined channel;
+    net_stale_dropped = Network.messages_stale_dropped network;
+    net_nonmember_dropped = Network.messages_nonmember_dropped network;
+    corrupt_dropped = Reliable_channel.corrupt_dropped channel;
+    aborted_payloads = !aborted;
+    payloads_sent = Reliable_channel.payloads_sent channel;
+    frames_sent = Network.messages_sent network;
+    retransmissions = Reliable_channel.retransmissions channel;
+    duplicates_discarded = Reliable_channel.duplicates_discarded channel;
+    engine_steps = Engine.steps_executed engine;
+    end_time = nowf ();
+  }
+
+let catch_up_latency c =
+  Option.map (fun t -> t -. c.started_at) c.converged_at
+
+let pp_catch_up_kind ppf = function
+  | Fresh_join -> Format.pp_print_string ppf "join"
+  | Rejoin -> Format.pp_print_string ppf "rejoin"
+  | Recover -> Format.pp_print_string ppf "recover"
+
+let pp_catch_up ppf c =
+  Format.fprintf ppf "p%d %a@%.1f transfer=%d(%dB) replayed=%d%s"
+    (c.cproc + 1) pp_catch_up_kind c.ckind c.started_at c.transfer_writes
+    c.transfer_bytes c.replayed
+    (match catch_up_latency c with
+    | Some l -> Printf.sprintf " converged=+%.1f" l
+    | None -> " never converged")
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%s churn campaign: %d joins / %d rejoins / %d leaves over %d \
+     epochs, %d transfer bytes, sync %d req / %d replies, %d replayed \
+     writes, %d stale quarantined, %d stale-dropped, %d nonmember-dropped \
+     frames, %d quarantine leaks; live_equal=%b clean=%b t_end=%.1f@,%a@]"
+    o.protocol_name o.joins o.rejoins o.leaves o.final_epoch
+    o.transfer_bytes o.sync_requests o.sync_replies o.replayed_writes
+    o.chan_stale_quarantined o.net_stale_dropped o.net_nonmember_dropped
+    o.quarantine_leaks o.live_equal o.clean o.end_time
+    (Format.pp_print_list pp_catch_up)
+    o.catch_ups

@@ -1,0 +1,149 @@
+(** Dynamic-membership campaigns: node churn under a causal-consistency
+    audit.
+
+    Extends {!Fault_campaign}'s crash–recovery harness to a replica set
+    that changes while the run is in flight, over a fixed {e universe}
+    of slots (see {!Membership}):
+
+    - {b join}: a fresh slot enters the view. All live protocol states
+      {e grow} their clocks to cover the new slot first (the
+      growth-before-traffic invariant of {!Dsm_core.Protocol.S.grow}),
+      then a sponsor — the lowest-id active member — ships its whole
+      durable write log as a bootstrap {e state transfer}, which the
+      joiner replays through the normal receive path: [Write_co]
+      merge-on-read semantics and Theorem 4's delay accounting are
+      untouched because the joiner's applies are ordinary protocol
+      receives. Writes that raced the view change are picked up by
+      anti-entropy sync rounds and the final fixpoint.
+    - {b graceful leave}: the slot stops issuing at its [Leave] event,
+      {e flushes} — polls until every payload it originated has been
+      acknowledged, so each of its writes is durable somewhere else —
+      and then departs, retiring its slot for good.
+    - {b crash-rejoin}: a [Join] of a crashed slot restores the durable
+      snapshot under a {e fresh incarnation}
+      ({!Dsm_sim.Network.bump_incarnation},
+      {!Dsm_sim.Reliable_channel.bump_incarnation}): the previous
+      life's in-flight and retransmitted frames are stale and must be
+      quarantined, never applied. Group-wide sync rounds re-supply the
+      rejoiner's own pre-crash writes that died on the wire.
+
+    The audit is {!Checker.check} with the final membership view as the
+    [?expected] completeness domain — every slot active at the end owes
+    an apply of {e every} write, including writes issued before it
+    joined — plus an independent {e ghost-dot} scan
+    ({!outcome.quarantine_leaks}): a dot applied twice at one process,
+    or observed under two different values, would mean stale or forged
+    traffic leaked into [Apply]. *)
+
+type 'msg wire =
+  | Proto of 'msg
+  | Sync_request of { vec : int array }
+  | Sync_reply of { vec : int array; writes : 'msg list }
+  | Transfer of { vec : int array; writes : 'msg list }
+
+type catch_up_kind = Fresh_join | Rejoin | Recover
+
+type catch_up = {
+  cproc : int;
+  ckind : catch_up_kind;
+  started_at : float;
+  mutable transfer_writes : int;
+  mutable transfer_bytes : int;
+  mutable replayed : int;
+  mutable target : int array option;
+  mutable converged_at : float option;
+}
+(** One slot's catch-up episode: a fresh join, a crash-rejoin, or a
+    plain PR 2 recovery. [converged_at] is set once the slot's applied
+    vector dominates every peer vector it has heard
+    (join-to-converged latency = [converged_at - started_at]). *)
+
+type outcome = {
+  execution : Execution.t;
+  history : Dsm_memory.History.t;
+  report : Checker.report;
+  protocol_name : string;
+  plan : Dsm_sim.Fault_plan.t;
+  membership : Membership.t;  (** final view and full transition history *)
+  final_epoch : int;
+  joins : int;
+  rejoins : int;
+  leaves : int;
+  catch_ups : catch_up list;  (** chronological *)
+  transfer_bytes : int;  (** total sponsor state-transfer volume *)
+  quarantine_leaks : int;
+      (** ghost dots: double applies or conflicting values — 0 on every
+          healthy run *)
+  active_at_end : int list;
+  final_states : Fault_campaign.replica_state list;
+      (** active replicas, ascending id *)
+  live_equal : bool;
+  clean : bool;
+      (** checker clean (membership-aware completeness, unconditional
+          safety/legality) {e and} zero quarantine leaks *)
+  commits : int;
+  snapshot_bytes : int;
+  rolled_back_events : int;
+  ops_skipped_inactive : int;
+      (** scheduled ops that found their slot down, flushing, or out of
+          the view *)
+  sync_requests : int;
+  sync_replies : int;
+  replayed_writes : int;
+  stale_deliveries_dropped : int;
+      (** echo drops at the driver: writes already covered on arrival *)
+  chan_stale_quarantined : int;
+      (** data frames from a superseded sender incarnation, acked but
+          never delivered *)
+  net_stale_dropped : int;
+      (** envelopes addressed to a superseded destination incarnation *)
+  net_nonmember_dropped : int;
+      (** deliveries to slots outside the view (raced a leave, or
+          never joined) *)
+  corrupt_dropped : int;
+  aborted_payloads : int;
+  payloads_sent : int;
+  frames_sent : int;
+  retransmissions : int;
+  duplicates_discarded : int;
+  engine_steps : int;
+  end_time : float;
+}
+
+val run :
+  (module Dsm_core.Protocol.S with type t = 'pt and type msg = 'pm) ->
+  spec:Dsm_workload.Spec.t ->
+  latency:Dsm_sim.Latency.t ->
+  ?faults:Dsm_sim.Network.faults ->
+  plan:Dsm_sim.Fault_plan.t ->
+  initial:int ->
+  ?checkpoint_every:float ->
+  ?sync_rounds:int ->
+  ?sync_interval:float ->
+  ?flush_poll:float ->
+  ?settle:bool ->
+  ?retransmit_after:float ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?metrics:Dsm_obs.Metrics.t ->
+  unit ->
+  outcome
+(** [run (module P) ~spec ~latency ~plan ~initial ()] — [spec.n] is the
+    {e universe} (slot count; every slot gets an op stream, executed
+    only while it is an active member), [initial] of which (slots
+    [0..initial-1]) are members at time 0. The plan is validated
+    against that membership; [Join]/[Leave] events drive the view.
+    Corruption faults are armed automatically with
+    {!Dsm_sim.Reliable_channel.corrupt_frame} as the mangle.
+
+    Requires a complete-broadcast protocol (every write eventually
+    applied everywhere, single-write messages): OptP, ANBKH or
+    OptP-direct. Writing-semantics protocols cannot serve anti-entropy
+    catch-up and fail loudly.
+    @raise Invalid_argument if [initial < 2] or [initial > spec.n], or
+    the plan is invalid for that universe. *)
+
+val catch_up_latency : catch_up -> float option
+
+val pp_catch_up : Format.formatter -> catch_up -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

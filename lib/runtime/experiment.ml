@@ -503,7 +503,7 @@ let q8_lossy_links ?(drops = [ 0.0; 0.1; 0.2; 0.4 ]) ?(seeds = [ 1; 2; 3 ])
           in
           let o =
             Reliable_run.run optp ~spec ~latency:default_latency
-              ~faults:{ Dsm_sim.Network.drop; duplicate = drop /. 2. }
+              ~faults:{ Dsm_sim.Network.drop; duplicate = drop /. 2.; corrupt = 0. }
               ~retransmit_after:80. ~seed ()
           in
           let report = Checker.check o.Reliable_run.execution in

@@ -92,6 +92,9 @@ let run (type pt pm)
   let n = spec.Spec.n and m = spec.Spec.m in
   let cfg = Protocol.config ~n ~m in
   Fault_plan.validate ~n plan;
+  if Fault_plan.has_churn plan then
+    invalid_arg
+      "Fault_campaign.run: plan has join/leave events — use Churn_campaign";
   if checkpoint_every <= 0. then
     invalid_arg "Fault_campaign.run: checkpoint_every must be positive";
   let schedule = Dsm_workload.Generator.generate spec in
@@ -100,7 +103,7 @@ let run (type pt pm)
   let network =
     Network.create ~engine ~rng ~n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~faults ~metrics ()
+      ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics ()
   in
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~rng
@@ -137,19 +140,19 @@ let run (type pt pm)
           cur = None;
         })
   in
-  (* The driver's membership oracle: once a process that the plan never
-     restarts is down, live senders stop addressing it — otherwise
-     their retransmission timers toward the corpse would keep the
-     simulation alive forever.  Processes that {e will} recover keep
-     being addressed: frames hitting the downtime are crash-dropped and
-     the sender's retransmission carries them across the outage (the
-     durable-send-queue approximation). *)
-  let permanently_down = Fault_plan.down_at_end plan in
-  let dead_forever dst =
-    nodes.(dst).down && List.mem dst permanently_down
+  (* The driver's membership oracle is the live {!Membership} view, not
+     a peek into the plan's future: senders address only currently
+     {e active} members.  A down process is not addressed at all — no
+     retransmission timers accumulate toward it (they would keep the
+     simulation alive forever for a corpse), and on recovery it pulls
+     everything it missed through its anti-entropy sync rounds instead
+     of relying on frames parked across the outage. *)
+  let membership =
+    Membership.create ~universe:n ~initial:(List.init n Fun.id)
   in
+  Network.set_membership network (Membership.is_member membership);
   let ch_send ~src ~dst msg =
-    if not (dead_forever dst) then
+    if Membership.is_active membership dst then
       Reliable_channel.send channel ~src ~dst msg
   in
   let ch_broadcast ~src msg =
@@ -366,8 +369,15 @@ let run (type pt pm)
   done;
 
   (* ---- fault plan wiring ------------------------------------------ *)
+  (* The one remaining plan peek: whether a crashed process ever
+     restarts is a fact about the future, which no live view can
+     answer.  It only gates the corpse's own send-queue abandonment
+     below — addressing decisions never consult it. *)
+  let permanently_down = Fault_plan.down_at_end plan in
   let on_crash p =
     let node = nodes.(p) in
+    Membership.crash membership ~at:(Engine.now engine) p;
+    Network.set_epoch network (Membership.epoch membership);
     node.down <- true;
     node.ever_crashed <- true;
     node.last_crash <- nowf ();
@@ -398,6 +408,8 @@ let run (type pt pm)
   in
   let on_recover p =
     let node = nodes.(p) in
+    Membership.recover membership ~at:(Engine.now engine) p;
+    Network.set_epoch network (Membership.epoch membership);
     node.down <- false;
     Network.mark_recovered network p;
     let rolled =
@@ -439,7 +451,8 @@ let run (type pt pm)
   Fault_plan.install plan ~engine
     ~on_crash ~on_recover
     ~on_cut:(fun groups -> Network.partition network groups)
-    ~on_heal:(fun () -> Network.heal_all network);
+    ~on_heal:(fun () -> Network.heal_all network)
+    ();
 
   (* ---- workload ---------------------------------------------------- *)
   Array.iteri

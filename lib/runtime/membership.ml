@@ -1,0 +1,168 @@
+(* Epoch-stamped membership views over a fixed universe of slots.
+
+   The universe (the physical fabric: network endpoints, channel state,
+   execution columns) is sized once; the *view* — which slots are live
+   members, under which incarnation — evolves by join / leave / crash /
+   rejoin transitions, each view change bumping the epoch. Vector-clock
+   components are indexed by slot, so a slot is never recycled for a
+   different logical process within one run: a rejoining crashed member
+   keeps its slot (and its durable writes stay attributed correctly),
+   while a departed slot stays [Left] forever. *)
+
+module Sim_time = Dsm_sim.Sim_time
+
+type slot_state =
+  | Free  (* never joined *)
+  | Active of { inc : int }
+  | Down of { inc : int }  (* crashed member; may Recover or rejoin *)
+  | Left  (* departed gracefully; the slot is retired *)
+
+type view = { epoch : int; members : (int * int) list }
+
+type transition =
+  | Joined of int
+  | Rejoined of int
+  | Left_gracefully of int
+  | Crashed of int
+  | Recovered of int
+
+type t = {
+  universe : int;
+  slots : slot_state array;
+  mutable epoch : int;
+  mutable history : (Sim_time.t * transition * view) list;  (* newest first *)
+}
+
+let create ~universe ~initial =
+  if universe <= 0 then
+    invalid_arg "Membership.create: universe must be positive";
+  let slots = Array.make universe Free in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= universe then
+        invalid_arg "Membership.create: initial member out of universe";
+      slots.(p) <- Active { inc = 0 })
+    initial;
+  { universe; slots; epoch = 0; history = [] }
+
+let universe t = t.universe
+let epoch t = t.epoch
+
+let is_active t p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.is_active: slot out of universe";
+  match t.slots.(p) with Active _ -> true | Free | Down _ | Left -> false
+
+let is_member t p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.is_member: slot out of universe";
+  match t.slots.(p) with
+  | Active _ | Down _ -> true
+  | Free | Left -> false
+
+let incarnation t p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.incarnation: slot out of universe";
+  match t.slots.(p) with
+  | Active { inc } | Down { inc } -> Some inc
+  | Free | Left -> None
+
+let active t =
+  let acc = ref [] in
+  for p = t.universe - 1 downto 0 do
+    match t.slots.(p) with
+    | Active _ -> acc := p :: !acc
+    | Free | Down _ | Left -> ()
+  done;
+  !acc
+
+let view t =
+  {
+    epoch = t.epoch;
+    members =
+      List.filter_map
+        (fun p ->
+          match t.slots.(p) with
+          | Active { inc } -> Some (p, inc)
+          | Free | Down _ | Left -> None)
+        (List.init t.universe Fun.id);
+  }
+
+(* Every slot that is or ever was a member up to now: the checker's
+   completeness domain must include crashed members (their writes are
+   real) but not Free slots. *)
+let ever_member t p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.ever_member: slot out of universe";
+  match t.slots.(p) with
+  | Active _ | Down _ | Left -> true
+  | Free -> false
+
+let record t ~at transition =
+  t.epoch <- t.epoch + 1;
+  t.history <- (at, transition, view t) :: t.history
+
+let join t ~at p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.join: slot out of universe";
+  match t.slots.(p) with
+  | Free ->
+      t.slots.(p) <- Active { inc = 0 };
+      record t ~at (Joined p)
+  | Down { inc } ->
+      (* crash-rejoin: same slot, fresh incarnation — stale pre-crash
+         traffic is detected by the incarnation stamp and quarantined *)
+      t.slots.(p) <- Active { inc = inc + 1 };
+      record t ~at (Rejoined p)
+  | Active _ -> invalid_arg "Membership.join: slot is already a live member"
+  | Left -> invalid_arg "Membership.join: slot was retired by a leave"
+
+let leave t ~at p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.leave: slot out of universe";
+  match t.slots.(p) with
+  | Active _ ->
+      t.slots.(p) <- Left;
+      record t ~at (Left_gracefully p)
+  | Free | Down _ | Left ->
+      invalid_arg "Membership.leave: slot is not a live member"
+
+let crash t ~at p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.crash: slot out of universe";
+  match t.slots.(p) with
+  | Active { inc } ->
+      t.slots.(p) <- Down { inc };
+      record t ~at (Crashed p)
+  | Free | Down _ | Left ->
+      invalid_arg "Membership.crash: slot is not a live member"
+
+let recover t ~at p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.recover: slot out of universe";
+  match t.slots.(p) with
+  | Down { inc } ->
+      (* PR 2 recovery: same incarnation — the process resumes its old
+         identity from its durable snapshot, so nothing is stale *)
+      t.slots.(p) <- Active { inc };
+      record t ~at (Recovered p)
+  | Free | Active _ | Left ->
+      invalid_arg "Membership.recover: slot is not a crashed member"
+
+let history t = List.rev t.history
+
+let pp_transition ppf = function
+  | Joined p -> Format.fprintf ppf "join p%d" (p + 1)
+  | Rejoined p -> Format.fprintf ppf "rejoin p%d" (p + 1)
+  | Left_gracefully p -> Format.fprintf ppf "leave p%d" (p + 1)
+  | Crashed p -> Format.fprintf ppf "crash p%d" (p + 1)
+  | Recovered p -> Format.fprintf ppf "recover p%d" (p + 1)
+
+let pp_view ppf (v : view) =
+  Format.fprintf ppf "epoch %d {%a}" v.epoch
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (p, inc) ->
+         if inc = 0 then Format.fprintf ppf "p%d" (p + 1)
+         else Format.fprintf ppf "p%d#%d" (p + 1) inc))
+    v.members

@@ -1,0 +1,95 @@
+(** Epoch-stamped membership views for dynamic replica sets.
+
+    OptP as published fixes [P = {p1..pn}] up front. This module is the
+    bookkeeping that lets the replica set change while the protocol and
+    checker keep working: a fixed {e universe} of slots (the physical
+    fabric — network endpoints, channel state, execution columns — is
+    sized once at the universe), over which a {e view} evolves:
+
+    - a [Free] slot {!join}s as a fresh member (incarnation 0);
+    - an [Active] member {!crash}es, then either {!recover}s under the
+      {e same} incarnation (PR 2's model: it resumes its old identity
+      from its durable snapshot) or re-{!join}s under a {e fresh}
+      incarnation (the crash-rejoin path: its pre-crash in-flight
+      traffic is stale and must be quarantined);
+    - an [Active] member {!leave}s gracefully, retiring its slot for
+      the rest of the run (vector-clock components are indexed by slot,
+      so slots are never recycled — a departed process's writes stay
+      attributed to it forever).
+
+    Every transition bumps the {e epoch} — the generation counter the
+    drivers stamp into {!Dsm_sim.Network.set_epoch} and the checker
+    uses to segment its audit. Views only grow in clock width, never
+    shrink: a leave removes the member from the broadcast set but its
+    clock component remains (frozen), which is what keeps old vectors
+    comparable across epochs. *)
+
+module Sim_time := Dsm_sim.Sim_time
+
+type slot_state =
+  | Free
+  | Active of { inc : int }
+  | Down of { inc : int }
+  | Left
+
+type view = { epoch : int; members : (int * int) list }
+(** Live members as [(slot, incarnation)], ascending by slot. *)
+
+type transition =
+  | Joined of int
+  | Rejoined of int
+  | Left_gracefully of int
+  | Crashed of int
+  | Recovered of int
+
+type t
+
+val create : universe:int -> initial:int list -> t
+(** [create ~universe ~initial] — [initial] slots start [Active] at
+    incarnation 0 and epoch 0.
+    @raise Invalid_argument if [universe <= 0] or an initial member is
+    outside it. *)
+
+val universe : t -> int
+val epoch : t -> int
+
+val is_active : t -> int -> bool
+(** Live member right now. *)
+
+val is_member : t -> int -> bool
+(** Live or crashed member — a crashed member is still in the view
+    (its writes are owed to it on recovery); [Free] and [Left] slots
+    are not. *)
+
+val ever_member : t -> int -> bool
+(** Was ever in the view — the checker's completeness domain: writes of
+    crashed or departed members are real and must have propagated. *)
+
+val incarnation : t -> int -> int option
+(** Current incarnation of a member slot, [None] for [Free]/[Left]. *)
+
+val active : t -> int list
+(** Live member slots, ascending — the broadcast set. *)
+
+val view : t -> view
+
+(** {1 Transitions}
+
+    Each bumps the epoch and appends to {!history}.
+    @raise Invalid_argument on a transition the slot state forbids. *)
+
+val join : t -> at:Sim_time.t -> int -> unit
+(** [Free] slot → fresh member; [Down] slot → crash-rejoin under a
+    bumped incarnation. *)
+
+val leave : t -> at:Sim_time.t -> int -> unit
+val crash : t -> at:Sim_time.t -> int -> unit
+
+val recover : t -> at:Sim_time.t -> int -> unit
+(** PR 2 recovery: same incarnation. *)
+
+val history : t -> (Sim_time.t * transition * view) list
+(** All transitions oldest-first, each with the view it produced. *)
+
+val pp_transition : Format.formatter -> transition -> unit
+val pp_view : Format.formatter -> view -> unit

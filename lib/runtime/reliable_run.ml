@@ -29,7 +29,7 @@ let run (module P : Protocol.S) ~spec ~latency ~faults
   let network =
     Network.create ~engine ~rng ~n:spec.Spec.n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~faults ~metrics ()
+      ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics ()
   in
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~metrics ()

@@ -3,22 +3,38 @@ type event =
   | Recover of { proc : int; at : Sim_time.t }
   | Cut of { groups : int list list; at : Sim_time.t }
   | Heal of { at : Sim_time.t }
+  | Join of { proc : int; at : Sim_time.t }
+  | Leave of { proc : int; at : Sim_time.t }
 
 type t = event list
 
 let time = function
-  | Crash { at; _ } | Recover { at; _ } | Cut { at; _ } | Heal { at } -> at
+  | Crash { at; _ } | Recover { at; _ } | Cut { at; _ } | Heal { at }
+  | Join { at; _ } | Leave { at; _ } -> at
 
 let compare_events a b = Sim_time.compare (time a) (time b)
 
 let make events = List.stable_sort compare_events events
 
-let validate ~n t =
+(* Per-slot membership state machine used by [validate]:
+   - [`Up]: a live member — may crash or leave;
+   - [`Down]: a crashed member — may [Recover] (same incarnation, PR 2)
+     or [Join] (crash-rejoin under a fresh incarnation);
+   - [`Out]: not in the view (never joined, or left) — may [Join]. *)
+let validate ~n ?initial t =
   let fail fmt = Printf.ksprintf invalid_arg ("Fault_plan: " ^^ fmt) in
   let check_proc p =
     if p < 0 || p >= n then fail "process %d out of range [0,%d)" p n
   in
-  let down = Array.make n false in
+  let state = Array.make n `Out in
+  (match initial with
+  | None -> Array.fill state 0 n `Up
+  | Some members ->
+      List.iter
+        (fun p ->
+          check_proc p;
+          state.(p) <- `Up)
+        members);
   let last = ref Sim_time.zero in
   List.iter
     (fun ev ->
@@ -27,14 +43,30 @@ let validate ~n t =
         fail "events not sorted (use Fault_plan.make)";
       last := at;
       match ev with
-      | Crash { proc; _ } ->
+      | Crash { proc; _ } -> (
           check_proc proc;
-          if down.(proc) then fail "process %d crashed while down" proc;
-          down.(proc) <- true
-      | Recover { proc; _ } ->
+          match state.(proc) with
+          | `Up -> state.(proc) <- `Down
+          | `Down -> fail "process %d crashed while down" proc
+          | `Out -> fail "process %d crashed while not a member" proc)
+      | Recover { proc; _ } -> (
           check_proc proc;
-          if not down.(proc) then fail "process %d recovered while up" proc;
-          down.(proc) <- false
+          match state.(proc) with
+          | `Down -> state.(proc) <- `Up
+          | `Up | `Out -> fail "process %d recovered while up" proc)
+      | Join { proc; _ } -> (
+          check_proc proc;
+          match state.(proc) with
+          | `Out | `Down ->
+              (* [`Down] is a crash-rejoin: fresh incarnation *)
+              state.(proc) <- `Up
+          | `Up -> fail "process %d joined while already a live member" proc)
+      | Leave { proc; _ } -> (
+          check_proc proc;
+          match state.(proc) with
+          | `Up -> state.(proc) <- `Out
+          | `Down | `Out ->
+              fail "process %d left while not a live member" proc)
       | Cut { groups; _ } ->
           List.iter (List.iter check_proc) groups;
           let seen = Hashtbl.create 16 in
@@ -52,18 +84,33 @@ let down_at_end t =
   List.iter
     (function
       | Crash { proc; _ } -> Hashtbl.replace down proc ()
-      | Recover { proc; _ } -> Hashtbl.remove down proc
-      | Cut _ | Heal _ -> ())
+      | Recover { proc; _ } | Join { proc; _ } -> Hashtbl.remove down proc
+      | Leave _ | Cut _ | Heal _ -> ())
     t;
   List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) down [])
 
-let install t ~engine ~on_crash ~on_recover ~on_cut ~on_heal =
+let has_churn t =
+  List.exists (function Join _ | Leave _ -> true | _ -> false) t
+
+let install t ~engine ?on_join ?on_leave ~on_crash ~on_recover ~on_cut
+    ~on_heal () =
+  let missing name _ =
+    invalid_arg
+      (Printf.sprintf
+         "Fault_plan.install: plan contains %s events but no %s hook was \
+          given (use a churn-aware driver)"
+         name name)
+  in
+  let on_join = Option.value on_join ~default:(missing "Join") in
+  let on_leave = Option.value on_leave ~default:(missing "Leave") in
   List.iter
     (fun ev ->
       Engine.schedule_at engine (time ev) (fun () ->
           match ev with
           | Crash { proc; _ } -> on_crash proc
           | Recover { proc; _ } -> on_recover proc
+          | Join { proc; _ } -> on_join proc
+          | Leave { proc; _ } -> on_leave proc
           | Cut { groups; _ } -> on_cut groups
           | Heal _ -> on_heal ()))
     t
@@ -124,11 +171,62 @@ let random rng ~n ~horizon ?(crashes = 1) ?(partitions = 1) () =
   validate ~n plan;
   plan
 
+let random_churn rng ~initial ~n ~horizon ?(joins = 1) ?(leaves = 1)
+    ?(rejoins = 0) () =
+  if initial < 2 then
+    invalid_arg "Fault_plan.random_churn: need at least 2 initial members";
+  if horizon <= 0. then invalid_arg "Fault_plan.random_churn: horizon <= 0";
+  if joins < 0 || leaves < 0 || rejoins < 0 then
+    invalid_arg "Fault_plan.random_churn: negative event count";
+  if initial + joins > n then
+    invalid_arg
+      "Fault_plan.random_churn: universe too small for the joins (need \
+       initial + joins <= n)";
+  if leaves + rejoins > initial - 1 then
+    invalid_arg
+      "Fault_plan.random_churn: leaves + rejoins must keep at least one \
+       stable initial member";
+  let rng = Rng.split rng in
+  (* fresh joiners take the slots beyond the initial prefix *)
+  let join_events =
+    List.init joins (fun i ->
+        let at = Rng.uniform rng (0.1 *. horizon) (0.45 *. horizon) in
+        Join { proc = initial + i; at = Sim_time.of_float at })
+  in
+  (* distinct victims among the initial members: shuffle, slice *)
+  let procs = Array.init initial Fun.id in
+  Rng.shuffle rng procs;
+  let rejoin_events =
+    List.concat
+      (List.init rejoins (fun i ->
+           let proc = procs.(i) in
+           let at = Rng.uniform rng (0.2 *. horizon) (0.4 *. horizon) in
+           let down = Rng.uniform rng (0.1 *. horizon) (0.25 *. horizon) in
+           [
+             Crash { proc; at = Sim_time.of_float at };
+             (* Join of a downed member = crash-rejoin, fresh incarnation *)
+             Join { proc; at = Sim_time.of_float (at +. down) };
+           ]))
+  in
+  let leave_events =
+    List.init leaves (fun i ->
+        let proc = procs.(rejoins + i) in
+        let at = Rng.uniform rng (0.55 *. horizon) (0.85 *. horizon) in
+        Leave { proc; at = Sim_time.of_float at })
+  in
+  let plan = make (join_events @ rejoin_events @ leave_events) in
+  validate ~n ~initial:(List.init initial Fun.id) plan;
+  plan
+
 let pp_event ppf = function
   | Crash { proc; at } ->
       Format.fprintf ppf "crash p%d @ %a" (proc + 1) Sim_time.pp at
   | Recover { proc; at } ->
       Format.fprintf ppf "recover p%d @ %a" (proc + 1) Sim_time.pp at
+  | Join { proc; at } ->
+      Format.fprintf ppf "join p%d @ %a" (proc + 1) Sim_time.pp at
+  | Leave { proc; at } ->
+      Format.fprintf ppf "leave p%d @ %a" (proc + 1) Sim_time.pp at
   | Cut { groups; at } ->
       Format.fprintf ppf "cut {%a} @ %a"
         (Format.pp_print_list

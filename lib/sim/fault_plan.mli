@@ -20,6 +20,12 @@ type event =
   | Cut of { groups : int list list; at : Sim_time.t }
       (** partition: links between distinct groups drop silently *)
   | Heal of { at : Sim_time.t }  (** heal every cut link *)
+  | Join of { proc : int; at : Sim_time.t }
+      (** membership: the slot enters the view — a fresh process, or a
+          crash-rejoin under a new incarnation when the slot is down *)
+  | Leave of { proc : int; at : Sim_time.t }
+      (** membership: graceful departure — flush pending writes, then
+          leave the view *)
 
 type t = event list
 (** Sorted by time; build with {!make}. *)
@@ -29,25 +35,38 @@ val time : event -> Sim_time.t
 val make : event list -> t
 (** Sorts by time (stable, so same-time events keep list order). *)
 
-val validate : n:int -> t -> unit
-(** Checks the plan is well-formed for [n] processes: ids in range,
-    non-negative sorted times, no crash of a crashed process, no
-    recovery of a live one, no process in two groups of one cut.
+val validate : n:int -> ?initial:int list -> t -> unit
+(** Checks the plan is well-formed for a universe of [n] slots: ids in
+    range, non-negative sorted times, and the per-slot membership state
+    machine respected — crash/leave need a live member, recover needs a
+    crashed member, join needs a non-member or a crashed member (the
+    latter is a crash-rejoin). [?initial] is the slot set that is a live
+    member at time 0 (default: all [n]).
     @raise Invalid_argument otherwise. *)
 
 val down_at_end : t -> int list
-(** Processes left crashed when the plan runs out, sorted. *)
+(** Processes left crashed when the plan runs out, sorted (a
+    crash-rejoin [Join] clears the crash). *)
+
+val has_churn : t -> bool
+(** True when the plan contains [Join] or [Leave] events. *)
 
 val install :
   t ->
   engine:Engine.t ->
+  ?on_join:(int -> unit) ->
+  ?on_leave:(int -> unit) ->
   on_crash:(int -> unit) ->
   on_recover:(int -> unit) ->
   on_cut:(int list list -> unit) ->
   on_heal:(unit -> unit) ->
+  unit ->
   unit
 (** Schedules every event on the engine at its time. Call before
-    [Engine.run] (events must not be in the engine's past). *)
+    [Engine.run] (events must not be in the engine's past). The churn
+    hooks default to raising [Invalid_argument] when the plan actually
+    contains churn events — drivers that predate membership stay
+    honest. *)
 
 val random :
   Rng.t ->
@@ -64,6 +83,29 @@ val random :
     never overlap, so each heal tears down exactly its own cut).
     @raise Invalid_argument if [n < 2], [horizon <= 0],
     [crashes ∉ [0,n)] or [partitions < 0]. *)
+
+val random_churn :
+  Rng.t ->
+  initial:int ->
+  n:int ->
+  horizon:float ->
+  ?joins:int ->
+  ?leaves:int ->
+  ?rejoins:int ->
+  unit ->
+  t
+(** A randomized, valid churn schedule drawn from a split of [rng] over
+    a universe of [n] slots of which [initial] (slots [0..initial-1])
+    are members at time 0: [joins] (default 1) fresh processes take the
+    next slots and join in [0.1–0.45]·horizon; [rejoins] (default 0)
+    distinct initial members crash in [0.2–0.4]·horizon and rejoin
+    under a fresh incarnation after a [0.1–0.25]·horizon downtime;
+    [leaves] (default 1) further distinct initial members depart
+    gracefully in [0.55–0.85]·horizon. At least one initial member
+    stays up throughout.
+    @raise Invalid_argument if [initial < 2], [horizon <= 0], a count
+    is negative, [initial + joins > n], or
+    [leaves + rejoins > initial - 1]. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit

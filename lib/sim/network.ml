@@ -1,8 +1,8 @@
 type 'a handler = src:int -> at:Sim_time.t -> 'a -> unit
 
-type faults = { drop : float; duplicate : float }
+type faults = { drop : float; duplicate : float; corrupt : float }
 
-let no_faults = { drop = 0.; duplicate = 0. }
+let no_faults = { drop = 0.; duplicate = 0.; corrupt = 0. }
 
 exception No_handler of { dst : int; src : int; at : Sim_time.t }
 
@@ -27,7 +27,10 @@ type probes = {
   p_drop_random : Metrics.counter;
   p_drop_partition : Metrics.counter;
   p_drop_crash : Metrics.counter;
+  p_drop_stale : Metrics.counter;
+  p_drop_nonmember : Metrics.counter;
   p_duplicated : Metrics.counter;
+  p_corrupted : Metrics.counter;
   p_partition_cuts : Metrics.counter;
   p_payload_bytes : Metrics.counter;
 }
@@ -41,7 +44,10 @@ let probes metrics =
     p_drop_random = c "net_dropped" ~labels:[ ("cause", "random") ];
     p_drop_partition = c "net_dropped" ~labels:[ ("cause", "partition") ];
     p_drop_crash = c "net_dropped" ~labels:[ ("cause", "crash") ];
+    p_drop_stale = c "net_dropped" ~labels:[ ("cause", "stale") ];
+    p_drop_nonmember = c "net_dropped" ~labels:[ ("cause", "nonmember") ];
     p_duplicated = c "net_duplicated";
+    p_corrupted = c "net_corrupted";
     p_partition_cuts = c "net_partition_cuts";
     p_payload_bytes = c "net_payload_bytes";
   }
@@ -57,17 +63,29 @@ type 'a t = {
   handlers : 'a handler option array;
   cut_link : bool array array;  (* [src].(dst): true = partitioned *)
   crashed : bool array;
+  incarnations : int array;
+      (* per-process incarnation number; envelopes are stamped with the
+         destination's incarnation at send, and a delivery addressed to
+         an earlier incarnation is a counted stale drop *)
+  mangle : 'a -> 'a;
+  mutable member : int -> bool;
+      (* the membership oracle: a delivery to a slot outside the current
+         view is a counted drop, never a [No_handler] crash *)
+  mutable epoch : int;  (* current membership view epoch (informational) *)
   probes : probes;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable corrupted : int;
   mutable partition_dropped : int;
   mutable crash_dropped : int;
+  mutable stale_dropped : int;
+  mutable nonmember_dropped : int;
 }
 
 let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
-    ?(metrics = Metrics.null ()) () =
+    ?mangle ?(metrics = Metrics.null ()) () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   let check_prob name p =
     if p < 0. || p > 1. then
@@ -75,6 +93,17 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
   in
   check_prob "drop probability" faults.drop;
   check_prob "duplicate probability" faults.duplicate;
+  check_prob "corrupt probability" faults.corrupt;
+  let mangle =
+    match mangle with
+    | Some f -> f
+    | None ->
+        if faults.corrupt > 0. then
+          invalid_arg
+            "Network.create: corrupt > 0 needs a ~mangle function \
+             (the network is payload-generic and cannot flip bits itself)";
+        Fun.id
+  in
   let channel_rng =
     Array.init n (fun _ -> Array.init n (fun _ -> Rng.split rng))
   in
@@ -89,13 +118,20 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
     handlers = Array.make n None;
     cut_link = Array.init n (fun _ -> Array.make n false);
     crashed = Array.make n false;
+    incarnations = Array.make n 0;
+    mangle;
+    member = (fun _ -> true);
+    epoch = 0;
     probes = probes metrics;
     sent = 0;
     delivered = 0;
     dropped = 0;
     duplicated = 0;
+    corrupted = 0;
     partition_dropped = 0;
     crash_dropped = 0;
+    stale_dropped = 0;
+    nonmember_dropped = 0;
   }
 
 let n t = t.n
@@ -177,9 +213,30 @@ let is_crashed t p =
   check_proc t p "is_crashed";
   t.crashed.(p)
 
+(* ---- incarnations and view epochs --------------------------------- *)
+
+let bump_incarnation t p =
+  check_proc t p "bump_incarnation";
+  t.incarnations.(p) <- t.incarnations.(p) + 1
+
+let incarnation t p =
+  check_proc t p "incarnation";
+  t.incarnations.(p)
+
+let set_membership t f = t.member <- f
+
+let set_epoch t e =
+  if e < t.epoch then invalid_arg "Network.set_epoch: epochs only advance";
+  t.epoch <- e
+
+let epoch t = t.epoch
+
 (* ---- transmission -------------------------------------------------- *)
 
 let schedule_delivery t ~src ~dst ~at payload =
+  (* view-stamped envelope: capture the destination's incarnation (and
+     the current view epoch, informational) at transmission time *)
+  let dst_inc = t.incarnations.(dst) in
   Engine.schedule_at t.engine at (fun () ->
       (* a crashed destination silently loses the message: the frame
          reached a machine that is not running.  Counted, not raised —
@@ -187,6 +244,23 @@ let schedule_delivery t ~src ~dst ~at payload =
       if t.crashed.(dst) then begin
         t.crash_dropped <- t.crash_dropped + 1;
         Metrics.incr t.probes.p_drop_crash
+      end
+      else if t.incarnations.(dst) <> dst_inc then begin
+        (* the destination crashed and rejoined as a fresh incarnation
+           while this envelope was in flight: the old incarnation it was
+           addressed to no longer exists.  Retransmission layers re-send
+           under the new stamp, so nothing is lost — but the stale copy
+           must not reach the reborn process. *)
+        t.stale_dropped <- t.stale_dropped + 1;
+        Metrics.incr t.probes.p_drop_stale
+      end
+      else if not (t.member dst) then begin
+        (* the membership view says this slot is not (or no longer) a
+           member: a frame that raced a leave, or was addressed to a
+           never-joined slot.  Accounted, not raised — only a missing
+           handler on a live {e member} is a harness bug. *)
+        t.nonmember_dropped <- t.nonmember_dropped + 1;
+        Metrics.incr t.probes.p_drop_nonmember
       end
       else begin
         t.delivered <- t.delivered + 1;
@@ -219,6 +293,15 @@ let send t ~src ~dst payload =
     Metrics.incr t.probes.p_drop_random
   end
   else begin
+    let payload =
+      if t.faults.corrupt > 0. && Rng.bernoulli rng t.faults.corrupt
+      then begin
+        t.corrupted <- t.corrupted + 1;
+        Metrics.incr t.probes.p_corrupted;
+        t.mangle payload
+      end
+      else payload
+    in
     let delay = Latency.sample (t.latency ~src ~dst) rng in
     let at = Sim_time.add (Engine.now t.engine) delay in
     let at =
@@ -253,9 +336,13 @@ let messages_dropped t = t.dropped
 let messages_duplicated t = t.duplicated
 let messages_partition_dropped t = t.partition_dropped
 let messages_crash_dropped t = t.crash_dropped
+let messages_stale_dropped t = t.stale_dropped
+let messages_nonmember_dropped t = t.nonmember_dropped
+let messages_corrupted t = t.corrupted
 
 let in_flight t =
   (* duplicate copies add deliveries beyond sends; clamp at zero *)
   max 0
     (t.sent - t.dropped - t.partition_dropped
-    - (t.delivered + t.crash_dropped - t.duplicated))
+    - (t.delivered + t.crash_dropped + t.stale_dropped
+      + t.nonmember_dropped - t.duplicated))

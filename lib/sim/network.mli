@@ -29,6 +29,10 @@ type faults = {
   drop : float;  (** probability a transmission is lost *)
   duplicate : float;  (** probability a delivered message is delivered
                           twice (the copy takes an independent delay) *)
+  corrupt : float;
+      (** probability a delivered payload is mangled in transit (the
+          caller's [~mangle] is applied to it); models bit-flips that a
+          checksumming layer must catch *)
 }
 
 val no_faults : faults
@@ -45,6 +49,7 @@ val create :
   latency:(src:int -> dst:int -> Latency.t) ->
   ?fifo:bool ->
   ?faults:faults ->
+  ?mangle:('a -> 'a) ->
   ?metrics:Dsm_obs.Metrics.t ->
   unit ->
   'a t
@@ -53,10 +58,17 @@ val create :
     traffic on one channel does not perturb another channel's delays.
 
     [?metrics] (default: the null registry) receives [net_sends],
-    [net_delivered], [net_dropped{cause=random|partition|crash}],
-    [net_duplicated], [net_partition_cuts] and [net_payload_bytes]
-    (Marshal-encoded size, only measured when the registry is live).
-    Probes never touch RNG streams or the event schedule.
+    [net_delivered],
+    [net_dropped{cause=random|partition|crash|stale|nonmember}],
+    [net_duplicated], [net_corrupted], [net_partition_cuts] and
+    [net_payload_bytes] (Marshal-encoded size, only measured when the
+    registry is live). Probes never touch RNG streams or the event
+    schedule.
+
+    [?mangle] is the corruption model: when the [corrupt] fault fires,
+    the delivered payload is [mangle payload] instead of [payload]. The
+    network is payload-generic, so it cannot flip bits itself; [create]
+    rejects [corrupt > 0] without a [~mangle].
 
     With [?faults], the network no longer implements the paper's §3.1
     reliable-channel assumption: transmissions may be dropped or
@@ -71,9 +83,19 @@ val n : 'a t -> int
 
 val set_handler : 'a t -> int -> 'a handler -> unit
 (** Installs the delivery handler of a process. Messages delivered to a
-    process without a handler raise {!No_handler} at delivery time
-    (unless the destination is marked crashed, in which case the
-    delivery is a counted silent drop). *)
+    process without a handler raise {!No_handler} at delivery time —
+    unless the destination is marked crashed or the membership oracle
+    ({!set_membership}) excludes it, in which case the delivery is a
+    counted silent drop: only a missing handler on a live {e member} is
+    a harness bug. *)
+
+val set_membership : 'a t -> (int -> bool) -> unit
+(** Installs the membership oracle consulted at delivery time: a frame
+    reaching a slot for which the oracle returns [false] — one that
+    raced a graceful leave, or was addressed to a never-joined slot —
+    is a counted drop ([net_dropped{cause=nonmember}],
+    {!messages_nonmember_dropped}), never a {!No_handler} crash.
+    Default: every slot is a member (the static-membership model). *)
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 (** Schedules delivery of one message at [now + latency(src,dst)].
@@ -123,6 +145,32 @@ val mark_crashed : 'a t -> int -> unit
 val mark_recovered : 'a t -> int -> unit
 val is_crashed : 'a t -> int -> bool
 
+(** {1 Incarnations and view epochs}
+
+    Every transmission is a {e view-stamped envelope}: it captures the
+    destination's incarnation number at send time. A process that
+    rejoins after a crash does so under a bumped incarnation
+    ({!bump_incarnation}); envelopes still in flight toward the old
+    incarnation are counted stale drops at delivery
+    ({!messages_stale_dropped}) — the machine they were addressed to no
+    longer exists. Retransmission layers re-send under the fresh stamp.
+
+    PR 2's plain crash/recover cycle never bumps incarnations, so
+    static-membership campaigns behave exactly as before.
+
+    The {e epoch} is the generation counter of the membership view,
+    maintained by the driver ({!set_epoch}); it only advances. Old-epoch
+    messages are still causally valid (views only grow), so epochs are
+    not a drop criterion — they exist for observability and for drivers
+    to stamp into their own payloads. *)
+
+val bump_incarnation : 'a t -> int -> unit
+val incarnation : 'a t -> int -> int
+val set_epoch : 'a t -> int -> unit
+(** @raise Invalid_argument if the epoch would move backwards. *)
+
+val epoch : 'a t -> int
+
 (** {1 Counters} *)
 
 val messages_sent : 'a t -> int
@@ -136,6 +184,15 @@ val messages_partition_dropped : 'a t -> int
 
 val messages_crash_dropped : 'a t -> int
 (** Deliveries lost to a crashed destination. *)
+
+val messages_stale_dropped : 'a t -> int
+(** Deliveries addressed to a superseded incarnation. *)
+
+val messages_nonmember_dropped : 'a t -> int
+(** Deliveries to a slot outside the membership view. *)
+
+val messages_corrupted : 'a t -> int
+(** Payloads mangled in transit by the [corrupt] fault. *)
 
 val in_flight : 'a t -> int
 (** Messages sent and neither delivered nor dropped (duplicate copies

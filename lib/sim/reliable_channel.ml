@@ -1,8 +1,23 @@
 module Metrics = Dsm_obs.Metrics
 
 type 'a frame =
-  | Data of { cseq : int; payload : 'a }
-  | Ack of { cseq : int }
+  | Data of { cseq : int; inc : int; sum : int; payload : 'a }
+  | Ack of { cseq : int; sum : int }
+
+(* Payload checksums. [Hashtbl.hash] is cheap and deterministic; it
+   truncates very deep structures, but the simulated corruption model
+   ({!corrupt_frame}) mangles the checksum field itself, so detection of
+   injected corruption is exact. On real hardware this slot would hold a
+   CRC. *)
+let data_sum ~cseq ~inc payload = Hashtbl.hash (cseq, inc, payload)
+let ack_sum ~cseq = Hashtbl.hash (cseq, 0x5ca1ab1e)
+
+(* The corruption model handed to {!Network.create} as [~mangle]: a bit
+   flip anywhere in the frame makes the checksum stop matching, which we
+   model directly by flipping the checksum. *)
+let corrupt_frame = function
+  | Data d -> Data { d with sum = d.sum lxor 0x5a5a5a5a }
+  | Ack a -> Ack { a with sum = a.sum lxor 0x5a5a5a5a }
 
 type probes = {
   p_payloads : Metrics.counter;
@@ -12,6 +27,8 @@ type probes = {
   p_backoff_level : Metrics.histogram;
       (* attempts counter at each retransmission: level 1 = first
          retransmit, deeper levels mean the exponential backoff engaged *)
+  p_corrupt : Metrics.counter;
+  p_stale : Metrics.counter;
 }
 
 let probes metrics =
@@ -22,10 +39,13 @@ let probes metrics =
     p_aborted = Metrics.counter metrics "chan_aborted";
     p_backoff_level =
       Metrics.histogram metrics "chan_backoff_level" ~lo:0. ~hi:16. ~bins:16;
+    p_corrupt = Metrics.counter metrics "chan_corrupt_total";
+    p_stale = Metrics.counter metrics "chan_stale_total";
   }
 
 type 'a pending = {
   payload : 'a;
+  inc : int;  (* sender incarnation captured at the original send *)
   mutable acked : bool;
   mutable aborted : bool;
   mutable attempts : int;  (* retransmissions so far, for backoff *)
@@ -46,12 +66,19 @@ type 'a t = {
   delivered_seqs : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
       (* (src, dst) -> cseqs already delivered at dst *)
   handlers : 'a Network.handler option array;
+  incarnations : int array;
+      (* sender-side incarnation per process: Data frames are stamped at
+         send time; a frame stamped by a superseded incarnation is
+         quarantined at delivery (acked so its zombie timer dies, never
+         handed to the handler) *)
   probes : probes;
   mutable payloads_sent : int;
   mutable payloads_delivered : int;
   mutable retransmissions : int;
   mutable duplicates_discarded : int;
   mutable aborted_payloads : int;
+  mutable corrupt_dropped : int;
+  mutable stale_quarantined : int;
 }
 
 let seen_set t ~src ~dst =
@@ -65,30 +92,57 @@ let seen_set t ~src ~dst =
 (* receive a wire frame at [dst] *)
 let on_frame t dst ~src ~at frame =
   match frame with
-  | Ack { cseq } -> (
-      (* the ack travels dst->src, so here [dst] is the original
-         sender and [src] the original receiver *)
-      match Hashtbl.find_opt t.outstanding (dst, src, cseq) with
-      | Some p -> p.acked <- true
-      | None -> () (* duplicate ack for an already-settled payload *))
-  | Data { cseq; payload } ->
-      (* always (re-)acknowledge: the previous ack may have been lost *)
-      Network.send t.network ~src:dst ~dst:src (Ack { cseq });
-      let seen = seen_set t ~src ~dst in
-      if Hashtbl.mem seen cseq then begin
-        t.duplicates_discarded <- t.duplicates_discarded + 1;
-        Metrics.incr t.probes.p_dedup_hits
+  | Ack { cseq; sum } -> (
+      if sum <> ack_sum ~cseq then begin
+        (* corrupt ack: drop it; the sender keeps retransmitting, the
+           receiver re-acks the duplicate, and the channel heals *)
+        t.corrupt_dropped <- t.corrupt_dropped + 1;
+        Metrics.incr t.probes.p_corrupt
+      end
+      else
+        (* the ack travels dst->src, so here [dst] is the original
+           sender and [src] the original receiver *)
+        match Hashtbl.find_opt t.outstanding (dst, src, cseq) with
+        | Some p -> p.acked <- true
+        | None -> () (* duplicate ack for an already-settled payload *))
+  | Data { cseq; inc; sum; payload } ->
+      if sum <> data_sum ~cseq ~inc payload then begin
+        (* verify-on-receive: a corrupt frame is dropped uncounted by
+           the dedup tables and NOT acknowledged — the retransmission
+           timer re-sends an intact copy, so reliability is preserved *)
+        t.corrupt_dropped <- t.corrupt_dropped + 1;
+        Metrics.incr t.probes.p_corrupt
+      end
+      else if inc < t.incarnations.(src) then begin
+        (* stale incarnation: the frame was sent by a previous life of
+           [src], which has since crashed and rejoined.  Quarantine it:
+           acknowledge (so the zombie pre-crash timer stops firing) but
+           never hand the payload to the protocol — the rejoined
+           process's durable writes reach the group via anti-entropy
+           under its fresh incarnation instead. *)
+        Network.send t.network ~src:dst ~dst:src (Ack { cseq; sum = ack_sum ~cseq });
+        t.stale_quarantined <- t.stale_quarantined + 1;
+        Metrics.incr t.probes.p_stale
       end
       else begin
-        Hashtbl.add seen cseq ();
-        t.payloads_delivered <- t.payloads_delivered + 1;
-        match t.handlers.(dst) with
-        | Some h -> h ~src ~at payload
-        | None ->
-            failwith
-              (Printf.sprintf
-                 "Reliable_channel: delivery to process %d without handler"
-                 dst)
+        (* always (re-)acknowledge: the previous ack may have been lost *)
+        Network.send t.network ~src:dst ~dst:src (Ack { cseq; sum = ack_sum ~cseq });
+        let seen = seen_set t ~src ~dst in
+        if Hashtbl.mem seen cseq then begin
+          t.duplicates_discarded <- t.duplicates_discarded + 1;
+          Metrics.incr t.probes.p_dedup_hits
+        end
+        else begin
+          Hashtbl.add seen cseq ();
+          t.payloads_delivered <- t.payloads_delivered + 1;
+          match t.handlers.(dst) with
+          | Some h -> h ~src ~at payload
+          | None ->
+              failwith
+                (Printf.sprintf
+                   "Reliable_channel: delivery to process %d without handler"
+                   dst)
+        end
       end
 
 let create ~engine ~network ?(retransmit_after = 50.) ?(backoff = 2.)
@@ -125,12 +179,15 @@ let create ~engine ~network ?(retransmit_after = 50.) ?(backoff = 2.)
       outstanding = Hashtbl.create 256;
       delivered_seqs = Hashtbl.create 64;
       handlers = Array.make n None;
+      incarnations = Array.make n 0;
       probes = probes metrics;
       payloads_sent = 0;
       payloads_delivered = 0;
       retransmissions = 0;
       duplicates_discarded = 0;
       aborted_payloads = 0;
+      corrupt_dropped = 0;
+      stale_quarantined = 0;
     }
   in
   for dst = 0 to n - 1 do
@@ -170,10 +227,21 @@ let send t ~src ~dst payload =
   t.next_seq.(src).(dst) <- cseq + 1;
   t.payloads_sent <- t.payloads_sent + 1;
   Metrics.incr t.probes.p_payloads;
-  let p = { payload; acked = false; aborted = false; attempts = 0 } in
+  let inc = t.incarnations.(src) in
+  let p = { payload; inc; acked = false; aborted = false; attempts = 0 } in
   Hashtbl.replace t.outstanding (src, dst, cseq) p;
   let transmit () =
-    Network.send t.network ~src ~dst (Data { cseq; payload = p.payload })
+    (* the frame keeps its send-time incarnation stamp across
+       retransmissions: a retransmit after the sender's rejoin is
+       exactly the stale traffic quarantine must catch *)
+    Network.send t.network ~src ~dst
+      (Data
+         {
+           cseq;
+           inc = p.inc;
+           sum = data_sum ~cseq ~inc:p.inc p.payload;
+           payload = p.payload;
+         })
   in
   let rec arm_timer () =
     Engine.schedule_after t.engine (interval t ~attempts:p.attempts)
@@ -251,12 +319,33 @@ let abort_sender t ~peer =
   Metrics.add t.probes.p_aborted count;
   count
 
+let bump_incarnation t p =
+  if p < 0 || p >= t.n then
+    invalid_arg "Reliable_channel.bump_incarnation: process id out of range";
+  t.incarnations.(p) <- t.incarnations.(p) + 1
+
+let incarnation t p =
+  if p < 0 || p >= t.n then
+    invalid_arg "Reliable_channel.incarnation: process id out of range";
+  t.incarnations.(p)
+
 let payloads_sent t = t.payloads_sent
 let payloads_delivered t = t.payloads_delivered
 let retransmissions t = t.retransmissions
 let duplicates_discarded t = t.duplicates_discarded
 let aborted t = t.aborted_payloads
 
+let corrupt_dropped t = t.corrupt_dropped
+let stale_quarantined t = t.stale_quarantined
+
 let unacked t =
   Hashtbl.fold (fun _ p acc -> if p.acked then acc else acc + 1)
+    t.outstanding 0
+
+let unacked_from t ~peer =
+  if peer < 0 || peer >= t.n then
+    invalid_arg "Reliable_channel.unacked_from: process id out of range";
+  Hashtbl.fold
+    (fun (src, _, _) p acc ->
+      if src = peer && (not p.acked) && not p.aborted then acc + 1 else acc)
     t.outstanding 0

@@ -4,11 +4,21 @@
     message sent by a process is eventually received exactly once and
     no spurious message can ever be delivered". This module {e builds}
     that abstraction instead of assuming it: over a {!Network} that may
-    drop and duplicate (but not corrupt or forge) messages, it layers
+    drop, duplicate and {e corrupt} (but not forge) messages, it layers
 
     - per-ordered-pair sequence numbers,
-    - positive acknowledgments with timeout-based retransmission, and
-    - receiver-side deduplication,
+    - payload checksums, verified on receive — corrupt frames are
+      dropped and counted ([chan_corrupt_total]), and because a dropped
+      data frame is never acknowledged, retransmission heals the loss,
+    - positive acknowledgments with timeout-based retransmission,
+    - receiver-side deduplication, and
+    - sender-incarnation stamps: every data frame carries the
+      incarnation of its sender at the {e original} send. After a
+      crash-rejoin bumps the incarnation ({!bump_incarnation}),
+      retransmissions of pre-crash frames are {e quarantined} at the
+      receiver — acknowledged, so the zombie timer stops, but never
+      delivered ([chan_stale_total]); the rejoined process's durable
+      writes reach the group through anti-entropy instead.
 
     delivering each payload to the destination handler exactly once
     (not necessarily in send order — the protocols above tolerate
@@ -32,7 +42,14 @@
     that payload type. *)
 
 type 'a frame
-(** Data or acknowledgment, as placed on the wire. *)
+(** Data or acknowledgment, as placed on the wire; both carry a
+    checksum, data frames also the sender's incarnation stamp. *)
+
+val corrupt_frame : 'a frame -> 'a frame
+(** The corruption model to pass to {!Network.create} as [~mangle]: any
+    in-flight bit flip invalidates the checksum, which this models by
+    flipping the checksum field itself, so verify-on-receive detects it
+    exactly. *)
 
 type 'a t
 
@@ -48,7 +65,8 @@ val create :
   unit ->
   'a t
 (** [?metrics] (default: the null registry) receives [chan_payloads],
-    [chan_retransmissions], [chan_dedup_hits], [chan_aborted] and the
+    [chan_retransmissions], [chan_dedup_hits], [chan_aborted],
+    [chan_corrupt_total], [chan_stale_total] and the
     [chan_backoff_level] histogram (the attempt number of every
     retransmission — mass above level 1 means exponential backoff
     engaged). Probes are pure observation.
@@ -91,6 +109,16 @@ val abort_sender : 'a t -> peer:int -> int
     durable send queue that finishes the job after recovery.
     @raise Invalid_argument on an out-of-range process id. *)
 
+(** {1 Incarnations} *)
+
+val bump_incarnation : 'a t -> int -> unit
+(** Call when a process rejoins after a crash: frames it sent in its
+    previous life (including retransmissions of them) become stale and
+    are quarantined at every receiver. PR 2's plain crash/recover cycle
+    does not bump, so static-membership campaigns are unchanged. *)
+
+val incarnation : 'a t -> int -> int
+
 (** {1 Statistics} *)
 
 val payloads_sent : 'a t -> int
@@ -108,3 +136,16 @@ val aborted : 'a t -> int
 
 val unacked : 'a t -> int
 (** Payloads still awaiting acknowledgment (aborted ones excluded). *)
+
+val unacked_from : 'a t -> peer:int -> int
+(** Payloads originated by [peer] still awaiting acknowledgment — the
+    graceful-leave flush condition: a departing process waits until
+    this reaches zero before leaving the view. *)
+
+val corrupt_dropped : 'a t -> int
+(** Frames that failed checksum verification (dropped, healed by
+    retransmission). *)
+
+val stale_quarantined : 'a t -> int
+(** Data frames from a superseded sender incarnation (acked but never
+    delivered). *)

@@ -1,8 +1,14 @@
-type t = int array
+(* Representation: a record holding the component array, so the vector
+   can grow in place (membership joins) while every alias observes the
+   new size. Components beyond a vector's physical size are implicitly
+   zero: a clock taken in an n-process epoch compares correctly against
+   one from a later, wider epoch, because a process that had not joined
+   yet had produced no events. *)
+type t = { mutable data : int array }
 
 let create n =
   if n <= 0 then invalid_arg "Vector_clock.create: size must be positive";
-  Array.make n 0
+  { data = Array.make n 0 }
 
 let of_array a =
   if Array.length a = 0 then invalid_arg "Vector_clock.of_array: empty";
@@ -10,44 +16,60 @@ let of_array a =
     (fun x ->
       if x < 0 then invalid_arg "Vector_clock.of_array: negative component")
     a;
-  Array.copy a
+  { data = Array.copy a }
 
 let of_list l = of_array (Array.of_list l)
-let copy = Array.copy
-let size = Array.length
+let copy v = { data = Array.copy v.data }
+let size v = Array.length v.data
+
+let grow v n =
+  let old = Array.length v.data in
+  if n < old then invalid_arg "Vector_clock.grow: cannot shrink";
+  if n > old then begin
+    let data = Array.make n 0 in
+    Array.blit v.data 0 data 0 old;
+    v.data <- data
+  end
 
 let get v i =
-  if i < 0 || i >= Array.length v then
+  if i < 0 || i >= Array.length v.data then
     invalid_arg "Vector_clock.get: index out of bounds";
-  v.(i)
+  v.data.(i)
 
-let unsafe_get = Array.unsafe_get
+let get0 v i =
+  if i < 0 then invalid_arg "Vector_clock.get0: negative index";
+  if i >= Array.length v.data then 0 else v.data.(i)
 
-let unsafe_tick v i = Array.unsafe_set v i (Array.unsafe_get v i + 1)
+let unsafe_get v i = Array.unsafe_get v.data i
 
-let to_array = Array.copy
-let to_list = Array.to_list
-let sum v = Array.fold_left ( + ) 0 v
+let unsafe_tick v i =
+  Array.unsafe_set v.data i (Array.unsafe_get v.data i + 1)
+
+let to_array v = Array.copy v.data
+let to_list v = Array.to_list v.data
+let sum v = Array.fold_left ( + ) 0 v.data
 
 let set v i k =
-  if i < 0 || i >= Array.length v then
+  if i < 0 || i >= Array.length v.data then
     invalid_arg "Vector_clock.set: index out of bounds";
   if k < 0 then invalid_arg "Vector_clock.set: negative value";
-  v.(i) <- k
+  v.data.(i) <- k
 
 let tick v i =
-  if i < 0 || i >= Array.length v then
+  if i < 0 || i >= Array.length v.data then
     invalid_arg "Vector_clock.tick: index out of bounds";
-  v.(i) <- v.(i) + 1
+  v.data.(i) <- v.data.(i) + 1
 
-let check_sizes name a b =
-  if Array.length a <> Array.length b then
-    invalid_arg (Printf.sprintf "Vector_clock.%s: size mismatch" name)
+(* Binary operations tolerate mixed sizes under the implicit-zero
+   convention. The common (static-membership) case of equal sizes stays
+   a single dense loop. *)
 
 let merge_into dst src =
-  check_sizes "merge_into" dst src;
-  for i = 0 to Array.length dst - 1 do
-    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  if Array.length src.data > Array.length dst.data then
+    grow dst (Array.length src.data);
+  let d = dst.data and s = src.data in
+  for i = 0 to Array.length s - 1 do
+    if s.(i) > d.(i) then d.(i) <- s.(i)
   done
 
 let merge a b =
@@ -56,14 +78,21 @@ let merge a b =
   r
 
 let equal a b =
-  check_sizes "equal" a b;
-  let rec go i = i = Array.length a || (a.(i) = b.(i) && go (i + 1)) in
-  go 0
+  let a = a.data and b = b.data in
+  let la = Array.length a and lb = Array.length b in
+  let n = if la < lb then la else lb in
+  let rec same i = i = n || (a.(i) = b.(i) && same (i + 1)) in
+  let rec zero v i l = i = l || (v.(i) = 0 && zero v (i + 1) l) in
+  same 0 && zero a n la && zero b n lb
 
 let leq a b =
-  check_sizes "leq" a b;
-  let rec go i = i = Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
-  go 0
+  let a = a.data and b = b.data in
+  let la = Array.length a and lb = Array.length b in
+  let n = if la < lb then la else lb in
+  let rec go i = i = n || (a.(i) <= b.(i) && go (i + 1)) in
+  (* components of [a] beyond [b]'s size must be zero (≤ implicit 0) *)
+  let rec zero i = i = la || (a.(i) = 0 && zero (i + 1)) in
+  go 0 && zero n
 
 let lt a b = leq a b && not (equal a b)
 let concurrent a b = (not (lt a b)) && not (lt b a) && not (equal a b)
@@ -71,13 +100,16 @@ let concurrent a b = (not (lt a b)) && not (lt b a) && not (equal a b)
 type order = Equal | Before | After | Concurrent
 
 (* Single pass: track whether some component of [a] is below [b] and
-   vice versa. *)
+   vice versa. Missing components read as zero. *)
 let compare_partial a b =
-  check_sizes "compare_partial" a b;
+  let a = a.data and b = b.data in
+  let la = Array.length a and lb = Array.length b in
+  let n = if la > lb then la else lb in
   let a_below = ref false and b_below = ref false in
-  for i = 0 to Array.length a - 1 do
-    if a.(i) < b.(i) then a_below := true
-    else if a.(i) > b.(i) then b_below := true
+  for i = 0 to n - 1 do
+    let x = if i < la then a.(i) else 0
+    and y = if i < lb then b.(i) else 0 in
+    if x < y then a_below := true else if x > y then b_below := true
   done;
   match (!a_below, !b_below) with
   | false, false -> Equal
@@ -86,11 +118,15 @@ let compare_partial a b =
   | true, true -> Concurrent
 
 let compare_total a b =
-  check_sizes "compare_total" a b;
+  let a = a.data and b = b.data in
+  let la = Array.length a and lb = Array.length b in
+  let n = if la > lb then la else lb in
   let rec go i =
-    if i = Array.length a then 0
+    if i = n then 0
     else
-      let c = Int.compare a.(i) b.(i) in
+      let x = if i < la then a.(i) else 0
+      and y = if i < lb then b.(i) else 0 in
+      let c = Int.compare x y in
       if c <> 0 then c else go (i + 1)
   in
   go 0
@@ -100,6 +136,6 @@ let pp ppf v =
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        Format.pp_print_int)
-    (Array.to_list v)
+    (Array.to_list v.data)
 
 let to_string v = Format.asprintf "%a" pp v

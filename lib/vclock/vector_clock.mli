@@ -28,6 +28,15 @@ val of_list : int list -> t
 val copy : t -> t
 (** [copy v] is a fresh clock equal to [v]. *)
 
+val grow : t -> int -> unit
+(** [grow v n] widens [v] in place to [n] components, zero-padding the
+    new entries. Every alias of [v] observes the new size. Used when the
+    membership view widens (a process joins): a clock taken in an
+    earlier, narrower epoch remains comparable because a process that
+    had not joined yet had produced no events — its component is zero.
+    No-op when [n = size v].
+    @raise Invalid_argument if [n < size v] (clocks never shrink). *)
+
 (** {1 Accessors} *)
 
 val size : t -> int
@@ -36,6 +45,11 @@ val size : t -> int
 val get : t -> int -> int
 (** [get v i] is component [i].
     @raise Invalid_argument if [i] is out of bounds. *)
+
+val get0 : t -> int -> int
+(** [get0 v i] is component [i], reading 0 beyond [v]'s physical size —
+    the implicit-zero convention for clocks captured in a narrower
+    membership epoch. @raise Invalid_argument only if [i < 0]. *)
 
 val unsafe_get : t -> int -> int
 (** [get] without the bounds check. For protocol hot loops (the
@@ -71,8 +85,8 @@ val merge_into : t -> t -> unit
 (** [merge_into dst src] sets [dst] to the component-wise maximum of
     [dst] and [src] (in place). This is the read-time merge of OptP
     (line 1 of the read procedure) and the delivery-time merge of causal
-    broadcast.
-    @raise Invalid_argument if sizes differ. *)
+    broadcast. If [src] is wider than [dst], [dst] is grown first;
+    narrower [src] components beyond its size are implicit zeros. *)
 
 (** {1 Pure operations} *)
 

@@ -8,10 +8,10 @@ converge.
   workload: workload(n=4, m=3, ops/proc=30, writes=50%, think=exp(mean=10), vars=uniform, seed=3)
   network:  exp(mean=8)
   
-  OptP fault campaign: 1 recoveries, 82 commits (82577 bytes), 5 rolled-back events, sync 9 req / 9 replies, 26 replayed writes, 3 aborted payloads, 59 partition-dropped, 35 crash-dropped frames; live_equal=true clean=true t_end=1312.3
-  p2 crash@120.0 recover@320.0 rolled_back=2 replayed=22 caught_up=+7.5
+  OptP fault campaign: 1 recoveries, 82 commits (85281 bytes), 5 rolled-back events, sync 9 req / 9 replies, 27 replayed writes, 3 aborted payloads, 40 partition-dropped, 7 crash-dropped frames; live_equal=true clean=true t_end=1208.8
+  p2 crash@120.0 recover@320.0 rolled_back=2 replayed=23 caught_up=+3.4
   
-  audit: applies=232 delays=55 (necessary=55, unnecessary=0) skips=0 complete=true lost=0
+  audit: applies=232 delays=50 (necessary=50, unnecessary=0) skips=0 complete=true lost=0
          violations=0
 
 
@@ -26,16 +26,16 @@ The same campaign as machine-readable JSON.
     "live_equal": true,
     "down_at_end": [],
     "recoveries": [
-      { "proc": 1, "crashed_at": 120.0, "recovered_at": 320.0, "caught_up_at": 329.0,
-        "latency": 9.0, "rolled_back_events": 2, "replayed": 24 }
+      { "proc": 1, "crashed_at": 120.0, "recovered_at": 320.0, "caught_up_at": 323.4,
+        "latency": 3.4, "rolled_back_events": 2, "replayed": 27 }
     ],
-    "durability": { "commits": 82, "snapshot_bytes": 83650, "rolled_back_events": 5 },
-    "catch_up": { "sync_requests": 9, "sync_replies": 9, "replayed_writes": 24, "stale_deliveries_dropped": 20 },
-    "wire": { "payloads_sent": 192, "frames_sent": 443, "retransmissions": 53, "aborted_payloads": 3,
-              "frames_partition_dropped": 0, "frames_crash_dropped": 53, "duplicates_discarded": 8 },
-    "audit": { "violations": 0, "necessary_delays": 40, "unnecessary_delays": 0, "lost": 0 },
-    "engine_steps": 827,
-    "sim_end_time": 1289.8
+    "durability": { "commits": 82, "snapshot_bytes": 86483, "rolled_back_events": 5 },
+    "catch_up": { "sync_requests": 9, "sync_replies": 9, "replayed_writes": 27, "stale_deliveries_dropped": 0 },
+    "wire": { "payloads_sent": 169, "frames_sent": 352, "retransmissions": 8, "aborted_payloads": 3,
+              "frames_partition_dropped": 0, "frames_crash_dropped": 8, "duplicates_discarded": 8 },
+    "audit": { "violations": 0, "necessary_delays": 39, "unnecessary_delays": 0, "lost": 0 },
+    "engine_steps": 668,
+    "sim_end_time": 1210.8
   }
 
 ANBKH survives the same faults (it buffers more, but stays consistent).
@@ -76,7 +76,7 @@ rejected with an explanation.
   dsm-sim: --crash/--partition need a complete-broadcast protocol (optp, anbkh or optp-direct); WS-recv cannot serve anti-entropy catch-up
 
   $ dsm-sim run --json 2>&1 | tail -n 1; echo "exit: $?"
-  dsm-sim: --json requires --crash or --partition
+  dsm-sim: --json requires --crash, --partition or churn flags
   exit: 0
 
 Malformed fault specs are rejected at parse time.

@@ -31,8 +31,8 @@ let params_of_seed seed =
     (* sweep the three regimes deterministically *)
     match seed mod 3 with
     | 0 -> Network.no_faults
-    | 1 -> { Network.drop = 0.15; duplicate = 0. }
-    | _ -> { Network.drop = 0.; duplicate = 0.25 }
+    | 1 -> { Network.drop = 0.15; duplicate = 0.; corrupt = 0. }
+    | _ -> { Network.drop = 0.; duplicate = 0.25; corrupt = 0. }
   in
   (n, ratio, sigma, faults)
 
@@ -145,6 +145,84 @@ let test_partial () =
         o2.Partial_run.buffer_high_watermarks)
     (seeds 30)
 
+(* The churn campaign generalizes the fault campaign; on a churn-free
+   plan it must be not just equivalent but byte-identical — same RNG
+   consumption, same event scheduling, same wire traffic. Any drift
+   here means dynamic membership changed static-membership behavior,
+   which PR 2's pinned cram outputs (and physics) forbid. Plans sweep
+   no-fault, crash/recover and crash+partition regimes; every crashed
+   process recovers, so both harnesses report the same replica set. *)
+
+module Fault_campaign = Dsm_runtime.Fault_campaign
+module Churn_campaign = Dsm_runtime.Churn_campaign
+module Fault_plan = Dsm_sim.Fault_plan
+
+let test_churn_free_parity () =
+  List.iter
+    (fun seed ->
+      let n = 3 + (seed mod 3) in
+      let spec =
+        Spec.make ~n ~m:3 ~ops_per_process:30 ~write_ratio:0.5
+          ~think:(Latency.Exponential { mean = 10. })
+          ~seed ()
+      in
+      let latency = Latency.Exponential { mean = 8. } in
+      let faults =
+        if seed mod 2 = 0 then Network.no_faults
+        else { Network.drop = 0.1; duplicate = 0.05; corrupt = 0. }
+      in
+      let plan =
+        match seed mod 3 with
+        | 0 -> Fault_plan.make []
+        | 1 ->
+            Fault_plan.random
+              (Dsm_sim.Rng.create (31 * seed))
+              ~n ~horizon:300. ~crashes:1 ~partitions:0 ()
+        | _ ->
+            Fault_plan.random
+              (Dsm_sim.Rng.create (31 * seed))
+              ~n ~horizon:300. ~crashes:1 ~partitions:1 ()
+      in
+      let of_ =
+        Fault_campaign.run
+          (module Dsm_core.Opt_p)
+          ~spec ~latency ~faults ~plan ~seed ()
+      in
+      let oc =
+        Churn_campaign.run
+          (module Dsm_core.Opt_p)
+          ~spec ~latency ~faults ~plan ~initial:n ~seed ()
+      in
+      let ctx fmt =
+        Printf.sprintf ("churn-free parity seed %d: " ^^ fmt) seed
+      in
+      Alcotest.(check bool)
+        (ctx "identical event logs")
+        true
+        (Execution.events of_.Fault_campaign.execution
+        = Execution.events oc.Churn_campaign.execution);
+      Alcotest.(check bool)
+        (ctx "identical histories")
+        true
+        (History.ops of_.Fault_campaign.history
+        = History.ops oc.Churn_campaign.history);
+      Alcotest.(check bool)
+        (ctx "identical final replica states")
+        true
+        (of_.Fault_campaign.final_states = oc.Churn_campaign.final_states);
+      Alcotest.(check int)
+        (ctx "identical frame counts")
+        of_.Fault_campaign.frames_sent oc.Churn_campaign.frames_sent;
+      Alcotest.(check int)
+        (ctx "identical retransmissions")
+        of_.Fault_campaign.retransmissions oc.Churn_campaign.retransmissions;
+      Alcotest.(check int)
+        (ctx "identical engine step counts")
+        of_.Fault_campaign.engine_steps oc.Churn_campaign.engine_steps;
+      Alcotest.(check bool) (ctx "both clean") true
+        (of_.Fault_campaign.clean && oc.Churn_campaign.clean))
+    (seeds 12)
+
 let () =
   Alcotest.run "differential"
     [
@@ -154,5 +232,9 @@ let () =
           Alcotest.test_case "ANBKH, 100 seeds" `Quick test_anbkh;
           Alcotest.test_case "OptP-WS, 40 seeds" `Quick test_optp_ws;
           Alcotest.test_case "OptP-partial, 30 seeds" `Quick test_partial;
+        ] );
+      ( "churn campaign == fault campaign on static membership",
+        [
+          Alcotest.test_case "OptP, 12 plans" `Quick test_churn_free_parity;
         ] );
     ]

@@ -301,7 +301,7 @@ let prop_raw_losses_are_caught =
           (module Dsm_core.Opt_p)
           ~spec
           ~latency:(Latency.Exponential { mean = 10. })
-          ~faults:{ Dsm_sim.Network.drop = 0.3; duplicate = 0. }
+          ~faults:{ Dsm_sim.Network.drop = 0.3; duplicate = 0.; corrupt = 0. }
           ~seed:(seed + 1) ()
       in
       let r = Checker.check o.Sim_run.execution in
@@ -325,7 +325,7 @@ let prop_reliable_channels_heal_faults =
           let o =
             Dsm_runtime.Reliable_run.run p ~spec
               ~latency:(Latency.Exponential { mean = 10. })
-              ~faults:{ Dsm_sim.Network.drop = 0.25; duplicate = 0.15 }
+              ~faults:{ Dsm_sim.Network.drop = 0.25; duplicate = 0.15; corrupt = 0. }
               ~retransmit_after:60. ~seed:(seed + 1) ()
           in
           Checker.is_clean (Checker.check o.Dsm_runtime.Reliable_run.execution))
@@ -463,6 +463,8 @@ module Fifo_only : Dsm_core.Protocol.S = struct
     }
 
   let me t = t.me
+
+  let grow _t ~n:_ = invalid_arg "Fifo_only.grow: static test protocol"
 
   let write t ~var ~value =
     let dot =

@@ -118,7 +118,7 @@ let test_extreme_faults () =
   let net =
     Network.create ~engine ~rng ~n:3
       ~latency:(fun ~src:_ ~dst:_ -> flat_latency)
-      ~faults:{ Network.drop = 0.9; duplicate = 0.5 }
+      ~faults:{ Network.drop = 0.9; duplicate = 0.5; corrupt = 0. }
       ()
   in
   let channel =
@@ -568,7 +568,7 @@ let test_permanent_crash_lossy () =
       (module Dsm_core.Opt_p)
       ~spec
       ~latency:(Latency.Exponential { mean = 12. })
-      ~faults:{ Network.drop = 0.15; duplicate = 0. }
+      ~faults:{ Network.drop = 0.15; duplicate = 0.; corrupt = 0. }
       ~plan ~seed:7 ()
   in
   check_campaign "permanent crash + lossy links" o;

@@ -521,7 +521,7 @@ let test_network_faults_validation () =
       ignore
         (Network.create ~engine ~rng ~n:2
            ~latency:(fun ~src:_ ~dst:_ -> Latency.Constant 1.)
-           ~faults:{ Network.drop = 1.5; duplicate = 0. }
+           ~faults:{ Network.drop = 1.5; duplicate = 0.; corrupt = 0. }
            ()
           : unit Network.t))
 
@@ -531,7 +531,7 @@ let test_network_drops_messages () =
   let net =
     Network.create ~engine ~rng ~n:2
       ~latency:(fun ~src:_ ~dst:_ -> Latency.Constant 1.)
-      ~faults:{ Network.drop = 0.5; duplicate = 0. }
+      ~faults:{ Network.drop = 0.5; duplicate = 0.; corrupt = 0. }
       ()
   in
   let got = ref 0 in
@@ -552,7 +552,7 @@ let test_network_duplicates_messages () =
   let net =
     Network.create ~engine ~rng ~n:2
       ~latency:(fun ~src:_ ~dst:_ -> Latency.Constant 1.)
-      ~faults:{ Network.drop = 0.; duplicate = 0.5 }
+      ~faults:{ Network.drop = 0.; duplicate = 0.5; corrupt = 0. }
       ()
   in
   let got = ref 0 in
@@ -596,7 +596,7 @@ let test_reliable_channel_exactly_once_under_faults () =
   let net =
     Network.create ~engine ~rng ~n:2
       ~latency:(fun ~src:_ ~dst:_ -> Latency.Exponential { mean = 5. })
-      ~faults:{ Network.drop = 0.4; duplicate = 0.3 }
+      ~faults:{ Network.drop = 0.4; duplicate = 0.3; corrupt = 0. }
       ()
   in
   let ch =

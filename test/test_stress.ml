@@ -79,7 +79,7 @@ let test_long_lossy () =
       (module Dsm_core.Opt_p)
       ~spec
       ~latency:(Latency.Exponential { mean = 10. })
-      ~faults:{ Dsm_sim.Network.drop = 0.35; duplicate = 0.2 }
+      ~faults:{ Dsm_sim.Network.drop = 0.35; duplicate = 0.2; corrupt = 0. }
       ~retransmit_after:60. ~seed:9 ()
   in
   let report = Checker.check outcome.Dsm_runtime.Reliable_run.execution in

@@ -92,9 +92,14 @@ let test_merge_into () =
   Alcotest.(check (list int)) "src untouched" [ 3; 2; 0 ] (V.to_list b)
 
 let test_merge_size_mismatch () =
-  Alcotest.check_raises "mismatch"
-    (Invalid_argument "Vector_clock.merge_into: size mismatch") (fun () ->
-      V.merge_into (V.create 2) (V.create 3))
+  (* Mixed sizes follow the implicit-zero convention: merging a wider
+     source grows the destination in place. *)
+  let dst = V.of_list [ 4; 1 ] in
+  V.merge_into dst (V.of_list [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "dst grown" [ 4; 2; 3 ] (V.to_list dst);
+  let dst = V.of_list [ 4; 1; 9 ] in
+  V.merge_into dst (V.of_list [ 5 ]);
+  Alcotest.(check (list int)) "narrow src" [ 5; 1; 9 ] (V.to_list dst)
 
 let test_merge_pure () =
   let a = V.of_list [ 1; 5 ] and b = V.of_list [ 3; 2 ] in
@@ -380,7 +385,7 @@ let () =
           Alcotest.test_case "tick bounds" `Quick test_tick_bounds;
           Alcotest.test_case "set/get" `Quick test_set_get;
           Alcotest.test_case "merge_into" `Quick test_merge_into;
-          Alcotest.test_case "merge size mismatch" `Quick
+          Alcotest.test_case "merge grows across sizes" `Quick
             test_merge_size_mismatch;
           Alcotest.test_case "pure merge" `Quick test_merge_pure;
         ] );
