@@ -547,7 +547,19 @@ module Churn = struct
     in
     if static_ = 0. then 0. else churn /. static_
 
-  let run ~quick () =
+  type grid_cell = {
+    spacing : float;
+    gops : int;
+    gjoins : int;
+    gconverged : int;
+    gmean : float;
+    gmax : float;
+    gclean : bool;
+  }
+
+  let grid_results : grid_cell list ref = ref []
+
+  let run_tables ~quick () =
     results := [];
     let table =
       Table_fmt.create
@@ -608,6 +620,236 @@ module Churn = struct
           ])
       rs;
     print_table table
+
+  (* join rate vs workload rate: how fast slots can enter the view
+     before catch-up latency degrades, at two traffic volumes *)
+  let run_grid ~quick () =
+    grid_results := [];
+    let table =
+      Table_fmt.create
+        ~title:"C2: join rate vs workload rate - join-to-converged latency"
+        ~header:
+          [ "join spacing"; "ops/proc"; "joins"; "mean conv"; "max conv";
+            "audit" ]
+        ()
+    in
+    Table_fmt.set_align table
+      [
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Right; Table_fmt.Left;
+      ];
+    List.iter
+      (fun spacing ->
+        List.iter
+          (fun ops ->
+            let guniverse = 12 and ginitial = 8 in
+            let spec =
+              Dsm_workload.Spec.make ~n:guniverse ~m:8
+                ~ops_per_process:(if quick then max 4 (ops / 3) else ops)
+                ~write_ratio:0.5
+                ~var_dist:(Dsm_workload.Spec.Zipf_vars 1.2) ~seed:11 ()
+            in
+            let plan =
+              Fault_plan.make
+                (List.init (guniverse - ginitial) (fun i ->
+                     Fault_plan.Join
+                       {
+                         proc = ginitial + i;
+                         at =
+                           Dsm_sim.Sim_time.of_float
+                             (60. +. (spacing *. float_of_int i));
+                       }))
+            in
+            let o =
+              CC.run (module Dsm_core.Opt_p) ~spec ~latency ~plan
+                ~initial:ginitial ~seed:11 ()
+            in
+            let lats =
+              List.filter_map
+                (fun c ->
+                  if c.CC.ckind = CC.Fresh_join then CC.catch_up_latency c
+                  else None)
+                o.CC.catch_ups
+            in
+            let mean = function
+              | [] -> 0.
+              | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+            in
+            let cell =
+              {
+                spacing;
+                gops = ops;
+                gjoins = o.CC.joins;
+                gconverged = List.length lats;
+                gmean = mean lats;
+                gmax = List.fold_left Float.max 0. lats;
+                gclean =
+                  o.CC.clean && o.CC.live_equal
+                  && o.CC.quarantine_leaks = 0;
+              }
+            in
+            grid_results := !grid_results @ [ cell ];
+            Table_fmt.add_row table
+              [
+                Printf.sprintf "%.0f" spacing;
+                string_of_int ops;
+                Printf.sprintf "%d/%d" cell.gconverged cell.gjoins;
+                Printf.sprintf "%.1f" cell.gmean;
+                Printf.sprintf "%.1f" cell.gmax;
+                (if cell.gclean then "clean" else "VIOLATIONS");
+              ])
+          [ 10; 40 ])
+      [ 15.; 40.; 80. ];
+    print_table table
+
+  let run ~quick () =
+    run_tables ~quick ();
+    print_newline ();
+    run_grid ~quick ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Failure detection: accrual threshold x heartbeat period x crashes   *)
+(* ------------------------------------------------------------------ *)
+
+module Fd_bench = struct
+  module CC = Dsm_runtime.Churn_campaign
+  module Fd = Dsm_runtime.Failure_detector
+  module Fault_plan = Dsm_sim.Fault_plan
+
+  type cell = {
+    fthreshold : float;
+    fhb_every : float;
+    fcrashes : int;
+    fseeds : int;
+    ftrue : int;  (** true suspicions across the seeds *)
+    ffalse : int;  (** suspicions of a live peer *)
+    frefuted : int;
+    fdetect_mean : float;  (** crash-to-suspicion latency, true only *)
+    fdetect_max : float;
+    fheartbeats : int;
+    fclean : bool;  (** every run clean+converged, zero leaks/unnecessary *)
+  }
+
+  let results : cell list ref = ref []
+  let universe = 8
+  let latency = Dsm_sim.Latency.Exponential { mean = 10. }
+
+  let spec ~quick ~seed =
+    Dsm_workload.Spec.make ~n:universe ~m:8
+      ~ops_per_process:(if quick then 8 else 24)
+      ~write_ratio:0.5 ~var_dist:(Dsm_workload.Spec.Zipf_vars 1.2) ~seed ()
+
+  (* crash-only plan — in emergent mode the detector owns the view, so
+     crashes are the only scripted input; every other victim recovers
+     and must re-enter through the refutation/rejoin path *)
+  let plan ~crashes =
+    Fault_plan.make
+      (List.concat_map
+         (fun i ->
+           let proc = 1 + i in
+           let crash_at = 100. +. (60. *. float_of_int i) in
+           Fault_plan.Crash { proc; at = Dsm_sim.Sim_time.of_float crash_at }
+           ::
+           (if i mod 2 = 1 then
+              [
+                Fault_plan.Recover
+                  {
+                    proc;
+                    at = Dsm_sim.Sim_time.of_float (crash_at +. 250.);
+                  };
+              ]
+            else []))
+         (List.init crashes Fun.id))
+
+  let run_cell ~quick ~threshold ~hb_every ~crashes =
+    let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+    let detector = Fd.config ~threshold ~heartbeat_every:hb_every () in
+    let t = ref 0
+    and f = ref 0
+    and refuted = ref 0
+    and hbs = ref 0
+    and lats = ref []
+    and clean = ref true in
+    List.iter
+      (fun seed ->
+        let o =
+          CC.run (module Dsm_core.Opt_p) ~spec:(spec ~quick ~seed) ~latency
+            ~plan:(plan ~crashes) ~initial:universe ~detector ~seed ()
+        in
+        List.iter
+          (fun (s : CC.suspicion) ->
+            if s.CC.strue then incr t else incr f;
+            Option.iter (fun l -> lats := l :: !lats) s.CC.slatency)
+          o.CC.suspicions;
+        refuted := !refuted + o.CC.refutations;
+        hbs := !hbs + o.CC.heartbeats_sent;
+        clean :=
+          !clean && o.CC.clean && o.CC.live_equal
+          && o.CC.quarantine_leaks = 0
+          && o.CC.report.Dsm_runtime.Checker.unnecessary_delays = 0)
+      seeds;
+    let mean = function
+      | [] -> 0.
+      | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+    in
+    {
+      fthreshold = threshold;
+      fhb_every = hb_every;
+      fcrashes = crashes;
+      fseeds = List.length seeds;
+      ftrue = !t;
+      ffalse = !f;
+      frefuted = !refuted;
+      fdetect_mean = mean !lats;
+      fdetect_max = List.fold_left Float.max 0. !lats;
+      fheartbeats = !hbs;
+      fclean = !clean;
+    }
+
+  let run ~quick () =
+    results := [];
+    let table =
+      Table_fmt.create
+        ~title:
+          "F: accrual failure detection - threshold x heartbeat x crash rate"
+        ~header:
+          [
+            "phi thresh"; "hb every"; "crashes"; "true susp"; "false susp";
+            "refuted"; "detect mean"; "detect max"; "audit";
+          ]
+        ()
+    in
+    Table_fmt.set_align table
+      [
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Left;
+      ];
+    List.iter
+      (fun threshold ->
+        List.iter
+          (fun hb_every ->
+            List.iter
+              (fun crashes ->
+                let c = run_cell ~quick ~threshold ~hb_every ~crashes in
+                results := !results @ [ c ];
+                Table_fmt.add_row table
+                  [
+                    Printf.sprintf "%.1f" c.fthreshold;
+                    Printf.sprintf "%.0f" c.fhb_every;
+                    string_of_int c.fcrashes;
+                    string_of_int c.ftrue;
+                    string_of_int c.ffalse;
+                    string_of_int c.frefuted;
+                    Printf.sprintf "%.1f" c.fdetect_mean;
+                    Printf.sprintf "%.1f" c.fdetect_max;
+                    (if c.fclean then "clean" else "VIOLATIONS");
+                  ])
+              [ 1; 3 ])
+          [ 10.; 25. ])
+      [ 1.5; 3.; 5. ];
+    print_table table
 end
 
 (* results captured for --json; filled by the section bodies *)
@@ -646,6 +888,9 @@ let sections =
     ( "C",
       "churn storm: 8 -> 16 -> 8 replicas under a Zipf workload",
       fun () -> Churn.run ~quick:!stress_quick () );
+    ( "F",
+      "failure detection: threshold x heartbeat x crash-rate sweep",
+      fun () -> Fd_bench.run ~quick:!stress_quick () );
   ]
 
 let json_escape s =
@@ -916,7 +1161,22 @@ let write_churn_json file =
            o.CC.engine_steps o.CC.end_time r.Churn.wall))
     !Churn.results;
   Buffer.add_string buf
-    (if !Churn.results = [] then "]\n}\n" else "\n  ]\n}\n");
+    (if !Churn.results = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"join_grid\": [";
+  List.iteri
+    (fun i (c : Churn.grid_cell) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"join_spacing\": %.1f, \"ops_per_process\": %d, \
+            \"joins\": %d, \"converged\": %d,\n\
+           \      \"join_to_converged_mean\": %.1f, \
+            \"join_to_converged_max\": %.1f, \"clean\": %b }"
+           c.Churn.spacing c.Churn.gops c.Churn.gjoins c.Churn.gconverged
+           c.Churn.gmean c.Churn.gmax c.Churn.gclean))
+    !Churn.grid_results;
+  Buffer.add_string buf
+    (if !Churn.grid_results = [] then "]\n}\n" else "\n  ]\n}\n");
   match open_out file with
   | oc ->
       output_string oc (Buffer.contents buf);
@@ -924,6 +1184,45 @@ let write_churn_json file =
       Printf.printf "\nwrote %s\n" file
   | exception Sys_error e ->
       Printf.eprintf "--churn-json: cannot write %s (%s)\n" file e;
+      exit 1
+
+let write_fd_json file =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+  Buffer.add_string buf "  \"section\": \"failure_detector\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"plan\": { \"universe\": %d, \"mode\": \"emergent\", \
+        \"protocol\": \"OptP\",\n\
+       \            \"workload\": \"zipf(1.2) over 8 vars\" },\n"
+       Fd_bench.universe);
+  Buffer.add_string buf "  \"sweep\": [";
+  List.iteri
+    (fun i (c : Fd_bench.cell) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"threshold\": %.1f, \"heartbeat_every\": %.1f, \
+            \"crashes\": %d, \"seeds\": %d,\n\
+           \      \"true_suspicions\": %d, \"false_suspicions\": %d, \
+            \"refutations\": %d,\n\
+           \      \"detection_latency_mean\": %.1f, \
+            \"detection_latency_max\": %.1f,\n\
+           \      \"heartbeats_sent\": %d, \"clean\": %b }"
+           c.Fd_bench.fthreshold c.Fd_bench.fhb_every c.Fd_bench.fcrashes
+           c.Fd_bench.fseeds c.Fd_bench.ftrue c.Fd_bench.ffalse
+           c.Fd_bench.frefuted c.Fd_bench.fdetect_mean c.Fd_bench.fdetect_max
+           c.Fd_bench.fheartbeats c.Fd_bench.fclean))
+    !Fd_bench.results;
+  Buffer.add_string buf
+    (if !Fd_bench.results = [] then "]\n}\n" else "\n  ]\n}\n");
+  match open_out file with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+  | exception Sys_error e ->
+      Printf.eprintf "--fd-json: cannot write %s (%s)\n" file e;
       exit 1
 
 (* [--opt=v] or [--opt v] *)
@@ -977,4 +1276,8 @@ let () =
     write_churn_json
       (Option.value ~default:"BENCH_churn.json"
          (keyed_arg "--churn-json" args));
+  if !Fd_bench.results <> [] then
+    write_fd_json
+      (Option.value ~default:"BENCH_failure_detector.json"
+         (keyed_arg "--fd-json" args));
   Option.iter write_json json_path

@@ -318,6 +318,56 @@ let churn =
            within the -n slot universe. Does not combine with \
            --crash/--partition/--join/--leave.")
 
+(* --fd: emergent membership, the detector produces the view *)
+let fd_flag =
+  Arg.(
+    value & flag
+    & info [ "fd" ]
+        ~doc:
+          "Emergent membership: active slots gossip heartbeats, a \
+           phi-accrual failure detector accrues suspicion from silence, \
+           and every membership change is detector-driven — a crossed \
+           threshold marks the peer down, a later heartbeat refutes the \
+           suspicion and rejoins the slot under a fresh incarnation. \
+           Scripted membership (--join/--leave/--churn) is refused: \
+           --crash/--partition are the only inputs. Switches to the \
+           churn-campaign driver.")
+
+let fd_threshold =
+  Arg.(
+    value
+    & opt float 3.
+    & info [ "fd-threshold" ] ~docv:"PHI"
+        ~doc:
+          "Suspicion threshold in phi units (decades of unlikelihood of \
+           the observed silence): lower detects faster but false-suspects \
+           more. Only with --fd.")
+
+let heartbeat_every =
+  Arg.(
+    value
+    & opt float 20.
+    & info [ "heartbeat-every" ] ~docv:"T"
+        ~doc:
+          "Gossip period: each active slot beacons every $(docv) time \
+           units to peers it has not otherwise talked to (protocol \
+           traffic piggybacks as liveness evidence). Only with --fd.")
+
+let detector_of ~fd ~fd_threshold ~heartbeat_every ~joins ~leaves ~churn =
+  if not fd then Ok None
+  else if joins <> [] || leaves <> [] || churn <> None then
+    Error
+      "--fd is emergent membership — drop --join/--leave/--churn; crashes \
+       and partitions are the only scripted inputs, the detector produces \
+       the view history"
+  else
+    match
+      Dsm_runtime.Failure_detector.config ~threshold:fd_threshold
+        ~heartbeat_every ()
+    with
+    | exception Invalid_argument msg -> Error msg
+    | cfg -> Ok (Some cfg)
+
 let checkpoint_every =
   Arg.(
     value
@@ -551,6 +601,28 @@ let churn_json ppf (o : Churn_campaign.outcome) =
      \"rejoins\": %d, \"leaves\": %d, \"active_at_end\": [%s] },@,"
     o.final_epoch o.joins o.rejoins o.leaves
     (String.concat ", " (List.map string_of_int o.active_at_end));
+  (match o.detector with
+  | None -> ()
+  | Some cfg ->
+      fprintf ppf
+        "  \"detector\": { \"threshold\": %g, \"heartbeat_every\": %g, \
+         \"window\": %d,@,\
+        \                \"heartbeats_sent\": %d, \"suspicions\": %d, \
+         \"false_suspicions\": %d, \"refutations\": %d },@,"
+        cfg.Dsm_runtime.Failure_detector.threshold
+        cfg.Dsm_runtime.Failure_detector.heartbeat_every
+        cfg.Dsm_runtime.Failure_detector.window o.heartbeats_sent
+        (List.length o.suspicions)
+        o.false_suspicions o.refutations;
+      fprintf ppf "  \"view_changes\": [";
+      List.iteri
+        (fun i (epoch, at, why) ->
+          if i > 0 then fprintf ppf ",";
+          fprintf ppf "@,    { \"epoch\": %d, \"at\": %.1f, \"why\": \"%s\" }"
+            epoch at why)
+        o.view_reasons;
+      if o.view_reasons = [] then fprintf ppf "],@,"
+      else fprintf ppf "@,  ],@,");
   fprintf ppf "  \"catch_ups\": [";
   List.iteri
     (fun i (c : Churn_campaign.catch_up) ->
@@ -606,20 +678,21 @@ let churn_json ppf (o : Churn_campaign.outcome) =
     o.engine_steps o.end_time
 
 let churn_campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
-    ~plan ~initial ~checkpoint_every ~seed ~json ~metrics ~emit =
+    ~plan ~initial ?detector ~checkpoint_every ~seed ~json ~metrics ~emit ()
+    =
   if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
     `Error
       ( false,
         Printf.sprintf
-          "--join/--leave/--churn need a complete-broadcast protocol \
+          "--join/--leave/--churn/--fd need a complete-broadcast protocol \
            (optp, anbkh or optp-direct); %s cannot serve state transfer"
           P.name )
   else
     match
       Churn_campaign.run
         (module P)
-        ~spec ~latency ~faults ~plan ~initial ~checkpoint_every ~seed
-        ~metrics ()
+        ~spec ~latency ~faults ~plan ~initial ?detector ~checkpoint_every
+        ~seed ~metrics ()
     with
     | exception Invalid_argument msg -> `Error (false, msg)
     | o ->
@@ -675,8 +748,8 @@ let churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves ~initial ~churn
 let run_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
       latency seed fifo drop duplicate corrupt repl_degree crashes
-      partitions joins leaves initial churn checkpoint_every json trace_out
-      trace_format metrics_out =
+      partitions joins leaves initial churn fd fd_threshold heartbeat_every
+      checkpoint_every json trace_out trace_format metrics_out =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let metrics =
       match metrics_out with
@@ -706,7 +779,7 @@ let run_cmd =
       else `Ok ()
     in
     let churny =
-      joins <> [] || leaves <> [] || churn <> None || initial <> None
+      joins <> [] || leaves <> [] || churn <> None || initial <> None || fd
     in
     if churny then begin
       if repl_degree <> None then
@@ -715,17 +788,23 @@ let run_cmd =
       else if fifo then `Error (false, "churn flags do not combine with --fifo")
       else
         match
-          churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves ~initial
+          detector_of ~fd ~fd_threshold ~heartbeat_every ~joins ~leaves
             ~churn
         with
         | Error msg -> `Error (false, msg)
-        | Ok (plan, ini) ->
-            churn_campaign
-              (module P)
-              ~spec ~latency
-              ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
-              ~plan ~initial:ini ~checkpoint_every ~seed ~json ~metrics
-              ~emit
+        | Ok detector -> (
+            match
+              churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves
+                ~initial ~churn
+            with
+            | Error msg -> `Error (false, msg)
+            | Ok (plan, ini) ->
+                churn_campaign
+                  (module P)
+                  ~spec ~latency
+                  ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
+                  ~plan ~initial:ini ?detector ~checkpoint_every ~seed ~json
+                  ~metrics ~emit ())
     end
     else if crashes <> [] || partitions <> [] then begin
       if repl_degree <> None then
@@ -799,8 +878,9 @@ let run_cmd =
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
        $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ corrupt
        $ repl_degree $ crashes $ partitions $ joins $ leaves
-       $ initial_members $ churn $ checkpoint_every $ json_out $ trace_out
-       $ trace_format $ metrics_out))
+       $ initial_members $ churn $ fd_flag $ fd_threshold $ heartbeat_every
+       $ checkpoint_every $ json_out $ trace_out $ trace_format
+       $ metrics_out))
   in
   Cmd.v
     (Cmd.info "run"
@@ -815,7 +895,10 @@ let run_cmd =
           machine-readable output); with --join/--leave/--initial/--churn \
           the membership view itself changes mid-run (state-transfer \
           joins, flushed leaves, fresh-incarnation rejoins) and the audit \
-          spans every epoch. --trace-out/--metrics-out export the causal \
+          spans every epoch; with --fd membership is emergent — no \
+          scripted view changes, a phi-accrual failure detector over \
+          gossip heartbeats suspects silent slots and heartbeats refute \
+          false suspicions. --trace-out/--metrics-out export the causal \
           trace and the metrics registry without perturbing the run. \
           Exits non-zero on any checker violation, and on any \
           unnecessary delay for protocols claiming Theorem 4 optimality.")
@@ -827,11 +910,11 @@ let run_cmd =
 
 let explain_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
-      latency seed fifo crashes partitions joins leaves initial churn
-      checkpoint_every =
+      latency seed fifo crashes partitions joins leaves initial churn fd
+      fd_threshold heartbeat_every checkpoint_every =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let churny =
-      joins <> [] || leaves <> [] || churn <> None || initial <> None
+      joins <> [] || leaves <> [] || churn <> None || initial <> None || fd
     in
     let needs_campaign = churny || crashes <> [] || partitions <> [] in
     let outcome =
@@ -847,19 +930,29 @@ let explain_cmd =
           Error "--crash/--partition do not combine with --fifo"
         else if churny then
           match
-            churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves
-              ~initial ~churn
+            detector_of ~fd ~fd_threshold ~heartbeat_every ~joins ~leaves
+              ~churn
           with
           | Error msg -> Error msg
-          | Ok (plan, ini) -> (
+          | Ok detector -> (
               match
-                Churn_campaign.run
-                  (module P)
-                  ~spec ~latency ~plan ~initial:ini ~checkpoint_every ~seed
-                  ()
+                churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves
+                  ~initial ~churn
               with
-              | exception Invalid_argument msg -> Error msg
-              | o -> Ok (o.Churn_campaign.execution, o.Churn_campaign.report))
+              | Error msg -> Error msg
+              | Ok (plan, ini) -> (
+                  match
+                    Churn_campaign.run
+                      (module P)
+                      ~spec ~latency ~plan ~initial:ini ?detector
+                      ~checkpoint_every ~seed ()
+                  with
+                  | exception Invalid_argument msg -> Error msg
+                  | o ->
+                      Ok
+                        ( o.Churn_campaign.execution,
+                          o.Churn_campaign.report,
+                          o.Churn_campaign.view_reasons )))
         else
           match
             Fault_campaign.run
@@ -869,16 +962,27 @@ let explain_cmd =
               ~checkpoint_every ~seed ()
           with
           | exception Invalid_argument msg -> Error msg
-          | o -> Ok (o.Fault_campaign.execution, o.Fault_campaign.report)
+          | o -> Ok (o.Fault_campaign.execution, o.Fault_campaign.report, [])
       end
       else
         let o = Sim_run.run (module P) ~spec ~latency ~fifo ~seed () in
-        Ok (o.Sim_run.execution, Checker.check o.Sim_run.execution)
+        Ok (o.Sim_run.execution, Checker.check o.Sim_run.execution, [])
     in
     match outcome with
     | Error msg -> `Error (false, msg)
-    | Ok (execution, report) ->
+    | Ok (execution, report, view_reasons) ->
         Format.printf "workload: %a@.protocol: %s@.@." Spec.pp spec P.name;
+        (* the view's own provenance: why each epoch happened — scripted
+           events, or in --fd mode the detector's suspicions and
+           refutations *)
+        if view_reasons <> [] then begin
+          Format.printf "view changes:@.";
+          List.iter
+            (fun r ->
+              Format.printf "  %a@." Churn_campaign.pp_view_reason r)
+            view_reasons;
+          Format.printf "@."
+        end;
         let e = Provenance.explain execution report in
         Format.printf "%a@." Provenance.pp_explanation e;
         if report.Checker.violations <> [] then
@@ -898,7 +1002,8 @@ let explain_cmd =
       ret
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
        $ zipf $ latency $ seed $ fifo $ crashes $ partitions $ joins
-       $ leaves $ initial_members $ churn $ checkpoint_every))
+       $ leaves $ initial_members $ churn $ fd_flag $ fd_threshold
+       $ heartbeat_every $ checkpoint_every))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -909,7 +1014,81 @@ let explain_cmd =
           checker's ground-truth causal order confirms that claim \
           (necessary delay) or refutes it (false causality). Supports \
           the fault-campaign path via --crash/--partition and the \
-          churn-campaign path via --join/--leave/--initial/--churn.")
+          churn-campaign path via --join/--leave/--initial/--churn or \
+          --fd (emergent membership: the report starts with the \
+          detector's view-change provenance).")
+    term
+
+(* ---------------------------------------------------------------- *)
+(* plan                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let plan_cmd =
+  let driver =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("fault", `Fault); ("churn", `Churn) ])
+          `Auto
+      & info [ "driver" ] ~docv:"D"
+          ~doc:
+            "Validate against this driver's acceptance rules: $(b,fault) \
+             (static membership — refuses join/leave events), $(b,churn) \
+             (dynamic membership over the slot universe), or $(b,auto) \
+             (churn when the plan has membership events, fault \
+             otherwise).")
+  in
+  let action n seed crashes partitions joins leaves initial churn driver =
+    match
+      churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves ~initial
+        ~churn
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok (plan, ini) -> (
+        let accept =
+          match driver with
+          | `Fault -> (
+              match Fault_campaign.validate_plan ~n plan with
+              | exception Invalid_argument msg -> Error msg
+              | () -> Ok "fault-campaign")
+          | `Churn | `Auto when Fault_plan.has_churn plan || driver = `Churn
+            -> (
+              match
+                Fault_plan.validate ~n
+                  ~initial:(List.init ini (fun i -> i))
+                  plan
+              with
+              | exception Invalid_argument msg -> Error msg
+              | () -> Ok "churn-campaign")
+          | _ -> (
+              match Fault_campaign.validate_plan ~n plan with
+              | exception Invalid_argument msg -> Error msg
+              | () -> Ok "fault-campaign")
+        in
+        match accept with
+        | Error msg -> `Error (false, msg)
+        | Ok accepted_by ->
+            Format.printf
+              "universe: %d slots, %d initial members@.driver: \
+               %s@.events: %d@.%a@."
+              n ini accepted_by (List.length plan) Fault_plan.pp plan;
+            `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ n_procs $ seed $ crashes $ partitions $ joins
+       $ leaves $ initial_members $ churn $ driver))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Expand and validate a fault/churn plan without running it: \
+          print the time-sorted event schedule built from \
+          --crash/--partition/--join/--leave/--churn and check it \
+          against the chosen campaign driver's acceptance rules. Exits \
+          non-zero (with the driver's own message) when the plan is \
+          rejected — e.g. a churny plan offered to the static \
+          fault-campaign driver.")
     term
 
 (* ---------------------------------------------------------------- *)
@@ -1036,4 +1215,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd; explain_cmd; tables_cmd; sweep_cmd; graph_cmd ]))
+          [ run_cmd; explain_cmd; plan_cmd; tables_cmd; sweep_cmd; graph_cmd ]))

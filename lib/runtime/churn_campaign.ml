@@ -15,8 +15,13 @@ type 'msg wire =
   | Sync_request of { vec : int array }
   | Sync_reply of { vec : int array; writes : 'msg list }
   | Transfer of { vec : int array; writes : 'msg list }
-      (* the sponsor's bootstrap state transfer: its whole durable write
-         log, replayed at the joiner through the normal receive path *)
+      (* the sponsor's delta state transfer: its durable write log cut
+         at the joiner's Apply vector, replayed at the joiner through
+         the normal receive path *)
+  | Heartbeat of { sent : float }
+      (* gossip liveness beacon; [sent] lets a refutation prove the
+         sender was alive after the suspicion, retransmissions
+         notwithstanding *)
 
 type catch_up_kind = Fresh_join | Rejoin | Recover
 
@@ -25,12 +30,27 @@ type catch_up = {
   ckind : catch_up_kind;
   started_at : float;
   mutable transfer_writes : int;
+  mutable transfer_gap : int;
+      (* componentwise vector gap sponsor - joiner at transfer time;
+         bounds transfer_writes (one single-write message per dot) *)
   mutable transfer_bytes : int;
   mutable replayed : int;
   mutable target : int array option;
       (* componentwise max of peer vectors seen in replies; caught up
          once the local applied vector dominates it *)
   mutable converged_at : float option;
+}
+
+type suspicion = {
+  speer : int;
+  sobserver : int;
+  sphi : float;
+  sat : float;
+  strue : bool;  (* the peer really was down when suspected *)
+  slatency : float option;  (* crash-to-suspicion, when [strue] *)
+  mutable srefuted_at : float option;
+      (* a heartbeat sent after [sat] arrived: false (or outdated)
+         suspicion, survived via the rejoin path *)
 }
 
 type outcome = {
@@ -45,6 +65,12 @@ type outcome = {
   rejoins : int;
   leaves : int;
   catch_ups : catch_up list;
+  detector : Failure_detector.config option;
+  heartbeats_sent : int;
+  suspicions : suspicion list;
+  false_suspicions : int;
+  refutations : int;
+  view_reasons : (int * float * string) list;
   transfer_bytes : int;
   quarantine_leaks : int;
   active_at_end : int list;
@@ -123,13 +149,19 @@ let count_quarantine_leaks execution =
 
 let run (type pt pm)
     (module P : Protocol.S with type t = pt and type msg = pm) ~spec
-    ~latency ?(faults = Network.no_faults) ~plan ~initial
+    ~latency ?(faults = Network.no_faults) ~plan ~initial ?detector
     ?(checkpoint_every = 50.) ?(sync_rounds = 2) ?(sync_interval = 100.)
     ?(flush_poll = 10.) ?(settle = true) ?(retransmit_after = 50.)
     ?(seed = 1) ?(max_steps = 20_000_000) ?(metrics = Metrics.null ()) () =
   let universe = spec.Spec.n and m = spec.Spec.m in
   if initial < 2 || initial > universe then
     invalid_arg "Churn_campaign.run: need 2 <= initial <= spec.n slots";
+  let fd_on = detector <> None in
+  if fd_on && Fault_plan.has_churn plan then
+    invalid_arg
+      "Churn_campaign.run: emergent mode scripts no membership — drop the \
+       Join/Leave events; crashes and partitions are the only inputs, the \
+       detector produces the view history";
   let initial_slots = List.init initial Fun.id in
   Fault_plan.validate ~n:universe ~initial:initial_slots plan;
   if checkpoint_every <= 0. then
@@ -169,6 +201,18 @@ let run (type pt pm)
     Metrics.counter metrics "campaign_sync_requests"
   in
   let probe_sync_replies = Metrics.counter metrics "campaign_sync_replies" in
+  let probe_fd_heartbeats = Metrics.counter metrics "fd_heartbeats_total" in
+  let probe_fd_suspicions = Metrics.counter metrics "fd_suspicions_total" in
+  let probe_fd_false =
+    Metrics.counter metrics "fd_false_positives_total"
+  in
+  let probe_fd_refutations =
+    Metrics.counter metrics "fd_refutations_total"
+  in
+  let probe_fd_phi =
+    Metrics.histogram metrics "fd_phi_at_suspicion" ~lo:0. ~hi:16. ~bins:16
+  in
+  let probe_fd_latency = Metrics.gauge metrics "fd_detection_latency" in
   Metrics.set probe_active initial;
   let execution = Execution.create ~n:universe ~m () in
   let nodes =
@@ -217,12 +261,31 @@ let run (type pt pm)
     Metrics.set probe_epoch (Membership.epoch membership);
     Metrics.set probe_active (List.length (Membership.active membership))
   in
+  (* detector state: one accrual observer per slot, a per-pair clock of
+     the last payload sent (standalone heartbeats are suppressed while
+     protocol traffic piggybacks as liveness evidence), and the time
+     each slot was suspected (a refutation must postdate it) *)
+  let detectors =
+    match detector with
+    | None -> [||]
+    | Some cfg ->
+        Array.init universe (fun me ->
+            Failure_detector.create cfg ~universe ~me)
+  in
+  let last_sent =
+    if fd_on then Array.make_matrix universe universe neg_infinity
+    else [||]
+  in
+  let suspected_at = Array.make universe infinity in
+  let nowf () = Sim_time.to_float (Engine.now engine) in
   (* the membership view is the addressing oracle: senders talk only to
      currently active members; everyone else catches up by transfer or
      anti-entropy when (re)entering the view *)
   let ch_send ~src ~dst msg =
-    if Membership.is_active membership dst then
+    if Membership.is_active membership dst then begin
+      if fd_on then last_sent.(src).(dst) <- nowf ();
       Reliable_channel.send channel ~src ~dst msg
+    end
   in
   let ch_broadcast ~src msg =
     List.iter
@@ -243,7 +306,19 @@ let run (type pt pm)
   let replayed_writes = ref 0 in
   let stale_dropped = ref 0 in
   let aborted = ref 0 in
-  let nowf () = Sim_time.to_float (Engine.now engine) in
+  let heartbeats = ref 0 in
+  let suspicions = ref [] in
+  let false_suspicions = ref 0 in
+  let refutations = ref 0 in
+  let reasons = ref [] in
+  (* view-change provenance: one line per epoch bump, recorded right
+     after the transition so the epoch stamp is the view it produced *)
+  let push_reason fmt =
+    Printf.ksprintf
+      (fun why ->
+        reasons := (Membership.epoch membership, nowf (), why) :: !reasons)
+      fmt
+  in
 
   let record node kind =
     node.staged <- (Engine.now engine, kind) :: node.staged;
@@ -432,15 +507,36 @@ let run (type pt pm)
       writes;
     check_converged node
   in
+  (* refutation-driven rejoin, installed by the emergent wiring below:
+     a heartbeat sent after the suspicion proves the slot alive *)
+  let refute_hook :
+      (peer:int -> witness:int -> sent:float -> unit) ref =
+    ref (fun ~peer:_ ~witness:_ ~sent:_ -> ())
+  in
   for dst = 0 to universe - 1 do
     Reliable_channel.set_handler channel dst (fun ~src ~at:_ w ->
         let node = nodes.(dst) in
-        if (not node.down) && node.proto <> None then
+        if (not node.down) && node.proto <> None then begin
+          if fd_on then begin
+            (* piggyback: any frame from [src] is liveness evidence *)
+            Failure_detector.observe detectors.(dst) ~peer:src
+              ~at:(nowf ());
+            match w with
+            | Heartbeat { sent }
+              when Membership.is_member membership src
+                   && (not (Membership.is_active membership src))
+                   && (not nodes.(src).down)
+                   && sent > suspected_at.(src) ->
+                !refute_hook ~peer:src ~witness:dst ~sent
+            | _ -> ()
+          end;
           match w with
+          | Heartbeat _ -> ()
           | Proto msg -> deliver_proto node ~src msg
           | Sync_request { vec } -> serve_sync node ~peer:src ~vec
           | Sync_reply { vec; writes } | Transfer { vec; writes } ->
-              absorb_sync node writes ~vec)
+              absorb_sync node writes ~vec
+        end)
   done;
 
   (* anti-entropy rounds for a node that just (re)entered the view *)
@@ -478,8 +574,14 @@ let run (type pt pm)
   let permanently_down = Fault_plan.down_at_end plan in
   let on_crash p =
     let node = nodes.(p) in
-    Membership.crash membership ~at:(Engine.now engine) p;
-    sync_view ();
+    if not fd_on then begin
+      (* scripted mode: the plan is the membership oracle.  In emergent
+         mode a crash is a purely physical event — the view only
+         changes when a detector's accrued suspicion says so *)
+      Membership.crash membership ~at:(Engine.now engine) p;
+      sync_view ();
+      push_reason "p%d crashed (plan)" (p + 1)
+    end;
     node.down <- true;
     node.ever_crashed <- true;
     node.last_crash <- nowf ();
@@ -501,6 +603,7 @@ let run (type pt pm)
         ckind;
         started_at = nowf ();
         transfer_writes = 0;
+        transfer_gap = 0;
         transfer_bytes = 0;
         replayed = 0;
         target = None;
@@ -510,6 +613,33 @@ let run (type pt pm)
     node.cur <- Some c;
     catch_ups := c :: !catch_ups;
     c
+  in
+  (* delta state transfer: the sponsor (lowest-id other active member)
+     ships its durable log cut at the joiner's Apply vector — a fresh
+     joiner's zeros degenerate to the whole log, a rejoiner only pays
+     for the gap its crash (or false suspicion) opened *)
+  let send_delta_transfer c joiner =
+    match
+      List.find_opt (fun q -> q <> joiner.id) (Membership.active membership)
+    with
+    | None -> ()
+    | Some sponsor ->
+        let snode = nodes.(sponsor) in
+        let jvec = V.to_array (P.applied_vector (proto_of joiner)) in
+        let vec, out = collect_since snode ~vec:jvec in
+        c.transfer_writes <- List.length out;
+        c.transfer_gap <-
+          (let gap = ref 0 in
+           Array.iteri
+             (fun u s ->
+               let have = if u < Array.length jvec then jvec.(u) else 0 in
+               if s > have then gap := !gap + (s - have))
+             vec;
+           !gap);
+        c.transfer_bytes <- String.length (Marshal.to_string out []);
+        transfer_bytes := !transfer_bytes + c.transfer_bytes;
+        Metrics.add probe_transfer_bytes c.transfer_bytes;
+        ch_send ~src:sponsor ~dst:joiner.id (Transfer { vec; writes = out })
   in
   let restore_node node =
     match node.durable with
@@ -524,13 +654,35 @@ let run (type pt pm)
   in
   let on_recover p =
     let node = nodes.(p) in
-    Membership.recover membership ~at:(Engine.now engine) p;
-    sync_view ();
+    if not fd_on then begin
+      Membership.recover membership ~at:(Engine.now engine) p;
+      sync_view ();
+      push_reason "p%d recovered (plan)" (p + 1)
+    end;
     node.down <- false;
     Network.mark_recovered network p;
     restore_node node;
-    ignore (start_catch_up node Recover);
-    schedule_catch_up node
+    if fd_on then begin
+      (* the slot heard nothing while down: re-arm its own arrival
+         clocks or it would instantly suspect every peer *)
+      for q = 0 to universe - 1 do
+        if q <> p then begin
+          Failure_detector.forget detectors.(p) ~peer:q;
+          Failure_detector.observe detectors.(p) ~peer:q ~at:(nowf ())
+        end
+      done;
+      (* if a detector already turned this crash into a [Down], the
+         catch-up belongs to the refutation-driven rejoin: the slot's
+         resumed heartbeats will re-admit it *)
+      if Membership.is_active membership p then begin
+        ignore (start_catch_up node Recover);
+        schedule_catch_up node
+      end
+    end
+    else begin
+      ignore (start_catch_up node Recover);
+      schedule_catch_up node
+    end
   in
   let on_join p =
     let node = nodes.(p) in
@@ -540,31 +692,23 @@ let run (type pt pm)
     grow_all ();
     sync_view ();
     if fresh then begin
-      (* bootstrap: empty state, then the sponsor's snapshot transfer
-         arrives through the normal receive path *)
+      (* bootstrap: empty state, then the sponsor's transfer (the full
+         log: a fresh joiner's vector is all zeros) arrives through the
+         normal receive path *)
+      push_reason "p%d joined (plan)" (p + 1);
       node.proto <-
         Some (P.create (Protocol.config ~n:!width ~m) ~me:p);
       node.log <- Hashtbl.create 256;
       incr joins;
       Metrics.incr probe_joins;
       let c = start_catch_up node Fresh_join in
-      (match
-         List.find_opt (fun q -> q <> p) (Membership.active membership)
-       with
-      | Some sponsor ->
-          let snode = nodes.(sponsor) in
-          let vec, out = collect_since snode ~vec:[||] in
-          c.transfer_writes <- List.length out;
-          c.transfer_bytes <- String.length (Marshal.to_string out []);
-          transfer_bytes := !transfer_bytes + c.transfer_bytes;
-          Metrics.add probe_transfer_bytes c.transfer_bytes;
-          ch_send ~src:sponsor ~dst:p (Transfer { vec; writes = out })
-      | None -> ());
+      send_delta_transfer c node;
       schedule_catch_up node
     end
     else begin
       (* crash-rejoin: same slot, fresh incarnation — everything this
          slot's previous life still has on the wire is now stale *)
+      push_reason "p%d rejoined (plan)" (p + 1);
       Network.bump_incarnation network p;
       Reliable_channel.bump_incarnation channel p;
       Network.mark_recovered network p;
@@ -572,7 +716,8 @@ let run (type pt pm)
       restore_node node;
       incr rejoins;
       Metrics.incr probe_rejoins;
-      ignore (start_catch_up node Rejoin);
+      let c = start_catch_up node Rejoin in
+      send_delta_transfer c node;
       schedule_catch_up node;
       schedule_group_sync ()
     end
@@ -587,6 +732,7 @@ let run (type pt pm)
       commit node;
       Membership.leave membership ~at:(Engine.now engine) p;
       sync_view ();
+      push_reason "p%d left gracefully (plan)" (p + 1);
       (* frames still in flight toward the retired slot would
          retransmit forever against nonmember drops *)
       aborted := !aborted + Reliable_channel.abort_peer channel ~peer:p;
@@ -649,6 +795,168 @@ let run (type pt pm)
     in
     Float.max (Dsm_workload.Generator.end_time schedule) plan_end
   in
+  (* ---- emergent membership: gossip + accrual detection ------------- *)
+  (match detector with
+  | None -> ()
+  | Some cfg ->
+      (* seed every pair's arrival clock at t=0: silence accrues from
+         the start even for a slot that crashes before ever speaking *)
+      Array.iter
+        (fun det ->
+          for q = 0 to universe - 1 do
+            Failure_detector.observe det ~peer:q ~at:0.
+          done)
+        detectors;
+      let suspect ~observer ~peer ~phi =
+        let node = nodes.(peer) in
+        let now = nowf () in
+        let was_down = node.down in
+        Membership.crash membership ~at:(Engine.now engine) peer;
+        sync_view ();
+        push_reason "p%d suspected by p%d (phi=%.2f)" (peer + 1)
+          (observer + 1) phi;
+        suspected_at.(peer) <- now;
+        let slatency =
+          if was_down then Some (now -. node.last_crash) else None
+        in
+        suspicions :=
+          {
+            speer = peer;
+            sobserver = observer;
+            sphi = phi;
+            sat = now;
+            strue = was_down;
+            slatency;
+            srefuted_at = None;
+          }
+          :: !suspicions;
+        Metrics.incr probe_fd_suspicions;
+        Metrics.observe probe_fd_phi phi;
+        (match slatency with
+        | Some l -> Metrics.set probe_fd_latency (int_of_float (l +. 0.5))
+        | None ->
+            incr false_suspicions;
+            Metrics.incr probe_fd_false);
+        (* payloads queued toward the silent slot (heartbeats included)
+           would retransmit forever against crash drops *)
+        aborted := !aborted + Reliable_channel.abort_peer channel ~peer
+      in
+      (refute_hook :=
+         fun ~peer ~witness ~sent ->
+           let node = nodes.(peer) in
+           incr refutations;
+           Metrics.incr probe_fd_refutations;
+           (match
+              List.find_opt
+                (fun s -> s.speer = peer && s.srefuted_at = None)
+                !suspicions
+            with
+           | Some s -> s.srefuted_at <- Some (nowf ())
+           | None -> ());
+           suspected_at.(peer) <- infinity;
+           (* the refuted suspicion reuses the crash-rejoin path: fresh
+              incarnation, quarantined leftovers, delta transfer +
+              anti-entropy — false suspicions are survivable because
+              rejoin already is *)
+           Membership.join membership ~at:(Engine.now engine) peer;
+           sync_view ();
+           push_reason
+             "p%d rejoined: heartbeat sent@%.1f to p%d refuted the \
+              suspicion"
+             (peer + 1) sent (witness + 1);
+           Network.bump_incarnation network peer;
+           Reliable_channel.bump_incarnation channel peer;
+           Network.mark_recovered network peer;
+           incr rejoins;
+           Metrics.incr probe_rejoins;
+           (* fresh incarnation: stale arrival history on either side
+              must not poison the new estimates *)
+           for q = 0 to universe - 1 do
+             if q <> peer then begin
+               Failure_detector.forget detectors.(q) ~peer;
+               Failure_detector.observe detectors.(q) ~peer ~at:(nowf ());
+               Failure_detector.forget detectors.(peer) ~peer:q;
+               Failure_detector.observe detectors.(peer) ~peer:q
+                 ~at:(nowf ())
+             end
+           done;
+           let c = start_catch_up node Rejoin in
+           send_delta_transfer c node;
+           schedule_catch_up node;
+           schedule_group_sync ());
+      (* gossip + accrual run past the plan so a crash near the horizon
+         is still detected; the bound is the worst-case silence a
+         clamped window can demand before phi crosses the threshold *)
+      let detection_span =
+        cfg.Failure_detector.threshold *. Float.log 10.
+        *. (4. *. cfg.Failure_detector.heartbeat_every)
+      in
+      (* suspicion stops before gossip does: a slot falsely suspected
+         at the very last accrual tick still gets gossip ticks of its
+         own afterwards, so its refuting heartbeat is always
+         originated (delivery needs no ticks — the channel retransmits
+         until acked) *)
+      let accrual_until = horizon +. detection_span in
+      let hb_horizon =
+        accrual_until
+        +. (4. *. cfg.Failure_detector.heartbeat_every)
+        +. (2. *. sync_interval)
+      in
+      Engine.schedule_every engine
+        ~every:cfg.Failure_detector.heartbeat_every
+        ~until:(Sim_time.of_float hb_horizon)
+        (fun () ->
+          let now = nowf () in
+          (* gossip: a standalone beacon only where no recent protocol
+             traffic already piggybacked as evidence *)
+          for p = 0 to universe - 1 do
+            let node = nodes.(p) in
+            if
+              (not node.down) && (not node.leaving)
+              && node.proto <> None
+              && Membership.is_member membership p
+            then
+              List.iter
+                (fun dst ->
+                  if
+                    dst <> p
+                    && now -. last_sent.(p).(dst)
+                       >= cfg.Failure_detector.heartbeat_every
+                  then begin
+                    incr heartbeats;
+                    Metrics.incr probe_fd_heartbeats;
+                    ch_send ~src:p ~dst (Heartbeat { sent = now })
+                  end)
+                (Membership.active membership)
+          done;
+          (* accrue: every live active observer judges every active
+             peer; first threshold crossing wins the view change *)
+          if now <= accrual_until then
+          for p = 0 to universe - 1 do
+            let node = nodes.(p) in
+            if (not node.down) && Membership.is_active membership p then
+              List.iter
+                (fun q ->
+                  if q <> p && Membership.is_active membership q then begin
+                    let phi =
+                      Failure_detector.phi detectors.(p) ~peer:q ~at:now
+                    in
+                    if phi >= cfg.Failure_detector.threshold then
+                      suspect ~observer:p ~peer:q ~phi
+                  end)
+                (Membership.active membership)
+          done);
+      (* liveness backstop: once gossip stops, nothing new will suspect
+         a still-down slot, so abandon any payloads queued toward the
+         remaining corpses *)
+      Engine.schedule_at engine (Sim_time.of_float (hb_horizon +. 1.))
+        (fun () ->
+          for p = 0 to universe - 1 do
+            if nodes.(p).down then
+              aborted :=
+                !aborted + Reliable_channel.abort_peer channel ~peer:p
+          done));
+
   let rec schedule_checkpoints at =
     if at <= horizon +. checkpoint_every then begin
       Engine.schedule_at engine (Sim_time.of_float at) (fun () ->
@@ -680,7 +988,9 @@ let run (type pt pm)
      survivors pick up a rejoiner's re-supplied pre-crash writes.
      Without churn only recovered crashers ask, exactly as
      {!Fault_campaign} does (keeping churn-free runs byte-identical). *)
-  let churny = Fault_plan.has_churn plan in
+  (* detector-driven view changes count as churn: rejoiners with
+     quarantined pre-bump traffic need every active member to ask *)
+  let churny = Fault_plan.has_churn plan || fd_on in
   let rec final_sync iter =
     let before = !replayed_writes in
     let asked = ref false in
@@ -802,6 +1112,12 @@ let run (type pt pm)
     rejoins = !rejoins;
     leaves = !leaves;
     catch_ups = List.rev !catch_ups;
+    detector;
+    heartbeats_sent = !heartbeats;
+    suspicions = List.rev !suspicions;
+    false_suspicions = !false_suspicions;
+    refutations = !refutations;
+    view_reasons = List.rev !reasons;
     transfer_bytes = !transfer_bytes;
     quarantine_leaks;
     active_at_end;
@@ -845,15 +1161,50 @@ let pp_catch_up ppf c =
     | Some l -> Printf.sprintf " converged=+%.1f" l
     | None -> " never converged")
 
+let pp_suspicion ppf s =
+  Format.fprintf ppf "p%d suspected by p%d@%.1f phi=%.2f %s%s"
+    (s.speer + 1) (s.sobserver + 1) s.sat s.sphi
+    (if s.strue then
+       match s.slatency with
+       | Some l -> Printf.sprintf "(down, detected +%.1f)" l
+       | None -> "(down)"
+     else "(false positive)")
+    (match s.srefuted_at with
+    | Some t -> Printf.sprintf " refuted@%.1f" t
+    | None -> "")
+
+let pp_view_reason ppf (epoch, at, why) =
+  Format.fprintf ppf "epoch %d @%.1f: %s" epoch at why
+
 let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>%s churn campaign: %d joins / %d rejoins / %d leaves over %d \
      epochs, %d transfer bytes, sync %d req / %d replies, %d replayed \
      writes, %d stale quarantined, %d stale-dropped, %d nonmember-dropped \
-     frames, %d quarantine leaks; live_equal=%b clean=%b t_end=%.1f@,%a@]"
+     frames, %d quarantine leaks; live_equal=%b clean=%b t_end=%.1f@,%a"
     o.protocol_name o.joins o.rejoins o.leaves o.final_epoch
     o.transfer_bytes o.sync_requests o.sync_replies o.replayed_writes
     o.chan_stale_quarantined o.net_stale_dropped o.net_nonmember_dropped
     o.quarantine_leaks o.live_equal o.clean o.end_time
     (Format.pp_print_list pp_catch_up)
-    o.catch_ups
+    o.catch_ups;
+  (match o.detector with
+  | None -> ()
+  | Some cfg ->
+      if o.catch_ups <> [] then Format.fprintf ppf "@,";
+      Format.fprintf ppf
+        "fd: threshold=%.1f heartbeat=%.1f — %d heartbeats, %d \
+         suspicions (%d false), %d refutations"
+        cfg.Failure_detector.threshold
+        cfg.Failure_detector.heartbeat_every o.heartbeats_sent
+        (List.length o.suspicions)
+        o.false_suspicions o.refutations;
+      if o.suspicions <> [] then
+        Format.fprintf ppf "@,%a"
+          (Format.pp_print_list pp_suspicion)
+          o.suspicions;
+      if o.view_reasons <> [] then
+        Format.fprintf ppf "@,%a"
+          (Format.pp_print_list pp_view_reason)
+          o.view_reasons);
+  Format.fprintf ppf "@]"

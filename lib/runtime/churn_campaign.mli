@@ -40,6 +40,13 @@ type 'msg wire =
   | Sync_request of { vec : int array }
   | Sync_reply of { vec : int array; writes : 'msg list }
   | Transfer of { vec : int array; writes : 'msg list }
+      (** delta state transfer: the sponsor's durable log cut at the
+          joiner's Apply vector (a fresh joiner's zeros degenerate to
+          the whole log) *)
+  | Heartbeat of { sent : float }
+      (** gossip liveness beacon ({!Failure_detector}); [sent] is the
+          origination time, kept across retransmissions, so a
+          refutation can prove the sender outlived the suspicion *)
 
 type catch_up_kind = Fresh_join | Rejoin | Recover
 
@@ -48,6 +55,10 @@ type catch_up = {
   ckind : catch_up_kind;
   started_at : float;
   mutable transfer_writes : int;
+  mutable transfer_gap : int;
+      (** componentwise sponsor-minus-joiner Apply gap at transfer
+          time; bounds [transfer_writes] (one single-write message per
+          missing dot) *)
   mutable transfer_bytes : int;
   mutable replayed : int;
   mutable target : int array option;
@@ -57,6 +68,22 @@ type catch_up = {
     plain PR 2 recovery. [converged_at] is set once the slot's applied
     vector dominates every peer vector it has heard
     (join-to-converged latency = [converged_at - started_at]). *)
+
+type suspicion = {
+  speer : int;  (** who was suspected *)
+  sobserver : int;  (** whose detector crossed the threshold *)
+  sphi : float;
+  sat : float;
+  strue : bool;  (** the peer really was down at [sat] *)
+  slatency : float option;
+      (** crash-to-suspicion detection latency, when [strue] *)
+  mutable srefuted_at : float option;
+      (** set when a heartbeat sent after [sat] re-admitted the peer
+          through the rejoin path *)
+}
+(** One accrual-detector verdict (emergent mode only). A refuted
+    suspicion is the survivable false-positive path: the slot rejoins
+    under a fresh incarnation exactly as a crash-rejoin would. *)
 
 type outcome = {
   execution : Execution.t;
@@ -70,6 +97,19 @@ type outcome = {
   rejoins : int;
   leaves : int;
   catch_ups : catch_up list;  (** chronological *)
+  detector : Failure_detector.config option;
+      (** [Some _] iff the run was emergent (detector-driven) *)
+  heartbeats_sent : int;  (** standalone [Heartbeat] frames originated *)
+  suspicions : suspicion list;  (** chronological *)
+  false_suspicions : int;
+      (** suspicions of a slot that was in fact alive *)
+  refutations : int;
+      (** suspicions cancelled by a later heartbeat; each one re-admits
+          the slot through the rejoin path *)
+  view_reasons : (int * float * string) list;
+      (** provenance: one [(epoch, at, why)] per membership transition,
+          chronological — in emergent mode this is the detector's view
+          history *)
   transfer_bytes : int;  (** total sponsor state-transfer volume *)
   quarantine_leaks : int;
       (** ghost dots: double applies or conflicting values — 0 on every
@@ -117,6 +157,7 @@ val run :
   ?faults:Dsm_sim.Network.faults ->
   plan:Dsm_sim.Fault_plan.t ->
   initial:int ->
+  ?detector:Failure_detector.config ->
   ?checkpoint_every:float ->
   ?sync_rounds:int ->
   ?sync_interval:float ->
@@ -140,10 +181,26 @@ val run :
     applied everywhere, single-write messages): OptP, ANBKH or
     OptP-direct. Writing-semantics protocols cannot serve anti-entropy
     catch-up and fail loudly.
+
+    [?detector] switches the campaign to {e emergent} mode: no
+    [Join]/[Leave] event may appear in the plan (crashes and partitions
+    are the only scripted inputs) and {e every} view change is produced
+    by the failure-detection pipeline instead — active slots gossip
+    [Heartbeat] frames every [heartbeat_every] (suppressed towards
+    peers that recently received other traffic; every delivered frame
+    counts as liveness evidence), each slot runs a {!Failure_detector},
+    and the first observer whose [phi] crosses the threshold marks the
+    peer [Down]. A heartbeat originated after the suspicion refutes it
+    and re-admits the slot through the crash-rejoin path (incarnation
+    bump, sponsor delta transfer, group sync) — false positives are
+    survivable by construction.
     @raise Invalid_argument if [initial < 2] or [initial > spec.n], or
-    the plan is invalid for that universe. *)
+    the plan is invalid for that universe, or [?detector] is combined
+    with a plan containing [Join]/[Leave] events. *)
 
 val catch_up_latency : catch_up -> float option
 
 val pp_catch_up : Format.formatter -> catch_up -> unit
+val pp_suspicion : Format.formatter -> suspicion -> unit
+val pp_view_reason : Format.formatter -> int * float * string -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

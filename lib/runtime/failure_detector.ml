@@ -1,0 +1,98 @@
+type config = {
+  threshold : float;
+  heartbeat_every : float;
+  window : int;
+}
+
+let config ?(threshold = 3.) ?(heartbeat_every = 20.) ?(window = 16) () =
+  if (not (Float.is_finite threshold)) || threshold <= 0. then
+    invalid_arg "Failure_detector.config: threshold must be positive";
+  if (not (Float.is_finite heartbeat_every)) || heartbeat_every <= 0. then
+    invalid_arg "Failure_detector.config: heartbeat_every must be positive";
+  if window < 2 then
+    invalid_arg "Failure_detector.config: window must be >= 2";
+  { threshold; heartbeat_every; window }
+
+(* per-peer sliding window of inter-arrival intervals, as a ring *)
+type peer_state = {
+  intervals : float array;
+  mutable count : int;  (* samples held, <= window *)
+  mutable next : int;  (* ring write cursor *)
+  mutable sum : float;  (* running sum of held samples *)
+  mutable last : float;  (* last arrival; NaN until armed *)
+}
+
+type t = { cfg : config; me : int; peers : peer_state array }
+
+let create cfg ~universe ~me =
+  if universe <= 0 then
+    invalid_arg "Failure_detector.create: universe must be positive";
+  if me < 0 || me >= universe then
+    invalid_arg "Failure_detector.create: me outside the universe";
+  {
+    cfg;
+    me;
+    peers =
+      Array.init universe (fun _ ->
+          {
+            intervals = Array.make cfg.window 0.;
+            count = 0;
+            next = 0;
+            sum = 0.;
+            last = Float.nan;
+          });
+  }
+
+let config_of t = t.cfg
+let me t = t.me
+
+let state t peer =
+  if peer < 0 || peer >= Array.length t.peers then
+    invalid_arg "Failure_detector: peer outside the universe";
+  t.peers.(peer)
+
+let observe t ~peer ~at =
+  if peer <> t.me then begin
+    let p = state t peer in
+    if Float.is_nan p.last then p.last <- at
+    else if at > p.last then begin
+      (* clamp: bursts must not collapse mu, one long gap must not
+         inflate it past recovery *)
+      let lo = 0.5 *. t.cfg.heartbeat_every
+      and hi = 4. *. t.cfg.heartbeat_every in
+      let interval = Float.min hi (Float.max lo (at -. p.last)) in
+      if p.count = Array.length p.intervals then
+        p.sum <- p.sum -. p.intervals.(p.next)
+      else p.count <- p.count + 1;
+      p.intervals.(p.next) <- interval;
+      p.sum <- p.sum +. interval;
+      p.next <- (p.next + 1) mod Array.length p.intervals;
+      p.last <- at
+    end
+  end
+
+let forget t ~peer =
+  let p = state t peer in
+  p.count <- 0;
+  p.next <- 0;
+  p.sum <- 0.;
+  p.last <- Float.nan
+
+let last_heard t ~peer =
+  let p = state t peer in
+  if Float.is_nan p.last then None else Some p.last
+
+let mean_interval t ~peer =
+  let p = state t peer in
+  (* heartbeat-period prior as one extra sample: a freshly armed peer
+     is judged against the configured gossip rate *)
+  (p.sum +. t.cfg.heartbeat_every) /. float_of_int (p.count + 1)
+
+let ln10 = Float.log 10.
+
+let phi t ~peer ~at =
+  let p = state t peer in
+  if Float.is_nan p.last || at <= p.last then 0.
+  else (at -. p.last) /. (mean_interval t ~peer *. ln10)
+
+let suspicious t ~peer ~at = phi t ~peer ~at >= t.cfg.threshold

@@ -1,0 +1,87 @@
+(** Phi-accrual failure detection over gossip heartbeats.
+
+    The paper's §3.1 model assumes reliable channels and a fixed
+    process set; PR 4 made the set dynamic but every view change was
+    {e scripted}. This module supplies the missing reactive half: each
+    active slot observes the arrival times of its peers' traffic —
+    standalone [Heartbeat] frames, or any protocol frame piggybacking
+    as liveness evidence — and accrues {e suspicion} from silence.
+
+    The detector is the accrual style of Hayashibara et al. (as
+    simplified in Cassandra): per peer, a sliding window of
+    inter-arrival intervals estimates the arrival rate, and the
+    suspicion level for a silence of [t] time units is
+
+    {[  phi = t / (mu * ln 10)  ]}
+
+    where [mu] is the smoothed window mean — i.e. [phi >= k] means the
+    observed silence is [k] decades less likely than the expected
+    inter-arrival under an exponential model. Crossing a configurable
+    threshold emits a [Suspect] that the campaign driver turns into a
+    membership [Down] transition; a heartbeat sent {e after} the
+    suspicion refutes it and re-admits the slot through the ordinary
+    crash-rejoin path (see {!Churn_campaign}).
+
+    Determinism: the detector never reads a wall clock. Every [at] is
+    the caller's {!Dsm_sim.Engine} virtual time, every computation is
+    pure float arithmetic over it, and iteration order is fixed — two
+    runs from the same seed produce byte-identical suspicion and view
+    histories.
+
+    Two guards keep the estimate sane under the simulator's bursty
+    arrival patterns (retransmission floods after a heal compress
+    intervals; piggybacked protocol traffic arrives much faster than
+    the heartbeat period):
+    - each recorded interval is clamped to
+      [[heartbeat_every / 2, 4 * heartbeat_every]], so dense traffic
+      cannot collapse [mu] to near zero and one partition-length gap
+      cannot inflate it without bound;
+    - [mu] is smoothed with the heartbeat period as a one-sample
+      prior, so a peer that crashes before ever producing a full
+      window is still eventually suspected. *)
+
+type config = {
+  threshold : float;  (** suspect when [phi] reaches this; decades *)
+  heartbeat_every : float;  (** gossip period, virtual time units *)
+  window : int;  (** inter-arrival samples kept per peer *)
+}
+
+val config :
+  ?threshold:float -> ?heartbeat_every:float -> ?window:int -> unit -> config
+(** Defaults: [threshold = 3.], [heartbeat_every = 20.], [window = 16].
+    @raise Invalid_argument unless [threshold > 0], [heartbeat_every]
+    positive and finite, and [window >= 2]. *)
+
+type t
+(** One observer's accrued evidence about every peer in the universe. *)
+
+val create : config -> universe:int -> me:int -> t
+(** No peer is monitored yet; the first {!observe} per peer only arms
+    its clock (records no interval). *)
+
+val config_of : t -> config
+val me : t -> int
+
+val observe : t -> peer:int -> at:float -> unit
+(** Liveness evidence from [peer] arrived at [at]: push the (clamped)
+    interval since the previous observation into the window. Evidence
+    arriving out of order (at or before the previous observation) is
+    ignored. Self-observations are ignored. *)
+
+val forget : t -> peer:int -> unit
+(** Drop everything known about [peer]. Used when a slot re-enters the
+    view under a fresh incarnation: its previous life's arrival
+    history must not poison the new estimate. *)
+
+val last_heard : t -> peer:int -> float option
+
+val mean_interval : t -> peer:int -> float
+(** The smoothed [mu] (window mean with the heartbeat period as a
+    one-sample prior); [heartbeat_every] when nothing was observed. *)
+
+val phi : t -> peer:int -> at:float -> float
+(** Suspicion level for the silence [at - last_heard]; [0.] while no
+    observation has armed the peer's clock, and never negative. *)
+
+val suspicious : t -> peer:int -> at:float -> bool
+(** [phi >= threshold]. *)

@@ -83,6 +83,30 @@ type ('proto, 'msg) node = {
   mutable cur : recovery option;  (* open recovery, until caught up *)
 }
 
+(* this harness keeps the replica set static for its whole lifetime;
+   membership is Churn_campaign's job, so a churny plan is rejected up
+   front with a pointer at the right driver rather than silently
+   ignoring the view changes *)
+let validate_plan ~n plan =
+  (* the churn check comes first: a churny plan is usually well-formed
+     for the churn driver, and the useful answer is "wrong driver", not
+     whichever state-machine complaint full-membership validation hits *)
+  (if Fault_plan.has_churn plan then
+    let ev =
+      List.find
+        (function
+          | Fault_plan.Join _ | Fault_plan.Leave _ -> true | _ -> false)
+        plan
+    in
+    invalid_arg
+      (Format.asprintf
+         "Fault_campaign.run: static membership only, but the plan contains \
+          %a — membership changes need the churn driver: \
+          Churn_campaign.run (CLI: dsm-sim run --join/--leave/--churn, or \
+          --fd for detector-driven views)"
+         Fault_plan.pp_event ev));
+  Fault_plan.validate ~n plan
+
 let run (type pt pm)
     (module P : Protocol.S with type t = pt and type msg = pm) ~spec
     ~latency ?(faults = Network.no_faults) ~plan ?(checkpoint_every = 50.)
@@ -91,10 +115,7 @@ let run (type pt pm)
     ?(metrics = Metrics.null ()) () =
   let n = spec.Spec.n and m = spec.Spec.m in
   let cfg = Protocol.config ~n ~m in
-  Fault_plan.validate ~n plan;
-  if Fault_plan.has_churn plan then
-    invalid_arg
-      "Fault_campaign.run: plan has join/leave events — use Churn_campaign";
+  validate_plan ~n plan;
   if checkpoint_every <= 0. then
     invalid_arg "Fault_campaign.run: checkpoint_every must be positive";
   let schedule = Dsm_workload.Generator.generate spec in

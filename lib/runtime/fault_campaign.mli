@@ -104,6 +104,15 @@ type outcome = {
   end_time : float;
 }
 
+val validate_plan : n:int -> Dsm_sim.Fault_plan.t -> unit
+(** The acceptance check {!run} applies to its plan: well-formed for a
+    universe of [n] ({!Dsm_sim.Fault_plan.validate}) and {e static} —
+    this harness never changes the replica set, so a plan with
+    [Join]/[Leave] events is refused with a message pointing at
+    {!Churn_campaign} (and the CLI's churn/detector flags), which owns
+    membership.
+    @raise Invalid_argument otherwise. *)
+
 val run :
   (module Dsm_core.Protocol.S with type t = 'pt and type msg = 'pm) ->
   spec:Dsm_workload.Spec.t ->

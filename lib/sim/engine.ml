@@ -17,6 +17,17 @@ let schedule_at t at f =
 let schedule_after t d f = schedule_at t (Sim_time.add t.clock d) f
 let schedule_now t f = schedule_at t t.clock f
 
+let schedule_every t ~every ~until f =
+  if (not (Float.is_finite every)) || every <= 0. then
+    invalid_arg "Engine.schedule_every: period must be positive and finite";
+  let rec tick at () =
+    f ();
+    let next = Sim_time.add at every in
+    if Sim_time.(next <= until) then schedule_at t next (tick next)
+  in
+  let first = Sim_time.add t.clock every in
+  if Sim_time.(first <= until) then schedule_at t first (tick first)
+
 type stop_reason = Drained | Hit_step_limit | Hit_time_limit
 
 let step t =

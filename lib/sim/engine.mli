@@ -27,6 +27,14 @@ val schedule_now : t -> (unit -> unit) -> unit
 (** Runs [f] at the current time, after all other work already queued
     for this instant. *)
 
+val schedule_every : t -> every:float -> until:Sim_time.t -> (unit -> unit) -> unit
+(** [schedule_every t ~every ~until f] runs [f] at [now + every],
+    [now + 2*every], … for every tick at or before [until]. The ticks
+    are ordinary events: they keep the queue non-empty until [until]
+    passes, so periodic drivers (heartbeats, detectors) must bound
+    [until] or the engine never drains.
+    @raise Invalid_argument if [every] is not positive and finite. *)
+
 type stop_reason =
   | Drained  (** The event queue became empty. *)
   | Hit_step_limit

@@ -220,15 +220,15 @@ let random_churn rng ~initial ~n ~horizon ?(joins = 1) ?(leaves = 1)
 
 let pp_event ppf = function
   | Crash { proc; at } ->
-      Format.fprintf ppf "crash p%d @ %a" (proc + 1) Sim_time.pp at
+      Format.fprintf ppf "crash p%d @@%a" (proc + 1) Sim_time.pp at
   | Recover { proc; at } ->
-      Format.fprintf ppf "recover p%d @ %a" (proc + 1) Sim_time.pp at
+      Format.fprintf ppf "recover p%d @@%a" (proc + 1) Sim_time.pp at
   | Join { proc; at } ->
-      Format.fprintf ppf "join p%d @ %a" (proc + 1) Sim_time.pp at
+      Format.fprintf ppf "join p%d @@%a" (proc + 1) Sim_time.pp at
   | Leave { proc; at } ->
-      Format.fprintf ppf "leave p%d @ %a" (proc + 1) Sim_time.pp at
+      Format.fprintf ppf "leave p%d @@%a" (proc + 1) Sim_time.pp at
   | Cut { groups; at } ->
-      Format.fprintf ppf "cut {%a} @ %a"
+      Format.fprintf ppf "cut {%a} @@%a"
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
            (fun ppf g ->
@@ -237,7 +237,7 @@ let pp_event ppf = function
                (fun ppf p -> Format.fprintf ppf "p%d" (p + 1))
                ppf g))
         groups Sim_time.pp at
-  | Heal { at } -> Format.fprintf ppf "heal @ %a" Sim_time.pp at
+  | Heal { at } -> Format.fprintf ppf "heal @@%a" Sim_time.pp at
 
 let pp ppf t =
   Format.pp_print_list

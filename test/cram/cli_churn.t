@@ -11,11 +11,11 @@ of every write, including those issued before it joined.
   workload: workload(n=6, m=3, ops/proc=25, writes=50%, think=exp(mean=10), vars=uniform, seed=3)
   network:  exp(mean=8)
   
-  OptP churn campaign: 1 joins / 1 rejoins / 1 leaves over 4 epochs, 269 transfer bytes, sync 50 req / 50 replies, 38 replayed writes, 2 stale quarantined, 0 stale-dropped, 1 nonmember-dropped frames, 0 quarantine leaks; live_equal=true clean=true t_end=764.6
+  OptP churn campaign: 1 joins / 1 rejoins / 1 leaves over 4 epochs, 590 transfer bytes, sync 50 req / 50 replies, 38 replayed writes, 2 stale quarantined, 0 stale-dropped, 1 nonmember-dropped frames, 0 quarantine leaks; live_equal=true clean=true t_end=762.7
   p5 join@80.0 transfer=16(269B) replayed=13 converged=+3.2
-  p2 rejoin@220.0 transfer=0(0B) replayed=20 converged=+4.8
+  p2 rejoin@220.0 transfer=18(321B) replayed=18 converged=+3.1
   
-  audit: applies=298 delays=48 (necessary=48, unnecessary=0) skips=0 complete=true lost=0
+  audit: applies=298 delays=47 (necessary=47, unnecessary=0) skips=0 complete=true lost=0
          violations=0
 
 
@@ -40,15 +40,15 @@ unnecessary delays even while the membership churns.
       { "proc": 8, "kind": "join", "started_at": 131.0, "converged_at": 133.8, "latency": 2.8,
         "transfer_writes": 24, "transfer_bytes": 508, "replayed": 24 },
       { "proc": 3, "kind": "rejoin", "started_at": 176.3, "converged_at": 192.8, "latency": 16.4,
-        "transfer_writes": 0, "transfer_bytes": 0, "replayed": 32 }
+        "transfer_writes": 37, "transfer_bytes": 868, "replayed": 32 }
     ],
-    "quarantine": { "chan_stale_quarantined": 18, "net_stale_dropped": 1, "net_nonmember_dropped": 0, "corrupt_dropped": 177, "quarantine_leaks": 0 },
-    "durability": { "commits": 188, "snapshot_bytes": 434477, "transfer_bytes": 966, "rolled_back_events": 0 },
-    "catch_up": { "sync_requests": 245, "sync_replies": 245, "replayed_writes": 202, "stale_deliveries_dropped": 70 },
-    "wire": { "payloads_sent": 1298, "frames_sent": 4086, "retransmissions": 986, "aborted_payloads": 16, "duplicates_discarded": 493 },
-    "audit": { "violations": 0, "necessary_delays": 447, "unnecessary_delays": 0, "lost": 0 },
-    "engine_steps": 6962,
-    "sim_end_time": 24030.8
+    "quarantine": { "chan_stale_quarantined": 16, "net_stale_dropped": 1, "net_nonmember_dropped": 0, "corrupt_dropped": 174, "quarantine_leaks": 0 },
+    "durability": { "commits": 188, "snapshot_bytes": 434250, "transfer_bytes": 1834, "rolled_back_events": 0 },
+    "catch_up": { "sync_requests": 245, "sync_replies": 244, "replayed_writes": 202, "stale_deliveries_dropped": 71 },
+    "wire": { "payloads_sent": 1298, "frames_sent": 4055, "retransmissions": 976, "aborted_payloads": 17, "duplicates_discarded": 475 },
+    "audit": { "violations": 0, "necessary_delays": 446, "unnecessary_delays": 0, "lost": 0 },
+    "engine_steps": 6310,
+    "sim_end_time": 20359.6
   }
 
 ANBKH churns too (it buffers more, but stays consistent across epochs).
@@ -66,7 +66,7 @@ Writing-semantics protocols cannot serve the state transfer and are
 rejected with an explanation.
 
   $ dsm-sim run --protocol ws-recv --join 4@50 -n 6 --initial 4 2>&1 | tail -n 1
-  dsm-sim: --join/--leave/--churn need a complete-broadcast protocol (optp, anbkh or optp-direct); WS-recv cannot serve state transfer
+  dsm-sim: --join/--leave/--churn/--fd need a complete-broadcast protocol (optp, anbkh or optp-direct); WS-recv cannot serve state transfer
 
 Malformed churn flags are rejected at parse time, contradictory ones at
 validation time.

@@ -1,0 +1,90 @@
+Emergent membership: with --fd no view change is scripted. Active
+slots gossip heartbeats, a phi-accrual detector accrues suspicion from
+silence, and the view history is whatever the detector concluded.
+Slot 1 crashes at t=120 and restarts at t=320: its silence is
+suspected (epoch 1), and its first post-restart heartbeat refutes the
+suspicion and re-admits it through the rejoin state transfer
+(epoch 3). Slot 3 crashes for good at t=200 and is suspected out
+(epoch 2). The audit still demands zero unnecessary delays.
+
+  $ dsm-sim run -n 6 -m 3 --ops 25 --seed 3 --latency exp:8 --fd --crash 1@120:320 --crash 3@200
+  workload: workload(n=6, m=3, ops/proc=25, writes=50%, think=exp(mean=10), vars=uniform, seed=3)
+  network:  exp(mean=8)
+  
+  OptP churn campaign: 0 joins / 1 rejoins / 0 leaves over 3 epochs, 662 transfer bytes, sync 104 req / 100 replies, 37 replayed writes, 5 stale quarantined, 1 stale-dropped, 0 nonmember-dropped frames, 0 quarantine leaks; live_equal=true clean=true t_end=1837.2
+  p2 rejoin@320.0 transfer=35(662B) replayed=35 converged=+2.7
+  fd: threshold=3.0 heartbeat=20.0 — 941 heartbeats, 2 suspicions (0 false), 1 refutations
+  p2 suspected by p6@200.0 phi=3.23 (down, detected +80.0) refuted@320.0
+  p4 suspected by p1@300.0 phi=3.32 (down, detected +100.0)
+  epoch 1 @200.0: p2 suspected by p6 (phi=3.23)
+  epoch 2 @300.0: p4 suspected by p1 (phi=3.32)
+  epoch 3 @320.0: p2 rejoined: heartbeat sent@320.0 to p6 refuted the suspicion
+  
+  audit: applies=403 delays=74 (necessary=74, unnecessary=0) skips=0 complete=true lost=0
+         violations=0
+
+The same run as machine-readable JSON: the detector block and the
+per-epoch view_changes log with the reason for each change.
+
+  $ dsm-sim run -n 6 -m 3 --ops 25 --seed 3 --latency exp:8 --fd --crash 1@120:320 --crash 3@200 --json
+  {
+    "schema": "causal-dsm-churn/v1",
+    "protocol": "OptP",
+    "clean": true,
+    "live_equal": true,
+    "membership": { "final_epoch": 3, "joins": 0, "rejoins": 1, "leaves": 0, "active_at_end": [0, 1, 2, 4, 5] },
+    "detector": { "threshold": 3, "heartbeat_every": 20, "window": 16,
+                  "heartbeats_sent": 941, "suspicions": 2, "false_suspicions": 0, "refutations": 1 },
+    "view_changes": [
+      { "epoch": 1, "at": 200.0, "why": "p2 suspected by p6 (phi=3.23)" },
+      { "epoch": 2, "at": 300.0, "why": "p4 suspected by p1 (phi=3.32)" },
+      { "epoch": 3, "at": 320.0, "why": "p2 rejoined: heartbeat sent@320.0 to p6 refuted the suspicion" }
+    ],
+    "catch_ups": [
+      { "proc": 1, "kind": "rejoin", "started_at": 320.0, "converged_at": 322.8, "latency": 2.7,
+        "transfer_writes": 35, "transfer_bytes": 662, "replayed": 35 }
+    ],
+    "quarantine": { "chan_stale_quarantined": 5, "net_stale_dropped": 1, "net_nonmember_dropped": 0, "corrupt_dropped": 0, "quarantine_leaks": 0 },
+    "durability": { "commits": 107, "snapshot_bytes": 137097, "transfer_bytes": 662, "rolled_back_events": 13 },
+    "catch_up": { "sync_requests": 104, "sync_replies": 100, "replayed_writes": 37, "stale_deliveries_dropped": 2 },
+    "wire": { "payloads_sent": 1478, "frames_sent": 2981, "retransmissions": 55, "aborted_payloads": 64, "duplicates_discarded": 27 },
+    "audit": { "violations": 0, "necessary_delays": 74, "unnecessary_delays": 0, "lost": 0 },
+    "engine_steps": 4753,
+    "sim_end_time": 1837.2
+  }
+
+Tighter threshold, faster heartbeats: detection gets quicker; the
+phi values in the reasons sit just above the lower threshold.
+
+  $ dsm-sim run -n 5 -m 3 --ops 20 --seed 4 --latency exp:8 --fd --fd-threshold 2 --heartbeat-every 10 --crash 2@150 --json | grep -A 3 '"view_changes"'
+    "view_changes": [
+      { "epoch": 1, "at": 190.0, "why": "p3 suspected by p1 (phi=2.08)" }
+    ],
+    "catch_ups": [],
+
+The plan subcommand dry-runs a fault/churn schedule without executing
+it, and names the driver the run would use.
+
+  $ dsm-sim plan -n 6 --initial 4 --join 4@80 --crash 1@120
+  universe: 6 slots, 4 initial members
+  driver: churn-campaign
+  events: 2
+  join p5 @80.000;
+  crash p2 @120.000
+
+Forcing the static fault driver onto a churny plan is refused with a
+pointer at the membership-owning driver.
+
+  $ dsm-sim plan --driver fault -n 6 --initial 5 --join 5@50
+  dsm-sim: Fault_campaign.run: static membership only, but the plan contains join p6 @50.000 — membership changes need the churn driver: Churn_campaign.run (CLI: dsm-sim run --join/--leave/--churn, or --fd for detector-driven views)
+  [124]
+
+--fd owns the view: scripted membership does not combine with it.
+
+  $ dsm-sim run --fd --join 4@50 -n 6 --initial 4 2>&1 | tail -n 1
+  dsm-sim: --fd is emergent membership — drop --join/--leave/--churn; crashes and partitions are the only scripted inputs, the detector produces the view history
+
+Detector parameters are validated before the run starts.
+
+  $ dsm-sim run --fd --fd-threshold 0 -n 4 2>&1 | tail -n 1
+  dsm-sim: Failure_detector.config: threshold must be positive
