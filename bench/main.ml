@@ -852,6 +852,236 @@ module Fd_bench = struct
     print_table table
 end
 
+(* ------------------------------------------------------------------ *)
+(* Engine throughput: indexed queue, arena, delivery batching          *)
+(* ------------------------------------------------------------------ *)
+
+module Engine_bench = struct
+  module Engine = Dsm_sim.Engine
+  module Sim_time = Dsm_sim.Sim_time
+  module Network = Dsm_sim.Network
+
+  type row = {
+    equeue : string;
+    eevents : int;
+    ens_per_event : float;
+    eminor_per_event : float;  (** GC minor words per event, steady state *)
+    emajor_per_event : float;
+  }
+
+  type batch_row = {
+    bmode : string;
+    bdeliveries : int;
+    bsteps : int;
+    bns_per_delivery : float;
+  }
+
+  type summary = {
+    rows : row list;
+    m5_indexed_ns : float;
+        (** schedule+run 1k events on the indexed queue — directly
+            comparable to micro M5 and the CI regression baseline *)
+    m5_heap_ns : float;
+    bursts : int;
+    burst_size : int;
+    brows : batch_row list;
+  }
+
+  let results : summary option ref = ref None
+
+  let queue_name = function Engine.Indexed -> "indexed" | Engine.Heap -> "heap"
+
+  (* Steady-state workload: [width] self-rescheduling events in flight,
+     [events] total firings. The in-flight count never exceeds [width],
+     so the queue's capacity is pinned at a small constant and what the
+     loop measures is the per-event schedule/pop cycle — the simulator
+     hot path — not array growth. A single recursive closure serves
+     every slot: the handler itself allocates nothing. *)
+  let steady ~queue ~events () =
+    let e = Engine.create ~queue () in
+    let width = 64 in
+    let fired = ref 0 in
+    let rec fire () =
+      incr fired;
+      if !fired + width <= events then Engine.schedule_after e 1.0 fire
+    in
+    for i = 0 to width - 1 do
+      Engine.schedule_at e
+        (Sim_time.of_float (float_of_int i /. float_of_int width))
+        fire
+    done;
+    ignore (Engine.run e);
+    assert (!fired = events)
+
+  (* Sys.time is coarse: repeat until enough CPU accumulates. GC deltas
+     are read around the whole timed region (after one warm-up run) and
+     divided by total events, so one-off warm-up allocation is excluded
+     and per-rep setup amortizes away. *)
+  let measure ~events f =
+    f ();
+    let reps = ref 0 and elapsed = ref 0. in
+    let g0 = Gc.quick_stat () in
+    while !elapsed < 0.2 && !reps < 500 do
+      let t0 = Sys.time () in
+      f ();
+      elapsed := !elapsed +. (Sys.time () -. t0);
+      incr reps
+    done;
+    let g1 = Gc.quick_stat () in
+    let per = float_of_int (!reps * events) in
+    ( !elapsed /. per *. 1e9,
+      (g1.Gc.minor_words -. g0.Gc.minor_words) /. per,
+      (g1.Gc.major_words -. g0.Gc.major_words) /. per )
+
+  (* the exact M5 shape — schedule 1k events at distinct times, drain —
+     for an apples-to-apples number against BENCH_indexed_buffer.json *)
+  let m5_like ~queue () =
+    let e = Engine.create ~queue () in
+    for i = 1 to 1000 do
+      Engine.schedule_at e
+        (Sim_time.of_float (float_of_int i))
+        (fun () -> ())
+    done;
+    ignore (Engine.run e)
+
+  (* Same-edge bursts under constant latency: every burst lands at one
+     delivery instant on one (src,dst) edge, the case batching collapses
+     into a single wakeup. Deliveries and their times are identical in
+     both modes; only the engine event count differs. *)
+  let burst_run ~batch ~bursts ~burst_size () =
+    let e = Engine.create () in
+    let rng = Dsm_sim.Rng.create 42 in
+    let net =
+      Network.create ~engine:e ~rng ~n:8
+        ~latency:(fun ~src:_ ~dst:_ -> Dsm_sim.Latency.Constant 5.)
+        ~batch ()
+    in
+    let delivered = ref 0 in
+    for p = 0 to 7 do
+      Network.set_handler net p (fun ~src:_ ~at:_ (_ : int) -> incr delivered)
+    done;
+    for k = 0 to bursts - 1 do
+      let src = k mod 8 in
+      let dst = (k + 1) mod 8 in
+      Engine.schedule_at e
+        (Sim_time.of_float (float_of_int k *. 10.))
+        (fun () ->
+          for j = 1 to burst_size do
+            Network.send net ~src ~dst j
+          done)
+    done;
+    ignore (Engine.run e);
+    (!delivered, Engine.steps_executed e)
+
+  let run ~quick () =
+    let sweep_events =
+      if quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ]
+    in
+    let table =
+      Table_fmt.create
+        ~title:"E: engine throughput - steady-state schedule/pop cycles"
+        ~header:
+          [ "queue"; "events"; "ns/event"; "minor w/event"; "major w/event" ]
+        ()
+    in
+    Table_fmt.set_align table
+      [
+        Table_fmt.Left; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Right;
+      ];
+    let rows =
+      List.concat_map
+        (fun queue ->
+          List.map
+            (fun events ->
+              let ns, minor, major =
+                measure ~events (steady ~queue ~events)
+              in
+              let r =
+                {
+                  equeue = queue_name queue;
+                  eevents = events;
+                  ens_per_event = ns;
+                  eminor_per_event = minor;
+                  emajor_per_event = major;
+                }
+              in
+              Table_fmt.add_row table
+                [
+                  r.equeue;
+                  string_of_int events;
+                  Printf.sprintf "%.1f" ns;
+                  Printf.sprintf "%.2f" minor;
+                  Printf.sprintf "%.3f" major;
+                ];
+              r)
+            sweep_events)
+        [ Engine.Indexed; Engine.Heap ]
+    in
+    print_table table;
+    let m5_indexed_ns, _, _ =
+      measure ~events:1 (m5_like ~queue:Engine.Indexed)
+    in
+    let m5_heap_ns, _, _ = measure ~events:1 (m5_like ~queue:Engine.Heap) in
+    Printf.printf
+      "\nM5-equivalent (schedule+run 1k events): indexed %.0f ns, heap %.0f \
+       ns (%.1fx)\n"
+      m5_indexed_ns m5_heap_ns
+      (m5_heap_ns /. m5_indexed_ns);
+    (* delivery batching: same-instant same-edge bursts *)
+    let bursts = if quick then 32 else 256 in
+    let burst_size = 32 in
+    let btable =
+      Table_fmt.create
+        ~title:
+          (Printf.sprintf
+             "E2: delivery batching - %d bursts of %d same-instant sends \
+              per edge"
+             bursts burst_size)
+        ~header:[ "mode"; "deliveries"; "engine steps"; "ns/delivery" ]
+        ()
+    in
+    Table_fmt.set_align btable
+      [ Table_fmt.Left; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right ];
+    let brows =
+      List.map
+        (fun (bmode, batch) ->
+          let d0, s0 = burst_run ~batch ~bursts ~burst_size () in
+          let ns, _, _ =
+            measure ~events:d0 (fun () ->
+                let d, s = burst_run ~batch ~bursts ~burst_size () in
+                if d <> d0 || s <> s0 then
+                  failwith "Engine_bench: burst run not deterministic")
+          in
+          let r =
+            {
+              bmode;
+              bdeliveries = d0;
+              bsteps = s0;
+              bns_per_delivery = ns;
+            }
+          in
+          Table_fmt.add_row btable
+            [
+              bmode;
+              string_of_int d0;
+              string_of_int s0;
+              Printf.sprintf "%.1f" ns;
+            ];
+          r)
+        [ ("unbatched", false); ("batched", true) ]
+    in
+    (match brows with
+    | [ u; b ] ->
+        if u.bdeliveries <> b.bdeliveries then
+          failwith "Engine_bench: batched and unbatched deliveries disagree"
+    | _ -> assert false);
+    print_newline ();
+    print_table btable;
+    results :=
+      Some { rows; m5_indexed_ns; m5_heap_ns; bursts; burst_size; brows }
+end
+
 (* results captured for --json; filled by the section bodies *)
 let stress_quick = ref false
 let stress_result : Stress.result option ref = ref None
@@ -891,7 +1121,26 @@ let sections =
     ( "F",
       "failure detection: threshold x heartbeat x crash-rate sweep",
       fun () -> Fd_bench.run ~quick:!stress_quick () );
+    ( "E",
+      "engine throughput: indexed queue, arena, delivery batching",
+      fun () -> Engine_bench.run ~quick:!stress_quick () );
   ]
+
+(* per-section GC pressure for --json: (name, minor words, major words)
+   allocated while the section body ran *)
+let section_gc : (string * float * float) list ref = ref []
+
+let run_section name title body =
+  let g0 = Gc.quick_stat () in
+  section name title body;
+  let g1 = Gc.quick_stat () in
+  section_gc :=
+    !section_gc
+    @ [
+        ( name,
+          g1.Gc.minor_words -. g0.Gc.minor_words,
+          g1.Gc.major_words -. g0.Gc.major_words );
+      ]
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -924,6 +1173,17 @@ let write_json file =
            (json_escape name) (fopt t) (fopt r2)))
     !micro_rows;
   Buffer.add_string buf (if !micro_rows = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"sections\": [";
+  List.iteri
+    (fun i (name, minor, major) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"name\": \"%s\", \"gc_minor_words\": %.0f, \
+            \"gc_major_words\": %.0f }"
+           (json_escape name) minor major))
+    !section_gc;
+  Buffer.add_string buf (if !section_gc = [] then "],\n" else "\n  ],\n");
   Buffer.add_string buf "  \"stress\": ";
   (match !stress_result with
   | None -> Buffer.add_string buf "null"
@@ -1225,6 +1485,66 @@ let write_fd_json file =
       Printf.eprintf "--fd-json: cannot write %s (%s)\n" file e;
       exit 1
 
+let write_engine_json file =
+  let module E = Engine_bench in
+  match !E.results with
+  | None -> ()
+  | Some s ->
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+      Buffer.add_string buf "  \"section\": \"engine_throughput\",\n";
+      Buffer.add_string buf "  \"sweep\": [";
+      List.iteri
+        (fun i (r : E.row) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n    { \"queue\": \"%s\", \"events\": %d, \
+                \"ns_per_event\": %.2f,\n\
+               \      \"gc_minor_words_per_event\": %.3f, \
+                \"gc_major_words_per_event\": %.4f }"
+               (json_escape r.E.equeue) r.E.eevents r.E.ens_per_event
+               r.E.eminor_per_event r.E.emajor_per_event))
+        s.E.rows;
+      Buffer.add_string buf (if s.E.rows = [] then "],\n" else "\n  ],\n");
+      Buffer.add_string buf
+        (Printf.sprintf "  \"m5_equiv_ns_per_1k_events\": %.1f,\n"
+           s.E.m5_indexed_ns);
+      Buffer.add_string buf
+        (Printf.sprintf "  \"m5_equiv_heap_ns_per_1k_events\": %.1f,\n"
+           s.E.m5_heap_ns);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"batching\": { \"bursts\": %d, \"burst_size\": %d,\n\
+           \    \"modes\": ["
+           s.E.bursts s.E.burst_size);
+      List.iteri
+        (fun i (r : E.batch_row) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n      { \"mode\": \"%s\", \"deliveries\": %d, \
+                \"engine_steps\": %d, \"ns_per_delivery\": %.2f }"
+               (json_escape r.E.bmode) r.E.bdeliveries r.E.bsteps
+               r.E.bns_per_delivery))
+        s.E.brows;
+      Buffer.add_string buf "\n    ],\n";
+      (match s.E.brows with
+      | [ u; b ] ->
+          Buffer.add_string buf
+            (Printf.sprintf "    \"step_reduction\": %.2f\n"
+               (float_of_int u.E.bsteps /. float_of_int b.E.bsteps))
+      | _ -> Buffer.add_string buf "    \"step_reduction\": null\n");
+      Buffer.add_string buf "  }\n}\n";
+      (match open_out file with
+      | oc ->
+          output_string oc (Buffer.contents buf);
+          close_out oc;
+          Printf.printf "\nwrote %s\n" file
+      | exception Sys_error e ->
+          Printf.eprintf "--engine-json: cannot write %s (%s)\n" file e;
+          exit 1)
+
 (* [--opt=v] or [--opt v] *)
 let keyed_arg key args =
   let eq = key ^ "=" in
@@ -1259,10 +1579,11 @@ let () =
     match only with None -> true | Some names -> List.mem name names
   in
   List.iter
-    (fun (name, title, body) -> if wanted name then section name title body)
+    (fun (name, title, body) ->
+      if wanted name then run_section name title body)
     sections;
   if (not no_micro) && wanted "M" then
-    section "M" "Bechamel micro-benchmarks" (fun () ->
+    run_section "M" "Bechamel micro-benchmarks" (fun () ->
         micro_rows := Micro.run ());
   if !Recovery.results <> [] then
     write_recovery_json
@@ -1280,4 +1601,8 @@ let () =
     write_fd_json
       (Option.value ~default:"BENCH_failure_detector.json"
          (keyed_arg "--fd-json" args));
+  if !Engine_bench.results <> None then
+    write_engine_json
+      (Option.value ~default:"BENCH_engine_throughput.json"
+         (keyed_arg "--engine-json" args));
   Option.iter write_json json_path

@@ -353,7 +353,21 @@ let heartbeat_every =
            units to peers it has not otherwise talked to (protocol \
            traffic piggybacks as liveness evidence). Only with --fd.")
 
-let detector_of ~fd ~fd_threshold ~heartbeat_every ~joins ~leaves ~churn =
+let fd_adaptive =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "fd-adaptive" ] ~docv:"GAIN"
+        ~doc:
+          "Per-peer adaptive thresholds: scale each link's suspicion \
+           threshold by 1 + $(docv) * cv, where cv is that link's \
+           observed inter-arrival coefficient of variation. Noisy links \
+           earn headroom against false suspicions; metronomic links keep \
+           the base threshold and detection time. 0 (the default) keeps \
+           a single fixed threshold. Only with --fd.")
+
+let detector_of ~fd ~fd_threshold ~heartbeat_every ~fd_adaptive ~joins
+    ~leaves ~churn =
   if not fd then Ok None
   else if joins <> [] || leaves <> [] || churn <> None then
     Error
@@ -363,7 +377,7 @@ let detector_of ~fd ~fd_threshold ~heartbeat_every ~joins ~leaves ~churn =
   else
     match
       Dsm_runtime.Failure_detector.config ~threshold:fd_threshold
-        ~heartbeat_every ()
+        ~heartbeat_every ~adaptive:fd_adaptive ()
     with
     | exception Invalid_argument msg -> Error msg
     | cfg -> Ok (Some cfg)
@@ -606,12 +620,13 @@ let churn_json ppf (o : Churn_campaign.outcome) =
   | Some cfg ->
       fprintf ppf
         "  \"detector\": { \"threshold\": %g, \"heartbeat_every\": %g, \
-         \"window\": %d,@,\
+         \"window\": %d, \"adaptive\": %g,@,\
         \                \"heartbeats_sent\": %d, \"suspicions\": %d, \
          \"false_suspicions\": %d, \"refutations\": %d },@,"
         cfg.Dsm_runtime.Failure_detector.threshold
         cfg.Dsm_runtime.Failure_detector.heartbeat_every
-        cfg.Dsm_runtime.Failure_detector.window o.heartbeats_sent
+        cfg.Dsm_runtime.Failure_detector.window
+        cfg.Dsm_runtime.Failure_detector.adaptive o.heartbeats_sent
         (List.length o.suspicions)
         o.false_suspicions o.refutations;
       fprintf ppf "  \"view_changes\": [";
@@ -749,7 +764,7 @@ let run_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
       latency seed fifo drop duplicate corrupt repl_degree crashes
       partitions joins leaves initial churn fd fd_threshold heartbeat_every
-      checkpoint_every json trace_out trace_format metrics_out =
+      fd_adaptive checkpoint_every json trace_out trace_format metrics_out =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let metrics =
       match metrics_out with
@@ -788,8 +803,8 @@ let run_cmd =
       else if fifo then `Error (false, "churn flags do not combine with --fifo")
       else
         match
-          detector_of ~fd ~fd_threshold ~heartbeat_every ~joins ~leaves
-            ~churn
+          detector_of ~fd ~fd_threshold ~heartbeat_every ~fd_adaptive ~joins
+            ~leaves ~churn
         with
         | Error msg -> `Error (false, msg)
         | Ok detector -> (
@@ -879,8 +894,8 @@ let run_cmd =
        $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ corrupt
        $ repl_degree $ crashes $ partitions $ joins $ leaves
        $ initial_members $ churn $ fd_flag $ fd_threshold $ heartbeat_every
-       $ checkpoint_every $ json_out $ trace_out $ trace_format
-       $ metrics_out))
+       $ fd_adaptive $ checkpoint_every $ json_out $ trace_out
+       $ trace_format $ metrics_out))
   in
   Cmd.v
     (Cmd.info "run"
@@ -911,7 +926,7 @@ let run_cmd =
 let explain_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
       latency seed fifo crashes partitions joins leaves initial churn fd
-      fd_threshold heartbeat_every checkpoint_every =
+      fd_threshold heartbeat_every fd_adaptive checkpoint_every =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let churny =
       joins <> [] || leaves <> [] || churn <> None || initial <> None || fd
@@ -930,8 +945,8 @@ let explain_cmd =
           Error "--crash/--partition do not combine with --fifo"
         else if churny then
           match
-            detector_of ~fd ~fd_threshold ~heartbeat_every ~joins ~leaves
-              ~churn
+            detector_of ~fd ~fd_threshold ~heartbeat_every ~fd_adaptive
+              ~joins ~leaves ~churn
           with
           | Error msg -> Error msg
           | Ok detector -> (
@@ -1003,7 +1018,7 @@ let explain_cmd =
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
        $ zipf $ latency $ seed $ fifo $ crashes $ partitions $ joins
        $ leaves $ initial_members $ churn $ fd_flag $ fd_threshold
-       $ heartbeat_every $ checkpoint_every))
+       $ heartbeat_every $ fd_adaptive $ checkpoint_every))
   in
   Cmd.v
     (Cmd.info "explain"

@@ -77,6 +77,8 @@ module Make (B : Buffer.S) = struct
         Some (Dot.make ~replica:counter ~seq:count)
     | Ready | Stuck -> None
 
+  module Step = Protocol.Step (B)
+
   let write t ~var ~value =
     V.tick t.vt t.me;
     let vt = V.copy t.vt in
@@ -95,36 +97,20 @@ module Make (B : Buffer.S) = struct
      does not change on reads *)
   let read t ~var = Replica_store.read t.store ~var
 
-  let apply_msg t ~src m ~from_buffer =
+  let apply_msg t ~status ~src m ~from_buffer =
     Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
     V.tick t.delivered src;
-    B.note_advance t.buffer ~status:(status t) ~counter:src
+    B.note_advance t.buffer ~status ~counter:src
       ~count:(V.unsafe_get t.delivered src);
     (* causal broadcast: absorb the sender's knowledge unconditionally —
-       the source of false causality w.r.t. ↦co *)
+       the source of false causality w.r.t. ↦co. [merge_into] is the
+       in-place scratch merge: no intermediate vector. *)
     V.merge_into t.vt m.vt;
     { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
-  let drain t =
-    (* apply inside the loop: each apply can enable further buffered
-       messages (chained unblocking); the buffer re-checks only the
-       messages subscribed to the advanced counter *)
-    let rec go acc =
-      match B.take_ready t.buffer ~status:(status t) with
-      | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
-      | None -> List.rev acc
-    in
-    go []
-
   let receive t ~src m =
-    if deliverable t ~src m then begin
-      let first = apply_msg t ~src m ~from_buffer:false in
-      effects ~applied:(first :: drain t) ()
-    end
-    else begin
-      B.add t.buffer ~status:(status t) (src, m);
-      no_effects
-    end
+    let status = status t in
+    Step.receive t.buffer ~status ~apply:(apply_msg t ~status) ~src m
 
   let buffered t = B.length t.buffer
   let buffer_high_watermark t = B.high_watermark t.buffer

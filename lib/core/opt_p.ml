@@ -90,7 +90,10 @@ module Make (B : Buffer.S) = struct
         Some (Dot.make ~replica:counter ~seq:count)
     | Ready | Stuck -> None
 
-  (* Figure 4: WRITE(x, v) *)
+  module Step = Protocol.Step (B)
+
+  (* Figure 4: WRITE(x, v). The [status] oracle is hoisted once per
+     entry point (see [Protocol.Step]). *)
   let write t ~var ~value =
     V.tick t.write_co t.me;
     let wco = V.copy t.write_co in
@@ -104,41 +107,25 @@ module Make (B : Buffer.S) = struct
     let applied = [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ] in
     (dot, effects ~applied ~to_send:[ Broadcast m ] ())
 
-  (* Figure 5: READ(x) — merge LastWriteOn[x] into Write_co, then return *)
+  (* Figure 5: READ(x) — merge LastWriteOn[x] into Write_co in place
+     ([merge_into] is the scratch merge: no intermediate vector), then
+     return *)
   let read t ~var =
     V.merge_into t.write_co t.last_write_on.(var);
     Replica_store.read t.store ~var
 
   (* Figure 5, lines 3-5 of the synchronization thread *)
-  let apply_msg t ~src m ~from_buffer =
+  let apply_msg t ~status ~src m ~from_buffer =
     Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
     V.tick t.apply_cnt src;
-    B.note_advance t.buffer ~status:(status t) ~counter:src
+    B.note_advance t.buffer ~status ~counter:src
       ~count:(V.unsafe_get t.apply_cnt src);
     t.last_write_on.(m.var) <- m.wco;
     { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
-  let drain t =
-    (* apply inside the loop: each apply can enable further buffered
-       messages (chained unblocking); [note_advance] in [apply_msg]
-       re-checks exactly the messages subscribed to the advanced
-       counter, so only genuinely enabled messages are re-examined *)
-    let rec go acc =
-      match B.take_ready t.buffer ~status:(status t) with
-      | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
-      | None -> List.rev acc
-    in
-    go []
-
   let receive t ~src m =
-    if deliverable t ~src m then begin
-      let first = apply_msg t ~src m ~from_buffer:false in
-      effects ~applied:(first :: drain t) ()
-    end
-    else begin
-      B.add t.buffer ~status:(status t) (src, m);
-      no_effects
-    end
+    let status = status t in
+    Step.receive t.buffer ~status ~apply:(apply_msg t ~status) ~src m
 
   let buffered t = B.length t.buffer
   let buffer_high_watermark t = B.high_watermark t.buffer

@@ -137,11 +137,11 @@ let apply_msg t ~src (m : msg) ~from_buffer =
   Hashtbl.replace t.seen m.dot wco;
   { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
-let drain t =
+(* the deliverability predicate is hoisted once per receive (the
+   [Protocol.Step] discipline), not rebuilt per scan iteration *)
+let drain t ~f =
   let rec go acc =
-    match
-      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
-    with
+    match Mailbox.take_first t.buffer ~f with
     | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
     | None -> List.rev acc
   in
@@ -150,7 +150,8 @@ let drain t =
 let receive t ~src m =
   if deliverable t ~src m then begin
     let first = apply_msg t ~src m ~from_buffer:false in
-    effects ~applied:(first :: drain t) ()
+    let f (src, m) = deliverable t ~src m in
+    effects ~applied:(first :: drain t ~f) ()
   end
   else begin
     Mailbox.add t.buffer (src, m);

@@ -115,10 +115,12 @@ module Make (B : Buffer.S) = struct
       scan_vars t.my_vars
 
   (* every advance of the applied matrix flows through here so the
-     buffer can wake exactly the subscribed messages *)
-  let tick_applied t ~var ~proc =
+     buffer can wake exactly the subscribed messages; the [status]
+     oracle is hoisted once per entry point (the [Protocol.Step]
+     discipline) and threaded through the cascade *)
+  let tick_applied t ~status ~var ~proc =
     V.tick t.applied.(var) proc;
-    B.note_advance t.buffer ~status:(status t)
+    B.note_advance t.buffer ~status
       ~counter:(counter_of t ~var ~proc)
       ~count:(V.unsafe_get t.applied.(var) proc)
 
@@ -131,7 +133,7 @@ module Make (B : Buffer.S) = struct
     let know = copy_matrix t.know in
     let m = { var; value; dot; var_seq; know } in
     Replica_store.apply t.store ~var ~value ~dot;
-    tick_applied t ~var ~proc:t.me;
+    tick_applied t ~status:(status t) ~var ~proc:t.me;
     t.last_write_know.(var) <- know;
     let dests =
       List.filter (fun p -> p <> t.me) (Replication.replicas_of t.repl ~var)
@@ -154,9 +156,9 @@ module Make (B : Buffer.S) = struct
     | Buffer.Ready -> true
     | Wait_for _ | Stuck -> false
 
-  let apply_msg t ~src (msg : message) ~from_buffer =
+  let apply_msg t ~status ~src (msg : message) ~from_buffer =
     Replica_store.apply t.store ~var:msg.var ~value:msg.value ~dot:msg.dot;
-    tick_applied t ~var:msg.var ~proc:src;
+    tick_applied t ~status ~var:msg.var ~proc:src;
     (* the message matrix is immutable once on the wire: alias it
        instead of copying m vectors per apply *)
     t.last_write_know.(msg.var) <- msg.know;
@@ -167,23 +169,23 @@ module Make (B : Buffer.S) = struct
       afrom_buffer = from_buffer;
     }
 
-  let drain t =
+  let drain t ~status =
     let rec go acc =
-      match B.take_ready t.buffer ~status:(status t) with
-      | Some (src, m) -> go (apply_msg t ~src m ~from_buffer:true :: acc)
+      match B.take_ready t.buffer ~status with
+      | Some (src, m) -> go (apply_msg t ~status ~src m ~from_buffer:true :: acc)
       | None -> List.rev acc
     in
     go []
 
   let receive t ~src msg =
-    if deliverable t ~src msg then begin
-      let first = apply_msg t ~src msg ~from_buffer:false in
-      first :: drain t
-    end
-    else begin
-      B.add t.buffer ~status:(status t) (src, msg);
-      []
-    end
+    let status = status t in
+    match status (src, msg) with
+    | Buffer.Ready ->
+        let first = apply_msg t ~status ~src msg ~from_buffer:false in
+        first :: drain t ~status
+    | Wait_for _ | Stuck ->
+        B.add t.buffer ~status (src, msg);
+        []
 
   let buffered t = B.length t.buffer
   let buffer_high_watermark t = B.high_watermark t.buffer

@@ -135,15 +135,17 @@ module Make (B : Buffer.S) = struct
       | Ready | Stuck -> None
 
   (* every advance of Apply — by an apply or by a skip — flows through
-     here so the buffer can wake exactly the subscribed messages *)
-  let tick_apply t k =
+     here so the buffer can wake exactly the subscribed messages; the
+     [status] oracle is hoisted once per entry point (the
+     [Protocol.Step] discipline) and threaded through the cascade *)
+  let tick_apply t ~status k =
     V.tick t.apply_cnt k;
-    B.note_advance t.buffer ~status:(status t) ~counter:k
+    B.note_advance t.buffer ~status ~counter:k
       ~count:(V.unsafe_get t.apply_cnt k)
 
-  let apply_msg t ~src (m : msg) ~from_buffer =
+  let apply_msg t ~status ~src (m : msg) ~from_buffer =
     Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
-    tick_apply t src;
+    tick_apply t ~status src;
     t.last_write_on.(m.var) <- m.wco;
     Hashtbl.replace t.seen m.dot (m.var, m.wco);
     { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
@@ -156,7 +158,7 @@ module Make (B : Buffer.S) = struct
     done;
     !ok
 
-  let try_skip t =
+  let try_skip t ~status =
     let candidate =
       List.find_map
         (fun (src, (m : msg)) ->
@@ -181,15 +183,15 @@ module Make (B : Buffer.S) = struct
         ignore
           (B.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
                Dot.equal b.dot m.dot));
-        tick_apply t (Dot.replica d);
-        Some (apply_msg t ~src m ~from_buffer:true, d)
+        tick_apply t ~status (Dot.replica d);
+        Some (apply_msg t ~status ~src m ~from_buffer:true, d)
 
 
   (* The incoming message itself may trigger a skip at receipt time: its
      named predecessor is the issuer's next undelivered write and skipping
      it makes the message deliverable at once. In that case the write
      never waits, so its apply is NOT a write delay (Definition 3). *)
-  let skip_for_incoming t ~src (m : msg) =
+  let skip_for_incoming t ~status ~src (m : msg) =
     match m.prev with
     | Some d
       when m.can_skip
@@ -201,19 +203,19 @@ module Make (B : Buffer.S) = struct
         ignore
           (B.remove_all t.buffer ~f:(fun (_, (b : msg)) ->
                Dot.equal b.dot d));
-        tick_apply t (Dot.replica d);
-        Some (apply_msg t ~src m ~from_buffer:false, d)
+        tick_apply t ~status (Dot.replica d);
+        Some (apply_msg t ~status ~src m ~from_buffer:false, d)
     | Some _ | None -> None
 
-  let drain t =
+  let drain t ~status =
     let applied = ref [] and skipped = ref [] in
     let rec loop () =
-      match B.take_ready t.buffer ~status:(status t) with
+      match B.take_ready t.buffer ~status with
       | Some (src, m) ->
-          applied := apply_msg t ~src m ~from_buffer:true :: !applied;
+          applied := apply_msg t ~status ~src m ~from_buffer:true :: !applied;
           loop ()
       | None -> (
-          match try_skip t with
+          match try_skip t ~status with
           | Some (record, d) ->
               applied := record :: !applied;
               skipped := d :: !skipped;
@@ -224,24 +226,27 @@ module Make (B : Buffer.S) = struct
     (List.rev !applied, List.rev !skipped)
 
   let receive t ~src m =
+    let status = status t in
     if Dot.Set.mem m.dot t.overwritten then
       (* already logically applied by a skip: discard the late message *)
       no_effects
-    else if deliverable t ~src m then begin
-      let first = apply_msg t ~src m ~from_buffer:false in
-      let applied, skipped = drain t in
-      effects ~applied:(first :: applied) ~skipped ()
-    end
     else
-      match skip_for_incoming t ~src m with
-      | Some (first, d) ->
-          let applied, skipped = drain t in
-          effects ~applied:(first :: applied) ~skipped:(d :: skipped) ()
-      | None ->
-          (* a buffered message changes no delivery state, so no other
-             buffered message can have become ready: no drain needed *)
-          B.add t.buffer ~status:(status t) (src, m);
-          no_effects
+      match status (src, m) with
+      | Buffer.Ready ->
+          let first = apply_msg t ~status ~src m ~from_buffer:false in
+          let applied, skipped = drain t ~status in
+          effects ~applied:(first :: applied) ~skipped ()
+      | Wait_for _ | Stuck -> (
+          match skip_for_incoming t ~status ~src m with
+          | Some (first, d) ->
+              let applied, skipped = drain t ~status in
+              effects ~applied:(first :: applied) ~skipped:(d :: skipped) ()
+          | None ->
+              (* a buffered message changes no delivery state, so no
+                 other buffered message can have become ready: no drain
+                 needed *)
+              B.add t.buffer ~status (src, m);
+              no_effects)
 
   let buffered t = B.length t.buffer
   let buffer_high_watermark t = B.high_watermark t.buffer

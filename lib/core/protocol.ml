@@ -67,6 +67,41 @@ module Snapshot = struct
       invalid_arg (proto ^ ".restore: snapshot from a different process")
 end
 
+(* Shared receive/drain skeletons over a delivery buffer.
+
+   Every buffer operation takes the wakeup oracle as a [~status]
+   closure; building that closure per operation ([status t] is a
+   partial application) used to be the dominant steady-state allocation
+   of a receive cascade. The skeletons instead thread ONE hoisted
+   closure through the whole cascade — the closure reads the protocol
+   state through its captured [t], so it stays correct as applies
+   advance the counters. The oracle-call sequence is exactly the seed
+   protocols' (one status check on the incoming message, one
+   [take_ready] per drain iteration, the [add] on the buffered path),
+   so pinned wakeup-scan metrics are unchanged. *)
+module Step (B : Dsm_sim.Delivery_buffer.S) = struct
+  let drain buffer ~status ~apply =
+    (* apply inside the loop: each apply can enable further buffered
+       messages (chained unblocking); [note_advance] under [apply]
+       re-checks exactly the messages subscribed to the advanced
+       counter, so only genuinely enabled messages are re-examined *)
+    let rec go acc =
+      match B.take_ready buffer ~status with
+      | Some (src, m) -> go (apply ~src m ~from_buffer:true :: acc)
+      | None -> List.rev acc
+    in
+    go []
+
+  let receive buffer ~status ~apply ~src m =
+    match status (src, m) with
+    | Dsm_sim.Delivery_buffer.Ready ->
+        let first = apply ~src m ~from_buffer:false in
+        effects ~applied:(first :: drain buffer ~status ~apply) ()
+    | Wait_for _ | Stuck ->
+        B.add buffer ~status (src, m);
+        no_effects
+end
+
 type packed = Packed : (module S with type t = 't and type msg = 'm) -> packed
 
 let pp_apply_record ppf r =

@@ -157,6 +157,36 @@ module type S = sig
       process or under a different configuration. *)
 end
 
+(** Shared receive/drain skeletons over a delivery buffer.
+
+    The hot-path discipline for protocols built on
+    {!Dsm_sim.Delivery_buffer}: hoist the wakeup-oracle closure
+    ([status t]) {e once} per entry point and thread it through the
+    whole receive cascade, instead of rebuilding the partial
+    application at every buffer operation — the dominant steady-state
+    allocation of the seed protocols. The oracle-call sequence (and so
+    every pinned wakeup-scan metric) is identical to the seed shape. *)
+module Step (B : Dsm_sim.Delivery_buffer.S) : sig
+  val drain :
+    (int * 'm) B.t ->
+    status:(int * 'm -> Dsm_sim.Delivery_buffer.status) ->
+    apply:(src:int -> 'm -> from_buffer:bool -> apply_record) ->
+    apply_record list
+  (** Repeatedly [take_ready] and apply until the buffer yields no
+      ready message; returns the apply records in apply order. *)
+
+  val receive :
+    (int * 'm) B.t ->
+    status:(int * 'm -> Dsm_sim.Delivery_buffer.status) ->
+    apply:(src:int -> 'm -> from_buffer:bool -> apply_record) ->
+    src:int ->
+    'm ->
+    'm effects
+  (** The canonical receipt shape (OptP Figure 5 / causal broadcast):
+      apply-then-drain when the incoming message is [Ready], buffer it
+      otherwise. *)
+end
+
 (** Existential wrapper so heterogeneous protocols can be listed in
     experiment tables. *)
 type packed = Packed : (module S with type t = 't and type msg = 'm) -> packed

@@ -197,10 +197,11 @@ let skip_for_incoming t ~src (m : msg) =
 
 let drain t =
   let applied = ref [] and skipped = ref [] in
+  (* hoisted once per drain (the [Protocol.Step] discipline), not
+     rebuilt per scan iteration *)
+  let f (src, m) = deliverable t ~src m in
   let rec loop () =
-    match
-      Mailbox.take_first t.buffer ~f:(fun (src, m) -> deliverable t ~src m)
-    with
+    match Mailbox.take_first t.buffer ~f with
     | Some (src, m) ->
         applied := apply_msg t ~src m ~from_buffer:true :: !applied;
         loop ()

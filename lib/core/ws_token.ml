@@ -178,13 +178,16 @@ let apply_batch t ~round items ~from_buffer =
   (records, skipped)
 
 let drain_batches t =
+  (* hoisted once per drain (the [Protocol.Step] discipline), not
+     rebuilt per scan iteration; reads [t.expected_round] through [t],
+     so it tracks the advancing round *)
+  let f (_, m) =
+    match m with
+    | Batch { round; _ } -> round = t.expected_round
+    | Token _ | Parked _ | Nudge -> false
+  in
   let rec loop (applied, skipped) =
-    match
-      Mailbox.take_first t.batch_buffer ~f:(fun (_, m) ->
-          match m with
-          | Batch { round; _ } -> round = t.expected_round
-          | Token _ | Parked _ | Nudge -> false)
-    with
+    match Mailbox.take_first t.batch_buffer ~f with
     | Some (_, Batch { round; items }) ->
         let records, covered = apply_batch t ~round items ~from_buffer:true in
         loop (applied @ records, skipped @ covered)

@@ -152,7 +152,8 @@ let run (type pt pm)
     ~latency ?(faults = Network.no_faults) ~plan ~initial ?detector
     ?(checkpoint_every = 50.) ?(sync_rounds = 2) ?(sync_interval = 100.)
     ?(flush_poll = 10.) ?(settle = true) ?(retransmit_after = 50.)
-    ?(seed = 1) ?(max_steps = 20_000_000) ?(metrics = Metrics.null ()) () =
+    ?(seed = 1) ?(max_steps = 20_000_000) ?(metrics = Metrics.null ())
+    ?(queue = Engine.Indexed) ?(arena = true) ?(batch = false) () =
   let universe = spec.Spec.n and m = spec.Spec.m in
   if initial < 2 || initial > universe then
     invalid_arg "Churn_campaign.run: need 2 <= initial <= spec.n slots";
@@ -167,12 +168,13 @@ let run (type pt pm)
   if checkpoint_every <= 0. then
     invalid_arg "Churn_campaign.run: checkpoint_every must be positive";
   let schedule = Dsm_workload.Generator.generate spec in
-  let engine = Engine.create () in
+  let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
   let network =
     Network.create ~engine ~rng ~n:universe
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics ()
+      ~arena ~batch ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics
+      ()
   in
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~rng
@@ -888,7 +890,13 @@ let run (type pt pm)
          is still detected; the bound is the worst-case silence a
          clamped window can demand before phi crosses the threshold *)
       let detection_span =
-        cfg.Failure_detector.threshold *. Float.log 10.
+        (* adaptive scaling can raise a link's threshold by at most
+           1 + 2 * adaptive (the interval clamp bounds cv below 2), so
+           the worst-case silence before crossing grows by the same
+           factor; with adaptive = 0 this is the fixed-threshold bound *)
+        cfg.Failure_detector.threshold
+        *. (1. +. (2. *. cfg.Failure_detector.adaptive))
+        *. Float.log 10.
         *. (4. *. cfg.Failure_detector.heartbeat_every)
       in
       (* suspicion stops before gossip does: a slot falsely suspected
@@ -941,8 +949,11 @@ let run (type pt pm)
                     let phi =
                       Failure_detector.phi detectors.(p) ~peer:q ~at:now
                     in
-                    if phi >= cfg.Failure_detector.threshold then
-                      suspect ~observer:p ~peer:q ~phi
+                    if
+                      phi
+                      >= Failure_detector.effective_threshold detectors.(p)
+                           ~peer:q
+                    then suspect ~observer:p ~peer:q ~phi
                   end)
                 (Membership.active membership)
           done);

@@ -167,6 +167,9 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?queue:Dsm_sim.Engine.queue_impl ->
+  ?arena:bool ->
+  ?batch:bool ->
   unit ->
   outcome
 (** [run (module P) ~spec ~latency ~plan ~initial ()] — [spec.n] is the

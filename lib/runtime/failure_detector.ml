@@ -2,23 +2,30 @@ type config = {
   threshold : float;
   heartbeat_every : float;
   window : int;
+  adaptive : float;
 }
 
-let config ?(threshold = 3.) ?(heartbeat_every = 20.) ?(window = 16) () =
+let config ?(threshold = 3.) ?(heartbeat_every = 20.) ?(window = 16)
+    ?(adaptive = 0.) () =
   if (not (Float.is_finite threshold)) || threshold <= 0. then
     invalid_arg "Failure_detector.config: threshold must be positive";
   if (not (Float.is_finite heartbeat_every)) || heartbeat_every <= 0. then
     invalid_arg "Failure_detector.config: heartbeat_every must be positive";
   if window < 2 then
     invalid_arg "Failure_detector.config: window must be >= 2";
-  { threshold; heartbeat_every; window }
+  if (not (Float.is_finite adaptive)) || adaptive < 0. then
+    invalid_arg "Failure_detector.config: adaptive must be non-negative";
+  { threshold; heartbeat_every; window; adaptive }
 
-(* per-peer sliding window of inter-arrival intervals, as a ring *)
+(* per-peer sliding window of inter-arrival intervals, as a ring;
+   [sum_sq] tracks the second moment so the per-link coefficient of
+   variation (the adaptive-threshold input) is O(1) per observation *)
 type peer_state = {
   intervals : float array;
   mutable count : int;  (* samples held, <= window *)
   mutable next : int;  (* ring write cursor *)
   mutable sum : float;  (* running sum of held samples *)
+  mutable sum_sq : float;  (* running sum of squared samples *)
   mutable last : float;  (* last arrival; NaN until armed *)
 }
 
@@ -39,6 +46,7 @@ let create cfg ~universe ~me =
             count = 0;
             next = 0;
             sum = 0.;
+            sum_sq = 0.;
             last = Float.nan;
           });
   }
@@ -61,11 +69,15 @@ let observe t ~peer ~at =
       let lo = 0.5 *. t.cfg.heartbeat_every
       and hi = 4. *. t.cfg.heartbeat_every in
       let interval = Float.min hi (Float.max lo (at -. p.last)) in
-      if p.count = Array.length p.intervals then
-        p.sum <- p.sum -. p.intervals.(p.next)
+      if p.count = Array.length p.intervals then begin
+        let evicted = p.intervals.(p.next) in
+        p.sum <- p.sum -. evicted;
+        p.sum_sq <- p.sum_sq -. (evicted *. evicted)
+      end
       else p.count <- p.count + 1;
       p.intervals.(p.next) <- interval;
       p.sum <- p.sum +. interval;
+      p.sum_sq <- p.sum_sq +. (interval *. interval);
       p.next <- (p.next + 1) mod Array.length p.intervals;
       p.last <- at
     end
@@ -76,6 +88,7 @@ let forget t ~peer =
   p.count <- 0;
   p.next <- 0;
   p.sum <- 0.;
+  p.sum_sq <- 0.;
   p.last <- Float.nan
 
 let last_heard t ~peer =
@@ -88,6 +101,31 @@ let mean_interval t ~peer =
      is judged against the configured gossip rate *)
   (p.sum +. t.cfg.heartbeat_every) /. float_of_int (p.count + 1)
 
+(* Sample coefficient of variation of the held window (stddev / mean),
+   0 until two samples are held. The clamp in [observe] bounds every
+   sample to [hb/2, 4hb], so cv is bounded (< 2) and a single outlier
+   cannot blow the adaptive threshold up without bound. *)
+let interval_cv t ~peer =
+  let p = state t peer in
+  if p.count < 2 then 0.
+  else begin
+    let n = float_of_int p.count in
+    let mean = p.sum /. n in
+    let var = Float.max 0. ((p.sum_sq /. n) -. (mean *. mean)) in
+    Float.sqrt var /. mean
+  end
+
+(* Per-peer adaptive threshold: a link whose inter-arrival times are
+   noisy (heavy-tailed latency, piggyback bursts alternating with
+   heartbeat-paced silence) legitimately produces long gaps, so its
+   threshold is raised in proportion to the observed coefficient of
+   variation; a metronomic link keeps the configured base and so keeps
+   the base detection time. [adaptive = 0.] (the default) disables the
+   scaling — every pinned campaign keeps seed behaviour. *)
+let effective_threshold t ~peer =
+  if t.cfg.adaptive = 0. then t.cfg.threshold
+  else t.cfg.threshold *. (1. +. (t.cfg.adaptive *. interval_cv t ~peer))
+
 let ln10 = Float.log 10.
 
 let phi t ~peer ~at =
@@ -95,4 +133,4 @@ let phi t ~peer ~at =
   if Float.is_nan p.last || at <= p.last then 0.
   else (at -. p.last) /. (mean_interval t ~peer *. ln10)
 
-let suspicious t ~peer ~at = phi t ~peer ~at >= t.cfg.threshold
+let suspicious t ~peer ~at = phi t ~peer ~at >= effective_threshold t ~peer

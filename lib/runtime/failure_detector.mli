@@ -38,19 +38,44 @@
       cannot inflate it without bound;
     - [mu] is smoothed with the heartbeat period as a one-sample
       prior, so a peer that crashes before ever producing a full
-      window is still eventually suspected. *)
+      window is still eventually suspected.
+
+    {b Adaptive per-peer thresholds.} A single global threshold forces
+    a trade-off across heterogeneous links: tuned for a jittery WAN
+    link it is sluggish on a quiet LAN link, tuned for the LAN link it
+    false-suspects across the WAN. With [adaptive > 0] each peer's
+    threshold is scaled by that link's own observed inter-arrival
+    {e coefficient of variation} (cv = stddev / mean over the window):
+
+    {[  effective_threshold(peer) = threshold * (1 + adaptive * cv)  ]}
+
+    A metronomic link has cv ≈ 0 and keeps the base threshold (and so
+    the base detection time); a noisy link earns headroom proportional
+    to its measured noise. The interval clamp bounds cv, so the scaled
+    threshold cannot run away. [adaptive = 0.] (the default) disables
+    the scaling entirely and reproduces the fixed-threshold detector
+    bit for bit. *)
 
 type config = {
   threshold : float;  (** suspect when [phi] reaches this; decades *)
   heartbeat_every : float;  (** gossip period, virtual time units *)
   window : int;  (** inter-arrival samples kept per peer *)
+  adaptive : float;
+      (** per-peer threshold scaling gain; [0.] = fixed threshold *)
 }
 
 val config :
-  ?threshold:float -> ?heartbeat_every:float -> ?window:int -> unit -> config
-(** Defaults: [threshold = 3.], [heartbeat_every = 20.], [window = 16].
+  ?threshold:float ->
+  ?heartbeat_every:float ->
+  ?window:int ->
+  ?adaptive:float ->
+  unit ->
+  config
+(** Defaults: [threshold = 3.], [heartbeat_every = 20.], [window = 16],
+    [adaptive = 0.].
     @raise Invalid_argument unless [threshold > 0], [heartbeat_every]
-    positive and finite, and [window >= 2]. *)
+    positive and finite, [window >= 2], and [adaptive] finite and
+    non-negative. *)
 
 type t
 (** One observer's accrued evidence about every peer in the universe. *)
@@ -79,9 +104,19 @@ val mean_interval : t -> peer:int -> float
 (** The smoothed [mu] (window mean with the heartbeat period as a
     one-sample prior); [heartbeat_every] when nothing was observed. *)
 
+val interval_cv : t -> peer:int -> float
+(** Sample coefficient of variation (stddev / mean) of [peer]'s held
+    interval window; [0.] until at least two samples are held. Bounded
+    by the interval clamp. *)
+
+val effective_threshold : t -> peer:int -> float
+(** [threshold * (1 + adaptive * interval_cv)] — the per-peer suspicion
+    bar actually applied by {!suspicious}. Equal to [threshold] when
+    [adaptive = 0.]. *)
+
 val phi : t -> peer:int -> at:float -> float
 (** Suspicion level for the silence [at - last_heard]; [0.] while no
     observation has armed the peer's clock, and never negative. *)
 
 val suspicious : t -> peer:int -> at:float -> bool
-(** [phi >= threshold]. *)
+(** [phi >= effective_threshold]. *)

@@ -112,19 +112,21 @@ let run (type pt pm)
     ~latency ?(faults = Network.no_faults) ~plan ?(checkpoint_every = 50.)
     ?(sync_rounds = 2) ?(sync_interval = 100.) ?(settle = true)
     ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
-    ?(metrics = Metrics.null ()) () =
+    ?(metrics = Metrics.null ()) ?(queue = Engine.Indexed) ?(arena = true)
+    ?(batch = false) () =
   let n = spec.Spec.n and m = spec.Spec.m in
   let cfg = Protocol.config ~n ~m in
   validate_plan ~n plan;
   if checkpoint_every <= 0. then
     invalid_arg "Fault_campaign.run: checkpoint_every must be positive";
   let schedule = Dsm_workload.Generator.generate spec in
-  let engine = Engine.create () in
+  let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
   let network =
     Network.create ~engine ~rng ~n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics ()
+      ~arena ~batch ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics
+      ()
   in
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~rng

@@ -127,6 +127,9 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?queue:Dsm_sim.Engine.queue_impl ->
+  ?arena:bool ->
+  ?batch:bool ->
   unit ->
   outcome
 (** Requires a complete broadcast protocol (every write reaches every

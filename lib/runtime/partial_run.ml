@@ -19,17 +19,18 @@ type outcome = {
 (* generic over the buffer instantiation so the differential suite can
    drive the indexed and the reference scanning variants identically *)
 let run_with (module P : Pp.IMPL) ~replication ~spec ~latency ?(seed = 1)
-    ?(max_steps = 10_000_000) () =
+    ?(max_steps = 10_000_000) ?(queue = Engine.Indexed) ?(arena = true)
+    ?(batch = false) () =
   let n = spec.Spec.n and m = spec.Spec.m in
   if Replication.n replication <> n || Replication.m replication <> m then
     invalid_arg "Partial_run.run: replication map dimensions mismatch";
   let schedule = Dsm_workload.Generator.generate spec in
-  let engine = Engine.create () in
+  let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
   let network =
     Network.create ~engine ~rng ~n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ()
+      ~arena ~batch ()
   in
   let execution = Execution.create ~n ~m () in
   let protos = Array.init n (fun me -> P.create replication ~me) in

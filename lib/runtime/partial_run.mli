@@ -23,9 +23,14 @@ val run :
   latency:Dsm_sim.Latency.t ->
   ?seed:int ->
   ?max_steps:int ->
+  ?queue:Dsm_sim.Engine.queue_impl ->
+  ?arena:bool ->
+  ?batch:bool ->
   unit ->
   outcome
 (** [spec.n] and [spec.m] must match the replication map's dimensions.
+    [queue]/[arena]/[batch] select the hot-path machinery as in
+    {!Sim_run.run}.
     Each operation's variable is remapped into the issuing process's
     replicated set (preserving the workload's distribution shape).
     @raise Invalid_argument on dimension mismatch.
@@ -37,6 +42,9 @@ val run_scan :
   latency:Dsm_sim.Latency.t ->
   ?seed:int ->
   ?max_steps:int ->
+  ?queue:Dsm_sim.Engine.queue_impl ->
+  ?arena:bool ->
+  ?batch:bool ->
   unit ->
   outcome
 (** Same run over {!Dsm_core.Opt_p_partial.Scan}, the reference

@@ -21,15 +21,17 @@ type outcome = {
 
 let run (module P : Protocol.S) ~spec ~latency ~faults
     ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
-    ?(metrics = Dsm_obs.Metrics.null ()) () =
+    ?(metrics = Dsm_obs.Metrics.null ()) ?(queue = Engine.Indexed)
+    ?(arena = true) ?(batch = false) () =
   let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
   let schedule = Dsm_workload.Generator.generate spec in
-  let engine = Engine.create () in
+  let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
   let network =
     Network.create ~engine ~rng ~n:spec.Spec.n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics ()
+      ~arena ~batch ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics
+      ()
   in
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~metrics ()

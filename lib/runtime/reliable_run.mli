@@ -33,10 +33,15 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?queue:Dsm_sim.Engine.queue_impl ->
+  ?arena:bool ->
+  ?batch:bool ->
   unit ->
   outcome
 (** [?metrics] (default: the null registry) is threaded to the network
     and the reliable channel; probes are pure observation.
+    [queue]/[arena]/[batch] select the hot-path machinery as in
+    {!Sim_run.run}.
     @raise Failure on step-limit exhaustion (default [20_000_000];
     lossy runs retransmit, so budgets are larger than {!Sim_run}'s). *)
 

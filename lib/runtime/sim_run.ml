@@ -21,10 +21,11 @@ let write_value ~proc ~seq = (proc * 1_000_000) + seq
 
 let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
     ?(faults = Network.no_faults) ?(seed = 1) ?(max_steps = 10_000_000)
-    ?(metrics = Dsm_obs.Metrics.null ()) ?trace_capacity () =
+    ?(metrics = Dsm_obs.Metrics.null ()) ?trace_capacity
+    ?(queue = Engine.Indexed) ?(arena = true) ?(batch = false) () =
   let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
   let schedule = Dsm_workload.Generator.generate spec in
-  let engine = Engine.create () in
+  let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
   let latency_of =
     match latency_fn with
@@ -33,7 +34,7 @@ let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
   in
   let network =
     Network.create ~engine ~rng ~n:spec.Spec.n ~latency:latency_of ~fifo
-      ~faults ~metrics ()
+      ~arena ~batch ~faults ~metrics ()
   in
   let execution =
     Execution.create ?capacity_limit:trace_capacity ~n:spec.Spec.n

@@ -30,12 +30,22 @@ val run :
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
   ?trace_capacity:int ->
+  ?queue:Dsm_sim.Engine.queue_impl ->
+  ?arena:bool ->
+  ?batch:bool ->
   unit ->
   outcome
 (** [latency] applies to every ordered pair unless [latency_fn]
     overrides it. [seed] (default 1) feeds the network's latency
     streams — the workload has its own seed in [spec]. [max_steps]
     (default [10_000_000]) bounds runaway protocols.
+
+    [queue] (default {!Dsm_sim.Engine.Indexed}), [arena] (default
+    [true]) and [batch] (default [false]) select the engine's event
+    queue, the network's envelope arena and per-edge delivery batching
+    — the hot-path machinery knobs, exposed for differential testing
+    (every combination must produce the same outcome; [batch] may
+    reorder same-instant deliveries across distinct edges).
 
     [metrics] (default: the null registry) receives the network and
     protocol instruments; probes are pure observation, so the run is

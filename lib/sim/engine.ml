@@ -1,21 +1,47 @@
+module Qi = Event_queue.Indexed
+module Qh = Event_queue.Heap
+
+type queue_impl = Indexed | Heap
+
+(* The implementation is picked once at [create] and dispatched with a
+   two-constructor match — static, allocation-free, no first-class
+   modules or closure tables on the hot path. *)
+type queue =
+  | Q_indexed of (unit -> unit) Qi.t
+  | Q_heap of (unit -> unit) Qh.t
+
 type t = {
-  queue : (unit -> unit) Event_queue.t;
-  mutable clock : Sim_time.t;
+  queue : queue;
+  clock : float array;
+      (* one-element flat float array: per-event clock updates in the
+         drain loops store an unboxed float, never an allocation or a
+         write barrier (a [float ref] would box every store — ['a ref]
+         is a generic record, so its float instance is not flat) *)
   mutable executed : int;
 }
 
-let create () =
-  { queue = Event_queue.create (); clock = Sim_time.zero; executed = 0 }
+let create ?(queue = Indexed) () =
+  let queue =
+    match queue with
+    | Indexed -> Q_indexed (Qi.create ())
+    | Heap -> Q_heap (Qh.create ())
+  in
+  { queue; clock = Array.make 1 0.; executed = 0 }
 
-let now t = t.clock
+let queue_impl t =
+  match t.queue with Q_indexed _ -> Indexed | Q_heap _ -> Heap
 
-let schedule_at t at f =
-  if Sim_time.(at < t.clock) then
+let[@inline] now t = Sim_time.of_float (Array.unsafe_get t.clock 0)
+
+let[@inline] schedule_at t at f =
+  if Sim_time.to_float at < Array.unsafe_get t.clock 0 then
     invalid_arg "Engine.schedule_at: cannot schedule in the virtual past";
-  Event_queue.schedule t.queue ~at f
+  match t.queue with
+  | Q_indexed q -> Qi.schedule q ~at f
+  | Q_heap q -> Qh.schedule q ~at f
 
-let schedule_after t d f = schedule_at t (Sim_time.add t.clock d) f
-let schedule_now t f = schedule_at t t.clock f
+let schedule_after t d f = schedule_at t (Sim_time.add (now t) d) f
+let schedule_now t f = schedule_at t (now t) f
 
 let schedule_every t ~every ~until f =
   if (not (Float.is_finite every)) || every <= 0. then
@@ -25,39 +51,97 @@ let schedule_every t ~every ~until f =
     let next = Sim_time.add at every in
     if Sim_time.(next <= until) then schedule_at t next (tick next)
   in
-  let first = Sim_time.add t.clock every in
+  let first = Sim_time.add (now t) every in
   if Sim_time.(first <= until) then schedule_at t first (tick first)
 
 type stop_reason = Drained | Hit_step_limit | Hit_time_limit
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (at, f) ->
-      t.clock <- at;
-      t.executed <- t.executed + 1;
-      f ();
-      true
+  match t.queue with
+  | Q_indexed q ->
+      if Qi.is_empty q then false
+      else begin
+        let at = Qi.next_time_unsafe q in
+        let f = Qi.pop_exn q in
+        Array.unsafe_set t.clock 0 at;
+        t.executed <- t.executed + 1;
+        f ();
+        true
+      end
+  | Q_heap q -> (
+      match Qh.pop q with
+      | None -> false
+      | Some (at, f) ->
+          Array.unsafe_set t.clock 0 (Sim_time.to_float at);
+          t.executed <- t.executed + 1;
+          f ();
+          true)
 
 let run ?max_steps ?until t =
-  let over_steps () =
-    match max_steps with Some m -> t.executed >= m | None -> false
+  let limit = match max_steps with Some m -> m | None -> max_int in
+  (* per-implementation loops keep the steady-state path free of
+     per-step option and pair allocations *)
+  (* the [until] option is unpacked once: the per-event horizon check
+     in the indexed loop is a raw float compare *)
+  let has_horizon, horizon =
+    match until with
+    | Some h -> (true, Sim_time.to_float h)
+    | None -> (false, 0.)
   in
-  let over_time () =
-    match (until, Event_queue.peek_time t.queue) with
-    | Some horizon, Some next -> Sim_time.(horizon < next)
-    | _ -> false
-  in
-  let rec loop () =
-    if over_steps () then Hit_step_limit
-    else if over_time () then Hit_time_limit
-    else if step t then loop ()
-    else Drained
-  in
-  loop ()
+  match t.queue with
+  | Q_indexed q when max_steps = None && not has_horizon ->
+      (* bare drain: the common shape (no step or time limit) runs with
+         no per-event limit checks at all *)
+      let rec loop () =
+        if Qi.is_empty q then Drained
+        else begin
+          let at = Qi.next_time_unsafe q in
+          let f = Qi.pop_exn q in
+          Array.unsafe_set t.clock 0 at;
+          t.executed <- t.executed + 1;
+          f ();
+          loop ()
+        end
+      in
+      loop ()
+  | Q_indexed q ->
+      let rec loop () =
+        if t.executed >= limit then Hit_step_limit
+        else if Qi.is_empty q then Drained
+        else
+          let at = Qi.next_time_unsafe q in
+          if has_horizon && horizon < at then Hit_time_limit
+          else begin
+            let f = Qi.pop_exn q in
+            Array.unsafe_set t.clock 0 at;
+            t.executed <- t.executed + 1;
+            f ();
+            loop ()
+          end
+      in
+      loop ()
+  | Q_heap q ->
+      let rec loop () =
+        if t.executed >= limit then Hit_step_limit
+        else if Qh.is_empty q then Drained
+        else
+          let at = Qh.next_time_exn q in
+          if has_horizon && horizon < Sim_time.to_float at then
+            Hit_time_limit
+          else begin
+            let f = Qh.pop_exn q in
+            Array.unsafe_set t.clock 0 (Sim_time.to_float at);
+            t.executed <- t.executed + 1;
+            f ();
+            loop ()
+          end
+      in
+      loop ()
 
 let steps_executed t = t.executed
-let pending t = Event_queue.size t.queue
+
+let pending t =
+  match t.queue with Q_indexed q -> Qi.size q | Q_heap q -> Qh.size q
 
 let pp_stop_reason ppf = function
   | Drained -> Format.pp_print_string ppf "drained"

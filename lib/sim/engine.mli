@@ -10,7 +10,21 @@
 
 type t
 
-val create : unit -> t
+type queue_impl =
+  | Indexed
+      (** The flat int-indexed queue ({!Event_queue.Indexed}) —
+          allocation-free in steady state. The default. *)
+  | Heap
+      (** The seed pairing-heap queue ({!Event_queue.Heap}), kept as the
+          differential-testing reference. *)
+
+val create : ?queue:queue_impl -> unit -> t
+(** [create ()] uses the [Indexed] queue; [~queue:Heap] selects the
+    reference implementation. Both drain any schedule in the identical
+    [(time, seq)] order, so a run is bit-for-bit reproducible across
+    implementations. *)
+
+val queue_impl : t -> queue_impl
 
 val now : t -> Sim_time.t
 (** Current virtual time (the timestamp of the event being executed, or

@@ -3,23 +3,90 @@
     A mutable priority queue of [(time, payload)] pairs. Events with
     equal timestamps fire in scheduling order (a monotonically
     increasing sequence number breaks ties), so a run of the simulator
-    is fully deterministic. *)
+    is fully deterministic.
 
-type 'a t
+    Two interchangeable implementations sit behind the {!S} seam,
+    mirroring the [Delivery_buffer] seam of PR 1:
 
-val create : unit -> 'a t
+    - {!Indexed} (the default, included at top level): a flat
+      int-indexed calendar queue (Brown 1988) over parallel growable
+      arrays — unboxed [float] timestamps, [int] sequence numbers,
+      payloads stored inline in a slot arena and dropped eagerly on
+      [pop]/[clear]. Pending events hang off time-bucketed intrusive
+      lists; schedule and pop are O(1) amortized (tail appends for
+      in-order arrivals, a day-by-day cursor walk for pops, widths
+      re-derived deterministically as the queue grows). Steady-state
+      operation allocates nothing: slots are recycled in place and the
+      arrays only grow when the high-water mark of simultaneously
+      pending events grows.
+    - {!Heap}: the seed implementation — a persistent pairing heap of
+      keys plus a payload side table — kept as the reference for
+      differential testing. Any divergence in drain order between the
+      two is a bug in the flat heap.
 
-val schedule : 'a t -> at:Sim_time.t -> 'a -> unit
+    Both implementations drain any schedule in identical
+    [(time, seq)] order; [test_event_queue] pins this property over
+    random interleavings of pushes, pops and clears. *)
 
-val pop : 'a t -> (Sim_time.t * 'a) option
-(** Earliest event, removed; [None] on empty queue. *)
+module type S = sig
+  type 'a t
 
-val peek_time : 'a t -> Sim_time.t option
+  val create : unit -> 'a t
+  val schedule : 'a t -> at:Sim_time.t -> 'a -> unit
 
-val size : 'a t -> int
-val is_empty : 'a t -> bool
-val clear : 'a t -> unit
+  val pop : 'a t -> (Sim_time.t * 'a) option
+  (** Earliest event, removed; [None] on empty queue. Allocates the
+      option and pair — the engine hot path uses {!next_time_exn} +
+      {!pop_exn} instead. *)
 
-val scheduled_total : 'a t -> int
-(** Total number of events ever scheduled (monotone counter, survives
-    [clear]); useful for engine statistics. *)
+  val next_time_exn : 'a t -> Sim_time.t
+  (** Timestamp of the earliest event, not removed. Does not allocate.
+      @raise Invalid_argument on an empty queue. *)
+
+  val pop_exn : 'a t -> 'a
+  (** Earliest event's payload, removed. Does not allocate (beyond what
+      the implementation may shuffle internally — nothing, for
+      {!Indexed}). @raise Invalid_argument on an empty queue. *)
+
+  val peek_time : 'a t -> Sim_time.t option
+  val size : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val clear : 'a t -> unit
+  (** Empties the queue and releases every retained payload (the
+      sequence counter survives, see {!scheduled_total}). *)
+
+  val scheduled_total : 'a t -> int
+  (** Total number of events ever scheduled (monotone counter, survives
+      [clear]); useful for engine statistics. *)
+
+  val retained_payloads : 'a t -> int
+  (** Number of payloads the queue currently keeps alive. The
+      steady-state-retention regression test pins this to be exactly
+      the number of pending events: popped or cleared slots must not
+      pin their payloads for the GC. *)
+
+  val capacity : 'a t -> int
+  (** Physical slots currently allocated (high-water mark of pending
+      events, for {!Indexed}); observability for retention tests. *)
+end
+
+module Indexed : sig
+  include S
+
+  val next_time_unsafe : 'a t -> float
+  (** Raw timestamp of the earliest event — the engine drain loop's
+      fast path: no emptiness check (callers guard with {!is_empty})
+      and, once inlined, no float boxing. Unspecified on an empty
+      queue; never raises. *)
+end
+(** Flat int-indexed calendar queue: unboxed [(time, seq)] keys point
+    into a free-listed payload arena, so inserts and pops move only
+    floats and ints and cross the GC write barrier exactly once per
+    event (the payload store). *)
+
+module Heap : S
+(** The seed pairing-heap + payload side-table implementation, kept as
+    the differential-testing reference. *)
+
+include S with type 'a t = 'a Indexed.t

@@ -52,11 +52,54 @@ let probes metrics =
     p_payload_bytes = c "net_payload_bytes";
   }
 
+(* ---- envelope arena ------------------------------------------------ *)
+
+(* An in-flight message is a slot in a flat arena instead of a fresh
+   closure: the slot's [s_fire] thunk is allocated once (capturing the
+   network and the slot index) and reused for every message that passes
+   through the slot, so steady-state traffic allocates nothing per
+   envelope. Slots are recycled through a free-list stack; a slot is
+   released — payload dummied so the GC cannot see it — before its
+   handler runs, so a send from inside the handler may reuse it
+   immediately. [s_dummy] is an immediate, keeping every payload write
+   representation-safe. *)
+type slot = {
+  mutable s_time : float;  (* delivery timestamp *)
+  mutable s_seq : int;  (* global send order, ties on the batch heap *)
+  mutable s_src : int;
+  mutable s_dst : int;
+  mutable s_dst_inc : int;  (* destination incarnation stamped at send *)
+  mutable s_payload : Obj.t;
+  mutable s_fire : unit -> unit;
+}
+
+let s_dummy = Obj.repr ()
+
+(* Per-(src,dst) delivery batch: pending slot ids ordered by
+   (s_time, s_seq) in an implicit binary heap, plus the single armed
+   wakeup. [e_wake] is allocated once per edge; [e_wake_time] is the
+   timestamp of the earliest armed wakeup ([infinity] when none), which
+   lets stale wakeups — superseded by an earlier re-arm — recognise
+   themselves and no-op. *)
+type edge = {
+  mutable e_ids : int array;
+  mutable e_len : int;
+  mutable e_wake_time : float;
+  mutable e_wake : unit -> unit;
+}
+
 type 'a t = {
   engine : Engine.t;
   n : int;
   latency : src:int -> dst:int -> Latency.t;
   fifo : bool;
+  arena : bool;
+  batch : bool;
+  mutable slots : slot array;
+  mutable free : int array;  (* free-list stack of slot indices *)
+  mutable free_len : int;
+  mutable send_seq : int;
+  edges : edge array;  (* [src * n + dst]; empty unless [batch] *)
   faults : faults;
   channel_rng : Rng.t array array;  (* [src].(dst) *)
   last_delivery : Sim_time.t array array;  (* FIFO floor per channel *)
@@ -84,8 +127,196 @@ type 'a t = {
   mutable nonmember_dropped : int;
 }
 
-let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
-    ?mangle ?(metrics = Metrics.null ()) () =
+(* ---- delivery ------------------------------------------------------ *)
+
+(* Delivery-time checks shared by every transmission path (fresh
+   closure, arena slot, batched drain). [at] is the engine clock: the
+   engine advances it to the event's timestamp before running it, so
+   reading it here is equivalent to capturing the delivery time at
+   scheduling. *)
+let deliver t ~src ~dst ~dst_inc payload =
+  let at = Engine.now t.engine in
+  (* a crashed destination silently loses the message: the frame
+     reached a machine that is not running.  Counted, not raised —
+     crash-stop is a modelled fault, not a harness bug. *)
+  if t.crashed.(dst) then begin
+    t.crash_dropped <- t.crash_dropped + 1;
+    Metrics.incr t.probes.p_drop_crash
+  end
+  else if t.incarnations.(dst) <> dst_inc then begin
+    (* the destination crashed and rejoined as a fresh incarnation
+       while this envelope was in flight: the old incarnation it was
+       addressed to no longer exists.  Retransmission layers re-send
+       under the new stamp, so nothing is lost — but the stale copy
+       must not reach the reborn process. *)
+    t.stale_dropped <- t.stale_dropped + 1;
+    Metrics.incr t.probes.p_drop_stale
+  end
+  else if not (t.member dst) then begin
+    (* the membership view says this slot is not (or no longer) a
+       member: a frame that raced a leave, or was addressed to a
+       never-joined slot.  Accounted, not raised — only a missing
+       handler on a live {e member} is a harness bug. *)
+    t.nonmember_dropped <- t.nonmember_dropped + 1;
+    Metrics.incr t.probes.p_drop_nonmember
+  end
+  else begin
+    t.delivered <- t.delivered + 1;
+    Metrics.incr t.probes.p_delivered;
+    match t.handlers.(dst) with
+    | Some h -> h ~src ~at (Obj.obj payload)
+    | None -> raise (No_handler { dst; src; at })
+  end
+
+(* ---- arena slots --------------------------------------------------- *)
+
+let fire_slot t i =
+  let s = t.slots.(i) in
+  let src = s.s_src and dst = s.s_dst and dst_inc = s.s_dst_inc in
+  let payload = s.s_payload in
+  s.s_payload <- s_dummy;
+  (* release before the handler runs: a send from inside it can reuse
+     the slot without growing the arena *)
+  t.free.(t.free_len) <- i;
+  t.free_len <- t.free_len + 1;
+  deliver t ~src ~dst ~dst_inc payload
+
+let grow_slots t =
+  let old = Array.length t.slots in
+  let cap = if old = 0 then 64 else old * 2 in
+  let slots =
+    Array.init cap (fun i ->
+        if i < old then t.slots.(i)
+        else
+          {
+            s_time = 0.;
+            s_seq = 0;
+            s_src = 0;
+            s_dst = 0;
+            s_dst_inc = 0;
+            s_payload = s_dummy;
+            s_fire = ignore;
+          })
+  in
+  let free = Array.make cap 0 in
+  Array.blit t.free 0 free 0 t.free_len;
+  t.slots <- slots;
+  t.free <- free;
+  for i = old to cap - 1 do
+    slots.(i).s_fire <- (fun () -> fire_slot t i);
+    free.(t.free_len) <- i;
+    t.free_len <- t.free_len + 1
+  done
+
+let alloc_slot t =
+  if t.free_len = 0 then grow_slots t;
+  t.free_len <- t.free_len - 1;
+  t.free.(t.free_len)
+
+let fill_slot t ~src ~dst ~at payload =
+  let i = alloc_slot t in
+  let s = t.slots.(i) in
+  s.s_time <- Sim_time.to_float at;
+  s.s_seq <- t.send_seq;
+  t.send_seq <- t.send_seq + 1;
+  s.s_src <- src;
+  s.s_dst <- dst;
+  s.s_dst_inc <- t.incarnations.(dst);
+  s.s_payload <- Obj.repr payload;
+  i
+
+(* ---- per-edge delivery batching ------------------------------------ *)
+
+let edge_less t ia ib =
+  let a = t.slots.(ia) and b = t.slots.(ib) in
+  a.s_time < b.s_time || (a.s_time = b.s_time && a.s_seq < b.s_seq)
+
+let edge_push t e i =
+  if e.e_len = Array.length e.e_ids then begin
+    let cap = if e.e_len = 0 then 8 else e.e_len * 2 in
+    let ids = Array.make cap 0 in
+    Array.blit e.e_ids 0 ids 0 e.e_len;
+    e.e_ids <- ids
+  end;
+  let ids = e.e_ids in
+  let j = ref e.e_len in
+  e.e_len <- e.e_len + 1;
+  let stop = ref false in
+  while (not !stop) && !j > 0 do
+    let p = (!j - 1) / 2 in
+    if edge_less t i ids.(p) then begin
+      ids.(!j) <- ids.(p);
+      j := p
+    end
+    else stop := true
+  done;
+  ids.(!j) <- i
+
+let edge_pop t e =
+  let ids = e.e_ids in
+  let top = ids.(0) in
+  let n = e.e_len - 1 in
+  e.e_len <- n;
+  if n > 0 then begin
+    let last = ids.(n) in
+    let j = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let l = (2 * !j) + 1 in
+      if l >= n then stop := true
+      else begin
+        let r = l + 1 in
+        let c = if r < n && edge_less t ids.(r) ids.(l) then r else l in
+        if edge_less t ids.(c) last then begin
+          ids.(!j) <- ids.(c);
+          j := c
+        end
+        else stop := true
+      end
+    done;
+    ids.(!j) <- last
+  end;
+  top
+
+(* Arm the edge's wakeup at its current head time, unless an armed
+   wakeup already covers it (is due no later). *)
+let edge_arm t e =
+  if e.e_len > 0 then begin
+    let ht = t.slots.(e.e_ids.(0)).s_time in
+    if ht < e.e_wake_time then begin
+      e.e_wake_time <- ht;
+      Engine.schedule_at t.engine (Sim_time.of_float ht) e.e_wake
+    end
+  end
+
+let fire_edge t e =
+  let now = Sim_time.to_float (Engine.now t.engine) in
+  if e.e_wake_time = now then begin
+    (* the earliest armed wakeup: drain every pending envelope due at
+       this instant that was already in flight when the wakeup fired.
+       [snap] fences off same-instant envelopes scheduled by handlers
+       running inside this drain — those get their own wakeup, so a
+       handler never observes a message sent "after" it in scheduling
+       order, exactly as with one engine event per envelope. *)
+    e.e_wake_time <- infinity;
+    let snap = t.send_seq in
+    let continue = ref true in
+    while !continue && e.e_len > 0 do
+      let i = e.e_ids.(0) in
+      let s = t.slots.(i) in
+      if s.s_time = now && s.s_seq < snap then begin
+        ignore (edge_pop t e : int);
+        fire_slot t i
+      end
+      else continue := false
+    done;
+    edge_arm t e
+  end
+(* otherwise: stale — an earlier re-arm superseded this wakeup *)
+
+let create ~engine ~rng ~n ~latency ?(fifo = false) ?(arena = true)
+    ?(batch = false) ?(faults = no_faults) ?mangle
+    ?(metrics = Metrics.null ()) () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   let check_prob name p =
     if p < 0. || p > 1. then
@@ -107,12 +338,26 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
   let channel_rng =
     Array.init n (fun _ -> Array.init n (fun _ -> Rng.split rng))
   in
-  {
-    engine;
-    n;
-    latency;
-    fifo;
-    faults;
+  let edges =
+    if batch then
+      Array.init (n * n) (fun _ ->
+          { e_ids = [||]; e_len = 0; e_wake_time = infinity; e_wake = ignore })
+    else [||]
+  in
+  let t =
+    {
+      engine;
+      n;
+      latency;
+      fifo;
+      arena;
+      batch;
+      slots = [||];
+      free = [||];
+      free_len = 0;
+      send_seq = 0;
+      edges;
+      faults;
     channel_rng;
     last_delivery = Array.init n (fun _ -> Array.make n Sim_time.zero);
     handlers = Array.make n None;
@@ -128,11 +373,16 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(faults = no_faults)
     dropped = 0;
     duplicated = 0;
     corrupted = 0;
-    partition_dropped = 0;
-    crash_dropped = 0;
-    stale_dropped = 0;
-    nonmember_dropped = 0;
-  }
+      partition_dropped = 0;
+      crash_dropped = 0;
+      stale_dropped = 0;
+      nonmember_dropped = 0;
+    }
+  in
+  (* the wakeup thunks need the network itself; patch them in once *)
+  if batch then
+    Array.iter (fun e -> e.e_wake <- (fun () -> fire_edge t e)) edges;
+  t
 
 let n t = t.n
 
@@ -233,42 +483,39 @@ let epoch t = t.epoch
 
 (* ---- transmission -------------------------------------------------- *)
 
-let schedule_delivery t ~src ~dst ~at payload =
-  (* view-stamped envelope: capture the destination's incarnation (and
-     the current view epoch, informational) at transmission time *)
+(* Every envelope is view-stamped: it captures the destination's
+   incarnation at transmission time (see [fill_slot] for the arena
+   paths). Three scheduling strategies share [deliver]:
+
+   - [~arena:false]: the seed path — a fresh closure per envelope,
+     kept as the allocation reference for differential testing;
+   - [~arena:true] (default): a recycled slot whose preallocated
+     [s_fire] thunk is the engine event — same one-event-per-envelope
+     schedule, zero steady-state allocation;
+   - [~batch:true]: slots parked on a per-(src,dst) heap; one wakeup
+     per distinct delivery instant drains the batch in (time, seq)
+     order, collapsing same-edge bursts into a single engine event. *)
+
+let schedule_closure t ~src ~dst ~at payload =
   let dst_inc = t.incarnations.(dst) in
+  let payload = Obj.repr payload in
   Engine.schedule_at t.engine at (fun () ->
-      (* a crashed destination silently loses the message: the frame
-         reached a machine that is not running.  Counted, not raised —
-         crash-stop is a modelled fault, not a harness bug. *)
-      if t.crashed.(dst) then begin
-        t.crash_dropped <- t.crash_dropped + 1;
-        Metrics.incr t.probes.p_drop_crash
-      end
-      else if t.incarnations.(dst) <> dst_inc then begin
-        (* the destination crashed and rejoined as a fresh incarnation
-           while this envelope was in flight: the old incarnation it was
-           addressed to no longer exists.  Retransmission layers re-send
-           under the new stamp, so nothing is lost — but the stale copy
-           must not reach the reborn process. *)
-        t.stale_dropped <- t.stale_dropped + 1;
-        Metrics.incr t.probes.p_drop_stale
-      end
-      else if not (t.member dst) then begin
-        (* the membership view says this slot is not (or no longer) a
-           member: a frame that raced a leave, or was addressed to a
-           never-joined slot.  Accounted, not raised — only a missing
-           handler on a live {e member} is a harness bug. *)
-        t.nonmember_dropped <- t.nonmember_dropped + 1;
-        Metrics.incr t.probes.p_drop_nonmember
-      end
-      else begin
-        t.delivered <- t.delivered + 1;
-        Metrics.incr t.probes.p_delivered;
-        match t.handlers.(dst) with
-        | Some h -> h ~src ~at payload
-        | None -> raise (No_handler { dst; src; at })
-      end)
+      deliver t ~src ~dst ~dst_inc payload)
+
+let schedule_arena t ~src ~dst ~at payload =
+  let i = fill_slot t ~src ~dst ~at payload in
+  Engine.schedule_at t.engine at t.slots.(i).s_fire
+
+let schedule_batched t ~src ~dst ~at payload =
+  let i = fill_slot t ~src ~dst ~at payload in
+  let e = t.edges.((src * t.n) + dst) in
+  edge_push t e i;
+  edge_arm t e
+
+let schedule_delivery t ~src ~dst ~at payload =
+  if t.batch then schedule_batched t ~src ~dst ~at payload
+  else if t.arena then schedule_arena t ~src ~dst ~at payload
+  else schedule_closure t ~src ~dst ~at payload
 
 let send t ~src ~dst payload =
   check_proc t src "send";

@@ -48,6 +48,8 @@ val create :
   n:int ->
   latency:(src:int -> dst:int -> Latency.t) ->
   ?fifo:bool ->
+  ?arena:bool ->
+  ?batch:bool ->
   ?faults:faults ->
   ?mangle:('a -> 'a) ->
   ?metrics:Dsm_obs.Metrics.t ->
@@ -64,6 +66,25 @@ val create :
     [net_payload_bytes] (Marshal-encoded size, only measured when the
     registry is live). Probes never touch RNG streams or the event
     schedule.
+
+    [?arena] (default [true]) routes envelopes through a flat slot
+    arena: an in-flight message occupies a recycled slot whose delivery
+    thunk is preallocated, so steady-state traffic allocates nothing per
+    envelope. [~arena:false] restores the seed fresh-closure-per-message
+    path — behaviourally identical (same engine events, same RNG
+    consumption, same delivery order), kept as the reference for
+    differential testing.
+
+    [?batch] (default [false]) additionally batches deliveries per
+    (src, dst) edge: pending envelopes park on a per-edge heap ordered
+    by (delivery time, send order) and a single wakeup per distinct
+    delivery instant drains the due batch, collapsing same-edge bursts
+    (broadcast flushes, retransmission storms) into one engine event
+    each. Delivery {e times} and per-edge delivery {e order} are
+    unchanged; only the interleaving of same-instant events {e across}
+    different edges can differ from the unbatched schedule, so runs
+    that must be byte-identical to pinned seed traces keep the
+    default.
 
     [?mangle] is the corruption model: when the [corrupt] fault fires,
     the delivered payload is [mangle payload] instead of [payload]. The

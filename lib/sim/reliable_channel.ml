@@ -61,10 +61,12 @@ type 'a t = {
   rng : Rng.t option;  (* split stream for jitter draws *)
   n : int;
   next_seq : int array array;  (* [src].(dst): next data sequence number *)
-  outstanding : (int * int * int, 'a pending) Hashtbl.t;
-      (* (src, dst, cseq) -> unacked payload *)
-  delivered_seqs : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
-      (* (src, dst) -> cseqs already delivered at dst *)
+  outstanding : (int, 'a pending) Hashtbl.t array;
+      (* [src*n + dst]: cseq -> unacked payload.  Flat per-edge tables
+         with int keys: no tuple-key allocation (or tuple hashing) on
+         the per-frame hot path. *)
+  delivered_seqs : (int, unit) Hashtbl.t array;
+      (* [src*n + dst]: cseqs already delivered at dst *)
   handlers : 'a Network.handler option array;
   incarnations : int array;
       (* sender-side incarnation per process: Data frames are stamped at
@@ -81,13 +83,8 @@ type 'a t = {
   mutable stale_quarantined : int;
 }
 
-let seen_set t ~src ~dst =
-  match Hashtbl.find_opt t.delivered_seqs (src, dst) with
-  | Some s -> s
-  | None ->
-      let s = Hashtbl.create 64 in
-      Hashtbl.add t.delivered_seqs (src, dst) s;
-      s
+let edge t ~src ~dst = (src * t.n) + dst
+let seen_set t ~src ~dst = t.delivered_seqs.(edge t ~src ~dst)
 
 (* receive a wire frame at [dst] *)
 let on_frame t dst ~src ~at frame =
@@ -102,7 +99,7 @@ let on_frame t dst ~src ~at frame =
       else
         (* the ack travels dst->src, so here [dst] is the original
            sender and [src] the original receiver *)
-        match Hashtbl.find_opt t.outstanding (dst, src, cseq) with
+        match Hashtbl.find_opt t.outstanding.(edge t ~src:dst ~dst:src) cseq with
         | Some p -> p.acked <- true
         | None -> () (* duplicate ack for an already-settled payload *))
   | Data { cseq; inc; sum; payload } ->
@@ -176,8 +173,8 @@ let create ~engine ~network ?(retransmit_after = 50.) ?(backoff = 2.)
       rng = Option.map (fun r -> Rng.split r) rng;
       n;
       next_seq = Array.init n (fun _ -> Array.make n 0);
-      outstanding = Hashtbl.create 256;
-      delivered_seqs = Hashtbl.create 64;
+      outstanding = Array.init (n * n) (fun _ -> Hashtbl.create 16);
+      delivered_seqs = Array.init (n * n) (fun _ -> Hashtbl.create 64);
       handlers = Array.make n None;
       incarnations = Array.make n 0;
       probes = probes metrics;
@@ -229,7 +226,8 @@ let send t ~src ~dst payload =
   Metrics.incr t.probes.p_payloads;
   let inc = t.incarnations.(src) in
   let p = { payload; inc; acked = false; aborted = false; attempts = 0 } in
-  Hashtbl.replace t.outstanding (src, dst, cseq) p;
+  let pending = t.outstanding.(edge t ~src ~dst) in
+  Hashtbl.replace pending cseq p;
   let transmit () =
     (* the frame keeps its send-time incarnation stamp across
        retransmissions: a retransmit after the sender's rejoin is
@@ -255,7 +253,7 @@ let send t ~src ~dst payload =
           transmit ();
           arm_timer ()
         end
-        else Hashtbl.remove t.outstanding (src, dst, cseq))
+        else Hashtbl.remove pending cseq)
   in
   transmit ();
   arm_timer ()
@@ -271,27 +269,31 @@ let abort_peer t ~peer =
   (* stop retransmitting to the crashed peer: every undelivered copy of
      these payloads is lost, recovery must fetch the content some other
      way (anti-entropy) *)
-  let doomed =
-    Hashtbl.fold
-      (fun ((_, dst, _) as key) p acc ->
-        if dst = peer && (not p.acked) && not p.aborted then (key, p) :: acc
-        else acc)
-      t.outstanding []
-  in
-  List.iter
-    (fun (key, p) ->
-      p.aborted <- true;
-      Hashtbl.remove t.outstanding key)
-    doomed;
-  let count = List.length doomed in
+  let count = ref 0 in
+  for src = 0 to t.n - 1 do
+    let pending = t.outstanding.(edge t ~src ~dst:peer) in
+    let doomed =
+      Hashtbl.fold
+        (fun cseq p acc ->
+          if (not p.acked) && not p.aborted then (cseq, p) :: acc else acc)
+        pending []
+    in
+    List.iter
+      (fun (cseq, p) ->
+        p.aborted <- true;
+        Hashtbl.remove pending cseq)
+      doomed;
+    count := !count + List.length doomed
+  done;
+  let count = !count in
   t.aborted_payloads <- t.aborted_payloads + count;
   Metrics.add t.probes.p_aborted count;
   (* the peer restarts with empty volatile state: its dedup tables are
      gone, so sequence numbers delivered to the dead incarnation must
      not suppress deliveries to the new one *)
-  Hashtbl.filter_map_inplace
-    (fun (_, dst) seen -> if dst = peer then None else Some seen)
-    t.delivered_seqs;
+  for src = 0 to t.n - 1 do
+    Hashtbl.reset t.delivered_seqs.(edge t ~src ~dst:peer)
+  done;
   count
 
 let abort_sender t ~peer =
@@ -302,19 +304,23 @@ let abort_sender t ~peer =
      so without this its pre-crash send queue would retransmit forever.
      Only call this for a peer that never restarts — for a recovering
      peer the armed timers are its durable send queue. *)
-  let doomed =
-    Hashtbl.fold
-      (fun ((src, _, _) as key) p acc ->
-        if src = peer && (not p.acked) && not p.aborted then (key, p) :: acc
-        else acc)
-      t.outstanding []
-  in
-  List.iter
-    (fun (key, p) ->
-      p.aborted <- true;
-      Hashtbl.remove t.outstanding key)
-    doomed;
-  let count = List.length doomed in
+  let count = ref 0 in
+  for dst = 0 to t.n - 1 do
+    let pending = t.outstanding.(edge t ~src:peer ~dst) in
+    let doomed =
+      Hashtbl.fold
+        (fun cseq p acc ->
+          if (not p.acked) && not p.aborted then (cseq, p) :: acc else acc)
+        pending []
+    in
+    List.iter
+      (fun (cseq, p) ->
+        p.aborted <- true;
+        Hashtbl.remove pending cseq)
+      doomed;
+    count := !count + List.length doomed
+  done;
+  let count = !count in
   t.aborted_payloads <- t.aborted_payloads + count;
   Metrics.add t.probes.p_aborted count;
   count
@@ -339,13 +345,20 @@ let corrupt_dropped t = t.corrupt_dropped
 let stale_quarantined t = t.stale_quarantined
 
 let unacked t =
-  Hashtbl.fold (fun _ p acc -> if p.acked then acc else acc + 1)
-    t.outstanding 0
+  Array.fold_left
+    (fun acc pending ->
+      Hashtbl.fold
+        (fun _ p acc -> if p.acked then acc else acc + 1)
+        pending acc)
+    0 t.outstanding
 
 let unacked_from t ~peer =
   if peer < 0 || peer >= t.n then
     invalid_arg "Reliable_channel.unacked_from: process id out of range";
-  Hashtbl.fold
-    (fun (src, _, _) p acc ->
-      if src = peer && (not p.acked) && not p.aborted then acc + 1 else acc)
-    t.outstanding 0
+  let acc = ref 0 in
+  for dst = 0 to t.n - 1 do
+    Hashtbl.iter
+      (fun _ p -> if (not p.acked) && not p.aborted then incr acc)
+      t.outstanding.(edge t ~src:peer ~dst)
+  done;
+  !acc

@@ -2,14 +2,14 @@ type t = float
 
 let zero = 0.
 
-let of_float f =
+let[@inline] of_float f =
   if not (Float.is_finite f) || f < 0. then
     invalid_arg "Sim_time.of_float: time must be finite and non-negative";
   f
 
-let to_float t = t
+let[@inline] to_float t = t
 
-let add t d =
+let[@inline] add t d =
   if not (Float.is_finite d) || d < 0. then
     invalid_arg "Sim_time.add: duration must be finite and non-negative";
   t +. d

@@ -72,6 +72,17 @@ let merge_into dst src =
     if s.(i) > d.(i) then d.(i) <- s.(i)
   done
 
+let copy_into ~src dst =
+  let s = src.data in
+  let ls = Array.length s and ld = Array.length dst.data in
+  if ld < ls then dst.data <- Array.copy s
+  else begin
+    Array.blit s 0 dst.data 0 ls;
+    (* wider scratch: the extra components must read as zero so the
+       result is [equal] to [src] under the implicit-zero convention *)
+    Array.fill dst.data ls (ld - ls) 0
+  end
+
 let merge a b =
   let r = copy a in
   merge_into r b;

@@ -86,7 +86,19 @@ val merge_into : t -> t -> unit
     [dst] and [src] (in place). This is the read-time merge of OptP
     (line 1 of the read procedure) and the delivery-time merge of causal
     broadcast. If [src] is wider than [dst], [dst] is grown first;
-    narrower [src] components beyond its size are implicit zeros. *)
+    narrower [src] components beyond its size are implicit zeros.
+
+    This is the {e scratch-merge} API of the allocation-free hot path:
+    protocol receive and write steps merge wire vectors into their
+    preallocated working vectors with it instead of building fresh
+    merged copies. Under static membership it never allocates. *)
+
+val copy_into : src:t -> t -> unit
+(** [copy_into ~src dst] makes [dst] equal to [src] in place — the
+    scratch counterpart of {!copy}. When [dst]'s physical capacity
+    suffices it allocates nothing (wider scratch components are zeroed,
+    preserving equality under the implicit-zero convention); a narrower
+    [dst] is reallocated once and then stays wide. *)
 
 (** {1 Pure operations} *)
 

@@ -33,7 +33,7 @@ per-epoch view_changes log with the reason for each change.
     "clean": true,
     "live_equal": true,
     "membership": { "final_epoch": 3, "joins": 0, "rejoins": 1, "leaves": 0, "active_at_end": [0, 1, 2, 4, 5] },
-    "detector": { "threshold": 3, "heartbeat_every": 20, "window": 16,
+    "detector": { "threshold": 3, "heartbeat_every": 20, "window": 16, "adaptive": 0,
                   "heartbeats_sent": 941, "suspicions": 2, "false_suspicions": 0, "refutations": 1 },
     "view_changes": [
       { "epoch": 1, "at": 200.0, "why": "p2 suspected by p6 (phi=3.23)" },

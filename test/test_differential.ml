@@ -16,6 +16,7 @@
 module Spec = Dsm_workload.Spec
 module Latency = Dsm_sim.Latency
 module Network = Dsm_sim.Network
+module Engine = Dsm_sim.Engine
 module Sim_run = Dsm_runtime.Sim_run
 module Execution = Dsm_runtime.Execution
 module History = Dsm_memory.History
@@ -36,7 +37,8 @@ let params_of_seed seed =
   in
   (n, ratio, sigma, faults)
 
-let run_one (module P : Dsm_core.Protocol.S) ~seed =
+let run_one (module P : Dsm_core.Protocol.S) ?(queue = Engine.Indexed)
+    ?(arena = true) ?(batch = false) ~seed () =
   let n, ratio, sigma, faults = params_of_seed seed in
   let spec =
     Spec.make ~n ~m:4 ~ops_per_process:40 ~write_ratio:ratio
@@ -46,7 +48,8 @@ let run_one (module P : Dsm_core.Protocol.S) ~seed =
   let latency =
     Latency.Lognormal { mu = log 10. -. (sigma *. sigma /. 2.); sigma }
   in
-  Sim_run.run (module P) ~spec ~latency ~faults ~seed:(seed + 1) ()
+  Sim_run.run (module P) ~spec ~latency ~faults ~seed:(seed + 1) ~queue
+    ~arena ~batch ()
 
 let same_outcome name seed (o1 : Sim_run.outcome) (o2 : Sim_run.outcome) =
   let ctx fmt = Printf.sprintf ("%s seed %d: " ^^ fmt) name seed in
@@ -85,16 +88,16 @@ let test_optp () =
   List.iter
     (fun seed ->
       same_outcome "OptP" seed
-        (run_one (module Dsm_core.Opt_p) ~seed)
-        (run_one (module Dsm_core.Opt_p.Scan) ~seed))
+        (run_one (module Dsm_core.Opt_p) ~seed ())
+        (run_one (module Dsm_core.Opt_p.Scan) ~seed ()))
     (seeds 100)
 
 let test_anbkh () =
   List.iter
     (fun seed ->
       same_outcome "ANBKH" seed
-        (run_one (module Dsm_core.Anbkh) ~seed)
-        (run_one (module Dsm_core.Anbkh.Scan) ~seed))
+        (run_one (module Dsm_core.Anbkh) ~seed ())
+        (run_one (module Dsm_core.Anbkh.Scan) ~seed ()))
     (seeds 100)
 
 (* the writing-semantics variant exercises remove_all / to_list and the
@@ -103,8 +106,8 @@ let test_optp_ws () =
   List.iter
     (fun seed ->
       same_outcome "OptP-WS" seed
-        (run_one (module Dsm_core.Opt_p_ws) ~seed)
-        (run_one (module Dsm_core.Opt_p_ws.Scan) ~seed))
+        (run_one (module Dsm_core.Opt_p_ws) ~seed ())
+        (run_one (module Dsm_core.Opt_p_ws.Scan) ~seed ()))
     (seeds 40)
 
 (* partial replication exercises the flattened matrix counter space *)
@@ -144,6 +147,85 @@ let test_partial () =
         o1.Partial_run.buffer_high_watermarks
         o2.Partial_run.buffer_high_watermarks)
     (seeds 30)
+
+(* Engine-machinery variants: the same 270-seed sweep must be
+   insensitive to which event queue backs the engine (flat indexed heap
+   vs the reference pairing heap) and to whether delivery envelopes go
+   through the recycling arena or are freshly allocated. All four
+   {queue} x {arena} configurations run the identical simulation —
+   identical RNG draws, identical event order — so every observable in
+   [same_outcome] must match the baseline bit for bit. *)
+
+let engine_variants =
+  [
+    ("indexed*alloc", Engine.Indexed, false);
+    ("heap*arena", Engine.Heap, true);
+    ("heap*alloc", Engine.Heap, false);
+  ]
+
+let test_variants (module P : Dsm_core.Protocol.S) name count () =
+  List.iter
+    (fun seed ->
+      let base = run_one (module P) ~seed () in
+      List.iter
+        (fun (vname, queue, arena) ->
+          same_outcome
+            (Printf.sprintf "%s[%s]" name vname)
+            seed base
+            (run_one (module P) ~queue ~arena ~seed ()))
+        engine_variants)
+    (seeds count)
+
+let test_variants_partial () =
+  List.iter
+    (fun seed ->
+      let n = 4 + (seed mod 3) and m = 6 in
+      let replication = Replication.ring ~n ~m ~degree:2 in
+      let spec =
+        Spec.make ~n ~m ~ops_per_process:30 ~write_ratio:0.5
+          ~think:(Latency.Exponential { mean = 5. })
+          ~seed ()
+      in
+      let latency = Latency.Uniform { lo = 1.; hi = 120. } in
+      let base =
+        Partial_run.run ~replication ~spec ~latency ~seed:(seed + 1) ()
+      in
+      List.iter
+        (fun (vname, queue, arena) ->
+          let o =
+            Partial_run.run ~replication ~spec ~latency ~seed:(seed + 1)
+              ~queue ~arena ()
+          in
+          let ctx fmt =
+            Printf.sprintf
+              ("OptP-partial[%s] seed %d: " ^^ fmt)
+              vname seed
+          in
+          Alcotest.(check bool)
+            (ctx "identical histories") true
+            (History.ops base.Partial_run.history
+            = History.ops o.Partial_run.history);
+          Alcotest.(check int)
+            (ctx "identical engine step counts")
+            base.Partial_run.engine_steps o.Partial_run.engine_steps)
+        engine_variants)
+    (seeds 30)
+
+(* Delivery batching coalesces same-edge deliveries behind one wakeup.
+   It may permute same-instant deliveries across DISTINCT edges — a
+   measure-zero event under the continuous latency laws used here — so
+   on this sweep the batched run must reproduce the unbatched outcome
+   exactly (engine step counts differ: wakeups replace per-envelope
+   events; [same_outcome] compares semantics, not step counts). *)
+let test_batched_parity (module P : Dsm_core.Protocol.S) name count () =
+  List.iter
+    (fun seed ->
+      same_outcome
+        (Printf.sprintf "%s[batched]" name)
+        seed
+        (run_one (module P) ~seed ())
+        (run_one (module P) ~batch:true ~seed ()))
+    (seeds count)
 
 (* The churn campaign generalizes the fault campaign; on a churn-free
    plan it must be not just equivalent but byte-identical — same RNG
@@ -232,6 +314,24 @@ let () =
           Alcotest.test_case "ANBKH, 100 seeds" `Quick test_anbkh;
           Alcotest.test_case "OptP-WS, 40 seeds" `Quick test_optp_ws;
           Alcotest.test_case "OptP-partial, 30 seeds" `Quick test_partial;
+        ] );
+      ( "queue x arena variants",
+        [
+          Alcotest.test_case "OptP, 100 seeds x 3 variants" `Quick
+            (test_variants (module Dsm_core.Opt_p) "OptP" 100);
+          Alcotest.test_case "ANBKH, 100 seeds x 3 variants" `Quick
+            (test_variants (module Dsm_core.Anbkh) "ANBKH" 100);
+          Alcotest.test_case "OptP-WS, 40 seeds x 3 variants" `Quick
+            (test_variants (module Dsm_core.Opt_p_ws) "OptP-WS" 40);
+          Alcotest.test_case "OptP-partial, 30 seeds x 3 variants" `Quick
+            test_variants_partial;
+        ] );
+      ( "delivery batching parity",
+        [
+          Alcotest.test_case "OptP, 100 seeds" `Quick
+            (test_batched_parity (module Dsm_core.Opt_p) "OptP" 100);
+          Alcotest.test_case "ANBKH, 100 seeds" `Quick
+            (test_batched_parity (module Dsm_core.Anbkh) "ANBKH" 100);
         ] );
       ( "churn campaign == fault campaign on static membership",
         [

@@ -1,0 +1,191 @@
+(* The indexed event queue against its reference.
+
+   [Event_queue.Indexed] (the flat implicit-heap hot path) and
+   [Event_queue.Heap] (the retired pairing-heap + payload-table
+   implementation, kept as the differential reference) implement the
+   same signature and the same contract: pops come out in strictly
+   ascending [(time, seq)] — seq being global insertion order, so ties
+   in time resolve to scheduling order. The property suite drives both
+   through identical random op sequences (schedules with duplicate
+   times from a small discrete set, interleaved pops, clears) and
+   demands identical observable traces.
+
+   The retention regression pins the tentpole's steady-state claim: a
+   long schedule/pop run with a bounded number of in-flight events must
+   keep the number of live payload slots bounded by that in-flight
+   count (vacated cells are dummied, not retained), and [clear] must
+   release every payload at once. *)
+
+module Q = Dsm_sim.Event_queue
+module Sim_time = Dsm_sim.Sim_time
+
+let qcheck ~name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ---------------------------------------------------------------- *)
+(* random op sequences                                               *)
+(* ---------------------------------------------------------------- *)
+
+type op = Push of float | Pop | Clear
+
+(* duplicate times on purpose: a small discrete time domain makes
+   same-time collisions the common case, which is exactly where the
+   (time, seq) tie-break must match the reference *)
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map (fun k -> Push (float_of_int k *. 0.5)) (int_bound 8));
+        (3, pure Pop);
+        (1, pure Clear);
+      ])
+
+let ops_gen = QCheck2.Gen.(list_size (int_range 0 200) op_gen)
+
+(* run one implementation through the ops, folding every observable
+   into a trace string: pop results (time, seq-order payload), pop on
+   empty, peek_time after each op, sizes *)
+let trace (module I : Q.S) ops =
+  let q = I.create () in
+  let buf = Buffer.create 256 in
+  let payload = ref 0 in
+  List.iter
+    (fun op ->
+      (match op with
+      | Push at ->
+          incr payload;
+          I.schedule q ~at:(Sim_time.of_float at) !payload;
+          Buffer.add_string buf (Printf.sprintf "push%d;" !payload)
+      | Pop -> (
+          match I.pop q with
+          | Some (t, p) ->
+              Buffer.add_string buf
+                (Printf.sprintf "pop%.1f:%d;" (Sim_time.to_float t) p)
+          | None -> Buffer.add_string buf "pop-empty;")
+      | Clear ->
+          I.clear q;
+          Buffer.add_string buf "clear;");
+      Buffer.add_string buf
+        (Printf.sprintf "size%d,peek%s;" (I.size q)
+           (match I.peek_time q with
+           | Some t -> Printf.sprintf "%.1f" (Sim_time.to_float t)
+           | None -> "-")))
+    ops;
+  (* drain whatever is left: full order equivalence, not just prefix *)
+  let rec drain () =
+    match I.pop q with
+    | Some (t, p) ->
+        Buffer.add_string buf
+          (Printf.sprintf "drain%.1f:%d;" (Sim_time.to_float t) p);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Buffer.contents buf
+
+let prop_differential =
+  qcheck ~name:"indexed and heap drain any schedule identically" ~count:500
+    ops_gen (fun ops ->
+      String.equal (trace (module Q.Indexed) ops) (trace (module Q.Heap) ops))
+
+(* the exn/option API pair must agree with itself on both impls *)
+let prop_exn_matches_option =
+  qcheck ~name:"pop_exn/next_time_exn agree with pop/peek_time" ~count:200
+    ops_gen (fun ops ->
+      List.for_all
+        (fun (module I : Q.S) ->
+          let a = I.create () and b = I.create () in
+          let n = ref 0 in
+          List.iter
+            (fun op ->
+              (match op with
+              | Push at ->
+                  incr n;
+                  I.schedule a ~at:(Sim_time.of_float at) !n;
+                  I.schedule b ~at:(Sim_time.of_float at) !n
+              | Pop | Clear -> ());
+              if not (I.is_empty a) then begin
+                let ta = I.next_time_exn a and pa = I.pop_exn a in
+                match I.pop b with
+                | Some (tb, pb) ->
+                    if not (Sim_time.equal ta tb && pa = pb) then
+                      QCheck2.Test.fail_report "exn/option disagree"
+                | None -> QCheck2.Test.fail_report "option empty, exn not"
+              end)
+            ops;
+          I.size a = I.size b)
+        [ (module Q.Indexed); (module Q.Heap) ])
+
+(* ---------------------------------------------------------------- *)
+(* steady-state retention                                            *)
+(* ---------------------------------------------------------------- *)
+
+let test_retention_bounded () =
+  (* a long run that never holds more than [width] events in flight:
+     live payloads must track the in-flight count exactly — the
+     vacated cells of the flat heap are dummied on every pop, so
+     nothing the queue has popped is still reachable through it *)
+  let q = Q.create () in
+  let width = 16 in
+  for round = 0 to 10_000 do
+    Q.schedule q
+      ~at:(Sim_time.of_float (float_of_int (round mod 97)))
+      (round, "payload");
+    if Q.size q >= width then ignore (Q.pop_exn q)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "live payloads (%d) bounded by in-flight width"
+       (Q.retained_payloads q))
+    true
+    (Q.retained_payloads q <= width);
+  Alcotest.(check int) "retained = size in steady state" (Q.size q)
+    (Q.retained_payloads q);
+  (* capacity settled at a small power-of-two over the width, not at
+     the 10k total it saw pass through *)
+  Alcotest.(check bool)
+    (Printf.sprintf "capacity (%d) bounded by the high watermark"
+       (Q.capacity q))
+    true
+    (Q.capacity q <= 64);
+  (* clear releases every payload at once *)
+  Q.clear q;
+  Alcotest.(check int) "clear drops to zero live payloads" 0
+    (Q.retained_payloads q);
+  Alcotest.(check int) "clear empties" 0 (Q.size q);
+  (* and scheduling after clear still works, with seq monotone (no
+     stale-order resurrection) *)
+  Q.schedule q ~at:(Sim_time.of_float 1.) (1, "a");
+  Q.schedule q ~at:(Sim_time.of_float 1.) (2, "b");
+  Alcotest.(check bool) "same-time order survives clear" true
+    (match (Q.pop q, Q.pop q) with
+    | Some (_, (1, _)), Some (_, (2, _)) -> true
+    | _ -> false)
+
+let test_heap_reference_retention () =
+  (* the reference keeps its payload table in lockstep too — the
+     differential suite depends on both impls agreeing on
+     [retained_payloads] *)
+  let q = Q.Heap.create () in
+  for i = 0 to 999 do
+    Q.Heap.schedule q ~at:(Sim_time.of_float (float_of_int (i mod 13))) i;
+    if Q.Heap.size q >= 8 then ignore (Q.Heap.pop_exn q)
+  done;
+  Alcotest.(check int) "heap retained = size" (Q.Heap.size q)
+    (Q.Heap.retained_payloads q);
+  Q.Heap.clear q;
+  Alcotest.(check int) "heap clear drops payloads" 0
+    (Q.Heap.retained_payloads q)
+
+let () =
+  Alcotest.run "event_queue"
+    [
+      ( "differential",
+        [ prop_differential; prop_exn_matches_option ] );
+      ( "retention",
+        [
+          Alcotest.test_case "indexed: live payloads bounded by in-flight"
+            `Quick test_retention_bounded;
+          Alcotest.test_case "heap reference keeps lockstep" `Quick
+            test_heap_reference_retention;
+        ] );
+    ]

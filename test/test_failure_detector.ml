@@ -111,6 +111,91 @@ let test_clamping_and_forget () =
   Alcotest.(check (float 0.)) "mu back to the prior" 10.
     (Fd.mean_interval d ~peer:1)
 
+let test_adaptive_heterogeneous_links () =
+  (* one observer, two links of equal mean rate but unequal noise:
+     peer 1 is metronomic (heartbeat-period arrivals), peer 2
+     alternates short and long gaps around the same mean. The adaptive
+     detector must (a) keep the quiet link's threshold — and hence its
+     detection time — exactly at the base, and (b) raise only the noisy
+     link's bar, absorbing the long half of its legitimate cadence that
+     the fixed detector false-suspects on. *)
+  let base = 1.5 and hb = 10. in
+  let mk adaptive =
+    Fd.create
+      (Fd.config ~threshold:base ~heartbeat_every:hb ~window:16 ~adaptive ())
+      ~universe:3 ~me:0
+  in
+  let fixed = mk 0. and adapt = mk 1.5 in
+  (* noisy cadence: bursts of nine 5-unit gaps, then one legitimate
+     40-unit silence — piggyback chatter alternating with a lull. The
+     burst drags the window mean far below the lull, so the fixed
+     detector's phi crosses its bar near the end of every lull. *)
+  let noisy_gap k = if k mod 10 = 0 then 40. else 5. in
+  let feed d =
+    (* identical evidence streams into both detectors *)
+    for k = 0 to 40 do
+      Fd.observe d ~peer:1 ~at:(hb *. float_of_int k)
+    done;
+    let t2 = ref 0. in
+    Fd.observe d ~peer:2 ~at:!t2;
+    for k = 1 to 40 do
+      t2 := !t2 +. noisy_gap k;
+      Fd.observe d ~peer:2 ~at:!t2
+    done;
+    !t2
+  in
+  let end_fixed = feed fixed in
+  let end_adapt = feed adapt in
+  Alcotest.(check (float 0.)) "identical feeds" end_fixed end_adapt;
+  (* quiet link: zero measured noise, so the adaptive bar IS the base
+     bar and the two detectors cross into suspicion at the same
+     silence *)
+  Alcotest.(check (float 1e-9)) "quiet link: cv 0" 0.
+    (Fd.interval_cv adapt ~peer:1);
+  Alcotest.(check (float 1e-9)) "quiet link: threshold unchanged" base
+    (Fd.effective_threshold adapt ~peer:1);
+  let detection_silence d ~peer =
+    (* earliest silence (0.1 steps) at which the detector suspects *)
+    let last = Option.get (Fd.last_heard d ~peer) in
+    let rec go s =
+      if Fd.suspicious d ~peer ~at:(last +. s) then s else go (s +. 0.1)
+    in
+    go 0.1
+  in
+  Alcotest.(check (float 1e-9)) "quiet link: equal detection time"
+    (detection_silence fixed ~peer:1)
+    (detection_silence adapt ~peer:1);
+  (* noisy link: the measured cv is real, the bar rises *)
+  Alcotest.(check bool) "noisy link: positive cv" true
+    (Fd.interval_cv adapt ~peer:2 > 0.3);
+  Alcotest.(check bool) "noisy link: threshold raised" true
+    (Fd.effective_threshold adapt ~peer:2 > base);
+  (* false suspicions: probe just before each arrival of another 40
+     gaps of the same cadence — every probe is legitimate silence,
+     every suspicion a false alarm *)
+  let false_alarms d =
+    let n = ref 0 and t2 = ref end_fixed in
+    for k = 41 to 80 do
+      t2 := !t2 +. noisy_gap k;
+      if Fd.suspicious d ~peer:2 ~at:(!t2 -. 0.5) then incr n;
+      Fd.observe d ~peer:2 ~at:!t2
+    done;
+    !n
+  in
+  let ff = false_alarms fixed and fa = false_alarms adapt in
+  Alcotest.(check bool)
+    (Printf.sprintf "noisy link: fewer false suspicions (%d < %d)" fa ff)
+    true
+    (fa < ff && ff > 0);
+  (* a real crash on the noisy link is still detected: silence grows
+     past even the raised bar *)
+  Alcotest.(check bool) "noisy link: genuine crash still detected" true
+    (Fd.suspicious adapt ~peer:2
+       ~at:(Option.get (Fd.last_heard adapt ~peer:2)
+           +. (Fd.effective_threshold adapt ~peer:2 *. Float.log 10.
+              *. (4. *. hb))
+           +. 1.))
+
 let test_detector_determinism () =
   let run () =
     let cfg = Fd.config ~threshold:2.5 ~heartbeat_every:7. ~window:6 () in
@@ -361,6 +446,48 @@ let test_false_suspicion_storm () =
   Alcotest.(check bool) "the storm produced suspicions" true (!storms > 0);
   Alcotest.(check int) "and refuted them all" !storms !refuted
 
+let test_adaptive_storm_suppression () =
+  (* end-to-end: the false-suspicion storm of [test_false_suspicion_storm]
+     (heavy-tailed network, twitchy threshold, zero crashes) re-run with
+     the adaptive gain on. Same seeds, same workload: the per-link noise
+     estimate must strictly reduce the total number of false suspicions
+     across the sweep, and every run must still end clean. *)
+  let sweep ~adaptive =
+    let total = ref 0 in
+    for seed = 1 to 8 do
+      let o =
+        Churn_campaign.run
+          (module Dsm_core.Opt_p)
+          ~spec:(mk_spec ~universe:5 ~seed)
+          ~latency:
+            (Latency.Bimodal
+               {
+                 fast = Latency.Exponential { mean = 6. };
+                 slow = Latency.Pareto { scale = 40.; shape = 1.3 };
+                 p_slow = 0.12;
+               })
+          ~plan:(Fault_plan.make []) ~initial:5
+          ~detector:
+            (Fd.config ~threshold:1.1 ~heartbeat_every:15. ~adaptive ())
+          ~seed ()
+      in
+      let ctx s =
+        Printf.sprintf "adaptive=%g seed %d: %s" adaptive seed s
+      in
+      Alcotest.(check bool) (ctx "clean") true o.Churn_campaign.clean;
+      Alcotest.(check int)
+        (ctx "every suspicion refuted")
+        o.Churn_campaign.false_suspicions o.Churn_campaign.refutations;
+      total := !total + o.Churn_campaign.false_suspicions
+    done;
+    !total
+  in
+  let off = sweep ~adaptive:0. and on = sweep ~adaptive:1. in
+  Alcotest.(check bool) "the fixed threshold stormed" true (off > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive suppresses the storm (%d < %d)" on off)
+    true (on < off)
+
 (* ---------------------------------------------------------------- *)
 (* delta state transfer                                              *)
 (* ---------------------------------------------------------------- *)
@@ -432,6 +559,8 @@ let () =
             test_clamping_and_forget;
           Alcotest.test_case "deterministic phi trace" `Quick
             test_detector_determinism;
+          Alcotest.test_case "adaptive thresholds on heterogeneous links"
+            `Quick test_adaptive_heterogeneous_links;
         ] );
       ( "emergent membership",
         [
@@ -448,6 +577,8 @@ let () =
         [
           Alcotest.test_case "slow-but-alive: suspected, refuted, clean"
             `Quick test_false_suspicion_storm;
+          Alcotest.test_case "adaptive gain suppresses the storm" `Quick
+            test_adaptive_storm_suppression;
         ] );
       ( "delta transfer",
         [
