@@ -1082,6 +1082,83 @@ module Engine_bench = struct
       Some { rows; m5_indexed_ns; m5_heap_ns; bursts; burst_size; brows }
 end
 
+module Nemesis_bench = struct
+  module N = Dsm_runtime.Nemesis
+
+  type summary = {
+    xscenarios : int;
+    xscenario_ok : int;
+    xswarm_total : int;
+    xswarm_accepted : int;
+    xcounts : (string * int) list;  (** verdict tally, fixed order *)
+    xsched_per_sec : float;
+    xcanary_total : int;
+    xcanary_caught : int;
+    xshrinks : (string * int * int * int) list;
+        (** (schedule, events before, events after, campaign runs) *)
+  }
+
+  let results : summary option ref = ref None
+
+  let run ~quick () =
+    (* scenario corpus: every named schedule on its expected verdict *)
+    let ok = ref 0 in
+    List.iter
+      (fun (sc : N.scenario) ->
+        let r = N.run sc.sched_ in
+        let good = List.mem r.verdict sc.expected in
+        if good then incr ok;
+        Printf.printf "  %-22s %-18s %s\n%!" sc.sched_.N.name
+          (N.verdict_name r.verdict)
+          (if good then "ok" else "UNEXPECTED"))
+      N.scenarios;
+    (* swarm throughput + verdict table *)
+    let count = if quick then 64 else 1000 in
+    let t0 = Sys.time () in
+    let rep = N.swarm ~seed:1 ~count () in
+    let wall = Sys.time () -. t0 in
+    let rate = float_of_int rep.N.total /. Float.max wall 1e-9 in
+    Printf.printf "  swarm: %d schedules, %d accepted, %.0f schedules/sec\n%!"
+      rep.N.total rep.N.accepted_count rate;
+    List.iter
+      (fun (v, k) ->
+        if k > 0 then Printf.printf "    %-18s %d\n%!" (N.verdict_name v) k)
+      rep.N.counts;
+    (* the canary self-test: the swarm must catch the buggy protocol,
+       and the shrinker must cut its reproducers down *)
+    let canary_count = if quick then 4 else 16 in
+    let crep = N.swarm ~protocol:"canary" ~seed:42 ~count:canary_count () in
+    let caught = crep.N.total - crep.N.accepted_count in
+    Printf.printf "  canary: %d/%d schedules caught\n%!" caught crep.N.total;
+    let shrinks =
+      crep.N.failures
+      |> List.filteri (fun i _ -> i < if quick then 2 else 4)
+      |> List.map (fun (r : N.result) ->
+             let sh = N.shrink r.sched ~target:r.verdict in
+             Printf.printf "  shrink %s: %d -> %d events in %d runs\n%!"
+               sh.N.minimal.N.name sh.N.events_before sh.N.events_after
+               sh.N.attempts;
+             ( sh.N.minimal.N.name,
+               sh.N.events_before,
+               sh.N.events_after,
+               sh.N.attempts ))
+    in
+    results :=
+      Some
+        {
+          xscenarios = List.length N.scenarios;
+          xscenario_ok = !ok;
+          xswarm_total = rep.N.total;
+          xswarm_accepted = rep.N.accepted_count;
+          xcounts =
+            List.map (fun (v, k) -> (N.verdict_name v, k)) rep.N.counts;
+          xsched_per_sec = rate;
+          xcanary_total = crep.N.total;
+          xcanary_caught = caught;
+          xshrinks = shrinks;
+        }
+end
+
 (* results captured for --json; filled by the section bodies *)
 let stress_quick = ref false
 let stress_result : Stress.result option ref = ref None
@@ -1124,6 +1201,9 @@ let sections =
     ( "E",
       "engine throughput: indexed queue, arena, delivery batching",
       fun () -> Engine_bench.run ~quick:!stress_quick () );
+    ( "X",
+      "nemesis: scenario corpus, fault swarm, canary shrink",
+      fun () -> Nemesis_bench.run ~quick:!stress_quick () );
   ]
 
 (* per-section GC pressure for --json: (name, minor words, major words)
@@ -1545,6 +1625,55 @@ let write_engine_json file =
           Printf.eprintf "--engine-json: cannot write %s (%s)\n" file e;
           exit 1)
 
+let write_nemesis_json file =
+  match !Nemesis_bench.results with
+  | None -> ()
+  | Some s ->
+      let module X = Nemesis_bench in
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+      Buffer.add_string buf "  \"section\": \"nemesis\",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"scenarios\": { \"total\": %d, \"on_expected_verdict\": %d },\n"
+           s.X.xscenarios s.X.xscenario_ok);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"swarm\": { \"schedules\": %d, \"accepted\": %d, \
+            \"schedules_per_sec\": %.1f,\n\
+           \             \"verdicts\": {"
+           s.X.xswarm_total s.X.xswarm_accepted s.X.xsched_per_sec);
+      List.iteri
+        (fun i (name, k) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "\"%s\": %d" name k))
+        s.X.xcounts;
+      Buffer.add_string buf " } },\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"canary\": { \"schedules\": %d, \"caught\": %d },\n"
+           s.X.xcanary_total s.X.xcanary_caught);
+      Buffer.add_string buf "  \"shrinks\": [";
+      List.iteri
+        (fun i (name, before, after, attempts) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n    { \"schedule\": \"%s\", \"events_before\": %d, \
+                \"events_after\": %d, \"campaign_runs\": %d }"
+               (json_escape name) before after attempts))
+        s.X.xshrinks;
+      Buffer.add_string buf
+        (if s.X.xshrinks = [] then "]\n}\n" else "\n  ]\n}\n");
+      (match open_out file with
+      | oc ->
+          output_string oc (Buffer.contents buf);
+          close_out oc;
+          Printf.printf "\nwrote %s\n" file
+      | exception Sys_error e ->
+          Printf.eprintf "--nemesis-json: cannot write %s (%s)\n" file e;
+          exit 1)
+
 (* [--opt=v] or [--opt v] *)
 let keyed_arg key args =
   let eq = key ^ "=" in
@@ -1605,4 +1734,8 @@ let () =
     write_engine_json
       (Option.value ~default:"BENCH_engine_throughput.json"
          (keyed_arg "--engine-json" args));
+  if !Nemesis_bench.results <> None then
+    write_nemesis_json
+      (Option.value ~default:"BENCH_nemesis.json"
+         (keyed_arg "--nemesis-json" args));
   Option.iter write_json json_path

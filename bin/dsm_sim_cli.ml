@@ -3,6 +3,8 @@
    Subcommands:
      run      simulate a workload under one protocol and audit the run
      explain  run, then print the provenance of every write delay
+     nemesis  adversarial combined-fault campaigns, swarm + shrinker
+     plan     validate a fault plan and show which driver runs it
      tables   regenerate the paper's tables and figures
      sweep    run a quantitative experiment (Q1..Q6)
      graph    emit the write causality graph of a run (Graphviz)
@@ -14,7 +16,10 @@
      dsm-sim explain --protocol anbkh --seed 3
      dsm-sim tables --section T1
      dsm-sim sweep --experiment q2   (q1..q11)
-     dsm-sim graph -n 4 --ops 20 *)
+     dsm-sim graph -n 4 --ops 20
+     dsm-sim nemesis                 (scenario corpus)
+     dsm-sim nemesis --swarm 64 --seed 7 --shrink --out min.json
+     dsm-sim nemesis --replay min.json *)
 
 open Cmdliner
 
@@ -1035,75 +1040,348 @@ let explain_cmd =
     term
 
 (* ---------------------------------------------------------------- *)
+(* nemesis                                                           *)
+(* ---------------------------------------------------------------- *)
+
+module Nemesis = Dsm_runtime.Nemesis
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok text
+  | exception Sys_error msg -> Error msg
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let nemesis_cmd =
+  let swarm_count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "swarm" ] ~docv:"N"
+          ~doc:
+            "Swarm mode: run $(docv) randomized combined-fault schedules \
+             derived from --seed, classify each, and summarize the \
+             verdict tally. Exits non-zero if any schedule lands outside \
+             the accepted verdicts (clean, refuted-suspicion).")
+  in
+  let scenario_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Run one named scenario from the corpus (see \
+             --list-scenarios) and check its verdict against the \
+             scenario's expected set.")
+  in
+  let list_scenarios =
+    Arg.(
+      value & flag
+      & info [ "list-scenarios" ]
+          ~doc:"List the scenario corpus (name, expected verdicts, what \
+                it exercises) and exit.")
+  in
+  let shrink_flag =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "On failure, greedily delta-debug the first failing schedule \
+             to a minimal fault schedule still producing the same \
+             verdict; combine with --out to save the reproducer.")
+  in
+  let out_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the failing (shrunk, with --shrink) schedule as \
+             replayable $(b,causal-dsm-nemesis-plan/v1) JSON to $(docv). \
+             With --replay, re-serializes the loaded schedule (canonical \
+             round-trip).")
+  in
+  let replay_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a schedule from $(docv) (JSON emitted by --out) and \
+             print its verdict. Deterministic: two replays of one file \
+             produce byte-identical output.")
+  in
+  let nemesis_protocol =
+    Arg.(
+      value
+      & opt string "optp"
+      & info [ "protocol"; "p" ] ~docv:"P"
+          ~doc:
+            "Protocol under attack in swarm mode: $(b,optp), $(b,anbkh), \
+             $(b,optp-direct), or $(b,canary) (a deliberately buggy \
+             per-sender-FIFO protocol — the swarm must catch it).")
+  in
+  let shrink_and_out ~shrink ~out (r : Nemesis.result) =
+    let sched =
+      if shrink then begin
+        let sh = Nemesis.shrink r.sched ~target:r.verdict in
+        Format.printf "%a@." Nemesis.pp_shrink_report sh;
+        sh.minimal
+      end
+      else r.sched
+    in
+    match out with
+    | None -> ()
+    | Some path ->
+        write_file path (Nemesis.to_json_string sched);
+        Format.printf "reproducer -> %s@." path
+  in
+  let action count scenario list_s shrink out replay proto seed =
+    if Nemesis.protocol_by_name proto = None then
+      `Error
+        ( false,
+          Printf.sprintf "unknown protocol %S (expected %s)" proto
+            (String.concat " | " Nemesis.protocol_names) )
+    else if list_s then begin
+      List.iter
+        (fun (sc : Nemesis.scenario) ->
+          Format.printf "%-22s [%s]@.    %s@." sc.sched_.Nemesis.name
+            (String.concat "; "
+               (List.map Nemesis.verdict_name sc.expected))
+            sc.about)
+        Nemesis.scenarios;
+      `Ok ()
+    end
+    else
+      match replay with
+      | Some path -> (
+          match read_file path with
+          | Error msg -> `Error (false, msg)
+          | Ok text -> (
+              match Nemesis.of_json_string text with
+              | Error msg -> `Error (false, msg)
+              | Ok sched ->
+                  let r = Nemesis.run sched in
+                  Format.printf "%a@." Nemesis.pp_result r;
+                  Option.iter
+                    (fun p ->
+                      write_file p (Nemesis.to_json_string sched);
+                      Format.printf "reproducer -> %s@." p)
+                    out;
+                  `Ok ()))
+      | None -> (
+          match scenario with
+          | Some name -> (
+              match Nemesis.find_scenario name with
+              | None ->
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "unknown scenario %S (try --list-scenarios)" name )
+              | Some sc ->
+                  let r = Nemesis.run sc.sched_ in
+                  let ok = List.mem r.verdict sc.expected in
+                  Format.printf "%a@.expected: [%s] — %s@." Nemesis.pp_result
+                    r
+                    (String.concat "; "
+                       (List.map Nemesis.verdict_name sc.expected))
+                    (if ok then "as expected" else "UNEXPECTED");
+                  if ok then `Ok ()
+                  else begin
+                    shrink_and_out ~shrink ~out r;
+                    `Error (false, "scenario verdict unexpected")
+                  end)
+          | None -> (
+              match count with
+              | Some n ->
+                  let rep = Nemesis.swarm ~protocol:proto ~seed ~count:n () in
+                  Format.printf "%a@." Nemesis.pp_swarm_report rep;
+                  if rep.failures = [] then `Ok ()
+                  else begin
+                    (match rep.failures with
+                    | r :: _ -> shrink_and_out ~shrink ~out r
+                    | [] -> ());
+                    `Error
+                      ( false,
+                        Printf.sprintf "%d/%d schedules not accepted"
+                          (rep.total - rep.accepted_count)
+                          rep.total )
+                  end
+              | None ->
+                  (* full scenario table *)
+                  let bad = ref 0 in
+                  List.iter
+                    (fun (sc : Nemesis.scenario) ->
+                      let r = Nemesis.run sc.sched_ in
+                      let ok = List.mem r.verdict sc.expected in
+                      if not ok then incr bad;
+                      Format.printf "%-22s %-18s expected [%s] %s@."
+                        sc.sched_.Nemesis.name
+                        (Nemesis.verdict_name r.verdict)
+                        (String.concat "; "
+                           (List.map Nemesis.verdict_name sc.expected))
+                        (if ok then "ok" else "UNEXPECTED"))
+                    Nemesis.scenarios;
+                  if !bad = 0 then `Ok ()
+                  else
+                    `Error
+                      ( false,
+                        Printf.sprintf "%d scenario(s) off their expected \
+                                        verdicts"
+                          !bad )))
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ swarm_count $ scenario_name $ list_scenarios
+       $ shrink_flag $ out_file $ replay_file $ nemesis_protocol $ seed))
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Unified adversarial fault campaigns: compose crashes, \
+          partitions, churn, asymmetric link cuts, flapping, delay \
+          inflation, corruption and an accrual failure detector in one \
+          schedule, judge the run with one verdict taxonomy (clean, \
+          refuted-suspicion, unnecessary-delay, ghost-leak, diverged, \
+          violation, stuck), and on failure shrink the schedule to a \
+          minimal replayable JSON reproducer. Default: run the scenario \
+          corpus; --swarm N for randomized schedules; --replay FILE to \
+          reproduce a saved case.")
+    term
+
+(* ---------------------------------------------------------------- *)
 (* plan                                                              *)
 (* ---------------------------------------------------------------- *)
+
+(* a plan that composes fault families is the nemesis driver's: link
+   faults always (no other driver arms them), and membership changes
+   mixed with static faults (crashes/partitions) *)
+let combined_plan plan =
+  Fault_plan.has_link_faults plan
+  || Fault_plan.has_churn plan
+     && List.exists
+          (function
+            | Fault_plan.Crash _ | Fault_plan.Recover _ | Fault_plan.Cut _
+            | Fault_plan.Heal _ ->
+                true
+            | _ -> false)
+          plan
 
 let plan_cmd =
   let driver =
     Arg.(
       value
-      & opt (enum [ ("auto", `Auto); ("fault", `Fault); ("churn", `Churn) ])
+      & opt
+          (enum
+             [
+               ("auto", `Auto);
+               ("fault", `Fault);
+               ("churn", `Churn);
+               ("nemesis", `Nemesis);
+             ])
           `Auto
       & info [ "driver" ] ~docv:"D"
           ~doc:
             "Validate against this driver's acceptance rules: $(b,fault) \
              (static membership — refuses join/leave events), $(b,churn) \
-             (dynamic membership over the slot universe), or $(b,auto) \
-             (churn when the plan has membership events, fault \
-             otherwise).")
+             (dynamic membership over the slot universe), $(b,nemesis) \
+             (combined fault schedules: every family at once), or \
+             $(b,auto) (nemesis when the plan combines fault families — \
+             link faults, or membership events mixed with \
+             crashes/partitions — churn when it has membership events \
+             alone, fault otherwise).")
   in
-  let action n seed crashes partitions joins leaves initial churn driver =
-    match
-      churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves ~initial
-        ~churn
-    with
-    | Error msg -> `Error (false, msg)
-    | Ok (plan, ini) -> (
-        let accept =
-          match driver with
-          | `Fault -> (
-              match Fault_campaign.validate_plan ~n plan with
-              | exception Invalid_argument msg -> Error msg
-              | () -> Ok "fault-campaign")
-          | `Churn | `Auto when Fault_plan.has_churn plan || driver = `Churn
-            -> (
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Validate a replayable nemesis schedule \
+             ($(b,causal-dsm-nemesis-plan/v1) JSON, as emitted by \
+             $(b,dsm-sim nemesis --out)) instead of building a plan from \
+             flags; prints its expanded event schedule.")
+  in
+  let action n seed crashes partitions joins leaves initial churn driver
+      plan_file =
+    match plan_file with
+    | Some path -> (
+        match read_file path with
+        | Error msg -> `Error (false, msg)
+        | Ok text -> (
+            match Nemesis.of_json_string text with
+            | Error msg -> `Error (false, msg)
+            | Ok sched ->
+                Format.printf
+                  "universe: %d slots, %d initial members@.driver: \
+                   nemesis@.protocol: %s, seed %d@.events: %d@.%a@."
+                  sched.Nemesis.universe sched.Nemesis.initial
+                  sched.Nemesis.protocol sched.Nemesis.seed
+                  (List.length sched.Nemesis.plan)
+                  Fault_plan.pp sched.Nemesis.plan;
+                `Ok ()))
+    | None -> (
+        match
+          churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves ~initial
+            ~churn
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok (plan, ini) -> (
+            let validate_universe label =
               match
                 Fault_plan.validate ~n
                   ~initial:(List.init ini (fun i -> i))
                   plan
               with
               | exception Invalid_argument msg -> Error msg
-              | () -> Ok "churn-campaign")
-          | _ -> (
-              match Fault_campaign.validate_plan ~n plan with
-              | exception Invalid_argument msg -> Error msg
-              | () -> Ok "fault-campaign")
-        in
-        match accept with
-        | Error msg -> `Error (false, msg)
-        | Ok accepted_by ->
-            Format.printf
-              "universe: %d slots, %d initial members@.driver: \
-               %s@.events: %d@.%a@."
-              n ini accepted_by (List.length plan) Fault_plan.pp plan;
-            `Ok ())
+              | () -> Ok label
+            in
+            let accept =
+              match driver with
+              | `Fault -> (
+                  match Fault_campaign.validate_plan ~n plan with
+                  | exception Invalid_argument msg -> Error msg
+                  | () -> Ok "fault-campaign")
+              | `Nemesis -> validate_universe "nemesis"
+              | `Auto when combined_plan plan -> validate_universe "nemesis"
+              | `Churn | `Auto when Fault_plan.has_churn plan || driver = `Churn
+                ->
+                  validate_universe "churn-campaign"
+              | _ -> (
+                  match Fault_campaign.validate_plan ~n plan with
+                  | exception Invalid_argument msg -> Error msg
+                  | () -> Ok "fault-campaign")
+            in
+            match accept with
+            | Error msg -> `Error (false, msg)
+            | Ok accepted_by ->
+                Format.printf
+                  "universe: %d slots, %d initial members@.driver: \
+                   %s@.events: %d@.%a@."
+                  n ini accepted_by (List.length plan) Fault_plan.pp plan;
+                `Ok ()))
   in
   let term =
     Term.(
       ret
         (const action $ n_procs $ seed $ crashes $ partitions $ joins
-       $ leaves $ initial_members $ churn $ driver))
+       $ leaves $ initial_members $ churn $ driver $ plan_file))
   in
   Cmd.v
     (Cmd.info "plan"
        ~doc:
          "Expand and validate a fault/churn plan without running it: \
           print the time-sorted event schedule built from \
-          --crash/--partition/--join/--leave/--churn and check it \
-          against the chosen campaign driver's acceptance rules. Exits \
-          non-zero (with the driver's own message) when the plan is \
-          rejected — e.g. a churny plan offered to the static \
-          fault-campaign driver.")
+          --crash/--partition/--join/--leave/--churn (or loaded from a \
+          nemesis reproducer with --file) and check it against the \
+          chosen campaign driver's acceptance rules. Exits non-zero \
+          (with the driver's own message) when the plan is rejected — \
+          e.g. a churny plan offered to the static fault-campaign \
+          driver.")
     term
 
 (* ---------------------------------------------------------------- *)
@@ -1230,4 +1508,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd; explain_cmd; plan_cmd; tables_cmd; sweep_cmd; graph_cmd ]))
+          [
+            run_cmd;
+            explain_cmd;
+            nemesis_cmd;
+            plan_cmd;
+            tables_cmd;
+            sweep_cmd;
+            graph_cmd;
+          ]))

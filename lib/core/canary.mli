@@ -1,0 +1,17 @@
+(** Deliberately buggy protocol — the nemesis harness's self-test.
+
+    A {e per-sender FIFO} broadcast masquerading as a causal one: a
+    received write is applied as soon as the sender's own chain is
+    gap-free, ignoring cross-issuer causal dependencies entirely. Under
+    message reordering, a process can apply a write [w2] whose issuer
+    had read some other process's write [w1] before [w1] itself arrives
+    — a textbook delivery-order (safety) violation that
+    {!Checker.check} flags from the ground-truth [↦co] order.
+
+    The harness-facing machinery is honest: per-sender applies are
+    contiguous (so anti-entropy log re-supply works), duplicates are
+    dropped, snapshots round-trip. Only causal ordering is broken — by
+    design. A fault swarm that cannot catch this protocol is not
+    testing anything; see {!Nemesis}. Never use outside tests. *)
+
+include Protocol.S

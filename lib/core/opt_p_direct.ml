@@ -71,8 +71,10 @@ let immediate_deps t ~wco ~dot =
       not
         (List.exists
            (fun d' ->
+             (* [seen] vectors keep their send-time width across {!grow};
+                components beyond a vector's size are implicit zeros *)
              (not (Dot.equal d d'))
-             && Dot.seq d <= V.get (vector_of d') (Dot.replica d))
+             && Dot.seq d <= V.get0 (vector_of d') (Dot.replica d))
            candidates))
     candidates
 

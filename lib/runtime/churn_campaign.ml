@@ -88,6 +88,9 @@ type outcome = {
   chan_stale_quarantined : int;
   net_stale_dropped : int;
   net_nonmember_dropped : int;
+  net_oneway_dropped : int;
+  net_flap_dropped : int;
+  net_delay_inflated : int;
   corrupt_dropped : int;
   aborted_payloads : int;
   payloads_sent : int;
@@ -150,19 +153,21 @@ let count_quarantine_leaks execution =
 let run (type pt pm)
     (module P : Protocol.S with type t = pt and type msg = pm) ~spec
     ~latency ?(faults = Network.no_faults) ~plan ~initial ?detector
-    ?(checkpoint_every = 50.) ?(sync_rounds = 2) ?(sync_interval = 100.)
-    ?(flush_poll = 10.) ?(settle = true) ?(retransmit_after = 50.)
-    ?(seed = 1) ?(max_steps = 20_000_000) ?(metrics = Metrics.null ())
-    ?(queue = Engine.Indexed) ?(arena = true) ?(batch = false) () =
+    ?(mixed = false) ?(checkpoint_every = 50.) ?(sync_rounds = 2)
+    ?(sync_interval = 100.) ?(flush_poll = 10.) ?(settle = true)
+    ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
+    ?(metrics = Metrics.null ()) ?(queue = Engine.Indexed) ?(arena = true)
+    ?(batch = false) () =
   let universe = spec.Spec.n and m = spec.Spec.m in
   if initial < 2 || initial > universe then
     invalid_arg "Churn_campaign.run: need 2 <= initial <= spec.n slots";
   let fd_on = detector <> None in
-  if fd_on && Fault_plan.has_churn plan then
+  if fd_on && (not mixed) && Fault_plan.has_churn plan then
     invalid_arg
       "Churn_campaign.run: emergent mode scripts no membership — drop the \
        Join/Leave events; crashes and partitions are the only inputs, the \
-       detector produces the view history";
+       detector produces the view history (pass ~mixed:true — the nemesis \
+       driver does — to combine both)";
   let initial_slots = List.init initial Fun.id in
   Fault_plan.validate ~n:universe ~initial:initial_slots plan;
   if checkpoint_every <= 0. then
@@ -583,6 +588,15 @@ let run (type pt pm)
       Membership.crash membership ~at:(Engine.now engine) p;
       sync_view ();
       push_reason "p%d crashed (plan)" (p + 1)
+    end
+    else if mixed && Membership.is_active membership p then begin
+      (* mixed mode: a scripted crash is operator knowledge — the view
+         reflects it immediately, and the detector (which only judges
+         active peers) never has to discover it.  Skipped when a
+         suspicion already marked the slot down. *)
+      Membership.crash membership ~at:(Engine.now engine) p;
+      sync_view ();
+      push_reason "p%d crashed (plan)" (p + 1)
     end;
     node.down <- true;
     node.ever_crashed <- true;
@@ -660,6 +674,14 @@ let run (type pt pm)
       Membership.recover membership ~at:(Engine.now engine) p;
       sync_view ();
       push_reason "p%d recovered (plan)" (p + 1)
+    end
+    else if mixed && not (Membership.is_active membership p) then begin
+      (* mixed mode: the scripted crash put the slot down in the view
+         (or a suspicion did); a scripted recover re-admits it under
+         the same incarnation, PR 2 style *)
+      Membership.recover membership ~at:(Engine.now engine) p;
+      sync_view ();
+      push_reason "p%d recovered (plan)" (p + 1)
     end;
     node.down <- false;
     Network.mark_recovered network p;
@@ -670,7 +692,14 @@ let run (type pt pm)
       for q = 0 to universe - 1 do
         if q <> p then begin
           Failure_detector.forget detectors.(p) ~peer:q;
-          Failure_detector.observe detectors.(p) ~peer:q ~at:(nowf ())
+          Failure_detector.observe detectors.(p) ~peer:q ~at:(nowf ());
+          if mixed then begin
+            (* and the peers heard nothing from it while it was down
+               but outside the view: without a re-arm its pre-crash
+               silence would be suspected on the next accrual tick *)
+            Failure_detector.forget detectors.(q) ~peer:p;
+            Failure_detector.observe detectors.(q) ~peer:p ~at:(nowf ())
+          end
         end
       done;
       (* if a detector already turned this crash into a [Down], the
@@ -693,6 +722,22 @@ let run (type pt pm)
     width := max !width (p + 1);
     grow_all ();
     sync_view ();
+    if fd_on then begin
+      (* mixed mode: the detectors were seeded at t=0, so without a
+         re-arm a scripted joiner entering mid-run would look silent
+         since the beginning of time and be suspected on the next
+         accrual tick.  Fresh clocks on both sides, exactly as the
+         refutation-driven rejoin does. *)
+      suspected_at.(p) <- infinity;
+      for q = 0 to universe - 1 do
+        if q <> p then begin
+          Failure_detector.forget detectors.(q) ~peer:p;
+          Failure_detector.observe detectors.(q) ~peer:p ~at:(nowf ());
+          Failure_detector.forget detectors.(p) ~peer:q;
+          Failure_detector.observe detectors.(p) ~peer:q ~at:(nowf ())
+        end
+      done
+    end;
     if fresh then begin
       (* bootstrap: empty state, then the sponsor's transfer (the full
          log: a fresh joiner's vector is all zeros) arrives through the
@@ -731,6 +776,15 @@ let run (type pt pm)
        payload this slot originated has been acknowledged, so its
        writes are all delivered somewhere durable — then leave *)
     let depart () =
+      if not (Membership.is_active membership p) then
+        (* mixed mode: a detector suspicion (or refutation still in
+           flight) won the race with this scripted leave — the slot is
+           not a live member, so there is nothing to depart from.  The
+           slot stays flushing/quiet; the detector pipeline owns its
+           fate now. *)
+        push_reason "p%d leave skipped: not active when the flush drained"
+          (p + 1)
+      else begin
       commit node;
       Membership.leave membership ~at:(Engine.now engine) p;
       sync_view ();
@@ -740,6 +794,7 @@ let run (type pt pm)
       aborted := !aborted + Reliable_channel.abort_peer channel ~peer:p;
       incr leaves;
       Metrics.incr probe_leaves
+      end
     in
     let rec poll tries =
       if tries > 10_000 then
@@ -756,6 +811,12 @@ let run (type pt pm)
   Fault_plan.install plan ~engine ~on_join ~on_leave ~on_crash ~on_recover
     ~on_cut:(fun groups -> Network.partition network groups)
     ~on_heal:(fun () -> Network.heal_all network)
+    ~on_cut_oneway:(fun ~src ~dst -> Network.cut_oneway network ~src ~dst)
+    ~on_heal_oneway:(fun ~src ~dst -> Network.heal_oneway network ~src ~dst)
+    ~on_flap:(fun ~a ~b ~period ~until_ ->
+      Network.flap network ~a ~b ~period ~until_)
+    ~on_inflate:(fun ~src ~dst ~factor ~until_ ->
+      Network.inflate network ~src ~dst ~factor ~until_)
     ();
 
   (* ---- workload ---------------------------------------------------- *)
@@ -919,8 +980,13 @@ let run (type pt pm)
              traffic already piggybacked as evidence *)
           for p = 0 to universe - 1 do
             let node = nodes.(p) in
+            (* a flushing slot is still alive and still judged by every
+               peer's accrual loop below — it must keep gossiping until
+               it actually departs, or a scripted leave under an armed
+               detector (mixed mode) turns into an unrefutable false
+               suspicion *)
             if
-              (not node.down) && (not node.leaving)
+              (not node.down)
               && node.proto <> None
               && Membership.is_member membership p
             then
@@ -1146,6 +1212,9 @@ let run (type pt pm)
     chan_stale_quarantined = Reliable_channel.stale_quarantined channel;
     net_stale_dropped = Network.messages_stale_dropped network;
     net_nonmember_dropped = Network.messages_nonmember_dropped network;
+    net_oneway_dropped = Network.messages_oneway_dropped network;
+    net_flap_dropped = Network.messages_flap_dropped network;
+    net_delay_inflated = Network.messages_delay_inflated network;
     corrupt_dropped = Reliable_channel.corrupt_dropped channel;
     aborted_payloads = !aborted;
     payloads_sent = Reliable_channel.payloads_sent channel;

@@ -140,6 +140,12 @@ type outcome = {
   net_nonmember_dropped : int;
       (** deliveries to slots outside the view (raced a leave, or
           never joined) *)
+  net_oneway_dropped : int;
+      (** transmissions lost to an asymmetric (one-way) link cut *)
+  net_flap_dropped : int;
+      (** transmissions lost to a flapping link's cut phase *)
+  net_delay_inflated : int;
+      (** transmissions delivered late under a delay-inflation spike *)
   corrupt_dropped : int;
   aborted_payloads : int;
   payloads_sent : int;
@@ -158,6 +164,7 @@ val run :
   plan:Dsm_sim.Fault_plan.t ->
   initial:int ->
   ?detector:Failure_detector.config ->
+  ?mixed:bool ->
   ?checkpoint_every:float ->
   ?sync_rounds:int ->
   ?sync_interval:float ->
@@ -197,9 +204,17 @@ val run :
     and re-admits the slot through the crash-rejoin path (incarnation
     bump, sponsor delta transfer, group sync) — false positives are
     survivable by construction.
+
+    [?mixed] (default [false]) lifts the emergent-mode restriction and
+    lets a detector run {e alongside} scripted [Join]/[Leave] events —
+    the adversarial composition the {!Nemesis} driver exercises. A
+    scripted join re-arms the joiner's detector clocks on both sides
+    (otherwise its t=0-seeded silence would be suspected on the next
+    accrual tick) and a scripted leave that loses a race with a
+    suspicion is skipped with a recorded view reason.
     @raise Invalid_argument if [initial < 2] or [initial > spec.n], or
     the plan is invalid for that universe, or [?detector] is combined
-    with a plan containing [Join]/[Leave] events. *)
+    with a plan containing [Join]/[Leave] events without [~mixed:true]. *)
 
 val catch_up_latency : catch_up -> float option
 

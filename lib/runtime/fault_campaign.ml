@@ -101,9 +101,10 @@ let validate_plan ~n plan =
     invalid_arg
       (Format.asprintf
          "Fault_campaign.run: static membership only, but the plan contains \
-          %a — membership changes need the churn driver: \
-          Churn_campaign.run (CLI: dsm-sim run --join/--leave/--churn, or \
-          --fd for detector-driven views)"
+          %a — membership changes need a churn-aware driver: \
+          Nemesis.run for combined fault schedules (CLI: dsm-sim \
+          nemesis), or Churn_campaign.run for churn alone (CLI: dsm-sim run \
+          --join/--leave/--churn, or --fd for detector-driven views)"
          Fault_plan.pp_event ev));
   Fault_plan.validate ~n plan
 
@@ -475,6 +476,12 @@ let run (type pt pm)
     ~on_crash ~on_recover
     ~on_cut:(fun groups -> Network.partition network groups)
     ~on_heal:(fun () -> Network.heal_all network)
+    ~on_cut_oneway:(fun ~src ~dst -> Network.cut_oneway network ~src ~dst)
+    ~on_heal_oneway:(fun ~src ~dst -> Network.heal_oneway network ~src ~dst)
+    ~on_flap:(fun ~a ~b ~period ~until_ ->
+      Network.flap network ~a ~b ~period ~until_)
+    ~on_inflate:(fun ~src ~dst ~factor ~until_ ->
+      Network.inflate network ~src ~dst ~factor ~until_)
     ();
 
   (* ---- workload ---------------------------------------------------- *)

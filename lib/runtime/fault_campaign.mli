@@ -108,9 +108,11 @@ val validate_plan : n:int -> Dsm_sim.Fault_plan.t -> unit
 (** The acceptance check {!run} applies to its plan: well-formed for a
     universe of [n] ({!Dsm_sim.Fault_plan.validate}) and {e static} —
     this harness never changes the replica set, so a plan with
-    [Join]/[Leave] events is refused with a message pointing at
-    {!Churn_campaign} (and the CLI's churn/detector flags), which owns
-    membership.
+    [Join]/[Leave] events is refused with a message pointing at the
+    drivers that own membership: {!Nemesis} for combined fault
+    schedules, {!Churn_campaign} (and the CLI's churn/detector flags)
+    for churn alone. Link-level fault events ([Cut_oneway], [Flap],
+    [Inflate]) are static-membership faults and are accepted.
     @raise Invalid_argument otherwise. *)
 
 val run :

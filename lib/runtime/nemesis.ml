@@ -1,0 +1,1142 @@
+module Latency = Dsm_sim.Latency
+module Network = Dsm_sim.Network
+module Fault_plan = Dsm_sim.Fault_plan
+module Sim_time = Dsm_sim.Sim_time
+module Rng = Dsm_sim.Rng
+module Spec = Dsm_workload.Spec
+module Protocol = Dsm_core.Protocol
+
+(* ---------------------------------------------------------------- *)
+(* Verdicts                                                          *)
+(* ---------------------------------------------------------------- *)
+
+type verdict =
+  | Clean
+  | Refuted_suspicion
+  | Unnecessary_delay
+  | Ghost_leak
+  | Diverged
+  | Violation
+  | Stuck
+
+let all_verdicts =
+  [
+    Clean;
+    Refuted_suspicion;
+    Unnecessary_delay;
+    Ghost_leak;
+    Diverged;
+    Violation;
+    Stuck;
+  ]
+
+let verdict_name = function
+  | Clean -> "clean"
+  | Refuted_suspicion -> "refuted-suspicion"
+  | Unnecessary_delay -> "unnecessary-delay"
+  | Ghost_leak -> "ghost-leak"
+  | Diverged -> "diverged"
+  | Violation -> "violation"
+  | Stuck -> "stuck"
+
+let verdict_of_name s =
+  List.find_opt (fun v -> verdict_name v = s) all_verdicts
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_name v)
+
+let accepted = function
+  | Clean | Refuted_suspicion -> true
+  | Unnecessary_delay | Ghost_leak | Diverged | Violation | Stuck -> false
+
+let classify ~optimal (o : Churn_campaign.outcome) =
+  let r = o.report in
+  (* a false suspicion is resolved when a later heartbeat refuted it,
+     when the slot re-entered the view anyway (scripted recover or
+     rejoin — it is active at the end), or when the plan meant for the
+     slot to be gone regardless (left down, or scheduled to leave);
+     only a live slot left permanently ejected is divergence *)
+  let gone_by_plan p =
+    List.mem p (Fault_plan.down_at_end o.plan)
+    || List.exists
+         (function
+           | Fault_plan.Leave { proc; _ } -> proc = p
+           | _ -> false)
+         o.plan
+  in
+  let unrefuted_false_suspicion =
+    List.exists
+      (fun (s : Churn_campaign.suspicion) ->
+        (not s.strue)
+        && s.srefuted_at = None
+        && (not (List.mem s.speer o.active_at_end))
+        && not (gone_by_plan s.speer))
+      o.suspicions
+  in
+  if r.violations <> [] then Violation
+  else if o.quarantine_leaks > 0 then Ghost_leak
+  else if
+    r.lost <> [] || (not r.complete) || (not o.live_equal)
+    || unrefuted_false_suspicion
+  then Diverged
+  else if optimal && r.unnecessary_delays > 0 then Unnecessary_delay
+  else if o.false_suspicions > 0 then Refuted_suspicion
+  else Clean
+
+(* ---------------------------------------------------------------- *)
+(* Schedules                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type schedule = {
+  name : string;
+  protocol : string;
+  universe : int;
+  initial : int;
+  vars : int;
+  ops_per_process : int;
+  write_ratio : float;
+  latency : Latency.t;
+  faults : Network.faults option;
+  detector : Failure_detector.config option;
+  plan : Fault_plan.t;
+  seed : int;
+}
+
+let protocol_names = [ "optp"; "anbkh"; "optp-direct"; "canary" ]
+
+let protocol_by_name = function
+  | "optp" -> Some (Protocol.Packed (module Dsm_core.Opt_p))
+  | "anbkh" -> Some (Protocol.Packed (module Dsm_core.Anbkh))
+  | "optp-direct" -> Some (Protocol.Packed (module Dsm_core.Opt_p_direct))
+  | "canary" -> Some (Protocol.Packed (module Dsm_core.Canary))
+  | _ -> None
+
+(* the canary masquerades as OptP, so it also inherits the optimality
+   audit — a buggy protocol must not dodge any judgement *)
+let optimal_protocol = function
+  | "optp" | "optp-direct" | "canary" -> true
+  | _ -> false
+
+let think_mean = 10.
+
+let horizon s = float_of_int s.ops_per_process *. think_mean
+
+let validate_schedule s =
+  let fail fmt = Format.kasprintf invalid_arg ("Nemesis: " ^^ fmt) in
+  if protocol_by_name s.protocol = None then
+    fail "unknown protocol %S (expected one of %s)" s.protocol
+      (String.concat ", " protocol_names);
+  if s.universe < 2 then fail "universe %d < 2" s.universe;
+  if s.initial < 2 || s.initial > s.universe then
+    fail "initial %d outside [2, %d]" s.initial s.universe;
+  if s.vars < 1 then fail "vars %d < 1" s.vars;
+  if s.ops_per_process < 1 then
+    fail "ops_per_process %d < 1" s.ops_per_process;
+  if not (s.write_ratio >= 0. && s.write_ratio <= 1.) then
+    fail "write_ratio %g outside [0, 1]" s.write_ratio;
+  (match Latency.validate s.latency with
+  | Ok () -> ()
+  | Error msg -> fail "latency: %s" msg);
+  Fault_plan.validate ~n:s.universe
+    ~initial:(List.init s.initial Fun.id)
+    s.plan
+
+(* ---------------------------------------------------------------- *)
+(* Running and judging                                               *)
+(* ---------------------------------------------------------------- *)
+
+type result = {
+  sched : schedule;
+  verdict : verdict;
+  detail : string;
+  outcome : Churn_campaign.outcome option;
+}
+
+let detail_of (o : Churn_campaign.outcome) =
+  let r = o.report in
+  Printf.sprintf
+    "applies=%d delays=%d (necessary=%d unnecessary=%d) violations=%d \
+     lost=%d ghost=%d false-suspicions=%d refuted=%d live_equal=%b \
+     complete=%b"
+    r.total_applies r.total_delays r.necessary_delays
+    r.unnecessary_delays
+    (List.length r.violations)
+    (List.length r.lost) o.quarantine_leaks o.false_suspicions
+    o.refutations o.live_equal r.complete
+
+let run ?metrics (s : schedule) : result =
+  validate_schedule s;
+  match protocol_by_name s.protocol with
+  | None -> assert false (* validate_schedule checked *)
+  | Some (Protocol.Packed (module P)) -> (
+      let spec =
+        Spec.make ~n:s.universe ~m:s.vars
+          ~ops_per_process:s.ops_per_process ~write_ratio:s.write_ratio
+          ~seed:s.seed ()
+      in
+      try
+        let o =
+          Churn_campaign.run
+            (module P)
+            ~spec ~latency:s.latency ?faults:s.faults ~plan:s.plan
+            ~initial:s.initial ?detector:s.detector ~mixed:true
+            ~seed:s.seed ?metrics ()
+        in
+        let verdict = classify ~optimal:(optimal_protocol s.protocol) o in
+        { sched = s; verdict; detail = detail_of o; outcome = Some o }
+      with e ->
+        {
+          sched = s;
+          verdict = Stuck;
+          detail = Printexc.to_string e;
+          outcome = None;
+        })
+
+(* ---------------------------------------------------------------- *)
+(* Scenario corpus                                                   *)
+(* ---------------------------------------------------------------- *)
+
+type scenario = {
+  sched_ : schedule;
+  expected : verdict list;
+  about : string;
+}
+
+let t = Sim_time.of_float
+
+let default_latency = Latency.Lognormal { mu = log 10. -. 0.5; sigma = 1.0 }
+
+let base ~name ?(protocol = "optp") ?(universe = 4) ?initial ?(vars = 4)
+    ?(ops = 40) ?(write_ratio = 0.5) ?(latency = default_latency) ?faults
+    ?detector ?(seed = 1) events =
+  let initial = Option.value initial ~default:universe in
+  {
+    name;
+    protocol;
+    universe;
+    initial;
+    vars;
+    ops_per_process = ops;
+    write_ratio;
+    latency;
+    faults;
+    detector;
+    plan = Fault_plan.make events;
+    seed;
+  }
+
+let scenarios =
+  [
+    {
+      sched_ = base ~name:"clean-baseline" [];
+      expected = [ Clean ];
+      about = "no faults at all — the paper's §3.1 model, must be clean";
+    };
+    {
+      sched_ =
+        base ~name:"partition-heal"
+          [
+            Fault_plan.Cut { groups = [ [ 0; 1 ]; [ 2; 3 ] ]; at = t 80. };
+            Fault_plan.Heal { at = t 180. };
+          ];
+      expected = [ Clean ];
+      about = "one symmetric partition episode; retransmission heals it";
+    };
+    {
+      sched_ =
+        base ~name:"crash-recover"
+          [
+            Fault_plan.Crash { proc = 1; at = t 60. };
+            Fault_plan.Recover { proc = 1; at = t 140. };
+            Fault_plan.Crash { proc = 3; at = t 180. };
+            Fault_plan.Recover { proc = 3; at = t 260. };
+          ];
+      expected = [ Clean ];
+      about = "two crash/recover episodes with anti-entropy catch-up";
+    };
+    {
+      sched_ =
+        base ~name:"asym-cut"
+          [
+            Fault_plan.Cut_oneway { src = 0; dst = 2; at = t 70. };
+            Fault_plan.Cut_oneway { src = 3; dst = 1; at = t 90. };
+            Fault_plan.Heal_oneway { src = 0; dst = 2; at = t 200. };
+            Fault_plan.Heal_oneway { src = 3; dst = 1; at = t 220. };
+          ];
+      expected = [ Clean ];
+      about =
+        "one-way link cuts: acks flow, data does not — retransmission \
+         must still converge";
+    };
+    {
+      sched_ =
+        base ~name:"flap-storm"
+          [
+            Fault_plan.Flap
+              { a = 0; b = 1; period = 7.; until_ = 150.; at = t 50. };
+            Fault_plan.Flap
+              { a = 2; b = 3; period = 5.; until_ = 260.; at = t 120. };
+          ];
+      expected = [ Clean ];
+      about = "links oscillating cut/healed faster than retransmission";
+    };
+    {
+      sched_ =
+        base ~name:"tail-inflation"
+          [
+            Fault_plan.Inflate
+              { src = 1; dst = 2; factor = 6.; until_ = 220.; at = t 60. };
+            Fault_plan.Inflate
+              { src = 0; dst = 3; factor = 4.; until_ = 300.; at = t 100. };
+          ];
+      expected = [ Clean ];
+      about =
+        "per-link tail-latency spikes reorder messages aggressively; \
+         OptP must stay at zero unnecessary delays";
+    };
+    {
+      sched_ =
+        base ~name:"churn-storm" ~universe:6 ~initial:4
+          [
+            Fault_plan.Join { proc = 4; at = t 80. };
+            Fault_plan.Crash { proc = 1; at = t 100. };
+            Fault_plan.Join { proc = 1; at = t 170. };
+            Fault_plan.Join { proc = 5; at = t 190. };
+            Fault_plan.Leave { proc = 2; at = t 280. };
+          ];
+      expected = [ Clean ];
+      about =
+        "fresh joins, a crash-rejoin under a new incarnation, and a \
+         graceful leave in one run";
+    };
+    {
+      sched_ =
+        base ~name:"false-suspicion-storm"
+          ~detector:
+            (Failure_detector.config ~threshold:1.1 ~heartbeat_every:20.
+               ())
+          [
+            Fault_plan.Cut { groups = [ [ 0; 1 ]; [ 2; 3 ] ]; at = t 90. };
+            Fault_plan.Heal { at = t 170. };
+          ];
+      expected = [ Refuted_suspicion ];
+      about =
+        "hair-trigger accrual detector under a partition: live slots \
+         are falsely suspected, heartbeats after the heal must refute \
+         every suspicion";
+    };
+    {
+      sched_ =
+        base ~name:"corrupt-storm"
+          ~faults:{ Network.drop = 0.02; duplicate = 0.02; corrupt = 0.05 }
+          [];
+      expected = [ Clean ];
+      about =
+        "probabilistic drop/duplicate/corrupt frames; checksumming and \
+         retransmission must mask all of it";
+    };
+    {
+      sched_ =
+        base ~name:"kitchen-sink" ~universe:6 ~initial:5
+          ~faults:{ Network.drop = 0.01; duplicate = 0.01; corrupt = 0.02 }
+          ~detector:(Failure_detector.config ~threshold:3. ())
+          [
+            Fault_plan.Join { proc = 5; at = t 60. };
+            Fault_plan.Crash { proc = 1; at = t 80. };
+            Fault_plan.Cut_oneway { src = 0; dst = 2; at = t 100. };
+            Fault_plan.Join { proc = 1; at = t 150. };
+            Fault_plan.Flap
+              { a = 2; b = 4; period = 6.; until_ = 230.; at = t 160. };
+            Fault_plan.Heal_oneway { src = 0; dst = 2; at = t 190. };
+            Fault_plan.Cut { groups = [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]; at = t 200. };
+            Fault_plan.Inflate
+              { src = 3; dst = 0; factor = 5.; until_ = 320.; at = t 210. };
+            Fault_plan.Heal { at = t 260. };
+            Fault_plan.Leave { proc = 4; at = t 300. };
+          ];
+      expected = [ Clean; Refuted_suspicion ];
+      about =
+        "every fault family at once: churn + crash-rejoin + symmetric \
+         and asymmetric cuts + flap + inflation + corruption + an armed \
+         detector";
+    };
+    {
+      sched_ =
+        base ~name:"canary-reorder" ~protocol:"canary"
+          [
+            Fault_plan.Inflate
+              { src = 0; dst = 2; factor = 10.; until_ = 350.; at = t 10. };
+          ];
+      expected = [ Violation ];
+      about =
+        "the deliberately buggy per-sender-FIFO protocol under a delay \
+         spike: cross-issuer reordering must be caught as a safety \
+         violation — the swarm's self-test";
+    };
+  ]
+
+let find_scenario name =
+  List.find_opt (fun s -> s.sched_.name = name) scenarios
+
+(* ---------------------------------------------------------------- *)
+(* Swarm                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let random_schedule ?(protocol = "optp") ~seed () =
+  let rng = Rng.create seed in
+  let universe = 4 + Rng.int rng 3 in
+  let fresh_joins = if Rng.bernoulli rng 0.4 then 1 else 0 in
+  let initial = universe - fresh_joins in
+  let ops = 20 + Rng.int rng 21 in
+  let horizon = float_of_int ops *. think_mean in
+  let hi = 0.85 *. horizon in
+  let span a b = Rng.uniform rng (a *. horizon) (b *. horizon) in
+  (* disjoint victim sets over the initial members; order.(0) is the
+     stable member that stays up throughout *)
+  let order = Array.init initial Fun.id in
+  Rng.shuffle rng order;
+  let avail = initial - 1 in
+  let rejoins = if avail >= 1 && Rng.bernoulli rng 0.5 then 1 else 0 in
+  let leaves =
+    if avail - rejoins >= 1 && Rng.bernoulli rng 0.4 then 1 else 0
+  in
+  let crashes =
+    let room = min 2 (avail - rejoins - leaves) in
+    if room <= 0 then 0 else Rng.int rng (room + 1)
+  in
+  let vi = ref 1 in
+  let take () =
+    let p = order.(!vi) in
+    incr vi;
+    p
+  in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  for slot = initial to universe - 1 do
+    push (Fault_plan.Join { proc = slot; at = t (span 0.1 0.45) })
+  done;
+  for _ = 1 to rejoins do
+    let p = take () in
+    let c = span 0.15 0.4 in
+    let back = Float.min (c +. span 0.1 0.25) hi in
+    push (Fault_plan.Crash { proc = p; at = t c });
+    push (Fault_plan.Join { proc = p; at = t back })
+  done;
+  for _ = 1 to leaves do
+    push (Fault_plan.Leave { proc = take (); at = t (span 0.55 0.85) })
+  done;
+  for _ = 1 to crashes do
+    let p = take () in
+    let c = span 0.1 0.5 in
+    let back = Float.min (c +. span 0.1 0.3) hi in
+    push (Fault_plan.Crash { proc = p; at = t c });
+    push (Fault_plan.Recover { proc = p; at = t back })
+  done;
+  (* sequential two-sided partitions: episodes never overlap, so each
+     Heal tears down exactly its own Cut *)
+  let partitions = Rng.int rng 3 in
+  let cursor = ref (0.1 *. horizon) in
+  for _ = 1 to partitions do
+    let start = !cursor +. Rng.uniform rng 0. (0.1 *. horizon) in
+    let stop =
+      start +. Rng.uniform rng (0.05 *. horizon) (0.2 *. horizon)
+    in
+    let ids = Array.init universe Fun.id in
+    Rng.shuffle rng ids;
+    let k = 1 + Rng.int rng (universe - 1) in
+    if stop < hi then begin
+      let g1 = Array.to_list (Array.sub ids 0 k) in
+      let g2 = Array.to_list (Array.sub ids k (universe - k)) in
+      push (Fault_plan.Cut { groups = [ g1; g2 ]; at = t start });
+      push (Fault_plan.Heal { at = t stop })
+    end;
+    cursor := stop +. Rng.uniform rng 0. (0.05 *. horizon)
+  done;
+  let pair () =
+    let src = Rng.int rng universe in
+    let dst = (src + 1 + Rng.int rng (universe - 1)) mod universe in
+    (src, dst)
+  in
+  let oneways = Rng.int rng 3 in
+  for _ = 1 to oneways do
+    let src, dst = pair () in
+    let c = span 0.1 0.5 in
+    let h = Float.min (c +. span 0.05 0.3) hi in
+    push (Fault_plan.Cut_oneway { src; dst; at = t c });
+    push (Fault_plan.Heal_oneway { src; dst; at = t h })
+  done;
+  let flaps = Rng.int rng 3 in
+  for _ = 1 to flaps do
+    let a, b = pair () in
+    let period = span 0.01 0.05 in
+    let start = span 0.1 0.6 in
+    let until_ = Float.min (start +. span 0.1 0.3) hi in
+    push (Fault_plan.Flap { a; b; period; until_; at = t start })
+  done;
+  let inflations = Rng.int rng 3 in
+  for _ = 1 to inflations do
+    let src, dst = pair () in
+    let factor = 2. +. (6. *. Rng.float rng) in
+    let start = span 0.1 0.55 in
+    let until_ = Float.min (start +. span 0.1 0.4) hi in
+    push (Fault_plan.Inflate { src; dst; factor; until_; at = t start })
+  done;
+  let faults =
+    if Rng.bernoulli rng 0.3 then
+      Some
+        {
+          Network.drop = Rng.uniform rng 0. 0.03;
+          duplicate = Rng.uniform rng 0. 0.02;
+          corrupt = Rng.uniform rng 0. 0.03;
+        }
+    else None
+  in
+  let detector =
+    if Rng.bernoulli rng 0.3 then
+      Some
+        (Failure_detector.config
+           ~threshold:(2. +. (2. *. Rng.float rng))
+           ())
+    else None
+  in
+  {
+    name = Printf.sprintf "swarm-%d" seed;
+    protocol;
+    universe;
+    initial;
+    vars = 4;
+    ops_per_process = ops;
+    write_ratio = 0.5;
+    latency = default_latency;
+    faults;
+    detector;
+    plan = Fault_plan.make (List.rev !events);
+    seed;
+  }
+
+type swarm_report = {
+  total : int;
+  accepted_count : int;
+  counts : (verdict * int) list;
+  failures : result list;
+}
+
+let swarm ?protocol ?on_result ~seed ~count () =
+  let tally = Hashtbl.create 7 in
+  let bump v =
+    Hashtbl.replace tally v
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tally v))
+  in
+  let failures = ref [] in
+  let accepted_count = ref 0 in
+  for i = 0 to count - 1 do
+    let sched = random_schedule ?protocol ~seed:(seed + i) () in
+    let r = run sched in
+    bump r.verdict;
+    if accepted r.verdict then incr accepted_count
+    else failures := r :: !failures;
+    Option.iter (fun f -> f i r) on_result
+  done;
+  {
+    total = count;
+    accepted_count = !accepted_count;
+    counts =
+      List.map
+        (fun v ->
+          (v, Option.value ~default:0 (Hashtbl.find_opt tally v)))
+        all_verdicts;
+    failures = List.rev !failures;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Shrinking                                                         *)
+(* ---------------------------------------------------------------- *)
+
+(* Atomic removal units: a fault and the event that undoes it must
+   leave or stay together, or removal would turn a valid plan invalid
+   (a Join of an active member) or change unrelated episodes' meaning
+   (a Heal tearing down a different Cut). *)
+let episodes (plan : Fault_plan.t) : Fault_plan.event list list =
+  let evs = Array.of_list plan in
+  let n = Array.length evs in
+  let used = Array.make n false in
+  let find_next i pred =
+    let rec go j = if j >= n then None else if (not used.(j)) && pred evs.(j) then Some j else go (j + 1) in
+    go (i + 1)
+  in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if not used.(i) then begin
+      used.(i) <- true;
+      let partner =
+        match evs.(i) with
+        | Fault_plan.Crash { proc; _ } ->
+            find_next i (function
+              | Fault_plan.Recover { proc = p; _ }
+              | Fault_plan.Join { proc = p; _ } ->
+                  p = proc
+              | _ -> false)
+        | Fault_plan.Cut _ ->
+            find_next i (function Fault_plan.Heal _ -> true | _ -> false)
+        | Fault_plan.Cut_oneway { src; dst; _ } ->
+            find_next i (function
+              | Fault_plan.Heal_oneway { src = s; dst = d; _ } ->
+                  s = src && d = dst
+              | _ -> false)
+        | _ -> None
+      in
+      match partner with
+      | Some j ->
+          used.(j) <- true;
+          out := [ evs.(i); evs.(j) ] :: !out
+      | None -> out := [ evs.(i) ] :: !out
+    end
+  done;
+  List.rev !out
+
+type shrink_report = {
+  target : verdict;
+  original : schedule;
+  minimal : schedule;
+  attempts : int;
+  events_before : int;
+  events_after : int;
+}
+
+let shrink ?(max_attempts = 256) (s : schedule) ~target =
+  let attempts = ref 0 in
+  let reproduces cand =
+    !attempts < max_attempts
+    &&
+    (incr attempts;
+     (run cand).verdict = target)
+  in
+  let valid cand =
+    match validate_schedule cand with
+    | () -> true
+    | exception Invalid_argument _ -> false
+  in
+  let cur = ref s in
+  let try_take cand = if valid cand && reproduces cand then cur := cand in
+  let disarm () =
+    if !cur.detector <> None then try_take { !cur with detector = None };
+    if !cur.faults <> None then try_take { !cur with faults = None }
+  in
+  disarm ();
+  (* ddmin over episodes: try removing chunks, halving the chunk size,
+     restarting from the largest granularity after every success *)
+  let rec ddmin () =
+    let eps = Array.of_list (episodes !cur.plan) in
+    let n = Array.length eps in
+    if n > 0 then begin
+      let improved = ref false in
+      let size = ref n in
+      while (not !improved) && !size >= 1 do
+        let k = !size in
+        let i = ref 0 in
+        while (not !improved) && !i < n do
+          let hi_excl = min n (!i + k) in
+          let kept = ref [] in
+          Array.iteri
+            (fun j ep -> if j < !i || j >= hi_excl then kept := ep :: !kept)
+            eps;
+          let plan = Fault_plan.make (List.concat (List.rev !kept)) in
+          let cand = { !cur with plan } in
+          if valid cand && reproduces cand then begin
+            cur := cand;
+            improved := true
+          end;
+          i := !i + k
+        done;
+        size := !size / 2
+      done;
+      if !improved && !attempts < max_attempts then ddmin ()
+    end
+  in
+  ddmin ();
+  disarm ();
+  {
+    target;
+    original = s;
+    minimal = !cur;
+    attempts = !attempts;
+    events_before = List.length s.plan;
+    events_after = List.length !cur.plan;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* JSON (schema causal-dsm-nemesis-plan/v1)                          *)
+(* ---------------------------------------------------------------- *)
+
+let schema = "causal-dsm-nemesis-plan/v1"
+
+(* shortest float string that round-trips exactly *)
+let fstr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let latency_to_string = function
+  | Latency.Constant c -> Printf.sprintf "const:%s" (fstr c)
+  | Latency.Uniform { lo; hi } ->
+      Printf.sprintf "uniform:%s,%s" (fstr lo) (fstr hi)
+  | Latency.Exponential { mean } -> Printf.sprintf "exp:%s" (fstr mean)
+  | Latency.Lognormal { mu; sigma } ->
+      Printf.sprintf "lognormal:%s,%s" (fstr mu) (fstr sigma)
+  | Latency.Pareto { scale; shape } ->
+      Printf.sprintf "pareto:%s,%s" (fstr scale) (fstr shape)
+  | (Latency.Shifted _ | Latency.Bimodal _) as l ->
+      Format.kasprintf invalid_arg
+        "Nemesis.to_json_string: latency %a has no CLI syntax — use \
+         const/uniform/exp/lognormal/pareto"
+        Latency.pp l
+
+let latency_of_string s =
+  let num x =
+    match float_of_string_opt x with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "latency: bad number %S" x)
+  in
+  let ( let* ) = Result.bind in
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "latency: missing ':' in %S" s)
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let two () =
+        match String.split_on_char ',' rest with
+        | [ a; b ] ->
+            let* a = num a in
+            let* b = num b in
+            Ok (a, b)
+        | _ ->
+            Error
+              (Printf.sprintf "latency: %s needs two comma-separated \
+                               parameters, got %S"
+                 kind rest)
+      in
+      match kind with
+      | "const" ->
+          let* c = num rest in
+          Ok (Latency.Constant c)
+      | "uniform" ->
+          let* lo, hi = two () in
+          Ok (Latency.Uniform { lo; hi })
+      | "exp" ->
+          let* mean = num rest in
+          Ok (Latency.Exponential { mean })
+      | "lognormal" ->
+          let* mu, sigma = two () in
+          Ok (Latency.Lognormal { mu; sigma })
+      | "pareto" ->
+          let* scale, shape = two () in
+          Ok (Latency.Pareto { scale; shape })
+      | _ -> Error (Printf.sprintf "latency: unknown kind %S" kind))
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_to_json (ev : Fault_plan.event) =
+  let at e = fstr (Sim_time.to_float (Fault_plan.time e)) in
+  match ev with
+  | Fault_plan.Crash { proc; _ } ->
+      Printf.sprintf {|{"kind":"crash","proc":%d,"at":%s}|} proc (at ev)
+  | Fault_plan.Recover { proc; _ } ->
+      Printf.sprintf {|{"kind":"recover","proc":%d,"at":%s}|} proc (at ev)
+  | Fault_plan.Cut { groups; _ } ->
+      let group g =
+        "[" ^ String.concat "," (List.map string_of_int g) ^ "]"
+      in
+      Printf.sprintf {|{"kind":"cut","groups":[%s],"at":%s}|}
+        (String.concat "," (List.map group groups))
+        (at ev)
+  | Fault_plan.Heal _ ->
+      Printf.sprintf {|{"kind":"heal","at":%s}|} (at ev)
+  | Fault_plan.Join { proc; _ } ->
+      Printf.sprintf {|{"kind":"join","proc":%d,"at":%s}|} proc (at ev)
+  | Fault_plan.Leave { proc; _ } ->
+      Printf.sprintf {|{"kind":"leave","proc":%d,"at":%s}|} proc (at ev)
+  | Fault_plan.Cut_oneway { src; dst; _ } ->
+      Printf.sprintf {|{"kind":"cut-oneway","src":%d,"dst":%d,"at":%s}|}
+        src dst (at ev)
+  | Fault_plan.Heal_oneway { src; dst; _ } ->
+      Printf.sprintf {|{"kind":"heal-oneway","src":%d,"dst":%d,"at":%s}|}
+        src dst (at ev)
+  | Fault_plan.Flap { a; b; period; until_; _ } ->
+      Printf.sprintf
+        {|{"kind":"flap","a":%d,"b":%d,"period":%s,"until":%s,"at":%s}|}
+        a b (fstr period) (fstr until_) (at ev)
+  | Fault_plan.Inflate { src; dst; factor; until_; _ } ->
+      Printf.sprintf
+        {|{"kind":"inflate","src":%d,"dst":%d,"factor":%s,"until":%s,"at":%s}|}
+        src dst (fstr factor) (fstr until_) (at ev)
+
+let to_json_string (s : schedule) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add {|{"schema":"%s",|} schema;
+  add "\n";
+  add {| "name":"%s","protocol":"%s",|} (json_escape s.name)
+    (json_escape s.protocol);
+  add "\n";
+  add {| "universe":%d,"initial":%d,"vars":%d,"ops_per_process":%d,|}
+    s.universe s.initial s.vars s.ops_per_process;
+  add "\n";
+  add {| "write_ratio":%s,"latency":"%s","seed":%d,|} (fstr s.write_ratio)
+    (latency_to_string s.latency)
+    s.seed;
+  add "\n";
+  (match s.faults with
+  | Some f ->
+      add {| "faults":{"drop":%s,"duplicate":%s,"corrupt":%s},|}
+        (fstr f.Network.drop) (fstr f.duplicate) (fstr f.corrupt);
+      add "\n"
+  | None -> ());
+  (match s.detector with
+  | Some d ->
+      add
+        {| "detector":{"threshold":%s,"heartbeat_every":%s,"window":%d,"adaptive":%s},|}
+        (fstr d.Failure_detector.threshold)
+        (fstr d.heartbeat_every) d.window (fstr d.adaptive);
+      add "\n"
+  | None -> ());
+  add {| "events":[|};
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",";
+      add "\n  %s" (event_to_json ev))
+    s.plan;
+  if s.plan <> [] then add "\n ";
+  add "]}";
+  add "\n";
+  Buffer.contents b
+
+(* minimal JSON reader — the container bakes no JSON library in *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents b
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad unicode escape";
+              (match
+                 int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4)
+               with
+              | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?'
+              | None -> fail "bad unicode escape");
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Jobj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Jobj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Jarr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Jarr (List.rev !items)
+        end
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let of_json_string text =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad_json m)) fmt in
+  let obj ~ctx = function
+    | Jobj fields -> fields
+    | _ -> fail "%s: expected an object" ctx
+  in
+  let get fields k = List.assoc_opt k fields in
+  let str ~ctx fields k =
+    match get fields k with
+    | Some (Jstr s) -> s
+    | _ -> fail "%s: missing string field %S" ctx k
+  in
+  let num ~ctx fields k =
+    match get fields k with
+    | Some (Jnum f) -> f
+    | _ -> fail "%s: missing number field %S" ctx k
+  in
+  let int ~ctx fields k =
+    let f = num ~ctx fields k in
+    if Float.is_integer f then int_of_float f
+    else fail "%s: field %S must be an integer" ctx k
+  in
+  let event_of_json j =
+    let ctx = "event" in
+    let fields = obj ~ctx j in
+    let at = t (num ~ctx fields "at") in
+    match str ~ctx fields "kind" with
+    | "crash" -> Fault_plan.Crash { proc = int ~ctx fields "proc"; at }
+    | "recover" -> Fault_plan.Recover { proc = int ~ctx fields "proc"; at }
+    | "cut" ->
+        let groups =
+          match get fields "groups" with
+          | Some (Jarr gs) ->
+              List.map
+                (function
+                  | Jarr ids ->
+                      List.map
+                        (function
+                          | Jnum f when Float.is_integer f -> int_of_float f
+                          | _ -> fail "cut: group members must be integers")
+                        ids
+                  | _ -> fail "cut: groups must be arrays")
+                gs
+          | _ -> fail "cut: missing array field \"groups\""
+        in
+        Fault_plan.Cut { groups; at }
+    | "heal" -> Fault_plan.Heal { at }
+    | "join" -> Fault_plan.Join { proc = int ~ctx fields "proc"; at }
+    | "leave" -> Fault_plan.Leave { proc = int ~ctx fields "proc"; at }
+    | "cut-oneway" ->
+        Fault_plan.Cut_oneway
+          { src = int ~ctx fields "src"; dst = int ~ctx fields "dst"; at }
+    | "heal-oneway" ->
+        Fault_plan.Heal_oneway
+          { src = int ~ctx fields "src"; dst = int ~ctx fields "dst"; at }
+    | "flap" ->
+        Fault_plan.Flap
+          {
+            a = int ~ctx fields "a";
+            b = int ~ctx fields "b";
+            period = num ~ctx fields "period";
+            until_ = num ~ctx fields "until";
+            at;
+          }
+    | "inflate" ->
+        Fault_plan.Inflate
+          {
+            src = int ~ctx fields "src";
+            dst = int ~ctx fields "dst";
+            factor = num ~ctx fields "factor";
+            until_ = num ~ctx fields "until";
+            at;
+          }
+    | k -> fail "event: unknown kind %S" k
+  in
+  try
+    let fields = obj ~ctx:"plan" (parse_json text) in
+    let ctx = "plan" in
+    let got_schema = str ~ctx fields "schema" in
+    if got_schema <> schema then
+      fail "unsupported schema %S (expected %S)" got_schema schema;
+    let latency =
+      match latency_of_string (str ~ctx fields "latency") with
+      | Ok l -> l
+      | Error msg -> fail "%s" msg
+    in
+    let faults =
+      match get fields "faults" with
+      | None | Some Jnull -> None
+      | Some j ->
+          let f = obj ~ctx:"faults" j in
+          Some
+            {
+              Network.drop = num ~ctx:"faults" f "drop";
+              duplicate = num ~ctx:"faults" f "duplicate";
+              corrupt = num ~ctx:"faults" f "corrupt";
+            }
+    in
+    let detector =
+      match get fields "detector" with
+      | None | Some Jnull -> None
+      | Some j ->
+          let d = obj ~ctx:"detector" j in
+          Some
+            (Failure_detector.config
+               ~threshold:(num ~ctx:"detector" d "threshold")
+               ~heartbeat_every:(num ~ctx:"detector" d "heartbeat_every")
+               ~window:(int ~ctx:"detector" d "window")
+               ~adaptive:(num ~ctx:"detector" d "adaptive")
+               ())
+    in
+    let events =
+      match get fields "events" with
+      | Some (Jarr evs) -> List.map event_of_json evs
+      | _ -> fail "plan: missing array field \"events\""
+    in
+    let s =
+      {
+        name = str ~ctx fields "name";
+        protocol = str ~ctx fields "protocol";
+        universe = int ~ctx fields "universe";
+        initial = int ~ctx fields "initial";
+        vars = int ~ctx fields "vars";
+        ops_per_process = int ~ctx fields "ops_per_process";
+        write_ratio = num ~ctx fields "write_ratio";
+        latency;
+        faults;
+        detector;
+        plan = Fault_plan.make events;
+        seed = int ~ctx fields "seed";
+      }
+    in
+    validate_schedule s;
+    Ok s
+  with
+  | Bad_json msg -> Error ("nemesis plan JSON: " ^ msg)
+  | Invalid_argument msg -> Error ("nemesis plan JSON: " ^ msg)
+
+(* ---------------------------------------------------------------- *)
+(* Reporting                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let pp_result ppf r =
+  Format.fprintf ppf "%s [%s, seed %d]: %a — %s" r.sched.name
+    r.sched.protocol r.sched.seed pp_verdict r.verdict r.detail
+
+let pp_swarm_report ppf (s : swarm_report) =
+  Format.fprintf ppf "@[<v>swarm: %d schedules, %d accepted@," s.total
+    s.accepted_count;
+  List.iter
+    (fun (v, c) ->
+      if c > 0 then Format.fprintf ppf "  %-18s %d@," (verdict_name v) c)
+    s.counts;
+  List.iter (fun r -> Format.fprintf ppf "  FAIL %a@," pp_result r)
+    s.failures;
+  Format.fprintf ppf "@]"
+
+let pp_shrink_report ppf (r : shrink_report) =
+  Format.fprintf ppf
+    "shrink to %a: %d -> %d fault events in %d runs (schedule %s)"
+    pp_verdict r.target r.events_before r.events_after r.attempts
+    r.minimal.name

@@ -5,12 +5,24 @@ type event =
   | Heal of { at : Sim_time.t }
   | Join of { proc : int; at : Sim_time.t }
   | Leave of { proc : int; at : Sim_time.t }
+  | Cut_oneway of { src : int; dst : int; at : Sim_time.t }
+  | Heal_oneway of { src : int; dst : int; at : Sim_time.t }
+  | Flap of { a : int; b : int; period : float; until_ : float; at : Sim_time.t }
+  | Inflate of {
+      src : int;
+      dst : int;
+      factor : float;
+      until_ : float;
+      at : Sim_time.t;
+    }
 
 type t = event list
 
 let time = function
   | Crash { at; _ } | Recover { at; _ } | Cut { at; _ } | Heal { at }
-  | Join { at; _ } | Leave { at; _ } -> at
+  | Join { at; _ } | Leave { at; _ }
+  | Cut_oneway { at; _ } | Heal_oneway { at; _ }
+  | Flap { at; _ } | Inflate { at; _ } -> at
 
 let compare_events a b = Sim_time.compare (time a) (time b)
 
@@ -76,7 +88,27 @@ let validate ~n ?initial t =
                    fail "process %d in two partition groups" p;
                  Hashtbl.add seen p ()))
             groups
-      | Heal _ -> ())
+      | Heal _ -> ()
+      | Cut_oneway { src; dst; _ } | Heal_oneway { src; dst; _ } ->
+          check_proc src;
+          check_proc dst;
+          if src = dst then fail "one-way cut of a self-link (p%d)" src
+      | Flap { a; b; period; until_; _ } ->
+          check_proc a;
+          check_proc b;
+          if a = b then fail "flap of a self-link (p%d)" a;
+          if not (period > 0. && Float.is_finite period) then
+            fail "flap period must be positive and finite";
+          if not (until_ > Sim_time.to_float at) then
+            fail "flap must end after it starts"
+      | Inflate { src; dst; factor; until_; _ } ->
+          check_proc src;
+          check_proc dst;
+          if src = dst then fail "delay inflation of a self-link (p%d)" src;
+          if not (factor >= 1. && Float.is_finite factor) then
+            fail "inflation factor must be >= 1 and finite";
+          if not (until_ > Sim_time.to_float at) then
+            fail "inflation must end after it starts")
     t
 
 let down_at_end t =
@@ -85,24 +117,54 @@ let down_at_end t =
     (function
       | Crash { proc; _ } -> Hashtbl.replace down proc ()
       | Recover { proc; _ } | Join { proc; _ } -> Hashtbl.remove down proc
-      | Leave _ | Cut _ | Heal _ -> ())
+      | Leave _ | Cut _ | Heal _ | Cut_oneway _ | Heal_oneway _ | Flap _
+      | Inflate _ -> ())
     t;
   List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) down [])
 
 let has_churn t =
   List.exists (function Join _ | Leave _ -> true | _ -> false) t
 
-let install t ~engine ?on_join ?on_leave ~on_crash ~on_recover ~on_cut
-    ~on_heal () =
-  let missing name _ =
+let has_link_faults t =
+  List.exists
+    (function
+      | Cut_oneway _ | Heal_oneway _ | Flap _ | Inflate _ -> true
+      | _ -> false)
+    t
+
+let install t ~engine ?on_join ?on_leave ?on_cut_oneway ?on_heal_oneway
+    ?on_flap ?on_inflate ~on_crash ~on_recover ~on_cut ~on_heal () =
+  let missing name hint =
     invalid_arg
       (Printf.sprintf
          "Fault_plan.install: plan contains %s events but no %s hook was \
-          given (use a churn-aware driver)"
-         name name)
+          given (use %s)"
+         name name hint)
   in
-  let on_join = Option.value on_join ~default:(missing "Join") in
-  let on_leave = Option.value on_leave ~default:(missing "Leave") in
+  let on_join =
+    Option.value on_join
+      ~default:(fun _ -> missing "Join" "a churn-aware driver")
+  in
+  let on_leave =
+    Option.value on_leave
+      ~default:(fun _ -> missing "Leave" "a churn-aware driver")
+  in
+  let on_cut_oneway =
+    Option.value on_cut_oneway ~default:(fun ~src:_ ~dst:_ ->
+        missing "Cut_oneway" "a link-fault-aware driver, e.g. Nemesis")
+  in
+  let on_heal_oneway =
+    Option.value on_heal_oneway ~default:(fun ~src:_ ~dst:_ ->
+        missing "Heal_oneway" "a link-fault-aware driver, e.g. Nemesis")
+  in
+  let on_flap =
+    Option.value on_flap ~default:(fun ~a:_ ~b:_ ~period:_ ~until_:_ ->
+        missing "Flap" "a link-fault-aware driver, e.g. Nemesis")
+  in
+  let on_inflate =
+    Option.value on_inflate ~default:(fun ~src:_ ~dst:_ ~factor:_ ~until_:_ ->
+        missing "Inflate" "a link-fault-aware driver, e.g. Nemesis")
+  in
   List.iter
     (fun ev ->
       Engine.schedule_at engine (time ev) (fun () ->
@@ -112,7 +174,12 @@ let install t ~engine ?on_join ?on_leave ~on_crash ~on_recover ~on_cut
           | Join { proc; _ } -> on_join proc
           | Leave { proc; _ } -> on_leave proc
           | Cut { groups; _ } -> on_cut groups
-          | Heal _ -> on_heal ()))
+          | Heal _ -> on_heal ()
+          | Cut_oneway { src; dst; _ } -> on_cut_oneway ~src ~dst
+          | Heal_oneway { src; dst; _ } -> on_heal_oneway ~src ~dst
+          | Flap { a; b; period; until_; _ } -> on_flap ~a ~b ~period ~until_
+          | Inflate { src; dst; factor; until_; _ } ->
+              on_inflate ~src ~dst ~factor ~until_))
     t
 
 let random rng ~n ~horizon ?(crashes = 1) ?(partitions = 1) () =
@@ -218,6 +285,51 @@ let random_churn rng ~initial ~n ~horizon ?(joins = 1) ?(leaves = 1)
   validate ~n ~initial:(List.init initial Fun.id) plan;
   plan
 
+let random_links rng ~n ~horizon ?(oneways = 1) ?(flaps = 1)
+    ?(inflations = 1) () =
+  if n < 2 then
+    invalid_arg "Fault_plan.random_links: need at least 2 processes";
+  if horizon <= 0. then invalid_arg "Fault_plan.random_links: horizon <= 0";
+  if oneways < 0 || flaps < 0 || inflations < 0 then
+    invalid_arg "Fault_plan.random_links: negative episode count";
+  let rng = Rng.split rng in
+  let pair () =
+    let src = Rng.int rng n in
+    let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+    (src, dst)
+  in
+  let oneway_events =
+    List.concat
+      (List.init oneways (fun _ ->
+           let src, dst = pair () in
+           let at = Rng.uniform rng (0.1 *. horizon) (0.5 *. horizon) in
+           let dur = Rng.uniform rng (0.05 *. horizon) (0.3 *. horizon) in
+           [
+             Cut_oneway { src; dst; at = Sim_time.of_float at };
+             Heal_oneway { src; dst; at = Sim_time.of_float (at +. dur) };
+           ]))
+  in
+  let flap_events =
+    List.init flaps (fun _ ->
+        let a, b = pair () in
+        let at = Rng.uniform rng (0.1 *. horizon) (0.5 *. horizon) in
+        let period = Rng.uniform rng (0.01 *. horizon) (0.05 *. horizon) in
+        let dur = Rng.uniform rng (0.1 *. horizon) (0.3 *. horizon) in
+        Flap { a; b; period; until_ = at +. dur; at = Sim_time.of_float at })
+  in
+  let inflate_events =
+    List.init inflations (fun _ ->
+        let src, dst = pair () in
+        let at = Rng.uniform rng (0.1 *. horizon) (0.5 *. horizon) in
+        let factor = Rng.uniform rng 2. 8. in
+        let dur = Rng.uniform rng (0.1 *. horizon) (0.4 *. horizon) in
+        Inflate
+          { src; dst; factor; until_ = at +. dur; at = Sim_time.of_float at })
+  in
+  let plan = make (oneway_events @ flap_events @ inflate_events) in
+  validate ~n plan;
+  plan
+
 let pp_event ppf = function
   | Crash { proc; at } ->
       Format.fprintf ppf "crash p%d @@%a" (proc + 1) Sim_time.pp at
@@ -238,6 +350,18 @@ let pp_event ppf = function
                ppf g))
         groups Sim_time.pp at
   | Heal { at } -> Format.fprintf ppf "heal @@%a" Sim_time.pp at
+  | Cut_oneway { src; dst; at } ->
+      Format.fprintf ppf "cut-oneway p%d>p%d @@%a" (src + 1) (dst + 1)
+        Sim_time.pp at
+  | Heal_oneway { src; dst; at } ->
+      Format.fprintf ppf "heal-oneway p%d>p%d @@%a" (src + 1) (dst + 1)
+        Sim_time.pp at
+  | Flap { a; b; period; until_; at } ->
+      Format.fprintf ppf "flap p%d~p%d period=%g until=%g @@%a" (a + 1)
+        (b + 1) period until_ Sim_time.pp at
+  | Inflate { src; dst; factor; until_; at } ->
+      Format.fprintf ppf "inflate p%d>p%d x%g until=%g @@%a" (src + 1)
+        (dst + 1) factor until_ Sim_time.pp at
 
 let pp ppf t =
   Format.pp_print_list

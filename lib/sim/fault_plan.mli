@@ -26,6 +26,29 @@ type event =
   | Leave of { proc : int; at : Sim_time.t }
       (** membership: graceful departure — flush pending writes, then
           leave the view *)
+  | Cut_oneway of { src : int; dst : int; at : Sim_time.t }
+      (** asymmetric partition: the [src -> dst] direction alone is
+          unplugged ({!Network.cut_oneway}) *)
+  | Heal_oneway of { src : int; dst : int; at : Sim_time.t }
+  | Flap of {
+      a : int;
+      b : int;
+      period : float;
+      until_ : float;
+      at : Sim_time.t;
+    }
+      (** link flapping: from [at], the pair's link oscillates
+          cut/healed every [period] time units until [until_]
+          ({!Network.flap}) *)
+  | Inflate of {
+      src : int;
+      dst : int;
+      factor : float;
+      until_ : float;
+      at : Sim_time.t;
+    }
+      (** tail-latency spike: delays on [src -> dst] are multiplied by
+          [factor] from [at] until [until_] ({!Network.inflate}) *)
 
 type t = event list
 (** Sorted by time; build with {!make}. *)
@@ -40,8 +63,10 @@ val validate : n:int -> ?initial:int list -> t -> unit
     range, non-negative sorted times, and the per-slot membership state
     machine respected — crash/leave need a live member, recover needs a
     crashed member, join needs a non-member or a crashed member (the
-    latter is a crash-rejoin). [?initial] is the slot set that is a live
-    member at time 0 (default: all [n]).
+    latter is a crash-rejoin). Link-fault events must name distinct
+    endpoints, flap periods must be positive, inflation factors [>= 1],
+    and both episode kinds must end after they start. [?initial] is the
+    slot set that is a live member at time 0 (default: all [n]).
     @raise Invalid_argument otherwise. *)
 
 val down_at_end : t -> int list
@@ -51,11 +76,19 @@ val down_at_end : t -> int list
 val has_churn : t -> bool
 (** True when the plan contains [Join] or [Leave] events. *)
 
+val has_link_faults : t -> bool
+(** True when the plan contains [Cut_oneway], [Heal_oneway], [Flap] or
+    [Inflate] events. *)
+
 val install :
   t ->
   engine:Engine.t ->
   ?on_join:(int -> unit) ->
   ?on_leave:(int -> unit) ->
+  ?on_cut_oneway:(src:int -> dst:int -> unit) ->
+  ?on_heal_oneway:(src:int -> dst:int -> unit) ->
+  ?on_flap:(a:int -> b:int -> period:float -> until_:float -> unit) ->
+  ?on_inflate:(src:int -> dst:int -> factor:float -> until_:float -> unit) ->
   on_crash:(int -> unit) ->
   on_recover:(int -> unit) ->
   on_cut:(int list list -> unit) ->
@@ -64,9 +97,9 @@ val install :
   unit
 (** Schedules every event on the engine at its time. Call before
     [Engine.run] (events must not be in the engine's past). The churn
-    hooks default to raising [Invalid_argument] when the plan actually
-    contains churn events — drivers that predate membership stay
-    honest. *)
+    and link-fault hooks default to raising [Invalid_argument] when the
+    plan actually contains such events — drivers that predate
+    membership or link faults stay honest. *)
 
 val random :
   Rng.t ->
@@ -106,6 +139,26 @@ val random_churn :
     @raise Invalid_argument if [initial < 2], [horizon <= 0], a count
     is negative, [initial + joins > n], or
     [leaves + rejoins > initial - 1]. *)
+
+val random_links :
+  Rng.t ->
+  n:int ->
+  horizon:float ->
+  ?oneways:int ->
+  ?flaps:int ->
+  ?inflations:int ->
+  unit ->
+  t
+(** A randomized, valid link-fault schedule drawn from a split of
+    [rng]: [oneways] (default 1) one-way cut episodes (cut in
+    [0.1–0.5]·horizon, healed after [0.05–0.3]·horizon), [flaps]
+    (default 1) flap episodes (period [0.01–0.05]·horizon, duration
+    [0.1–0.3]·horizon) and [inflations] (default 1) delay spikes
+    (factor 2–8×, duration [0.1–0.4]·horizon), each on an independently
+    drawn directed pair. Compose with {!random} / {!random_churn}
+    output via {!make} ([List.append] then re-sort).
+    @raise Invalid_argument if [n < 2], [horizon <= 0] or a count is
+    negative. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit

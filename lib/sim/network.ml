@@ -29,6 +29,9 @@ type probes = {
   p_drop_crash : Metrics.counter;
   p_drop_stale : Metrics.counter;
   p_drop_nonmember : Metrics.counter;
+  p_drop_oneway : Metrics.counter;
+  p_drop_flap : Metrics.counter;
+  p_delay_inflated : Metrics.counter;
   p_duplicated : Metrics.counter;
   p_corrupted : Metrics.counter;
   p_partition_cuts : Metrics.counter;
@@ -46,6 +49,9 @@ let probes metrics =
     p_drop_crash = c "net_dropped" ~labels:[ ("cause", "crash") ];
     p_drop_stale = c "net_dropped" ~labels:[ ("cause", "stale") ];
     p_drop_nonmember = c "net_dropped" ~labels:[ ("cause", "nonmember") ];
+    p_drop_oneway = c "net_dropped" ~labels:[ ("cause", "oneway") ];
+    p_drop_flap = c "net_dropped" ~labels:[ ("cause", "flap") ];
+    p_delay_inflated = c "net_delayed" ~labels:[ ("cause", "inflation") ];
     p_duplicated = c "net_duplicated";
     p_corrupted = c "net_corrupted";
     p_partition_cuts = c "net_partition_cuts";
@@ -105,6 +111,23 @@ type 'a t = {
   last_delivery : Sim_time.t array array;  (* FIFO floor per channel *)
   handlers : 'a handler option array;
   cut_link : bool array array;  (* [src].(dst): true = partitioned *)
+  oneway : bool array array;
+      (* [src].(dst): true = the src->dst direction alone is cut — the
+         asymmetric-partition filter; the reverse direction is
+         independent *)
+  flap_start : float array array;  (* [src].(dst): episode arm time *)
+  flap_period : float array array;
+  flap_until : float array array;
+      (* a link flaps while [now < flap_until]: it oscillates
+         cut/healed with the given half-period, cut first.  The state
+         is a pure function of the clock — no scheduled events, no RNG
+         — so an unarmed link costs one float compare per send. *)
+  inflate_factor : float array array;
+  inflate_until : float array array;
+      (* per-link tail-latency spike: while [now < inflate_until] the
+         sampled delay is multiplied by [inflate_factor] (>= 1).  The
+         underlying latency sample is drawn as usual, so the RNG
+         stream is identical with or without the spike armed. *)
   crashed : bool array;
   incarnations : int array;
       (* per-process incarnation number; envelopes are stamped with the
@@ -125,6 +148,9 @@ type 'a t = {
   mutable crash_dropped : int;
   mutable stale_dropped : int;
   mutable nonmember_dropped : int;
+  mutable oneway_dropped : int;
+  mutable flap_dropped : int;
+  mutable delay_inflated : int;
 }
 
 (* ---- delivery ------------------------------------------------------ *)
@@ -362,6 +388,12 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(arena = true)
     last_delivery = Array.init n (fun _ -> Array.make n Sim_time.zero);
     handlers = Array.make n None;
     cut_link = Array.init n (fun _ -> Array.make n false);
+    oneway = Array.init n (fun _ -> Array.make n false);
+    flap_start = Array.init n (fun _ -> Array.make n 0.);
+    flap_period = Array.init n (fun _ -> Array.make n 1.);
+    flap_until = Array.init n (fun _ -> Array.make n neg_infinity);
+    inflate_factor = Array.init n (fun _ -> Array.make n 1.);
+    inflate_until = Array.init n (fun _ -> Array.make n neg_infinity);
     crashed = Array.make n false;
     incarnations = Array.make n 0;
     mangle;
@@ -377,6 +409,9 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(arena = true)
       crash_dropped = 0;
       stale_dropped = 0;
       nonmember_dropped = 0;
+      oneway_dropped = 0;
+      flap_dropped = 0;
+      delay_inflated = 0;
     }
   in
   (* the wakeup thunks need the network itself; patch them in once *)
@@ -407,7 +442,13 @@ let heal t ~a ~b =
   check_proc t a "heal";
   check_proc t b "heal";
   t.cut_link.(a).(b) <- false;
-  t.cut_link.(b).(a) <- false
+  t.cut_link.(b).(a) <- false;
+  (* a heal restores the link completely: pending one-way filters and
+     flap episodes on the pair end with it *)
+  t.oneway.(a).(b) <- false;
+  t.oneway.(b).(a) <- false;
+  t.flap_until.(a).(b) <- neg_infinity;
+  t.flap_until.(b).(a) <- neg_infinity
 
 let is_cut t ~a ~b =
   check_proc t a "is_cut";
@@ -445,9 +486,69 @@ let partition t groups =
 let heal_all t =
   for a = 0 to t.n - 1 do
     for b = 0 to t.n - 1 do
-      t.cut_link.(a).(b) <- false
+      t.cut_link.(a).(b) <- false;
+      t.oneway.(a).(b) <- false;
+      t.flap_until.(a).(b) <- neg_infinity
     done
   done
+
+(* ---- link-level faults (nemesis primitives) ------------------------ *)
+
+let cut_oneway t ~src ~dst =
+  check_proc t src "cut_oneway";
+  check_proc t dst "cut_oneway";
+  if not t.oneway.(src).(dst) then Metrics.incr t.probes.p_partition_cuts;
+  t.oneway.(src).(dst) <- true
+
+let heal_oneway t ~src ~dst =
+  check_proc t src "heal_oneway";
+  check_proc t dst "heal_oneway";
+  t.oneway.(src).(dst) <- false
+
+let is_cut_oneway t ~src ~dst =
+  check_proc t src "is_cut_oneway";
+  check_proc t dst "is_cut_oneway";
+  t.oneway.(src).(dst)
+
+let flap t ~a ~b ~period ~until_ =
+  check_proc t a "flap";
+  check_proc t b "flap";
+  if not (period > 0. && Float.is_finite period) then
+    invalid_arg "Network.flap: period must be positive and finite";
+  let start = Sim_time.to_float (Engine.now t.engine) in
+  t.flap_start.(a).(b) <- start;
+  t.flap_start.(b).(a) <- start;
+  t.flap_period.(a).(b) <- period;
+  t.flap_period.(b).(a) <- period;
+  t.flap_until.(a).(b) <- until_;
+  t.flap_until.(b).(a) <- until_
+
+(* Flap state is computed, never stored: the link is cut during even
+   half-periods of an armed episode (cut first, so arming is
+   immediately visible), healed during odd ones, healed once the
+   episode expires.  Both the send path and the cursor below evaluate
+   the same expression, so they can never disagree. *)
+let flap_cut_now t ~src ~dst ~now =
+  now < t.flap_until.(src).(dst)
+  && now >= t.flap_start.(src).(dst)
+  &&
+  let phase =
+    int_of_float ((now -. t.flap_start.(src).(dst)) /. t.flap_period.(src).(dst))
+  in
+  phase land 1 = 0
+
+let is_flap_cut t ~src ~dst =
+  check_proc t src "is_flap_cut";
+  check_proc t dst "is_flap_cut";
+  flap_cut_now t ~src ~dst ~now:(Sim_time.to_float (Engine.now t.engine))
+
+let inflate t ~src ~dst ~factor ~until_ =
+  check_proc t src "inflate";
+  check_proc t dst "inflate";
+  if not (factor >= 1. && Float.is_finite factor) then
+    invalid_arg "Network.inflate: factor must be >= 1 and finite";
+  t.inflate_factor.(src).(dst) <- factor;
+  t.inflate_until.(src).(dst) <- until_
 
 (* ---- crash-stop marks --------------------------------------------- *)
 
@@ -535,6 +636,18 @@ let send t ~src ~dst payload =
     t.partition_dropped <- t.partition_dropped + 1;
     Metrics.incr t.probes.p_drop_partition
   end
+  else if t.oneway.(src).(dst) then begin
+    (* asymmetric cut: this direction alone is unplugged *)
+    t.oneway_dropped <- t.oneway_dropped + 1;
+    Metrics.incr t.probes.p_drop_oneway
+  end
+  else if
+    flap_cut_now t ~src ~dst
+      ~now:(Sim_time.to_float (Engine.now t.engine))
+  then begin
+    t.flap_dropped <- t.flap_dropped + 1;
+    Metrics.incr t.probes.p_drop_flap
+  end
   else if t.faults.drop > 0. && Rng.bernoulli rng t.faults.drop then begin
     t.dropped <- t.dropped + 1;
     Metrics.incr t.probes.p_drop_random
@@ -550,6 +663,18 @@ let send t ~src ~dst payload =
       else payload
     in
     let delay = Latency.sample (t.latency ~src ~dst) rng in
+    let delay =
+      (* tail-latency spike: multiply the already-sampled delay, so
+         arming a spike never shifts the channel's RNG stream *)
+      if
+        Sim_time.to_float (Engine.now t.engine) < t.inflate_until.(src).(dst)
+      then begin
+        t.delay_inflated <- t.delay_inflated + 1;
+        Metrics.incr t.probes.p_delay_inflated;
+        delay *. t.inflate_factor.(src).(dst)
+      end
+      else delay
+    in
     let at = Sim_time.add (Engine.now t.engine) delay in
     let at =
       if t.fifo then begin
@@ -585,11 +710,15 @@ let messages_partition_dropped t = t.partition_dropped
 let messages_crash_dropped t = t.crash_dropped
 let messages_stale_dropped t = t.stale_dropped
 let messages_nonmember_dropped t = t.nonmember_dropped
+let messages_oneway_dropped t = t.oneway_dropped
+let messages_flap_dropped t = t.flap_dropped
+let messages_delay_inflated t = t.delay_inflated
 let messages_corrupted t = t.corrupted
 
 let in_flight t =
   (* duplicate copies add deliveries beyond sends; clamp at zero *)
   max 0
-    (t.sent - t.dropped - t.partition_dropped
+    (t.sent - t.dropped - t.partition_dropped - t.oneway_dropped
+    - t.flap_dropped
     - (t.delivered + t.crash_dropped + t.stale_dropped
       + t.nonmember_dropped - t.duplicated))

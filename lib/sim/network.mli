@@ -61,11 +61,11 @@ val create :
 
     [?metrics] (default: the null registry) receives [net_sends],
     [net_delivered],
-    [net_dropped{cause=random|partition|crash|stale|nonmember}],
-    [net_duplicated], [net_corrupted], [net_partition_cuts] and
-    [net_payload_bytes] (Marshal-encoded size, only measured when the
-    registry is live). Probes never touch RNG streams or the event
-    schedule.
+    [net_dropped{cause=random|partition|crash|stale|nonmember|oneway|flap}],
+    [net_delayed{cause=inflation}], [net_duplicated], [net_corrupted],
+    [net_partition_cuts] and [net_payload_bytes] (Marshal-encoded size,
+    only measured when the registry is live). Probes never touch RNG
+    streams or the event schedule.
 
     [?arena] (default [true]) routes envelopes through a flat slot
     arena: an in-flight message occupies a recycled slot whose delivery
@@ -151,7 +151,52 @@ val partition : 'a t -> int list list -> unit
     @raise Invalid_argument if a process appears in two groups. *)
 
 val heal_all : 'a t -> unit
-(** Heals every cut link. *)
+(** Heals every cut link — symmetric cuts, one-way cuts and flap
+    episodes alike. *)
+
+(** {1 Link-level faults (nemesis primitives)}
+
+    Finer-grained adversarial link state, all checked at {e send} time
+    like symmetric partitions (fail-cut model), each counted under its
+    own cause label so a campaign can attribute every lost frame:
+
+    - {b asymmetric cuts}: one direction of a link is unplugged while
+      the reverse keeps working ([net_dropped{cause=oneway}]) — the
+      classic half-open failure that symmetric [cut] cannot express;
+    - {b flapping}: a link oscillates cut/healed on a fixed half-period
+      until an expiry instant ([net_dropped{cause=flap}]). The state is
+      a pure function of the simulation clock — no scheduled events and
+      no RNG draws — so arming a flap cannot perturb anything else;
+    - {b delay inflation}: a per-direction tail-latency spike
+      multiplying the sampled delay by a factor [>= 1] until an expiry
+      instant ([net_delayed{cause=inflation}]). The base delay is drawn
+      from the channel RNG as usual, so the stream of random numbers is
+      identical with or without the spike. *)
+
+val cut_oneway : 'a t -> src:int -> dst:int -> unit
+(** Cuts only the [src -> dst] direction; [dst -> src] is untouched. *)
+
+val heal_oneway : 'a t -> src:int -> dst:int -> unit
+val is_cut_oneway : 'a t -> src:int -> dst:int -> bool
+
+val flap : 'a t -> a:int -> b:int -> period:float -> until_:float -> unit
+(** [flap t ~a ~b ~period ~until_] arms a flap episode on the pair
+    (both directions): starting now, the link is cut for [period] time
+    units, healed for the next [period], and so on — cut first, so the
+    fault is immediately visible — until the clock reaches [until_],
+    after which the link is healed. Re-arming overwrites the previous
+    episode; {!heal} or {!heal_all} cancels it.
+    @raise Invalid_argument if [period] is not positive and finite. *)
+
+val is_flap_cut : 'a t -> src:int -> dst:int -> bool
+(** Whether an armed flap episode has the link cut at this instant. *)
+
+val inflate : 'a t -> src:int -> dst:int -> factor:float -> until_:float -> unit
+(** [inflate t ~src ~dst ~factor ~until_] multiplies every delay
+    sampled for [src -> dst] by [factor] until the clock reaches
+    [until_] (each inflated send counted in
+    {!messages_delay_inflated}). Re-arming overwrites.
+    @raise Invalid_argument if [factor < 1] or not finite. *)
 
 (** {1 Crash-stop marks}
 
@@ -211,6 +256,16 @@ val messages_stale_dropped : 'a t -> int
 
 val messages_nonmember_dropped : 'a t -> int
 (** Deliveries to a slot outside the membership view. *)
+
+val messages_oneway_dropped : 'a t -> int
+(** Transmissions lost to an asymmetric (one-way) cut. *)
+
+val messages_flap_dropped : 'a t -> int
+(** Transmissions lost to a flapping link's cut phase. *)
+
+val messages_delay_inflated : 'a t -> int
+(** Transmissions whose delay was multiplied by an armed inflation
+    spike (delivered late, not lost). *)
 
 val messages_corrupted : 'a t -> int
 (** Payloads mangled in transit by the [corrupt] fault. *)

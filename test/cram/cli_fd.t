@@ -67,7 +67,7 @@ it, and names the driver the run would use.
 
   $ dsm-sim plan -n 6 --initial 4 --join 4@80 --crash 1@120
   universe: 6 slots, 4 initial members
-  driver: churn-campaign
+  driver: nemesis
   events: 2
   join p5 @80.000;
   crash p2 @120.000
@@ -76,7 +76,7 @@ Forcing the static fault driver onto a churny plan is refused with a
 pointer at the membership-owning driver.
 
   $ dsm-sim plan --driver fault -n 6 --initial 5 --join 5@50
-  dsm-sim: Fault_campaign.run: static membership only, but the plan contains join p6 @50.000 — membership changes need the churn driver: Churn_campaign.run (CLI: dsm-sim run --join/--leave/--churn, or --fd for detector-driven views)
+  dsm-sim: Fault_campaign.run: static membership only, but the plan contains join p6 @50.000 — membership changes need a churn-aware driver: Nemesis.run for combined fault schedules (CLI: dsm-sim nemesis), or Churn_campaign.run for churn alone (CLI: dsm-sim run --join/--leave/--churn, or --fd for detector-driven views)
   [124]
 
 --fd owns the view: scripted membership does not combine with it.

@@ -1,0 +1,69 @@
+Nemesis: unified adversarial fault campaigns. The default mode runs
+the scenario corpus — named fixed-seed schedules with expected
+verdicts, including the canary scenario that must FAIL as a safety
+violation (a swarm that cannot catch the deliberately buggy protocol
+is not testing anything).
+
+  $ dsm-sim nemesis
+  clean-baseline         clean              expected [clean] ok
+  partition-heal         clean              expected [clean] ok
+  crash-recover          clean              expected [clean] ok
+  asym-cut               clean              expected [clean] ok
+  flap-storm             clean              expected [clean] ok
+  tail-inflation         clean              expected [clean] ok
+  churn-storm            clean              expected [clean] ok
+  false-suspicion-storm  refuted-suspicion  expected [refuted-suspicion] ok
+  corrupt-storm          clean              expected [clean] ok
+  kitchen-sink           refuted-suspicion  expected [clean; refuted-suspicion] ok
+  canary-reorder         violation          expected [violation] ok
+
+A fixed-seed swarm: randomized combined-fault schedules (churn +
+partitions + one-way cuts + flaps + inflation + corruption + an armed
+detector), each classified. Accepted verdicts are clean and
+refuted-suspicion.
+
+  $ dsm-sim nemesis --swarm 6 --seed 5
+  swarm: 6 schedules, 6 accepted
+    clean              6
+  
+
+The self-test: a canary swarm must fail, and the first failure shrinks
+to a minimal schedule saved as replayable JSON.
+
+  $ dsm-sim nemesis --swarm 2 --protocol canary --seed 42 --shrink --out min.json
+  swarm: 2 schedules, 0 accepted
+    violation          2
+    FAIL swarm-42 [canary, seed 42]: violation — applies=237 delays=68 (necessary=68 unnecessary=0) violations=32 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true
+    FAIL swarm-43 [canary, seed 43]: violation — applies=470 delays=88 (necessary=88 unnecessary=0) violations=6 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true
+  
+  shrink to violation: 11 -> 1 fault events in 10 runs (schedule swarm-42)
+  reproducer -> min.json
+  dsm-sim: 2/2 schedules not accepted
+  [124]
+
+The reproducer replays deterministically — two replays are
+byte-identical.
+
+  $ dsm-sim nemesis --replay min.json
+  swarm-42 [canary, seed 42]: violation — applies=292 delays=51 (necessary=51 unnecessary=0) violations=2 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true
+  $ dsm-sim nemesis --replay min.json
+  swarm-42 [canary, seed 42]: violation — applies=292 delays=51 (necessary=51 unnecessary=0) violations=2 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true
+
+The reproducer is an ordinary fault plan: the plan subcommand loads
+it, names the driver, and pretty-prints the schedule.
+
+  $ dsm-sim plan --file min.json
+  universe: 4 slots, 3 initial members
+  driver: nemesis
+  protocol: canary, seed 42
+  events: 1
+  join p4 @65.693
+
+Unknown scenarios and protocols fail loudly.
+
+  $ dsm-sim nemesis --scenario no-such-thing
+  dsm-sim: unknown scenario "no-such-thing" (try --list-scenarios)
+  [124]
+  $ dsm-sim nemesis --swarm 1 --protocol tcp
+  dsm-sim: unknown protocol "tcp" (expected optp | anbkh | optp-direct | canary)
+  [124]

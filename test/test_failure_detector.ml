@@ -381,7 +381,8 @@ let test_emergent_rejects_scripted_churn () =
     (Invalid_argument
        "Churn_campaign.run: emergent mode scripts no membership — drop the \
         Join/Leave events; crashes and partitions are the only inputs, the \
-        detector produces the view history")
+        detector produces the view history (pass ~mixed:true — the nemesis \
+        driver does — to combine both)")
     (fun () ->
       ignore
         (Churn_campaign.run

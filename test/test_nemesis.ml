@@ -1,0 +1,466 @@
+(* Nemesis: link-level fault primitives, verdict classification, the
+   scenario corpus, swarm acceptance, shrinking and replayable JSON.
+
+   The link-primitive tests drive Network directly (one-wayness, flap
+   phase as a pure function of the clock, inflation of already-sampled
+   delays, per-cause-label message conservation); the rest exercise the
+   campaign driver end to end, including the canary self-test: a swarm
+   that cannot catch the deliberately buggy protocol tests nothing. *)
+
+module Engine = Dsm_sim.Engine
+module Rng = Dsm_sim.Rng
+module Network = Dsm_sim.Network
+module Latency = Dsm_sim.Latency
+module Sim_time = Dsm_sim.Sim_time
+module Checker = Dsm_runtime.Checker
+module CC = Dsm_runtime.Churn_campaign
+module Nemesis = Dsm_runtime.Nemesis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let verdict : Nemesis.verdict Alcotest.testable =
+  Alcotest.testable Nemesis.pp_verdict ( = )
+
+let make_net ?faults ?(latency = Latency.Constant 1.) ?(seed = 1) n =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let net =
+    Network.create ~engine ~rng ~n
+      ~latency:(fun ~src:_ ~dst:_ -> latency)
+      ?faults ()
+  in
+  (engine, net)
+
+(* ------------------------------------------------------------------ *)
+(* asymmetric cuts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_oneway_is_one_way () =
+  let engine, net = make_net 2 in
+  let got = Array.make 2 0 in
+  for p = 0 to 1 do
+    Network.set_handler net p (fun ~src:_ ~at:_ () -> got.(p) <- got.(p) + 1)
+  done;
+  Network.cut_oneway net ~src:0 ~dst:1;
+  check_bool "0->1 cut" true (Network.is_cut_oneway net ~src:0 ~dst:1);
+  check_bool "1->0 open" false (Network.is_cut_oneway net ~src:1 ~dst:0);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:1 ~dst:0 ();
+  ignore (Engine.run engine);
+  check_int "cut direction lost" 0 got.(1);
+  check_int "reverse direction delivered" 1 got.(0);
+  check_int "counted under its own cause" 1
+    (Network.messages_oneway_dropped net);
+  check_int "not a symmetric-partition drop" 0
+    (Network.messages_partition_dropped net);
+  Network.heal_oneway net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 ();
+  ignore (Engine.run engine);
+  check_int "healed direction delivers" 1 got.(1)
+
+let test_heal_all_clears_oneway () =
+  let _engine, net = make_net 3 in
+  Network.cut_oneway net ~src:0 ~dst:1;
+  Network.cut_oneway net ~src:2 ~dst:0;
+  Network.heal_all net;
+  check_bool "0->1 healed" false (Network.is_cut_oneway net ~src:0 ~dst:1);
+  check_bool "2->0 healed" false (Network.is_cut_oneway net ~src:2 ~dst:0)
+
+(* ------------------------------------------------------------------ *)
+(* flapping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* cut-first square wave: with period 10 armed at t=0, the link is cut
+   on [0,10), healed on [10,20), cut on [20,30)... and permanently
+   healed once the clock reaches [until_]. *)
+let test_flap_phase_is_clock_function () =
+  let engine, net = make_net 2 in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src:_ ~at:_ k -> got := k :: !got);
+  Network.flap net ~a:0 ~b:1 ~period:10. ~until_:100.;
+  let probe t expect_cut =
+    Engine.schedule_at engine (Sim_time.of_float t) (fun () ->
+        check_bool
+          (Printf.sprintf "flap state at %g" t)
+          expect_cut
+          (Network.is_flap_cut net ~src:0 ~dst:1);
+        check_bool
+          (Printf.sprintf "flap is symmetric at %g" t)
+          expect_cut
+          (Network.is_flap_cut net ~src:1 ~dst:0);
+        Network.send net ~src:0 ~dst:1 t)
+  in
+  probe 5. true;
+  probe 15. false;
+  probe 25. true;
+  probe 35. false;
+  probe 45. true;
+  probe 105. false (* past until_: permanently healed *);
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 0.)))
+    "only healed-phase sends arrive" [ 15.; 35.; 105. ]
+    (List.sort compare !got);
+  check_int "cut-phase sends counted as flap drops" 3
+    (Network.messages_flap_dropped net)
+
+(* arming a flap on one pair draws no RNG and schedules no events, so
+   traffic on other links is byte-identical with and without it *)
+let test_flap_perturbs_nothing () =
+  let deliveries ~with_flap =
+    let engine, net =
+      make_net ~latency:(Latency.Lognormal { mu = 1.0; sigma = 0.8 }) ~seed:7 3
+    in
+    let ats = ref [] in
+    Network.set_handler net 2 (fun ~src:_ ~at () ->
+        ats := Sim_time.to_float at :: !ats);
+    if with_flap then Network.flap net ~a:0 ~b:1 ~period:3. ~until_:50.;
+    for k = 0 to 19 do
+      Engine.schedule_at engine
+        (Sim_time.of_float (float_of_int k))
+        (fun () -> Network.send net ~src:0 ~dst:2 ())
+    done;
+    ignore (Engine.run engine);
+    List.rev !ats
+  in
+  Alcotest.(check (list (float 0.)))
+    "unrelated channel unchanged"
+    (deliveries ~with_flap:false)
+    (deliveries ~with_flap:true)
+
+(* ------------------------------------------------------------------ *)
+(* delay inflation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_inflation_multiplies_sampled_delay () =
+  let engine, net = make_net ~latency:(Latency.Constant 2.) 2 in
+  let ats = ref [] in
+  for p = 0 to 1 do
+    Network.set_handler net p (fun ~src:_ ~at tag ->
+        ats := (tag, Sim_time.to_float at) :: !ats)
+  done;
+  Network.inflate net ~src:0 ~dst:1 ~factor:5. ~until_:50.;
+  Network.send net ~src:0 ~dst:1 "spiked";
+  Network.send net ~src:1 ~dst:0 "reverse";
+  Engine.schedule_at engine (Sim_time.of_float 60.) (fun () ->
+      Network.send net ~src:0 ~dst:1 "expired");
+  ignore (Engine.run engine);
+  let at tag = List.assoc tag !ats in
+  Alcotest.(check (float 1e-9)) "spiked: 2 * 5" 10. (at "spiked");
+  Alcotest.(check (float 1e-9)) "reverse direction untouched" 2. (at "reverse");
+  Alcotest.(check (float 1e-9)) "after until_: base delay" 62. (at "expired");
+  check_int "exactly one send inflated" 1 (Network.messages_delay_inflated net);
+  check_int "inflation loses nothing" 3 (Network.messages_delivered net)
+
+(* ------------------------------------------------------------------ *)
+(* message conservation per cause label (qcheck)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* with every destination live and in the view, the only loss causes
+   are send-time link state and the random drop fault — so every
+   transmission (plus every duplicate) is accounted for by exactly one
+   of: delivered, random drop, partition drop, one-way drop, flap
+   drop. Nothing is left in flight after the engine drains. *)
+let conservation_law =
+  QCheck.Test.make ~count:100 ~name:"per-cause message conservation"
+    QCheck.(
+      quad (int_bound 9999) (int_range 1 60) (int_bound 30) (int_bound 30))
+    (fun (seed, nmsg, droppct, duppct) ->
+      let faults =
+        {
+          Network.drop = float_of_int droppct /. 100.;
+          duplicate = float_of_int duppct /. 100.;
+          corrupt = 0.;
+        }
+      in
+      let engine, net = make_net ~faults ~seed 3 in
+      for p = 0 to 2 do
+        Network.set_handler net p (fun ~src:_ ~at:_ () -> ())
+      done;
+      if seed land 1 = 1 then Network.cut_oneway net ~src:0 ~dst:1;
+      if seed mod 3 = 0 then Network.flap net ~a:1 ~b:2 ~period:3. ~until_:40.;
+      if seed mod 5 = 0 then begin
+        Engine.schedule_at engine (Sim_time.of_float 20.) (fun () ->
+            Network.cut net ~a:0 ~b:2);
+        Engine.schedule_at engine (Sim_time.of_float 35.) (fun () ->
+            Network.heal net ~a:0 ~b:2)
+      end;
+      let pairs = Rng.create (seed + 1) in
+      for k = 0 to nmsg - 1 do
+        let src = Rng.int pairs 3 in
+        let dst = (src + 1 + Rng.int pairs 2) mod 3 in
+        Engine.schedule_at engine
+          (Sim_time.of_float (float_of_int k))
+          (fun () -> Network.send net ~src ~dst ())
+      done;
+      ignore (Engine.run engine);
+      Network.messages_sent net = nmsg
+      && Network.in_flight net = 0
+      && Network.messages_sent net + Network.messages_duplicated net
+         = Network.messages_delivered net
+           + Network.messages_dropped net
+           + Network.messages_partition_dropped net
+           + Network.messages_oneway_dropped net
+           + Network.messages_flap_dropped net)
+
+(* ------------------------------------------------------------------ *)
+(* verdicts and classification                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_verdict_names_round_trip () =
+  let all =
+    [
+      Nemesis.Clean;
+      Refuted_suspicion;
+      Unnecessary_delay;
+      Ghost_leak;
+      Diverged;
+      Violation;
+      Stuck;
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check (option verdict))
+        (Nemesis.verdict_name v) (Some v)
+        (Nemesis.verdict_of_name (Nemesis.verdict_name v)))
+    all;
+  Alcotest.(check (option verdict)) "unknown" None
+    (Nemesis.verdict_of_name "no-such-verdict");
+  check_bool "clean accepted" true (Nemesis.accepted Nemesis.Clean);
+  check_bool "refuted accepted" true (Nemesis.accepted Nemesis.Refuted_suspicion);
+  check_bool "diverged not accepted" false (Nemesis.accepted Nemesis.Diverged)
+
+(* derive classification units from two real outcomes: a clean baseline
+   run (then functionally perturbed field by field) and the canary run
+   (real checker violations) *)
+let clean_outcome () =
+  let sc = Option.get (Nemesis.find_scenario "clean-baseline") in
+  match (Nemesis.run sc.sched_).outcome with
+  | Some o -> o
+  | None -> Alcotest.fail "baseline run stuck"
+
+let test_classify_perturbations () =
+  let o = clean_outcome () in
+  let classify = Nemesis.classify ~optimal:true in
+  Alcotest.check verdict "baseline is clean" Nemesis.Clean (classify o);
+  Alcotest.check verdict "ghost dots" Nemesis.Ghost_leak
+    (classify { o with CC.quarantine_leaks = 1 });
+  Alcotest.check verdict "final-state disagreement" Nemesis.Diverged
+    (classify { o with CC.live_equal = false });
+  Alcotest.check verdict "lost write" Nemesis.Diverged
+    (classify
+       {
+         o with
+         CC.report =
+           {
+             o.report with
+             Checker.lost = [ (0, Dsm_vclock.Dot.make ~replica:0 ~seq:1) ];
+           };
+       });
+  let delayed =
+    { o with CC.report = { o.report with Checker.unnecessary_delays = 1 } }
+  in
+  Alcotest.check verdict "Theorem-4 protocols must not over-delay"
+    Nemesis.Unnecessary_delay (classify delayed);
+  Alcotest.check verdict "non-optimal protocols may delay" Nemesis.Clean
+    (Nemesis.classify ~optimal:false delayed);
+  Alcotest.check verdict "refuted false positive is survivable"
+    Nemesis.Refuted_suspicion
+    (classify { o with CC.false_suspicions = 1 });
+  Alcotest.check verdict "precedence: ghosts beat divergence"
+    Nemesis.Ghost_leak
+    (classify { o with CC.quarantine_leaks = 1; live_equal = false })
+
+let test_classify_unrefuted_false_suspicion () =
+  let o = clean_outcome () in
+  let ejected p =
+    {
+      CC.speer = p;
+      sobserver = 0;
+      sphi = 9.;
+      sat = 50.;
+      strue = false;
+      slatency = None;
+      srefuted_at = None;
+    }
+  in
+  (* a live slot falsely suspected, never refuted, missing at the end,
+     and not scheduled to be gone: a permanent wrongful ejection *)
+  Alcotest.check verdict "wrongful permanent ejection" Nemesis.Diverged
+    (Nemesis.classify ~optimal:true
+       {
+         o with
+         CC.suspicions = [ ejected 1 ];
+         active_at_end = List.filter (fun p -> p <> 1) o.CC.active_at_end;
+       });
+  (* the same suspicion is benign while the slot is active at the end
+     (a scripted recover re-admitted it without touching srefuted_at) *)
+  Alcotest.check verdict "re-admitted by script" Nemesis.Clean
+    (Nemesis.classify ~optimal:true { o with CC.suspicions = [ ejected 1 ] })
+
+let test_classify_real_violations () =
+  let sc = Option.get (Nemesis.find_scenario "canary-reorder") in
+  let r = Nemesis.run sc.sched_ in
+  Alcotest.check verdict "canary violates" Nemesis.Violation r.verdict;
+  match r.outcome with
+  | None -> Alcotest.fail "canary run stuck"
+  | Some o ->
+      Alcotest.check verdict "violations beat ghosts" Nemesis.Violation
+        (Nemesis.classify ~optimal:true { o with CC.quarantine_leaks = 1 })
+
+(* ------------------------------------------------------------------ *)
+(* scenario corpus                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_corpus () =
+  check_bool "corpus is non-trivial" true (List.length Nemesis.scenarios >= 10);
+  List.iter
+    (fun (sc : Nemesis.scenario) ->
+      let r = Nemesis.run sc.sched_ in
+      if not (List.mem r.verdict sc.expected) then
+        Alcotest.failf "%s: got %s, expected [%s]" sc.sched_.Nemesis.name
+          (Nemesis.verdict_name r.verdict)
+          (String.concat "; " (List.map Nemesis.verdict_name sc.expected)))
+    Nemesis.scenarios
+
+let test_validate_rejects_nonsense () =
+  let sc = Option.get (Nemesis.find_scenario "clean-baseline") in
+  let bad = { sc.sched_ with Nemesis.initial = 0 } in
+  check_bool "initial=0 rejected" true
+    (try
+       Nemesis.validate_schedule bad;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "unknown protocol rejected" true
+    (try
+       Nemesis.validate_schedule { sc.sched_ with Nemesis.protocol = "tcp" };
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* swarm                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mini_swarm_accepted () =
+  let rep = Nemesis.swarm ~seed:1 ~count:16 () in
+  check_int "all schedules ran" 16 rep.total;
+  check_int "all accepted" 16 rep.accepted_count;
+  Alcotest.(check (list reject)) "no failures" [] rep.failures;
+  check_int "tally sums to total" rep.total
+    (List.fold_left (fun acc (_, k) -> acc + k) 0 rep.counts)
+
+let test_swarm_is_deterministic () =
+  let tally () =
+    (Nemesis.swarm ~seed:11 ~count:6 ()).counts
+    |> List.map (fun (v, k) -> (Nemesis.verdict_name v, k))
+  in
+  Alcotest.(check (list (pair string int))) "same seed, same tally" (tally ())
+    (tally ())
+
+(* ------------------------------------------------------------------ *)
+(* canary + shrink + replayable JSON                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_canary_caught_and_shrunk () =
+  let rep = Nemesis.swarm ~protocol:"canary" ~seed:42 ~count:1 () in
+  check_int "swarm catches the canary" 0 rep.accepted_count;
+  let failing =
+    match rep.failures with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "canary swarm produced no failure"
+  in
+  Alcotest.check verdict "as a safety violation" Nemesis.Violation
+    failing.verdict;
+  let sh = Nemesis.shrink failing.sched ~target:failing.verdict in
+  check_bool "shrinker made progress" true (sh.events_after < sh.events_before);
+  check_bool "minimal reproducer is small" true (sh.events_after <= 10);
+  let replayed = Nemesis.run sh.minimal in
+  Alcotest.check verdict "minimal schedule still violates" Nemesis.Violation
+    replayed.verdict;
+  (* byte round-trip through the JSON reproducer, then replay again:
+     same verdict, same evidence line *)
+  let json = Nemesis.to_json_string sh.minimal in
+  match Nemesis.of_json_string json with
+  | Error msg -> Alcotest.failf "reproducer does not parse: %s" msg
+  | Ok decoded ->
+      Alcotest.(check string)
+        "re-serialization is byte-identical" json
+        (Nemesis.to_json_string decoded);
+      let r2 = Nemesis.run decoded in
+      Alcotest.check verdict "replay verdict" replayed.verdict r2.verdict;
+      Alcotest.(check string) "replay evidence" replayed.detail r2.detail
+
+let test_json_round_trips_whole_corpus () =
+  List.iter
+    (fun (sc : Nemesis.scenario) ->
+      let json = Nemesis.to_json_string sc.sched_ in
+      match Nemesis.of_json_string json with
+      | Error msg -> Alcotest.failf "%s: %s" sc.sched_.Nemesis.name msg
+      | Ok decoded ->
+          Alcotest.(check string) sc.sched_.Nemesis.name json
+            (Nemesis.to_json_string decoded))
+    Nemesis.scenarios
+
+let test_json_rejects_garbage () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  check_bool "empty object" true (is_err (Nemesis.of_json_string "{}"));
+  check_bool "not JSON" true (is_err (Nemesis.of_json_string "nemesis"));
+  check_bool "wrong schema" true
+    (is_err (Nemesis.of_json_string {|{"schema":"causal-dsm-trace/v1"}|}));
+  let sc = Option.get (Nemesis.find_scenario "partition-heal") in
+  let json = Nemesis.to_json_string sc.sched_ in
+  check_bool "trailing garbage" true
+    (is_err (Nemesis.of_json_string (json ^ " []")))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "nemesis"
+    [
+      ( "link primitives",
+        [
+          Alcotest.test_case "one-way cut is one-way" `Quick
+            test_oneway_is_one_way;
+          Alcotest.test_case "heal_all clears one-way cuts" `Quick
+            test_heal_all_clears_oneway;
+          Alcotest.test_case "flap phase is a clock function" `Quick
+            test_flap_phase_is_clock_function;
+          Alcotest.test_case "flap perturbs no other channel" `Quick
+            test_flap_perturbs_nothing;
+          Alcotest.test_case "inflation multiplies sampled delay" `Quick
+            test_inflation_multiplies_sampled_delay;
+          QCheck_alcotest.to_alcotest conservation_law;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "verdict names round-trip" `Quick
+            test_verdict_names_round_trip;
+          Alcotest.test_case "perturbed outcomes" `Quick
+            test_classify_perturbations;
+          Alcotest.test_case "unrefuted false suspicion" `Quick
+            test_classify_unrefuted_false_suspicion;
+          Alcotest.test_case "real violations win precedence" `Quick
+            test_classify_real_violations;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "scenario corpus verdicts" `Slow
+            test_scenario_corpus;
+          Alcotest.test_case "schedule validation" `Quick
+            test_validate_rejects_nonsense;
+          Alcotest.test_case "mini swarm all accepted" `Slow
+            test_mini_swarm_accepted;
+          Alcotest.test_case "swarm determinism" `Quick
+            test_swarm_is_deterministic;
+        ] );
+      ( "shrink + replay",
+        [
+          Alcotest.test_case "canary caught, shrunk, replayed" `Slow
+            test_canary_caught_and_shrunk;
+          Alcotest.test_case "JSON round-trips the corpus" `Quick
+            test_json_round_trips_whole_corpus;
+          Alcotest.test_case "JSON rejects garbage" `Quick
+            test_json_rejects_garbage;
+        ] );
+    ]
