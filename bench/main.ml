@@ -362,9 +362,12 @@ module Obs = struct
   type result = {
     on : int;  (** processes *)
     omessages : int;
-    null_ms : float;  (** per run, null registry, no trace assembly *)
-    live_ms : float;  (** per run, live registry + chrome rendering *)
-    overhead_pct : float;
+    null_ms : float;  (** per run, everything inert *)
+    full_ms : float;
+        (** per run, live registry + wire accountant + flight recorder
+            (one registry reused across reps via [Metrics.reset]) *)
+    trace_ms : float;  (** chrome-trace assembly alone, post-run export *)
+    overhead_pct : float;  (** full vs null *)
     instruments : int;
   }
 
@@ -377,19 +380,10 @@ module Obs = struct
       ~ops_per_process:(if quick then 15 else 60)
       ~write_ratio:0.5 ~seed:11 ()
 
-  let once ~n ~quick ~metrics ~trace () =
-    let o =
-      Sim_run.run
-        (module Dsm_core.Opt_p)
-        ~spec:(spec ~n ~quick) ~latency ~seed:2 ~metrics ()
-    in
-    if trace then begin
-      let buf = Buffer.create 8192 in
-      Dsm_obs.Export.chrome buf ~n ~end_time:o.Sim_run.end_time
-        (Dsm_obs.Span.spans (Provenance.spans o.Sim_run.execution));
-      ignore (Buffer.length buf)
-    end;
-    o
+  let once ~n ~quick ~metrics ~wire ~recorder () =
+    Sim_run.run
+      (module Dsm_core.Opt_p)
+      ~spec:(spec ~n ~quick) ~latency ~seed:2 ~metrics ~wire ~recorder ()
 
   (* Sys.time is coarse: repeat until enough CPU time accumulates *)
   let time f =
@@ -406,45 +400,69 @@ module Obs = struct
     results := [];
     let table =
       Table_fmt.create
-        ~title:"O: probe overhead - null registry vs metrics + chrome trace"
+        ~title:
+          "O: probe overhead - null sink vs metrics + wire + recorder \
+           (chrome export timed apart)"
         ~header:
-          [ "n"; "messages"; "null ms/run"; "full ms/run"; "overhead" ]
+          [
+            "n"; "messages"; "null ms/run"; "full ms/run"; "overhead";
+            "trace ms";
+          ]
         ()
     in
     Table_fmt.set_align table
       [
         Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
-        Table_fmt.Right;
+        Table_fmt.Right; Table_fmt.Right;
       ];
     let last_live = ref None in
     List.iter
       (fun n ->
-        (* differential guard: a live registry must not change the run *)
-        let o0 = once ~n ~quick ~metrics:(Metrics.null ()) ~trace:false () in
-        let live = Metrics.create () in
-        let o1 = once ~n ~quick ~metrics:live ~trace:false () in
+        let null_run () =
+          once ~n ~quick
+            ~metrics:(Metrics.null ())
+            ~wire:(Dsm_obs.Wire.null ())
+            ~recorder:(Dsm_obs.Timeseries.null ())
+            ()
+        in
+        (* one registry + accountant for every reps of this size; reset
+           between reps so tallies cannot leak run-to-run *)
+        let metrics = Metrics.create () in
+        let wire = Dsm_obs.Wire.create ~proto:"OptP" ~n () in
+        let recorder = Dsm_obs.Timeseries.create ~metrics () in
+        let full_run () =
+          Metrics.reset metrics;
+          Dsm_obs.Wire.reset wire;
+          once ~n ~quick ~metrics ~wire ~recorder ()
+        in
+        (* differential guard: live observers must not change the run *)
+        let o0 = null_run () in
+        let o1 = full_run () in
         if
           o0.Sim_run.end_time <> o1.Sim_run.end_time
           || o0.Sim_run.messages_sent <> o1.Sim_run.messages_sent
           || Execution.event_count o0.Sim_run.execution
              <> Execution.event_count o1.Sim_run.execution
         then failwith "Obs: observation changed the simulated outcome";
-        last_live := Some live;
-        let null_ms =
-          time (once ~n ~quick ~metrics:(Metrics.null ()) ~trace:false)
-        in
-        let live_ms =
+        last_live := Some metrics;
+        let null_ms = time null_run in
+        let full_ms = time full_run in
+        let trace_ms =
           time (fun () ->
-              once ~n ~quick ~metrics:(Metrics.create ()) ~trace:true ())
+              let buf = Buffer.create 8192 in
+              Dsm_obs.Export.chrome buf ~n ~end_time:o1.Sim_run.end_time
+                (Dsm_obs.Span.spans (Provenance.spans o1.Sim_run.execution));
+              Buffer.length buf)
         in
-        let overhead_pct = (live_ms -. null_ms) /. null_ms *. 100. in
+        let overhead_pct = (full_ms -. null_ms) /. null_ms *. 100. in
         Table_fmt.add_row table
           [
             string_of_int n;
             string_of_int o0.Sim_run.messages_sent;
             Printf.sprintf "%.3f" null_ms;
-            Printf.sprintf "%.3f" live_ms;
+            Printf.sprintf "%.3f" full_ms;
             Printf.sprintf "%+.1f%%" overhead_pct;
+            Printf.sprintf "%.3f" trace_ms;
           ];
         results :=
           !results
@@ -453,20 +471,118 @@ module Obs = struct
                 on = n;
                 omessages = o0.Sim_run.messages_sent;
                 null_ms;
-                live_ms;
+                full_ms;
+                trace_ms;
                 overhead_pct;
-                instruments = List.length (Metrics.rows live);
+                instruments = List.length (Metrics.rows metrics);
               };
             ])
       [ 8; 32 ];
     print_table table;
-    (* the registry of the differential run, as users will see it *)
+    (* the registry of the last timed rep, as users will see it *)
     match !last_live with
     | Some live ->
         print_newline ();
         print_table
           (Metrics.summary_table ~title:"metrics registry (n=32 run)" live)
     | None -> ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Wire cost: causal-metadata bytes vs system size, dense vs delta     *)
+(* ------------------------------------------------------------------ *)
+
+module Wire_bench = struct
+  module Sim_run = Dsm_runtime.Sim_run
+  module Wire = Dsm_obs.Wire
+
+  type result = {
+    wn : int;  (** processes *)
+    wframes : int;
+    wtotal_bytes : int;
+    wheader : int;
+    wpayload : int;
+    wmeta : int;
+    wdelta_meta : int;
+    wmeta_per_msg : float;
+    wdelta_per_msg : float;
+  }
+
+  let results : result list ref = ref []
+
+  (* Zipf-skewed writes: consecutive frames on an edge mostly move few
+     vector entries, which is where the delta counterfactual wins *)
+  let spec ~n ~quick =
+    Dsm_workload.Spec.make ~n ~m:8
+      ~ops_per_process:(if quick then 15 else 40)
+      ~write_ratio:0.5 ~var_dist:(Dsm_workload.Spec.Zipf_vars 1.2) ~seed:11
+      ()
+
+  let run ~quick () =
+    results := [];
+    let table =
+      Table_fmt.create
+        ~title:
+          "W: wire cost of dense OptP vectors vs the delta counterfactual \
+           (zipf 1.2 writes)"
+        ~header:
+          [
+            "n"; "frames"; "total B"; "meta B"; "meta B/msg";
+            "delta B/msg"; "delta/dense";
+          ]
+        ()
+    in
+    Table_fmt.set_align table
+      [
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+        Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+      ];
+    List.iter
+      (fun n ->
+        let wire = Wire.create ~proto:"OptP" ~n () in
+        ignore
+          (Sim_run.run
+             (module Dsm_core.Opt_p)
+             ~spec:(spec ~n ~quick)
+             ~latency:(Dsm_sim.Latency.Exponential { mean = 10. })
+             ~seed:2 ~wire ());
+        let t = Wire.totals wire in
+        let per x = float_of_int x /. float_of_int t.Wire.frames in
+        let meta_per_msg = per t.Wire.meta in
+        let delta_per_msg = per t.Wire.delta_meta in
+        Table_fmt.add_row table
+          [
+            string_of_int n;
+            string_of_int t.Wire.frames;
+            string_of_int (Wire.total_bytes wire);
+            string_of_int t.Wire.meta;
+            Printf.sprintf "%.1f" meta_per_msg;
+            Printf.sprintf "%.1f" delta_per_msg;
+            Printf.sprintf "%.2f" (delta_per_msg /. meta_per_msg);
+          ];
+        results :=
+          !results
+          @ [
+              {
+                wn = n;
+                wframes = t.Wire.frames;
+                wtotal_bytes = Wire.total_bytes wire;
+                wheader = t.Wire.header;
+                wpayload = t.Wire.payload;
+                wmeta = t.Wire.meta;
+                wdelta_meta = t.Wire.delta_meta;
+                wmeta_per_msg = meta_per_msg;
+                wdelta_per_msg = delta_per_msg;
+              };
+            ])
+      (if quick then [ 8; 32 ] else [ 8; 32; 128 ]);
+    print_table table;
+    print_endline
+      "  dense causal metadata grows linearly in n (4 + 8n bytes per \
+       write);";
+    print_endline
+      "  the delta counterfactual tracks how much of the vector actually \
+       moved per edge."
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1192,6 +1308,9 @@ let sections =
     ( "O",
       "observability: probe overhead, null sink vs full tracing",
       fun () -> Obs.run ~quick:!stress_quick () );
+    ( "W",
+      "wire cost: dense causal metadata vs the delta counterfactual",
+      fun () -> Wire_bench.run ~quick:!stress_quick () );
     ( "C",
       "churn storm: 8 -> 16 -> 8 replicas under a Zipf workload",
       fun () -> Churn.run ~quick:!stress_quick () );
@@ -1400,9 +1519,10 @@ let write_obs_json file =
         (Printf.sprintf
            "\n    { \"n\": %d, \"messages\": %d, \"instruments\": %d,\n\
            \      \"null_ms_per_run\": %.4f, \"full_ms_per_run\": %.4f, \
-            \"overhead_pct\": %.2f }"
+            \"overhead_pct\": %.2f,\n\
+           \      \"trace_ms_per_run\": %.4f }"
            r.Obs.on r.Obs.omessages r.Obs.instruments r.Obs.null_ms
-           r.Obs.live_ms r.Obs.overhead_pct))
+           r.Obs.full_ms r.Obs.overhead_pct r.Obs.trace_ms))
     !Obs.results;
   Buffer.add_string buf (if !Obs.results = [] then "]\n}\n" else "\n  ]\n}\n");
   match open_out file with
@@ -1412,6 +1532,42 @@ let write_obs_json file =
       Printf.printf "\nwrote %s\n" file
   | exception Sys_error e ->
       Printf.eprintf "--obs-json: cannot write %s (%s)\n" file e;
+      exit 1
+
+let write_wire_json file =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+  Buffer.add_string buf "  \"section\": \"wire_cost\",\n";
+  Buffer.add_string buf
+    "  \"workload\": { \"protocol\": \"OptP\", \"m\": 8, \
+     \"write_ratio\": 0.5, \"vars\": \"zipf(1.2)\", \"latency\": \
+     \"exp(mean=10)\" },\n";
+  Buffer.add_string buf "  \"results\": [";
+  List.iteri
+    (fun i (r : Wire_bench.result) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"n\": %d, \"frames\": %d, \"total_bytes\": %d, \
+            \"header_bytes\": %d,\n\
+           \      \"payload_bytes\": %d, \"meta_bytes\": %d, \
+            \"delta_meta_bytes\": %d,\n\
+           \      \"meta_bytes_per_msg\": %.2f, \
+            \"delta_bytes_per_msg\": %.2f }"
+           r.Wire_bench.wn r.Wire_bench.wframes r.Wire_bench.wtotal_bytes
+           r.Wire_bench.wheader r.Wire_bench.wpayload r.Wire_bench.wmeta
+           r.Wire_bench.wdelta_meta r.Wire_bench.wmeta_per_msg
+           r.Wire_bench.wdelta_per_msg))
+    !Wire_bench.results;
+  Buffer.add_string buf
+    (if !Wire_bench.results = [] then "]\n}\n" else "\n  ]\n}\n");
+  match open_out file with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+  | exception Sys_error e ->
+      Printf.eprintf "--wire-json: cannot write %s (%s)\n" file e;
       exit 1
 
 let write_churn_json file =
@@ -1722,6 +1878,10 @@ let () =
     write_obs_json
       (Option.value ~default:"BENCH_observability.json"
          (keyed_arg "--obs-json" args));
+  if !Wire_bench.results <> [] then
+    write_wire_json
+      (Option.value ~default:"BENCH_wire.json"
+         (keyed_arg "--wire-json" args));
   if !Churn.results <> [] then
     write_churn_json
       (Option.value ~default:"BENCH_churn.json"

@@ -2,17 +2,22 @@
 
    Subcommands:
      run      simulate a workload under one protocol and audit the run
+     report   run with the full observability stack and emit one report
      explain  run, then print the provenance of every write delay
      nemesis  adversarial combined-fault campaigns, swarm + shrinker
      plan     validate a fault plan and show which driver runs it
      tables   regenerate the paper's tables and figures
      sweep    run a quantitative experiment (Q1..Q6)
      graph    emit the write causality graph of a run (Graphviz)
+     bench    benchmark-artifact tooling (bench diff OLD NEW)
 
    Examples:
      dsm-sim run --protocol optp -n 6 -m 8 --ops 200 --write-ratio 0.6
      dsm-sim run --protocol anbkh --latency lognormal:2.3,1.0 --seed 3
      dsm-sim run --trace-out run.json --trace-format chrome --metrics-out m.json
+     dsm-sim run --wire --wire-out wire.json
+     dsm-sim report --protocol optp -n 8 --json > report.json
+     dsm-sim bench diff BENCH_old.json BENCH_new.json --fail-over 2.0
      dsm-sim explain --protocol anbkh --seed 3
      dsm-sim tables --section T1
      dsm-sim sweep --experiment q2   (q1..q11)
@@ -443,6 +448,41 @@ let metrics_out =
            as JSON. Probes are pure observation: the simulated outcome \
            is byte-identical with and without this flag.")
 
+let wire_flag =
+  Arg.(
+    value & flag
+    & info [ "wire" ]
+        ~doc:
+          "Enable the wire-cost accountant and print its per-cause byte \
+           summary: header / payload / causal-metadata bytes, plus the \
+           delta-encoding counterfactual. Pure observation: the \
+           simulated outcome is byte-identical with and without it.")
+
+let wire_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wire-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the wire-cost accountant and write its aggregates \
+           (totals, per cause, per edge) to $(docv) as JSON.")
+
+let scrape_every_arg =
+  Arg.(
+    value & opt float 25.
+    & info [ "scrape-every" ] ~docv:"DT"
+        ~doc:"Flight-recorder scrape period, in simulated time units.")
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok text
+  | exception Sys_error msg -> Error msg
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
 (* the run itself is untouched by observers; emit files afterwards *)
 let emit_observers ~trace_out ~trace_format ~metrics_out ~metrics execution =
   (match trace_out with
@@ -566,7 +606,8 @@ let campaign_json ppf (o : Fault_campaign.outcome) =
     o.engine_steps o.end_time
 
 let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
-    ~crashes ~partitions ~checkpoint_every ~seed ~json ~metrics ~emit =
+    ~crashes ~partitions ~checkpoint_every ~seed ~json ~metrics ~wire ~emit
+    =
   if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
     `Error
       ( false,
@@ -580,7 +621,7 @@ let campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
         (module P)
         ~spec ~latency ~faults
         ~plan:(plan_of ~crashes ~partitions ())
-        ~checkpoint_every ~seed ~metrics ()
+        ~checkpoint_every ~seed ~metrics ~wire ()
     with
     | exception Invalid_argument msg -> `Error (false, msg)
     | o ->
@@ -698,8 +739,8 @@ let churn_json ppf (o : Churn_campaign.outcome) =
     o.engine_steps o.end_time
 
 let churn_campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
-    ~plan ~initial ?detector ~checkpoint_every ~seed ~json ~metrics ~emit ()
-    =
+    ~plan ~initial ?detector ~checkpoint_every ~seed ~json ~metrics ~wire
+    ~emit () =
   if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
     `Error
       ( false,
@@ -712,7 +753,7 @@ let churn_campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
       Churn_campaign.run
         (module P)
         ~spec ~latency ~faults ~plan ~initial ?detector ~checkpoint_every
-        ~seed ~metrics ()
+        ~seed ~metrics ~wire ()
     with
     | exception Invalid_argument msg -> `Error (false, msg)
     | o ->
@@ -769,12 +810,36 @@ let run_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
       latency seed fifo drop duplicate corrupt repl_degree crashes
       partitions joins leaves initial churn fd fd_threshold heartbeat_every
-      fd_adaptive checkpoint_every json trace_out trace_format metrics_out =
+      fd_adaptive checkpoint_every json trace_out trace_format metrics_out
+      wire_on wire_out =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let metrics =
       match metrics_out with
       | None -> Metrics.null ()
       | Some _ -> Metrics.create ()
+    in
+    let wire =
+      if wire_on || wire_out <> None then
+        Dsm_obs.Wire.create ~proto:P.name ~n ()
+      else Dsm_obs.Wire.null ()
+    in
+    (* accounting is written after the audit so it never perturbs the
+       run, and never touches stdout in --json mode *)
+    let emit_wire () =
+      if Dsm_obs.Wire.enabled wire then begin
+        (match wire_out with
+        | Some path ->
+            write_file path
+              (Dsm_stats.Json.to_string (Dsm_obs.Wire.to_json wire) ^ "\n");
+            if not json then
+              Format.printf "wire: %d frames, %d bytes -> %s@."
+                (Dsm_obs.Wire.frames wire)
+                (Dsm_obs.Wire.total_bytes wire)
+                path
+        | None -> ());
+        if wire_on && not json then
+          Format.printf "@.%a@." Dsm_obs.Wire.pp_summary wire
+      end
     in
     let emit execution =
       emit_observers ~trace_out ~trace_format ~metrics_out ~metrics
@@ -801,6 +866,7 @@ let run_cmd =
     let churny =
       joins <> [] || leaves <> [] || churn <> None || initial <> None || fd
     in
+    let res =
     if churny then begin
       if repl_degree <> None then
         `Error (false, "churn flags do not combine with \
@@ -824,7 +890,7 @@ let run_cmd =
                   ~spec ~latency
                   ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
                   ~plan ~initial:ini ?detector ~checkpoint_every ~seed ~json
-                  ~metrics ~emit ())
+                  ~metrics ~wire ~emit ())
     end
     else if crashes <> [] || partitions <> [] then begin
       if repl_degree <> None then
@@ -838,7 +904,7 @@ let run_cmd =
           ~spec ~latency
           ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
           ~crashes ~partitions ~checkpoint_every ~seed ~json ~metrics
-          ~emit
+          ~wire ~emit
     end
     else if json then
       `Error (false, "--json requires --crash, --partition or churn flags")
@@ -856,7 +922,8 @@ let run_cmd =
             "protocol: OptP over partial replication (degree %d)@.%a@.@."
             degree Dsm_core.Replication.pp replication;
           let outcome =
-            Dsm_runtime.Partial_run.run ~replication ~spec ~latency ~seed ()
+            Dsm_runtime.Partial_run.run ~replication ~spec ~latency ~seed
+              ~metrics ~wire ()
           in
           Format.printf "messages: %d, t_end=%.1f@.@."
             outcome.Dsm_runtime.Partial_run.messages_sent
@@ -875,7 +942,7 @@ let run_cmd =
               (module P)
               ~spec ~latency
               ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
-              ~seed ~metrics ()
+              ~seed ~metrics ~wire ()
           in
           Format.printf "%a@.@." Dsm_runtime.Reliable_run.pp_outcome
             outcome;
@@ -885,12 +952,17 @@ let run_cmd =
         else begin
           Format.printf "protocol: %s@.@." P.name;
           let outcome =
-            Sim_run.run (module P) ~spec ~latency ~fifo ~seed ~metrics ()
+            Sim_run.run
+              (module P)
+              ~spec ~latency ~fifo ~seed ~metrics ~wire ()
           in
           Format.printf "%a@.@." Sim_run.pp_outcome outcome;
           finish ~execution:outcome.execution
             (Checker.check outcome.execution)
         end
+    in
+    emit_wire ();
+    res
   in
   let term =
     Term.(
@@ -900,7 +972,7 @@ let run_cmd =
        $ repl_degree $ crashes $ partitions $ joins $ leaves
        $ initial_members $ churn $ fd_flag $ fd_threshold $ heartbeat_every
        $ fd_adaptive $ checkpoint_every $ json_out $ trace_out
-       $ trace_format $ metrics_out))
+       $ trace_format $ metrics_out $ wire_flag $ wire_out))
   in
   Cmd.v
     (Cmd.info "run"
@@ -919,7 +991,9 @@ let run_cmd =
           scripted view changes, a phi-accrual failure detector over \
           gossip heartbeats suspects silent slots and heartbeats refute \
           false suspicions. --trace-out/--metrics-out export the causal \
-          trace and the metrics registry without perturbing the run. \
+          trace and the metrics registry without perturbing the run; \
+          --wire/--wire-out add per-cause wire-cost accounting (header, \
+          payload, causal metadata, delta counterfactual). \
           Exits non-zero on any checker violation, and on any \
           unnecessary delay for protocols claiming Theorem 4 optimality.")
     term
@@ -1044,16 +1118,6 @@ let explain_cmd =
 (* ---------------------------------------------------------------- *)
 
 module Nemesis = Dsm_runtime.Nemesis
-
-let read_file path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | text -> Ok text
-  | exception Sys_error msg -> Error msg
-
-let write_file path text =
-  let oc = open_out path in
-  output_string oc text;
-  close_out oc
 
 let nemesis_cmd =
   let swarm_count =
@@ -1495,6 +1559,171 @@ let graph_cmd =
           resulting history in Graphviz format.")
     term
 
+(* ---------------------------------------------------------------- *)
+(* report                                                            *)
+(* ---------------------------------------------------------------- *)
+
+module Report = Dsm_runtime.Report
+
+let report_cmd =
+  let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
+      latency seed fifo json out series_out scrape_every =
+    let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
+    let metrics = Metrics.create () in
+    let wire = Dsm_obs.Wire.create ~proto:P.name ~n () in
+    let recorder = Dsm_obs.Timeseries.create ~metrics () in
+    let outcome =
+      Sim_run.run
+        (module P)
+        ~spec ~latency ~fifo ~seed ~metrics ~wire ~recorder ~scrape_every ()
+    in
+    let r = Report.make ~spec ~net_seed:seed ~outcome ~metrics ~wire ~recorder () in
+    if json then print_endline (Report.to_string r)
+    else Format.printf "%a" Report.pp r;
+    (match out with
+    | None -> ()
+    | Some path ->
+        write_file path (Report.to_string r ^ "\n");
+        if not json then Format.printf "report -> %s@." path);
+    (match series_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Dsm_obs.Timeseries.to_jsonl recorder);
+        if not json then
+          Format.printf "timeseries: %d scrapes -> %s@."
+            (Dsm_obs.Timeseries.scrapes recorder)
+            path);
+    let report = r.Report.checker in
+    if not (Checker.is_clean report) then `Error (false, "run is not clean")
+    else if
+      claims_optimality P.name && report.Checker.unnecessary_delays > 0
+    then
+      `Error
+        ( false,
+          Printf.sprintf
+            "%d unnecessary delays — %s claims Theorem 4 optimality"
+            report.Checker.unnecessary_delays P.name )
+    else `Ok ()
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the report document to $(docv).")
+  in
+  let series_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight recorder's retained scrapes to $(docv) as \
+             JSONL (one object per scrape).")
+  in
+  let report_json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the causal-dsm-report/v1 document on stdout instead of \
+             the human-readable report.")
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
+       $ zipf $ latency $ seed $ fifo $ report_json $ out $ series_out
+       $ scrape_every_arg))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a workload with the full observability stack armed — \
+          metrics registry, wire-cost accountant, flight recorder — and \
+          emit one report joining the checker verdicts, per-cause byte \
+          accounting, delivery-latency and blocked-duration quantiles, \
+          and the raw instruments (causal-dsm-report/v1 with --json). \
+          Same exit conventions as $(b,run). The observers are pure: the \
+          simulated outcome matches an unobserved run with the same \
+          seeds.")
+    term
+
+(* ---------------------------------------------------------------- *)
+(* bench diff                                                        *)
+(* ---------------------------------------------------------------- *)
+
+module Bench_diff = Dsm_runtime.Bench_diff
+
+let bench_cmd =
+  let diff_action old_path new_path fail_over all =
+    let load path =
+      match read_file path with
+      | Error msg -> Error msg
+      | Ok text -> (
+          match Dsm_stats.Json.parse_result text with
+          | Ok doc -> Ok doc
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+    in
+    match (load old_path, load new_path) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok old_doc, Ok new_doc -> (
+        match Bench_diff.diff ~fail_over ~old_doc ~new_doc () with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | d ->
+            Format.printf "%a" (Bench_diff.pp ~all) d;
+            let regs = Bench_diff.regressions d in
+            if regs <> [] then
+              `Error
+                ( false,
+                  Printf.sprintf "%d metric(s) regressed beyond %.2fx"
+                    (List.length regs) fail_over )
+            else `Ok ())
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench JSON document.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench JSON document.")
+  in
+  let fail_over =
+    Arg.(
+      value & opt float 2.0
+      & info [ "fail-over" ] ~docv:"X"
+          ~doc:
+            "Regression threshold: fail when a metric worsens by more \
+             than $(docv)x (must exceed 1.0).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Show every shared metric, including unregressed info rows.")
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two causal-dsm-bench/v1 documents metric by metric. \
+            Direction is inferred from each metric's name (ns/ms/pct/\
+            bytes are lower-is-better, throughput/speedup higher); a \
+            metric worsening beyond --fail-over is a regression and the \
+            command exits non-zero. Metrics present in only one document \
+            are listed but never fatal.")
+      Term.(
+        ret (const diff_action $ old_arg $ new_arg $ fail_over $ all_flag))
+  in
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Benchmark-artifact tooling (regression comparison).")
+    [ diff_cmd ]
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -1510,10 +1739,12 @@ let () =
        (Cmd.group ~default info
           [
             run_cmd;
+            report_cmd;
             explain_cmd;
             nemesis_cmd;
             plan_cmd;
             tables_cmd;
             sweep_cmd;
             graph_cmd;
+            bench_cmd;
           ]))

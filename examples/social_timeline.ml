@@ -102,6 +102,10 @@ module Eager : Protocol.S = struct
   let local_clock t = V.copy t.applied
   let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
 
+  (* var + value on the wire; the dot is the only causal metadata *)
+  let msg_frame (_ : msg) =
+    { Dsm_obs.Wire.kind = "write"; scalars = 2; dots = 1; vectors = [] }
+
   let pp_msg ppf (m : msg) =
     Format.fprintf ppf "m(x%d := %d)" (m.var + 1) m.value
 

@@ -124,6 +124,9 @@ module Make (B : Buffer.S) = struct
 
   let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
 
+  let msg_frame (m : msg) =
+    { Dsm_obs.Wire.kind = "write"; scalars = 2; dots = 1; vectors = [ m.vt ] }
+
   let snapshot t = Snapshot.encode t
 
   let restore cfg ~me s =

@@ -93,6 +93,9 @@ let applied_vector t = V.copy t.apply_cnt
 let local_clock t = V.copy t.apply_cnt
 let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
 
+let msg_frame (_ : msg) =
+  { Dsm_obs.Wire.kind = "write"; scalars = 2; dots = 1; vectors = [] }
+
 let pp_msg ppf (m : msg) =
   Format.fprintf ppf "m(x%d, %d, %a)" (m.var + 1) m.value Dot.pp m.dot
 

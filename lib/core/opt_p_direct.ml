@@ -169,6 +169,14 @@ let local_clock t = V.copy t.write_co
 let total_dep_entries t = t.dep_entries
 let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
 
+let msg_frame (m : msg) =
+  {
+    Dsm_obs.Wire.kind = "write";
+    scalars = 2;
+    dots = 1 + List.length m.deps;
+    vectors = [];
+  }
+
 let pp_msg ppf (m : msg) =
   Format.fprintf ppf "m(x%d, %d, deps={%a})" (m.var + 1) m.value
     (Format.pp_print_list

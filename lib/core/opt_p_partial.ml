@@ -10,6 +10,14 @@ type message = {
   know : V.t array;
 }
 
+let msg_frame (m : message) =
+  {
+    Dsm_obs.Wire.kind = "write";
+    scalars = 3;  (* var, value, var_seq *)
+    dots = 1;
+    vectors = Array.to_list m.know;  (* the m×n dependency matrix *)
+  }
+
 module type IMPL = sig
   type t
 

@@ -41,6 +41,10 @@ type message = {
       (** the dependency matrix [D]: one row per location *)
 }
 
+val msg_frame : message -> Dsm_obs.Wire.frame
+(** Wire shape for byte-cost accounting: the causal metadata is the
+    whole m×n [know] matrix, row by row. *)
+
 module type IMPL = sig
   type t
 

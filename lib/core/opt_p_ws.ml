@@ -270,6 +270,14 @@ module Make (B : Buffer.S) = struct
 
   let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
 
+  let msg_frame (m : msg) =
+    {
+      Dsm_obs.Wire.kind = "write";
+      scalars = 3;  (* var, value, can_skip *)
+      dots = (match m.prev with Some _ -> 2 | None -> 1);
+      vectors = [ m.wco ];
+    }
+
   let snapshot t = Snapshot.encode t
 
   let restore cfg ~me s =

@@ -51,6 +51,7 @@ module type S = sig
   val applied_vector : t -> Dsm_vclock.Vector_clock.t
   val local_clock : t -> Dsm_vclock.Vector_clock.t
   val msg_writes : msg -> (Dsm_vclock.Dot.t * int * int) list
+  val msg_frame : msg -> Dsm_obs.Wire.frame
   val pp_msg : Format.formatter -> msg -> unit
   val snapshot : t -> string
   val restore : config -> me:int -> string -> t

@@ -130,6 +130,12 @@ module type S = sig
       [send]/[receipt] events per write without knowing the concrete
       message type. *)
 
+  val msg_frame : msg -> Dsm_obs.Wire.frame
+  (** The message's wire shape — scalar fields, dots, causal vectors —
+      for byte-cost accounting (see {!Dsm_obs.Wire}). Pure: reads the
+      message only; the vectors it lists are the live ones (the
+      accountant copies what it retains). *)
+
   val pp_msg : Format.formatter -> msg -> unit
 
   (** {2 Durability}

@@ -252,6 +252,14 @@ let pp_msg ppf (m : msg) =
 
 let msg_writes (m : msg) = [ (m.dot, m.var, m.value) ]
 
+let msg_frame (m : msg) =
+  {
+    Dsm_obs.Wire.kind = "write";
+    scalars = 3;  (* var, value, can_skip *)
+    dots = (match m.prev with Some _ -> 2 | None -> 1);
+    vectors = [ m.vt ];
+  }
+
 let snapshot t = Snapshot.encode t
 
 let restore cfg ~me s =

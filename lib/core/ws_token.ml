@@ -319,6 +319,20 @@ let msg_writes = function
   | Batch { items; _ } -> List.map (fun it -> (it.dot, it.var, it.value)) items
   | Token _ | Parked _ | Nudge -> []
 
+let msg_frame = function
+  | Batch { items; _ } ->
+      {
+        Dsm_obs.Wire.kind = "batch";
+        scalars = 1 + (2 * List.length items);  (* round + (var, value) each *)
+        dots =
+          List.fold_left (fun acc it -> acc + 1 + List.length it.covered) 0 items;
+        vectors = [];
+      }
+  | Token _ -> { Dsm_obs.Wire.kind = "token"; scalars = 2; dots = 0; vectors = [] }
+  | Parked _ ->
+      { Dsm_obs.Wire.kind = "token"; scalars = 1; dots = 0; vectors = [] }
+  | Nudge -> { Dsm_obs.Wire.kind = "token"; scalars = 0; dots = 0; vectors = [] }
+
 let snapshot t = Snapshot.encode t
 
 let restore cfg ~me s =

@@ -9,7 +9,9 @@ type histogram = {
   h_live : bool;
 }
 
-type instrument = C of counter | G of gauge | H of histogram
+type quantile = { q : Dsm_stats.Log_histogram.t; q_live : bool }
+
+type instrument = C of counter | G of gauge | H of histogram | Q of quantile
 
 type key = string * (string * string) list
 
@@ -26,7 +28,11 @@ let enabled t = t.live
 let norm_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
 
-let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+let kind_name = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+  | Q _ -> "quantile"
 
 (* Register-or-merge: the same (name, labels) identity always resolves
    to the same instrument; a kind clash on the same name is a bug at the
@@ -112,6 +118,28 @@ let observe h v =
     if v > h.h_max then h.h_max <- v
   end
 
+let dead_quantile =
+  (* shared: inert handles never record, so one suffices *)
+  let q = { q = Dsm_stats.Log_histogram.create (); q_live = false } in
+  fun () -> q
+
+let quantile t ?(labels = []) ?gamma ?base name =
+  if not t.live then dead_quantile ()
+  else
+    register t name labels
+      (fun () ->
+        let q =
+          { q = Dsm_stats.Log_histogram.create ?gamma ?base (); q_live = true }
+        in
+        (q, Q q))
+      (function Q q -> Some q | _ -> None)
+
+let observe_q q v = if q.q_live then Dsm_stats.Log_histogram.add q.q v
+let quantile_count q = Dsm_stats.Log_histogram.count q.q
+let quantile_sum q = Dsm_stats.Log_histogram.sum q.q
+let quantile_max q = Dsm_stats.Log_histogram.max_value q.q
+let quantile_value q p = Dsm_stats.Log_histogram.quantile q.q p
+
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 let histogram_max h = if h.h_count = 0 then 0. else h.h_max
@@ -122,6 +150,14 @@ type value =
   | Counter_v of int
   | Gauge_v of { current : int; max : int }
   | Histogram_v of { count : int; sum : float; max : float; mean : float }
+  | Quantile_v of {
+      count : int;
+      sum : float;
+      max : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
 
 let value_of = function
   | C c -> Counter_v c.c
@@ -134,6 +170,33 @@ let value_of = function
           max = histogram_max h;
           mean = histogram_mean h;
         }
+  | Q q ->
+      let open Dsm_stats.Log_histogram in
+      Quantile_v
+        {
+          count = count q.q;
+          sum = sum q.q;
+          max = max_value q.q;
+          p50 = quantile q.q 0.5;
+          p95 = quantile q.q 0.95;
+          p99 = quantile q.q 0.99;
+        }
+
+let reset t =
+  Hashtbl.iter
+    (fun _ ins ->
+      match ins with
+      | C c -> c.c <- 0
+      | G g ->
+          g.g <- 0;
+          g.g_max <- 0
+      | H h ->
+          Dsm_stats.Histogram.reset h.h;
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          h.h_max <- neg_infinity
+      | Q q -> Dsm_stats.Log_histogram.reset q.q)
+    t.table
 
 let rows t =
   List.rev_map
@@ -182,7 +245,12 @@ let to_json t =
           Buffer.add_string b
             (Printf.sprintf
                "\"kind\":\"histogram\",\"count\":%d,\"sum\":%.6g,\"max\":%.6g,\"mean\":%.6g"
-               count sum max mean));
+               count sum max mean)
+      | Quantile_v { count; sum; max; p50; p95; p99 } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "\"kind\":\"quantile\",\"count\":%d,\"sum\":%.6g,\"max\":%.6g,\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g"
+               count sum max p50 p95 p99));
       Buffer.add_char b '}')
     (rows t);
   Buffer.add_string b "]}\n";
@@ -215,7 +283,12 @@ let summary_table ?(title = "metrics") t =
       | Histogram_v { count; mean; max; _ } ->
           Table_fmt.add_row tbl
             [ name; "histogram"; Table_fmt.cell_int count;
-              Printf.sprintf "mean=%.2f max=%.2f" mean max ])
+              Printf.sprintf "mean=%.2f max=%.2f" mean max ]
+      | Quantile_v { count; p50; p95; p99; max; _ } ->
+          Table_fmt.add_row tbl
+            [ name; "quantile"; Table_fmt.cell_int count;
+              Printf.sprintf "p50=%.2f p95=%.2f p99=%.2f max=%.2f" p50 p95 p99
+                max ])
     (rows t);
   tbl
 

@@ -27,6 +27,12 @@ val null : unit -> t
 
 val enabled : t -> bool
 
+val reset : t -> unit
+(** Zero every registered instrument in place (registrations and handle
+    identities survive). Call between back-to-back runs that share one
+    registry — repeated bench reps, campaign iterations — so tallies
+    from one run cannot leak into the next. No-op on {!null}. *)
+
 (** {1 Counters} — monotone event counts. *)
 
 type counter
@@ -70,12 +76,47 @@ val histogram_max : histogram -> float
 val histogram_mean : histogram -> float
 (** 0. when empty. *)
 
+(** {1 Quantiles} — long-tailed distributions, log-bucketed via
+    {!Dsm_stats.Log_histogram}. Unlike {!histogram} no range needs
+    declaring up front; p50/p95/p99 queries carry a bounded relative
+    error of [gamma - 1] (~9% at the default gamma). *)
+
+type quantile
+
+val quantile :
+  t ->
+  ?labels:(string * string) list ->
+  ?gamma:float ->
+  ?base:float ->
+  string ->
+  quantile
+(** On re-registration the existing instrument is returned and the
+    [gamma]/[base] of the first registration win. *)
+
+val observe_q : quantile -> float -> unit
+val quantile_count : quantile -> int
+val quantile_sum : quantile -> float
+val quantile_max : quantile -> float
+(** Exact observed maximum; 0. when empty. *)
+
+val quantile_value : quantile -> float -> float
+(** [quantile_value q p] for [p] in [[0,1]]; see
+    {!Dsm_stats.Log_histogram.quantile} for the error contract. *)
+
 (** {1 Export} *)
 
 type value =
   | Counter_v of int
   | Gauge_v of { current : int; max : int }
   | Histogram_v of { count : int; sum : float; max : float; mean : float }
+  | Quantile_v of {
+      count : int;
+      sum : float;
+      max : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
 
 val rows : t -> (string * (string * string) list * value) list
 (** Registration order; labels sorted by key. Empty for {!null}. *)

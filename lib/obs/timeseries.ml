@@ -1,0 +1,142 @@
+(* Flight recorder: periodic scrapes of a metrics registry into
+   ring-buffered time series.
+
+   The driver arms a sim-clock periodic event (Engine.schedule_every)
+   that calls [scrape] at each tick; the recorder flattens every
+   registered instrument into one or more float series and appends the
+   sample to a per-series ring of the last [capacity] scrapes. Series
+   that appear mid-run (instruments registered after the first tick)
+   are backfilled with NaN so every retained scrape stays rectangular.
+
+   The recorder itself never touches the engine — it only reads the
+   registry — so it composes with any driver and cannot perturb the
+   event schedule beyond the tick events themselves (which are pure
+   reads: no RNG draw, no protocol mutation). *)
+
+type series = { values : float array; mutable born : int (* scrape index *) }
+
+type t = {
+  live : bool;
+  capacity : int;
+  metrics : Metrics.t;
+  table : (string, series) Hashtbl.t;
+  mutable names : string list;  (* registration order, reversed *)
+  times : float array;
+  mutable scrapes : int;
+}
+
+let create ?(capacity = 256) ~metrics () =
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be positive";
+  {
+    live = true;
+    capacity;
+    metrics;
+    table = Hashtbl.create 32;
+    names = [];
+    times = Array.make capacity nan;
+    scrapes = 0;
+  }
+
+let null () =
+  {
+    live = false;
+    capacity = 1;
+    metrics = Metrics.null ();
+    table = Hashtbl.create 1;
+    names = [];
+    times = [| nan |];
+    scrapes = 0;
+  }
+
+let enabled t = t.live
+let capacity t = t.capacity
+let scrapes t = t.scrapes
+let series_count t = Hashtbl.length t.table
+
+let label_suffix = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      ^ "}"
+
+let sample t name v =
+  let slot = t.scrapes mod t.capacity in
+  let s =
+    match Hashtbl.find_opt t.table name with
+    | Some s -> s
+    | None ->
+        let s = { values = Array.make t.capacity nan; born = t.scrapes } in
+        Hashtbl.add t.table name s;
+        t.names <- name :: t.names;
+        s
+  in
+  s.values.(slot) <- v
+
+let scrape t ~now =
+  if t.live then begin
+    let slot = t.scrapes mod t.capacity in
+    t.times.(slot) <- now;
+    (* overwrite the slot being recycled for every known series first:
+       a series with no sample this scrape must not show a stale value
+       from [capacity] scrapes ago *)
+    Hashtbl.iter (fun _ s -> s.values.(slot) <- nan) t.table;
+    List.iter
+      (fun (name, labels, v) ->
+        let base = name ^ label_suffix labels in
+        match v with
+        | Metrics.Counter_v c -> sample t base (float_of_int c)
+        | Metrics.Gauge_v { current; _ } -> sample t base (float_of_int current)
+        | Metrics.Histogram_v { count; _ } ->
+            sample t (base ^ "_count") (float_of_int count)
+        | Metrics.Quantile_v { count; p99; _ } ->
+            sample t (base ^ "_count") (float_of_int count);
+            sample t (base ^ "_p99") p99)
+      (Metrics.rows t.metrics);
+    t.scrapes <- t.scrapes + 1
+  end
+
+let retained t = min t.scrapes t.capacity
+
+(* absolute scrape index of the i-th retained scrape, oldest first *)
+let nth_index t i = t.scrapes - retained t + i
+
+let slot_of t idx = idx mod t.capacity
+
+let names t = List.rev t.names
+
+let series t name =
+  match Hashtbl.find_opt t.table name with
+  | None -> None
+  | Some s ->
+      Some
+        (List.init (retained t) (fun i ->
+             let idx = nth_index t i in
+             if idx < s.born then nan else s.values.(slot_of t idx)))
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  let names = names t in
+  for i = 0 to retained t - 1 do
+    let idx = nth_index t i in
+    let slot = slot_of t idx in
+    Buffer.add_string b "{\"scrape\":";
+    Buffer.add_string b (string_of_int idx);
+    Buffer.add_string b ",\"t\":";
+    Buffer.add_string b (Dsm_stats.Json.number t.times.(slot));
+    List.iter
+      (fun name ->
+        let s = Hashtbl.find t.table name in
+        if idx >= s.born then begin
+          let v = s.values.(slot) in
+          if not (Float.is_nan v) then begin
+            Buffer.add_string b ",\"";
+            Buffer.add_string b (Dsm_stats.Json.escape name);
+            Buffer.add_string b "\":";
+            Buffer.add_string b (Dsm_stats.Json.number v)
+          end
+        end)
+      names;
+    Buffer.add_string b "}\n"
+  done;
+  Buffer.contents b

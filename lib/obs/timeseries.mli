@@ -1,0 +1,47 @@
+(** Flight recorder: sim-clock periodic scrapes of a {!Metrics}
+    registry into ring-buffered time series.
+
+    The recorder is engine-agnostic — a driver arms a periodic event
+    (e.g. [Engine.schedule_every]) whose callback invokes {!scrape}
+    with the current sim time. Each scrape flattens every registered
+    instrument to floats (counters and gauges directly, histograms as
+    [name_count], quantile sketches as [name_count] and [name_p99]) and
+    appends one sample per series, retaining the last [capacity]
+    scrapes.
+
+    Scrapes are pure reads of the registry: no RNG, no protocol state,
+    no engine mutation — runs stay byte-identical with the recorder on
+    or off. *)
+
+type t
+
+val create : ?capacity:int -> metrics:Metrics.t -> unit -> t
+(** Ring capacity defaults to 256 scrapes.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val null : unit -> t
+(** Inert recorder: {!scrape} is a dead branch. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+val scrape : t -> now:float -> unit
+(** Record one sample of every instrument at sim time [now]. *)
+
+val scrapes : t -> int
+(** Total scrapes taken (may exceed [capacity]; only the last
+    [capacity] are retained). *)
+
+val series_count : t -> int
+
+val names : t -> string list
+(** Flattened series names, first-seen order. *)
+
+val series : t -> string -> float list option
+(** Retained samples for one series, oldest first; NaN marks scrapes
+    before the series existed or where it produced no sample. *)
+
+val to_jsonl : t -> string
+(** One JSON object per retained scrape (oldest first):
+    [{"scrape":i,"t":<sim time>,"<series>":v,...}] — NaN samples are
+    omitted from their line. *)

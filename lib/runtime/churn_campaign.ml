@@ -23,6 +23,46 @@ type 'msg wire =
          sender was alive after the suspicion, retransmissions
          notwithstanding *)
 
+(* frame-shape measurer over the churn envelope; anti-entropy and state
+   transfer are priced like Fault_campaign's "sync" cause, transfers
+   under their own cause (they carry whole log suffixes — the dominant
+   churn wire cost), heartbeats as one scalar *)
+let wire_of_env msg_frame env =
+  let vec_plus_writes ~kind ~scalars vec writes =
+    List.fold_left
+      (fun acc m ->
+        let f = msg_frame m in
+        {
+          acc with
+          Dsm_obs.Wire.scalars =
+            acc.Dsm_obs.Wire.scalars + f.Dsm_obs.Wire.scalars;
+          dots = acc.Dsm_obs.Wire.dots + f.Dsm_obs.Wire.dots;
+          vectors = acc.Dsm_obs.Wire.vectors @ f.Dsm_obs.Wire.vectors;
+        })
+      {
+        Dsm_obs.Wire.kind;
+        scalars;
+        dots = 0;
+        vectors = [ Dsm_vclock.Vector_clock.of_array vec ];
+      }
+      writes
+  in
+  match env with
+  | Proto m -> msg_frame m
+  | Sync_request { vec } ->
+      {
+        Dsm_obs.Wire.kind = "sync";
+        scalars = 0;
+        dots = 0;
+        vectors = [ Dsm_vclock.Vector_clock.of_array vec ];
+      }
+  | Sync_reply { vec; writes } ->
+      vec_plus_writes ~kind:"sync" ~scalars:1 vec writes
+  | Transfer { vec; writes } ->
+      vec_plus_writes ~kind:"transfer" ~scalars:1 vec writes
+  | Heartbeat _ ->
+      { Dsm_obs.Wire.kind = "heartbeat"; scalars = 1; dots = 0; vectors = [] }
+
 type catch_up_kind = Fresh_join | Rejoin | Recover
 
 type catch_up = {
@@ -156,8 +196,9 @@ let run (type pt pm)
     ?(mixed = false) ?(checkpoint_every = 50.) ?(sync_rounds = 2)
     ?(sync_interval = 100.) ?(flush_poll = 10.) ?(settle = true)
     ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
-    ?(metrics = Metrics.null ()) ?(queue = Engine.Indexed) ?(arena = true)
-    ?(batch = false) () =
+    ?(metrics = Metrics.null ()) ?(wire = Dsm_obs.Wire.null ())
+    ?(recorder = Dsm_obs.Timeseries.null ()) ?(scrape_every = 25.)
+    ?(queue = Engine.Indexed) ?(arena = true) ?(batch = false) () =
   let universe = spec.Spec.n and m = spec.Spec.m in
   if initial < 2 || initial > universe then
     invalid_arg "Churn_campaign.run: need 2 <= initial <= spec.n slots";
@@ -175,12 +216,36 @@ let run (type pt pm)
   let schedule = Dsm_workload.Generator.generate spec in
   let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
+  let measure = Reliable_channel.wire_frame (wire_of_env P.msg_frame) in
   let network =
     Network.create ~engine ~rng ~n:universe
       ~latency:(fun ~src:_ ~dst:_ -> latency)
       ~arena ~batch ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics
+      ~wire ~measure
+      ~sizer:(fun f -> Dsm_obs.Wire.frame_bytes (measure f))
       ()
   in
+  if Dsm_obs.Timeseries.enabled recorder then begin
+    let horizon =
+      let ops_horizon =
+        Array.fold_left
+          (fun acc ops ->
+            List.fold_left
+              (fun acc { Spec.at; _ } -> Float.max acc at)
+              acc ops)
+          0. schedule
+      in
+      List.fold_left
+        (fun acc ev ->
+          Float.max acc (Sim_time.to_float (Fault_plan.time ev)))
+        ops_horizon plan
+    in
+    if horizon >= scrape_every then
+      Engine.schedule_every engine ~every:scrape_every
+        ~until:(Sim_time.of_float horizon) (fun () ->
+          Dsm_obs.Timeseries.scrape recorder
+            ~now:(Sim_time.to_float (Engine.now engine)))
+  end;
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~rng
       ~metrics ()

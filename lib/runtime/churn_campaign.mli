@@ -174,6 +174,9 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?wire:Dsm_obs.Wire.t ->
+  ?recorder:Dsm_obs.Timeseries.t ->
+  ?scrape_every:float ->
   ?queue:Dsm_sim.Engine.queue_impl ->
   ?arena:bool ->
   ?batch:bool ->

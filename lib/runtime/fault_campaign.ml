@@ -15,6 +15,37 @@ type 'msg wire =
   | Sync_request of { vec : int array }
   | Sync_reply of { vec : int array; writes : 'msg list }
 
+(* frame-shape measurer over the campaign envelope, for the byte-cost
+   accountant: protocol messages keep their own shape, anti-entropy
+   traffic appears under a "sync" cause — a request is one vector, a
+   reply is its vector plus every carried write's shape *)
+let wire_of_env msg_frame = function
+  | Proto m -> msg_frame m
+  | Sync_request { vec } ->
+      {
+        Dsm_obs.Wire.kind = "sync";
+        scalars = 0;
+        dots = 0;
+        vectors = [ V.of_array vec ];
+      }
+  | Sync_reply { vec; writes } ->
+      List.fold_left
+        (fun acc m ->
+          let f = msg_frame m in
+          {
+            acc with
+            Dsm_obs.Wire.scalars = acc.Dsm_obs.Wire.scalars + f.Dsm_obs.Wire.scalars;
+            dots = acc.Dsm_obs.Wire.dots + f.Dsm_obs.Wire.dots;
+            vectors = acc.Dsm_obs.Wire.vectors @ f.Dsm_obs.Wire.vectors;
+          })
+        {
+          Dsm_obs.Wire.kind = "sync";
+          scalars = 1;  (* reply round tag *)
+          dots = 0;
+          vectors = [ V.of_array vec ];
+        }
+        writes
+
 type recovery = {
   rproc : int;
   crashed_at : float;
@@ -113,8 +144,9 @@ let run (type pt pm)
     ~latency ?(faults = Network.no_faults) ~plan ?(checkpoint_every = 50.)
     ?(sync_rounds = 2) ?(sync_interval = 100.) ?(settle = true)
     ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
-    ?(metrics = Metrics.null ()) ?(queue = Engine.Indexed) ?(arena = true)
-    ?(batch = false) () =
+    ?(metrics = Metrics.null ()) ?(wire = Dsm_obs.Wire.null ())
+    ?(recorder = Dsm_obs.Timeseries.null ()) ?(scrape_every = 25.)
+    ?(queue = Engine.Indexed) ?(arena = true) ?(batch = false) () =
   let n = spec.Spec.n and m = spec.Spec.m in
   let cfg = Protocol.config ~n ~m in
   validate_plan ~n plan;
@@ -123,12 +155,36 @@ let run (type pt pm)
   let schedule = Dsm_workload.Generator.generate spec in
   let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
+  let measure = Reliable_channel.wire_frame (wire_of_env P.msg_frame) in
   let network =
     Network.create ~engine ~rng ~n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
       ~arena ~batch ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics
+      ~wire ~measure
+      ~sizer:(fun f -> Dsm_obs.Wire.frame_bytes (measure f))
       ()
   in
+  if Dsm_obs.Timeseries.enabled recorder then begin
+    let horizon =
+      let ops_horizon =
+        Array.fold_left
+          (fun acc ops ->
+            List.fold_left
+              (fun acc { Spec.at; _ } -> Float.max acc at)
+              acc ops)
+          0. schedule
+      in
+      List.fold_left
+        (fun acc ev ->
+          Float.max acc (Sim_time.to_float (Fault_plan.time ev)))
+        ops_horizon plan
+    in
+    if horizon >= scrape_every then
+      Engine.schedule_every engine ~every:scrape_every
+        ~until:(Sim_time.of_float horizon) (fun () ->
+          Dsm_obs.Timeseries.scrape recorder
+            ~now:(Sim_time.to_float (Engine.now engine)))
+  end;
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~rng
       ~metrics ()

@@ -46,6 +46,13 @@ type 'msg wire =
   | Sync_reply of { vec : int array; writes : 'msg list }
       (** the peer's own vector and the original messages of the gap *)
 
+val wire_of_env :
+  ('msg -> Dsm_obs.Wire.frame) -> 'msg wire -> Dsm_obs.Wire.frame
+(** Frame-shape measurer over the campaign envelope: protocol messages
+    keep their shape, anti-entropy traffic is priced under a ["sync"]
+    cause (request = one vector; reply = its vector plus every carried
+    write's shape). *)
+
 type recovery = {
   rproc : int;
   crashed_at : float;
@@ -129,6 +136,9 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?wire:Dsm_obs.Wire.t ->
+  ?recorder:Dsm_obs.Timeseries.t ->
+  ?scrape_every:float ->
   ?queue:Dsm_sim.Engine.queue_impl ->
   ?arena:bool ->
   ?batch:bool ->
@@ -150,6 +160,11 @@ val run :
     [campaign_replayed_writes], [campaign_sync_requests] and
     [campaign_sync_replies]; probes are pure observation, the campaign
     is byte-identical with and without them.
+    [?wire]/[?recorder]/[?scrape_every] as in {!Sim_run.run}: the
+    accountant prices channel frames over the campaign envelope
+    ({!wire_of_env}), so anti-entropy traffic shows up under a "sync"
+    cause; the recorder runs to the later of the workload horizon and
+    the last plan event.
     @raise Invalid_argument on an invalid plan or non-positive
     [checkpoint_every]. *)
 

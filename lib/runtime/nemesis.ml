@@ -731,21 +731,7 @@ let latency_of_string s =
           Ok (Latency.Pareto { scale; shape })
       | _ -> Error (Printf.sprintf "latency: unknown kind %S" kind))
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Dsm_stats.Json.escape
 
 let event_to_json (ev : Fault_plan.event) =
   let at e = fstr (Sim_time.to_float (Fault_plan.time e)) in
@@ -822,177 +808,24 @@ let to_json_string (s : schedule) =
   add "\n";
   Buffer.contents b
 
-(* minimal JSON reader — the container bakes no JSON library in *)
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jarr of json list
-  | Jobj of (string * json) list
-
-exception Bad_json of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg =
-    raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos))
-  in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    if !pos < n && s.[!pos] = c then incr pos
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal lit v =
-    let l = String.length lit in
-    if !pos + l <= n && String.sub s !pos l = lit then begin
-      pos := !pos + l;
-      v
-    end
-    else fail ("expected " ^ lit)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' ->
-          incr pos;
-          Buffer.contents b
-      | '\\' ->
-          incr pos;
-          if !pos >= n then fail "bad escape";
-          (match s.[!pos] with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'n' -> Buffer.add_char b '\n'
-          | 't' -> Buffer.add_char b '\t'
-          | 'r' -> Buffer.add_char b '\r'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'u' ->
-              if !pos + 4 >= n then fail "bad unicode escape";
-              (match
-                 int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4)
-               with
-              | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
-              | Some _ -> Buffer.add_char b '?'
-              | None -> fail "bad unicode escape");
-              pos := !pos + 4
-          | _ -> fail "bad escape");
-          incr pos;
-          go ()
-      | c ->
-          Buffer.add_char b c;
-          incr pos;
-          go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && is_num s.[!pos] do
-      incr pos
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> Jnum f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> Jstr (parse_string ())
-    | Some '{' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some '}' then begin
-          incr pos;
-          Jobj []
-        end
-        else begin
-          let fields = ref [] in
-          let rec members () =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                incr pos;
-                members ()
-            | Some '}' -> incr pos
-            | _ -> fail "expected ',' or '}'"
-          in
-          members ();
-          Jobj (List.rev !fields)
-        end
-    | Some '[' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some ']' then begin
-          incr pos;
-          Jarr []
-        end
-        else begin
-          let items = ref [] in
-          let rec elements () =
-            let v = parse_value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                incr pos;
-                elements ()
-            | Some ']' -> incr pos
-            | _ -> fail "expected ',' or ']'"
-          in
-          elements ();
-          Jarr (List.rev !items)
-        end
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some _ -> parse_number ()
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing input";
-  v
+(* minimal JSON reader — shared with [bench diff] and [dsm-sim report] *)
+module Json = Dsm_stats.Json
 
 let of_json_string text =
-  let fail fmt = Printf.ksprintf (fun m -> raise (Bad_json m)) fmt in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Json.Bad m)) fmt in
   let obj ~ctx = function
-    | Jobj fields -> fields
+    | Json.Obj fields -> fields
     | _ -> fail "%s: expected an object" ctx
   in
   let get fields k = List.assoc_opt k fields in
   let str ~ctx fields k =
     match get fields k with
-    | Some (Jstr s) -> s
+    | Some (Json.Str s) -> s
     | _ -> fail "%s: missing string field %S" ctx k
   in
   let num ~ctx fields k =
     match get fields k with
-    | Some (Jnum f) -> f
+    | Some (Json.Num f) -> f
     | _ -> fail "%s: missing number field %S" ctx k
   in
   let int ~ctx fields k =
@@ -1010,13 +843,13 @@ let of_json_string text =
     | "cut" ->
         let groups =
           match get fields "groups" with
-          | Some (Jarr gs) ->
+          | Some (Json.Arr gs) ->
               List.map
                 (function
-                  | Jarr ids ->
+                  | Json.Arr ids ->
                       List.map
                         (function
-                          | Jnum f when Float.is_integer f -> int_of_float f
+                          | Json.Num f when Float.is_integer f -> int_of_float f
                           | _ -> fail "cut: group members must be integers")
                         ids
                   | _ -> fail "cut: groups must be arrays")
@@ -1054,7 +887,7 @@ let of_json_string text =
     | k -> fail "event: unknown kind %S" k
   in
   try
-    let fields = obj ~ctx:"plan" (parse_json text) in
+    let fields = obj ~ctx:"plan" (Json.parse text) in
     let ctx = "plan" in
     let got_schema = str ~ctx fields "schema" in
     if got_schema <> schema then
@@ -1066,7 +899,7 @@ let of_json_string text =
     in
     let faults =
       match get fields "faults" with
-      | None | Some Jnull -> None
+      | None | Some Json.Null -> None
       | Some j ->
           let f = obj ~ctx:"faults" j in
           Some
@@ -1078,7 +911,7 @@ let of_json_string text =
     in
     let detector =
       match get fields "detector" with
-      | None | Some Jnull -> None
+      | None | Some Json.Null -> None
       | Some j ->
           let d = obj ~ctx:"detector" j in
           Some
@@ -1091,7 +924,7 @@ let of_json_string text =
     in
     let events =
       match get fields "events" with
-      | Some (Jarr evs) -> List.map event_of_json evs
+      | Some (Json.Arr evs) -> List.map event_of_json evs
       | _ -> fail "plan: missing array field \"events\""
     in
     let s =
@@ -1113,7 +946,7 @@ let of_json_string text =
     validate_schedule s;
     Ok s
   with
-  | Bad_json msg -> Error ("nemesis plan JSON: " ^ msg)
+  | Json.Bad msg -> Error ("nemesis plan JSON: " ^ msg)
   | Invalid_argument msg -> Error ("nemesis plan JSON: " ^ msg)
 
 (* ---------------------------------------------------------------- *)

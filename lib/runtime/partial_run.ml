@@ -19,7 +19,9 @@ type outcome = {
 (* generic over the buffer instantiation so the differential suite can
    drive the indexed and the reference scanning variants identically *)
 let run_with (module P : Pp.IMPL) ~replication ~spec ~latency ?(seed = 1)
-    ?(max_steps = 10_000_000) ?(queue = Engine.Indexed) ?(arena = true)
+    ?(max_steps = 10_000_000) ?(metrics = Dsm_obs.Metrics.null ())
+    ?(wire = Dsm_obs.Wire.null ()) ?(recorder = Dsm_obs.Timeseries.null ())
+    ?(scrape_every = 25.) ?(queue = Engine.Indexed) ?(arena = true)
     ?(batch = false) () =
   let n = spec.Spec.n and m = spec.Spec.m in
   if Replication.n replication <> n || Replication.m replication <> m then
@@ -30,8 +32,23 @@ let run_with (module P : Pp.IMPL) ~replication ~spec ~latency ?(seed = 1)
   let network =
     Network.create ~engine ~rng ~n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
-      ~arena ~batch ()
+      ~arena ~batch ~metrics ~wire ~measure:Pp.msg_frame
+      ~sizer:(fun msg -> Dsm_obs.Wire.frame_bytes (Pp.msg_frame msg))
+      ()
   in
+  if Dsm_obs.Timeseries.enabled recorder then begin
+    let horizon =
+      Array.fold_left
+        (fun acc ops ->
+          List.fold_left (fun acc { Spec.at; _ } -> Float.max acc at) acc ops)
+        0. schedule
+    in
+    if horizon >= scrape_every then
+      Engine.schedule_every engine ~every:scrape_every
+        ~until:(Dsm_sim.Sim_time.of_float horizon) (fun () ->
+          Dsm_obs.Timeseries.scrape recorder
+            ~now:(Dsm_sim.Sim_time.to_float (Engine.now engine)))
+  end;
   let execution = Execution.create ~n ~m () in
   let protos = Array.init n (fun me -> P.create replication ~me) in
   let record proc kind =

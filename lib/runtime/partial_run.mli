@@ -23,14 +23,21 @@ val run :
   latency:Dsm_sim.Latency.t ->
   ?seed:int ->
   ?max_steps:int ->
+  ?metrics:Dsm_obs.Metrics.t ->
+  ?wire:Dsm_obs.Wire.t ->
+  ?recorder:Dsm_obs.Timeseries.t ->
+  ?scrape_every:float ->
   ?queue:Dsm_sim.Engine.queue_impl ->
   ?arena:bool ->
   ?batch:bool ->
   unit ->
   outcome
 (** [spec.n] and [spec.m] must match the replication map's dimensions.
-    [queue]/[arena]/[batch] select the hot-path machinery as in
-    {!Sim_run.run}.
+    [queue]/[arena]/[batch] select the hot-path machinery and
+    [?metrics]/[?wire]/[?recorder]/[?scrape_every] the observability as
+    in {!Sim_run.run}; here the accountant prices the whole m×n [know]
+    matrix each write multicasts, so partial replication's metadata tax
+    is directly visible.
     Each operation's variable is remapped into the issuing process's
     replicated set (preserving the workload's distribution shape).
     @raise Invalid_argument on dimension mismatch.
@@ -42,6 +49,10 @@ val run_scan :
   latency:Dsm_sim.Latency.t ->
   ?seed:int ->
   ?max_steps:int ->
+  ?metrics:Dsm_obs.Metrics.t ->
+  ?wire:Dsm_obs.Wire.t ->
+  ?recorder:Dsm_obs.Timeseries.t ->
+  ?scrape_every:float ->
   ?queue:Dsm_sim.Engine.queue_impl ->
   ?arena:bool ->
   ?batch:bool ->

@@ -21,18 +21,38 @@ type outcome = {
 
 let run (module P : Protocol.S) ~spec ~latency ~faults
     ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
-    ?(metrics = Dsm_obs.Metrics.null ()) ?(queue = Engine.Indexed)
-    ?(arena = true) ?(batch = false) () =
+    ?(metrics = Dsm_obs.Metrics.null ()) ?(wire = Dsm_obs.Wire.null ())
+    ?(recorder = Dsm_obs.Timeseries.null ()) ?(scrape_every = 25.)
+    ?(queue = Engine.Indexed) ?(arena = true) ?(batch = false) () =
   let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
   let schedule = Dsm_workload.Generator.generate spec in
   let engine = Engine.create ~queue () in
   let rng = Rng.create seed in
+  (* the accountant sees channel frames: data frames price the
+     protocol's shape plus the channel envelope, retransmissions and
+     acks appear under their own causes *)
+  let measure = Reliable_channel.wire_frame P.msg_frame in
   let network =
     Network.create ~engine ~rng ~n:spec.Spec.n
       ~latency:(fun ~src:_ ~dst:_ -> latency)
       ~arena ~batch ~faults ~mangle:Reliable_channel.corrupt_frame ~metrics
+      ~wire ~measure
+      ~sizer:(fun f -> Dsm_obs.Wire.frame_bytes (measure f))
       ()
   in
+  if Dsm_obs.Timeseries.enabled recorder then begin
+    let horizon =
+      Array.fold_left
+        (fun acc ops ->
+          List.fold_left (fun acc { Spec.at; _ } -> Float.max acc at) acc ops)
+        0. schedule
+    in
+    if horizon >= scrape_every then
+      Engine.schedule_every engine ~every:scrape_every
+        ~until:(Dsm_sim.Sim_time.of_float horizon) (fun () ->
+          Dsm_obs.Timeseries.scrape recorder
+            ~now:(Dsm_sim.Sim_time.to_float (Engine.now engine)))
+  end;
   let channel =
     Reliable_channel.create ~engine ~network ~retransmit_after ~metrics ()
   in

@@ -33,6 +33,9 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?wire:Dsm_obs.Wire.t ->
+  ?recorder:Dsm_obs.Timeseries.t ->
+  ?scrape_every:float ->
   ?queue:Dsm_sim.Engine.queue_impl ->
   ?arena:bool ->
   ?batch:bool ->
@@ -40,6 +43,10 @@ val run :
   outcome
 (** [?metrics] (default: the null registry) is threaded to the network
     and the reliable channel; probes are pure observation.
+    [?wire]/[?recorder]/[?scrape_every] as in {!Sim_run.run} — here the
+    accountant prices {e channel} frames ({!
+    Dsm_sim.Reliable_channel.wire_frame}), so retransmissions and acks
+    show up as wire cost.
     [queue]/[arena]/[batch] select the hot-path machinery as in
     {!Sim_run.run}.
     @raise Failure on step-limit exhaustion (default [20_000_000];

@@ -1,0 +1,178 @@
+module Json = Dsm_stats.Json
+module Lh = Dsm_stats.Log_histogram
+module M = Dsm_obs.Metrics
+module Spec = Dsm_workload.Spec
+
+let schema = "causal-dsm-report/v1"
+
+type t = {
+  spec : Spec.t;
+  net_seed : int;
+  outcome : Sim_run.outcome;
+  checker : Checker.report;
+  explanation : Provenance.explanation;
+  metrics : M.t;
+  wire : Dsm_obs.Wire.t;
+  recorder : Dsm_obs.Timeseries.t;
+  blocked : Lh.t;
+  delivery : M.quantile;
+}
+
+let blocked_histogram (e : Provenance.explanation) =
+  let h = Lh.create () in
+  List.iter
+    (fun (r : Provenance.delay_explanation) ->
+      match r.Provenance.ewait with Some w -> Lh.add h w | None -> ())
+    e.Provenance.rows;
+  h
+
+let make ~spec ~net_seed ~outcome ~metrics ~wire ~recorder () =
+  let checker = Checker.check outcome.Sim_run.execution in
+  let explanation = Provenance.explain outcome.Sim_run.execution checker in
+  {
+    spec;
+    net_seed;
+    outcome;
+    checker;
+    explanation;
+    metrics;
+    wire;
+    recorder;
+    blocked = blocked_histogram explanation;
+    (* register-or-merge: the same instrument the network recorded into *)
+    delivery = M.quantile metrics "net_delivery_delay";
+  }
+
+(* ---- JSON -------------------------------------------------------- *)
+
+let quantile_fields ~count ~sum ~max ~p50 ~p95 ~p99 =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int count));
+      ("sum", Json.Num sum);
+      ("max", Json.Num max);
+      ("p50", Json.Num p50);
+      ("p95", Json.Num p95);
+      ("p99", Json.Num p99);
+    ]
+
+let delivery_json q =
+  quantile_fields ~count:(M.quantile_count q) ~sum:(M.quantile_sum q)
+    ~max:(M.quantile_max q) ~p50:(M.quantile_value q 0.5)
+    ~p95:(M.quantile_value q 0.95) ~p99:(M.quantile_value q 0.99)
+
+let blocked_json h =
+  quantile_fields ~count:(Lh.count h) ~sum:(Lh.sum h) ~max:(Lh.max_value h)
+    ~p50:(Lh.quantile h 0.5) ~p95:(Lh.quantile h 0.95)
+    ~p99:(Lh.quantile h 0.99)
+
+let run_json t =
+  let o = t.outcome and s = t.spec in
+  Json.Obj
+    [
+      ("protocol", Json.Str o.Sim_run.protocol_name);
+      ("n", Json.Num (float_of_int s.Spec.n));
+      ("m", Json.Num (float_of_int s.Spec.m));
+      ("ops_per_process", Json.Num (float_of_int s.Spec.ops_per_process));
+      ("write_ratio", Json.Num s.Spec.write_ratio);
+      ("workload_seed", Json.Num (float_of_int s.Spec.seed));
+      ("net_seed", Json.Num (float_of_int t.net_seed));
+      ("messages_sent", Json.Num (float_of_int o.Sim_run.messages_sent));
+      ( "messages_delivered",
+        Json.Num (float_of_int o.Sim_run.messages_delivered) );
+      ("engine_steps", Json.Num (float_of_int o.Sim_run.engine_steps));
+      ("end_time", Json.Num o.Sim_run.end_time);
+      ("skipped_writes", Json.Num (float_of_int o.Sim_run.skipped_writes));
+    ]
+
+let checker_json t =
+  let c = t.checker and e = t.explanation in
+  Json.Obj
+    [
+      ("clean", Json.Bool (Checker.is_clean c));
+      ("total_applies", Json.Num (float_of_int c.Checker.total_applies));
+      ("total_delays", Json.Num (float_of_int c.Checker.total_delays));
+      ( "necessary_delays",
+        Json.Num (float_of_int c.Checker.necessary_delays) );
+      ( "unnecessary_delays",
+        Json.Num (float_of_int c.Checker.unnecessary_delays) );
+      ("violations", Json.Num (float_of_int (List.length c.Checker.violations)));
+      ("lost_writes", Json.Num (float_of_int (List.length c.Checker.lost)));
+      ("complete", Json.Bool c.Checker.complete);
+      ("attributed", Json.Num (float_of_int e.Provenance.attributed));
+      ("witnessed", Json.Num (float_of_int e.Provenance.witnessed));
+    ]
+
+let timeseries_json t =
+  let r = t.recorder in
+  if not (Dsm_obs.Timeseries.enabled r) then Json.Null
+  else
+    Json.Obj
+      [
+        ("scrapes", Json.Num (float_of_int (Dsm_obs.Timeseries.scrapes r)));
+        ("capacity", Json.Num (float_of_int (Dsm_obs.Timeseries.capacity r)));
+        ( "series",
+          Json.Arr
+            (List.map (fun n -> Json.Str n) (Dsm_obs.Timeseries.names r)) );
+      ]
+
+let metrics_json t =
+  if not (M.enabled t.metrics) then Json.Null
+  else
+    (* [M.to_json] is a self-contained document; re-read it through the
+       shared parser so the report embeds values, not a string blob *)
+    match Json.parse_result (M.to_json t.metrics) with
+    | Ok doc -> (
+        match Json.member "metrics" doc with Some v -> v | None -> doc)
+    | Error _ -> Json.Null
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("run", run_json t);
+      ("checker", checker_json t);
+      ( "quantiles",
+        Json.Obj
+          [
+            ("delivery_delay", delivery_json t.delivery);
+            ("blocked_duration", blocked_json t.blocked);
+          ] );
+      ( "wire",
+        if Dsm_obs.Wire.enabled t.wire then Dsm_obs.Wire.to_json t.wire
+        else Json.Null );
+      ("timeseries", timeseries_json t);
+      ("metrics", metrics_json t);
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+(* ---- human rendering --------------------------------------------- *)
+
+let pp_quantiles ppf t =
+  let line name ~count ~max ~p50 ~p95 ~p99 =
+    Format.fprintf ppf "  %-18s n=%-7d p50=%-10.4g p95=%-10.4g p99=%-10.4g max=%.4g@."
+      name count p50 p95 p99 max
+  in
+  let q = t.delivery in
+  line "delivery delay" ~count:(M.quantile_count q) ~max:(M.quantile_max q)
+    ~p50:(M.quantile_value q 0.5) ~p95:(M.quantile_value q 0.95)
+    ~p99:(M.quantile_value q 0.99);
+  let h = t.blocked in
+  line "blocked duration" ~count:(Lh.count h) ~max:(Lh.max_value h)
+    ~p50:(Lh.quantile h 0.5) ~p95:(Lh.quantile h 0.95)
+    ~p99:(Lh.quantile h 0.99)
+
+let pp ppf t =
+  Format.fprintf ppf "%a@." Sim_run.pp_outcome t.outcome;
+  Format.fprintf ppf "%a@." Checker.pp_report t.checker;
+  Format.fprintf ppf "latency quantiles (sim time):@.%a@." pp_quantiles t;
+  if Dsm_obs.Wire.enabled t.wire then
+    Format.fprintf ppf "%a@." Dsm_obs.Wire.pp_summary t.wire;
+  if Dsm_obs.Timeseries.enabled t.recorder then
+    Format.fprintf ppf
+      "flight recorder: %d scrapes over %d series (ring capacity %d)@."
+      (Dsm_obs.Timeseries.scrapes t.recorder)
+      (Dsm_obs.Timeseries.series_count t.recorder)
+      (Dsm_obs.Timeseries.capacity t.recorder);
+  if M.enabled t.metrics then Format.fprintf ppf "%a" M.pp_summary t.metrics

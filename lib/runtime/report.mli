@@ -1,0 +1,50 @@
+(** Run report: one document joining everything the observability
+    stack knows about a single {!Sim_run} — checker verdicts, wire-cost
+    accounting, latency quantiles, flight-recorder coverage and the raw
+    metrics registry.
+
+    The JSON rendering carries [schema = "causal-dsm-report/v1"] so the
+    [bench diff] comparator and external tooling can validate what they
+    were handed. The human rendering reuses each layer's own summary
+    ([Sim_run.pp_outcome], [Checker.pp_report], wire and metrics
+    tables). *)
+
+val schema : string
+(** ["causal-dsm-report/v1"]. *)
+
+type t = {
+  spec : Dsm_workload.Spec.t;
+  net_seed : int;
+  outcome : Sim_run.outcome;
+  checker : Checker.report;
+  explanation : Provenance.explanation;
+  metrics : Dsm_obs.Metrics.t;
+  wire : Dsm_obs.Wire.t;
+  recorder : Dsm_obs.Timeseries.t;
+  blocked : Dsm_stats.Log_histogram.t;
+      (** blocked-duration sketch over the provenance rows with both a
+          blocked and an applied timestamp *)
+  delivery : Dsm_obs.Metrics.quantile;
+      (** the network's [net_delivery_delay] instrument *)
+}
+
+val make :
+  spec:Dsm_workload.Spec.t ->
+  net_seed:int ->
+  outcome:Sim_run.outcome ->
+  metrics:Dsm_obs.Metrics.t ->
+  wire:Dsm_obs.Wire.t ->
+  recorder:Dsm_obs.Timeseries.t ->
+  unit ->
+  t
+(** Audits the outcome ({!Checker.check} + {!Provenance.explain}) and
+    derives the quantile views. [metrics]/[wire]/[recorder] should be
+    the instances the run was driven with; inert instances yield [null]
+    sections rather than errors. *)
+
+val blocked_histogram :
+  Provenance.explanation -> Dsm_stats.Log_histogram.t
+
+val to_json : t -> Dsm_stats.Json.t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

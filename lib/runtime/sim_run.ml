@@ -21,8 +21,10 @@ let write_value ~proc ~seq = (proc * 1_000_000) + seq
 
 let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
     ?(faults = Network.no_faults) ?(seed = 1) ?(max_steps = 10_000_000)
-    ?(metrics = Dsm_obs.Metrics.null ()) ?trace_capacity
-    ?(queue = Engine.Indexed) ?(arena = true) ?(batch = false) () =
+    ?(metrics = Dsm_obs.Metrics.null ()) ?(wire = Dsm_obs.Wire.null ())
+    ?(recorder = Dsm_obs.Timeseries.null ()) ?(scrape_every = 25.)
+    ?trace_capacity ?(queue = Engine.Indexed) ?(arena = true)
+    ?(batch = false) () =
   let cfg = Protocol.config ~n:spec.Spec.n ~m:spec.Spec.m in
   let schedule = Dsm_workload.Generator.generate spec in
   let engine = Engine.create ~queue () in
@@ -34,8 +36,29 @@ let run (module P : Protocol.S) ~spec ~latency ?latency_fn ?(fifo = false)
   in
   let network =
     Network.create ~engine ~rng ~n:spec.Spec.n ~latency:latency_of ~fifo
-      ~arena ~batch ~faults ~metrics ()
+      ~arena ~batch ~faults ~metrics ~wire ~measure:P.msg_frame
+      ~sizer:(fun m -> Dsm_obs.Wire.frame_bytes (P.msg_frame m))
+      ()
   in
+  (* flight recorder: periodic registry scrapes on the sim clock,
+     bounded to the workload horizon so the tick stream cannot keep the
+     queue alive past the last scheduled operation. Ticks are pure
+     registry reads — no RNG draw, no protocol state — so the run's
+     observable outcome is unchanged (pinned by the differential
+     suite). *)
+  if Dsm_obs.Timeseries.enabled recorder then begin
+    let horizon =
+      Array.fold_left
+        (fun acc ops ->
+          List.fold_left (fun acc { Spec.at; _ } -> Float.max acc at) acc ops)
+        0. schedule
+    in
+    if horizon >= scrape_every then
+      Engine.schedule_every engine ~every:scrape_every
+        ~until:(Dsm_sim.Sim_time.of_float horizon) (fun () ->
+          Dsm_obs.Timeseries.scrape recorder
+            ~now:(Dsm_sim.Sim_time.to_float (Engine.now engine)))
+  end;
   let execution =
     Execution.create ?capacity_limit:trace_capacity ~n:spec.Spec.n
       ~m:spec.Spec.m ()

@@ -29,6 +29,9 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?wire:Dsm_obs.Wire.t ->
+  ?recorder:Dsm_obs.Timeseries.t ->
+  ?scrape_every:float ->
   ?trace_capacity:int ->
   ?queue:Dsm_sim.Engine.queue_impl ->
   ?arena:bool ->
@@ -52,6 +55,12 @@ val run :
     byte-identical with and without a live registry. [trace_capacity]
     bounds the execution trace as a ring — only for live monitoring;
     the checker needs the full trace.
+
+    [wire] (default: inert) receives per-frame byte-cost accounting via
+    the protocol's [msg_frame]; [recorder] (default: inert) is scraped
+    every [scrape_every] sim-time units (default 25.) up to the
+    workload horizon. Both are pure observation — same outcome with
+    either enabled, pinned by the differential suite.
 
     [faults] injects raw link failures with NO recovery layer — the
     run will normally lose writes and fail the checker; that is its

@@ -17,9 +17,10 @@ let () =
     | _ -> None)
 
 module Metrics = Dsm_obs.Metrics
+module Wire = Dsm_obs.Wire
 
 (* pre-resolved instrument handles; [p_live] gates the one measurement
-   whose computation itself costs something (Marshal payload sizing) *)
+   whose computation itself costs something (payload sizing) *)
 type probes = {
   p_live : bool;
   p_sends : Metrics.counter;
@@ -36,6 +37,7 @@ type probes = {
   p_corrupted : Metrics.counter;
   p_partition_cuts : Metrics.counter;
   p_payload_bytes : Metrics.counter;
+  p_delivery_delay : Metrics.quantile;
 }
 
 let probes metrics =
@@ -56,6 +58,7 @@ let probes metrics =
     p_corrupted = c "net_corrupted";
     p_partition_cuts = c "net_partition_cuts";
     p_payload_bytes = c "net_payload_bytes";
+    p_delivery_delay = Metrics.quantile metrics "net_delivery_delay";
   }
 
 (* ---- envelope arena ------------------------------------------------ *)
@@ -139,6 +142,13 @@ type 'a t = {
          view is a counted drop, never a [No_handler] crash *)
   mutable epoch : int;  (* current membership view epoch (informational) *)
   probes : probes;
+  wire : Wire.t;
+  measure : ('a -> Wire.frame) option;
+      (* [Some] only when [wire] is live: frame-shape extractor for the
+         byte-cost accountant *)
+  sizer : ('a -> int) option;
+      (* analytic payload sizer for [net_payload_bytes]; when absent a
+         live registry falls back to Marshal-encoded size *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -342,7 +352,7 @@ let fire_edge t e =
 
 let create ~engine ~rng ~n ~latency ?(fifo = false) ?(arena = true)
     ?(batch = false) ?(faults = no_faults) ?mangle
-    ?(metrics = Metrics.null ()) () =
+    ?(metrics = Metrics.null ()) ?(wire = Wire.null ()) ?measure ?sizer () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   let check_prob name p =
     if p < 0. || p > 1. then
@@ -400,6 +410,9 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(arena = true)
     member = (fun _ -> true);
     epoch = 0;
     probes = probes metrics;
+    wire;
+    measure = (if Wire.enabled wire then measure else None);
+    sizer;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -627,10 +640,18 @@ let send t ~src ~dst payload =
   t.sent <- t.sent + 1;
   Metrics.incr t.probes.p_sends;
   if t.probes.p_live then
-    (* Marshal sizing is the one probe whose computation is not free;
-       the null registry never reaches it *)
+    (* payload sizing is the one probe whose computation is not free;
+       the null registry never reaches it. The analytic sizer (frame
+       shape priced under the wire cost model) replaces the seed's
+       Marshal round-trip when the driver installs one — same counter,
+       model bytes instead of OCaml-marshalling bytes *)
     Metrics.add t.probes.p_payload_bytes
-      (String.length (Marshal.to_string payload []));
+      (match t.sizer with
+      | Some f -> f payload
+      | None -> String.length (Marshal.to_string payload []));
+  (match t.measure with
+  | Some f -> Wire.record t.wire ~src ~dst (f payload)
+  | None -> ());
   if t.cut_link.(src).(dst) then begin
     (* partitioned link: the transmission silently disappears *)
     t.partition_dropped <- t.partition_dropped + 1;
@@ -686,6 +707,9 @@ let send t ~src ~dst payload =
       else at
     in
     if t.fifo then t.last_delivery.(src).(dst) <- at;
+    if t.probes.p_live then
+      Metrics.observe_q t.probes.p_delivery_delay
+        (Sim_time.to_float at -. Sim_time.to_float (Engine.now t.engine));
     schedule_delivery t ~src ~dst ~at payload;
     if t.faults.duplicate > 0. && Rng.bernoulli rng t.faults.duplicate
     then begin

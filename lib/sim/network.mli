@@ -53,6 +53,9 @@ val create :
   ?faults:faults ->
   ?mangle:('a -> 'a) ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?wire:Dsm_obs.Wire.t ->
+  ?measure:('a -> Dsm_obs.Wire.frame) ->
+  ?sizer:('a -> int) ->
   unit ->
   'a t
 (** [create ~engine ~rng ~n ~latency ()] builds an [n]-process network.
@@ -63,9 +66,21 @@ val create :
     [net_delivered],
     [net_dropped{cause=random|partition|crash|stale|nonmember|oneway|flap}],
     [net_delayed{cause=inflation}], [net_duplicated], [net_corrupted],
-    [net_partition_cuts] and [net_payload_bytes] (Marshal-encoded size,
-    only measured when the registry is live). Probes never touch RNG
-    streams or the event schedule.
+    [net_partition_cuts], [net_payload_bytes] and the
+    [net_delivery_delay] quantile sketch (sampled transit delay of each
+    scheduled delivery). Probes never touch RNG streams or the event
+    schedule.
+
+    [?wire] with [?measure] installs byte-cost accounting: every
+    [send] — delivered or dropped; bytes leave the sender either way —
+    prices [measure payload] into the accountant under
+    its (src, dst) edge (see {!Dsm_obs.Wire}) — purely observational,
+    the frame on the wire is unchanged. [?sizer] replaces the
+    [net_payload_bytes] measurement (Marshal-encoded size when absent)
+    with an analytic byte count; drivers pass
+    [Dsm_obs.Wire.frame_bytes ∘ measure] so the counter agrees with the
+    accountant and the hot path stops serializing every payload
+    twice.
 
     [?arena] (default [true]) routes envelopes through a flat slot
     arena: an in-flight message occupies a recycled slot whose delivery

@@ -19,6 +19,15 @@ let corrupt_frame = function
   | Data d -> Data { d with sum = d.sum lxor 0x5a5a5a5a }
   | Ack a -> Ack { a with sum = a.sum lxor 0x5a5a5a5a }
 
+(* Frame-shape measurer for the wire accountant: the channel envelope
+   adds cseq + inc + sum (three scalars) around the protocol payload;
+   an acknowledgment is cseq + sum and carries no causal metadata. *)
+let wire_frame inner = function
+  | Data { payload; _ } ->
+      let f = inner payload in
+      { f with Dsm_obs.Wire.scalars = f.Dsm_obs.Wire.scalars + 3 }
+  | Ack _ -> { Dsm_obs.Wire.kind = "ack"; scalars = 2; dots = 0; vectors = [] }
+
 type probes = {
   p_payloads : Metrics.counter;
   p_retransmissions : Metrics.counter;

@@ -51,6 +51,13 @@ val corrupt_frame : 'a frame -> 'a frame
     flipping the checksum field itself, so verify-on-receive detects it
     exactly. *)
 
+val wire_frame :
+  ('a -> Dsm_obs.Wire.frame) -> 'a frame -> Dsm_obs.Wire.frame
+(** [wire_frame inner] lifts a payload measurer to channel frames for
+    {!Network.create}'s [?measure]: data frames cost the payload's
+    shape plus the envelope's three scalars (cseq, incarnation,
+    checksum); acks are two scalars under their own ["ack"] cause. *)
+
 type 'a t
 
 val create :

@@ -53,6 +53,12 @@ let bin_value t i =
 let underflow t = t.under
 let overflow t = t.over
 
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.under <- 0;
+  t.over <- 0;
+  t.total <- 0
+
 let render ?(width = 40) t =
   let buf = Buffer.create 256 in
   let peak = Array.fold_left Stdlib.max 1 t.counts in

@@ -26,6 +26,11 @@ val bin_value : t -> int -> int
 val underflow : t -> int
 val overflow : t -> int
 
+val reset : t -> unit
+(** Zero every bin and the under/overflow counters in place, keeping
+    the configured range — lets bench loops reuse one histogram across
+    iterations. *)
+
 val render : ?width:int -> t -> string
 (** Multi-line ASCII rendering, one row per bin:
     [\[ lo.. hi) ████████ count]. *)

@@ -1,0 +1,41 @@
+(** Minimal JSON reader/writer shared by every artifact consumer
+    (nemesis plans, [bench diff], [dsm-sim report]). The container
+    bakes in no JSON library, so this is deliberately small: enough to
+    round-trip the documents our own emitters produce. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+(** Raised by {!parse} with a human-readable position message. *)
+
+val parse : string -> t
+(** Strict parse of a complete document; trailing non-whitespace input
+    is an error. [\u] escapes outside ASCII degrade to ['?'].
+    @raise Bad on malformed input. *)
+
+val parse_result : string -> (t, string) result
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes. *)
+
+val number : float -> string
+(** Integral floats print without a fractional part; other values use
+    the shortest representation that round-trips exactly. *)
+
+val to_string : t -> string
+(** Compact single-line serialization (keys in listed order). *)
+
+(** Accessors return [None] on shape mismatch so callers can thread
+    lookups with [Option.bind]. *)
+
+val member : string -> t -> t option
+val to_num : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

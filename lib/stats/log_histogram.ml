@@ -1,0 +1,119 @@
+(* Log-bucketed quantile sketch.
+
+   Buckets grow geometrically: bucket [i >= 1] covers
+   (base * gamma^(i-1), base * gamma^i], bucket 0 holds everything at or
+   below [base] (including zero and negatives). A quantile query walks
+   the cumulative counts and answers with the upper edge of the bucket
+   the rank falls in, clamped to the exact observed maximum, so for any
+   quantile [q] the estimate [est] and the exact order statistic
+   [exact] satisfy
+
+     exact <= est <= max base (exact * gamma)
+
+   — a relative error bounded by [gamma - 1] once values clear the
+   [base] resolution floor. The default gamma, 2^(1/8), bounds the
+   error at ~9%.
+
+   Memory is one int per occupied decade-slice: the bucket array grows
+   on demand (doubling) and never shrinks; [reset] zeroes it in place
+   so a reused sketch allocates nothing per iteration. *)
+
+type t = {
+  gamma : float;
+  inv_log_gamma : float;  (* 1 / ln gamma, hoisted out of [add] *)
+  base : float;
+  mutable counts : int array;  (* counts.(i) = bucket i, 0 = floor bucket *)
+  mutable used : int;  (* highest occupied bucket index + 1 *)
+  mutable total : int;
+  mutable sum : float;
+  mutable vmax : float;
+}
+
+let default_gamma = 1.0905077326652577  (* 2^(1/8) *)
+
+let create ?(gamma = default_gamma) ?(base = 1e-9) () =
+  if not (gamma > 1. && Float.is_finite gamma) then
+    invalid_arg "Log_histogram.create: gamma must be finite and > 1";
+  if not (base > 0. && Float.is_finite base) then
+    invalid_arg "Log_histogram.create: base must be finite and positive";
+  {
+    gamma;
+    inv_log_gamma = 1. /. log gamma;
+    base;
+    counts = Array.make 32 0;
+    used = 0;
+    total = 0;
+    sum = 0.;
+    vmax = neg_infinity;
+  }
+
+let gamma t = t.gamma
+let base t = t.base
+
+let bucket_of t v =
+  if v <= t.base then 0
+  else
+    (* smallest i with v <= base * gamma^i *)
+    let i = int_of_float (ceil (log (v /. t.base) *. t.inv_log_gamma)) in
+    if i < 1 then 1 else i
+
+let ensure t i =
+  let cap = Array.length t.counts in
+  if i >= cap then begin
+    let cap' = max (i + 1) (2 * cap) in
+    let counts = Array.make cap' 0 in
+    Array.blit t.counts 0 counts 0 cap;
+    t.counts <- counts
+  end
+
+let add t v =
+  if Float.is_finite v then begin
+    let i = bucket_of t v in
+    ensure t i;
+    t.counts.(i) <- t.counts.(i) + 1;
+    if i + 1 > t.used then t.used <- i + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v;
+    if v > t.vmax then t.vmax <- v
+  end
+
+let count t = t.total
+let sum t = t.sum
+let max_value t = if t.total = 0 then 0. else t.vmax
+let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
+
+(* upper edge of bucket [i] *)
+let edge t i = if i = 0 then t.base else t.base *. (t.gamma ** float_of_int i)
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Log_histogram.quantile: q must be in [0,1]";
+  if t.total = 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let est = ref t.vmax in
+    let cum = ref 0 in
+    (try
+       for i = 0 to t.used - 1 do
+         cum := !cum + t.counts.(i);
+         if !cum >= rank then begin
+           est := edge t i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* the exact order statistic is an observed value, hence <= vmax;
+       clamping keeps the upper bound tight at the distribution's tail
+       (and makes quantile t 1. exact) *)
+    if !est > t.vmax then t.vmax else !est
+  end
+
+let reset t =
+  Array.fill t.counts 0 t.used 0;
+  t.used <- 0;
+  t.total <- 0;
+  t.sum <- 0.;
+  t.vmax <- neg_infinity

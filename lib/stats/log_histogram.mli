@@ -1,0 +1,52 @@
+(** Log-bucketed quantile sketch (p50/p95/p99/max over long-tailed
+    distributions).
+
+    Fixed-range linear bins ({!Histogram}) resolve the body of a
+    distribution but collapse its tail into one overflow counter;
+    latency and blocked-duration tracking need the opposite trade.
+    This sketch uses geometric buckets — bucket [i] covers
+    [(base·gamma^(i-1), base·gamma^i]] — so a constant {e relative}
+    resolution of [gamma - 1] spans any dynamic range in a handful of
+    integers.
+
+    Accuracy contract: for any [q], with [exact] the true order
+    statistic (smallest observed value whose rank reaches
+    [ceil (q * count)]) and [est = quantile t q],
+
+    {[ exact <= est <= max base (exact *. gamma) ]}
+
+    The estimate never undershoots, and overshoots by at most the
+    bucket width; [quantile t 1.] is the exact maximum. The qcheck
+    suite pins this bound against sorted-array quantiles. *)
+
+type t
+
+val default_gamma : float
+(** [2^(1/8)] ≈ 1.0905 — at most ~9% relative overshoot. *)
+
+val create : ?gamma:float -> ?base:float -> unit -> t
+(** [base] (default [1e-9]) is the resolution floor: all observations
+    at or below it (zero and negative included) share one bucket whose
+    upper edge is [base].
+    @raise Invalid_argument unless [gamma > 1] and [base > 0], both
+    finite. *)
+
+val add : t -> float -> unit
+(** Non-finite observations are ignored. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val max_value : t -> float
+(** Exact observed maximum; [0.] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [[0,1]]; [0.] when empty.
+    @raise Invalid_argument if [q] is outside [[0,1]]. *)
+
+val gamma : t -> float
+val base : t -> float
+
+val reset : t -> unit
+(** Zeroes the sketch in place — no allocation, registered capacity is
+    kept — so bench loops can reuse one sketch across iterations. *)

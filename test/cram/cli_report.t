@@ -1,0 +1,155 @@
+Wire accounting on a run: --wire prints the per-edge cost summary and
+--wire-out exports the full accountant state.
+
+  $ dsm-sim run -n 3 -m 2 --ops 20 --seed 4 --latency exp:10 \
+  >   --wire --wire-out wire.json
+  workload: workload(n=3, m=2, ops/proc=20, writes=50%, think=exp(mean=10), vars=uniform, seed=4)
+  network:  exp(mean=10)
+  
+  protocol: OptP
+  
+  OptP: 215 events, 58 msgs sent / 58 delivered, t_end=201.1
+  applies=87 delays=10 skips=0 buffer-high=1,4,1
+  
+  audit: applies=87 delays=10 (necessary=10, unnecessary=0) skips=0 complete=true lost=0
+         violations=0
+  wire: 58 frames, 4176 bytes -> wire.json
+  
+  wire
+  +-------+--------+----------+-----------+--------+--------------+---------------+
+  | cause | frames | header B | payload B | meta B | meta B/frame | delta B/frame |
+  +-------+--------+----------+-----------+--------+--------------+---------------+
+  | write |     58 |      928 |       928 |   2320 |         40.0 |          33.4 |
+  | total |     58 |      928 |       928 |   2320 |         40.0 |          33.4 |
+  +-------+--------+----------+-----------+--------+--------------+---------------+
+  
+  $ grep -c '"schema": *"causal-dsm-wire/v1"' wire.json
+  1
+
+Observation must not move the simulation: the same seed with and
+without the wire accountant prints the same run report.
+
+  $ dsm-sim run -n 3 -m 2 --ops 20 --seed 4 --latency exp:10 > plain.out
+  $ dsm-sim run -n 3 -m 2 --ops 20 --seed 4 --latency exp:10 \
+  >   --wire-out on-wire.json | grep -v '^wire:' > observed.out
+  $ cmp plain.out observed.out && echo identical
+  identical
+
+The report subcommand bundles outcome, audit, latency quantiles, wire
+cost and the flight recorder into one document.
+
+  $ dsm-sim report -n 3 -m 2 --ops 20 --seed 4 --latency exp:10 \
+  >   --scrape-every 50 --out report.json --series-out series.jsonl
+  OptP: 215 events, 58 msgs sent / 58 delivered, t_end=201.1
+  applies=87 delays=10 skips=0 buffer-high=1,4,1
+  applies=87 delays=10 (necessary=10, unnecessary=0) skips=0 complete=true lost=0
+  violations=0
+  latency quantiles (sim time):
+    delivery delay     n=58      p50=6.624      p95=22.28      p99=56.05      max=56.05
+    blocked duration   n=10      p50=10.22      p95=44.82      p99=44.82      max=44.82
+  
+  wire
+  +-------+--------+----------+-----------+--------+--------------+---------------+
+  | cause | frames | header B | payload B | meta B | meta B/frame | delta B/frame |
+  +-------+--------+----------+-----------+--------+--------------+---------------+
+  | write |     58 |      928 |       928 |   2320 |         40.0 |          33.4 |
+  | total |     58 |      928 |       928 |   2320 |         40.0 |          33.4 |
+  +-------+--------+----------+-----------+--------+--------------+---------------+
+  
+  flight recorder: 3 scrapes over 23 series (ring capacity 256)
+  metrics
+  +------------------------------+----------+-------+----------------------------------------+
+  |            metric            |   kind   | value |                 detail                 |
+  +------------------------------+----------+-------+----------------------------------------+
+  | net_delivery_delay           | quantile |    58 | p50=6.62 p95=22.28 p99=56.05 max=56.05 |
+  | net_payload_bytes            | counter  |  4176 |                                        |
+  | net_partition_cuts           | counter  |     0 |                                        |
+  | net_corrupted                | counter  |     0 |                                        |
+  | net_duplicated               | counter  |     0 |                                        |
+  | net_delayed{cause=inflation} | counter  |     0 |                                        |
+  | net_dropped{cause=flap}      | counter  |     0 |                                        |
+  | net_dropped{cause=oneway}    | counter  |     0 |                                        |
+  | net_dropped{cause=nonmember} | counter  |     0 |                                        |
+  | net_dropped{cause=stale}     | counter  |     0 |                                        |
+  | net_dropped{cause=crash}     | counter  |     0 |                                        |
+  | net_dropped{cause=partition} | counter  |     0 |                                        |
+  | net_dropped{cause=random}    | counter  |     0 |                                        |
+  | net_delivered                | counter  |    58 |                                        |
+  | net_sends                    | counter  |    58 |                                        |
+  | buffer_occupancy             | gauge    |     0 | max=4                                  |
+  | proto_wco_merges_on_read     | counter  |    16 |                                        |
+  | proto_writes                 | counter  |    29 |                                        |
+  | proto_reads                  | counter  |    31 |                                        |
+  | proto_skips                  | counter  |     0 |                                        |
+  | proto_delayed_applies        | counter  |    10 |                                        |
+  | proto_applies                | counter  |    87 |                                        |
+  | buffer_wakeup_scans          | counter  |    31 |                                        |
+  | buffer_total_buffered        | counter  |    10 |                                        |
+  | buffer_high_watermark        | gauge    |     4 | max=4                                  |
+  +------------------------------+----------+-------+----------------------------------------+
+  report -> report.json
+  timeseries: 3 scrapes -> series.jsonl
+
+The JSON document carries the versioned schema and every section.
+
+  $ grep -c '"schema": *"causal-dsm-report/v1"' report.json
+  1
+  $ grep -c '"checker"' report.json
+  1
+  $ grep -c '"quantiles"' report.json
+  1
+  $ grep -c '"wire"' report.json
+  1
+  $ grep -c '"timeseries"' report.json
+  1
+  $ head -n 1 series.jsonl | grep -c '"t":'
+  1
+
+A protocol that claims Theorem-4 optimality still fails the report
+command on unnecessary delays; ANBKH does not claim it, so exit is 0.
+
+  $ dsm-sim report --protocol anbkh -n 4 --ops 40 --seed 3 \
+  >   --latency uniform:1,80 > /dev/null; echo "exit: $?"
+  exit: 0
+
+bench diff compares two bench JSON documents metric by metric.  A file
+diffed against itself is clean.
+
+  $ cat > bench_old.json <<'EOF'
+  > {"schema":"causal-dsm-bench/v1","section":"engine_throughput",
+  >  "results":[{"n":8,"ns_per_event":120.0,"events_per_sec":8000000.0}]}
+  > EOF
+  $ dsm-sim bench diff bench_old.json bench_old.json; echo "exit: $?"
+  bench diff (fail-over 2.00x)
+  +-----------------------------+--------+---------+---------+--------+---------+
+  |           metric            |  dir   |   old   |   new   | ratio  | verdict |
+  +-----------------------------+--------+---------+---------+--------+---------+
+  | results[n=8].ns_per_event   | lower  |     120 |     120 | 1.000x | ok      |
+  | results[n=8].events_per_sec | higher | 8000000 | 8000000 | 1.000x | ok      |
+  +-----------------------------+--------+---------+---------+--------+---------+
+  
+  no regressions over 2.00x across 3 shared metrics
+  exit: 0
+
+A slower new run beyond the threshold makes the diff fail with a
+non-zero exit; direction-aware, so a higher events_per_sec is fine.
+
+  $ cat > bench_new.json <<'EOF'
+  > {"schema":"causal-dsm-bench/v1","section":"engine_throughput",
+  >  "results":[{"n":8,"ns_per_event":300.0,"events_per_sec":9000000.0}]}
+  > EOF
+  $ dsm-sim bench diff bench_old.json bench_new.json; echo "exit: $?"
+  bench diff (fail-over 2.00x)
+  +-----------------------------+--------+---------+---------+--------+-----------+
+  |           metric            |  dir   |   old   |   new   | ratio  |  verdict  |
+  +-----------------------------+--------+---------+---------+--------+-----------+
+  | results[n=8].ns_per_event   | lower  |     120 |     300 | 2.500x | REGRESSED |
+  | results[n=8].events_per_sec | higher | 8000000 | 9000000 | 0.889x | ok        |
+  +-----------------------------+--------+---------+---------+--------+-----------+
+  
+  1 regression(s) over 2.00x across 3 shared metrics
+  dsm-sim: 1 metric(s) regressed beyond 2.00x
+  exit: 124
+  $ dsm-sim bench diff bench_old.json bench_new.json --fail-over 3.0 \
+  >   > /dev/null; echo "exit: $?"
+  exit: 0

@@ -13,7 +13,7 @@ Trace and metrics export on a deterministic run.
   audit: applies=87 delays=10 (necessary=10, unnecessary=0) skips=0 complete=true lost=0
          violations=0
   trace: 29 spans (10 blocked records) -> trace.jsonl (jsonl)
-  metrics: 24 instruments -> metrics.json
+  metrics: 25 instruments -> metrics.json
 
 One JSONL line per span; every blocked destination names the dot it
 waited on.

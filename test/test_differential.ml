@@ -38,7 +38,7 @@ let params_of_seed seed =
   (n, ratio, sigma, faults)
 
 let run_one (module P : Dsm_core.Protocol.S) ?(queue = Engine.Indexed)
-    ?(arena = true) ?(batch = false) ~seed () =
+    ?(arena = true) ?(batch = false) ?(observe = false) ~seed () =
   let n, ratio, sigma, faults = params_of_seed seed in
   let spec =
     Spec.make ~n ~m:4 ~ops_per_process:40 ~write_ratio:ratio
@@ -48,8 +48,18 @@ let run_one (module P : Dsm_core.Protocol.S) ?(queue = Engine.Indexed)
   let latency =
     Latency.Lognormal { mu = log 10. -. (sigma *. sigma /. 2.); sigma }
   in
-  Sim_run.run (module P) ~spec ~latency ~faults ~seed:(seed + 1) ~queue
-    ~arena ~batch ()
+  if observe then begin
+    (* the full observability stack: live registry, wire accountant,
+       flight recorder — all pure reads of the run *)
+    let metrics = Dsm_obs.Metrics.create () in
+    let wire = Dsm_obs.Wire.create ~proto:P.name ~n () in
+    let recorder = Dsm_obs.Timeseries.create ~metrics () in
+    Sim_run.run (module P) ~spec ~latency ~faults ~seed:(seed + 1) ~queue
+      ~arena ~batch ~metrics ~wire ~recorder ()
+  end
+  else
+    Sim_run.run (module P) ~spec ~latency ~faults ~seed:(seed + 1) ~queue
+      ~arena ~batch ()
 
 let same_outcome name seed (o1 : Sim_run.outcome) (o2 : Sim_run.outcome) =
   let ctx fmt = Printf.sprintf ("%s seed %d: " ^^ fmt) name seed in
@@ -227,6 +237,69 @@ let test_batched_parity (module P : Dsm_core.Protocol.S) name count () =
         (run_one (module P) ~batch:true ~seed ()))
     (seeds count)
 
+(* Observation parity: arming the wire accountant, the flight recorder
+   and a live metrics registry must not move the run. The accountant
+   prices frames without touching the RNG, and recorder scrapes are
+   extra engine events whose callbacks only read the registry — so the
+   same seed sweep as above must reproduce every semantic observable
+   exactly (engine step counts legitimately differ: scrape ticks add
+   events). *)
+
+let test_observed (module P : Dsm_core.Protocol.S) name count () =
+  List.iter
+    (fun seed ->
+      same_outcome
+        (Printf.sprintf "%s[observed]" name)
+        seed
+        (run_one (module P) ~seed ())
+        (run_one (module P) ~observe:true ~seed ()))
+    (seeds count)
+
+let test_observed_partial () =
+  List.iter
+    (fun seed ->
+      let n = 4 + (seed mod 3) and m = 6 in
+      let replication = Replication.ring ~n ~m ~degree:2 in
+      let spec =
+        Spec.make ~n ~m ~ops_per_process:30 ~write_ratio:0.5
+          ~think:(Latency.Exponential { mean = 5. })
+          ~seed ()
+      in
+      let latency = Latency.Uniform { lo = 1.; hi = 120. } in
+      let base =
+        Partial_run.run ~replication ~spec ~latency ~seed:(seed + 1) ()
+      in
+      let metrics = Dsm_obs.Metrics.create () in
+      let wire = Dsm_obs.Wire.create ~proto:"OptP-partial" ~n () in
+      let recorder = Dsm_obs.Timeseries.create ~metrics () in
+      let o =
+        Partial_run.run ~replication ~spec ~latency ~seed:(seed + 1)
+          ~metrics ~wire ~recorder ()
+      in
+      let ctx fmt =
+        Printf.sprintf ("OptP-partial[observed] seed %d: " ^^ fmt) seed
+      in
+      Alcotest.(check bool)
+        (ctx "identical histories") true
+        (History.ops base.Partial_run.history
+        = History.ops o.Partial_run.history);
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (ctx "identical apply sequence at p%d" (p + 1))
+            true
+            (Execution.apply_order base.Partial_run.execution p
+            = Execution.apply_order o.Partial_run.execution p))
+        (List.init n Fun.id);
+      Alcotest.(check (array int))
+        (ctx "identical buffer high watermarks")
+        base.Partial_run.buffer_high_watermarks
+        o.Partial_run.buffer_high_watermarks;
+      Alcotest.(check int)
+        (ctx "identical message counts")
+        base.Partial_run.messages_sent o.Partial_run.messages_sent)
+    (seeds 30)
+
 (* The churn campaign generalizes the fault campaign; on a churn-free
    plan it must be not just equivalent but byte-identical — same RNG
    consumption, same event scheduling, same wire traffic. Any drift
@@ -332,6 +405,17 @@ let () =
             (test_batched_parity (module Dsm_core.Opt_p) "OptP" 100);
           Alcotest.test_case "ANBKH, 100 seeds" `Quick
             (test_batched_parity (module Dsm_core.Anbkh) "ANBKH" 100);
+        ] );
+      ( "observation parity: wire + recorder + live metrics",
+        [
+          Alcotest.test_case "OptP, 100 seeds" `Quick
+            (test_observed (module Dsm_core.Opt_p) "OptP" 100);
+          Alcotest.test_case "ANBKH, 100 seeds" `Quick
+            (test_observed (module Dsm_core.Anbkh) "ANBKH" 100);
+          Alcotest.test_case "OptP-WS, 40 seeds" `Quick
+            (test_observed (module Dsm_core.Opt_p_ws) "OptP-WS" 40);
+          Alcotest.test_case "OptP-partial, 30 seeds" `Quick
+            test_observed_partial;
         ] );
       ( "churn campaign == fault campaign on static membership",
         [

@@ -1,0 +1,395 @@
+(* Tests for the wire-cost telemetry tier: the log-bucketed quantile
+   sketch against exact sorted-array quantiles (qcheck, bounded
+   relative error), the wire accountant's byte conservation against the
+   network's own counters, [Metrics.reset] semantics, the flight
+   recorder's ring retention and JSONL export, and the bench-diff
+   comparator's flattening / direction / regression verdicts. *)
+
+module Lh = Dsm_stats.Log_histogram
+module Json = Dsm_stats.Json
+module Metrics = Dsm_obs.Metrics
+module Wire = Dsm_obs.Wire
+module Timeseries = Dsm_obs.Timeseries
+module Bench_diff = Dsm_runtime.Bench_diff
+module Sim_run = Dsm_runtime.Sim_run
+module Spec = Dsm_workload.Spec
+module Latency = Dsm_sim.Latency
+module V = Dsm_vclock.Vector_clock
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* log-bucketed quantiles vs exact sorted-array quantiles              *)
+(* ------------------------------------------------------------------ *)
+
+(* the contract under test: for positive samples,
+   exact <= estimate <= max base (exact * gamma) *)
+let quantile_bound_holds values q =
+  let h = Lh.create () in
+  List.iter (Lh.add h) values;
+  let sorted = Array.of_list values in
+  Array.sort compare sorted;
+  let total = Array.length sorted in
+  let rank =
+    Stdlib.max 1
+      (Stdlib.min total (int_of_float (Float.ceil (q *. float_of_int total))))
+  in
+  let exact = sorted.(rank - 1) in
+  let est = Lh.quantile h q in
+  let eps = 1e-9 in
+  est >= exact -. eps
+  && est <= Float.max (Lh.base h) (exact *. Lh.gamma h) +. eps
+
+let qcheck_quantiles =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 300) (float_range 1e-3 1e6))
+        (float_range 0.01 1.0))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500
+       ~name:"log-histogram quantile within [exact, exact*gamma]" gen
+       (fun (values, q) -> quantile_bound_holds values q))
+
+let test_quantile_pins () =
+  (* the three quantiles the registry exports, on a fixed long-tailed
+     sample *)
+  let values =
+    List.init 1000 (fun i -> 1. +. (float_of_int (i * i) /. 100.))
+  in
+  List.iter
+    (fun q ->
+      check_bool
+        (Printf.sprintf "p%.0f bound" (q *. 100.))
+        true
+        (quantile_bound_holds values q))
+    [ 0.5; 0.95; 0.99 ];
+  let h = Lh.create () in
+  List.iter (Lh.add h) values;
+  check_bool "max is exact" true (Lh.max_value h = 1. +. (999. *. 999. /. 100.));
+  (* p100 claims no more than the observed maximum *)
+  check_bool "p100 clamped to max" true (Lh.quantile h 1.0 <= Lh.max_value h)
+
+let test_quantile_reset () =
+  let h = Lh.create () in
+  List.iter (Lh.add h) [ 1.; 10.; 100. ];
+  Lh.reset h;
+  check_int "count zero after reset" 0 (Lh.count h);
+  check_bool "sum zero after reset" true (Lh.sum h = 0.);
+  Lh.add h 5.;
+  check_int "usable after reset" 1 (Lh.count h)
+
+(* ------------------------------------------------------------------ *)
+(* wire accountant: conservation against the network's counters        *)
+(* ------------------------------------------------------------------ *)
+
+let run_observed ~n ~seed =
+  let spec =
+    Spec.make ~n ~m:6 ~ops_per_process:40 ~write_ratio:0.5 ~seed ()
+  in
+  let metrics = Metrics.create () in
+  let wire = Wire.create ~proto:"OptP" ~n () in
+  let o =
+    Sim_run.run
+      (module Dsm_core.Opt_p)
+      ~spec
+      ~latency:(Latency.Exponential { mean = 10. })
+      ~seed ~metrics ~wire ()
+  in
+  (o, metrics, wire)
+
+let test_wire_conservation () =
+  let o, metrics, wire = run_observed ~n:5 ~seed:3 in
+  let t = Wire.totals wire in
+  check_int "frames == messages_sent" o.Sim_run.messages_sent
+    t.Wire.frames;
+  check_int "frames == net_sends"
+    (Metrics.counter_value (Metrics.counter metrics "net_sends"))
+    t.Wire.frames;
+  (* the network's byte counter uses the accountant's own sizer, so the
+     two views of the wire must agree exactly *)
+  check_int "total bytes == net_payload_bytes"
+    (Metrics.counter_value (Metrics.counter metrics "net_payload_bytes"))
+    (Wire.total_bytes wire);
+  check_int "total bytes = header + payload + meta"
+    (t.Wire.header + t.Wire.payload + t.Wire.meta)
+    (Wire.total_bytes wire);
+  (* per-cause and per-edge aggregations partition the totals *)
+  let sum_stats f l =
+    List.fold_left (fun acc s -> acc + f s) 0 l
+  in
+  let kinds = List.map snd (Wire.by_kind wire) in
+  let edge_stats = List.map (fun (_, _, s) -> s) (Wire.edges wire) in
+  List.iter
+    (fun (label, stats) ->
+      check_int
+        (label ^ ": frames partition")
+        t.Wire.frames
+        (sum_stats (fun s -> s.Wire.frames) stats);
+      check_int
+        (label ^ ": meta partition")
+        t.Wire.meta
+        (sum_stats (fun s -> s.Wire.meta) stats);
+      check_int
+        (label ^ ": delta partition")
+        t.Wire.delta_meta
+        (sum_stats (fun s -> s.Wire.delta_meta) stats))
+    [ ("by_kind", kinds); ("edges", edge_stats) ];
+  (* OptP's causal metadata per write frame: the n-wide Write_co vector
+     (4 + 8n bytes) plus the write's dot (12 bytes) *)
+  check_int "dense meta bytes per frame"
+    ((4 + (8 * 5) + 12) * t.Wire.frames)
+    t.Wire.meta;
+  (* the delta counterfactual can never cost more than dense encoding
+     here: 12 bytes per changed entry vs 8 per entry, but consecutive
+     frames on an edge move few entries *)
+  check_bool "delta <= dense on a causal workload" true
+    (t.Wire.delta_meta <= t.Wire.meta)
+
+let test_wire_delta_baseline () =
+  let w = Wire.create ~proto:"test" ~n:2 () in
+  let frame v = { Wire.kind = "write"; scalars = 0; dots = 0; vectors = [ v ] } in
+  let v1 = V.of_array [| 3; 0; 1 |] in
+  Wire.record w ~src:0 ~dst:1 (frame v1);
+  (* first frame on the edge: every nonzero entry changed vs the
+     all-zeros baseline *)
+  let t1 = Wire.totals w in
+  check_int "first frame delta = 4 + 2*12" (4 + 24) t1.Wire.delta_meta;
+  (* identical vector again: nothing changed, base cost only *)
+  Wire.record w ~src:0 ~dst:1 (frame (V.of_array [| 3; 0; 1 |]));
+  let t2 = Wire.totals w in
+  check_int "repeat frame delta = base only" (4 + 24 + 4) t2.Wire.delta_meta;
+  (* one entry moves: one delta entry *)
+  Wire.record w ~src:0 ~dst:1 (frame (V.of_array [| 4; 0; 1 |]));
+  let t3 = Wire.totals w in
+  check_int "one changed entry = 4 + 12" (4 + 24 + 4 + 16) t3.Wire.delta_meta;
+  (* a different edge starts from its own all-zeros baseline *)
+  Wire.record w ~src:1 ~dst:0 (frame (V.of_array [| 4; 0; 1 |]));
+  let t4 = Wire.totals w in
+  check_int "edges keep independent baselines" (4 + 24 + 4 + 16 + 4 + 24)
+    t4.Wire.delta_meta;
+  Wire.reset w;
+  check_int "reset zeroes frames" 0 (Wire.frames w);
+  (* reset also forgets baselines: the next frame prices like the first *)
+  Wire.record w ~src:0 ~dst:1 (frame (V.of_array [| 4; 0; 1 |]));
+  check_int "reset forgets delta baselines" (4 + 24)
+    (Wire.totals w).Wire.delta_meta
+
+let test_wire_json () =
+  let _, _, wire = run_observed ~n:4 ~seed:7 in
+  let doc = Wire.to_json wire in
+  let member k =
+    match Json.member k doc with Some v -> v | None -> Json.Null
+  in
+  check_bool "protocol carried" true (member "protocol" = Json.Str "OptP");
+  check_bool "n carried" true (member "n" = Json.Num 4.);
+  (match member "by_kind" with
+  | Json.Arr (_ :: _) -> ()
+  | _ -> Alcotest.fail "by_kind missing");
+  (* the document round-trips through the shared parser *)
+  match Json.parse_result (Json.to_string doc) with
+  | Ok doc' -> check_bool "round-trips" true (doc = doc')
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.reset                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_reset () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c" in
+  let g = Metrics.gauge reg "g" in
+  let h = Metrics.histogram reg "h" ~lo:0. ~hi:10. ~bins:5 in
+  let q = Metrics.quantile reg "q" in
+  Metrics.add c 7;
+  Metrics.set g 3;
+  Metrics.observe h 2.;
+  Metrics.observe_q q 50.;
+  Metrics.reset reg;
+  check_int "counter zero" 0 (Metrics.counter_value c);
+  check_int "gauge zero" 0 (Metrics.gauge_value g);
+  check_int "gauge max zero" 0 (Metrics.gauge_max g);
+  check_int "histogram empty" 0 (Metrics.histogram_count h);
+  check_int "quantile empty" 0 (Metrics.quantile_count q);
+  check_int "registrations survive" 4 (List.length (Metrics.rows reg));
+  (* handles stay live: the pre-resolved instruments keep recording *)
+  Metrics.incr c;
+  Metrics.observe_q q 2.;
+  check_int "counter records after reset" 1 (Metrics.counter_value c);
+  check_int "quantile records after reset" 1 (Metrics.quantile_count q);
+  (* no-op on the null registry *)
+  Metrics.reset (Metrics.null ())
+
+(* ------------------------------------------------------------------ *)
+(* flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeseries_ring () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "ticks" in
+  let ts = Timeseries.create ~capacity:4 ~metrics:reg () in
+  for i = 1 to 6 do
+    Metrics.add c i;
+    Timeseries.scrape ts ~now:(float_of_int i)
+  done;
+  check_int "all scrapes counted" 6 (Timeseries.scrapes ts);
+  (match Timeseries.series ts "ticks" with
+  | Some values ->
+      (* last [capacity] scrapes of the running sum 1,3,6,10,15,21 *)
+      check_bool "ring keeps the newest window" true
+        (values = [ 6.; 10.; 15.; 21. ])
+  | None -> Alcotest.fail "series missing");
+  (* a series born mid-flight: NaN before its first scrape, then data *)
+  let g = Metrics.gauge reg "late" in
+  Metrics.set g 9;
+  Timeseries.scrape ts ~now:7.;
+  (match Timeseries.series ts "late" with
+  | Some [ a; b; c'; d ] ->
+      check_bool "NaN before born" true
+        (Float.is_nan a && Float.is_nan b && Float.is_nan c');
+      check_bool "live after born" true (d = 9.)
+  | _ -> Alcotest.fail "late series wrong shape");
+  let jsonl = Timeseries.to_jsonl ts in
+  let lines =
+    String.split_on_char '\n' jsonl |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per retained scrape" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse_result line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("jsonl line does not parse: " ^ msg))
+    lines;
+  check_bool "NaN omitted from early lines" true
+    (not (contains ~sub:"late" (List.hd lines)));
+  check_bool "live sample exported" true
+    (contains ~sub:"\"late\":9" (List.nth lines 3))
+
+let test_timeseries_quantile_series () =
+  let reg = Metrics.create () in
+  let q = Metrics.quantile reg "lat" in
+  let ts = Timeseries.create ~metrics:reg () in
+  Metrics.observe_q q 10.;
+  Metrics.observe_q q 20.;
+  Timeseries.scrape ts ~now:1.;
+  check_bool "count series flattened" true
+    (Timeseries.series ts "lat_count" <> None);
+  check_bool "p99 series flattened" true
+    (Timeseries.series ts "lat_p99" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* bench diff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse s =
+  match Json.parse_result s with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.fail msg
+
+let test_bench_diff_flatten () =
+  let doc =
+    parse
+      {|{"schema":"s","sweep":[{"ns_per_event":35.5},{"ns_per_event":200.0}],"total":{"speedup":2.0}}|}
+  in
+  let flat = Bench_diff.flatten doc in
+  check_bool "indexed paths" true
+    (List.mem_assoc "sweep[0].ns_per_event" flat
+    && List.mem_assoc "sweep[1].ns_per_event" flat
+    && List.mem_assoc "total.speedup" flat);
+  check_int "strings are not metrics" 3 (List.length flat)
+
+let test_bench_diff_directions () =
+  List.iter
+    (fun (path, want) ->
+      check_bool path true (Bench_diff.direction_of path = want))
+    [
+      ("sweep[0].ns_per_event", Bench_diff.Lower_better);
+      ("overhead[1].overhead_pct", Bench_diff.Lower_better);
+      ("results[2].meta_bytes_per_msg", Bench_diff.Lower_better);
+      ("gc_minor_words_per_event", Bench_diff.Lower_better);
+      ("batching.step_reduction", Bench_diff.Higher_better);
+      ("events_per_sec", Bench_diff.Higher_better);
+      ("overhead[0].n", Bench_diff.Info);
+      ("overhead[0].messages", Bench_diff.Info);
+    ]
+
+let test_bench_diff_verdicts () =
+  let old_doc =
+    parse {|{"section":"x","a":{"ns_per_event":100.0,"throughput":50.0,"messages":10}}|}
+  in
+  let new_doc =
+    parse
+      {|{"section":"x","a":{"ns_per_event":250.0,"throughput":30.0,"messages":99},"b":{"new_metric_ms":1.0}}|}
+  in
+  let d = Bench_diff.diff ~fail_over:2.0 ~old_doc ~new_doc () in
+  let regs = Bench_diff.regressions d in
+  (* ns 100 -> 250 is 2.5x: regressed. throughput 50 -> 30 is 1.67x:
+     within threshold. messages is info: never fatal. *)
+  check_int "one regression" 1 (List.length regs);
+  check_bool "the slow one" true
+    ((List.hd regs).Bench_diff.path = "a.ns_per_event");
+  check_int "new-only metrics are reported" 1 (List.length d.Bench_diff.only_new);
+  check_bool "no schema mismatch" true (Bench_diff.schema_mismatch d = None);
+  let tight = Bench_diff.diff ~fail_over:1.5 ~old_doc ~new_doc () in
+  check_int "tighter threshold catches throughput too" 2
+    (List.length (Bench_diff.regressions tight));
+  check_bool "fail_over must exceed 1" true
+    (match Bench_diff.diff ~fail_over:1.0 ~old_doc ~new_doc () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bench_diff_real_artifact () =
+  (* a document diffed against itself has no regressions, whatever the
+     metric names *)
+  let doc =
+    parse
+      {|{"schema":"causal-dsm-bench/v1","section":"wire_cost",
+         "results":[{"n":8,"frames":100,"meta_bytes_per_msg":68.0,
+                     "delta_bytes_per_msg":30.0}]}|}
+  in
+  let d = Bench_diff.diff ~old_doc:doc ~new_doc:doc () in
+  check_int "self diff is clean" 0 (List.length (Bench_diff.regressions d));
+  check_bool "every shared metric compared" true
+    (List.length d.Bench_diff.entries >= 4)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "quantile sketch",
+        [
+          qcheck_quantiles;
+          Alcotest.test_case "p50/p95/p99 pins" `Quick test_quantile_pins;
+          Alcotest.test_case "reset" `Quick test_quantile_reset;
+        ] );
+      ( "wire accountant",
+        [
+          Alcotest.test_case "byte conservation vs net counters" `Quick
+            test_wire_conservation;
+          Alcotest.test_case "delta baselines per edge" `Quick
+            test_wire_delta_baseline;
+          Alcotest.test_case "json export" `Quick test_wire_json;
+        ] );
+      ( "metrics reset",
+        [ Alcotest.test_case "zero in place" `Quick test_metrics_reset ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "ring retention + jsonl" `Quick
+            test_timeseries_ring;
+          Alcotest.test_case "quantile flattening" `Quick
+            test_timeseries_quantile_series;
+        ] );
+      ( "bench diff",
+        [
+          Alcotest.test_case "flatten" `Quick test_bench_diff_flatten;
+          Alcotest.test_case "directions" `Quick test_bench_diff_directions;
+          Alcotest.test_case "verdicts" `Quick test_bench_diff_verdicts;
+          Alcotest.test_case "self diff" `Quick test_bench_diff_real_artifact;
+        ] );
+    ]
