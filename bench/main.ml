@@ -1275,6 +1275,33 @@ module Nemesis_bench = struct
         }
 end
 
+(* ------------------------------------------------------------------ *)
+(* K: endurance soak — slot reuse and retired-state reclamation        *)
+(* ------------------------------------------------------------------ *)
+
+module Soak_bench = struct
+  module Soak = Dsm_runtime.Soak
+
+  let results : Soak.outcome option ref = ref None
+
+  (* The endurance claim: thousands of occupant lifetimes over a fixed
+     6-slot universe, with per-replica metadata and wire vector width
+     bounded by live membership rather than by the run's length. Quick
+     mode shortens the run; the bounds being checked are identical. *)
+  let run ~quick () =
+    let cfg =
+      { Soak.default with Soak.epochs = (if quick then 500 else 10_000) }
+    in
+    let o = Soak.run (module Dsm_core.Opt_p) cfg in
+    results := Some o;
+    Format.printf "%a@." Soak.pp_outcome o;
+    Format.printf "high-water:@.";
+    List.iter
+      (fun (name, v) -> Format.printf "  %-28s %d@." name v)
+      (Soak.high_water_table o);
+    if not o.Soak.clean then failwith "soak verdict not clean"
+end
+
 (* results captured for --json; filled by the section bodies *)
 let stress_quick = ref false
 let stress_result : Stress.result option ref = ref None
@@ -1323,6 +1350,9 @@ let sections =
     ( "X",
       "nemesis: scenario corpus, fault swarm, canary shrink",
       fun () -> Nemesis_bench.run ~quick:!stress_quick () );
+    ( "K",
+      "endurance soak: slot reuse + reclamation under churn",
+      fun () -> Soak_bench.run ~quick:!stress_quick () );
   ]
 
 (* per-section GC pressure for --json: (name, minor words, major words)
@@ -1830,6 +1860,20 @@ let write_nemesis_json file =
           Printf.eprintf "--nemesis-json: cannot write %s (%s)\n" file e;
           exit 1)
 
+let write_soak_json file =
+  match !Soak_bench.results with
+  | None -> ()
+  | Some o -> (
+      match open_out file with
+      | oc ->
+          output_string oc
+            (Dsm_stats.Json.to_string (Dsm_runtime.Soak.to_json o) ^ "\n");
+          close_out oc;
+          Printf.printf "\nwrote %s\n" file
+      | exception Sys_error e ->
+          Printf.eprintf "--soak-json: cannot write %s (%s)\n" file e;
+          exit 1)
+
 (* [--opt=v] or [--opt v] *)
 let keyed_arg key args =
   let eq = key ^ "=" in
@@ -1898,4 +1942,7 @@ let () =
     write_nemesis_json
       (Option.value ~default:"BENCH_nemesis.json"
          (keyed_arg "--nemesis-json" args));
+  if !Soak_bench.results <> None then
+    write_soak_json
+      (Option.value ~default:"BENCH_soak.json" (keyed_arg "--soak-json" args));
   Option.iter write_json json_path

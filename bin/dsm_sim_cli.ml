@@ -1724,6 +1724,180 @@ let bench_cmd =
        ~doc:"Benchmark-artifact tooling (regression comparison).")
     [ diff_cmd ]
 
+(* ---------------------------------------------------------------- *)
+(* soak                                                              *)
+(* ---------------------------------------------------------------- *)
+
+module Soak = Dsm_runtime.Soak
+
+let soak_cmd =
+  let action protocol universe vars epochs window ops_per_epoch write_ratio
+      churn fault latency seed drop duplicate corrupt lax out quiet =
+    let (module P : Dsm_core.Protocol.S) = protocol in
+    if P.name = "WS-token" then
+      `Error
+        ( false,
+          "soak needs every write on the wire for anti-entropy re-supply; \
+           WS-token's sender-side overwriting never propagates covered \
+           writes" )
+    else
+    let cfg =
+      {
+        Soak.default with
+        universe;
+        vars;
+        epochs;
+        window;
+        ops_per_epoch;
+        write_ratio;
+        churn_prob = churn;
+        fault_prob = fault;
+        latency;
+        seed;
+        drop;
+        duplicate;
+        corrupt;
+        strict_delays = claims_optimality P.name && not lax;
+      }
+    in
+    match Soak.run (module P) cfg with
+    | exception (Invalid_argument msg | Failure msg) -> `Error (false, msg)
+    | o ->
+        if not quiet then begin
+          Format.printf "%a@." Soak.pp_outcome o;
+          Format.printf "high-water:@.";
+          List.iter
+            (fun (name, v) -> Format.printf "  %-28s %d@." name v)
+            (Soak.high_water_table o)
+        end;
+        (match out with
+        | None -> ()
+        | Some path ->
+            write_file path (Dsm_stats.Json.to_string (Soak.to_json o) ^ "\n");
+            Format.printf "soak report -> %s@." path);
+        if o.Soak.clean then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf
+                "soak not clean: %d violations, %d lost, %d ghosts, %d \
+                 forged, %d cross-window dups, %d unnecessary delays"
+                o.Soak.violations o.Soak.lost o.Soak.ghost_dots
+                o.Soak.forged_values o.Soak.cross_window_dups
+                o.Soak.unnecessary_delays )
+  in
+  let universe =
+    Arg.(
+      value & opt int Soak.default.Soak.universe
+      & info [ "universe"; "n" ] ~docv:"N"
+          ~doc:"Slot universe (all slots start as members).")
+  in
+  let vars =
+    Arg.(
+      value & opt int Soak.default.Soak.vars
+      & info [ "m"; "vars" ] ~docv:"M" ~doc:"Shared variables.")
+  in
+  let epochs =
+    Arg.(
+      value & opt int Soak.default.Soak.epochs
+      & info [ "epochs" ] ~docv:"E" ~doc:"Workload epochs to run.")
+  in
+  let window =
+    Arg.(
+      value & opt int Soak.default.Soak.window
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Epochs between convergence barriers (audit windows).")
+  in
+  let ops_per_epoch =
+    Arg.(
+      value & opt int Soak.default.Soak.ops_per_epoch
+      & info [ "ops-per-epoch" ] ~docv:"K" ~doc:"Operations per epoch.")
+  in
+  let write_ratio =
+    Arg.(
+      value & opt float Soak.default.Soak.write_ratio
+      & info [ "write-ratio" ] ~docv:"R" ~doc:"Fraction of ops that write.")
+  in
+  let churn =
+    Arg.(
+      value & opt float Soak.default.Soak.churn_prob
+      & info [ "churn" ] ~docv:"P"
+          ~doc:
+            "Per-epoch probability of one churn action (leave, crash, \
+             rejoin, or adoption of a recycled slot).")
+  in
+  let fault =
+    Arg.(
+      value & opt float Soak.default.Soak.fault_prob
+      & info [ "fault" ] ~docv:"P"
+          ~doc:"Per-epoch probability of one link cut (healed later).")
+  in
+  let latency =
+    Arg.(
+      value & opt latency_conv Soak.default.Soak.latency
+      & info [ "latency" ] ~docv:"SPEC"
+          ~doc:"Latency model (const:C | uniform:LO,HI | exp:MEAN | \
+                lognormal:MU,SIGMA | pareto:SCALE,SHAPE).")
+  in
+  let seed =
+    Arg.(
+      value & opt int Soak.default.Soak.seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Root of every random stream.")
+  in
+  let drop =
+    Arg.(
+      value & opt float Soak.default.Soak.drop
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-frame drop probability.")
+  in
+  let duplicate =
+    Arg.(
+      value & opt float Soak.default.Soak.duplicate
+      & info [ "duplicate" ] ~docv:"P"
+          ~doc:"Per-frame duplication probability.")
+  in
+  let corrupt =
+    Arg.(
+      value & opt float Soak.default.Soak.corrupt
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:"Per-frame corruption probability.")
+  in
+  let lax =
+    Arg.(
+      value & flag
+      & info [ "lax" ]
+          ~doc:
+            "Do not count unnecessary delays against the verdict even \
+             for Theorem 4 protocols.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the soak report (BENCH_soak.json schema) to $(docv).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress the text summary (still exits \
+                               non-zero on a dirty verdict).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Unbounded-lifetime churn soak: epochs of randomized workload, \
+          slot reuse under bumped generations, crash-rejoins and link \
+          faults, with convergence barriers every --window epochs that \
+          audit the window (safety, legality, Theorem 4 delay \
+          accounting), scan for ghost dots and forged values, reclaim \
+          retired state (slot frees, log pruning, dedup watermarks) and \
+          record memory/wire high-water marks. Exits non-zero unless the \
+          whole run is clean.")
+    Term.(
+      ret
+        (const action $ protocol $ universe $ vars $ epochs $ window
+       $ ops_per_epoch $ write_ratio $ churn $ fault $ latency $ seed
+       $ drop $ duplicate $ corrupt $ lax $ out $ quiet))
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -1746,5 +1920,6 @@ let () =
             tables_cmd;
             sweep_cmd;
             graph_cmd;
+            soak_cmd;
             bench_cmd;
           ]))

@@ -59,6 +59,14 @@ module Eager : Protocol.S = struct
 
   let grow _t ~n:_ = invalid_arg "Eager.grow: static test protocol"
 
+  let set_generation _t ~gen =
+    if gen <> 0 then
+      invalid_arg "Eager.set_generation: static test protocol"
+
+  let generation _t = 0
+  let adopt _cfg ~me:_ ~gen:_ ~sponsor:_ =
+    invalid_arg "Eager.adopt: static test protocol"
+
   let write t ~var ~value =
     let dot = Dot.make ~replica:t.me ~seq:t.next_seq in
     t.next_seq <- t.next_seq + 1;

@@ -17,6 +17,7 @@ module Make (B : Buffer.S) = struct
   type t = {
     mutable cfg : config;
     me : int;
+    mutable my_gen : int;  (* occupancy generation of this slot (reuse) *)
     store : Replica_store.t;
     delivered : V.t;  (* per-issuer count of writes applied here *)
     vt : V.t;  (* Fidge-Mattern clock over write-send events *)
@@ -31,6 +32,7 @@ module Make (B : Buffer.S) = struct
     {
       cfg;
       me;
+      my_gen = 0;
       store = Replica_store.create ~m:cfg.m;
       delivered = V.create cfg.n;
       vt = V.create cfg.n;
@@ -38,6 +40,12 @@ module Make (B : Buffer.S) = struct
     }
 
   let me t = t.me
+
+  let set_generation t ~gen =
+    if gen < 0 then invalid_arg "Anbkh.set_generation: negative generation";
+    t.my_gen <- gen
+
+  let generation t = t.my_gen
 
   let grow t ~n =
     if n < t.cfg.n then invalid_arg "Anbkh.grow: cannot shrink";
@@ -81,6 +89,8 @@ module Make (B : Buffer.S) = struct
 
   let write t ~var ~value =
     V.tick t.vt t.me;
+    (* canonical-gen rule: stamp only alongside the counter advance *)
+    if t.my_gen > 0 then V.set_gen t.vt t.me t.my_gen;
     let vt = V.copy t.vt in
     let dot = Dot.of_clock vt t.me in
     let m = { var; value; dot; vt } in
@@ -100,6 +110,7 @@ module Make (B : Buffer.S) = struct
   let apply_msg t ~status ~src m ~from_buffer =
     Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
     V.tick t.delivered src;
+    if Dot.gen m.dot > 0 then V.set_gen t.delivered src (Dot.gen m.dot);
     B.note_advance t.buffer ~status ~counter:src
       ~count:(V.unsafe_get t.delivered src);
     (* causal broadcast: absorb the sender's knowledge unconditionally —
@@ -133,6 +144,29 @@ module Make (B : Buffer.S) = struct
     let t : t = Snapshot.decode s in
     Snapshot.check_identity ~proto:"Anbkh" ~cfg ~me ~cfg':t.cfg ~me':t.me;
     t
+
+  (* Slot reuse (see Opt_p.adopt): keep the sponsor's replica image,
+     discard its process identity. For causal broadcast the working
+     clock must still dominate everything applied locally, so the
+     adopter's vt starts from the sponsor's DELIVERED counts (all of
+     which the reuse gate guarantees are cluster-wide), not from the
+     sponsor's send-time clock. *)
+  let adopt cfg ~me ~gen ~sponsor =
+    if me < 0 || me >= cfg.n then
+      invalid_arg "Anbkh.adopt: process id out of range";
+    if gen < 1 then invalid_arg "Anbkh.adopt: generation must be positive";
+    let s : t = Snapshot.decode sponsor in
+    if s.cfg <> cfg then
+      invalid_arg "Anbkh.adopt: snapshot from a different config";
+    {
+      cfg;
+      me;
+      my_gen = gen;
+      store = s.store;
+      delivered = s.delivered;
+      vt = V.copy s.delivered;
+      buffer = B.create ();
+    }
 end
 
 include Make (Buffer.Indexed)

@@ -9,6 +9,7 @@ type msg = message
 type t = {
   mutable cfg : config;
   me : int;
+  mutable my_gen : int;  (* occupancy generation of this slot (reuse) *)
   store : Replica_store.t;
   apply_cnt : V.t;
   buffer : (int * msg) Mailbox.t;
@@ -22,12 +23,19 @@ let create cfg ~me =
   {
     cfg;
     me;
+    my_gen = 0;
     store = Replica_store.create ~m:cfg.m;
     apply_cnt = V.create cfg.n;
     buffer = Mailbox.create ();
   }
 
 let me t = t.me
+
+let set_generation t ~gen =
+  if gen < 0 then invalid_arg "Canary.set_generation: negative generation";
+  t.my_gen <- gen
+
+let generation t = t.my_gen
 
 let grow t ~n =
   if n < t.cfg.n then invalid_arg "Canary.grow: cannot shrink";
@@ -38,7 +46,8 @@ let grow t ~n =
 
 let write t ~var ~value =
   V.tick t.apply_cnt t.me;
-  let dot = Dot.make ~replica:t.me ~seq:(V.get t.apply_cnt t.me) in
+  if t.my_gen > 0 then V.set_gen t.apply_cnt t.me t.my_gen;
+  let dot = Dot.of_clock t.apply_cnt t.me in
   Replica_store.apply t.store ~var ~value ~dot;
   let applied =
     [ { adot = dot; avar = var; avalue = value; afrom_buffer = false } ]
@@ -63,6 +72,7 @@ let waiting_for t ~src (m : msg) =
 let apply_msg t ~src (m : msg) ~from_buffer =
   Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
   V.tick t.apply_cnt src;
+  if Dot.gen m.dot > 0 then V.set_gen t.apply_cnt src (Dot.gen m.dot);
   { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
 let drain t ~f =
@@ -105,3 +115,23 @@ let restore cfg ~me s =
   let t : t = Snapshot.decode s in
   Snapshot.check_identity ~proto:"Canary" ~cfg ~me ~cfg':t.cfg ~me':t.me;
   t
+
+(* Slot reuse (see Opt_p.adopt). The canary's own counter IS its
+   apply_cnt entry, which the sponsor image carries at the retired
+   occupant's final value — the adopter's writes continue from there
+   automatically. *)
+let adopt cfg ~me ~gen ~sponsor =
+  if me < 0 || me >= cfg.n then
+    invalid_arg "Canary.adopt: process id out of range";
+  if gen < 1 then invalid_arg "Canary.adopt: generation must be positive";
+  let s : t = Snapshot.decode sponsor in
+  if s.cfg <> cfg then
+    invalid_arg "Canary.adopt: snapshot from a different config";
+  {
+    cfg;
+    me;
+    my_gen = gen;
+    store = s.store;
+    apply_cnt = s.apply_cnt;
+    buffer = Mailbox.create ();
+  }

@@ -18,6 +18,7 @@ module Make (B : Buffer.S) = struct
   type t = {
     mutable cfg : config;
     me : int;
+    mutable my_gen : int;  (* occupancy generation of this slot (reuse) *)
     store : Replica_store.t;
     apply_cnt : V.t;  (* the paper's Apply *)
     write_co : V.t;  (* the paper's Write_co *)
@@ -33,6 +34,7 @@ module Make (B : Buffer.S) = struct
     {
       cfg;
       me;
+      my_gen = 0;
       store = Replica_store.create ~m:cfg.m;
       apply_cnt = V.create cfg.n;
       write_co = V.create cfg.n;
@@ -41,6 +43,12 @@ module Make (B : Buffer.S) = struct
     }
 
   let me t = t.me
+
+  let set_generation t ~gen =
+    if gen < 0 then invalid_arg "Opt_p.set_generation: negative generation";
+    t.my_gen <- gen
+
+  let generation t = t.my_gen
 
   let grow t ~n =
     if n < t.cfg.n then invalid_arg "Opt_p.grow: cannot shrink";
@@ -96,6 +104,11 @@ module Make (B : Buffer.S) = struct
      entry point (see [Protocol.Step]). *)
   let write t ~var ~value =
     V.tick t.write_co t.me;
+    (* canonical-gen rule: the generation stamp rides the own entry
+       only alongside the counter advance it describes, so lexicographic
+       (gen, counter) order coincides with counter order and the dense
+       gen-free path stays byte-identical for generation-0 processes *)
+    if t.my_gen > 0 then V.set_gen t.write_co t.me t.my_gen;
     let wco = V.copy t.write_co in
     let dot = Dot.of_clock wco t.me in
     let m = { var; value; dot; wco } in
@@ -118,6 +131,8 @@ module Make (B : Buffer.S) = struct
   let apply_msg t ~status ~src m ~from_buffer =
     Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
     V.tick t.apply_cnt src;
+    (* record which occupancy the applied write belongs to *)
+    if Dot.gen m.dot > 0 then V.set_gen t.apply_cnt src (Dot.gen m.dot);
     B.note_advance t.buffer ~status ~counter:src
       ~count:(V.unsafe_get t.apply_cnt src);
     t.last_write_on.(m.var) <- m.wco;
@@ -152,6 +167,39 @@ module Make (B : Buffer.S) = struct
     let t : t = Snapshot.decode s in
     Snapshot.check_identity ~proto:"Opt_p" ~cfg ~me ~cfg':t.cfg ~me':t.me;
     t
+
+  (* Slot reuse: a NEW process takes over slot [me] at generation
+     [gen], bootstrapped from a live sponsor's snapshot. It keeps the
+     sponsor's replica image — store, Apply, LastWriteOn — but none of
+     the sponsor's process identity: Write_co claims only the slot's
+     own counter (continuing from the retired occupant's final, which
+     the sponsor has fully applied thanks to the reuse gate), and the
+     buffer starts empty. Its first write is then [base + 1], so dots
+     never collide with the predecessor's, and receivers see
+     [Apply[me] = base = wco[me] - 1] — immediately deliverable. *)
+  let adopt cfg ~me ~gen ~sponsor =
+    if me < 0 || me >= cfg.n then
+      invalid_arg "Opt_p.adopt: process id out of range";
+    if gen < 1 then invalid_arg "Opt_p.adopt: generation must be positive";
+    let s : t = Snapshot.decode sponsor in
+    if s.cfg <> cfg then
+      invalid_arg "Opt_p.adopt: snapshot from a different config";
+    let write_co = V.create cfg.n in
+    let base = V.get0 s.apply_cnt me in
+    if base > 0 then begin
+      V.set write_co me base;
+      V.set_gen write_co me (V.gen s.apply_cnt me)
+    end;
+    {
+      cfg;
+      me;
+      my_gen = gen;
+      store = s.store;
+      apply_cnt = s.apply_cnt;
+      write_co;
+      last_write_on = s.last_write_on;
+      buffer = B.create ();
+    }
 end
 
 include Make (Buffer.Indexed)

@@ -9,6 +9,7 @@ type msg = message
 type t = {
   mutable cfg : config;
   me : int;
+  mutable my_gen : int;  (* occupancy generation of this slot (reuse) *)
   store : Replica_store.t;
   apply_cnt : V.t;
   write_co : V.t;
@@ -16,6 +17,13 @@ type t = {
   seen : (Dot.t, V.t) Hashtbl.t;
       (* Write_co of every write applied here; the decoder for
          dependency lists *)
+  gen_of : (int * int, int) Hashtbl.t;
+      (* (slot, seq) -> nonzero generation. Counters continue
+         monotonically across slot reuse, so (slot, seq) names a write
+         uniquely and its generation is derivable metadata; only
+         reused-slot writes (gen > 0) need an entry. Rebuilding a
+         dependency dot from counters must recover the generation,
+         because [seen] is keyed by the full dot. *)
   buffer : (int * msg) Mailbox.t;
   mutable dep_entries : int;
 }
@@ -28,16 +36,34 @@ let create cfg ~me =
   {
     cfg;
     me;
+    my_gen = 0;
     store = Replica_store.create ~m:cfg.m;
     apply_cnt = V.create cfg.n;
     write_co = V.create cfg.n;
     last_write_on = Array.init cfg.m (fun _ -> V.create cfg.n);
     seen = Hashtbl.create 64;
+    gen_of = Hashtbl.create 16;
     buffer = Mailbox.create ();
     dep_entries = 0;
   }
 
 let me t = t.me
+
+let set_generation t ~gen =
+  if gen < 0 then
+    invalid_arg "Opt_p_direct.set_generation: negative generation";
+  t.my_gen <- gen
+
+let generation t = t.my_gen
+
+let note_gen t d =
+  if Dot.gen d > 0 then
+    Hashtbl.replace t.gen_of (Dot.replica d, Dot.seq d) (Dot.gen d)
+
+let dot_at t ~replica ~seq =
+  match Hashtbl.find_opt t.gen_of (replica, seq) with
+  | Some gen -> Dot.make_gen ~replica ~gen ~seq
+  | None -> Dot.make ~replica ~seq
 
 let grow t ~n =
   if n < t.cfg.n then invalid_arg "Opt_p_direct.grow: cannot shrink";
@@ -55,7 +81,7 @@ let immediate_deps t ~wco ~dot =
     List.filter_map
       (fun p ->
         let seq = if p = t.me then V.get wco p - 1 else V.get wco p in
-        if seq > 0 then Some (Dot.make ~replica:p ~seq) else None)
+        if seq > 0 then Some (dot_at t ~replica:p ~seq) else None)
       (List.init t.cfg.n Fun.id)
   in
   ignore dot;
@@ -80,8 +106,11 @@ let immediate_deps t ~wco ~dot =
 
 let write t ~var ~value =
   V.tick t.write_co t.me;
+  (* canonical-gen rule: stamp only alongside the counter advance *)
+  if t.my_gen > 0 then V.set_gen t.write_co t.me t.my_gen;
   let wco = V.copy t.write_co in
   let dot = Dot.of_clock wco t.me in
+  note_gen t dot;
   let deps = immediate_deps t ~wco ~dot in
   t.dep_entries <- t.dep_entries + List.length deps;
   let m = { var; value; dot; deps } in
@@ -129,14 +158,17 @@ let reconstruct_wco t ~src (m : msg) =
       | None -> assert false (* deliverability guaranteed it applied *))
     m.deps;
   V.set v src (Dot.seq m.dot);
+  if Dot.gen m.dot > 0 then V.set_gen v src (Dot.gen m.dot);
   v
 
 let apply_msg t ~src (m : msg) ~from_buffer =
   let wco = reconstruct_wco t ~src m in
   Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
   V.tick t.apply_cnt src;
+  if Dot.gen m.dot > 0 then V.set_gen t.apply_cnt src (Dot.gen m.dot);
   t.last_write_on.(m.var) <- wco;
   Hashtbl.replace t.seen m.dot wco;
+  note_gen t m.dot;
   { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
 
 (* the deliverability predicate is hoisted once per receive (the
@@ -191,3 +223,34 @@ let restore cfg ~me s =
   Snapshot.check_identity ~proto:"Opt_p_direct" ~cfg ~me ~cfg':t.cfg
     ~me':t.me;
   t
+
+(* Slot reuse (see Opt_p.adopt): keep the sponsor's replica image
+   (store, Apply, LastWriteOn, the seen/gen decoder tables), discard
+   its process identity. *)
+let adopt cfg ~me ~gen ~sponsor =
+  if me < 0 || me >= cfg.n then
+    invalid_arg "Opt_p_direct.adopt: process id out of range";
+  if gen < 1 then
+    invalid_arg "Opt_p_direct.adopt: generation must be positive";
+  let s : t = Snapshot.decode sponsor in
+  if s.cfg <> cfg then
+    invalid_arg "Opt_p_direct.adopt: snapshot from a different config";
+  let write_co = V.create cfg.n in
+  let base = V.get0 s.apply_cnt me in
+  if base > 0 then begin
+    V.set write_co me base;
+    V.set_gen write_co me (V.gen s.apply_cnt me)
+  end;
+  {
+    cfg;
+    me;
+    my_gen = gen;
+    store = s.store;
+    apply_cnt = s.apply_cnt;
+    write_co;
+    last_write_on = s.last_write_on;
+    seen = s.seen;
+    gen_of = s.gen_of;
+    buffer = Mailbox.create ();
+    dep_entries = 0;
+  }

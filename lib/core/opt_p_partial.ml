@@ -23,6 +23,9 @@ module type IMPL = sig
 
   val create : Replication.t -> me:int -> t
   val me : t -> int
+  val set_generation : t -> gen:int -> unit
+  val generation : t -> int
+  val adopt : Replication.t -> me:int -> gen:int -> sponsor:string -> t
   val replication : t -> Replication.t
 
   val write :
@@ -44,6 +47,7 @@ module Make (B : Buffer.S) = struct
   type t = {
     repl : Replication.t;
     me : int;
+    mutable my_gen : int;  (* occupancy generation of this slot (reuse) *)
     store : Replica_store.t;  (* indexed by global var id; foreign vars unused *)
     applied : V.t array;  (* per var: applied write counts per issuer *)
     know : V.t array;  (* per var: last known write index per issuer *)
@@ -68,6 +72,7 @@ module Make (B : Buffer.S) = struct
     {
       repl;
       me;
+      my_gen = 0;
       store = Replica_store.create ~m;
       applied = matrix n m;
       know = matrix n m;
@@ -78,6 +83,13 @@ module Make (B : Buffer.S) = struct
     }
 
   let me t = t.me
+
+  let set_generation t ~gen =
+    if gen < 0 then
+      invalid_arg "Opt_p_partial.set_generation: negative generation";
+    t.my_gen <- gen
+
+  let generation t = t.my_gen
   let replication t = t.repl
 
   (* the wakeup-counter space is the applied matrix, flattened: cell
@@ -136,7 +148,12 @@ module Make (B : Buffer.S) = struct
     check_replicated t ~var "write";
     V.tick t.know.(var) t.me;
     let var_seq = V.get t.know.(var) t.me in
-    let dot = Dot.make ~replica:t.me ~seq:t.next_global_seq in
+    (* delivery conditions use per-var [var_seq] counters only; the
+       global seq is pure identity, so under a fresh generation it may
+       restart — the generation stamp keeps the dot unique *)
+    let dot =
+      Dot.make_gen ~replica:t.me ~gen:t.my_gen ~seq:t.next_global_seq
+    in
     t.next_global_seq <- t.next_global_seq + 1;
     let know = copy_matrix t.know in
     let m = { var; value; dot; var_seq; know } in
@@ -209,6 +226,31 @@ module Make (B : Buffer.S) = struct
     if t.me <> me then
       invalid_arg "Opt_p_partial.restore: snapshot from a different process";
     t
+
+  (* Slot reuse (see Opt_p.adopt): keep the sponsor's replica image;
+     the know matrix restarts from the applied matrix, so per-variable
+     write counters continue from the retired occupant's finals. *)
+  let adopt repl ~me ~gen ~sponsor =
+    let n = Replication.n repl in
+    if me < 0 || me >= n then
+      invalid_arg "Opt_p_partial.adopt: process id out of range";
+    if gen < 1 then
+      invalid_arg "Opt_p_partial.adopt: generation must be positive";
+    let s : t = Protocol.Snapshot.decode sponsor in
+    if s.repl <> repl then
+      invalid_arg "Opt_p_partial.adopt: snapshot from a different map";
+    {
+      repl;
+      me;
+      my_gen = gen;
+      store = s.store;
+      applied = s.applied;
+      know = copy_matrix s.applied;
+      last_write_know = s.last_write_know;
+      buffer = B.create ();
+      my_vars = Replication.vars_of repl ~proc:me;
+      next_global_seq = 1;
+    }
 end
 
 include Make (Buffer.Indexed)

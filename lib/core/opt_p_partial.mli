@@ -52,6 +52,19 @@ module type IMPL = sig
   (** @raise Invalid_argument on a bad process id. *)
 
   val me : t -> int
+
+  val set_generation : t -> gen:int -> unit
+  (** Declare the occupancy generation for slot reuse (see
+      {!Protocol.S.set_generation}); stamped into subsequent dots. *)
+
+  val generation : t -> int
+
+  val adopt : Replication.t -> me:int -> gen:int -> sponsor:string -> t
+  (** Slot reuse bootstrap from a sponsor snapshot (see
+      {!Protocol.S.adopt}): keeps the sponsor's replica image; the
+      know matrix restarts from the applied matrix so per-variable
+      counters continue from the retired occupant's finals. *)
+
   val replication : t -> Replication.t
 
   val write :

@@ -26,6 +26,7 @@ module Make (B : Buffer.S) = struct
   type t = {
     mutable cfg : config;
     me : int;
+    mutable my_gen : int;  (* occupancy generation of this slot (reuse) *)
     store : Replica_store.t;
     apply_cnt : V.t;
     write_co : V.t;
@@ -44,6 +45,7 @@ module Make (B : Buffer.S) = struct
     {
       cfg;
       me;
+      my_gen = 0;
       store = Replica_store.create ~m:cfg.m;
       apply_cnt = V.create cfg.n;
       write_co = V.create cfg.n;
@@ -55,6 +57,13 @@ module Make (B : Buffer.S) = struct
     }
 
   let me t = t.me
+
+  let set_generation t ~gen =
+    if gen < 0 then
+      invalid_arg "Opt_p_ws.set_generation: negative generation";
+    t.my_gen <- gen
+
+  let generation t = t.my_gen
 
   let grow t ~n =
     if n < t.cfg.n then invalid_arg "Opt_p_ws.grow: cannot shrink";
@@ -85,6 +94,8 @@ module Make (B : Buffer.S) = struct
 
   let write t ~var ~value =
     V.tick t.write_co t.me;
+    (* canonical-gen rule: stamp only alongside the counter advance *)
+    if t.my_gen > 0 then V.set_gen t.write_co t.me t.my_gen;
     let wco = V.copy t.write_co in
     let dot = Dot.of_clock wco t.me in
     let prev = Replica_store.last_writer t.store ~var in
@@ -146,6 +157,7 @@ module Make (B : Buffer.S) = struct
   let apply_msg t ~status ~src (m : msg) ~from_buffer =
     Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
     tick_apply t ~status src;
+    if Dot.gen m.dot > 0 then V.set_gen t.apply_cnt src (Dot.gen m.dot);
     t.last_write_on.(m.var) <- m.wco;
     Hashtbl.replace t.seen m.dot (m.var, m.wco);
     { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
@@ -285,6 +297,37 @@ module Make (B : Buffer.S) = struct
     Snapshot.check_identity ~proto:"Opt_p_ws" ~cfg ~me ~cfg':t.cfg
       ~me':t.me;
     t
+
+  (* Slot reuse (see Opt_p.adopt): keep the sponsor's replica image —
+     including the seen table and overwritten set, which decode
+     interposition for writes already in circulation — and discard the
+     sponsor's process identity. *)
+  let adopt cfg ~me ~gen ~sponsor =
+    if me < 0 || me >= cfg.n then
+      invalid_arg "Opt_p_ws.adopt: process id out of range";
+    if gen < 1 then invalid_arg "Opt_p_ws.adopt: generation must be positive";
+    let s : t = Snapshot.decode sponsor in
+    if s.cfg <> cfg then
+      invalid_arg "Opt_p_ws.adopt: snapshot from a different config";
+    let write_co = V.create cfg.n in
+    let base = V.get0 s.apply_cnt me in
+    if base > 0 then begin
+      V.set write_co me base;
+      V.set_gen write_co me (V.gen s.apply_cnt me)
+    end;
+    {
+      cfg;
+      me;
+      my_gen = gen;
+      store = s.store;
+      apply_cnt = s.apply_cnt;
+      write_co;
+      last_write_on = s.last_write_on;
+      buffer = B.create ();
+      overwritten = s.overwritten;
+      seen = s.seen;
+      skipped_total = 0;
+    }
 end
 
 include Make (Buffer.Indexed)

@@ -40,6 +40,9 @@ module type S = sig
   val create : config -> me:int -> t
   val me : t -> int
   val grow : t -> n:int -> unit
+  val set_generation : t -> gen:int -> unit
+  val generation : t -> int
+  val adopt : config -> me:int -> gen:int -> sponsor:string -> t
   val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t * msg effects
   val read : t -> var:int -> Dsm_memory.Operation.value * Dsm_vclock.Dot.t option
   val receive : t -> src:int -> msg -> msg effects

@@ -82,6 +82,37 @@ module type S = sig
       @raise Invalid_argument if [n] is smaller than the current size,
       or for protocols whose topology is static (token ring). *)
 
+  val set_generation : t -> gen:int -> unit
+  (** [set_generation t ~gen] declares that this process occupies its
+      slot as the [gen]-th occupant (slot reuse). From then on every
+      write stamps [gen] into the own entry of its [Write_co] vector —
+      and thus into its dot — so receivers can distinguish this
+      process's writes from a predecessor's in the same slot. Must be
+      called before the first write; [gen = 0] (the default state) is
+      the original occupant and keeps the dense generation-free fast
+      path. *)
+
+  val generation : t -> int
+  (** The generation declared by {!set_generation} (0 if never
+      called). *)
+
+  val adopt : config -> me:int -> gen:int -> sponsor:string -> t
+  (** [adopt cfg ~me ~gen ~sponsor] builds the state of a {e new}
+      process taking over slot [me] at generation [gen], bootstrapped
+      from a {!snapshot} of a live sponsor replica. Unlike {!restore}
+      (same process resuming its own identity), the adopter keeps the
+      sponsor's {e replica} image — store contents, Apply counters,
+      last-write metadata — but none of the sponsor's {e process}
+      identity: its [Write_co] claims nothing beyond the slot's own
+      write counter (which continues from where the retired occupant
+      stopped, so dots never collide), and the pending-message buffer
+      starts empty. The reuse gate (see {!Dsm_runtime.Membership.free})
+      guarantees the retired occupant's writes are already applied
+      everywhere, so the adopter's first write is immediately
+      deliverable at every replica.
+      @raise Invalid_argument if the snapshot's config differs, or for
+      protocols whose topology is static (token ring). *)
+
   val write : t -> var:int -> value:int -> Dsm_vclock.Dot.t * msg effects
   (** Perform a local write; returns the new write's identity. The
       effects always contain the local apply and normally one

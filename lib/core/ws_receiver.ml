@@ -17,6 +17,7 @@ type msg = message
 type t = {
   mutable cfg : config;
   me : int;
+  mutable my_gen : int;  (* occupancy generation of this slot (reuse) *)
   store : Replica_store.t;
   delivered : V.t;
   vclock : V.t;
@@ -37,6 +38,7 @@ let create cfg ~me =
   {
     cfg;
     me;
+    my_gen = 0;
     store = Replica_store.create ~m:cfg.m;
     delivered = V.create cfg.n;
     vclock = V.create cfg.n;
@@ -47,6 +49,13 @@ let create cfg ~me =
   }
 
 let me t = t.me
+
+let set_generation t ~gen =
+  if gen < 0 then
+    invalid_arg "Ws_receiver.set_generation: negative generation";
+  t.my_gen <- gen
+
+let generation t = t.my_gen
 
 let grow t ~n =
   if n < t.cfg.n then invalid_arg "Ws_receiver.grow: cannot shrink";
@@ -77,6 +86,8 @@ let compute_can_skip t ~var ~prev ~vt =
 
 let write t ~var ~value =
   V.tick t.vclock t.me;
+  (* canonical-gen rule: stamp only alongside the counter advance *)
+  if t.my_gen > 0 then V.set_gen t.vclock t.me t.my_gen;
   let vt = V.copy t.vclock in
   let dot = Dot.of_clock vt t.me in
   let prev = Replica_store.last_writer t.store ~var in
@@ -123,6 +134,7 @@ let waiting_for t ~src (m : msg) =
 let apply_msg t ~src (m : msg) ~from_buffer =
   Replica_store.apply t.store ~var:m.var ~value:m.value ~dot:m.dot;
   V.tick t.delivered src;
+  if Dot.gen m.dot > 0 then V.set_gen t.delivered src (Dot.gen m.dot);
   V.merge_into t.vclock m.vt;
   Hashtbl.replace t.seen m.dot (m.var, m.vt);
   { adot = m.dot; avar = m.var; avalue = m.value; afrom_buffer = from_buffer }
@@ -267,3 +279,27 @@ let restore cfg ~me s =
   Snapshot.check_identity ~proto:"Ws_receiver" ~cfg ~me ~cfg':t.cfg
     ~me':t.me;
   t
+
+(* Slot reuse (see Anbkh.adopt): keep the sponsor's replica image; the
+   working clock starts from the sponsor's delivered counts so it
+   dominates everything in the adopted store. *)
+let adopt cfg ~me ~gen ~sponsor =
+  if me < 0 || me >= cfg.n then
+    invalid_arg "Ws_receiver.adopt: process id out of range";
+  if gen < 1 then
+    invalid_arg "Ws_receiver.adopt: generation must be positive";
+  let s : t = Snapshot.decode sponsor in
+  if s.cfg <> cfg then
+    invalid_arg "Ws_receiver.adopt: snapshot from a different config";
+  {
+    cfg;
+    me;
+    my_gen = gen;
+    store = s.store;
+    delivered = s.delivered;
+    vclock = V.copy s.delivered;
+    buffer = Mailbox.create ();
+    overwritten = s.overwritten;
+    seen = s.seen;
+    skipped_total = 0;
+  }

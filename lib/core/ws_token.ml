@@ -72,6 +72,17 @@ let me t = t.me
 let grow _t ~n:_ =
   invalid_arg "Ws_token.grow: token ring topology is static"
 
+(* Static topology also rules out slot reuse: there is no membership
+   change, so a slot is never retired and never recycled. *)
+let set_generation _t ~gen =
+  if gen <> 0 then
+    invalid_arg "Ws_token.set_generation: token ring topology is static"
+
+let generation _t = 0
+
+let adopt _cfg ~me:_ ~gen:_ ~sponsor:_ =
+  invalid_arg "Ws_token.adopt: token ring topology is static"
+
 let next_on_ring t = (t.me + 1) mod t.cfg.n
 
 (* Flush: broadcast the pending batch and pass the token on. Only the

@@ -61,7 +61,17 @@ type violation =
   | Read_from_wrong_value of Operation.read * Operation.write
   | Bot_read_with_value of Operation.read
 
-let validate t =
+let validate ?floor t =
+  (* [floor] marks the writes of earlier windows, audited and compacted
+     away: a read-from naming a dot at or below the floor is a pointer
+     out of the window, not a dangling pointer *)
+  let below_floor d =
+    match floor with
+    | None -> false
+    | Some f ->
+        Dsm_vclock.Dot.seq d
+        <= Dsm_vclock.Vector_clock.get0 f (Dsm_vclock.Dot.replica d)
+  in
   let check_read acc (r : Operation.read) =
     match r.read_from with
     | None -> (
@@ -70,7 +80,8 @@ let validate t =
         | Operation.Val _ -> Bot_read_with_value r :: acc)
     | Some dot -> (
         match find_write t dot with
-        | None -> Dangling_read_from r :: acc
+        | None ->
+            if below_floor dot then acc else Dangling_read_from r :: acc
         | Some w ->
             if w.wvar <> r.rvar then Read_from_wrong_variable (r, w) :: acc
             else if r.rvalue <> Operation.Val w.wvalue then

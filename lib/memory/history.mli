@@ -45,7 +45,8 @@ type violation =
       (** A read with no [read_from] must return ⊥ (the third clause of
           the paper's [↦ro] definition). *)
 
-val validate : t -> (unit, violation list) result
+val validate :
+  ?floor:Dsm_vclock.Vector_clock.t -> t -> (unit, violation list) result
 (** Checks the structural conditions on [↦ro] from §2. *)
 
 val pp_violation : Format.formatter -> violation -> unit

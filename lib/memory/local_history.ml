@@ -5,14 +5,30 @@ type t = {
   mutable next_read_slot : int;
 }
 
-let create ~proc =
+let create ?(base = 0) ~proc () =
   if proc < 0 then invalid_arg "Local_history.create: negative process id";
-  { proc; rev_ops = []; next_write_seq = 1; next_read_slot = 0 }
+  if base < 0 then invalid_arg "Local_history.create: negative base";
+  { proc; rev_ops = []; next_write_seq = base + 1; next_read_slot = 0 }
 
 let proc t = t.proc
 
-let add_write t ~var ~value =
-  let op = Operation.write ~proc:t.proc ~seq:t.next_write_seq ~var ~value in
+let add_write ?dot t ~var ~value =
+  let op =
+    match dot with
+    | None -> Operation.write ~proc:t.proc ~seq:t.next_write_seq ~var ~value
+    | Some d ->
+        (* dot passthrough: record the write under its actual identity —
+           including a nonzero occupancy generation (slot reuse), which
+           the synthesized [Dot.make] could not carry — as long as it
+           sits where process order says the next write must sit *)
+        if Dsm_vclock.Dot.replica d <> t.proc then
+          invalid_arg "Local_history.add_write: dot from another process";
+        if Dsm_vclock.Dot.seq d <> t.next_write_seq then
+          invalid_arg "Local_history.add_write: dot out of sequence order";
+        if var < 0 then
+          invalid_arg "Local_history.add_write: negative variable index";
+        Operation.Write { wdot = d; wvar = var; wvalue = value }
+  in
   t.next_write_seq <- t.next_write_seq + 1;
   t.rev_ops <- op :: t.rev_ops;
   match Operation.as_write op with Some w -> w | None -> assert false

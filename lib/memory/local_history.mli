@@ -7,14 +7,25 @@
 
 type t
 
-val create : proc:int -> t
-(** @raise Invalid_argument on negative process id. *)
+val create : ?base:int -> proc:int -> unit -> t
+(** [create ?base ~proc ()] starts a builder whose first write gets
+    sequence number [base + 1] (default [base = 0]). A nonzero [base]
+    records a {e window} of a longer history: [base] earlier writes
+    were already audited and compacted away (see the [?floor]
+    parameters of {!History.validate} and {!Write_vectors.compute}).
+    @raise Invalid_argument on negative process id or base. *)
 
 val proc : t -> int
 
-val add_write : t -> var:int -> value:int -> Operation.write
+val add_write :
+  ?dot:Dsm_vclock.Dot.t -> t -> var:int -> value:int -> Operation.write
 (** Appends the next write of this process; its dot sequence number is
-    one more than the previous write's (1-based, per Observation 2). *)
+    one more than the previous write's (1-based, per Observation 2).
+    [?dot] records the write under that exact identity instead of a
+    synthesized one — the way a slot-reuse occupant's generation stamp
+    enters the history.
+    @raise Invalid_argument if [dot] names another process or does not
+    carry the expected next sequence number. *)
 
 val add_read :
   t ->

@@ -7,13 +7,30 @@ type t = {
   of_read : (int * int, V.t) Hashtbl.t;  (* (proc, slot) -> vector *)
 }
 
-let compute history =
-  (match History.validate history with
+let compute ?floor history =
+  (match History.validate ?floor history with
   | Ok () -> ()
   | Error _ -> invalid_arg "Write_vectors.compute: ill-formed history");
   let n = History.n_processes history in
   let pending = Array.init n (fun p -> ref (History.local history p)) in
-  let running = Array.init n (fun _ -> V.create (max n 1)) in
+  (* windowed mode: the running vectors start from the floor — every
+     process had applied all of the previous windows' writes at the
+     convergence barrier that closed them, so the floor IS each
+     process's causal past at the window boundary *)
+  let base () =
+    match floor with
+    | None -> V.create (max n 1)
+    | Some f ->
+        let v = V.create (max n 1) in
+        V.merge_into v f;
+        v
+  in
+  let running = Array.init n (fun _ -> base ()) in
+  let below_floor d =
+    match floor with
+    | None -> false
+    | Some f -> Dot.seq d <= V.get0 f (Dot.replica d)
+  in
   let of_write = ref Dot.Map.empty in
   let of_read = Hashtbl.create 64 in
   (* one step of process p: returns true on progress, false when p is
@@ -38,6 +55,12 @@ let compute history =
                     V.merge_into running.(p) (Dot.Map.find d !of_write);
                     Some ()
                   end
+                  else if below_floor d then
+                    (* a compacted write from an earlier window: its
+                       vector is dominated by the floor, which the
+                       running vector already carries — ready, nothing
+                       further to merge *)
+                    Some ()
                   else None
             in
             match ready with

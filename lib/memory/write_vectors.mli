@@ -17,7 +17,7 @@
 
 type t
 
-val compute : History.t -> t
+val compute : ?floor:Dsm_vclock.Vector_clock.t -> History.t -> t
 (** @raise Invalid_argument if the history fails {!History.validate}
     or its read-from edges are cyclic. *)
 

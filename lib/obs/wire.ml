@@ -20,9 +20,13 @@
    Cost model (bytes): 16/frame header (src, dst, kind tag, length),
    8/scalar field (boxed 63-bit int), 12/dot (proc + seq + tag), dense
    vector 4 + 8·size (length prefix + entries), delta vector 4 + 12·
-   changed (length prefix + (varint index, value) pairs). The constants
-   are a model, not a serializer — comparisons across protocols and
-   encodings are what matter, not absolute bytes. *)
+   changed (length prefix + (varint index, value) pairs). A vector
+   carrying a generation lane (slot reuse: per-entry occupancy
+   generations, small counters) pays 2 extra bytes per entry — only
+   when the lane is materialized; generation-free vectors price exactly
+   as before. The constants are a model, not a serializer — comparisons
+   across protocols and encodings are what matter, not absolute
+   bytes. *)
 
 module V = Dsm_vclock.Vector_clock
 
@@ -33,14 +37,17 @@ let scalar_cost = 8
 let dot_cost = 12
 let vec_base_cost = 4
 let vec_entry_cost = 8
+let gen_entry_cost = 2
 let delta_entry_cost = 12
 
 let payload_bytes f = scalar_cost * f.scalars
 
+let vec_bytes v =
+  let lane = if V.has_generations v then gen_entry_cost * V.size v else 0 in
+  vec_base_cost + (vec_entry_cost * V.size v) + lane
+
 let meta_bytes f =
-  List.fold_left
-    (fun acc v -> acc + vec_base_cost + (vec_entry_cost * V.size v))
-    (dot_cost * f.dots) f.vectors
+  List.fold_left (fun acc v -> acc + vec_bytes v) (dot_cost * f.dots) f.vectors
 
 let frame_bytes f = header_cost + payload_bytes f + meta_bytes f
 
@@ -146,7 +153,11 @@ let delta_vec_bytes edge pos v =
         if V.unsafe_get v i <> 0 then incr changed
       done;
       edge.last.(pos) <- Some (V.copy v));
-  vec_base_cost + (delta_entry_cost * !changed)
+  (* the generation lane is priced dense on the delta counterfactual
+     too: its entries are tiny and change only at slot reuse, so a
+     sparse encoding would add bookkeeping for negligible savings *)
+  let lane = if V.has_generations v then gen_entry_cost * V.size v else 0 in
+  vec_base_cost + (delta_entry_cost * !changed) + lane
 
 let kind_agg t kind =
   match Hashtbl.find_opt t.kinds kind with

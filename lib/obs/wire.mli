@@ -5,9 +5,11 @@
     A {!frame} describes a message's {e shape} — scalar fields, dots,
     causal vectors — and the accountant prices it under a fixed cost
     model (16 B header, 8 B per scalar, 12 B per dot, dense vector
-    [4 + 8·size] B). The constants model a compact binary codec; the
-    point is comparability across protocols and system sizes, not
-    absolute bytes.
+    [4 + 8·size] B, plus a [2·size] B generation side lane only when
+    the vector materializes one — slot reuse; generation-free vectors
+    price exactly as before). The constants model a compact binary
+    codec; the point is comparability across protocols and system
+    sizes, not absolute bytes.
 
     The [delta_meta] column is a {e counterfactual}: what the causal
     metadata would cost under a delta-vs-last-sent-to-peer encoding

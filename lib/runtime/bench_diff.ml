@@ -61,18 +61,36 @@ let flatten doc =
             go p v)
           fields
     | Json.Arr items ->
-        let seen = Hashtbl.create 8 in
-        List.iteri
-          (fun i v ->
+        (* A label shared by several elements identifies none of them:
+           pairing the first occurrence by label and the rest by index
+           would join different elements across the two documents. *)
+        let labels = List.map element_label items in
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (function
+            | Some l ->
+                Hashtbl.replace counts l
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts l))
+            | None -> ())
+          labels;
+        (* Unlabeled elements are numbered among unlabeled elements
+           only, so a labeled section added in one document (a new
+           bench section, say) cannot shift the keys of everything
+           after it and turn an informational addition into a sheaf of
+           false regressions. *)
+        let unlabeled = ref 0 in
+        List.iter2
+          (fun v label ->
             let key =
-              match element_label v with
-              | Some label when not (Hashtbl.mem seen label) ->
-                  Hashtbl.add seen label ();
-                  label
-              | _ -> string_of_int i
+              match label with
+              | Some l when Hashtbl.find counts l = 1 -> l
+              | _ ->
+                  let k = string_of_int !unlabeled in
+                  incr unlabeled;
+                  k
             in
             go (Printf.sprintf "%s[%s]" path key) v)
-          items
+          items labels
     | Json.Null | Json.Bool _ | Json.Str _ -> ()
   in
   go "" doc;

@@ -44,7 +44,12 @@ type t = {
 }
 
 val flatten : Dsm_stats.Json.t -> (string * float) list
-(** Numeric leaves with dotted/indexed paths, document order. *)
+(** Numeric leaves with dotted/indexed paths, document order. Array
+    elements are keyed by their identifying fields when unique, and
+    unlabeled elements are numbered {e among unlabeled elements only} —
+    a section present in just one document surfaces as only-in-one
+    (informational) instead of shifting later keys into false
+    regressions. *)
 
 val direction_of : string -> direction
 

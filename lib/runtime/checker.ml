@@ -32,10 +32,15 @@ type report = {
   skipped : int;
 }
 
-let check ?replication ?expected exec =
-  let history = Execution.to_history exec in
-  let wv = Write_vectors.compute history in
+let check ?replication ?expected ?floor exec =
+  let history = Execution.to_history ?floor exec in
+  let wv = Write_vectors.compute ?floor history in
   let n = Execution.n_processes exec in
+  (* windowed mode: per-issuer counts below the floor were applied
+     everywhere before the window opened (the convergence barrier that
+     closed the previous window), so every audit baseline starts there *)
+  let floor_at j = match floor with None -> 0 | Some f -> V.get0 f j in
+  let below_floor d = Dot.seq d <= floor_at (Dot.replica d) in
   let all_writes = History.writes history in
   let writes_by_var = Hashtbl.create 16 in
   List.iter
@@ -64,7 +69,8 @@ let check ?replication ?expected exec =
   (* audit one process's event sequence *)
   let audit proc =
     let events = Array.of_list (Execution.events_of exec proc) in
-    let cnt = Array.make n 0 in  (* per-issuer logically-applied high mark *)
+    (* per-issuer logically-applied high mark, from the floor up *)
+    let cnt = Array.init n floor_at in
     (* snapshot of [cnt] taken at each receipt, for delay classification *)
     let receipt_snapshot = Hashtbl.create 64 in
     let receipt_pos = Hashtbl.create 64 in
@@ -197,7 +203,10 @@ let check ?replication ?expected exec =
               if
                 (not (Dot.equal w.wdot d))
                 && in_read_past w
-                && Write_vectors.write_precedes wv d w.wdot
+                && (* a compacted write from an earlier window precedes
+                      every window write: the barrier that closed its
+                      window made it part of everyone's causal past *)
+                (below_floor d || Write_vectors.write_precedes wv d w.wdot)
               then
                 violations :=
                   Illegal_read

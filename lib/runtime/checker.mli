@@ -67,6 +67,7 @@ type report = {
 val check :
   ?replication:(proc:int -> var:int -> bool) ->
   ?expected:(proc:int -> dot:Dsm_vclock.Dot.t -> bool) ->
+  ?floor:Dsm_vclock.Vector_clock.t ->
   Execution.t ->
   report
 (** [?replication] switches on partial-replication auditing: a process
@@ -83,7 +84,17 @@ val check :
     from the completeness audit, while {e safety} and read-legality
     remain unconditional per process across every epoch: no filter ever
     excuses applying a write before its causal predecessors. Omitted =
-    every process owes every write (the static-membership model). *)
+    every process owes every write (the static-membership model).
+
+    [?floor] switches on {e windowed} auditing for endurance runs whose
+    full execution cannot be retained: the execution holds only the
+    events after a convergence barrier, and [floor] gives the
+    per-issuer write counts audited in earlier windows (every process
+    had applied all of them at the barrier). Baseline counters start
+    from the floor, read-froms naming compacted writes are resolved
+    against it, and the completeness audit covers the window's writes
+    only. Omitted = audit everything (the default everywhere outside
+    the soak driver). *)
 
 val is_clean : report -> bool
 (** No violations and no lost writes (incompleteness by documented

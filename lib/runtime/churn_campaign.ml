@@ -250,7 +250,7 @@ let run (type pt pm)
     Reliable_channel.create ~engine ~network ~retransmit_after ~rng
       ~metrics ()
   in
-  let membership = Membership.create ~universe ~initial:initial_slots in
+  let membership = Membership.create ~universe ~initial:initial_slots () in
   Network.set_membership network (Membership.is_member membership);
   let probe_epoch = Metrics.gauge metrics "membership_epoch" in
   let probe_active = Metrics.gauge metrics "membership_active" in
@@ -851,7 +851,12 @@ let run (type pt pm)
           (p + 1)
       else begin
       commit node;
-      Membership.leave membership ~at:(Engine.now engine) p;
+      (* record the departing occupant's final write counter: the
+         retired-generation ledger needs it to resolve this occupant's
+         dots, and the slot-reuse gate compares the cluster Apply floor
+         against it before recycling the slot *)
+      let final = V.get0 (P.applied_vector (proto_of node)) p in
+      Membership.leave membership ~at:(Engine.now engine) ~final p;
       sync_view ();
       push_reason "p%d left gracefully (plan)" (p + 1);
       (* frames still in flight toward the retired slot would

@@ -135,21 +135,24 @@ let writes t =
     [] t.trace
   |> List.sort (fun (a, _, _) (b, _, _) -> Dot.compare a b)
 
-let to_history t =
+let to_history ?floor t =
+  let base proc =
+    match floor with
+    | None -> 0
+    | Some f -> Dsm_vclock.Vector_clock.get0 f proc
+  in
   let locals =
     List.init t.n (fun proc ->
-        let lh = Dsm_memory.Local_history.create ~proc in
+        let lh = Dsm_memory.Local_history.create ~base:(base proc) ~proc () in
         Trace.iter
           (fun e ->
             match e.kind with
             | Apply { dot; var; value; _ } when Dot.replica dot = proc ->
-                let w =
-                  Dsm_memory.Local_history.add_write lh ~var ~value
-                in
-                if not (Dot.equal w.Operation.wdot dot) then
-                  invalid_arg
-                    "Execution.to_history: own-write applies out of \
-                     sequence order"
+                (* dot passthrough keeps the occupancy generation on the
+                   recorded write; the builder still enforces that own
+                   applies arrive in sequence order from the base *)
+                ignore
+                  (Dsm_memory.Local_history.add_write ~dot lh ~var ~value)
             | Return { var; value; read_from } ->
                 ignore
                   (Dsm_memory.Local_history.add_read lh ~var ~value

@@ -93,7 +93,8 @@ val writes : t -> (Dsm_vclock.Dot.t * int * int) list
 (** All writes issued in the run, as [(dot, var, value)], from the local
     applies at their issuers; deterministic order (issuer, then seq). *)
 
-val to_history : t -> Dsm_memory.History.t
+val to_history :
+  ?floor:Dsm_vclock.Vector_clock.t -> t -> Dsm_memory.History.t
 (** Reconstructs the abstract history [Ĥ]: per process, its writes (the
     applies at the issuer) and reads (the returns) in process order.
     @raise Invalid_argument if a process's own-write applies are not in

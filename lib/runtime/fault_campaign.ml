@@ -228,7 +228,7 @@ let run (type pt pm)
      everything it missed through its anti-entropy sync rounds instead
      of relying on frames parked across the outage. *)
   let membership =
-    Membership.create ~universe:n ~initial:(List.init n Fun.id)
+    Membership.create ~universe:n ~initial:(List.init n Fun.id) ()
   in
   Network.set_membership network (Membership.is_member membership);
   let ch_send ~src ~dst msg =

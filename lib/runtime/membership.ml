@@ -3,19 +3,26 @@
    The universe (the physical fabric: network endpoints, channel state,
    execution columns) is sized once; the *view* — which slots are live
    members, under which incarnation — evolves by join / leave / crash /
-   rejoin transitions, each view change bumping the epoch. Vector-clock
-   components are indexed by slot, so a slot is never recycled for a
-   different logical process within one run: a rejoining crashed member
-   keeps its slot (and its durable writes stay attributed correctly),
-   while a departed slot stays [Left] forever. *)
+   rejoin transitions, each view change bumping the epoch.
+   Vector-clock components are indexed by slot. Within one occupancy a
+   slot is never recycled for a different logical process: a rejoining
+   crashed member keeps its slot (and its durable writes stay
+   attributed correctly). A departed slot sits in [Left] until the
+   driver proves the departed process's writes have propagated
+   everywhere (the reclamation gate), at which point {!free} recycles
+   it under a bumped *generation* — the dot-space coordinate that keeps
+   the new occupant's writes distinguishable from its predecessor's. *)
 
 module Sim_time = Dsm_sim.Sim_time
 
 type slot_state =
-  | Free  (* never joined *)
-  | Active of { inc : int }
-  | Down of { inc : int }  (* crashed member; may Recover or rejoin *)
-  | Left  (* departed gracefully; the slot is retired *)
+  | Free of { gen : int }  (* gen 0: never joined; gen > 0: recycled *)
+  | Active of { inc : int; gen : int }
+  | Down of { inc : int; gen : int }  (* crashed; may Recover or rejoin *)
+  | Left of { gen : int; final : int }
+    (* departed gracefully; [final] is the departing occupant's last
+       write counter — the reclamation gate compares the cluster-wide
+       Apply floor against it before recycling the slot *)
 
 type view = { epoch : int; members : (int * int) list }
 
@@ -25,54 +32,119 @@ type transition =
   | Left_gracefully of int
   | Crashed of int
   | Recovered of int
+  | Freed of int
+
+type summary = {
+  total : int;
+  retained : int;
+  dropped : int;
+  joins : int;
+  rejoins : int;
+  leaves : int;
+  crashes : int;
+  recoveries : int;
+  frees : int;
+}
+
+(* Per-slot ledger of retired generations, newest first, as
+   [(gen, final)] pairs: generation [g]'s writes are exactly the seqs
+   in [(final of g's predecessor, final of g]] because counters
+   continue monotonically across generations. Compacted to the most
+   recent [ledger_keep] entries per slot; [floor] is the final of the
+   newest dropped entry, so seqs at or below it resolve to [None]
+   (reclaimed long ago) while the retained entries stay exact. *)
+let ledger_keep = 8
+
+type ledger = { mutable items : (int * int) list; mutable floor : int }
 
 type t = {
   universe : int;
   slots : slot_state array;
   mutable epoch : int;
   mutable history : (Sim_time.t * transition * view) list;  (* newest first *)
+  mutable hist_len : int;
+  history_limit : int option;
+  mutable summary : summary;
+  retired : (int, ledger) Hashtbl.t;
 }
 
-let create ~universe ~initial =
+let create ?history_limit ~universe ~initial () =
   if universe <= 0 then
     invalid_arg "Membership.create: universe must be positive";
-  let slots = Array.make universe Free in
+  (match history_limit with
+  | Some k when k < 1 ->
+      invalid_arg "Membership.create: history_limit must be positive"
+  | _ -> ());
+  let slots = Array.make universe (Free { gen = 0 }) in
   List.iter
     (fun p ->
       if p < 0 || p >= universe then
         invalid_arg "Membership.create: initial member out of universe";
-      slots.(p) <- Active { inc = 0 })
+      slots.(p) <- Active { inc = 0; gen = 0 })
     initial;
-  { universe; slots; epoch = 0; history = [] }
+  {
+    universe;
+    slots;
+    epoch = 0;
+    history = [];
+    hist_len = 0;
+    history_limit;
+    summary =
+      {
+        total = 0;
+        retained = 0;
+        dropped = 0;
+        joins = 0;
+        rejoins = 0;
+        leaves = 0;
+        crashes = 0;
+        recoveries = 0;
+        frees = 0;
+      };
+    retired = Hashtbl.create 16;
+  }
 
 let universe t = t.universe
 let epoch t = t.epoch
 
+let state t p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.state: slot out of universe";
+  t.slots.(p)
+
 let is_active t p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.is_active: slot out of universe";
-  match t.slots.(p) with Active _ -> true | Free | Down _ | Left -> false
+  match t.slots.(p) with
+  | Active _ -> true
+  | Free _ | Down _ | Left _ -> false
 
 let is_member t p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.is_member: slot out of universe";
   match t.slots.(p) with
   | Active _ | Down _ -> true
-  | Free | Left -> false
+  | Free _ | Left _ -> false
 
 let incarnation t p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.incarnation: slot out of universe";
   match t.slots.(p) with
-  | Active { inc } | Down { inc } -> Some inc
-  | Free | Left -> None
+  | Active { inc; _ } | Down { inc; _ } -> Some inc
+  | Free _ | Left _ -> None
+
+let generation t p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.generation: slot out of universe";
+  match t.slots.(p) with
+  | Active { gen; _ } | Down { gen; _ } | Left { gen; _ } | Free { gen } -> gen
 
 let active t =
   let acc = ref [] in
   for p = t.universe - 1 downto 0 do
     match t.slots.(p) with
     | Active _ -> acc := p :: !acc
-    | Free | Down _ | Left -> ()
+    | Free _ | Down _ | Left _ -> ()
   done;
   !acc
 
@@ -83,73 +155,177 @@ let view t =
       List.filter_map
         (fun p ->
           match t.slots.(p) with
-          | Active { inc } -> Some (p, inc)
-          | Free | Down _ | Left -> None)
+          | Active { inc; _ } -> Some (p, inc)
+          | Free _ | Down _ | Left _ -> None)
         (List.init t.universe Fun.id);
   }
 
 (* Every slot that is or ever was a member up to now: the checker's
    completeness domain must include crashed members (their writes are
-   real) but not Free slots. *)
+   real) but not never-occupied slots. A [Free] slot at generation > 0
+   has had occupants, so it counts. *)
 let ever_member t p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.ever_member: slot out of universe";
   match t.slots.(p) with
-  | Active _ | Down _ | Left -> true
-  | Free -> false
+  | Active _ | Down _ | Left _ -> true
+  | Free { gen } -> gen > 0
+
+let bump_summary t transition =
+  let s = t.summary in
+  t.summary <-
+    (match transition with
+    | Joined _ -> { s with total = s.total + 1; joins = s.joins + 1 }
+    | Rejoined _ -> { s with total = s.total + 1; rejoins = s.rejoins + 1 }
+    | Left_gracefully _ -> { s with total = s.total + 1; leaves = s.leaves + 1 }
+    | Crashed _ -> { s with total = s.total + 1; crashes = s.crashes + 1 }
+    | Recovered _ ->
+        { s with total = s.total + 1; recoveries = s.recoveries + 1 }
+    | Freed _ -> { s with total = s.total + 1; frees = s.frees + 1 })
+
+(* Compaction: when a limit K is set and the log exceeds 2K entries,
+   drop the oldest down to K (amortized O(1) per transition). Dropped
+   transitions stay counted in the summary. *)
+let compact t =
+  match t.history_limit with
+  | Some k when t.hist_len > 2 * k ->
+      let kept = ref [] and n = ref 0 in
+      (try
+         List.iter
+           (fun e ->
+             if !n >= k then raise Exit;
+             kept := e :: !kept;
+             incr n)
+           t.history
+       with Exit -> ());
+      let dropped = t.hist_len - !n in
+      t.history <- List.rev !kept;
+      t.hist_len <- !n;
+      t.summary <- { t.summary with dropped = t.summary.dropped + dropped }
+  | _ -> ()
 
 let record t ~at transition =
   t.epoch <- t.epoch + 1;
-  t.history <- (at, transition, view t) :: t.history
+  t.history <- (at, transition, view t) :: t.history;
+  t.hist_len <- t.hist_len + 1;
+  bump_summary t transition;
+  compact t
 
 let join t ~at p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.join: slot out of universe";
   match t.slots.(p) with
-  | Free ->
-      t.slots.(p) <- Active { inc = 0 };
+  | Free { gen } ->
+      t.slots.(p) <- Active { inc = 0; gen };
       record t ~at (Joined p)
-  | Down { inc } ->
+  | Down { inc; gen } ->
       (* crash-rejoin: same slot, fresh incarnation — stale pre-crash
          traffic is detected by the incarnation stamp and quarantined *)
-      t.slots.(p) <- Active { inc = inc + 1 };
+      t.slots.(p) <- Active { inc = inc + 1; gen };
       record t ~at (Rejoined p)
   | Active _ -> invalid_arg "Membership.join: slot is already a live member"
-  | Left -> invalid_arg "Membership.join: slot was retired by a leave"
+  | Left _ -> invalid_arg "Membership.join: slot was retired by a leave"
 
-let leave t ~at p =
+let leave t ~at ?(final = 0) p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.leave: slot out of universe";
+  if final < 0 then invalid_arg "Membership.leave: negative final counter";
   match t.slots.(p) with
-  | Active _ ->
-      t.slots.(p) <- Left;
+  | Active { gen; _ } ->
+      t.slots.(p) <- Left { gen; final };
+      let l =
+        match Hashtbl.find_opt t.retired p with
+        | Some l -> l
+        | None ->
+            let l = { items = []; floor = 0 } in
+            Hashtbl.add t.retired p l;
+            l
+      in
+      l.items <- (gen, final) :: l.items;
+      if List.length l.items > ledger_keep then begin
+        (* drop the oldest entry; its final becomes the floor below
+           which dot_gen no longer resolves exactly *)
+        let rec split acc = function
+          | [ (_, f) ] ->
+              l.items <- List.rev acc;
+              l.floor <- max l.floor f
+          | x :: rest -> split (x :: acc) rest
+          | [] -> ()
+        in
+        split [] l.items
+      end;
       record t ~at (Left_gracefully p)
-  | Free | Down _ | Left ->
+  | Free _ | Down _ | Left _ ->
       invalid_arg "Membership.leave: slot is not a live member"
+
+let free t ~at p =
+  if p < 0 || p >= t.universe then
+    invalid_arg "Membership.free: slot out of universe";
+  match t.slots.(p) with
+  | Left { gen; _ } ->
+      (* the generation bump: the next occupant of this slot gets
+         [gen + 1], so its dots can never collide with the departed
+         process's even though the write counter continues from where
+         it left off. The caller is responsible for the reclamation
+         gate (every live replica's Apply vector has passed the retired
+         occupant's [final]) — membership stays mechanical. *)
+      t.slots.(p) <- Free { gen = gen + 1 };
+      record t ~at (Freed p)
+  | Free _ | Active _ | Down _ ->
+      invalid_arg "Membership.free: slot is not retired"
 
 let crash t ~at p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.crash: slot out of universe";
   match t.slots.(p) with
-  | Active { inc } ->
-      t.slots.(p) <- Down { inc };
+  | Active { inc; gen } ->
+      t.slots.(p) <- Down { inc; gen };
       record t ~at (Crashed p)
-  | Free | Down _ | Left ->
+  | Free _ | Down _ | Left _ ->
       invalid_arg "Membership.crash: slot is not a live member"
 
 let recover t ~at p =
   if p < 0 || p >= t.universe then
     invalid_arg "Membership.recover: slot out of universe";
   match t.slots.(p) with
-  | Down { inc } ->
+  | Down { inc; gen } ->
       (* PR 2 recovery: same incarnation — the process resumes its old
          identity from its durable snapshot, so nothing is stale *)
-      t.slots.(p) <- Active { inc };
+      t.slots.(p) <- Active { inc; gen };
       record t ~at (Recovered p)
-  | Free | Active _ | Left ->
+  | Free _ | Active _ | Left _ ->
       invalid_arg "Membership.recover: slot is not a crashed member"
 
+let retired_final t ~slot ~gen =
+  if slot < 0 || slot >= t.universe then
+    invalid_arg "Membership.retired_final: slot out of universe";
+  match Hashtbl.find_opt t.retired slot with
+  | None -> None
+  | Some l -> List.assoc_opt gen l.items
+
+let dot_gen t ~slot ~seq =
+  if slot < 0 || slot >= t.universe then
+    invalid_arg "Membership.dot_gen: slot out of universe";
+  if seq < 1 then invalid_arg "Membership.dot_gen: seq < 1";
+  match Hashtbl.find_opt t.retired slot with
+  | None ->
+      (* never retired: everything belongs to the current occupancy *)
+      Some (generation t slot)
+  | Some l ->
+      if seq <= l.floor then None  (* below the compaction floor *)
+      else
+        (* retirements are consecutive occupancies of this slot, so
+           walking oldest→newest, the owner is the first retired
+           generation whose final covers the seq; beyond the newest
+           final the write is the current occupant's *)
+        let rec go = function
+          | [] -> Some (generation t slot)
+          | (g, f) :: newer -> if seq <= f then Some g else go newer
+        in
+        go (List.rev l.items)
+
 let history t = List.rev t.history
+let history_summary t = { t.summary with retained = t.hist_len }
 
 let pp_transition ppf = function
   | Joined p -> Format.fprintf ppf "join p%d" (p + 1)
@@ -157,6 +333,7 @@ let pp_transition ppf = function
   | Left_gracefully p -> Format.fprintf ppf "leave p%d" (p + 1)
   | Crashed p -> Format.fprintf ppf "crash p%d" (p + 1)
   | Recovered p -> Format.fprintf ppf "recover p%d" (p + 1)
+  | Freed p -> Format.fprintf ppf "free p%d" (p + 1)
 
 let pp_view ppf (v : view) =
   Format.fprintf ppf "epoch %d {%a}" v.epoch

@@ -12,25 +12,35 @@
       from its durable snapshot) or re-{!join}s under a {e fresh}
       incarnation (the crash-rejoin path: its pre-crash in-flight
       traffic is stale and must be quarantined);
-    - an [Active] member {!leave}s gracefully, retiring its slot for
-      the rest of the run (vector-clock components are indexed by slot,
-      so slots are never recycled — a departed process's writes stay
-      attributed to it forever).
+    - an [Active] member {!leave}s gracefully, retiring its slot;
+    - a [Left] slot is {!free}d for reuse under a bumped {e generation}
+      once the driver has proved the reclamation gate (every live
+      replica's Apply vector has passed the departed occupant's final
+      write counter).
 
-    Every transition bumps the {e epoch} — the generation counter the
-    drivers stamp into {!Dsm_sim.Network.set_epoch} and the checker
-    uses to segment its audit. Views only grow in clock width, never
-    shrink: a leave removes the member from the broadcast set but its
-    clock component remains (frozen), which is what keeps old vectors
-    comparable across epochs. *)
+    Every transition bumps the {e epoch} — the counter the drivers
+    stamp into {!Dsm_sim.Network.set_epoch} and the checker uses to
+    segment its audit. Vector-clock components are indexed by slot;
+    within one generation a slot always denotes the same logical
+    process. Reuse extends the dot space to
+    [(slot, generation, counter)]: the write counter continues
+    monotonically across generations (so counter arithmetic everywhere
+    is untouched), while the generation stamp keeps a reused slot's new
+    occupant distinguishable from its predecessor in dots, vectors and
+    staleness checks. *)
 
 module Sim_time := Dsm_sim.Sim_time
 
 type slot_state =
-  | Free
-  | Active of { inc : int }
-  | Down of { inc : int }
-  | Left
+  | Free of { gen : int }
+      (** [gen = 0]: never occupied; [gen > 0]: recycled — the next
+          joiner adopts this generation. *)
+  | Active of { inc : int; gen : int }
+  | Down of { inc : int; gen : int }
+  | Left of { gen : int; final : int }
+      (** [final] is the departed occupant's last write counter — what
+          the reclamation gate compares the cluster-wide Apply floor
+          against before {!free} recycles the slot. *)
 
 type view = { epoch : int; members : (int * int) list }
 (** Live members as [(slot, incarnation)], ascending by slot. *)
@@ -41,17 +51,37 @@ type transition =
   | Left_gracefully of int
   | Crashed of int
   | Recovered of int
+  | Freed of int
+
+type summary = {
+  total : int;  (** transitions ever recorded *)
+  retained : int;  (** currently in the history log *)
+  dropped : int;  (** compacted away under [history_limit] *)
+  joins : int;
+  rejoins : int;
+  leaves : int;
+  crashes : int;
+  recoveries : int;
+  frees : int;
+}
 
 type t
 
-val create : universe:int -> initial:int list -> t
-(** [create ~universe ~initial] — [initial] slots start [Active] at
-    incarnation 0 and epoch 0.
-    @raise Invalid_argument if [universe <= 0] or an initial member is
-    outside it. *)
+val create : ?history_limit:int -> universe:int -> initial:int list -> unit -> t
+(** [create ~universe ~initial ()] — [initial] slots start [Active] at
+    incarnation 0, generation 0, epoch 0. [history_limit] bounds the
+    transition log: when set to [K], the log is compacted back to the
+    newest [K] entries whenever it exceeds [2K] (dropped transitions
+    stay counted in {!history_summary}) — unbounded when omitted.
+    @raise Invalid_argument if [universe <= 0], an initial member is
+    outside it, or [history_limit < 1]. *)
 
 val universe : t -> int
 val epoch : t -> int
+
+val state : t -> int -> slot_state
+(** Raw slot state — what the soak driver's reclamation gate inspects
+    ([Left { final; _ }] vs the cluster Apply floor). *)
 
 val is_active : t -> int -> bool
 (** Live member right now. *)
@@ -63,10 +93,15 @@ val is_member : t -> int -> bool
 
 val ever_member : t -> int -> bool
 (** Was ever in the view — the checker's completeness domain: writes of
-    crashed or departed members are real and must have propagated. *)
+    crashed or departed members are real and must have propagated. A
+    [Free] slot at generation > 0 has had occupants, so it counts. *)
 
 val incarnation : t -> int -> int option
 (** Current incarnation of a member slot, [None] for [Free]/[Left]. *)
+
+val generation : t -> int -> int
+(** Current generation of the slot, in any state. For a [Free] slot
+    this is the generation its {e next} occupant will adopt. *)
 
 val active : t -> int list
 (** Live member slots, ascending — the broadcast set. *)
@@ -79,17 +114,49 @@ val view : t -> view
     @raise Invalid_argument on a transition the slot state forbids. *)
 
 val join : t -> at:Sim_time.t -> int -> unit
-(** [Free] slot → fresh member; [Down] slot → crash-rejoin under a
-    bumped incarnation. *)
+(** [Free] slot → fresh member at the slot's current generation;
+    [Down] slot → crash-rejoin under a bumped incarnation (same
+    generation — it is the same logical process). *)
 
-val leave : t -> at:Sim_time.t -> int -> unit
+val leave : t -> at:Sim_time.t -> ?final:int -> int -> unit
+(** [leave t ~at ~final p] retires [p]'s slot. [final] (default 0) is
+    the departing occupant's last write counter, recorded in the
+    retired-generation ledger for {!dot_gen} and the reclamation
+    gate. *)
+
 val crash : t -> at:Sim_time.t -> int -> unit
 
 val recover : t -> at:Sim_time.t -> int -> unit
 (** PR 2 recovery: same incarnation. *)
 
+val free : t -> at:Sim_time.t -> int -> unit
+(** [Left] slot → [Free] under a bumped generation. The caller must
+    have established the reclamation gate first (the departed
+    occupant's writes have propagated to every live replica) —
+    membership stays mechanical and does not verify it. *)
+
+(** {1 Retired-generation ledger} *)
+
+val dot_gen : t -> slot:int -> seq:int -> int option
+(** [dot_gen t ~slot ~seq] resolves which generation's occupant issued
+    the [seq]-th write of [slot] (write counters continue monotonically
+    across generations, so seq ranges between retirement finals
+    identify the occupant). [None] when [seq] falls below the ledger's
+    compaction floor — such writes were reclaimed long ago. *)
+
+val retired_final : t -> slot:int -> gen:int -> int option
+(** Final write counter recorded when generation [gen] of [slot]
+    retired; [None] if not retired or compacted away. *)
+
+(** {1 History} *)
+
 val history : t -> (Sim_time.t * transition * view) list
-(** All transitions oldest-first, each with the view it produced. *)
+(** Retained transitions oldest-first, each with the view it produced.
+    Bounded when [history_limit] was given to {!create}. *)
+
+val history_summary : t -> summary
+(** Counts of every transition ever recorded, including compacted-away
+    entries. *)
 
 val pp_transition : Format.formatter -> transition -> unit
 val pp_view : Format.formatter -> view -> unit

@@ -107,16 +107,16 @@ let run p scenario =
   Scripted_run.run p ~n ~m ~ops:scenario.ops ~delay ()
 
 let h1_reference =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let wa = Local_history.add_write p1 ~var:x1 ~value:va in
   let _wc = Local_history.add_write p1 ~var:x1 ~value:vc in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let _ =
     Local_history.add_read p2 ~var:x1 ~value:(Operation.Val va)
       ~read_from:(Some wa.Operation.wdot)
   in
   let wb = Local_history.add_write p2 ~var:x2 ~value:vb in
-  let p3 = Local_history.create ~proc:2 in
+  let p3 = Local_history.create ~proc:2 () in
   let _ =
     Local_history.add_read p3 ~var:x2 ~value:(Operation.Val vb)
       ~read_from:(Some wb.Operation.wdot)

@@ -84,11 +84,16 @@ module Indexed = struct
 
   let dummy = Obj.repr ()
 
-  (* [dummy] is an immediate, so releasing a payload slot needs no GC
-     write barrier: store it through an [int array] view of the same
-     block instead of paying [caml_modify] on every pop/clear *)
+  (* Releasing a payload slot MUST go through the ordinary barriered
+     store ([caml_modify]). The multicore major GC's snapshot-at-the-
+     beginning invariant relies on the deletion barrier darkening the
+     overwritten pointer: a raw store (e.g. through an [int array] view
+     of the block) would let the marker miss the popped payload — and
+     everything reachable only through it, such as the environment of a
+     periodic-event closure rescheduled during the same cycle — and the
+     sweeper would reclaim live objects. *)
   let[@inline] store_dummy (ps : Obj.t array) slot =
-    Array.unsafe_set (Obj.magic ps : int array) slot (Obj.magic dummy : int)
+    Array.unsafe_set ps slot dummy
 
   (* 512 buckets from the start: a day per simulated time unit for
      typical workloads, and queues only rebucket once they hold more

@@ -78,6 +78,7 @@ type slot = {
   mutable s_src : int;
   mutable s_dst : int;
   mutable s_dst_inc : int;  (* destination incarnation stamped at send *)
+  mutable s_dst_gen : int;  (* destination slot generation stamped at send *)
   mutable s_payload : Obj.t;
   mutable s_fire : unit -> unit;
 }
@@ -136,6 +137,13 @@ type 'a t = {
       (* per-process incarnation number; envelopes are stamped with the
          destination's incarnation at send, and a delivery addressed to
          an earlier incarnation is a counted stale drop *)
+  generations : int array;
+      (* per-slot occupancy generation (slot reuse): bumped when a
+         retired slot is recycled to a new logical process.  Staleness
+         is two-layer — an envelope must match the destination's
+         (incarnation, generation) pair at delivery, so traffic
+         addressed to a slot's previous occupant can never reach the
+         new one *)
   mangle : 'a -> 'a;
   mutable member : int -> bool;
       (* the membership oracle: a delivery to a slot outside the current
@@ -170,7 +178,7 @@ type 'a t = {
    engine advances it to the event's timestamp before running it, so
    reading it here is equivalent to capturing the delivery time at
    scheduling. *)
-let deliver t ~src ~dst ~dst_inc payload =
+let deliver t ~src ~dst ~dst_inc ~dst_gen payload =
   let at = Engine.now t.engine in
   (* a crashed destination silently loses the message: the frame
      reached a machine that is not running.  Counted, not raised —
@@ -179,12 +187,15 @@ let deliver t ~src ~dst ~dst_inc payload =
     t.crash_dropped <- t.crash_dropped + 1;
     Metrics.incr t.probes.p_drop_crash
   end
-  else if t.incarnations.(dst) <> dst_inc then begin
-    (* the destination crashed and rejoined as a fresh incarnation
-       while this envelope was in flight: the old incarnation it was
-       addressed to no longer exists.  Retransmission layers re-send
-       under the new stamp, so nothing is lost — but the stale copy
-       must not reach the reborn process. *)
+  else if t.incarnations.(dst) <> dst_inc || t.generations.(dst) <> dst_gen
+  then begin
+    (* the destination's identity changed while this envelope was in
+       flight — it crashed and rejoined as a fresh incarnation, or its
+       slot was retired and recycled to a new occupant (a bumped
+       generation).  The old identity the envelope was addressed to no
+       longer exists.  Retransmission layers re-send under the new
+       stamp, so nothing is lost — but the stale copy must not reach
+       the reborn (or newborn) process. *)
     t.stale_dropped <- t.stale_dropped + 1;
     Metrics.incr t.probes.p_drop_stale
   end
@@ -208,14 +219,15 @@ let deliver t ~src ~dst ~dst_inc payload =
 
 let fire_slot t i =
   let s = t.slots.(i) in
-  let src = s.s_src and dst = s.s_dst and dst_inc = s.s_dst_inc in
+  let src = s.s_src and dst = s.s_dst in
+  let dst_inc = s.s_dst_inc and dst_gen = s.s_dst_gen in
   let payload = s.s_payload in
   s.s_payload <- s_dummy;
   (* release before the handler runs: a send from inside it can reuse
      the slot without growing the arena *)
   t.free.(t.free_len) <- i;
   t.free_len <- t.free_len + 1;
-  deliver t ~src ~dst ~dst_inc payload
+  deliver t ~src ~dst ~dst_inc ~dst_gen payload
 
 let grow_slots t =
   let old = Array.length t.slots in
@@ -230,6 +242,7 @@ let grow_slots t =
             s_src = 0;
             s_dst = 0;
             s_dst_inc = 0;
+            s_dst_gen = 0;
             s_payload = s_dummy;
             s_fire = ignore;
           })
@@ -258,6 +271,7 @@ let fill_slot t ~src ~dst ~at payload =
   s.s_src <- src;
   s.s_dst <- dst;
   s.s_dst_inc <- t.incarnations.(dst);
+  s.s_dst_gen <- t.generations.(dst);
   s.s_payload <- Obj.repr payload;
   i
 
@@ -406,6 +420,7 @@ let create ~engine ~rng ~n ~latency ?(fifo = false) ?(arena = true)
     inflate_until = Array.init n (fun _ -> Array.make n neg_infinity);
     crashed = Array.make n false;
     incarnations = Array.make n 0;
+    generations = Array.make n 0;
     mangle;
     member = (fun _ -> true);
     epoch = 0;
@@ -587,6 +602,14 @@ let incarnation t p =
   check_proc t p "incarnation";
   t.incarnations.(p)
 
+let bump_generation t p =
+  check_proc t p "bump_generation";
+  t.generations.(p) <- t.generations.(p) + 1
+
+let generation t p =
+  check_proc t p "generation";
+  t.generations.(p)
+
 let set_membership t f = t.member <- f
 
 let set_epoch t e =
@@ -612,9 +635,10 @@ let epoch t = t.epoch
 
 let schedule_closure t ~src ~dst ~at payload =
   let dst_inc = t.incarnations.(dst) in
+  let dst_gen = t.generations.(dst) in
   let payload = Obj.repr payload in
   Engine.schedule_at t.engine at (fun () ->
-      deliver t ~src ~dst ~dst_inc payload)
+      deliver t ~src ~dst ~dst_inc ~dst_gen payload)
 
 let schedule_arena t ~src ~dst ~at payload =
   let i = fill_slot t ~src ~dst ~at payload in

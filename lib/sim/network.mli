@@ -247,6 +247,18 @@ val is_crashed : 'a t -> int -> bool
 
 val bump_incarnation : 'a t -> int -> unit
 val incarnation : 'a t -> int -> int
+
+val bump_generation : 'a t -> int -> unit
+(** Slot-reuse layer of the staleness stamp: when a retired slot is
+    recycled to a {e new} logical process, the driver bumps the slot's
+    occupancy generation. Envelopes capture the destination's
+    [(incarnation, generation)] pair at send; a delivery whose stamp
+    mismatches on {e either} coordinate is a counted stale drop — the
+    previous occupant's traffic can never reach the new one.
+    Generation-0 slots (never reused) behave exactly as before. *)
+
+val generation : 'a t -> int -> int
+
 val set_epoch : 'a t -> int -> unit
 (** @raise Invalid_argument if the epoch would move backwards. *)
 

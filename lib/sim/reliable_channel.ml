@@ -1,7 +1,7 @@
 module Metrics = Dsm_obs.Metrics
 
 type 'a frame =
-  | Data of { cseq : int; inc : int; sum : int; payload : 'a }
+  | Data of { cseq : int; inc : int; gen : int; sum : int; payload : 'a }
   | Ack of { cseq : int; sum : int }
 
 (* Payload checksums. [Hashtbl.hash] is cheap and deterministic; it
@@ -9,7 +9,11 @@ type 'a frame =
    ({!corrupt_frame}) mangles the checksum field itself, so detection of
    injected corruption is exact. On real hardware this slot would hold a
    CRC. *)
-let data_sum ~cseq ~inc payload = Hashtbl.hash (cseq, inc, payload)
+let data_sum ~cseq ~inc ~gen payload =
+  (* generation-0 frames hash exactly as before the slot-reuse layer:
+     every pinned checksum (and thus every seed trace) is preserved *)
+  if gen = 0 then Hashtbl.hash (cseq, inc, payload)
+  else Hashtbl.hash (cseq, inc, gen, payload)
 let ack_sum ~cseq = Hashtbl.hash (cseq, 0x5ca1ab1e)
 
 (* The corruption model handed to {!Network.create} as [~mangle]: a bit
@@ -20,8 +24,10 @@ let corrupt_frame = function
   | Ack a -> Ack { a with sum = a.sum lxor 0x5a5a5a5a }
 
 (* Frame-shape measurer for the wire accountant: the channel envelope
-   adds cseq + inc + sum (three scalars) around the protocol payload;
-   an acknowledgment is cseq + sum and carries no causal metadata. *)
+   adds cseq + stamp + sum (three scalars) around the protocol payload —
+   the incarnation and the slot generation share one stamp word, as a
+   real header would pack two small reuse counters; an acknowledgment is
+   cseq + sum and carries no causal metadata. *)
 let wire_frame inner = function
   | Data { payload; _ } ->
       let f = inner payload in
@@ -55,6 +61,7 @@ let probes metrics =
 type 'a pending = {
   payload : 'a;
   inc : int;  (* sender incarnation captured at the original send *)
+  gen : int;  (* sender slot generation captured at the original send *)
   mutable acked : bool;
   mutable aborted : bool;
   mutable attempts : int;  (* retransmissions so far, for backoff *)
@@ -75,13 +82,28 @@ type 'a t = {
          with int keys: no tuple-key allocation (or tuple hashing) on
          the per-frame hot path. *)
   delivered_seqs : (int, unit) Hashtbl.t array;
-      (* [src*n + dst]: cseqs already delivered at dst *)
+      (* [src*n + dst]: cseqs already delivered at dst, above the
+         watermark *)
+  dedup_floor : int array;
+      (* [src*n + dst]: every cseq below this is known delivered.
+         Delivered sequence numbers are near-contiguous (holes only
+         while frames are in flight), so {!gc_dedup} periodically
+         folds the contiguous prefix of the set into this watermark —
+         the representation endurance runs need to keep receiver-side
+         dedup state bounded.  Semantics are identical to the plain
+         set: (cseq < floor) ∨ (cseq ∈ set) ⟺ already delivered. *)
   handlers : 'a Network.handler option array;
   incarnations : int array;
       (* sender-side incarnation per process: Data frames are stamped at
          send time; a frame stamped by a superseded incarnation is
          quarantined at delivery (acked so its zombie timer dies, never
          handed to the handler) *)
+  generations : int array;
+      (* sender-side slot occupancy generation: the second staleness
+         coordinate.  When a retired slot is recycled, frames stamped by
+         the previous occupant (a lower generation) are quarantined the
+         same way — the retransmit timer of a dead logical process must
+         never speak for its successor *)
   probes : probes;
   mutable payloads_sent : int;
   mutable payloads_delivered : int;
@@ -111,21 +133,23 @@ let on_frame t dst ~src ~at frame =
         match Hashtbl.find_opt t.outstanding.(edge t ~src:dst ~dst:src) cseq with
         | Some p -> p.acked <- true
         | None -> () (* duplicate ack for an already-settled payload *))
-  | Data { cseq; inc; sum; payload } ->
-      if sum <> data_sum ~cseq ~inc payload then begin
+  | Data { cseq; inc; gen; sum; payload } ->
+      if sum <> data_sum ~cseq ~inc ~gen payload then begin
         (* verify-on-receive: a corrupt frame is dropped uncounted by
            the dedup tables and NOT acknowledged — the retransmission
            timer re-sends an intact copy, so reliability is preserved *)
         t.corrupt_dropped <- t.corrupt_dropped + 1;
         Metrics.incr t.probes.p_corrupt
       end
-      else if inc < t.incarnations.(src) then begin
-        (* stale incarnation: the frame was sent by a previous life of
-           [src], which has since crashed and rejoined.  Quarantine it:
-           acknowledge (so the zombie pre-crash timer stops firing) but
-           never hand the payload to the protocol — the rejoined
-           process's durable writes reach the group via anti-entropy
-           under its fresh incarnation instead. *)
+      else if inc < t.incarnations.(src) || gen < t.generations.(src)
+      then begin
+        (* stale identity: the frame was sent by a previous life of
+           [src] — an earlier incarnation of the same process, or (a
+           lower generation) a previous occupant of a recycled slot.
+           Quarantine it: acknowledge (so the zombie pre-crash timer
+           stops firing) but never hand the payload to the protocol —
+           the durable writes of the old identity reach the group via
+           anti-entropy / the adoption snapshot instead. *)
         Network.send t.network ~src:dst ~dst:src (Ack { cseq; sum = ack_sum ~cseq });
         t.stale_quarantined <- t.stale_quarantined + 1;
         Metrics.incr t.probes.p_stale
@@ -134,7 +158,8 @@ let on_frame t dst ~src ~at frame =
         (* always (re-)acknowledge: the previous ack may have been lost *)
         Network.send t.network ~src:dst ~dst:src (Ack { cseq; sum = ack_sum ~cseq });
         let seen = seen_set t ~src ~dst in
-        if Hashtbl.mem seen cseq then begin
+        if cseq < t.dedup_floor.(edge t ~src ~dst) || Hashtbl.mem seen cseq
+        then begin
           t.duplicates_discarded <- t.duplicates_discarded + 1;
           Metrics.incr t.probes.p_dedup_hits
         end
@@ -184,8 +209,10 @@ let create ~engine ~network ?(retransmit_after = 50.) ?(backoff = 2.)
       next_seq = Array.init n (fun _ -> Array.make n 0);
       outstanding = Array.init (n * n) (fun _ -> Hashtbl.create 16);
       delivered_seqs = Array.init (n * n) (fun _ -> Hashtbl.create 64);
+      dedup_floor = Array.make (n * n) 0;
       handlers = Array.make n None;
       incarnations = Array.make n 0;
+      generations = Array.make n 0;
       probes = probes metrics;
       payloads_sent = 0;
       payloads_delivered = 0;
@@ -234,19 +261,22 @@ let send t ~src ~dst payload =
   t.payloads_sent <- t.payloads_sent + 1;
   Metrics.incr t.probes.p_payloads;
   let inc = t.incarnations.(src) in
-  let p = { payload; inc; acked = false; aborted = false; attempts = 0 } in
+  let gen = t.generations.(src) in
+  let p = { payload; inc; gen; acked = false; aborted = false; attempts = 0 } in
   let pending = t.outstanding.(edge t ~src ~dst) in
   Hashtbl.replace pending cseq p;
   let transmit () =
-    (* the frame keeps its send-time incarnation stamp across
-       retransmissions: a retransmit after the sender's rejoin is
-       exactly the stale traffic quarantine must catch *)
+    (* the frame keeps its send-time (incarnation, generation) stamp
+       across retransmissions: a retransmit after the sender's rejoin —
+       or after its slot was recycled — is exactly the stale traffic
+       quarantine must catch *)
     Network.send t.network ~src ~dst
       (Data
          {
            cseq;
            inc = p.inc;
-           sum = data_sum ~cseq ~inc:p.inc p.payload;
+           gen = p.gen;
+           sum = data_sum ~cseq ~inc:p.inc ~gen:p.gen p.payload;
            payload = p.payload;
          })
   in
@@ -301,7 +331,8 @@ let abort_peer t ~peer =
      gone, so sequence numbers delivered to the dead incarnation must
      not suppress deliveries to the new one *)
   for src = 0 to t.n - 1 do
-    Hashtbl.reset t.delivered_seqs.(edge t ~src ~dst:peer)
+    Hashtbl.reset t.delivered_seqs.(edge t ~src ~dst:peer);
+    t.dedup_floor.(edge t ~src ~dst:peer) <- 0
   done;
   count
 
@@ -334,6 +365,31 @@ let abort_sender t ~peer =
   Metrics.add t.probes.p_aborted count;
   count
 
+(* Fold each edge's contiguous prefix of delivered sequence numbers
+   into its watermark.  Pure representation change (see [dedup_floor]):
+   membership in the delivered set is preserved exactly, so delivery
+   decisions — and therefore traces — are untouched; only the retained
+   hashtable entries shrink.  O(delivered) worst case, O(new) amortized
+   when called periodically. *)
+let gc_dedup t =
+  let dropped = ref 0 in
+  for e = 0 to (t.n * t.n) - 1 do
+    let seen = t.delivered_seqs.(e) in
+    let w = ref t.dedup_floor.(e) in
+    while Hashtbl.mem seen !w do
+      Hashtbl.remove seen !w;
+      incr dropped;
+      incr w
+    done;
+    t.dedup_floor.(e) <- !w
+  done;
+  !dropped
+
+(* retained receiver-side dedup entries (above the watermarks) — the
+   bounded-state monitor of endurance runs reads this *)
+let dedup_entries t =
+  Array.fold_left (fun acc s -> acc + Hashtbl.length s) 0 t.delivered_seqs
+
 let bump_incarnation t p =
   if p < 0 || p >= t.n then
     invalid_arg "Reliable_channel.bump_incarnation: process id out of range";
@@ -343,6 +399,16 @@ let incarnation t p =
   if p < 0 || p >= t.n then
     invalid_arg "Reliable_channel.incarnation: process id out of range";
   t.incarnations.(p)
+
+let bump_generation t p =
+  if p < 0 || p >= t.n then
+    invalid_arg "Reliable_channel.bump_generation: process id out of range";
+  t.generations.(p) <- t.generations.(p) + 1
+
+let generation t p =
+  if p < 0 || p >= t.n then
+    invalid_arg "Reliable_channel.generation: process id out of range";
+  t.generations.(p)
 
 let payloads_sent t = t.payloads_sent
 let payloads_delivered t = t.payloads_delivered

@@ -126,6 +126,32 @@ val bump_incarnation : 'a t -> int -> unit
 
 val incarnation : 'a t -> int -> int
 
+val bump_generation : 'a t -> int -> unit
+(** Call when a retired slot is recycled to a {e new} logical process
+    (slot reuse): frames stamped by the previous occupant — including
+    retransmissions from its still-armed timers — become stale and are
+    quarantined at every receiver, exactly like a superseded
+    incarnation. Generation-0 slots behave (and checksum) exactly as
+    before the slot-reuse layer. *)
+
+val generation : 'a t -> int -> int
+
+(** {1 Retired-state reclamation} *)
+
+val gc_dedup : 'a t -> int
+(** Folds each edge's contiguous prefix of delivered sequence numbers
+    into a per-edge watermark, dropping the individual records — the
+    compaction endurance runs call at their convergence barriers to
+    keep receiver-side dedup state bounded over unbounded lifetimes.
+    A pure representation change: whether any given sequence number
+    counts as already delivered is unchanged, so delivery behaviour
+    and traces are byte-identical with or without the call. Returns
+    the number of records folded away. *)
+
+val dedup_entries : 'a t -> int
+(** Receiver-side dedup records currently retained above the
+    watermarks (the quantity {!gc_dedup} bounds). *)
+
 (** {1 Statistics} *)
 
 val payloads_sent : 'a t -> int

@@ -1,21 +1,39 @@
-type t = { replica : int; seq : int }
+type t = { replica : int; gen : int; seq : int }
 
-let make ~replica ~seq =
+let make_gen ~replica ~gen ~seq =
   if replica < 0 then invalid_arg "Dot.make: negative replica";
+  if gen < 0 then invalid_arg "Dot.make: negative generation";
   if seq < 1 then invalid_arg "Dot.make: sequence numbers start at 1";
-  { replica; seq }
+  { replica; gen; seq }
 
+let make ~replica ~seq = make_gen ~replica ~gen:0 ~seq
 let replica d = d.replica
+let gen d = d.gen
 let seq d = d.seq
-let equal a b = a.replica = b.replica && a.seq = b.seq
+let equal a b = a.replica = b.replica && a.seq = b.seq && a.gen = b.gen
 
 let compare a b =
   let c = Int.compare a.replica b.replica in
-  if c <> 0 then c else Int.compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = Int.compare a.seq b.seq in
+    if c <> 0 then c else Int.compare a.gen b.gen
 
-let hash d = (d.replica * 1000003) lxor d.seq
-let of_clock w_co i = make ~replica:i ~seq:(Vector_clock.get w_co i)
-let pp ppf d = Format.fprintf ppf "w%d#%d" (d.replica + 1) d.seq
+(* Generation-0 dots must hash exactly as before the gen field existed:
+   hashtable iteration orders (and thus some pinned traces) depend on
+   it. *)
+let hash d =
+  let h = (d.replica * 1000003) lxor d.seq in
+  if d.gen = 0 then h else h lxor (d.gen * 2654435761)
+
+let of_clock w_co i =
+  make_gen ~replica:i ~gen:(Vector_clock.gen w_co i)
+    ~seq:(Vector_clock.get w_co i)
+
+let pp ppf d =
+  if d.gen = 0 then Format.fprintf ppf "w%d#%d" (d.replica + 1) d.seq
+  else Format.fprintf ppf "w%d#%d@g%d" (d.replica + 1) d.seq d.gen
+
 let to_string d = Format.asprintf "%a" pp d
 
 module Ord = struct

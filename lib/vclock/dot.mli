@@ -1,32 +1,46 @@
 (** Write identities.
 
-    A {e dot} is the pair [(replica, sequence_number)] identifying the
-    [seq]-th write issued by process [replica] (1-based, matching the
-    paper's Observation 2: [w] is the [k]-th write of [p_i] iff
-    [w.Write_co[i] = k]). Dots name writes independently of their
-    payload, which is what the delay-accounting machinery, the causality
-    graph and the writing-semantics metadata all need. *)
+    A {e dot} is the triple [(replica, generation, sequence_number)]
+    identifying the [seq]-th write issued by the [gen]-th occupant of
+    slot [replica] (seq 1-based, matching the paper's Observation 2:
+    [w] is the [k]-th write of [p_i] iff [w.Write_co[i] = k]; gen
+    0-based — generation 0 is the slot's original occupant, so a
+    fixed-membership run never sees a nonzero generation). Dots name
+    writes independently of their payload, which is what the
+    delay-accounting machinery, the causality graph and the
+    writing-semantics metadata all need. *)
 
-type t = { replica : int; seq : int }
+type t = { replica : int; gen : int; seq : int }
 
 val make : replica:int -> seq:int -> t
-(** @raise Invalid_argument if [replica < 0] or [seq < 1]. *)
+(** A generation-0 dot (the slot's original occupant).
+    @raise Invalid_argument if [replica < 0] or [seq < 1]. *)
+
+val make_gen : replica:int -> gen:int -> seq:int -> t
+(** [make_gen ~replica ~gen ~seq] is the dot of the [seq]-th write of
+    the [gen]-th occupant of slot [replica].
+    @raise Invalid_argument if [replica < 0], [gen < 0] or [seq < 1]. *)
 
 val replica : t -> int
+val gen : t -> int
 val seq : t -> int
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Generation-0 dots hash exactly as before generations existed, so
+    hashtable iteration orders in pinned traces are unchanged. *)
 
 val of_clock : Vector_clock.t -> int -> t
 (** [of_clock w_co i] is the dot of the write whose [Write_co] vector is
-    [w_co] and whose issuer is [p_i] — i.e. [(i, w_co[i])]
-    (Observation 2). *)
+    [w_co] and whose issuer is [p_i] — i.e. [(i, w_co.gen[i], w_co[i])]
+    (Observation 2, extended with the entry's generation). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [w{replica+1}#{seq}], e.g. [w1#2] for the second write of
-    process [p₁] (1-based process names, as in the paper). *)
+    process [p₁] (1-based process names, as in the paper); a nonzero
+    generation appends [@g{gen}]. *)
 
 val to_string : t -> string
 

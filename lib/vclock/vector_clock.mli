@@ -70,6 +70,37 @@ val sum : t -> int
 (** Sum of all components — the number of events in the vector's causal
     past (counting multiplicity per process). *)
 
+(** {1 Generations}
+
+    Slot reuse extends each entry from a plain counter to a
+    [(generation, counter)] pair: when a departed slot is recycled for a
+    genuinely new process, the slot's generation is bumped so the new
+    occupant's entries can never be confused with its predecessor's.
+    Entries compare lexicographically — [(g, c) < (g', c')] iff
+    [g < g'], or [g = g'] and [c < c'] (generation dominance). The lane
+    is materialized lazily: while every generation is 0 the vector is
+    represented exactly as before and all operations take the
+    pre-generation dense path. *)
+
+val gen : t -> int -> int
+(** [gen v i] is the generation of entry [i]; 0 when no lane is
+    materialized or beyond its physical size.
+    @raise Invalid_argument if [i < 0]. *)
+
+val set_gen : t -> int -> int -> unit
+(** [set_gen v i g] assigns the generation of entry [i], materializing
+    the lane on first nonzero assignment. Setting 0 on a lane-less
+    vector is a no-op.
+    @raise Invalid_argument on out-of-bounds index or negative value. *)
+
+val has_generations : t -> bool
+(** [has_generations v] is true iff some entry has a nonzero
+    generation — the wire-cost model charges the gen side lane only
+    in that case. *)
+
+val generations : t -> int array
+(** Fresh snapshot of the generation lane, zero-filled to [size v]. *)
+
 (** {1 Mutation} *)
 
 val set : t -> int -> int -> unit

@@ -11,9 +11,9 @@ of every write, including those issued before it joined.
   workload: workload(n=6, m=3, ops/proc=25, writes=50%, think=exp(mean=10), vars=uniform, seed=3)
   network:  exp(mean=8)
   
-  OptP churn campaign: 1 joins / 1 rejoins / 1 leaves over 4 epochs, 590 transfer bytes, sync 50 req / 50 replies, 38 replayed writes, 2 stale quarantined, 0 stale-dropped, 1 nonmember-dropped frames, 0 quarantine leaks; live_equal=true clean=true t_end=762.7
-  p5 join@80.0 transfer=16(269B) replayed=13 converged=+3.2
-  p2 rejoin@220.0 transfer=18(321B) replayed=18 converged=+3.1
+  OptP churn campaign: 1 joins / 1 rejoins / 1 leaves over 4 epochs, 658 transfer bytes, sync 50 req / 50 replies, 38 replayed writes, 2 stale quarantined, 0 stale-dropped, 1 nonmember-dropped frames, 0 quarantine leaks; live_equal=true clean=true t_end=762.7
+  p5 join@80.0 transfer=16(301B) replayed=13 converged=+3.2
+  p2 rejoin@220.0 transfer=18(357B) replayed=18 converged=+3.1
   
   audit: applies=298 delays=47 (necessary=47, unnecessary=0) skips=0 complete=true lost=0
          violations=0
@@ -34,16 +34,16 @@ unnecessary delays even while the membership churns.
     "membership": { "final_epoch": 7, "joins": 3, "rejoins": 1, "leaves": 2, "active_at_end": [0, 3, 4, 5, 6, 7, 8] },
     "catch_ups": [
       { "proc": 6, "kind": "join", "started_at": 51.9, "converged_at": 59.7, "latency": 7.7,
-        "transfer_writes": 10, "transfer_bytes": 203, "replayed": 11 },
+        "transfer_writes": 10, "transfer_bytes": 223, "replayed": 11 },
       { "proc": 7, "kind": "join", "started_at": 86.4, "converged_at": 93.2, "latency": 6.8,
-        "transfer_writes": 13, "transfer_bytes": 255, "replayed": 22 },
+        "transfer_writes": 13, "transfer_bytes": 281, "replayed": 22 },
       { "proc": 8, "kind": "join", "started_at": 131.0, "converged_at": 133.8, "latency": 2.8,
-        "transfer_writes": 24, "transfer_bytes": 508, "replayed": 24 },
+        "transfer_writes": 24, "transfer_bytes": 556, "replayed": 24 },
       { "proc": 3, "kind": "rejoin", "started_at": 176.3, "converged_at": 192.8, "latency": 16.4,
-        "transfer_writes": 37, "transfer_bytes": 868, "replayed": 32 }
+        "transfer_writes": 37, "transfer_bytes": 942, "replayed": 32 }
     ],
     "quarantine": { "chan_stale_quarantined": 16, "net_stale_dropped": 1, "net_nonmember_dropped": 0, "corrupt_dropped": 174, "quarantine_leaks": 0 },
-    "durability": { "commits": 188, "snapshot_bytes": 434250, "transfer_bytes": 1834, "rolled_back_events": 0 },
+    "durability": { "commits": 188, "snapshot_bytes": 461980, "transfer_bytes": 2002, "rolled_back_events": 0 },
     "catch_up": { "sync_requests": 245, "sync_replies": 244, "replayed_writes": 202, "stale_deliveries_dropped": 71 },
     "wire": { "payloads_sent": 1298, "frames_sent": 4055, "retransmissions": 976, "aborted_payloads": 17, "duplicates_discarded": 475 },
     "audit": { "violations": 0, "necessary_delays": 446, "unnecessary_delays": 0, "lost": 0 },

@@ -8,7 +8,7 @@ converge.
   workload: workload(n=4, m=3, ops/proc=30, writes=50%, think=exp(mean=10), vars=uniform, seed=3)
   network:  exp(mean=8)
   
-  OptP fault campaign: 1 recoveries, 82 commits (85281 bytes), 5 rolled-back events, sync 9 req / 9 replies, 27 replayed writes, 3 aborted payloads, 40 partition-dropped, 7 crash-dropped frames; live_equal=true clean=true t_end=1208.8
+  OptP fault campaign: 1 recoveries, 82 commits (91009 bytes), 5 rolled-back events, sync 9 req / 9 replies, 27 replayed writes, 3 aborted payloads, 40 partition-dropped, 7 crash-dropped frames; live_equal=true clean=true t_end=1208.8
   p2 crash@120.0 recover@320.0 rolled_back=2 replayed=23 caught_up=+3.4
   
   audit: applies=232 delays=50 (necessary=50, unnecessary=0) skips=0 complete=true lost=0
@@ -29,7 +29,7 @@ The same campaign as machine-readable JSON.
       { "proc": 1, "crashed_at": 120.0, "recovered_at": 320.0, "caught_up_at": 323.4,
         "latency": 3.4, "rolled_back_events": 2, "replayed": 27 }
     ],
-    "durability": { "commits": 82, "snapshot_bytes": 86483, "rolled_back_events": 5 },
+    "durability": { "commits": 82, "snapshot_bytes": 92391, "rolled_back_events": 5 },
     "catch_up": { "sync_requests": 9, "sync_replies": 9, "replayed_writes": 27, "stale_deliveries_dropped": 0 },
     "wire": { "payloads_sent": 169, "frames_sent": 352, "retransmissions": 8, "aborted_payloads": 3,
               "frames_partition_dropped": 0, "frames_crash_dropped": 8, "duplicates_discarded": 8 },

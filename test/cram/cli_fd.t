@@ -11,8 +11,8 @@ suspicion and re-admits it through the rejoin state transfer
   workload: workload(n=6, m=3, ops/proc=25, writes=50%, think=exp(mean=10), vars=uniform, seed=3)
   network:  exp(mean=8)
   
-  OptP churn campaign: 0 joins / 1 rejoins / 0 leaves over 3 epochs, 662 transfer bytes, sync 104 req / 100 replies, 37 replayed writes, 5 stale quarantined, 1 stale-dropped, 0 nonmember-dropped frames, 0 quarantine leaks; live_equal=true clean=true t_end=1837.2
-  p2 rejoin@320.0 transfer=35(662B) replayed=35 converged=+2.7
+  OptP churn campaign: 0 joins / 1 rejoins / 0 leaves over 3 epochs, 732 transfer bytes, sync 104 req / 100 replies, 37 replayed writes, 5 stale quarantined, 1 stale-dropped, 0 nonmember-dropped frames, 0 quarantine leaks; live_equal=true clean=true t_end=1837.2
+  p2 rejoin@320.0 transfer=35(732B) replayed=35 converged=+2.7
   fd: threshold=3.0 heartbeat=20.0 — 941 heartbeats, 2 suspicions (0 false), 1 refutations
   p2 suspected by p6@200.0 phi=3.23 (down, detected +80.0) refuted@320.0
   p4 suspected by p1@300.0 phi=3.32 (down, detected +100.0)
@@ -42,10 +42,10 @@ per-epoch view_changes log with the reason for each change.
     ],
     "catch_ups": [
       { "proc": 1, "kind": "rejoin", "started_at": 320.0, "converged_at": 322.8, "latency": 2.7,
-        "transfer_writes": 35, "transfer_bytes": 662, "replayed": 35 }
+        "transfer_writes": 35, "transfer_bytes": 732, "replayed": 35 }
     ],
     "quarantine": { "chan_stale_quarantined": 5, "net_stale_dropped": 1, "net_nonmember_dropped": 0, "corrupt_dropped": 0, "quarantine_leaks": 0 },
-    "durability": { "commits": 107, "snapshot_bytes": 137097, "transfer_bytes": 662, "rolled_back_events": 13 },
+    "durability": { "commits": 107, "snapshot_bytes": 146371, "transfer_bytes": 732, "rolled_back_events": 13 },
     "catch_up": { "sync_requests": 104, "sync_replies": 100, "replayed_writes": 37, "stale_deliveries_dropped": 2 },
     "wire": { "payloads_sent": 1478, "frames_sent": 2981, "retransmissions": 55, "aborted_payloads": 64, "duplicates_discarded": 27 },
     "audit": { "violations": 0, "necessary_delays": 74, "unnecessary_delays": 0, "lost": 0 },

@@ -38,7 +38,7 @@ let t0 = Sim_time.zero
 (* ---------------------------------------------------------------- *)
 
 let test_membership_transitions () =
-  let ms = Membership.create ~universe:6 ~initial:[ 0; 1; 2 ] in
+  let ms = Membership.create ~universe:6 ~initial:[ 0; 1; 2 ] () in
   Alcotest.(check int) "epoch 0" 0 (Membership.epoch ms);
   Alcotest.(check (list int)) "initial active" [ 0; 1; 2 ]
     (Membership.active ms);

@@ -26,16 +26,16 @@ let qcheck_case ?(count = 100) name gen prop =
 
 (* the paper's Ĥ₁ plus handles to every operation *)
 let h1 () =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let wa = Local_history.add_write p1 ~var:0 ~value:0 in
   let wc = Local_history.add_write p1 ~var:0 ~value:2 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let r2 =
     Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
       ~read_from:(Some wa.Operation.wdot)
   in
   let wb = Local_history.add_write p2 ~var:1 ~value:1 in
-  let p3 = Local_history.create ~proc:2 in
+  let p3 = Local_history.create ~proc:2 () in
   let r3 =
     Local_history.add_read p3 ~var:1 ~value:(Operation.Val 1)
       ~read_from:(Some wb.Operation.wdot)
@@ -130,7 +130,7 @@ let test_operation_accessors () =
   check_bool "as_read none" true (Operation.as_read w = None)
 
 let test_local_history_sequencing () =
-  let lh = Local_history.create ~proc:1 in
+  let lh = Local_history.create ~proc:1 () in
   let w1 = Local_history.add_write lh ~var:0 ~value:1 in
   let _ =
     Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
@@ -175,16 +175,16 @@ let test_history_rejects_bad_proc_ids () =
     (fun () ->
       ignore
         (History.of_locals
-           [ Local_history.create ~proc:0; Local_history.create ~proc:2 ]));
+           [ Local_history.create ~proc:0 (); Local_history.create ~proc:2 () ]));
   Alcotest.check_raises "duplicate ids"
     (Invalid_argument "History.of_locals: duplicate process id 0")
     (fun () ->
       ignore
         (History.of_locals
-           [ Local_history.create ~proc:0; Local_history.create ~proc:0 ]))
+           [ Local_history.create ~proc:0 (); Local_history.create ~proc:0 () ]))
 
 let test_history_validation_catches_dangling () =
-  let lh = Local_history.create ~proc:0 in
+  let lh = Local_history.create ~proc:0 () in
   let _ =
     Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
       ~read_from:(Some (Dot.make ~replica:0 ~seq:9))
@@ -195,7 +195,7 @@ let test_history_validation_catches_dangling () =
   | _ -> Alcotest.fail "expected a dangling read_from violation"
 
 let test_history_validation_catches_wrong_value () =
-  let lh = Local_history.create ~proc:0 in
+  let lh = Local_history.create ~proc:0 () in
   let w = Local_history.add_write lh ~var:0 ~value:5 in
   let _ =
     Local_history.add_read lh ~var:0 ~value:(Operation.Val 6)
@@ -207,7 +207,7 @@ let test_history_validation_catches_wrong_value () =
   | _ -> Alcotest.fail "expected a wrong-value violation"
 
 let test_history_validation_catches_wrong_variable () =
-  let lh = Local_history.create ~proc:0 in
+  let lh = Local_history.create ~proc:0 () in
   let w = Local_history.add_write lh ~var:0 ~value:5 in
   let _ =
     Local_history.add_read lh ~var:1 ~value:(Operation.Val 5)
@@ -219,7 +219,7 @@ let test_history_validation_catches_wrong_variable () =
   | _ -> Alcotest.fail "expected a wrong-variable violation"
 
 let test_history_validation_catches_bot_with_value () =
-  let lh = Local_history.create ~proc:0 in
+  let lh = Local_history.create ~proc:0 () in
   let _ =
     Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
       ~read_from:None
@@ -296,7 +296,7 @@ let test_co_related_pairs () =
     (List.length (Causal_order.related_write_pairs co))
 
 let test_co_rejects_invalid_history () =
-  let lh = Local_history.create ~proc:0 in
+  let lh = Local_history.create ~proc:0 () in
   let _ =
     Local_history.add_read lh ~var:0 ~value:(Operation.Val 1)
       ~read_from:(Some (Dot.make ~replica:0 ~seq:9))
@@ -320,10 +320,10 @@ let test_legality_h1_consistent () =
 (* a stale read: p2 reads a from x1 although it already read c (which
    causally follows a on the same variable) *)
 let test_legality_detects_stale_read () =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let wa = Local_history.add_write p1 ~var:0 ~value:0 in
   let wc = Local_history.add_write p1 ~var:0 ~value:2 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let _ =
     Local_history.add_read p2 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some wc.Operation.wdot)
@@ -343,9 +343,9 @@ let test_legality_detects_stale_read () =
 
 (* a ⊥ read after a causally preceding write on the same variable *)
 let test_legality_detects_bot_after_write () =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let wa = Local_history.add_write p1 ~var:0 ~value:0 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let _ =
     Local_history.add_read p2 ~var:1 ~value:Operation.Bot ~read_from:None
   in
@@ -369,7 +369,7 @@ let test_legality_detects_bot_after_write () =
 
 (* reading your own overwritten write is also stale *)
 let test_legality_own_overwrite () =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let w1 = Local_history.add_write p1 ~var:0 ~value:1 in
   let _w2 = Local_history.add_write p1 ~var:0 ~value:2 in
   let _ =
@@ -382,11 +382,11 @@ let test_legality_own_overwrite () =
 
 (* concurrent writes may be read in either order by different readers *)
 let test_legality_concurrent_reads_diverge () =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let w1 = Local_history.add_write p1 ~var:0 ~value:1 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let w2 = Local_history.add_write p2 ~var:0 ~value:2 in
-  let p3 = Local_history.create ~proc:2 in
+  let p3 = Local_history.create ~proc:2 () in
   let _ =
     Local_history.add_read p3 ~var:0 ~value:(Operation.Val 1)
       ~read_from:(Some w1.Operation.wdot)
@@ -395,7 +395,7 @@ let test_legality_concurrent_reads_diverge () =
     Local_history.add_read p3 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some w2.Operation.wdot)
   in
-  let p4 = Local_history.create ~proc:3 in
+  let p4 = Local_history.create ~proc:3 () in
   let _ =
     Local_history.add_read p4 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some w2.Operation.wdot)
@@ -473,7 +473,7 @@ let test_graph_graphviz () =
 
 (* a chain of writes: the graph must be exactly the chain *)
 let test_graph_chain () =
-  let lh = Local_history.create ~proc:0 in
+  let lh = Local_history.create ~proc:0 () in
   for v = 1 to 5 do
     ignore (Local_history.add_write lh ~var:0 ~value:v)
   done;
@@ -489,7 +489,7 @@ let test_graph_chain () =
 let test_graph_antichain () =
   let locals =
     List.init 4 (fun proc ->
-        let lh = Local_history.create ~proc in
+        let lh = Local_history.create ~proc () in
         ignore (Local_history.add_write lh ~var:0 ~value:proc);
         lh)
   in
@@ -597,7 +597,7 @@ let test_write_vectors_not_found () =
    sequentially consistent shared memory (reads return the globally
    last write), which always yields a valid causal history. *)
 let random_history rand_int n_procs n_vars steps =
-  let locals = Array.init n_procs (fun proc -> Local_history.create ~proc) in
+  let locals = Array.init n_procs (fun proc -> Local_history.create ~proc ()) in
   let last_write = Array.make n_vars None in
   for _ = 1 to steps do
     let proc = rand_int n_procs in

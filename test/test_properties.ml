@@ -466,6 +466,14 @@ module Fifo_only : Dsm_core.Protocol.S = struct
 
   let grow _t ~n:_ = invalid_arg "Fifo_only.grow: static test protocol"
 
+  let set_generation _t ~gen =
+    if gen <> 0 then
+      invalid_arg "Fifo_only.set_generation: static test protocol"
+
+  let generation _t = 0
+  let adopt _cfg ~me:_ ~gen:_ ~sponsor:_ =
+    invalid_arg "Fifo_only.adopt: static test protocol"
+
   let write t ~var ~value =
     let dot =
       Dot.make ~replica:t.me ~seq:(V.get t.applied t.me + 1)

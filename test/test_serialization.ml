@@ -17,16 +17,16 @@ let qcheck_case ?(count = 100) name gen prop =
 
 (* shared fixture: the paper's H1 (same construction as test_memory) *)
 let h1 () =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let wa = Local_history.add_write p1 ~var:0 ~value:0 in
   let wc = Local_history.add_write p1 ~var:0 ~value:2 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let r2 =
     Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
       ~read_from:(Some wa.Operation.wdot)
   in
   let wb = Local_history.add_write p2 ~var:1 ~value:1 in
-  let p3 = Local_history.create ~proc:2 in
+  let p3 = Local_history.create ~proc:2 () in
   let r3 =
     Local_history.add_read p3 ~var:1 ~value:(Operation.Val 1)
       ~read_from:(Some wb.Operation.wdot)
@@ -37,7 +37,7 @@ let h1 () =
 (* random sequentially consistent histories (same scheme as
    test_memory) *)
 let random_history rand_int n_procs n_vars steps =
-  let locals = Array.init n_procs (fun proc -> Local_history.create ~proc) in
+  let locals = Array.init n_procs (fun proc -> Local_history.create ~proc ()) in
   let last_write = Array.make n_vars None in
   for _ = 1 to steps do
     let proc = rand_int n_procs in
@@ -87,10 +87,10 @@ let test_serialization_h1 () =
 
 let test_serialization_rejects_inconsistent () =
   (* the stale-read history from the legality tests *)
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let wa = Local_history.add_write p1 ~var:0 ~value:0 in
   let wc = Local_history.add_write p1 ~var:0 ~value:2 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let _ =
     Local_history.add_read p2 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some wc.Operation.wdot)
@@ -109,11 +109,11 @@ let test_serialization_rejects_inconsistent () =
 let test_serialization_concurrent_orders () =
   (* two processes reading two concurrent writes in opposite orders:
      causally consistent (each process gets its own serialization) *)
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let w1 = Local_history.add_write p1 ~var:0 ~value:1 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let w2 = Local_history.add_write p2 ~var:0 ~value:2 in
-  let p3 = Local_history.create ~proc:2 in
+  let p3 = Local_history.create ~proc:2 () in
   let _ =
     Local_history.add_read p3 ~var:0 ~value:(Operation.Val 1)
       ~read_from:(Some w1.Operation.wdot)
@@ -122,7 +122,7 @@ let test_serialization_concurrent_orders () =
     Local_history.add_read p3 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some w2.Operation.wdot)
   in
-  let p4 = Local_history.create ~proc:3 in
+  let p4 = Local_history.create ~proc:3 () in
   let _ =
     Local_history.add_read p4 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some w2.Operation.wdot)

@@ -18,10 +18,10 @@ let qcheck_case ?(count = 50) name gen prop =
 let co_of locals = Causal_order.compute (History.of_locals locals)
 
 let test_h1_all_hold () =
-  let p1 = Local_history.create ~proc:0 in
+  let p1 = Local_history.create ~proc:0 () in
   let wa = Local_history.add_write p1 ~var:0 ~value:0 in
   let _ = Local_history.add_write p1 ~var:0 ~value:2 in
-  let p2 = Local_history.create ~proc:1 in
+  let p2 = Local_history.create ~proc:1 () in
   let _ =
     Local_history.add_read p2 ~var:0 ~value:(Operation.Val 0)
       ~read_from:(Some wa.Operation.wdot)
@@ -32,9 +32,9 @@ let test_h1_all_hold () =
 
 (* RYW: p0 writes x, then reads an older (other-process) value *)
 let test_ryw_violation () =
-  let p0 = Local_history.create ~proc:0 in
+  let p0 = Local_history.create ~proc:0 () in
   let w_old = Local_history.add_write p0 ~var:0 ~value:1 in
-  let p1 = Local_history.create ~proc:1 in
+  let p1 = Local_history.create ~proc:1 () in
   let _ =
     Local_history.add_read p1 ~var:0 ~value:(Operation.Val 1)
       ~read_from:(Some w_old.Operation.wdot)
@@ -54,7 +54,7 @@ let test_ryw_violation () =
 
 (* RYW: write then read ⊥ *)
 let test_ryw_bot_violation () =
-  let p0 = Local_history.create ~proc:0 in
+  let p0 = Local_history.create ~proc:0 () in
   let _ = Local_history.add_write p0 ~var:0 ~value:1 in
   let _ =
     Local_history.add_read p0 ~var:0 ~value:Operation.Bot ~read_from:None
@@ -64,10 +64,10 @@ let test_ryw_bot_violation () =
 
 (* MR: two reads of the same variable going causally backwards *)
 let test_mr_violation () =
-  let p0 = Local_history.create ~proc:0 in
+  let p0 = Local_history.create ~proc:0 () in
   let w1 = Local_history.add_write p0 ~var:0 ~value:1 in
   let w2 = Local_history.add_write p0 ~var:0 ~value:2 in
-  let p1 = Local_history.create ~proc:1 in
+  let p1 = Local_history.create ~proc:1 () in
   let _ =
     Local_history.add_read p1 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some w2.Operation.wdot)
@@ -84,11 +84,11 @@ let test_mr_violation () =
 
 (* reading concurrent writes in some order is NOT a violation *)
 let test_concurrent_reads_ok () =
-  let p0 = Local_history.create ~proc:0 in
+  let p0 = Local_history.create ~proc:0 () in
   let w1 = Local_history.add_write p0 ~var:0 ~value:1 in
-  let p1 = Local_history.create ~proc:1 in
+  let p1 = Local_history.create ~proc:1 () in
   let w2 = Local_history.add_write p1 ~var:0 ~value:2 in
-  let p2 = Local_history.create ~proc:2 in
+  let p2 = Local_history.create ~proc:2 () in
   let _ =
     Local_history.add_read p2 ~var:0 ~value:(Operation.Val 2)
       ~read_from:(Some w2.Operation.wdot)

@@ -1,0 +1,100 @@
+(* End-to-end tests of the endurance soak driver (Soak): the fixed-seed
+   reuse arc — leave, reclamation, adoption under a bumped generation,
+   with the departed occupant's late retransmissions quarantined — and
+   replay determinism via the outcome digest. *)
+
+module Soak = Dsm_runtime.Soak
+module Json = Dsm_stats.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Seed 1 over 200 epochs exercises every leg of the arc: graceful
+   leaves whose slots are freed once the floor passes their finals,
+   adoptions at bumped generations, crash-rejoins, and stale channel
+   quarantines. The run is shared across cases (it is deterministic). *)
+let arc_cfg = { Soak.default with Soak.epochs = 200; window = 10; seed = 1 }
+let arc = lazy (Soak.run (module Dsm_core.Opt_p) arc_cfg)
+
+let test_reuse_arc () =
+  let o = Lazy.force arc in
+  check_bool "clean verdict" true o.Soak.clean;
+  check_bool "slots were reused" true (o.Soak.adoptions > 0);
+  check_bool "retired slots were reclaimed" true (o.Soak.frees > 0);
+  check_bool "generations advanced past the first reuse" true
+    (o.Soak.max_generation > 1);
+  check_bool "departed occupants' retransmits quarantined" true
+    (o.Soak.chan_stale_quarantined > 0);
+  check_int "zero ghost dots" 0 o.Soak.ghost_dots;
+  check_int "zero forged values" 0 o.Soak.forged_values;
+  check_int "zero unnecessary delays (Theorem 4)" 0 o.Soak.unnecessary_delays;
+  check_int "zero causal violations" 0 o.Soak.violations
+
+let test_bounded_by_membership () =
+  let o = Lazy.force arc in
+  (* the endurance claim: metadata is bounded by the slot universe, not
+     by the number of occupant lifetimes the run went through *)
+  check_int "wire vector width = universe" arc_cfg.Soak.universe
+    o.Soak.vec_width;
+  check_bool "many more lifetimes than slots" true
+    (o.Soak.occupants > 2 * arc_cfg.Soak.universe);
+  check_bool "log entries were reclaimed" true (o.Soak.log_reclaimed > 0);
+  check_bool "dedup entries were reclaimed" true (o.Soak.dedup_reclaimed > 0)
+
+let test_replay_byte_identical () =
+  let o1 = Lazy.force arc in
+  let o2 = Soak.run (module Dsm_core.Opt_p) arc_cfg in
+  check_bool "equal digests" true (o1.Soak.digest = o2.Soak.digest);
+  check_int "equal writes" o1.Soak.total_writes o2.Soak.total_writes;
+  check_int "equal applies" o1.Soak.total_applies o2.Soak.total_applies;
+  check_int "equal wire bytes" o1.Soak.wire_bytes_total
+    o2.Soak.wire_bytes_total;
+  check_int "equal engine steps" o1.Soak.engine_steps o2.Soak.engine_steps
+
+let test_seed_changes_digest () =
+  let o1 = Lazy.force arc in
+  let o2 = Soak.run (module Dsm_core.Opt_p) { arc_cfg with Soak.seed = 2 } in
+  check_bool "different seed, different digest" true
+    (o1.Soak.digest <> o2.Soak.digest)
+
+let test_conservative_baseline () =
+  (* ANBKH holds safety through the same churn; Theorem 4 is not its
+     claim, so unnecessary delays are not counted against it *)
+  let cfg = { arc_cfg with Soak.epochs = 100; strict_delays = false } in
+  let o = Soak.run (module Dsm_core.Anbkh) cfg in
+  check_bool "clean verdict" true o.Soak.clean;
+  check_int "zero violations" 0 o.Soak.violations;
+  check_int "zero ghost dots" 0 o.Soak.ghost_dots
+
+let test_json_artifact () =
+  let o = Lazy.force arc in
+  let doc = Soak.to_json o in
+  let str k = Option.bind (Json.member k doc) Json.to_str in
+  check_bool "schema" true (str "schema" = Some "causal-dsm-bench/v1");
+  check_bool "section" true (str "section" = Some "soak");
+  (* the digest must survive the JSON round-trip exactly, which a
+     double cannot guarantee for 63-bit ints — it travels as a string *)
+  check_bool "digest as string" true
+    (str "digest" = Some (string_of_int o.Soak.digest));
+  let table = Soak.high_water_table o in
+  check_bool "high-water rows" true
+    (List.mem_assoc "wire vector width" table
+    && List.mem_assoc "live words high-water" table)
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "endurance",
+        [
+          Alcotest.test_case "reuse arc is clean" `Quick test_reuse_arc;
+          Alcotest.test_case "bounded by live membership" `Quick
+            test_bounded_by_membership;
+          Alcotest.test_case "replay determinism" `Quick
+            test_replay_byte_identical;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_seed_changes_digest;
+          Alcotest.test_case "conservative baseline" `Quick
+            test_conservative_baseline;
+          Alcotest.test_case "json artifact" `Quick test_json_artifact;
+        ] );
+    ]

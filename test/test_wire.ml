@@ -345,6 +345,32 @@ let test_bench_diff_verdicts () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_bench_diff_duplicate_labels () =
+  (* a label shared by several elements identifies none of them; the
+     elements fall back to unlabeled numbering *)
+  let doc =
+    parse {|{"arr":[{"name":"dup","ms":1.0},{"name":"dup","ms":2.0}]}|}
+  in
+  let flat = Bench_diff.flatten doc in
+  check_bool "dups keyed among unlabeled" true
+    (List.mem_assoc "arr[0].ms" flat && List.mem_assoc "arr[1].ms" flat)
+
+let test_bench_diff_new_section_additive () =
+  (* a labeled section present only in NEW must surface as an
+     informational addition, not shift the unlabeled keys after it into
+     false regressions *)
+  let old_doc =
+    parse {|{"section":"x","arr":[{"name":"a","ms":10.0},{"ms":20.0},{"ms":30.0}]}|}
+  in
+  let new_doc =
+    parse
+      {|{"section":"x","arr":[{"name":"a","ms":10.0},{"name":"b","ms":999.0},{"ms":20.0},{"ms":30.0}]}|}
+  in
+  let d = Bench_diff.diff ~old_doc ~new_doc () in
+  check_int "no false regressions" 0 (List.length (Bench_diff.regressions d));
+  check_bool "addition is informational" true
+    (List.map fst d.Bench_diff.only_new = [ "arr[name=b].ms" ])
+
 let test_bench_diff_real_artifact () =
   (* a document diffed against itself has no regressions, whatever the
      metric names *)
@@ -390,6 +416,10 @@ let () =
           Alcotest.test_case "flatten" `Quick test_bench_diff_flatten;
           Alcotest.test_case "directions" `Quick test_bench_diff_directions;
           Alcotest.test_case "verdicts" `Quick test_bench_diff_verdicts;
+          Alcotest.test_case "duplicate labels" `Quick
+            test_bench_diff_duplicate_labels;
+          Alcotest.test_case "new section additive" `Quick
+            test_bench_diff_new_section_additive;
           Alcotest.test_case "self diff" `Quick test_bench_diff_real_artifact;
         ] );
     ]
