@@ -1302,6 +1302,158 @@ module Soak_bench = struct
     if not o.Soak.clean then failwith "soak verdict not clean"
 end
 
+(* ------------------------------------------------------------------ *)
+(* G: session tier — friend-or-foe across placement policies           *)
+(* ------------------------------------------------------------------ *)
+
+module Session_bench = struct
+  module ST = Dsm_runtime.Session_tier
+  module CC = Dsm_runtime.Churn_campaign
+  module Fd = Dsm_runtime.Failure_detector
+
+  (* The friend-or-foe tension (Didona et al.): session guarantees
+     couple a client's reads to its own causal frontier, so the same
+     mechanism that keeps reads fresh (route anywhere, gate on the
+     session vector) charges the client in blocked rejections and
+     retries when the serving replica lags. One failover schedule —
+     the home partitioned away mid-run — measured per placement
+     policy, against the replica-side Theorem-4 accounting (which
+     must stay at zero unnecessary delays regardless of policy). *)
+
+  type cell = {
+    gplacement : string;
+    gseeds : int;
+    gops : int;  (** acked ops across seeds *)
+    gmigrations : int;
+    gretries : int;
+    gblocked : int;
+    gunavailable : int;
+    gdedup : int;
+    gdegraded : int;
+    gviolations : int;
+    gdup_writes : int;
+    gwrite_mean : float;
+    gwrite_p50 : float;
+    gwrite_p95 : float;
+    gwrite_p99 : float;
+    gread_mean : float;
+    gread_p50 : float;
+    gread_p95 : float;
+    gread_p99 : float;
+    gunnecessary : int;  (** replica-side, Theorem-4 accounting *)
+    gclean : bool;
+  }
+
+  let results : cell list ref = ref []
+  let universe = 5
+  let seeds = [ 11; 12; 13 ]
+
+  let failover_plan =
+    Dsm_sim.Fault_plan.make
+      [
+        Dsm_sim.Fault_plan.Cut
+          {
+            groups = [ [ 0 ]; [ 1; 2; 3; 4 ] ];
+            at = Dsm_sim.Sim_time.of_float 40.;
+          };
+        Dsm_sim.Fault_plan.Heal { at = Dsm_sim.Sim_time.of_float 400. };
+      ]
+
+  let run_policy placement =
+    let acc = ref [] in
+    List.iter
+      (fun seed ->
+        let spec =
+          Dsm_workload.Spec.make ~n:universe ~m:3 ~ops_per_process:20
+            ~write_ratio:0.5 ~seed ()
+        in
+        let sessions =
+          {
+            (ST.default_config ~count:16) with
+            ST.placement;
+            ops_per_session = 24;
+            think_mean = 4.;
+            write_ratio = 0.5;
+            seed;
+          }
+        in
+        let o =
+          CC.run
+            (module Dsm_core.Opt_p)
+            ~spec
+            ~latency:(Dsm_sim.Latency.Exponential { mean = 8. })
+            ~plan:failover_plan ~initial:universe
+            ~detector:(Fd.config ~threshold:1.2 ~heartbeat_every:8. ())
+            ~mixed:true ~sessions ~seed ()
+        in
+        acc := o :: !acc)
+      seeds;
+    let outcomes = List.rev !acc in
+    let reports =
+      List.filter_map (fun (o : CC.outcome) -> o.CC.sessions) outcomes
+    in
+    let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+    let cat f = List.concat_map f reports in
+    let writes = cat (fun r -> r.ST.write_latencies) in
+    let reads = cat (fun r -> r.ST.read_latencies) in
+    {
+      gplacement = ST.placement_to_string placement;
+      gseeds = List.length seeds;
+      gops = sum (fun r -> r.ST.ops_done);
+      gmigrations = sum (fun r -> List.length r.ST.migrations);
+      gretries = sum (fun r -> r.ST.retries);
+      gblocked = sum (fun r -> r.ST.blocked_rejections);
+      gunavailable = sum (fun r -> r.ST.unavailable_rejections);
+      gdedup = sum (fun r -> r.ST.dedup_hits);
+      gdegraded = sum (fun r -> List.length r.ST.degraded);
+      gviolations = sum (fun r -> List.length r.ST.violations);
+      gdup_writes = sum (fun r -> r.ST.duplicate_writes);
+      gwrite_mean = ST.mean writes;
+      gwrite_p50 = ST.percentile writes 0.5;
+      gwrite_p95 = ST.percentile writes 0.95;
+      gwrite_p99 = ST.percentile writes 0.99;
+      gread_mean = ST.mean reads;
+      gread_p50 = ST.percentile reads 0.5;
+      gread_p95 = ST.percentile reads 0.95;
+      gread_p99 = ST.percentile reads 0.99;
+      gunnecessary =
+        List.fold_left
+          (fun a (o : CC.outcome) ->
+            a + o.CC.report.Dsm_runtime.Checker.unnecessary_delays)
+          0 outcomes;
+      gclean =
+        List.for_all
+          (fun (o : CC.outcome) ->
+            o.CC.clean && o.CC.live_equal
+            && match o.CC.sessions with
+               | Some r -> ST.clean r
+               | None -> false)
+          outcomes;
+    }
+
+  (* deliberately identical in quick and full mode: the campaigns are
+     millisecond-scale and the checked-in baseline must reproduce
+     byte-for-byte under CI's --stress-quick *)
+  let run ~quick:_ () =
+    results :=
+      List.map run_policy [ ST.Sticky; ST.Random; ST.Nearest ];
+    Printf.printf
+      "  %-8s %5s %5s %6s %4s %7s %5s %8s %8s %8s %8s %6s\n" "policy"
+      "ops" "migr" "retry" "blk" "unavail" "degr" "w_mean" "w_p95"
+      "r_mean" "r_p95" "unnec";
+    List.iter
+      (fun c ->
+        Printf.printf
+          "  %-8s %5d %5d %6d %4d %7d %5d %8.1f %8.1f %8.1f %8.1f %6d%s\n"
+          c.gplacement c.gops c.gmigrations c.gretries c.gblocked
+          c.gunavailable c.gdegraded c.gwrite_mean c.gwrite_p95
+          c.gread_mean c.gread_p95 c.gunnecessary
+          (if c.gclean then "" else "  DIRTY"))
+      !results;
+    if List.exists (fun c -> not c.gclean) !results then
+      failwith "session bench: a policy run was not clean"
+end
+
 (* results captured for --json; filled by the section bodies *)
 let stress_quick = ref false
 let stress_result : Stress.result option ref = ref None
@@ -1353,6 +1505,9 @@ let sections =
     ( "K",
       "endurance soak: slot reuse + reclamation under churn",
       fun () -> Soak_bench.run ~quick:!stress_quick () );
+    ( "G",
+      "session tier: friend-or-foe latency across placement policies",
+      fun () -> Session_bench.run ~quick:!stress_quick () );
   ]
 
 (* per-section GC pressure for --json: (name, minor words, major words)
@@ -1874,6 +2029,52 @@ let write_soak_json file =
           Printf.eprintf "--soak-json: cannot write %s (%s)\n" file e;
           exit 1)
 
+let write_session_json file =
+  let module G = Session_bench in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"causal-dsm-bench/v1\",\n";
+  Buffer.add_string buf "  \"section\": \"session_tier\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"plan\": { \"universe\": %d, \"sessions\": 16, \
+        \"ops_per_session\": 24,\n\
+       \            \"schedule\": \"partition home slot 0 @40, heal \
+        @400, phi detector armed\" },\n"
+       G.universe);
+  Buffer.add_string buf "  \"policies\": [";
+  List.iteri
+    (fun i (c : G.cell) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"placement\": \"%s\", \"seeds\": %d, \"ops\": %d,\n\
+           \      \"migrations\": %d, \"retries\": %d, \
+            \"blocked_rejections\": %d, \"unavailable_rejections\": %d,\n\
+           \      \"dedup_hits\": %d, \"degraded\": %d, \"violations\": \
+            %d, \"duplicate_writes\": %d,\n\
+           \      \"write_latency\": { \"mean\": %.2f, \"p50\": %.2f, \
+            \"p95\": %.2f, \"p99\": %.2f },\n\
+           \      \"read_latency\": { \"mean\": %.2f, \"p50\": %.2f, \
+            \"p95\": %.2f, \"p99\": %.2f },\n\
+           \      \"unnecessary_delays\": %d, \"clean\": %b }"
+           (json_escape c.G.gplacement) c.G.gseeds c.G.gops c.G.gmigrations
+           c.G.gretries c.G.gblocked c.G.gunavailable c.G.gdedup
+           c.G.gdegraded c.G.gviolations c.G.gdup_writes c.G.gwrite_mean
+           c.G.gwrite_p50 c.G.gwrite_p95 c.G.gwrite_p99 c.G.gread_mean
+           c.G.gread_p50 c.G.gread_p95 c.G.gread_p99 c.G.gunnecessary
+           c.G.gclean))
+    !Session_bench.results;
+  Buffer.add_string buf
+    (if !Session_bench.results = [] then "]\n}\n" else "\n  ]\n}\n");
+  match open_out file with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file
+  | exception Sys_error e ->
+      Printf.eprintf "--session-json: cannot write %s (%s)\n" file e;
+      exit 1
+
 (* [--opt=v] or [--opt v] *)
 let keyed_arg key args =
   let eq = key ^ "=" in
@@ -1945,4 +2146,8 @@ let () =
   if !Soak_bench.results <> None then
     write_soak_json
       (Option.value ~default:"BENCH_soak.json" (keyed_arg "--soak-json" args));
+  if !Session_bench.results <> [] then
+    write_session_json
+      (Option.value ~default:"BENCH_session_tier.json"
+         (keyed_arg "--session-json" args));
   Option.iter write_json json_path

@@ -376,6 +376,63 @@ let fd_adaptive =
            the base threshold and detection time. 0 (the default) keeps \
            a single fixed threshold. Only with --fd.")
 
+(* --sessions: a client-session tier multiplexed over the replicas *)
+let sessions_count =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sessions" ] ~docv:"N"
+        ~doc:
+          "Multiplex $(docv) lightweight client sessions over the \
+           replicas. Each session carries a session vector, so its reads \
+           and writes can be served by any replica while keeping the \
+           four session guarantees (RYW/MR/WFR/MW); on failover the \
+           vector is handed off to the new home. Switches to the \
+           churn-campaign driver; combine with --fd, --crash or \
+           --partition to exercise migration.")
+
+let session_placement =
+  Arg.(
+    value
+    & opt string "sticky"
+    & info [ "placement" ] ~docv:"POLICY"
+        ~doc:
+          "Session placement policy: $(b,sticky) (stay on one home, \
+           fail over to the cyclically next active slot), $(b,random) \
+           (uniformly random active replica per attempt) or \
+           $(b,nearest) (static preference ring, fails over and back). \
+           Only with --sessions.")
+
+let session_ops =
+  Arg.(
+    value
+    & opt int 24
+    & info [ "session-ops" ] ~docv:"K"
+        ~doc:"Operations per session. Only with --sessions.")
+
+let sessions_of ~sessions ~placement ~session_ops ~seed =
+  match sessions with
+  | None -> Ok None
+  | Some count -> (
+      match Dsm_runtime.Session_tier.placement_of_string placement with
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown placement %S (expected sticky | random | nearest)"
+               placement)
+      | Some p -> (
+          let cfg =
+            {
+              (Dsm_runtime.Session_tier.default_config ~count) with
+              Dsm_runtime.Session_tier.placement = p;
+              ops_per_session = session_ops;
+              seed;
+            }
+          in
+          match Dsm_runtime.Session_tier.validate_config cfg with
+          | () -> Ok (Some cfg)
+          | exception Invalid_argument msg -> Error msg))
+
 let detector_of ~fd ~fd_threshold ~heartbeat_every ~fd_adaptive ~joins
     ~leaves ~churn =
   if not fd then Ok None
@@ -735,12 +792,37 @@ let churn_json ppf (o : Churn_campaign.outcome) =
     (List.length o.report.Checker.violations)
     o.report.Checker.necessary_delays o.report.Checker.unnecessary_delays
     (List.length o.report.Checker.lost);
+  (match o.sessions with
+  | Some sr ->
+      let module ST = Dsm_runtime.Session_tier in
+      fprintf ppf
+        "  \"sessions\": { \"count\": %d, \"placement\": \"%s\", \
+         \"ops\": %d, \"writes\": %d, \"reads\": %d, \"migrations\": %d, \
+         \"retries\": %d, \"blocked_rejections\": %d, \
+         \"unavailable_rejections\": %d, \"dedup_hits\": %d, \
+         \"replies_lost\": %d, \"degraded\": %d, \"duplicate_writes\": \
+         %d, \"violations\": %d, \"write_p50\": %.3f, \"write_p99\": \
+         %.3f, \"read_p50\": %.3f, \"read_p99\": %.3f },@,"
+        sr.ST.cfg.ST.count
+        (ST.placement_to_string sr.ST.cfg.ST.placement)
+        sr.ST.ops_done sr.ST.writes_done sr.ST.reads_done
+        (List.length sr.ST.migrations)
+        sr.ST.retries sr.ST.blocked_rejections sr.ST.unavailable_rejections
+        sr.ST.dedup_hits sr.ST.replies_lost
+        (List.length sr.ST.degraded)
+        sr.ST.duplicate_writes
+        (List.length sr.ST.violations)
+        (ST.percentile sr.ST.write_latencies 0.5)
+        (ST.percentile sr.ST.write_latencies 0.99)
+        (ST.percentile sr.ST.read_latencies 0.5)
+        (ST.percentile sr.ST.read_latencies 0.99)
+  | None -> ());
   fprintf ppf "  \"engine_steps\": %d,@,  \"sim_end_time\": %.1f@,}"
     o.engine_steps o.end_time
 
 let churn_campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
-    ~plan ~initial ?detector ~checkpoint_every ~seed ~json ~metrics ~wire
-    ~emit () =
+    ~plan ~initial ?detector ?sessions ~checkpoint_every ~seed ~json
+    ~metrics ~wire ~emit () =
   if not (List.mem P.name [ "OptP"; "ANBKH"; "OptP-direct" ]) then
     `Error
       ( false,
@@ -752,19 +834,33 @@ let churn_campaign (module P : Dsm_core.Protocol.S) ~spec ~latency ~faults
     match
       Churn_campaign.run
         (module P)
-        ~spec ~latency ~faults ~plan ~initial ?detector ~checkpoint_every
-        ~seed ~metrics ~wire ()
+        ~spec ~latency ~faults ~plan ~initial ?detector ?sessions
+        ~checkpoint_every ~seed ~metrics ~wire ()
     with
     | exception Invalid_argument msg -> `Error (false, msg)
     | o ->
         if json then Format.printf "@[<v>%a@]@." churn_json o
         else begin
           Format.printf "%a@.@." Churn_campaign.pp_outcome o;
+          (match o.Churn_campaign.sessions with
+          | Some sr ->
+              Format.printf "%a@.@." Dsm_runtime.Session_tier.pp_report sr
+          | None -> ());
           Format.printf "audit: %a@." Checker.pp_report o.report
         end;
         emit o.Churn_campaign.execution;
+        let session_dirty =
+          match o.Churn_campaign.sessions with
+          | Some sr -> not (Dsm_runtime.Session_tier.clean sr)
+          | None -> false
+        in
         if not (o.clean && o.live_equal) then
           `Error (false, "campaign is not clean")
+        else if session_dirty then
+          `Error
+            ( false,
+              "session tier is not clean (guarantee violation or \
+               duplicate write)" )
         else if
           claims_optimality P.name
           && o.report.Checker.unnecessary_delays > 0
@@ -810,8 +906,8 @@ let run_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
       latency seed fifo drop duplicate corrupt repl_degree crashes
       partitions joins leaves initial churn fd fd_threshold heartbeat_every
-      fd_adaptive checkpoint_every json trace_out trace_format metrics_out
-      wire_on wire_out =
+      fd_adaptive sessions placement session_ops checkpoint_every json
+      trace_out trace_format metrics_out wire_on wire_out =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let metrics =
       match metrics_out with
@@ -865,6 +961,7 @@ let run_cmd =
     in
     let churny =
       joins <> [] || leaves <> [] || churn <> None || initial <> None || fd
+      || sessions <> None
     in
     let res =
     if churny then begin
@@ -879,6 +976,9 @@ let run_cmd =
         with
         | Error msg -> `Error (false, msg)
         | Ok detector -> (
+            match sessions_of ~sessions ~placement ~session_ops ~seed with
+            | Error msg -> `Error (false, msg)
+            | Ok session_cfg -> (
             match
               churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves
                 ~initial ~churn
@@ -889,8 +989,8 @@ let run_cmd =
                   (module P)
                   ~spec ~latency
                   ~faults:{ Dsm_sim.Network.drop; duplicate; corrupt }
-                  ~plan ~initial:ini ?detector ~checkpoint_every ~seed ~json
-                  ~metrics ~wire ~emit ())
+                  ~plan ~initial:ini ?detector ?sessions:session_cfg
+                  ~checkpoint_every ~seed ~json ~metrics ~wire ~emit ()))
     end
     else if crashes <> [] || partitions <> [] then begin
       if repl_degree <> None then
@@ -971,7 +1071,8 @@ let run_cmd =
        $ zipf $ latency $ seed $ fifo $ drop $ duplicate $ corrupt
        $ repl_degree $ crashes $ partitions $ joins $ leaves
        $ initial_members $ churn $ fd_flag $ fd_threshold $ heartbeat_every
-       $ fd_adaptive $ checkpoint_every $ json_out $ trace_out
+       $ fd_adaptive $ sessions_count $ session_placement $ session_ops
+       $ checkpoint_every $ json_out $ trace_out
        $ trace_format $ metrics_out $ wire_flag $ wire_out))
   in
   Cmd.v
@@ -990,7 +1091,11 @@ let run_cmd =
           spans every epoch; with --fd membership is emergent — no \
           scripted view changes, a phi-accrual failure detector over \
           gossip heartbeats suspects silent slots and heartbeats refute \
-          false suspicions. --trace-out/--metrics-out export the causal \
+          false suspicions; with --sessions a client-session tier rides \
+          on top — sessions carry session vectors, migrate on failover \
+          with vector handoff, retry with capped backoff and dedup \
+          retried writes, and the audit re-checks the four session \
+          guarantees per client. --trace-out/--metrics-out export the causal \
           trace and the metrics registry without perturbing the run; \
           --wire/--wire-out add per-cause wire-cost accounting (header, \
           payload, causal metadata, delta counterfactual). \
@@ -1005,10 +1110,12 @@ let run_cmd =
 let explain_cmd =
   let action (module P : Dsm_core.Protocol.S) n m ops write_ratio zipf
       latency seed fifo crashes partitions joins leaves initial churn fd
-      fd_threshold heartbeat_every fd_adaptive checkpoint_every =
+      fd_threshold heartbeat_every fd_adaptive sessions placement
+      session_ops checkpoint_every =
     let spec = spec_of ~n ~m ~ops ~write_ratio ~zipf ~seed in
     let churny =
       joins <> [] || leaves <> [] || churn <> None || initial <> None || fd
+      || sessions <> None
     in
     let needs_campaign = churny || crashes <> [] || partitions <> [] in
     let outcome =
@@ -1029,6 +1136,9 @@ let explain_cmd =
           with
           | Error msg -> Error msg
           | Ok detector -> (
+              match sessions_of ~sessions ~placement ~session_ops ~seed with
+              | Error msg -> Error msg
+              | Ok session_cfg -> (
               match
                 churn_setup ~n ~seed ~crashes ~partitions ~joins ~leaves
                   ~initial ~churn
@@ -1039,14 +1149,15 @@ let explain_cmd =
                     Churn_campaign.run
                       (module P)
                       ~spec ~latency ~plan ~initial:ini ?detector
-                      ~checkpoint_every ~seed ()
+                      ?sessions:session_cfg ~checkpoint_every ~seed ()
                   with
                   | exception Invalid_argument msg -> Error msg
                   | o ->
                       Ok
                         ( o.Churn_campaign.execution,
                           o.Churn_campaign.report,
-                          o.Churn_campaign.view_reasons )))
+                          o.Churn_campaign.view_reasons,
+                          o.Churn_campaign.sessions ))))
         else
           match
             Fault_campaign.run
@@ -1056,15 +1167,17 @@ let explain_cmd =
               ~checkpoint_every ~seed ()
           with
           | exception Invalid_argument msg -> Error msg
-          | o -> Ok (o.Fault_campaign.execution, o.Fault_campaign.report, [])
+          | o ->
+              Ok
+                (o.Fault_campaign.execution, o.Fault_campaign.report, [], None)
       end
       else
         let o = Sim_run.run (module P) ~spec ~latency ~fifo ~seed () in
-        Ok (o.Sim_run.execution, Checker.check o.Sim_run.execution, [])
+        Ok (o.Sim_run.execution, Checker.check o.Sim_run.execution, [], None)
     in
     match outcome with
     | Error msg -> `Error (false, msg)
-    | Ok (execution, report, view_reasons) ->
+    | Ok (execution, report, view_reasons, session_report) ->
         Format.printf "workload: %a@.protocol: %s@.@." Spec.pp spec P.name;
         (* the view's own provenance: why each epoch happened — scripted
            events, or in --fd mode the detector's suspicions and
@@ -1079,8 +1192,24 @@ let explain_cmd =
         end;
         let e = Provenance.explain execution report in
         Format.printf "%a@." Provenance.pp_explanation e;
+        (* per-session rows: migration edges, every degraded/blocked
+           claim joined against the checker's ground truth, and each
+           session violation's nearest preceding migration *)
+        (match session_report with
+        | Some sr ->
+            Format.printf "@.%a@."
+              (Dsm_runtime.Session_tier.pp_explain ~execution)
+              sr
+        | None -> ());
+        let session_dirty =
+          match session_report with
+          | Some sr -> not (Dsm_runtime.Session_tier.clean sr)
+          | None -> false
+        in
         if report.Checker.violations <> [] then
           `Error (false, "run is not clean")
+        else if session_dirty then
+          `Error (false, "session tier is not clean")
         else if
           claims_optimality P.name && report.Checker.unnecessary_delays > 0
         then
@@ -1097,7 +1226,8 @@ let explain_cmd =
         (const action $ protocol $ n_procs $ m_vars $ ops $ write_ratio
        $ zipf $ latency $ seed $ fifo $ crashes $ partitions $ joins
        $ leaves $ initial_members $ churn $ fd_flag $ fd_threshold
-       $ heartbeat_every $ fd_adaptive $ checkpoint_every))
+       $ heartbeat_every $ fd_adaptive $ sessions_count $ session_placement
+       $ session_ops $ checkpoint_every))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -1110,7 +1240,11 @@ let explain_cmd =
           the fault-campaign path via --crash/--partition and the \
           churn-campaign path via --join/--leave/--initial/--churn or \
           --fd (emergent membership: the report starts with the \
-          detector's view-change provenance).")
+          detector's view-change provenance). With --sessions the \
+          report ends with per-session rows: migration edges, every \
+          degraded or blocked claim joined against the checker's \
+          ground truth, and each session-guarantee violation named \
+          with the migration edge nearest before it.")
     term
 
 (* ---------------------------------------------------------------- *)

@@ -6,7 +6,13 @@ type guarantee =
   | Writes_follow_reads
   | Monotonic_writes
 
-type violation = { guarantee : guarantee; proc : int; detail : string }
+type violation = {
+  guarantee : guarantee;
+  proc : int;
+  culprit : Dot.t option;
+  anchor : Dot.t;
+  detail : string;
+}
 
 let pp_guarantee ppf = function
   | Read_your_writes -> Format.pp_print_string ppf "read-your-writes"
@@ -15,91 +21,130 @@ let pp_guarantee ppf = function
   | Monotonic_writes -> Format.pp_print_string ppf "monotonic-writes"
 
 let pp_violation ppf v =
-  Format.fprintf ppf "%a at p%d: %s" pp_guarantee v.guarantee (v.proc + 1)
-    v.detail
+  Format.fprintf ppf "%a at p%d [%s vs %a]: %s" pp_guarantee v.guarantee
+    (v.proc + 1)
+    (match v.culprit with
+    | Some d -> Format.asprintf "%a" Dot.pp d
+    | None -> "⊥")
+    Dot.pp v.anchor v.detail
 
-(* strict ↦co between two writes identified by dots *)
-let writes_precede co d1 d2 =
-  (not (Dot.equal d1 d2)) && Causal_order.write_precedes co d1 d2
+(* the stream state machine below is shared between the replica-side
+   [check] and the client-session [check_streams]: in both cases a
+   "process" is a sequence of operations whose writes and read sources
+   name dots of the underlying history.  Two ordering oracles:
+
+   - [must_precede] serves the {e obligation} checks (MW, WFR: "this
+     write must follow that dot") — ground-truth [↦co], optionally
+     extended with a caller witness for the cross-replica program-order
+     edges a migrated session carries (a handoff means the new home
+     applied the session's past before issuing for it, an edge [↦co]'s
+     replica-local program order cannot see);
+   - [older] serves the {e accusation} checks (RYW, MR: "the read
+     returned something strictly older") — ground-truth [↦co] only.
+     The witness must never accuse: two concurrent writes legitimately
+     apply in different orders at different replicas, so "the issuer
+     happened to apply src first" does not make src older. *)
+let check_one_stream ~must_precede ~older ~m ~add proc ops =
+  (* per-variable session state while scanning the stream *)
+  let own_last_write = Array.make (max m 1) None in
+  let last_read_from = Array.make (max m 1) None in
+  let reads_so_far = ref [] in
+  (* sources of all previous reads *)
+  List.iter
+    (fun op ->
+      match op with
+      | Operation.Write (w : Operation.write) ->
+          (* MW: every earlier own write must causally precede this
+             one (structural in this model, checked as an invariant) *)
+          Array.iter
+            (function
+              | Some earlier
+                when not
+                       (Dot.equal earlier w.wdot
+                       || must_precede earlier w.wdot) ->
+                  add Monotonic_writes proc ~culprit:(Some w.wdot)
+                    ~anchor:earlier
+                    (Format.asprintf "%a does not follow own %a" Dot.pp
+                       w.wdot Dot.pp earlier)
+              | Some _ | None -> ())
+            own_last_write;
+          (* WFR: every read source so far must causally precede it *)
+          List.iter
+            (fun src ->
+              if not (must_precede src w.wdot) then
+                add Writes_follow_reads proc ~culprit:(Some w.wdot)
+                  ~anchor:src
+                  (Format.asprintf "%a not after read source %a" Dot.pp
+                     w.wdot Dot.pp src))
+            !reads_so_far;
+          if w.wvar < Array.length own_last_write then
+            own_last_write.(w.wvar) <- Some w.wdot
+      | Operation.Read (r : Operation.read) ->
+          (* RYW: the read must not return something strictly older
+             than this stream's own last write on the variable *)
+          (match (own_last_write.(r.rvar), r.read_from) with
+          | Some own, None ->
+              add Read_your_writes proc ~culprit:None ~anchor:own
+                (Format.asprintf "read of x%d returned ⊥ after own write %a"
+                   (r.rvar + 1) Dot.pp own)
+          | Some own, Some src
+            when (not (Dot.equal src own)) && older src own ->
+              add Read_your_writes proc ~culprit:(Some src) ~anchor:own
+                (Format.asprintf "read of x%d returned %a, older than own %a"
+                   (r.rvar + 1) Dot.pp src Dot.pp own)
+          | (Some _ | None), _ -> ());
+          (* MR: successive reads of a variable never go backwards *)
+          (match (last_read_from.(r.rvar), r.read_from) with
+          | Some prev, None ->
+              add Monotonic_reads proc ~culprit:None ~anchor:prev
+                (Format.asprintf "read of x%d returned ⊥ after reading %a"
+                   (r.rvar + 1) Dot.pp prev)
+          | Some prev, Some src
+            when (not (Dot.equal src prev)) && older src prev ->
+              add Monotonic_reads proc ~culprit:(Some src) ~anchor:prev
+                (Format.asprintf "read of x%d went backwards: %a after %a"
+                   (r.rvar + 1) Dot.pp src Dot.pp prev)
+          | (Some _ | None), _ -> ());
+          (match r.read_from with
+          | Some src ->
+              last_read_from.(r.rvar) <- Some src;
+              reads_so_far := src :: !reads_so_far
+          | None -> ()))
+    ops
+
+let check_streams ?(also_precedes = fun _ _ -> false) co streams =
+  let history = Causal_order.history co in
+  let m =
+    (* streams may mention variables beyond the history's width only if
+       the history is empty; size defensively off both *)
+    List.fold_left
+      (fun acc (_, ops) ->
+        List.fold_left (fun acc op -> max acc (Operation.var op + 1)) acc ops)
+      (History.n_variables history)
+      streams
+  in
+  (* strict ground-truth precedence: ↦co between two writes of the
+     history; [must_precede] additionally admits the caller's witness *)
+  let in_history d = History.find_write history d <> None in
+  let older d1 d2 =
+    (not (Dot.equal d1 d2))
+    && in_history d1 && in_history d2
+    && Causal_order.write_precedes co d1 d2
+  in
+  let must_precede d1 d2 = older d1 d2 || also_precedes d1 d2 in
+  let violations = ref [] in
+  let add guarantee proc ~culprit ~anchor detail =
+    violations := { guarantee; proc; culprit; anchor; detail } :: !violations
+  in
+  List.iter
+    (fun (proc, ops) -> check_one_stream ~must_precede ~older ~m ~add proc ops)
+    streams;
+  List.rev !violations
 
 let check co =
   let history = Causal_order.history co in
   let n = History.n_processes history in
-  let m = History.n_variables history in
-  let violations = ref [] in
-  let add guarantee proc detail =
-    violations := { guarantee; proc; detail } :: !violations
-  in
-  for proc = 0 to n - 1 do
-    (* per-variable session state while scanning p's operations *)
-    let own_last_write = Array.make (max m 1) None in
-    let last_read_from = Array.make (max m 1) None in
-    let reads_so_far = ref [] in  (* sources of all previous reads *)
-    List.iter
-      (fun op ->
-        match op with
-        | Operation.Write (w : Operation.write) ->
-            (* MW: every earlier own write must causally precede this
-               one (structural in this model, checked as an invariant) *)
-            Array.iter
-              (function
-                | Some earlier
-                  when not
-                         (Dot.equal earlier w.wdot
-                         || writes_precede co earlier w.wdot) ->
-                    add Monotonic_writes proc
-                      (Format.asprintf "%a does not follow own %a" Dot.pp
-                         w.wdot Dot.pp earlier)
-                | Some _ | None -> ())
-              own_last_write;
-            (* WFR: every read source so far must causally precede it *)
-            List.iter
-              (fun src ->
-                if not (writes_precede co src w.wdot) then
-                  add Writes_follow_reads proc
-                    (Format.asprintf "%a not after read source %a" Dot.pp
-                       w.wdot Dot.pp src))
-              !reads_so_far;
-            own_last_write.(w.wvar) <- Some w.wdot
-        | Operation.Read (r : Operation.read) ->
-            (* RYW: the read must not return something strictly older
-               than this process's own last write on the variable *)
-            (match (own_last_write.(r.rvar), r.read_from) with
-            | Some own, None ->
-                add Read_your_writes proc
-                  (Format.asprintf
-                     "read of x%d returned ⊥ after own write %a"
-                     (r.rvar + 1) Dot.pp own)
-            | Some own, Some src
-              when (not (Dot.equal src own)) && writes_precede co src own ->
-                add Read_your_writes proc
-                  (Format.asprintf
-                     "read of x%d returned %a, older than own %a"
-                     (r.rvar + 1) Dot.pp src Dot.pp own)
-            | (Some _ | None), _ -> ());
-            (* MR: successive reads of a variable never go backwards *)
-            (match (last_read_from.(r.rvar), r.read_from) with
-            | Some prev, None ->
-                add Monotonic_reads proc
-                  (Format.asprintf
-                     "read of x%d returned ⊥ after reading %a" (r.rvar + 1)
-                     Dot.pp prev)
-            | Some prev, Some src
-              when (not (Dot.equal src prev)) && writes_precede co src prev
-              ->
-                add Monotonic_reads proc
-                  (Format.asprintf
-                     "read of x%d went backwards: %a after %a" (r.rvar + 1)
-                     Dot.pp src Dot.pp prev)
-            | (Some _ | None), _ -> ());
-            (match r.read_from with
-            | Some src ->
-                last_read_from.(r.rvar) <- Some src;
-                reads_so_far := src :: !reads_so_far
-            | None -> ()))
-      (History.local history proc)
-  done;
-  List.rev !violations
+  check_streams co (List.init n (fun proc -> (proc, History.local history proc)))
 
 let holds co guarantee =
   List.for_all (fun v -> v.guarantee <> guarantee) (check co)

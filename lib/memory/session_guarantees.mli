@@ -20,7 +20,15 @@
     on {e broken} runs: the violated guarantee names the anomaly
     (e.g. the eager protocol of [examples/social_timeline.ml] breaks
     RYW-across-processes style guarantees in a way this module pins
-    down as an MR or RYW failure). *)
+    down as an MR or RYW failure).
+
+    {!check} audits the history's own per-process streams (the paper's
+    model, where a process is its own client). {!check_streams} audits
+    {e arbitrary} operation streams against the same ground truth — the
+    session-tier checker re-attributes operations to client sessions
+    whose ops were served by different replicas across migrations, and
+    supplies an [?also_precedes] witness for the cross-replica ordering
+    edges that [↦co]'s program order cannot see. *)
 
 type guarantee =
   | Read_your_writes
@@ -30,12 +38,46 @@ type guarantee =
 
 type violation = {
   guarantee : guarantee;
-  proc : int;
+  proc : int;  (** stream index: process id, or session id for
+                   re-attributed session streams *)
+  culprit : Dsm_vclock.Dot.t option;
+      (** the write the offending operation returned or issued;
+          [None] when a read returned ⊥ *)
+  anchor : Dsm_vclock.Dot.t;
+      (** the dot the offender had to be ordered against: the own or
+          previously-read write the guarantee names *)
   detail : string;
 }
+(** The violating operation pair is carried structurally
+    ([culprit]/[anchor]) as well as rendered in [detail], so a shrunk
+    nemesis reproducer names the exact dots without re-running with
+    traces. *)
 
 val check : Causal_order.t -> violation list
 (** All violations across all processes (empty = all four hold). *)
+
+val check_streams :
+  ?also_precedes:(Dsm_vclock.Dot.t -> Dsm_vclock.Dot.t -> bool) ->
+  Causal_order.t ->
+  (int * Operation.t list) list ->
+  violation list
+(** [check_streams co streams] runs the same four audits over
+    caller-attributed operation streams [(stream id, ops in stream
+    order)]. Writes and read sources must name dots of [co]'s history
+    (a session write {e is} the replica-issued write, under its replica
+    dot). The base ordering oracle is ground-truth [↦co];
+    [?also_precedes d1 d2] — a caller-supplied witness that [d1] was
+    observed before [d2] was issued (the session tier passes "the
+    issuer of [d2] applied [d1] before issuing [d2]", derived from the
+    recorded execution) — extends it for the {e obligation} checks only
+    (MW, WFR: a migrated session's consecutive writes at different
+    replicas have no [↦co] program-order edge, but a handoff guarantees
+    the witness edge). The {e accusation} checks (RYW, MR: "the read
+    returned something strictly older") use plain [↦co]: concurrent
+    writes legitimately apply in different orders at different
+    replicas, so an apply-order witness must never accuse. [check] is
+    [check_streams] over the history's own per-process streams with no
+    witness. *)
 
 val holds : Causal_order.t -> guarantee -> bool
 

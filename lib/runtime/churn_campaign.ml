@@ -113,6 +113,7 @@ type outcome = {
   view_reasons : (int * float * string) list;
   transfer_bytes : int;
   quarantine_leaks : int;
+  sessions : Session_tier.report option;
   active_at_end : int list;
   final_states : Fault_campaign.replica_state list;
   live_equal : bool;
@@ -193,7 +194,7 @@ let count_quarantine_leaks execution =
 let run (type pt pm)
     (module P : Protocol.S with type t = pt and type msg = pm) ~spec
     ~latency ?(faults = Network.no_faults) ~plan ~initial ?detector
-    ?(mixed = false) ?(checkpoint_every = 50.) ?(sync_rounds = 2)
+    ?(mixed = false) ?sessions ?(checkpoint_every = 50.) ?(sync_rounds = 2)
     ?(sync_interval = 100.) ?(flush_poll = 10.) ?(settle = true)
     ?(retransmit_after = 50.) ?(seed = 1) ?(max_steps = 20_000_000)
     ?(metrics = Metrics.null ()) ?(wire = Dsm_obs.Wire.null ())
@@ -926,7 +927,15 @@ let run (type pt pm)
           Float.max acc (Sim_time.to_float (Fault_plan.time ev)))
         0. plan
     in
-    Float.max (Dsm_workload.Generator.end_time schedule) plan_end
+    let base = Float.max (Dsm_workload.Generator.end_time schedule) plan_end in
+    (* the session tier keeps issuing past the replica op streams; fold
+       its nominal duration in so detector gossip outlasts the sessions *)
+    match sessions with
+    | None -> base
+    | Some (sc : Session_tier.config) ->
+        Float.max base
+          (sc.Session_tier.think_mean
+          *. float_of_int (sc.Session_tier.ops_per_session + 2))
   in
   (* ---- emergent membership: gossip + accrual detection ------------- *)
   (match detector with
@@ -1117,6 +1126,366 @@ let run (type pt pm)
   in
   schedule_checkpoints checkpoint_every;
 
+  (* ---- session tier ------------------------------------------------ *)
+  (* lightweight client sessions in front of the replicas: each carries
+     a session vector ([dep]) joined from the dots it wrote and the dots
+     its reads returned, and a replica serves it only when its applied
+     vector dominates [dep].  The RPC model is deterministic: a request
+     arriving at a down / absent / flushing home gets a definitive
+     Unavailable reply, a dep-gate miss a definitive Blocked reply (the
+     op is never parked server-side), and only an executed op's reply
+     leg is lossy — lost iff the home crashes before it drains.  A lost
+     write reply is resolved by {e probing} for the op id in a home's
+     durable log, never by blind reissue, so writes are at-most-once by
+     construction. *)
+  let session_finalize :
+      (Dsm_memory.History.t -> Session_tier.report option) ref =
+    ref (fun _ -> None)
+  in
+  (match sessions with
+  | None -> ()
+  | Some scfg ->
+      let module ST = Session_tier in
+      ST.validate_config scfg;
+      (* independent stream: session traffic must not perturb the
+         network/fault RNG draws of a session-free run *)
+      let srng = Rng.create (scfg.ST.seed + (seed * 7919)) in
+      let p_ops = Metrics.counter metrics "session_ops_total" in
+      let p_writes = Metrics.counter metrics "session_writes_total" in
+      let p_reads = Metrics.counter metrics "session_reads_total" in
+      let p_migr = Metrics.counter metrics "session_migrations_total" in
+      let p_retries = Metrics.counter metrics "session_retries_total" in
+      let p_blocked = Metrics.counter metrics "session_blocked_total" in
+      let p_unavail =
+        Metrics.counter metrics "session_unavailable_total"
+      in
+      let p_degraded = Metrics.counter metrics "session_degraded_total" in
+      let p_dedup = Metrics.counter metrics "session_dedup_hits_total" in
+      let p_lost =
+        Metrics.counter metrics "session_replies_lost_total"
+      in
+      let p_lat =
+        Metrics.histogram metrics "session_op_latency" ~lo:0. ~hi:1024.
+          ~bins:16
+      in
+      let sess =
+        Array.init scfg.ST.count (fun sid ->
+            ST.make_session ~sid ~universe)
+      in
+      let spans = ref [] in
+      let migrations = ref [] in
+      let s_writes = ref 0 and s_reads = ref 0 in
+      let s_retries = ref 0 and s_blocked = ref 0 in
+      let s_unavail = ref 0 in
+      let s_dedup = ref 0 and s_lost = ref 0 in
+      let wlat = ref [] and rlat = ref [] in
+      let candidates () =
+        List.filter
+          (fun p ->
+            let node = nodes.(p) in
+            (not node.down) && (not node.leaving) && node.proto <> None)
+          (Membership.active membership)
+      in
+      (* first dot of [dep] the home has not applied, if any *)
+      let frontier_gap node (s : ST.session) =
+        let v = P.applied_vector (proto_of node) in
+        let missing = ref None in
+        Array.iteri
+          (fun u want ->
+            if !missing = None && want > 0 && V.get0 v u < want then
+              missing := Some (Dot.make ~replica:u ~seq:want))
+          s.ST.dep;
+        !missing
+      in
+      (* at-most-once probe: the op id, durable in this home's log and
+         applied there *)
+      let find_committed node value =
+        Hashtbl.fold
+          (fun dot msg acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if
+                  List.exists
+                    (fun (d, _, v) -> Dot.equal d dot && v = value)
+                    (P.msg_writes msg)
+                  && covered node dot
+                then Some dot
+                else None)
+          node.log None
+      in
+      let join_dot (s : ST.session) dot =
+        let r = Dot.replica dot in
+        if r < Array.length s.ST.dep then
+          s.ST.dep.(r) <- max s.ST.dep.(r) (Dot.seq dot)
+      in
+      let observe_latency span =
+        match span.ST.odone_at with
+        | None -> ()
+        | Some t ->
+            let l = t -. span.ST.oissued_at in
+            Metrics.observe p_lat l;
+            (match span.ST.okind with
+            | ST.Op_write -> wlat := l :: !wlat
+            | ST.Op_read -> rlat := l :: !rlat)
+      in
+      let rec start_op (s : ST.session) =
+        if s.ST.op_seq < scfg.ST.ops_per_session then begin
+          s.ST.op_seq <- s.ST.op_seq + 1;
+          let okind =
+            if Rng.float srng < scfg.ST.write_ratio then ST.Op_write
+            else ST.Op_read
+          in
+          let span =
+            {
+              ST.osid = s.ST.sid;
+              oseq = s.ST.op_seq;
+              okind;
+              ovar = Rng.int srng m;
+              oissued_at = nowf ();
+              oattempts = 0;
+              owaiting_for = None;
+              oclaim_home = -1;
+              oclaim_at = 0.;
+              odot = None;
+              oserved_by = -1;
+              oserved_at = -1.;
+              odone_at = None;
+              ooutcome = None;
+            }
+          in
+          spans := span :: !spans;
+          attempt s span ~probe:false ~retries_left:scfg.ST.max_retries
+        end
+      and next_op s =
+        Engine.schedule_after engine
+          (Rng.exponential srng scfg.ST.think_mean)
+          (fun () -> start_op s)
+      and degrade s span kind =
+        span.ST.ooutcome <- Some kind;
+        span.ST.odone_at <- Some (nowf ());
+        Metrics.incr p_degraded;
+        next_op s
+      and reject s span ~probe ~retries_left ~deg =
+        if retries_left <= 0 then degrade s span deg
+        else begin
+          incr s_retries;
+          Metrics.incr p_retries;
+          Engine.schedule_after engine
+            (ST.backoff_delay scfg ~rng:srng ~attempt:span.ST.oattempts)
+            (fun () -> attempt s span ~probe ~retries_left:(retries_left - 1))
+        end
+      and attempt s span ~probe ~retries_left =
+        span.ST.oattempts <- span.ST.oattempts + 1;
+        match
+          ST.choose_home scfg.ST.placement ~sid:s.ST.sid ~universe
+            ~rng:srng ~active:(candidates ()) ~current:s.ST.home
+        with
+        | None ->
+            incr s_unavail;
+            Metrics.incr p_unavail;
+            reject s span ~probe ~retries_left ~deg:ST.Deg_unreachable
+        | Some h ->
+            (match s.ST.home with
+            | Some h0 when h0 <> h && not scfg.ST.handoff ->
+                (* canary: the session vector is dropped on retarget *)
+                Array.fill s.ST.dep 0 (Array.length s.ST.dep) 0
+            | _ -> ());
+            s.ST.home <- Some h;
+            let t_send = nowf () in
+            Engine.schedule_after engine
+              (Dsm_sim.Latency.sample latency srng)
+              (fun () -> arrive s span ~h ~t_send ~probe ~retries_left)
+      and arrive s span ~h ~t_send ~probe ~retries_left =
+        let node = nodes.(h) in
+        let t_handled = nowf () in
+        (* one reply leg; [lossy] marks executed ops, whose reply dies
+           with a crashing home — the only in-doubt window.  The client
+           notices at its RPC timeout and runs [on_lost]. *)
+        let reply ~lossy ~on_lost k =
+          Engine.schedule_after engine
+            (Dsm_sim.Latency.sample latency srng)
+            (fun () ->
+              if lossy && node.last_crash > t_handled then begin
+                incr s_lost;
+                Metrics.incr p_lost;
+                let wake =
+                  Float.max 0. (t_send +. scfg.ST.rpc_timeout -. nowf ())
+                in
+                Engine.schedule_after engine wake on_lost
+              end
+              else k ())
+        in
+        let no_loss k =
+          reply ~lossy:false ~on_lost:(fun () -> assert false) k
+        in
+        if
+          node.down || node.leaving || node.proto = None
+          || not (Membership.is_active membership h)
+        then begin
+          incr s_unavail;
+          Metrics.incr p_unavail;
+          no_loss (fun () ->
+              reject s span ~probe ~retries_left ~deg:ST.Deg_unreachable)
+        end
+        else if probe then
+          match
+            find_committed node (ST.op_value ~sid:s.ST.sid ~op:span.ST.oseq)
+          with
+          | Some dot ->
+              incr s_dedup;
+              Metrics.incr p_dedup;
+              no_loss (fun () ->
+                  serve_write s span ~h ~dot ~outcome:ST.Ok_dedup)
+          | None ->
+              no_loss (fun () ->
+                  reject s span ~probe:true ~retries_left
+                    ~deg:ST.Deg_in_doubt)
+        else
+          match frontier_gap node s with
+          | Some wf ->
+              span.ST.owaiting_for <- Some wf;
+              span.ST.oclaim_home <- h;
+              span.ST.oclaim_at <- t_handled;
+              incr s_blocked;
+              Metrics.incr p_blocked;
+              no_loss (fun () ->
+                  reject s span ~probe:false ~retries_left
+                    ~deg:ST.Deg_blocked)
+          | None -> (
+              match span.ST.okind with
+              | ST.Op_read ->
+                  let value, read_from =
+                    P.read (proto_of node) ~var:span.ST.ovar
+                  in
+                  span.ST.oserved_at <- t_handled;
+                  record node
+                    (Execution.Return { var = span.ST.ovar; value; read_from });
+                  reply ~lossy:true
+                    ~on_lost:(fun () ->
+                      (* an unacknowledged read is idempotent: retry *)
+                      reject s span ~probe:false ~retries_left
+                        ~deg:ST.Deg_unreachable)
+                    (fun () -> serve_read s span ~h ~value ~read_from)
+              | ST.Op_write -> (
+                  let value = ST.op_value ~sid:s.ST.sid ~op:span.ST.oseq in
+                  match find_committed node value with
+                  | Some dot ->
+                      incr s_dedup;
+                      Metrics.incr p_dedup;
+                      reply ~lossy:true
+                        ~on_lost:(fun () ->
+                          reject s span ~probe:true ~retries_left
+                            ~deg:ST.Deg_in_doubt)
+                        (fun () ->
+                          serve_write s span ~h ~dot ~outcome:ST.Ok_dedup)
+                  | None ->
+                      node.write_seq <- node.write_seq + 1;
+                      let dot, eff =
+                        P.write (proto_of node) ~var:span.ST.ovar ~value
+                      in
+                      span.ST.oserved_at <- t_handled;
+                      process node eff;
+                      commit node;
+                      reply ~lossy:true
+                        ~on_lost:(fun () ->
+                          reject s span ~probe:true ~retries_left
+                            ~deg:ST.Deg_in_doubt)
+                        (fun () ->
+                          serve_write s span ~h ~dot ~outcome:ST.Ok_served)))
+      and note_served s span h =
+        span.ST.oserved_by <- h;
+        span.ST.odone_at <- Some (nowf ());
+        (match s.ST.served_home with
+        | Some prev when prev <> h ->
+            migrations :=
+              {
+                ST.msid = s.ST.sid;
+                mat = nowf ();
+                mfrom = prev;
+                mto = h;
+                mcarried = scfg.ST.handoff;
+              }
+              :: !migrations;
+            Metrics.incr p_migr
+        | _ -> ());
+        s.ST.served_home <- Some h;
+        Metrics.incr p_ops;
+        observe_latency span
+      and serve_write s span ~h ~dot ~outcome =
+        span.ST.odot <- Some dot;
+        span.ST.ooutcome <- Some outcome;
+        note_served s span h;
+        join_dot s dot;
+        s.ST.acked <-
+          Dsm_memory.Operation.write ~proc:(Dot.replica dot)
+            ~seq:(Dot.seq dot) ~var:span.ST.ovar
+            ~value:(ST.op_value ~sid:s.ST.sid ~op:span.ST.oseq)
+          :: s.ST.acked;
+        incr s_writes;
+        Metrics.incr p_writes;
+        next_op s
+      and serve_read s span ~h ~value ~read_from =
+        span.ST.odot <- read_from;
+        span.ST.ooutcome <- Some ST.Ok_served;
+        note_served s span h;
+        (match read_from with Some d -> join_dot s d | None -> ());
+        s.ST.acked <-
+          Dsm_memory.Operation.read ~proc:s.ST.sid ~slot:s.ST.reads_done
+            ~var:span.ST.ovar ~value ~read_from
+          :: s.ST.acked;
+        s.ST.reads_done <- s.ST.reads_done + 1;
+        incr s_reads;
+        Metrics.incr p_reads;
+        next_op s
+      in
+      Array.iter next_op sess;
+      session_finalize :=
+        fun history ->
+          let streams =
+            Array.to_list
+              (Array.map (fun s -> (s.ST.sid, List.rev s.ST.acked)) sess)
+          in
+          let all_spans = List.rev !spans in
+          let violations =
+            ST.audit ~execution ~history ~spans:all_spans
+              ~home_crashed_after:(fun ~home ~t ->
+                nodes.(home).last_crash > t)
+              ~streams ()
+          in
+          let duplicate_writes = ST.duplicate_writes history in
+          let degraded =
+            List.filter
+              (fun sp ->
+                match sp.ST.ooutcome with
+                | Some
+                    ( ST.Deg_blocked | ST.Deg_in_doubt
+                    | ST.Deg_unreachable ) ->
+                    true
+                | _ -> false)
+              all_spans
+          in
+          Some
+            {
+              ST.cfg = scfg;
+              streams;
+              spans = all_spans;
+              migrations = List.rev !migrations;
+              ops_done = !s_writes + !s_reads;
+              writes_done = !s_writes;
+              reads_done = !s_reads;
+              retries = !s_retries;
+              blocked_rejections = !s_blocked;
+              unavailable_rejections = !s_unavail;
+              dedup_hits = !s_dedup;
+              replies_lost = !s_lost;
+              degraded;
+              duplicate_writes;
+              violations;
+              write_latencies = List.rev !wlat;
+              read_latencies = List.rev !rlat;
+            });
+
   let drain phase =
     match Engine.run ~max_steps engine with
     | Engine.Drained -> ()
@@ -1247,9 +1616,11 @@ let run (type pt pm)
       execution
   in
   let quarantine_leaks = count_quarantine_leaks execution in
+  let history = Execution.to_history execution in
+  let session_report = !session_finalize history in
   {
     execution;
-    history = Execution.to_history execution;
+    history;
     report;
     protocol_name = P.name;
     plan;
@@ -1267,6 +1638,7 @@ let run (type pt pm)
     view_reasons = List.rev !reasons;
     transfer_bytes = !transfer_bytes;
     quarantine_leaks;
+    sessions = session_report;
     active_at_end;
     final_states;
     live_equal;

@@ -114,6 +114,10 @@ type outcome = {
   quarantine_leaks : int;
       (** ghost dots: double applies or conflicting values — 0 on every
           healthy run *)
+  sessions : Session_tier.report option;
+      (** [Some _] iff the run drove a client-session tier
+          ([?sessions]): per-session spans, migrations, and the
+          re-attributed session-guarantee audit *)
   active_at_end : int list;
   final_states : Fault_campaign.replica_state list;
       (** active replicas, ascending id *)
@@ -165,6 +169,7 @@ val run :
   initial:int ->
   ?detector:Failure_detector.config ->
   ?mixed:bool ->
+  ?sessions:Session_tier.config ->
   ?checkpoint_every:float ->
   ?sync_rounds:int ->
   ?sync_interval:float ->
@@ -207,6 +212,16 @@ val run :
     and re-admits the slot through the crash-rejoin path (incarnation
     bump, sponsor delta transfer, group sync) — false positives are
     survivable by construction.
+
+    [?sessions] drives a {!Session_tier} of lightweight client sessions
+    on top of the replica set: each session routes reads and writes to
+    a home replica chosen by its placement policy, carries its session
+    vector on every request (handoff-on-migration), retries rejected
+    operations with capped backoff, and resolves lost write replies by
+    at-most-once probing. The re-attributed session-guarantee audit
+    lands in {!outcome.sessions}; replica-side checking ([report],
+    Theorem 4 accounting) is unchanged — session operations are
+    ordinary protocol writes/reads at their serving replica.
 
     [?mixed] (default [false]) lifts the emergent-mode restriction and
     lets a detector run {e alongside} scripted [Join]/[Leave] events —

@@ -13,8 +13,10 @@ module Protocol = Dsm_core.Protocol
 type verdict =
   | Clean
   | Refuted_suspicion
+  | Degraded_session
   | Unnecessary_delay
   | Ghost_leak
+  | Session_anomaly
   | Diverged
   | Violation
   | Stuck
@@ -23,8 +25,10 @@ let all_verdicts =
   [
     Clean;
     Refuted_suspicion;
+    Degraded_session;
     Unnecessary_delay;
     Ghost_leak;
+    Session_anomaly;
     Diverged;
     Violation;
     Stuck;
@@ -33,8 +37,10 @@ let all_verdicts =
 let verdict_name = function
   | Clean -> "clean"
   | Refuted_suspicion -> "refuted-suspicion"
+  | Degraded_session -> "degraded-session"
   | Unnecessary_delay -> "unnecessary-delay"
   | Ghost_leak -> "ghost-leak"
+  | Session_anomaly -> "session-anomaly"
   | Diverged -> "diverged"
   | Violation -> "violation"
   | Stuck -> "stuck"
@@ -45,8 +51,10 @@ let verdict_of_name s =
 let pp_verdict ppf v = Format.pp_print_string ppf (verdict_name v)
 
 let accepted = function
-  | Clean | Refuted_suspicion -> true
-  | Unnecessary_delay | Ghost_leak | Diverged | Violation | Stuck -> false
+  | Clean | Refuted_suspicion | Degraded_session -> true
+  | Unnecessary_delay | Ghost_leak | Session_anomaly | Diverged | Violation
+  | Stuck ->
+      false
 
 let classify ~optimal (o : Churn_campaign.outcome) =
   let r = o.report in
@@ -72,7 +80,16 @@ let classify ~optimal (o : Churn_campaign.outcome) =
         && not (gone_by_plan s.speer))
       o.suspicions
   in
+  let session_anomaly, session_degraded =
+    match o.sessions with
+    | None -> (false, false)
+    | Some (sr : Session_tier.report) ->
+        ( sr.Session_tier.violations <> []
+          || sr.Session_tier.duplicate_writes > 0,
+          sr.Session_tier.degraded <> [] )
+  in
   if r.violations <> [] then Violation
+  else if session_anomaly then Session_anomaly
   else if o.quarantine_leaks > 0 then Ghost_leak
   else if
     r.lost <> [] || (not r.complete) || (not o.live_equal)
@@ -80,6 +97,7 @@ let classify ~optimal (o : Churn_campaign.outcome) =
   then Diverged
   else if optimal && r.unnecessary_delays > 0 then Unnecessary_delay
   else if o.false_suspicions > 0 then Refuted_suspicion
+  else if session_degraded then Degraded_session
   else Clean
 
 (* ---------------------------------------------------------------- *)
@@ -97,6 +115,7 @@ type schedule = {
   latency : Latency.t;
   faults : Network.faults option;
   detector : Failure_detector.config option;
+  sessions : Session_tier.config option;
   plan : Fault_plan.t;
   seed : int;
 }
@@ -136,6 +155,7 @@ let validate_schedule s =
   (match Latency.validate s.latency with
   | Ok () -> ()
   | Error msg -> fail "latency: %s" msg);
+  Option.iter Session_tier.validate_config s.sessions;
   Fault_plan.validate ~n:s.universe
     ~initial:(List.init s.initial Fun.id)
     s.plan
@@ -153,15 +173,29 @@ type result = {
 
 let detail_of (o : Churn_campaign.outcome) =
   let r = o.report in
-  Printf.sprintf
-    "applies=%d delays=%d (necessary=%d unnecessary=%d) violations=%d \
-     lost=%d ghost=%d false-suspicions=%d refuted=%d live_equal=%b \
-     complete=%b"
-    r.total_applies r.total_delays r.necessary_delays
-    r.unnecessary_delays
-    (List.length r.violations)
-    (List.length r.lost) o.quarantine_leaks o.false_suspicions
-    o.refutations o.live_equal r.complete
+  let base =
+    Printf.sprintf
+      "applies=%d delays=%d (necessary=%d unnecessary=%d) violations=%d \
+       lost=%d ghost=%d false-suspicions=%d refuted=%d live_equal=%b \
+       complete=%b"
+      r.total_applies r.total_delays r.necessary_delays
+      r.unnecessary_delays
+      (List.length r.violations)
+      (List.length r.lost) o.quarantine_leaks o.false_suspicions
+      o.refutations o.live_equal r.complete
+  in
+  match o.sessions with
+  | None -> base
+  | Some (sr : Session_tier.report) ->
+      Printf.sprintf
+        "%s sessions: ops=%d migrations=%d retries=%d degraded=%d \
+         dedup=%d dup-writes=%d session-violations=%d"
+        base sr.Session_tier.ops_done
+        (List.length sr.Session_tier.migrations)
+        sr.Session_tier.retries
+        (List.length sr.Session_tier.degraded)
+        sr.Session_tier.dedup_hits sr.Session_tier.duplicate_writes
+        (List.length sr.Session_tier.violations)
 
 let run ?metrics (s : schedule) : result =
   validate_schedule s;
@@ -179,7 +213,7 @@ let run ?metrics (s : schedule) : result =
             (module P)
             ~spec ~latency:s.latency ?faults:s.faults ~plan:s.plan
             ~initial:s.initial ?detector:s.detector ~mixed:true
-            ~seed:s.seed ?metrics ()
+            ?sessions:s.sessions ~seed:s.seed ?metrics ()
         in
         let verdict = classify ~optimal:(optimal_protocol s.protocol) o in
         { sched = s; verdict; detail = detail_of o; outcome = Some o }
@@ -207,7 +241,7 @@ let default_latency = Latency.Lognormal { mu = log 10. -. 0.5; sigma = 1.0 }
 
 let base ~name ?(protocol = "optp") ?(universe = 4) ?initial ?(vars = 4)
     ?(ops = 40) ?(write_ratio = 0.5) ?(latency = default_latency) ?faults
-    ?detector ?(seed = 1) events =
+    ?detector ?sessions ?(seed = 1) events =
   let initial = Option.value initial ~default:universe in
   {
     name;
@@ -220,7 +254,24 @@ let base ~name ?(protocol = "optp") ?(universe = 4) ?initial ?(vars = 4)
     latency;
     faults;
     detector;
+    sessions;
     plan = Fault_plan.make events;
+    seed;
+  }
+
+(* the session scenarios mirror the tier's own regression campaigns:
+   a twitchy detector so suspicion (not just scripted death) drives
+   migration, and the partition-home shape where the victim keeps
+   serving its sticky sessions while its writes cannot propagate *)
+let session_cfg ?(count = 16) ?(handoff = true) ?(placement = Session_tier.Sticky)
+    ~seed () =
+  {
+    (Session_tier.default_config ~count) with
+    Session_tier.placement;
+    ops_per_session = 24;
+    think_mean = 4.;
+    write_ratio = 0.5;
+    handoff;
     seed;
   }
 
@@ -361,6 +412,84 @@ let scenarios =
     };
     {
       sched_ =
+        base ~name:"session-kill-home" ~universe:5 ~vars:3 ~ops:20
+          ~latency:(Latency.Exponential { mean = 8. })
+          ~detector:
+            (Failure_detector.config ~threshold:1.2 ~heartbeat_every:10.
+               ())
+          ~sessions:(session_cfg ~seed:1 ())
+          [ Fault_plan.Crash { proc = 0; at = t 60. } ]
+          ~seed:1;
+      expected = [ Clean; Refuted_suspicion; Degraded_session ];
+      about =
+        "sticky sessions homed on a replica that dies and stays dead: \
+         the detector ejects it, every session must migrate with its \
+         vector and keep all four guarantees";
+    };
+    {
+      sched_ =
+        base ~name:"session-partition-home" ~universe:5 ~vars:3 ~ops:20
+          ~latency:(Latency.Exponential { mean = 8. })
+          ~detector:
+            (Failure_detector.config ~threshold:1.2 ~heartbeat_every:8. ())
+          ~sessions:(session_cfg ~seed:100 ())
+          [
+            Fault_plan.Cut
+              { groups = [ [ 0 ]; [ 1; 2; 3; 4 ] ]; at = t 40. };
+            Fault_plan.Heal { at = t 400. };
+          ]
+          ~seed:100;
+      expected = [ Clean; Refuted_suspicion; Degraded_session ];
+      about =
+        "the home keeps serving its sticky sessions while partitioned \
+         away — its committed writes cannot propagate; handoff of the \
+         session vector is what keeps the migrants correct";
+    };
+    {
+      sched_ =
+        base ~name:"session-migrate-storm" ~universe:5 ~vars:3 ~ops:20
+          ~latency:(Latency.Exponential { mean = 8. })
+          ~detector:
+            (Failure_detector.config ~threshold:1.1 ~heartbeat_every:8. ())
+          ~sessions:(session_cfg ~count:24 ~placement:Session_tier.Nearest
+                       ~seed:7 ())
+          [
+            Fault_plan.Crash { proc = 1; at = t 50. };
+            Fault_plan.Recover { proc = 1; at = t 160. };
+            Fault_plan.Cut
+              { groups = [ [ 0; 3 ]; [ 1; 2; 4 ] ]; at = t 200. };
+            Fault_plan.Heal { at = t 280. };
+            Fault_plan.Crash { proc = 3; at = t 330. };
+            Fault_plan.Recover { proc = 3; at = t 420. };
+          ]
+          ~seed:7;
+      expected = [ Clean; Refuted_suspicion; Degraded_session ];
+      about =
+        "nearest-placement sessions failing over and back through \
+         crash/recover and partition episodes under a hair-trigger \
+         detector — a migration storm, every hop a handoff";
+    };
+    {
+      sched_ =
+        base ~name:"session-dropped-handoff" ~universe:5 ~vars:3 ~ops:20
+          ~latency:(Latency.Exponential { mean = 8. })
+          ~detector:
+            (Failure_detector.config ~threshold:1.2 ~heartbeat_every:8. ())
+          ~sessions:(session_cfg ~handoff:false ~seed:100 ())
+          [
+            Fault_plan.Cut
+              { groups = [ [ 0 ]; [ 1; 2; 3; 4 ] ]; at = t 40. };
+            Fault_plan.Heal { at = t 400. };
+          ]
+          ~seed:100;
+      expected = [ Session_anomaly ];
+      about =
+        "the canary: same failover as session-partition-home but the \
+         session vector is dropped on migration — the re-attributed \
+         checker must catch the stale reads; keep it expected-failing";
+    };
+    {
+      sched_ =
         base ~name:"canary-reorder" ~protocol:"canary"
           [
             Fault_plan.Inflate
@@ -498,6 +627,28 @@ let random_schedule ?(protocol = "optp") ~seed () =
            ())
     else None
   in
+  (* ~30% of swarms multiplex a session tier on top; the handoff is
+     always armed — the swarm hunts for real bugs, the dropped-vector
+     canary lives in the scenario corpus *)
+  let sessions =
+    if Rng.bernoulli rng 0.3 then
+      let placement =
+        List.nth
+          [ Session_tier.Sticky; Session_tier.Random; Session_tier.Nearest ]
+          (Rng.int rng 3)
+      in
+      Some
+        {
+          (Session_tier.default_config ~count:(4 + Rng.int rng 9)) with
+          Session_tier.placement;
+          ops_per_session = 10 + Rng.int rng 11;
+          write_ratio = 0.5;
+          think_mean = 6.;
+          handoff = true;
+          seed = (seed * 31) + 7;
+        }
+    else None
+  in
   {
     name = Printf.sprintf "swarm-%d" seed;
     protocol;
@@ -509,6 +660,7 @@ let random_schedule ?(protocol = "optp") ~seed () =
     latency = default_latency;
     faults;
     detector;
+    sessions;
     plan = Fault_plan.make (List.rev !events);
     seed;
   }
@@ -619,7 +771,8 @@ let shrink ?(max_attempts = 256) (s : schedule) ~target =
   let try_take cand = if valid cand && reproduces cand then cur := cand in
   let disarm () =
     if !cur.detector <> None then try_take { !cur with detector = None };
-    if !cur.faults <> None then try_take { !cur with faults = None }
+    if !cur.faults <> None then try_take { !cur with faults = None };
+    if !cur.sessions <> None then try_take { !cur with sessions = None }
   in
   disarm ();
   (* ddmin over episodes: try removing chunks, halving the chunk size,
@@ -797,6 +950,17 @@ let to_json_string (s : schedule) =
         (fstr d.heartbeat_every) d.window (fstr d.adaptive);
       add "\n"
   | None -> ());
+  (match s.sessions with
+  | Some (c : Session_tier.config) ->
+      add
+        {| "sessions":{"count":%d,"placement":"%s","ops_per_session":%d,"write_ratio":%s,"think_mean":%s,"rpc_timeout":%s,"backoff":%s,"backoff_cap":%s,"max_retries":%d,"handoff":%b,"seed":%d},|}
+        c.Session_tier.count
+        (Session_tier.placement_to_string c.placement)
+        c.ops_per_session (fstr c.write_ratio) (fstr c.think_mean)
+        (fstr c.rpc_timeout) (fstr c.backoff) (fstr c.backoff_cap)
+        c.max_retries c.handoff c.seed;
+      add "\n"
+  | None -> ());
   add {| "events":[|};
   List.iteri
     (fun i ev ->
@@ -922,6 +1086,38 @@ let of_json_string text =
                ~adaptive:(num ~ctx:"detector" d "adaptive")
                ())
     in
+    let sessions =
+      match get fields "sessions" with
+      | None | Some Json.Null -> None
+      | Some j ->
+          let ctx = "sessions" in
+          let c = obj ~ctx j in
+          let placement =
+            let name = str ~ctx c "placement" in
+            match Session_tier.placement_of_string name with
+            | Some p -> p
+            | None -> fail "sessions: unknown placement %S" name
+          in
+          let handoff =
+            match get c "handoff" with
+            | Some (Json.Bool b) -> b
+            | _ -> fail "sessions: missing boolean field \"handoff\""
+          in
+          Some
+            {
+              Session_tier.count = int ~ctx c "count";
+              placement;
+              ops_per_session = int ~ctx c "ops_per_session";
+              write_ratio = num ~ctx c "write_ratio";
+              think_mean = num ~ctx c "think_mean";
+              rpc_timeout = num ~ctx c "rpc_timeout";
+              backoff = num ~ctx c "backoff";
+              backoff_cap = num ~ctx c "backoff_cap";
+              max_retries = int ~ctx c "max_retries";
+              handoff;
+              seed = int ~ctx c "seed";
+            }
+    in
     let events =
       match get fields "events" with
       | Some (Json.Arr evs) -> List.map event_of_json evs
@@ -939,6 +1135,7 @@ let of_json_string text =
         latency;
         faults;
         detector;
+        sessions;
         plan = Fault_plan.make events;
         seed = int ~ctx fields "seed";
       }

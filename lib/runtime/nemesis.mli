@@ -39,12 +39,21 @@ type verdict =
   | Refuted_suspicion
       (** clean, but the detector falsely suspected a live slot and a
           later heartbeat re-admitted it — survivable by design *)
+  | Degraded_session
+      (** clean, but a session operation exhausted its retry budget and
+          surfaced as degraded ([waiting_for] / in-doubt / unreachable)
+          — the graceful-degradation contract, survivable by design *)
   | Unnecessary_delay
       (** a protocol claiming Theorem 4 optimality delayed a write the
           ground-truth causal order did not require *)
   | Ghost_leak
       (** a quarantine leak: a dot applied twice at one process, or
           observed under two values — stale-incarnation traffic got in *)
+  | Session_anomaly
+      (** the session tier broke a Terry guarantee on a re-attributed
+          client stream, or a retried write applied twice — judged
+          right below [Violation]: the replicas may agree while a
+          migrating client still observed the inconsistency *)
   | Diverged
       (** live replicas disagree at the end, a write was lost, or a
           false suspicion left a live slot permanently ejected (never
@@ -55,18 +64,21 @@ type verdict =
           harness failure, judged worst after [Violation] *)
 
 val verdict_name : verdict -> string
-(** Kebab-case: ["clean"], ["refuted-suspicion"], ["unnecessary-delay"],
-    ["ghost-leak"], ["diverged"], ["violation"], ["stuck"]. *)
+(** Kebab-case: ["clean"], ["refuted-suspicion"], ["degraded-session"],
+    ["unnecessary-delay"], ["ghost-leak"], ["session-anomaly"],
+    ["diverged"], ["violation"], ["stuck"]. *)
 
 val verdict_of_name : string -> verdict option
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val accepted : verdict -> bool
-(** Swarm acceptance: [Clean] or [Refuted_suspicion]. *)
+(** Swarm acceptance: [Clean], [Refuted_suspicion] or
+    [Degraded_session]. *)
 
 val classify : optimal:bool -> Churn_campaign.outcome -> verdict
-(** Precedence: [Violation] > [Ghost_leak] > [Diverged] >
-    [Unnecessary_delay] > [Refuted_suspicion] > [Clean].
+(** Precedence: [Violation] > [Session_anomaly] > [Ghost_leak] >
+    [Diverged] > [Unnecessary_delay] > [Refuted_suspicion] >
+    [Degraded_session] > [Clean].
     [~optimal] arms the [Unnecessary_delay] check (protocols that claim
     Theorem 4). [Stuck] is never produced here — {!run} assigns it when
     the campaign raises. *)
@@ -88,6 +100,10 @@ type schedule = {
       (** probabilistic drop/duplicate/corrupt, on top of the plan *)
   detector : Failure_detector.config option;
       (** arms phi-accrual detection alongside the scripted plan *)
+  sessions : Session_tier.config option;
+      (** multiplexes a client-session tier over the replicas; its
+          re-attributed guarantee audit feeds [Session_anomaly] /
+          [Degraded_session] *)
   plan : Dsm_sim.Fault_plan.t;
   seed : int;  (** drives workload, channels and the campaign *)
 }
@@ -135,7 +151,11 @@ type scenario = {
 
 val scenarios : scenario list
 (** Fixed corpus, every schedule deterministic. Includes the canary
-    scenario (expected [Violation]) — keep it expected-failing. *)
+    scenario (expected [Violation]), the session-tier failover family
+    ([session-kill-home], [session-partition-home],
+    [session-migrate-storm]) and the dropped-handoff session canary
+    (expected [Session_anomaly]) — keep both canaries
+    expected-failing. *)
 
 val find_scenario : string -> scenario option
 
@@ -147,7 +167,9 @@ val random_schedule : ?protocol:string -> seed:int -> unit -> schedule
     crash-rejoin / graceful leave / crash-recover (one member always
     stays stable), sequential two-sided partitions, one-way cut
     episodes, flaps, delay-inflation spikes, ~30% probabilistic
-    drop/duplicate/corrupt faults, ~30% an armed accrual detector.
+    drop/duplicate/corrupt faults, ~30% an armed accrual detector,
+    ~30% a client-session tier (handoff always on — the swarm hunts
+    real bugs; the dropped-vector canary lives in the corpus).
     Default protocol ["optp"]. *)
 
 type swarm_report = {
@@ -197,6 +219,9 @@ val to_json_string : schedule -> string
 (** Self-contained replayable form; 0-based process ids, latency in the
     CLI's [const:C | uniform:LO,HI | exp:MEAN | lognormal:MU,SIGMA |
     pareto:SCALE,SHAPE] syntax, floats printed exactly (round-trip).
+    An armed session tier serializes as an optional ["sessions"] object
+    (absent = none) — the schema stays [causal-dsm-nemesis-plan/v1];
+    plans written before the session tier still replay.
     @raise Invalid_argument if [latency] has no CLI syntax. *)
 
 val of_json_string : string -> (schedule, string) Stdlib.result

@@ -15,6 +15,10 @@ is not testing anything).
   false-suspicion-storm  refuted-suspicion  expected [refuted-suspicion] ok
   corrupt-storm          clean              expected [clean] ok
   kitchen-sink           refuted-suspicion  expected [clean; refuted-suspicion] ok
+  session-kill-home      refuted-suspicion  expected [clean; refuted-suspicion; degraded-session] ok
+  session-partition-home refuted-suspicion  expected [clean; refuted-suspicion; degraded-session] ok
+  session-migrate-storm  refuted-suspicion  expected [clean; refuted-suspicion; degraded-session] ok
+  session-dropped-handoff session-anomaly    expected [session-anomaly] ok
   canary-reorder         violation          expected [violation] ok
 
 A fixed-seed swarm: randomized combined-fault schedules (churn +
@@ -33,10 +37,10 @@ to a minimal schedule saved as replayable JSON.
   $ dsm-sim nemesis --swarm 2 --protocol canary --seed 42 --shrink --out min.json
   swarm: 2 schedules, 0 accepted
     violation          2
-    FAIL swarm-42 [canary, seed 42]: violation — applies=237 delays=68 (necessary=68 unnecessary=0) violations=32 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true
-    FAIL swarm-43 [canary, seed 43]: violation — applies=470 delays=88 (necessary=88 unnecessary=0) violations=6 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true
+    FAIL swarm-42 [canary, seed 42]: violation — applies=454 delays=131 (necessary=131 unnecessary=0) violations=46 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true sessions: ops=114 migrations=63 retries=32 degraded=0 dedup=0 dup-writes=0 session-violations=0
+    FAIL swarm-43 [canary, seed 43]: violation — applies=820 delays=190 (necessary=190 unnecessary=0) violations=64 lost=0 ghost=0 false-suspicions=0 refuted=0 live_equal=true complete=true sessions: ops=135 migrations=2 retries=3 degraded=0 dedup=2 dup-writes=0 session-violations=0
   
-  shrink to violation: 11 -> 1 fault events in 10 runs (schedule swarm-42)
+  shrink to violation: 11 -> 1 fault events in 11 runs (schedule swarm-42)
   reproducer -> min.json
   dsm-sim: 2/2 schedules not accepted
   [124]

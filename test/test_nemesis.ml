@@ -212,8 +212,10 @@ let test_verdict_names_round_trip () =
     [
       Nemesis.Clean;
       Refuted_suspicion;
+      Degraded_session;
       Unnecessary_delay;
       Ghost_leak;
+      Session_anomaly;
       Diverged;
       Violation;
       Stuck;
@@ -229,6 +231,10 @@ let test_verdict_names_round_trip () =
     (Nemesis.verdict_of_name "no-such-verdict");
   check_bool "clean accepted" true (Nemesis.accepted Nemesis.Clean);
   check_bool "refuted accepted" true (Nemesis.accepted Nemesis.Refuted_suspicion);
+  check_bool "degraded session accepted" true
+    (Nemesis.accepted Nemesis.Degraded_session);
+  check_bool "session anomaly not accepted" false
+    (Nemesis.accepted Nemesis.Session_anomaly);
   check_bool "diverged not accepted" false (Nemesis.accepted Nemesis.Diverged)
 
 (* derive classification units from two real outcomes: a clean baseline
@@ -298,6 +304,59 @@ let test_classify_unrefuted_false_suspicion () =
      (a scripted recover re-admitted it without touching srefuted_at) *)
   Alcotest.check verdict "re-admitted by script" Nemesis.Clean
     (Nemesis.classify ~optimal:true { o with CC.suspicions = [ ejected 1 ] })
+
+(* session-tier verdicts, derived from a real session-armed outcome so
+   the report is structurally honest — only the judged field is bent *)
+let test_classify_session_outcomes () =
+  let module ST = Dsm_runtime.Session_tier in
+  let sc = Option.get (Nemesis.find_scenario "session-kill-home") in
+  let o =
+    match (Nemesis.run sc.sched_).outcome with
+    | Some o -> o
+    | None -> Alcotest.fail "session-kill-home stuck"
+  in
+  let sr =
+    match o.CC.sessions with
+    | Some sr -> sr
+    | None -> Alcotest.fail "session-armed run produced no session report"
+  in
+  let classify = Nemesis.classify ~optimal:true in
+  check_bool "base run is accepted" true (Nemesis.accepted (classify o));
+  Alcotest.check verdict "duplicate applied write is a session anomaly"
+    Nemesis.Session_anomaly
+    (classify { o with CC.sessions = Some { sr with ST.duplicate_writes = 1 } });
+  Alcotest.check verdict "precedence: session anomaly beats ghosts"
+    Nemesis.Session_anomaly
+    (classify
+       {
+         o with
+         CC.quarantine_leaks = 1;
+         sessions = Some { sr with ST.duplicate_writes = 1 };
+       });
+  Alcotest.check verdict "precedence: ghosts beat divergence with sessions armed"
+    Nemesis.Ghost_leak
+    (classify { o with CC.quarantine_leaks = 1; live_equal = false });
+  let span =
+    match sr.ST.spans with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "session run recorded no spans"
+  in
+  Alcotest.check verdict "exhausted retries degrade, survivably"
+    Nemesis.Degraded_session
+    (classify
+       {
+         o with
+         CC.false_suspicions = 0;
+         sessions = Some { sr with ST.degraded = [ span ] };
+       });
+  Alcotest.check verdict "precedence: refuted suspicion beats degradation"
+    Nemesis.Refuted_suspicion
+    (classify
+       {
+         o with
+         CC.false_suspicions = max 1 o.CC.false_suspicions;
+         sessions = Some { sr with ST.degraded = [ span ] };
+       })
 
 let test_classify_real_violations () =
   let sc = Option.get (Nemesis.find_scenario "canary-reorder") in
@@ -440,6 +499,8 @@ let () =
             test_classify_perturbations;
           Alcotest.test_case "unrefuted false suspicion" `Quick
             test_classify_unrefuted_false_suspicion;
+          Alcotest.test_case "session-tier verdicts" `Slow
+            test_classify_session_outcomes;
           Alcotest.test_case "real violations win precedence" `Quick
             test_classify_real_violations;
         ] );
